@@ -1,0 +1,62 @@
+#ifndef SQLOG_BENCH_BENCH_COMMON_H_
+#define SQLOG_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "catalog/schema.h"
+#include "core/pipeline.h"
+#include "log/generator.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace sqlog::bench {
+
+/// Size of the synthetic study log. The paper's log has 42 M queries; we
+/// default to 120 k (≈ 1:350 scale) so every bench finishes in seconds.
+/// Override with SQLOG_BENCH_SIZE.
+inline size_t StudySize() {
+  const char* env = std::getenv("SQLOG_BENCH_SIZE");
+  if (env != nullptr) {
+    size_t v = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    if (v > 0) return v;
+  }
+  return 120000;
+}
+
+/// The study workload: defaults calibrated to the paper's shares.
+inline log::GeneratorConfig StudyConfig() {
+  log::GeneratorConfig config;
+  config.target_statements = StudySize();
+  return config;
+}
+
+/// Generates the study log (deterministic).
+inline log::QueryLog GenerateStudyLog() { return log::GenerateLog(StudyConfig()); }
+
+/// Runs the full pipeline with the bundled SkyServer schema. The schema
+/// object must outlive the result, hence the static.
+inline core::PipelineResult RunStudyPipeline(const log::QueryLog& raw,
+                                             core::PipelineOptions options = {}) {
+  static catalog::Schema schema = catalog::MakeSkyServerSchema();
+  core::Pipeline pipeline(options);
+  pipeline.SetSchema(&schema);
+  return pipeline.Run(raw);
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const char* experiment, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+inline std::string Thousands(uint64_t v) {
+  return WithThousands(static_cast<long long>(v));
+}
+
+}  // namespace sqlog::bench
+
+#endif  // SQLOG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,45 @@
+// Fig. 2(a): frequencies of the 30 most popular patterns before and
+// after cleaning, with antipatterns flagged. Paper: 9 antipatterns in
+// the top 30 (6 in the top 15) before; none after.
+
+#include "bench_common.h"
+
+namespace {
+
+void PrintTop(const sqlog::core::PipelineResult& result, const char* label) {
+  std::printf("%s (rank, frequency, users, flag):\n", label);
+  size_t antipatterns_top15 = 0;
+  size_t antipatterns_top30 = 0;
+  size_t shown = 0;
+  for (size_t i = 0; i < result.patterns.size() && shown < 30; ++i) {
+    const auto& pattern = result.patterns[i];
+    bool is_anti = result.PatternIsAntipattern(i, /*solvable_only=*/true);
+    ++shown;
+    if (is_anti && shown <= 15) ++antipatterns_top15;
+    if (is_anti) ++antipatterns_top30;
+    std::printf("  %2zu %10s %5zu %s\n", shown,
+                sqlog::bench::Thousands(pattern.frequency).c_str(),
+                pattern.user_popularity(), is_anti ? "ANTIPATTERN" : "pattern");
+  }
+  std::printf("  → antipatterns in top 15: %zu, in top 30: %zu\n\n", antipatterns_top15,
+              antipatterns_top30);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sqlog;
+  bench::Banner("Fig. 2(a) — top-30 patterns before/after cleaning",
+                "paper Fig. 2(a): 9 antipatterns in top 30 before, 0 after");
+
+  log::QueryLog raw = bench::GenerateStudyLog();
+  core::PipelineResult before = bench::RunStudyPipeline(raw);
+  PrintTop(before, "BEFORE cleaning");
+
+  core::PipelineResult after = bench::RunStudyPipeline(before.clean_log);
+  PrintTop(after, "AFTER cleaning");
+
+  std::printf("Shape check: solvable antipatterns appear among the top ranks before\n"
+              "cleaning and disappear from them after.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 3: downstream query clustering (Nguyen et al. [1] reproduction) —
+// cluster count, average cluster size, and runtime over thresholds
+// 0.1..0.9 for the raw, cleaned, and removal logs. Paper: the raw log
+// yields many small clusters (1393 at θ=0.9); removal yields few,
+// large, interpretable ones (51 at θ=0.9); removal is fastest.
+
+#include "analysis/clustering.h"
+#include "bench_common.h"
+#include "sql/skeleton.h"
+
+namespace {
+
+std::vector<sqlog::analysis::DataSpace> SpacesOf(const sqlog::log::QueryLog& log,
+                                                 size_t limit) {
+  std::vector<sqlog::analysis::DataSpace> spaces;
+  spaces.reserve(std::min(log.size(), limit));
+  for (const auto& record : log.records()) {
+    if (spaces.size() >= limit) break;
+    auto facts = sqlog::sql::ParseAndAnalyze(record.statement);
+    if (!facts.ok()) continue;
+    spaces.push_back(sqlog::analysis::ExtractDataSpace(facts.value()));
+  }
+  return spaces;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sqlog;
+  bench::Banner("Fig. 3 — clustering: count / avg size / runtime vs threshold",
+                "paper Fig. 3 (1.3M-query sample; raw ≫ clean > removal cluster counts)");
+
+  log::QueryLog raw = bench::GenerateStudyLog();
+  core::PipelineResult result = bench::RunStudyPipeline(raw);
+
+  // Scale the paper's 1.3M sample down in proportion to the study size.
+  size_t sample = bench::StudySize() / 8;
+  auto raw_spaces = SpacesOf(result.pre_clean, sample);
+  auto clean_spaces = SpacesOf(result.clean_log, sample);
+  auto removal_spaces = SpacesOf(result.removal_log, sample);
+  std::printf("samples: raw=%zu clean=%zu removal=%zu\n\n", raw_spaces.size(),
+              clean_spaces.size(), removal_spaces.size());
+
+  std::printf("%-10s | %22s | %22s | %22s\n", "", "clusters", "avg size", "runtime (s)");
+  std::printf("%-10s | %6s %7s %7s | %6s %7s %7s | %6s %7s %7s\n", "threshold", "raw",
+              "clean", "removal", "raw", "clean", "removal", "raw", "clean", "removal");
+
+  for (double threshold = 0.1; threshold < 0.95; threshold += 0.1) {
+    analysis::ClusteringOptions options;
+    options.threshold = threshold;
+    auto raw_result = analysis::ClusterDataSpaces(raw_spaces, options);
+    auto clean_result = analysis::ClusterDataSpaces(clean_spaces, options);
+    auto removal_result = analysis::ClusterDataSpaces(removal_spaces, options);
+    std::printf("%-10.1f | %6zu %7zu %7zu | %6.0f %7.0f %7.0f | %6.2f %7.2f %7.2f\n",
+                threshold, raw_result.cluster_count(), clean_result.cluster_count(),
+                removal_result.cluster_count(), raw_result.average_size(),
+                clean_result.average_size(), removal_result.average_size(),
+                raw_result.runtime_seconds, clean_result.runtime_seconds,
+                removal_result.runtime_seconds);
+  }
+
+  std::printf("\nShape check vs paper Fig. 3: the threshold has little effect (most\n"
+              "pairwise distances are exactly 0 or 1); raw yields the most and\n"
+              "smallest clusters; removal the fewest and biggest.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Fig. 4(a,b): cluster sizes by rank at θ=0.9 for raw vs removal and
+// cleaned vs removal; (c): the top-20 DS-clusters in the cleaned vs the
+// raw log. Paper: every removal cluster also exists in raw and cleaned;
+// DS-clusters in the raw log are ≈2× the size of their cleaned
+// counterparts.
+
+#include "analysis/clustering.h"
+#include "bench_common.h"
+#include "sql/skeleton.h"
+
+namespace {
+
+using sqlog::analysis::DataSpace;
+
+struct Extracted {
+  std::vector<DataSpace> spaces;
+  std::vector<bool> is_ds;  // member of a DS-Stifle family (by truth label)
+};
+
+Extracted SpacesOf(const sqlog::log::QueryLog& log, size_t limit) {
+  Extracted out;
+  for (const auto& record : log.records()) {
+    if (out.spaces.size() >= limit) break;
+    auto facts = sqlog::sql::ParseAndAnalyze(record.statement);
+    if (!facts.ok()) continue;
+    out.spaces.push_back(sqlog::analysis::ExtractDataSpace(facts.value()));
+    out.is_ds.push_back(record.truth == sqlog::log::TruthLabel::kDsStifle);
+  }
+  return out;
+}
+
+void PrintRankCurve(const char* label, const sqlog::analysis::ClusteringResult& result) {
+  std::printf("%s: %zu clusters; sizes by rank:", label, result.cluster_count());
+  size_t shown = 0;
+  for (size_t rank = 0; rank < result.clusters.size() && shown < 12; rank += 1 + rank / 2) {
+    std::printf(" #%zu=%zu", rank + 1, result.clusters[rank].size());
+    ++shown;
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace sqlog;
+  bench::Banner("Fig. 4 — cluster sizes by rank; DS-cluster sizes cleaned vs raw",
+                "paper Fig. 4 (θ = 0.9)");
+
+  log::QueryLog raw = bench::GenerateStudyLog();
+  core::PipelineResult result = bench::RunStudyPipeline(raw);
+
+  size_t sample = bench::StudySize() / 8;
+  Extracted raw_x = SpacesOf(result.pre_clean, sample);
+  Extracted clean_x = SpacesOf(result.clean_log, sample);
+  Extracted removal_x = SpacesOf(result.removal_log, sample);
+
+  analysis::ClusteringOptions options;
+  options.threshold = 0.9;
+  auto raw_clusters = analysis::ClusterDataSpaces(raw_x.spaces, options);
+  auto clean_clusters = analysis::ClusterDataSpaces(clean_x.spaces, options);
+  auto removal_clusters = analysis::ClusterDataSpaces(removal_x.spaces, options);
+
+  std::printf("(a) raw vs removal / (b) cleaned vs removal — size-by-rank curves:\n");
+  PrintRankCurve("  raw    ", raw_clusters);
+  PrintRankCurve("  cleaned", clean_clusters);
+  PrintRankCurve("  removal", removal_clusters);
+
+  // (c) DS-clusters: clusters containing DS-Stifle members, raw vs clean.
+  auto ds_cluster_sizes = [](const analysis::ClusteringResult& clusters,
+                             const std::vector<bool>& is_ds) {
+    std::vector<size_t> sizes;
+    for (const auto& cluster : clusters.clusters) {
+      bool has_ds = false;
+      for (size_t member : cluster.members) {
+        if (is_ds[member]) {
+          has_ds = true;
+          break;
+        }
+      }
+      if (has_ds) sizes.push_back(cluster.size());
+    }
+    return sizes;
+  };
+  // In the clean log, DS members were merged; find their rewritten form
+  // via the data space (same FROM/WHERE): reuse truth labels carried by
+  // the rewritten records (the merged record keeps the first member's
+  // metadata, including its truth label).
+  std::vector<bool> clean_is_ds;
+  {
+    size_t i = 0;
+    for (const auto& record : result.clean_log.records()) {
+      if (i >= clean_x.spaces.size()) break;
+      auto facts = sql::ParseAndAnalyze(record.statement);
+      if (!facts.ok()) continue;
+      clean_is_ds.push_back(record.truth == log::TruthLabel::kDsStifle);
+      ++i;
+    }
+  }
+
+  auto raw_ds = ds_cluster_sizes(raw_clusters, raw_x.is_ds);
+  auto clean_ds = ds_cluster_sizes(clean_clusters, clean_is_ds);
+  std::printf("\n(c) top DS-cluster sizes (clusters containing DS-Stifle queries):\n");
+  std::printf("    %-6s %-12s %-12s\n", "rank", "raw log", "cleaned log");
+  for (size_t i = 0; i < 20 && (i < raw_ds.size() || i < clean_ds.size()); ++i) {
+    std::printf("    %-6zu %-12s %-12s\n", i + 1,
+                i < raw_ds.size() ? bench::Thousands(raw_ds[i]).c_str() : "-",
+                i < clean_ds.size() ? bench::Thousands(clean_ds[i]).c_str() : "-");
+  }
+  double raw_total = 0;
+  double clean_total = 0;
+  for (size_t i = 0; i < raw_ds.size() && i < 20; ++i) raw_total += (double)raw_ds[i];
+  for (size_t i = 0; i < clean_ds.size() && i < 20; ++i) clean_total += (double)clean_ds[i];
+  if (clean_total > 0) {
+    std::printf("\n    raw/cleaned DS-cluster mass ratio: %.1fx (paper: ≈2x)\n",
+                raw_total / clean_total);
+  }
+  std::printf("\nShape check vs paper Fig. 4: removal's curve sits below raw's and\n"
+              "cleaned's; DS-clusters shrink visibly after cleaning because the\n"
+              "pairs collapsed into single statements.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark): component throughput of the
+// pipeline stages, plus the DESIGN.md ablation comparing hash-first
+// template grouping against canonical-string comparison.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "catalog/schema.h"
+#include "core/pipeline.h"
+#include "log/generator.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/skeleton.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace sqlog;
+
+const char* kStatements[] = {
+    "SELECT rowc_g, colc_g FROM photoPrimary WHERE objID = 587722981742123456",
+    "SELECT p.objID, p.ra, p.dec, p.r FROM fGetObjFromRect(180.0, 0.0, 180.5, 0.5) n, "
+    "photoPrimary p WHERE n.objID = p.objID and r between 14 and 17",
+    "SELECT g.objID, g.ra, g.dec, g.u, g.g, g.r, g.i, g.z, s.specObjID FROM photoObjAll "
+    "as g JOIN fGetNearbyObjEq(180.0, 0.0, 1.0) as gn ON g.objID = gn.objID LEFT OUTER "
+    "JOIN specObj s ON s.bestObjID = gn.objID",
+    "SELECT count(*) FROM photoPrimary WHERE htmid >= 1099511627776 and htmid <= "
+    "1099511644160",
+};
+
+void BM_Lex(benchmark::State& state) {
+  const char* sql = kStatements[state.range(0)];
+  for (auto _ : state) {
+    auto tokens = sql::Lex(sql);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_Lex)->DenseRange(0, 3);
+
+void BM_Parse(benchmark::State& state) {
+  const char* sql = kStatements[state.range(0)];
+  for (auto _ : state) {
+    auto stmt = sql::ParseSelect(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_Parse)->DenseRange(0, 3);
+
+void BM_Analyze(benchmark::State& state) {
+  const char* sql = kStatements[state.range(0)];
+  for (auto _ : state) {
+    auto facts = sql::ParseAndAnalyze(sql);
+    benchmark::DoNotOptimize(facts);
+  }
+}
+BENCHMARK(BM_Analyze)->DenseRange(0, 3);
+
+void BM_SkeletonPrint(benchmark::State& state) {
+  auto stmt = sql::ParseSelect(kStatements[state.range(0)]);
+  sql::PrintOptions opts;
+  opts.placeholders = true;
+  for (auto _ : state) {
+    std::string printed = Print(*stmt.value(), opts);
+    benchmark::DoNotOptimize(printed);
+  }
+}
+BENCHMARK(BM_SkeletonPrint)->DenseRange(0, 3);
+
+/// Ablation (DESIGN.md decision 1): template identity via fingerprint
+/// hash with bucket verification...
+void BM_TemplateGroupingHashFirst(benchmark::State& state) {
+  std::vector<sql::QueryFacts> facts;
+  for (int i = 0; i < 256; ++i) {
+    auto f = sql::ParseAndAnalyze(
+        StrFormat("SELECT rowc_g, colc_g FROM photoPrimary WHERE objID = %d", i));
+    facts.push_back(std::move(f.value()));
+  }
+  for (auto _ : state) {
+    core::TemplateStore store;
+    for (size_t i = 0; i < facts.size(); ++i) {
+      benchmark::DoNotOptimize(store.Intern(facts[i].tmpl, i));
+    }
+  }
+}
+BENCHMARK(BM_TemplateGroupingHashFirst);
+
+/// ...versus grouping by the full canonical skeleton string.
+void BM_TemplateGroupingStringKey(benchmark::State& state) {
+  std::vector<sql::QueryFacts> facts;
+  for (int i = 0; i < 256; ++i) {
+    auto f = sql::ParseAndAnalyze(
+        StrFormat("SELECT rowc_g, colc_g FROM photoPrimary WHERE objID = %d", i));
+    facts.push_back(std::move(f.value()));
+  }
+  for (auto _ : state) {
+    std::map<std::string, uint64_t> store;
+    uint64_t next_id = 0;
+    for (const auto& f : facts) {
+      std::string key = f.tmpl.ssc + "|" + f.tmpl.sfc + "|" + f.tmpl.swc + "|" + f.tmpl.tail;
+      auto [it, inserted] = store.try_emplace(key, next_id);
+      if (inserted) ++next_id;
+      benchmark::DoNotOptimize(it->second);
+    }
+  }
+}
+BENCHMARK(BM_TemplateGroupingStringKey);
+
+void BM_GenerateLog(benchmark::State& state) {
+  for (auto _ : state) {
+    log::GeneratorConfig config;
+    config.target_statements = static_cast<size_t>(state.range(0));
+    log::QueryLog log = log::GenerateLog(config);
+    benchmark::DoNotOptimize(log);
+    state.SetItemsProcessed(state.items_processed() + static_cast<int64_t>(log.size()));
+  }
+}
+BENCHMARK(BM_GenerateLog)->Arg(5000)->Arg(20000);
+
+void BM_FullPipeline(benchmark::State& state) {
+  log::GeneratorConfig config;
+  config.target_statements = static_cast<size_t>(state.range(0));
+  log::QueryLog raw = log::GenerateLog(config);
+  catalog::Schema schema = catalog::MakeSkyServerSchema();
+  for (auto _ : state) {
+    core::Pipeline pipeline;
+    pipeline.SetSchema(&schema);
+    core::PipelineResult result = pipeline.Run(raw);
+    benchmark::DoNotOptimize(result);
+    state.SetItemsProcessed(state.items_processed() + static_cast<int64_t>(raw.size()));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

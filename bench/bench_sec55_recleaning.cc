@@ -1,0 +1,35 @@
+// Sec. 5.5: after one cleaning pass, how many solvable antipatterns
+// remain, and does a second pass converge? Paper: 0.09% after the first
+// cleaning — negligible, so they stop after one pass.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace sqlog;
+  bench::Banner("Sec. 5.5 — residual solvable antipatterns after re-cleaning",
+                "paper Sec. 5.5: 0.09% after the first pass");
+
+  log::QueryLog raw = bench::GenerateStudyLog();
+
+  log::QueryLog current = raw;
+  std::printf("%-6s %-14s %-22s %-10s\n", "pass", "log size", "solvable AP queries",
+              "share");
+  for (int pass = 1; pass <= 4; ++pass) {
+    core::PipelineResult result = bench::RunStudyPipeline(current);
+    uint64_t solvable = result.stats.queries_dw + result.stats.queries_ds +
+                        result.stats.queries_df + result.stats.queries_snc;
+    double share = current.empty() ? 0.0
+                                   : 100.0 * static_cast<double>(solvable) /
+                                         static_cast<double>(current.size());
+    std::printf("%-6d %-14s %-22s %9.3f%%\n", pass,
+                bench::Thousands(current.size()).c_str(),
+                bench::Thousands(solvable).c_str(), share);
+    if (solvable == 0) break;
+    current = result.clean_log;
+  }
+
+  std::printf("\nShape check vs paper Sec. 5.5: the share collapses after the first\n"
+              "pass (merged DS pairs can line up into fresh DW runs, which the\n"
+              "second pass absorbs) and reaches ~0 quickly.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table 4: experiments with the threshold parameter for deleting
+// duplicates. Paper shape: ~96% of the log survives at 1s; larger
+// thresholds remove only fractionally more; "non restricted" removes
+// ~0.5% beyond the 1s setting.
+
+#include "bench_common.h"
+#include "core/dedup.h"
+
+int main() {
+  using namespace sqlog;
+  bench::Banner("Table 4 — duplicate time threshold sweep",
+                "paper Table 4 (sample of 5.7M queries; 95.95% at 1s, 95.41% unrestricted)");
+
+  log::QueryLog raw = bench::GenerateStudyLog();
+  std::printf("%-16s %14s %10s\n", "threshold", "log size", "% of orig");
+  std::printf("%-16s %14s %10.2f\n", "Original Log",
+              bench::Thousands(raw.size()).c_str(), 100.0);
+
+  auto run = [&](const char* label, core::DedupOptions options) {
+    core::DedupStats stats;
+    log::QueryLog out = core::RemoveDuplicates(raw, options, &stats);
+    std::printf("%-16s %14s %10.2f\n", label, bench::Thousands(out.size()).c_str(),
+                100.0 * static_cast<double>(out.size()) / static_cast<double>(raw.size()));
+  };
+
+  for (int64_t seconds : {1, 2, 5, 10}) {
+    core::DedupOptions options;
+    options.threshold_ms = seconds * 1000;
+    run(StrFormat("%lld sec", static_cast<long long>(seconds)).c_str(), options);
+  }
+  core::DedupOptions unrestricted;
+  unrestricted.unrestricted = true;
+  run("Non restricted", unrestricted);
+
+  std::printf("\nExpected shape: most duplicates are caught at 1s; widening the\n"
+              "threshold removes only fractionally more. The unrestricted setting\n"
+              "additionally eats genuine re-issues of low-variety statements\n"
+              "(web-form queries repeated across sessions), which is exactly why\n"
+              "the paper warns against threshold = infinity.\n");
+  return 0;
+}

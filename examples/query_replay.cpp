@@ -1,0 +1,75 @@
+// Replays SQL against the in-memory engine: demonstrates that the
+// solver's rewritten statements return the same data as the original
+// Stifle queries, and lets you poke at the SkyServer sample interactively
+// by passing statements on the command line.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/solver.h"
+#include "core/template_store.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "sql/skeleton.h"
+#include "util/string_util.h"
+
+namespace {
+
+void RunAndPrint(const sqlog::engine::Executor& executor, const std::string& sql) {
+  std::printf("sql> %s\n", sql.c_str());
+  auto result = executor.ExecuteSql(sql);
+  if (!result.ok()) {
+    std::printf("error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s(%zu rows)\n\n", result->ToText(10).c_str(), result->row_count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sqlog::engine::Database db;
+  sqlog::Status populated = sqlog::engine::PopulateSkyServerSample(db, 2000);
+  if (!populated.ok()) {
+    std::fprintf(stderr, "populate failed: %s\n", populated.ToString().c_str());
+    return 1;
+  }
+  sqlog::engine::Executor executor(&db);
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) RunAndPrint(executor, argv[i]);
+    return 0;
+  }
+
+  // A DW-Stifle: three point lookups an application fired one by one.
+  std::vector<int64_t> objids = sqlog::engine::PhotoObjIds(db);
+  std::vector<std::string> stifle;
+  for (int i = 0; i < 3; ++i) {
+    stifle.push_back(sqlog::StrFormat(
+        "SELECT rowc_g, colc_g FROM photoPrimary WHERE objID = %lld",
+        static_cast<long long>(objids[static_cast<size_t>(i) * 7])));
+  }
+  std::printf("--- original Stifle queries ---\n");
+  for (const auto& sql : stifle) RunAndPrint(executor, sql);
+
+  // The solver's rewrite: one IN-list query.
+  std::vector<sqlog::core::ParsedQuery> parsed(stifle.size());
+  std::vector<const sqlog::core::ParsedQuery*> members;
+  for (size_t i = 0; i < stifle.size(); ++i) {
+    auto facts = sqlog::sql::ParseAndAnalyze(stifle[i]);
+    if (!facts.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n", facts.status().ToString().c_str());
+      return 1;
+    }
+    parsed[i].facts = std::move(facts.value());
+    members.push_back(&parsed[i]);
+  }
+  auto rewritten = sqlog::core::RewriteDwStifle(members);
+  if (!rewritten.ok()) {
+    std::fprintf(stderr, "rewrite failed: %s\n", rewritten.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("--- solver rewrite ---\n");
+  RunAndPrint(executor, rewritten.value());
+  return 0;
+}

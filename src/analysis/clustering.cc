@@ -1,0 +1,102 @@
+#include "analysis/clustering.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+
+#include "util/timer.h"
+
+namespace sqlog::analysis {
+
+namespace {
+
+/// Union-find with path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra != rb) parent_[ra] = rb;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+double ClusteringResult::average_size() const {
+  if (clusters.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& cluster : clusters) total += cluster.size();
+  return static_cast<double>(total) / static_cast<double>(clusters.size());
+}
+
+ClusteringResult ClusterDataSpaces(const std::vector<DataSpace>& spaces,
+                                   const ClusteringOptions& options) {
+  sqlog::Timer timer;
+  ClusteringResult result;
+  const size_t n = spaces.size();
+  if (n == 0) return result;
+
+  // Collapse identical data spaces (distance 0 joins them at any
+  // threshold > 0).
+  std::unordered_map<std::string, size_t> representative;  // signature → group id
+  std::vector<size_t> group_of(n);
+  std::vector<size_t> group_example;  // group id → input index
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = spaces[i].SignatureKey();
+    auto [it, inserted] = representative.try_emplace(key, group_example.size());
+    if (inserted) group_example.push_back(i);
+    group_of[i] = it->second;
+  }
+
+  const size_t g = group_example.size();
+  UnionFind uf(g);
+
+  // Bucket distinct groups by table key: cross-bucket distance is 1.
+  std::unordered_map<std::string, std::vector<size_t>> buckets;
+  for (size_t gi = 0; gi < g; ++gi) {
+    buckets[spaces[group_example[gi]].table_key].push_back(gi);
+  }
+  for (const auto& [key, bucket] : buckets) {
+    (void)key;
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      for (size_t j = i + 1; j < bucket.size(); ++j) {
+        if (uf.Find(bucket[i]) == uf.Find(bucket[j])) continue;
+        double distance =
+            Distance(spaces[group_example[bucket[i]]], spaces[group_example[bucket[j]]]);
+        if (distance < options.threshold) uf.Union(bucket[i], bucket[j]);
+      }
+    }
+  }
+
+  // Materialize clusters over the original indices.
+  std::unordered_map<size_t, size_t> root_to_cluster;
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = uf.Find(group_of[i]);
+    auto [it, inserted] = root_to_cluster.try_emplace(root, result.clusters.size());
+    if (inserted) result.clusters.emplace_back();
+    result.clusters[it->second].members.push_back(i);
+  }
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const Cluster& a, const Cluster& b) { return a.size() > b.size(); });
+
+  result.runtime_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sqlog::analysis

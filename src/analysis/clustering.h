@@ -1,0 +1,42 @@
+#ifndef SQLOG_ANALYSIS_CLUSTERING_H_
+#define SQLOG_ANALYSIS_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataspace.h"
+
+namespace sqlog::analysis {
+
+/// Options for the query-clustering reproduction of Sec. 6.9.
+struct ClusteringOptions {
+  /// Two queries with Distance(a, b) < threshold join one cluster
+  /// (single linkage). The paper sweeps 0.1 … 0.9.
+  double threshold = 0.9;
+};
+
+/// One cluster: member indices into the input data-space vector.
+struct Cluster {
+  std::vector<size_t> members;
+  size_t size() const { return members.size(); }
+};
+
+/// Clustering outcome with the paper's Fig. 3 measures.
+struct ClusteringResult {
+  std::vector<Cluster> clusters;  // sorted by size, descending
+  double runtime_seconds = 0.0;
+
+  size_t cluster_count() const { return clusters.size(); }
+  double average_size() const;
+};
+
+/// Single-linkage threshold clustering over data spaces. Identical
+/// spaces are collapsed first (distance 0), then distinct spaces are
+/// compared pairwise within equal table-key buckets — an exact
+/// optimization, since different table keys always have distance 1.
+ClusteringResult ClusterDataSpaces(const std::vector<DataSpace>& spaces,
+                                   const ClusteringOptions& options);
+
+}  // namespace sqlog::analysis
+
+#endif  // SQLOG_ANALYSIS_CLUSTERING_H_

@@ -1,0 +1,54 @@
+#ifndef SQLOG_ANALYSIS_DATASPACE_H_
+#define SQLOG_ANALYSIS_DATASPACE_H_
+
+#include <map>
+#include <string>
+
+#include "sql/skeleton.h"
+
+namespace sqlog::analysis {
+
+/// Closed numeric interval with ±infinity sentinels.
+struct Interval {
+  double lo;
+  double hi;
+
+  static Interval All();
+  static Interval Point(double v) { return Interval{v, v}; }
+  bool is_point() const { return lo == hi; }
+};
+
+/// The region of the database a query touches: which tables, and per
+/// filter column either a numeric interval or an exact string value.
+/// This is the distance substrate of Nguyen et al. [1], which Sec. 6.9
+/// reproduces: overlap of two queries' accessed data spaces in [0, 1].
+struct DataSpace {
+  /// Sorted '+'-joined lower-case table & table-function names; two
+  /// queries with different table keys never overlap.
+  std::string table_key;
+  std::map<std::string, Interval> numeric_ranges;
+  std::map<std::string, std::string> string_points;
+
+  /// Exact-identity key (used to collapse identical spaces before the
+  /// O(n²) clustering pass).
+  std::string SignatureKey() const;
+};
+
+/// Builds the data space of an analyzed query from its predicates.
+DataSpace ExtractDataSpace(const sql::QueryFacts& facts);
+
+/// Overlap of two data spaces in [0, 1]: 0 for different table sets,
+/// otherwise the product of per-column agreement factors (interval
+/// Jaccard for numeric columns, equality for string points; a column
+/// constrained on one side only contributes 0 — disjoint slices). The
+/// paper observes this measure is usually exactly 0 or 1.
+double Overlap(const DataSpace& a, const DataSpace& b);
+
+/// Distance = 1 − Overlap.
+inline double Distance(const DataSpace& a, const DataSpace& b) {
+  return 1.0 - Overlap(a, b);
+}
+
+}  // namespace sqlog::analysis
+
+#endif  // SQLOG_ANALYSIS_DATASPACE_H_

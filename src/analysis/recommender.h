@@ -1,0 +1,67 @@
+#ifndef SQLOG_ANALYSIS_RECOMMENDER_H_
+#define SQLOG_ANALYSIS_RECOMMENDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/template_store.h"
+
+namespace sqlog::analysis {
+
+/// First-order Markov next-template recommender — the substrate for the
+/// paper's future-work experiment (Sec. 7): train a query recommender on
+/// the raw versus the cleaned log and compare (a) how often it suggests
+/// antipattern queries and (b) its usefulness for human users.
+///
+/// Templates are identified by their skeleton fingerprints, which are
+/// stable across TemplateStore instances — so a model trained on one
+/// log's ParsedLog can be evaluated against another's.
+class Recommender {
+ public:
+  struct Options {
+    /// Transitions spanning a longer gap are not counted (session
+    /// boundaries, like the miner's segments).
+    int64_t max_gap_ms = 10 * 60 * 1000;
+  };
+
+  Recommender();
+  explicit Recommender(Options options);
+
+  /// Counts template transitions over per-user gap-bounded segments.
+  /// May be called repeatedly to accumulate.
+  void Train(const core::ParsedLog& parsed);
+
+  /// Top-k next-template fingerprints after `fingerprint`, most frequent
+  /// first. Empty when the template was never seen as a source.
+  std::vector<uint64_t> Recommend(uint64_t fingerprint, size_t k) const;
+
+  /// Share of transitions in `eval` whose true successor is within the
+  /// top-k recommendations (hit@k). Returns 0 when `eval` has no
+  /// transitions.
+  double HitRate(const core::ParsedLog& eval, size_t k) const;
+
+  /// Share of top-1 recommendations over `eval`'s transition sources
+  /// that land inside `flagged` (e.g. antipattern template
+  /// fingerprints). The paper's hypothesis: training on the cleaned log
+  /// drives this toward zero.
+  double FlaggedRecommendationRate(const core::ParsedLog& eval,
+                                   const std::unordered_set<uint64_t>& flagged) const;
+
+  size_t transition_count() const { return transition_count_; }
+  size_t source_count() const { return transitions_.size(); }
+
+ private:
+  template <typename Fn>
+  void ForEachTransition(const core::ParsedLog& parsed, Fn&& fn) const;
+
+  Options options_;
+  // source fingerprint → (successor fingerprint → count)
+  std::unordered_map<uint64_t, std::unordered_map<uint64_t, uint64_t>> transitions_;
+  size_t transition_count_ = 0;
+};
+
+}  // namespace sqlog::analysis
+
+#endif  // SQLOG_ANALYSIS_RECOMMENDER_H_

@@ -1,0 +1,93 @@
+#include "analysis/sessions.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sqlog::analysis {
+
+std::vector<Session> SegmentSessions(const core::ParsedLog& parsed,
+                                     const SessionOptions& options) {
+  std::vector<Session> sessions;
+  for (uint32_t user_id = 0; user_id < parsed.user_streams.size(); ++user_id) {
+    const auto& stream = parsed.user_streams[user_id];
+    Session current;
+    current.user_id = user_id;
+    int64_t prev_time = 0;
+    for (size_t idx : stream) {
+      const core::ParsedQuery& query = parsed.queries[idx];
+      if (!current.query_indices.empty() &&
+          query.timestamp_ms - prev_time > options.max_gap_ms) {
+        sessions.push_back(std::move(current));
+        current = Session();
+        current.user_id = user_id;
+      }
+      if (current.query_indices.empty()) current.start_ms = query.timestamp_ms;
+      current.query_indices.push_back(idx);
+      current.end_ms = query.timestamp_ms;
+      prev_time = query.timestamp_ms;
+    }
+    if (!current.query_indices.empty()) sessions.push_back(std::move(current));
+  }
+  return sessions;
+}
+
+bool IsRobotSession(const Session& session, const core::ParsedLog& parsed,
+                    const RobotOptions& options) {
+  if (session.size() < options.min_length) return false;
+
+  // Template dominance.
+  std::unordered_map<uint64_t, size_t> counts;
+  size_t best = 0;
+  for (size_t idx : session.query_indices) {
+    size_t count = ++counts[parsed.queries[idx].template_id];
+    if (count > best) best = count;
+  }
+  double dominance = static_cast<double>(best) / static_cast<double>(session.size());
+  if (dominance < options.min_dominance) return false;
+
+  // Machine pacing.
+  double mean_gap =
+      static_cast<double>(session.duration_ms()) / static_cast<double>(session.size() - 1);
+  return mean_gap <= static_cast<double>(options.max_mean_gap_ms);
+}
+
+TrafficStats ComputeTrafficStats(const std::vector<Session>& sessions,
+                                 const core::ParsedLog& parsed,
+                                 const RobotOptions& robot_options) {
+  TrafficStats stats;
+  stats.session_count = sessions.size();
+  if (sessions.empty()) return stats;
+
+  std::unordered_set<uint32_t> users;
+  double total_queries = 0.0;
+  double total_duration_ms = 0.0;
+  double total_gap_ms = 0.0;
+  size_t gap_count = 0;
+  size_t robot_queries = 0;
+
+  for (const auto& session : sessions) {
+    users.insert(session.user_id);
+    total_queries += static_cast<double>(session.size());
+    total_duration_ms += static_cast<double>(session.duration_ms());
+    if (session.size() > 1) {
+      total_gap_ms += static_cast<double>(session.duration_ms());
+      gap_count += session.size() - 1;
+    }
+    if (IsRobotSession(session, parsed, robot_options)) {
+      ++stats.robot_sessions;
+      robot_queries += session.size();
+    }
+  }
+
+  stats.user_count = users.size();
+  stats.mean_session_length = total_queries / static_cast<double>(sessions.size());
+  stats.mean_session_duration_s =
+      total_duration_ms / static_cast<double>(sessions.size()) / 1000.0;
+  stats.mean_gap_s =
+      gap_count == 0 ? 0.0 : total_gap_ms / static_cast<double>(gap_count) / 1000.0;
+  stats.robot_query_share =
+      total_queries == 0.0 ? 0.0 : static_cast<double>(robot_queries) / total_queries;
+  return stats;
+}
+
+}  // namespace sqlog::analysis

@@ -1,0 +1,71 @@
+#ifndef SQLOG_ANALYSIS_SESSIONS_H_
+#define SQLOG_ANALYSIS_SESSIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/template_store.h"
+
+namespace sqlog::analysis {
+
+/// One user session: a gap-bounded run of queries by one user — the
+/// unit of the SkyServer traffic reports ([9]-[11] in the paper) and of
+/// the human-vs-robot distinction in Sec. 6.5.
+struct Session {
+  uint32_t user_id = 0;
+  std::vector<size_t> query_indices;  // into ParsedLog.queries, time order
+  int64_t start_ms = 0;
+  int64_t end_ms = 0;
+
+  size_t size() const { return query_indices.size(); }
+  int64_t duration_ms() const { return end_ms - start_ms; }
+};
+
+/// Session segmentation options.
+struct SessionOptions {
+  /// A gap longer than this starts a new session (the traffic reports
+  /// use 30 minutes; our pipeline default elsewhere is 10).
+  int64_t max_gap_ms = 30 * 60 * 1000;
+};
+
+/// Splits per-user streams into sessions.
+std::vector<Session> SegmentSessions(const core::ParsedLog& parsed,
+                                     const SessionOptions& options = {});
+
+/// Aggregate traffic statistics over sessions.
+struct TrafficStats {
+  size_t session_count = 0;
+  size_t user_count = 0;
+  double mean_session_length = 0.0;   // queries per session
+  double mean_session_duration_s = 0.0;
+  double mean_gap_s = 0.0;            // within-session inter-query gap
+  /// Sessions flagged as robotic: long, metronomic runs of one template.
+  size_t robot_sessions = 0;
+  /// Share of all queries inside robot sessions.
+  double robot_query_share = 0.0;
+};
+
+/// Robot heuristics (Sec. 6.5's "machine download" discussion): a
+/// session is robotic when it is long and dominated by one template
+/// with machine-regular pacing.
+struct RobotOptions {
+  size_t min_length = 30;
+  /// Minimum share of the session's queries on its most common template.
+  double min_dominance = 0.8;
+  /// Maximum mean inter-query gap for a machine (humans read results).
+  int64_t max_mean_gap_ms = 10 * 1000;
+};
+
+/// True when `session` matches the robot heuristics.
+bool IsRobotSession(const Session& session, const core::ParsedLog& parsed,
+                    const RobotOptions& options = {});
+
+/// Computes traffic statistics over segmented sessions.
+TrafficStats ComputeTrafficStats(const std::vector<Session>& sessions,
+                                 const core::ParsedLog& parsed,
+                                 const RobotOptions& robot_options = {});
+
+}  // namespace sqlog::analysis
+
+#endif  // SQLOG_ANALYSIS_SESSIONS_H_

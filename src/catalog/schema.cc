@@ -1,0 +1,182 @@
+#include "catalog/schema.h"
+
+#include "util/string_util.h"
+
+namespace sqlog::catalog {
+
+TableDef& TableDef::AddColumn(const std::string& name, ColumnType type, bool is_key,
+                              bool nullable) {
+  ColumnDef col;
+  col.name = ToLower(name);
+  col.type = type;
+  col.is_key = is_key;
+  col.nullable = nullable;
+  index_[col.name] = columns_.size();
+  columns_.push_back(std::move(col));
+  return *this;
+}
+
+const ColumnDef* TableDef::FindColumn(const std::string& name) const {
+  auto it = index_.find(ToLower(name));
+  if (it == index_.end()) return nullptr;
+  return &columns_[it->second];
+}
+
+void Schema::AddTable(TableDef table) {
+  std::string key = ToLower(table.name());
+  tables_.insert_or_assign(std::move(key), std::move(table));
+}
+
+const TableDef* Schema::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return nullptr;
+  return &it->second;
+}
+
+bool Schema::IsKeyColumn(const std::string& column,
+                         const std::vector<std::string>& tables) const {
+  std::string col = ToLower(column);
+  if (tables.empty()) {
+    for (const auto& [name, table] : tables_) {
+      (void)name;
+      const ColumnDef* def = table.FindColumn(col);
+      if (def != nullptr && def->is_key) return true;
+    }
+    return false;
+  }
+  for (const auto& table_name : tables) {
+    const TableDef* table = FindTable(table_name);
+    if (table == nullptr) continue;
+    const ColumnDef* def = table->FindColumn(col);
+    if (def != nullptr && def->is_key) return true;
+  }
+  return false;
+}
+
+Schema MakeSkyServerSchema() {
+  Schema schema;
+
+  // Photometric catalogs. objid is the object key the paper's Stifle
+  // antipatterns filter on; rowc_X / colc_X are the per-band centroid
+  // columns of Table 6.
+  for (const char* name : {"photoprimary", "photoobjall", "photoobj"}) {
+    TableDef table(name);
+    table.AddColumn("objid", ColumnType::kInt64, /*is_key=*/true)
+        .AddColumn("ra", ColumnType::kDouble)
+        .AddColumn("dec", ColumnType::kDouble)
+        .AddColumn("htmid", ColumnType::kInt64)
+        .AddColumn("type", ColumnType::kInt64)
+        .AddColumn("rowc_u", ColumnType::kDouble)
+        .AddColumn("colc_u", ColumnType::kDouble)
+        .AddColumn("rowc_g", ColumnType::kDouble)
+        .AddColumn("colc_g", ColumnType::kDouble)
+        .AddColumn("rowc_r", ColumnType::kDouble)
+        .AddColumn("colc_r", ColumnType::kDouble)
+        .AddColumn("rowc_i", ColumnType::kDouble)
+        .AddColumn("colc_i", ColumnType::kDouble)
+        .AddColumn("rowc_z", ColumnType::kDouble)
+        .AddColumn("colc_z", ColumnType::kDouble)
+        .AddColumn("u", ColumnType::kDouble)
+        .AddColumn("g", ColumnType::kDouble)
+        .AddColumn("r", ColumnType::kDouble)
+        .AddColumn("i", ColumnType::kDouble)
+        .AddColumn("z", ColumnType::kDouble)
+        .AddColumn("run", ColumnType::kInt64)
+        .AddColumn("rerun", ColumnType::kInt64)
+        .AddColumn("camcol", ColumnType::kInt64)
+        .AddColumn("field", ColumnType::kInt64)
+        .AddColumn("status", ColumnType::kInt64)
+        .AddColumn("flags", ColumnType::kInt64);
+    schema.AddTable(std::move(table));
+  }
+
+  // Spectroscopic catalogs.
+  for (const char* name : {"specobj", "specobjall"}) {
+    TableDef table(name);
+    table.AddColumn("specobjid", ColumnType::kInt64, /*is_key=*/true)
+        .AddColumn("bestobjid", ColumnType::kInt64)
+        .AddColumn("plate", ColumnType::kInt64)
+        .AddColumn("fiberid", ColumnType::kInt64)
+        .AddColumn("mjd", ColumnType::kInt64)
+        .AddColumn("ra", ColumnType::kDouble)
+        .AddColumn("dec", ColumnType::kDouble)
+        .AddColumn("z", ColumnType::kDouble)
+        .AddColumn("zerr", ColumnType::kDouble)
+        .AddColumn("specclass", ColumnType::kInt64);
+    schema.AddTable(std::move(table));
+  }
+
+  // Metadata table queried by the SkyServer web UI (CTH candidate 1).
+  {
+    TableDef table("dbobjects");
+    table.AddColumn("name", ColumnType::kString, /*is_key=*/true)
+        .AddColumn("type", ColumnType::kString)
+        .AddColumn("description", ColumnType::kString, /*is_key=*/false, /*nullable=*/true)
+        .AddColumn("text", ColumnType::kString, /*is_key=*/false, /*nullable=*/true)
+        .AddColumn("access", ColumnType::kString)
+        .AddColumn("rank", ColumnType::kInt64);
+    schema.AddTable(std::move(table));
+  }
+
+  // Galaxy view (subset of photoprimary used by the web form).
+  {
+    TableDef table("galaxy");
+    table.AddColumn("objid", ColumnType::kInt64, /*is_key=*/true)
+        .AddColumn("ra", ColumnType::kDouble)
+        .AddColumn("dec", ColumnType::kDouble)
+        .AddColumn("u", ColumnType::kDouble)
+        .AddColumn("g", ColumnType::kDouble)
+        .AddColumn("r", ColumnType::kDouble)
+        .AddColumn("i", ColumnType::kDouble)
+        .AddColumn("z", ColumnType::kDouble);
+    schema.AddTable(std::move(table));
+  }
+
+  // The paper's running example (Table 1).
+  {
+    TableDef table("employees");
+    table.AddColumn("id", ColumnType::kInt64, /*is_key=*/true)
+        .AddColumn("empid", ColumnType::kInt64, /*is_key=*/true)
+        .AddColumn("name", ColumnType::kString)
+        .AddColumn("surname", ColumnType::kString)
+        .AddColumn("birthday", ColumnType::kString)
+        .AddColumn("phone", ColumnType::kString, /*is_key=*/false, /*nullable=*/true)
+        .AddColumn("department", ColumnType::kString)
+        .AddColumn("address", ColumnType::kString, /*is_key=*/false, /*nullable=*/true);
+    schema.AddTable(std::move(table));
+  }
+  {
+    TableDef table("employee");
+    table.AddColumn("empid", ColumnType::kInt64, /*is_key=*/true)
+        .AddColumn("name", ColumnType::kString)
+        .AddColumn("address", ColumnType::kString, /*is_key=*/false, /*nullable=*/true)
+        .AddColumn("phone", ColumnType::kString, /*is_key=*/false, /*nullable=*/true);
+    schema.AddTable(std::move(table));
+  }
+  {
+    TableDef table("employeeinfo");
+    table.AddColumn("empid", ColumnType::kInt64, /*is_key=*/true)
+        .AddColumn("address", ColumnType::kString, /*is_key=*/false, /*nullable=*/true)
+        .AddColumn("phone", ColumnType::kString, /*is_key=*/false, /*nullable=*/true);
+    schema.AddTable(std::move(table));
+  }
+  {
+    TableDef table("orders");
+    table.AddColumn("orderid", ColumnType::kInt64, /*is_key=*/true)
+        .AddColumn("empid", ColumnType::kInt64)
+        .AddColumn("orders", ColumnType::kInt64)
+        .AddColumn("datetime", ColumnType::kString);
+    schema.AddTable(std::move(table));
+  }
+  {
+    TableDef table("bugs");
+    table.AddColumn("bugid", ColumnType::kInt64, /*is_key=*/true)
+        .AddColumn("assigned_to", ColumnType::kInt64, /*is_key=*/false, /*nullable=*/true)
+        .AddColumn("status", ColumnType::kString);
+    schema.AddTable(std::move(table));
+  }
+
+  return schema;
+}
+
+}  // namespace sqlog::catalog

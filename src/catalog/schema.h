@@ -1,0 +1,82 @@
+#ifndef SQLOG_CATALOG_SCHEMA_H_
+#define SQLOG_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sqlog::catalog {
+
+/// Column value domains, shared with the execution engine.
+enum class ColumnType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// One column of a table. `is_key` marks primary-key or unique-key
+/// attributes — Definition 11 (Stifle) requires the filter column of
+/// every query in the pattern to be a key attribute.
+struct ColumnDef {
+  std::string name;  // stored lower-case
+  ColumnType type = ColumnType::kString;
+  bool is_key = false;
+  bool nullable = false;
+};
+
+/// One table of the schema.
+class TableDef {
+ public:
+  TableDef() = default;
+  explicit TableDef(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Appends a column; name is lower-cased. Returns *this for chaining.
+  TableDef& AddColumn(const std::string& name, ColumnType type, bool is_key = false,
+                      bool nullable = false);
+
+  /// Case-insensitive column lookup; nullptr when absent.
+  const ColumnDef* FindColumn(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// Case-insensitive schema catalog. The Stifle detector asks it whether
+/// a filter column is a key attribute of any table mentioned in FROM.
+class Schema {
+ public:
+  /// Registers a table (name lower-cased). Re-registering replaces.
+  void AddTable(TableDef table);
+
+  /// Case-insensitive table lookup; nullptr when absent.
+  const TableDef* FindTable(const std::string& name) const;
+
+  /// True iff `column` is a key attribute of at least one of `tables`
+  /// (each looked up case-insensitively; unknown tables are skipped).
+  /// With an empty table list, searches the whole catalog — this covers
+  /// queries whose FROM could not be resolved.
+  bool IsKeyColumn(const std::string& column, const std::vector<std::string>& tables) const;
+
+  size_t table_count() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, TableDef> tables_;
+};
+
+/// Builds the bundled SkyServer-style schema used by the case study:
+/// photoprimary / photoobjall (objid key, per-band row/col centroids,
+/// ra/dec, htmid, magnitudes), specobj / specobjall (specobjid key),
+/// dbobjects (name key), plus the Employees/Orders examples from the
+/// paper's running example.
+Schema MakeSkyServerSchema();
+
+}  // namespace sqlog::catalog
+
+#endif  // SQLOG_CATALOG_SCHEMA_H_

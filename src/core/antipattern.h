@@ -1,0 +1,102 @@
+#ifndef SQLOG_CORE_ANTIPATTERN_H_
+#define SQLOG_CORE_ANTIPATTERN_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "core/rules.h"
+#include "core/template_store.h"
+
+namespace sqlog::core {
+
+/// Antipattern classes implemented per Sec. 4.2 (Defs. 11-16).
+enum class AntipatternType {
+  kDwStifle,      // Def. 12: same SELECT/FROM, different WHERE constants
+  kDsStifle,      // Def. 13: same FROM/WHERE, different SELECT
+  kDfStifle,      // Def. 14: different FROM, same WHERE
+  kCthCandidate,  // Def. 15: dependent follow-up chain (candidate only)
+  kSnc,           // Def. 16: searching nullable columns with = / <> NULL
+  kCustom,        // a registered CustomRule hit (Sec. 5.4 extension point)
+};
+
+/// Returns a stable display name ("DW-Stifle", ...).
+const char* AntipatternTypeName(AntipatternType type);
+
+/// True for types with an automatic solving rule (CTH has none).
+bool IsSolvable(AntipatternType type);
+
+/// One concrete occurrence: the member queries in log order.
+struct AntipatternInstance {
+  AntipatternType type = AntipatternType::kDwStifle;
+  std::vector<size_t> query_indices;  // indices into ParsedLog.queries
+  int custom_rule = -1;               // index into DetectorOptions::custom_rules
+};
+
+/// Aggregation of instances sharing a template signature — the unit the
+/// paper's "count of distinct DW-Stifle" statistics and Table 6 use.
+struct DistinctAntipattern {
+  AntipatternType type = AntipatternType::kDwStifle;
+  std::vector<uint64_t> template_ids;  // distinct templates, first-seen order
+  uint64_t instance_count = 0;
+  uint64_t query_count = 0;
+  std::unordered_set<uint32_t> users;
+  size_t sample_query = 0;  // a ParsedQuery index from some instance
+  int custom_rule = -1;     // for kCustom aggregations
+
+  size_t user_popularity() const { return users.size(); }
+};
+
+/// Detector tuning.
+struct DetectorOptions {
+  /// Enforce Def. 11 axiom 3 (the filter column must be a key attribute,
+  /// looked up in the schema catalog). Disabling it measures the
+  /// false-positive cost the paper discusses.
+  bool require_key_attribute = true;
+  /// Queries of one instance must follow each other within this gap.
+  int64_t max_gap_ms = 10 * 60 * 1000;
+  /// Distinct CTH candidates below this instance count are dropped
+  /// (one-off organic coincidences).
+  uint64_t cth_min_support = 3;
+  /// Additional single-query rules evaluated on every parsed query
+  /// (Sec. 5.4: the framework accommodates new antipatterns).
+  std::vector<CustomRule> custom_rules;
+};
+
+/// Full detector output.
+struct AntipatternReport {
+  std::vector<AntipatternInstance> instances;
+  std::vector<DistinctAntipattern> distinct;
+
+  /// query index → index+1 of the instance containing it (0 = none).
+  /// A query belongs to at most one instance (first-wins, Sec. 5.5).
+  std::vector<uint32_t> instance_of_query;
+
+  /// Convenience counters.
+  uint64_t CountInstances(AntipatternType type) const;
+  uint64_t CountQueries(AntipatternType type) const;
+  uint64_t CountDistinct(AntipatternType type) const;
+};
+
+/// Runs all detectors over per-user gap-bounded segments. `schema` may
+/// be null — the key-attribute axiom is then skipped (as if
+/// require_key_attribute were false).
+AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStore& store,
+                                     const catalog::Schema* schema,
+                                     const DetectorOptions& options);
+
+/// True when an instance has a solving rule: built-in types consult
+/// IsSolvable; kCustom consults its rule's rewrite hook.
+bool InstanceSolvable(const AntipatternInstance& instance,
+                      const std::vector<CustomRule>& rules);
+
+/// True when `query` can be a Stifle member (Def. 11 per-query axioms):
+/// exactly one predicate, equality against a constant, conjunctive
+/// WHERE, and (when enforced) a key filter column.
+bool StifleEligible(const ParsedQuery& query, const catalog::Schema* schema,
+                    bool require_key_attribute);
+
+}  // namespace sqlog::core
+
+#endif  // SQLOG_CORE_ANTIPATTERN_H_

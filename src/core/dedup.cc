@@ -1,0 +1,59 @@
+#include "core/dedup.h"
+
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace sqlog::core {
+
+log::QueryLog RemoveDuplicates(const log::QueryLog& input, const DedupOptions& options,
+                               DedupStats* stats) {
+  log::QueryLog sorted = input;
+  sorted.SortByTime();
+
+  // Key: (user, statement) → timestamp of the last kept-or-suppressed
+  // occurrence. Chaining on the last occurrence (not the last *kept*
+  // one) means a burst of reloads with sub-threshold gaps collapses
+  // entirely, which matches the web-form-reload interpretation.
+  struct LastSeen {
+    int64_t timestamp_ms;
+  };
+  std::unordered_map<uint64_t, LastSeen> last_seen;
+  last_seen.reserve(sorted.size() * 2);
+
+  log::QueryLog output;
+  size_t removed = 0;
+  for (const auto& record : sorted.records()) {
+    uint64_t key = Fnv1a64(record.user);
+    key = HashCombine(key, Fnv1a64(record.statement));
+    auto it = last_seen.find(key);
+    bool duplicate = false;
+    if (it != last_seen.end()) {
+      if (options.unrestricted) {
+        duplicate = true;
+      } else {
+        duplicate = record.timestamp_ms - it->second.timestamp_ms <= options.threshold_ms;
+      }
+    }
+    if (it == last_seen.end()) {
+      last_seen.emplace(key, LastSeen{record.timestamp_ms});
+    } else {
+      it->second.timestamp_ms = record.timestamp_ms;
+    }
+    if (duplicate) {
+      ++removed;
+      continue;
+    }
+    output.Append(record);
+  }
+  output.Renumber();
+
+  if (stats != nullptr) {
+    stats->input_count = input.size();
+    stats->removed_count = removed;
+    stats->output_count = output.size();
+  }
+  return output;
+}
+
+}  // namespace sqlog::core

@@ -1,0 +1,36 @@
+#ifndef SQLOG_CORE_DEDUP_H_
+#define SQLOG_CORE_DEDUP_H_
+
+#include <cstdint>
+
+#include "log/record.h"
+
+namespace sqlog::core {
+
+/// Options for the duplicate-removal step (paper Sec. 5.2).
+struct DedupOptions {
+  /// Two identical statements from the same user count as one when the
+  /// later one arrives within this window of the previous occurrence.
+  int64_t threshold_ms = 1000;
+  /// When true, the window is unlimited ("non restricted" row of
+  /// Table 4): every repeat of an identical statement is a duplicate.
+  bool unrestricted = false;
+};
+
+/// Outcome counters for the dedup step.
+struct DedupStats {
+  size_t input_count = 0;
+  size_t removed_count = 0;
+  size_t output_count = 0;
+};
+
+/// Removes duplicate statements: identical text, same user, within the
+/// time threshold of the previous occurrence (chained — a burst of
+/// reloads collapses to its first statement). The input is sorted by
+/// time internally; the output preserves time order and is renumbered.
+log::QueryLog RemoveDuplicates(const log::QueryLog& input, const DedupOptions& options,
+                               DedupStats* stats = nullptr);
+
+}  // namespace sqlog::core
+
+#endif  // SQLOG_CORE_DEDUP_H_

@@ -1,0 +1,126 @@
+#include "core/pattern_miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace sqlog::core {
+
+namespace {
+
+uint64_t KeyOf(const std::vector<uint64_t>& ids, size_t begin, size_t len) {
+  uint64_t h = 0x9ae16a3b2f90404fULL + len;
+  for (size_t i = 0; i < len; ++i) {
+    h = HashCombine(h, ids[begin + i] + 0x9e3779b97f4a7c15ULL);
+  }
+  return h;
+}
+
+/// True when the window [begin, begin+len) is a repetition of a shorter
+/// prefix period (e.g. A A, or A B A B). Such windows are subsumed by
+/// the shorter pattern and excluded from the report.
+bool IsSelfRepetition(const std::vector<uint64_t>& ids, size_t begin, size_t len) {
+  for (size_t period = 1; period <= len / 2; ++period) {
+    if (len % period != 0) continue;
+    bool repeats = true;
+    for (size_t i = period; i < len && repeats; ++i) {
+      repeats = ids[begin + i] == ids[begin + i - period];
+    }
+    if (repeats) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Pattern> MinePatterns(const ParsedLog& parsed, const MinerOptions& options) {
+  // Accumulator per distinct sequence.
+  struct Acc {
+    std::vector<uint64_t> template_ids;
+    uint64_t frequency = 0;
+    std::unordered_set<uint32_t> users;
+    size_t sample_query = 0;
+    size_t last_end = 0;       // non-overlap bookkeeping within one segment
+    uint64_t last_segment = 0;  // segment the last_end belongs to
+    bool has_last = false;
+  };
+  std::unordered_map<uint64_t, Acc> accs;
+  uint64_t segment_serial = 0;
+
+  for (uint32_t user_id = 0; user_id < parsed.user_streams.size(); ++user_id) {
+    const auto& stream = parsed.user_streams[user_id];
+    if (stream.empty()) continue;
+
+    // Split the stream into gap-bounded segments, then mine windows.
+    std::vector<uint64_t> segment_ids;
+    std::vector<size_t> segment_queries;
+    auto flush = [&]() {
+      const size_t n = segment_ids.size();
+      for (size_t len = 1; len <= options.max_length && len <= n; ++len) {
+        for (size_t begin = 0; begin + len <= n; ++begin) {
+          if (len > 1 && IsSelfRepetition(segment_ids, begin, len)) continue;
+          uint64_t key = KeyOf(segment_ids, begin, len);
+          auto [it, inserted] = accs.try_emplace(key);
+          Acc& acc = it->second;
+          if (inserted) {
+            acc.template_ids.assign(segment_ids.begin() + begin,
+                                    segment_ids.begin() + begin + len);
+            acc.sample_query = segment_queries[begin];
+          }
+          // Non-overlapping instance counting within one segment.
+          if (len > 1 && acc.has_last && acc.last_segment == segment_serial &&
+              begin < acc.last_end) {
+            continue;
+          }
+          ++acc.frequency;
+          acc.users.insert(user_id);
+          acc.last_end = begin + len;
+          acc.last_segment = segment_serial;
+          acc.has_last = true;
+        }
+      }
+      segment_ids.clear();
+      segment_queries.clear();
+      ++segment_serial;
+    };
+
+    int64_t prev_time = 0;
+    for (size_t idx : stream) {
+      const ParsedQuery& query = parsed.queries[idx];
+      if (!segment_ids.empty() && query.timestamp_ms - prev_time > options.max_gap_ms) {
+        flush();
+      }
+      segment_ids.push_back(query.template_id);
+      segment_queries.push_back(idx);
+      prev_time = query.timestamp_ms;
+    }
+    flush();
+  }
+
+  std::vector<Pattern> patterns;
+  patterns.reserve(accs.size());
+  for (auto& [key, acc] : accs) {
+    (void)key;
+    if (acc.frequency < options.min_support) continue;
+    Pattern pattern;
+    pattern.template_ids = std::move(acc.template_ids);
+    pattern.frequency = acc.frequency;
+    pattern.users = std::move(acc.users);
+    pattern.sample_query = acc.sample_query;
+    patterns.push_back(std::move(pattern));
+  }
+  return patterns;
+}
+
+void SortByFrequency(std::vector<Pattern>& patterns) {
+  std::sort(patterns.begin(), patterns.end(), [](const Pattern& a, const Pattern& b) {
+    if (a.frequency != b.frequency) return a.frequency > b.frequency;
+    if (a.template_ids.size() != b.template_ids.size()) {
+      return a.template_ids.size() < b.template_ids.size();
+    }
+    return a.template_ids < b.template_ids;
+  });
+}
+
+}  // namespace sqlog::core

@@ -1,0 +1,106 @@
+#include "core/pipeline.h"
+
+#include <unordered_set>
+
+namespace sqlog::core {
+
+bool PipelineResult::PatternIsAntipattern(size_t pattern_index, bool solvable_only) const {
+  const Pattern& pattern = patterns[pattern_index];
+  // A mined pattern is flagged when its template sequence equals the
+  // signature of some distinct antipattern. Mere membership of one
+  // template in a longer signature does not flag the pattern: a CTH
+  // head also used organically stays a pattern.
+  for (const auto& d : antipatterns.distinct) {
+    if (solvable_only && !IsSolvable(d.type)) continue;
+    if (pattern.template_ids == d.template_ids) return true;
+  }
+  return false;
+}
+
+PipelineResult Pipeline::Run(const log::QueryLog& raw_log) const {
+  PipelineResult result;
+  result.stats.original_size = raw_log.size();
+
+  // Step 1 (Sec. 5.2): delete duplicates.
+  log::QueryLog working = raw_log;
+  if (!options_.use_user_metadata) {
+    for (auto& record : working.records()) {
+      record.user.clear();
+      record.session.clear();
+    }
+  }
+  DedupStats dedup_stats;
+  result.pre_clean = RemoveDuplicates(working, options_.dedup, &dedup_stats);
+  result.stats.after_dedup_size = dedup_stats.output_count;
+  result.stats.duplicates_removed = dedup_stats.removed_count;
+
+  // Step 2 (Sec. 5.3): parse statements, build templates.
+  result.parsed = ParseLog(result.pre_clean, result.templates);
+  result.stats.select_count = result.parsed.queries.size();
+  result.stats.non_select_count = result.parsed.non_select_count;
+  result.stats.syntax_error_count = result.parsed.syntax_error_count;
+
+  // Step 3 (Sec. 5.4): mine patterns.
+  if (options_.mine_patterns) {
+    result.patterns = MinePatterns(result.parsed, options_.miner);
+    SortByFrequency(result.patterns);
+    result.stats.pattern_count = result.patterns.size();
+    if (!result.patterns.empty()) {
+      result.stats.max_pattern_frequency = result.patterns.front().frequency;
+    }
+  }
+
+  // Step 4: detect antipatterns.
+  result.antipatterns =
+      DetectAntipatterns(result.parsed, result.templates, schema_, options_.detector);
+  result.stats.distinct_dw = result.antipatterns.CountDistinct(AntipatternType::kDwStifle);
+  result.stats.queries_dw = result.antipatterns.CountQueries(AntipatternType::kDwStifle);
+  result.stats.distinct_ds = result.antipatterns.CountDistinct(AntipatternType::kDsStifle);
+  result.stats.queries_ds = result.antipatterns.CountQueries(AntipatternType::kDsStifle);
+  result.stats.distinct_df = result.antipatterns.CountDistinct(AntipatternType::kDfStifle);
+  result.stats.queries_df = result.antipatterns.CountQueries(AntipatternType::kDfStifle);
+  result.stats.distinct_cth =
+      result.antipatterns.CountDistinct(AntipatternType::kCthCandidate);
+  result.stats.queries_cth =
+      result.antipatterns.CountQueries(AntipatternType::kCthCandidate);
+  result.stats.distinct_snc = result.antipatterns.CountDistinct(AntipatternType::kSnc);
+  result.stats.queries_snc = result.antipatterns.CountQueries(AntipatternType::kSnc);
+
+  // SWS detection (Sec. 6.5) over the mined patterns.
+  if (options_.mine_patterns) {
+    result.sws = DetectSws(result.patterns, result.parsed.queries.size(), options_.sws);
+  }
+
+  // Step 5 (Sec. 5.5): solve antipatterns.
+  SolveOutcome outcome = SolveAntipatterns(result.pre_clean, result.parsed,
+                                           result.antipatterns,
+                                           options_.detector.custom_rules);
+  result.clean_log = std::move(outcome.clean_log);
+  result.removal_log = std::move(outcome.removal_log);
+  result.stats.solve = outcome.stats;
+
+  // Optional re-clean passes (Sec. 5.5). Statistics keep describing the
+  // first pass — only the clean log is refined further.
+  for (size_t pass = 0; pass < options_.extra_clean_passes; ++pass) {
+    TemplateStore pass_templates;
+    ParsedLog pass_parsed = ParseLog(result.clean_log, pass_templates);
+    AntipatternReport pass_report =
+        DetectAntipatterns(pass_parsed, pass_templates, schema_, options_.detector);
+    uint64_t solvable = 0;
+    for (const auto& instance : pass_report.instances) {
+      if (InstanceSolvable(instance, options_.detector.custom_rules)) ++solvable;
+    }
+    if (solvable == 0) break;
+    SolveOutcome pass_outcome = SolveAntipatterns(result.clean_log, pass_parsed,
+                                                  pass_report,
+                                                  options_.detector.custom_rules);
+    result.clean_log = std::move(pass_outcome.clean_log);
+  }
+
+  result.stats.final_size = result.clean_log.size();
+  result.stats.removal_size = result.removal_log.size();
+
+  return result;
+}
+
+}  // namespace sqlog::core

@@ -1,0 +1,79 @@
+#ifndef SQLOG_CORE_PIPELINE_H_
+#define SQLOG_CORE_PIPELINE_H_
+
+#include <memory>
+
+#include "catalog/schema.h"
+#include "core/antipattern.h"
+#include "core/dedup.h"
+#include "core/pattern_miner.h"
+#include "core/solver.h"
+#include "core/statistics.h"
+#include "core/sws.h"
+#include "core/template_store.h"
+#include "log/record.h"
+
+namespace sqlog::core {
+
+/// End-to-end configuration for the Fig. 1 workflow.
+struct PipelineOptions {
+  DedupOptions dedup;
+  MinerOptions miner;
+  DetectorOptions detector;
+  SwsOptions sws;
+  /// When false, the user/session columns are ignored (all queries are
+  /// attributed to one anonymous user) — the Sec. 6.8 reduced-input
+  /// mode.
+  bool use_user_metadata = true;
+  /// When false, pattern mining and SWS detection are skipped (cheaper
+  /// when only cleaning is needed).
+  bool mine_patterns = true;
+  /// Additional clean→re-detect→re-solve passes after the first one
+  /// (Sec. 5.5: one cleaning step can leave further solvable
+  /// antipatterns, e.g. merged DS pairs lining up into fresh DW runs).
+  /// 0 reproduces the paper's single-pass setting.
+  size_t extra_clean_passes = 0;
+};
+
+/// Everything the Fig. 1 workflow produces.
+struct PipelineResult {
+  log::QueryLog pre_clean;   // after duplicate removal
+  TemplateStore templates;
+  ParsedLog parsed;
+  std::vector<Pattern> patterns;       // sorted by frequency
+  AntipatternReport antipatterns;
+  SwsReport sws;
+  log::QueryLog clean_log;
+  log::QueryLog removal_log;
+  PipelineStats stats;
+
+  /// True when the mined pattern at `pattern_index` is (part of) a
+  /// detected antipattern — drives the before/after views of Fig. 2(a).
+  /// With `solvable_only`, unsolvable CTH candidates do not count.
+  bool PatternIsAntipattern(size_t pattern_index, bool solvable_only = false) const;
+};
+
+/// Runs the full workflow of Fig. 1 over a raw log: delete duplicates →
+/// parse statements → templates → patterns → detect antipatterns →
+/// solve → clean log + statistics.
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {}) : options_(std::move(options)) {}
+
+  /// Attaches the schema catalog consulted by Def. 11's key-attribute
+  /// axiom. Without one, the axiom is skipped.
+  void SetSchema(const catalog::Schema* schema) { schema_ = schema; }
+
+  const PipelineOptions& options() const { return options_; }
+
+  /// Executes the workflow. The input log is not modified.
+  PipelineResult Run(const log::QueryLog& raw_log) const;
+
+ private:
+  PipelineOptions options_;
+  const catalog::Schema* schema_ = nullptr;
+};
+
+}  // namespace sqlog::core
+
+#endif  // SQLOG_CORE_PIPELINE_H_

@@ -1,0 +1,47 @@
+#include "core/rules.h"
+
+#include "core/solver.h"
+#include "sql/ast.h"
+
+namespace sqlog::core {
+
+CustomRule MakeSelectStarRule() {
+  CustomRule rule;
+  rule.name = "select-star";
+  rule.detect = [](const ParsedQuery& query) { return query.facts.selects_star; };
+  return rule;
+}
+
+CustomRule MakeMissingWhereRule() {
+  CustomRule rule;
+  rule.name = "missing-where";
+  rule.detect = [](const ParsedQuery& query) {
+    const sql::SelectStatement& stmt = *query.facts.ast;
+    if (stmt.where != nullptr) return false;
+    if (stmt.top_count >= 0) return false;
+    if (!stmt.group_by.empty()) return false;  // aggregation bounds output
+    // Aggregates without GROUP BY return one row — bounded.
+    for (const auto& item : stmt.select_items) {
+      if (item.expr->kind() == sql::ExprKind::kFunctionCall) return false;
+    }
+    // Table functions bound their own output (spatial searches).
+    if (!query.facts.table_functions.empty()) return false;
+    return !query.facts.tables.empty();
+  };
+  return rule;
+}
+
+CustomRule MakeSncRule() {
+  CustomRule rule;
+  rule.name = "snc";
+  rule.detect = [](const ParsedQuery& query) {
+    for (const auto& pred : query.facts.predicates) {
+      if (pred.compares_to_null_literal) return true;
+    }
+    return false;
+  };
+  rule.rewrite = [](const ParsedQuery& query) { return RewriteSnc(query); };
+  return rule;
+}
+
+}  // namespace sqlog::core

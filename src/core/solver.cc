@@ -1,0 +1,338 @@
+#include "core/solver.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sql/ast.h"
+#include "sql/printer.h"
+#include "util/string_util.h"
+
+namespace sqlog::core {
+
+namespace {
+
+namespace sql = ::sqlog::sql;
+
+/// Parses the literal text recorded in a Predicate back into an AST
+/// literal (values were canonically printed by the analyzer).
+sql::ExprPtr LiteralFromText(const std::string& text) {
+  if (text.size() >= 2 && text.front() == '\'' && text.back() == '\'') {
+    std::string inner = text.substr(1, text.size() - 2);
+    // Undo the doubled-quote escaping of the canonical printer.
+    std::string unescaped;
+    for (size_t i = 0; i < inner.size(); ++i) {
+      unescaped.push_back(inner[i]);
+      if (inner[i] == '\'' && i + 1 < inner.size() && inner[i + 1] == '\'') ++i;
+    }
+    return std::make_unique<sql::LiteralExpr>(sql::LiteralKind::kString, unescaped);
+  }
+  if (EqualsIgnoreCase(text, "null")) {
+    return std::make_unique<sql::LiteralExpr>(sql::LiteralKind::kNull, "NULL");
+  }
+  auto lit = std::make_unique<sql::LiteralExpr>(sql::LiteralKind::kNumber, text);
+  lit->number_value = std::strtod(text.c_str(), nullptr);
+  return lit;
+}
+
+/// True when the select list already exposes `column` (unqualified
+/// compare) or selects `*`.
+bool SelectExposes(const sql::SelectStatement& stmt, const std::string& column) {
+  for (const auto& item : stmt.select_items) {
+    if (item.expr->kind() == sql::ExprKind::kStar) return true;
+    if (item.expr->kind() == sql::ExprKind::kColumnRef &&
+        EqualsIgnoreCase(static_cast<const sql::ColumnRefExpr&>(*item.expr).name, column)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string PrintRewritten(const sql::SelectStatement& stmt) {
+  sql::PrintOptions opts;
+  opts.canonical = true;
+  return Print(stmt, opts);
+}
+
+/// Extracts the single TableRef of a DF-Stifle member query; null when
+/// the FROM shape is unsupported for the join rewrite.
+const sql::TableRef* SingleTable(const sql::SelectStatement& stmt) {
+  if (stmt.from_items.size() != 1) return nullptr;
+  if (stmt.from_items[0]->kind() != sql::FromKind::kTable) return nullptr;
+  return static_cast<const sql::TableRef*>(stmt.from_items[0].get());
+}
+
+}  // namespace
+
+Result<std::string> RewriteDwStifle(const std::vector<const ParsedQuery*>& members) {
+  if (members.size() < 2) {
+    return Status::InvalidArgument("DW-Stifle instance needs at least 2 queries");
+  }
+  const ParsedQuery& first = *members[0];
+  if (first.facts.predicates.size() != 1) {
+    return Status::Internal("DW-Stifle member without single predicate");
+  }
+  const sql::Predicate& pred = first.facts.predicates[0];
+
+  auto stmt = first.facts.ast->Clone();
+
+  // Collect the member constants in log order, deduplicated.
+  std::vector<sql::ExprPtr> values;
+  std::unordered_set<std::string> seen;
+  for (const ParsedQuery* member : members) {
+    if (member->facts.predicates.size() != 1 ||
+        member->facts.predicates[0].values.size() != 1) {
+      return Status::Internal("DW-Stifle member with unexpected predicate shape");
+    }
+    const std::string& text = member->facts.predicates[0].values[0];
+    if (seen.insert(text).second) values.push_back(LiteralFromText(text));
+  }
+
+  auto column = std::make_unique<sql::ColumnRefExpr>(pred.qualifier, pred.column);
+  // Expose the filter column so each result row stays attributable
+  // (paper Example 10 adds empId to the select list).
+  if (!SelectExposes(*stmt, pred.column)) {
+    stmt->select_items.insert(
+        stmt->select_items.begin(),
+        sql::SelectItem(std::make_unique<sql::ColumnRefExpr>(pred.qualifier, pred.column),
+                        ""));
+  }
+  stmt->where = std::make_unique<sql::InListExpr>(std::move(column), std::move(values),
+                                                  /*negated=*/false);
+  return PrintRewritten(*stmt);
+}
+
+Result<std::string> RewriteDsStifle(const std::vector<const ParsedQuery*>& members) {
+  if (members.size() < 2) {
+    return Status::InvalidArgument("DS-Stifle instance needs at least 2 queries");
+  }
+  auto stmt = members[0]->facts.ast->Clone();
+  std::unordered_set<std::string> seen;
+  sql::PrintOptions opts;
+  opts.canonical = true;
+  for (auto& item : stmt->select_items) {
+    seen.insert(Print(*item.expr, opts));
+  }
+  for (size_t i = 1; i < members.size(); ++i) {
+    for (const auto& item : members[i]->facts.ast->select_items) {
+      std::string key = Print(*item.expr, opts);
+      if (seen.insert(key).second) {
+        stmt->select_items.push_back(item.Copy());
+      }
+    }
+  }
+  return PrintRewritten(*stmt);
+}
+
+Result<std::string> RewriteDfStifle(const std::vector<const ParsedQuery*>& members) {
+  if (members.size() < 2) {
+    return Status::InvalidArgument("DF-Stifle instance needs at least 2 queries");
+  }
+  // All members share the WHERE (same filter column + constant) but read
+  // from different tables. Build:
+  //   SELECT t1.c…, t2.c… FROM T1 t1 INNER JOIN T2 t2 ON t1.col = t2.col
+  //   WHERE t1.col = value
+  const sql::Predicate& pred = members[0]->facts.predicates.at(0);
+
+  // Resolve each member's base table and an alias for it.
+  std::vector<const sql::TableRef*> tables;
+  std::vector<std::string> aliases;
+  std::unordered_set<std::string> used_aliases;
+  for (const ParsedQuery* member : members) {
+    const sql::TableRef* table = SingleTable(*member->facts.ast);
+    if (table == nullptr) {
+      return Status::Unsupported("DF-Stifle member with non-trivial FROM");
+    }
+    std::string alias = table->alias.empty() ? ToLower(table->table) : ToLower(table->alias);
+    if (!used_aliases.insert(alias).second) {
+      alias += StrFormat("_%zu", tables.size());
+      used_aliases.insert(alias);
+    }
+    tables.push_back(table);
+    aliases.push_back(alias);
+  }
+
+  auto stmt = std::make_unique<sql::SelectStatement>();
+
+  // Qualified union of the member select lists, in log order.
+  std::unordered_set<std::string> seen;
+  sql::PrintOptions opts;
+  opts.canonical = true;
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (const auto& item : members[i]->facts.ast->select_items) {
+      sql::SelectItem copy = item.Copy();
+      if (copy.expr->kind() == sql::ExprKind::kColumnRef) {
+        auto& col = static_cast<sql::ColumnRefExpr&>(*copy.expr);
+        col.qualifier = aliases[i];
+      } else if (copy.expr->kind() == sql::ExprKind::kStar) {
+        static_cast<sql::StarExpr&>(*copy.expr).qualifier = aliases[i];
+      }
+      std::string key = Print(*copy.expr, opts);
+      if (seen.insert(key).second) stmt->select_items.push_back(std::move(copy));
+    }
+  }
+
+  // Left-deep join tree on the shared filter column.
+  sql::FromItemPtr from = std::make_unique<sql::TableRef>(tables[0]->schema,
+                                                          tables[0]->table, aliases[0]);
+  for (size_t i = 1; i < tables.size(); ++i) {
+    auto right = std::make_unique<sql::TableRef>(tables[i]->schema, tables[i]->table,
+                                                 aliases[i]);
+    auto condition = std::make_unique<sql::BinaryExpr>(
+        sql::BinaryOp::kEq,
+        std::make_unique<sql::ColumnRefExpr>(aliases[0], pred.column),
+        std::make_unique<sql::ColumnRefExpr>(aliases[i], pred.column));
+    from = std::make_unique<sql::JoinRef>(sql::JoinType::kInner, std::move(from),
+                                          std::move(right), std::move(condition));
+  }
+  stmt->from_items.push_back(std::move(from));
+
+  stmt->where = std::make_unique<sql::BinaryExpr>(
+      sql::BinaryOp::kEq, std::make_unique<sql::ColumnRefExpr>(aliases[0], pred.column),
+      LiteralFromText(pred.values.at(0)));
+  return PrintRewritten(*stmt);
+}
+
+namespace {
+
+/// Recursively replaces `col = NULL` / `col <> NULL` with IS [NOT] NULL.
+sql::ExprPtr FixNullComparisons(sql::ExprPtr expr) {
+  switch (expr->kind()) {
+    case sql::ExprKind::kBinary: {
+      auto* bin = static_cast<sql::BinaryExpr*>(expr.get());
+      bool is_eq = bin->op == sql::BinaryOp::kEq;
+      bool is_neq = bin->op == sql::BinaryOp::kNotEq;
+      auto is_null_literal = [](const sql::Expr& e) {
+        return e.kind() == sql::ExprKind::kLiteral &&
+               static_cast<const sql::LiteralExpr&>(e).literal_kind ==
+                   sql::LiteralKind::kNull;
+      };
+      if ((is_eq || is_neq) && is_null_literal(*bin->rhs)) {
+        return std::make_unique<sql::IsNullExpr>(std::move(bin->lhs), is_neq);
+      }
+      if ((is_eq || is_neq) && is_null_literal(*bin->lhs)) {
+        return std::make_unique<sql::IsNullExpr>(std::move(bin->rhs), is_neq);
+      }
+      bin->lhs = FixNullComparisons(std::move(bin->lhs));
+      bin->rhs = FixNullComparisons(std::move(bin->rhs));
+      return expr;
+    }
+    case sql::ExprKind::kUnary: {
+      auto* unary = static_cast<sql::UnaryExpr*>(expr.get());
+      unary->operand = FixNullComparisons(std::move(unary->operand));
+      return expr;
+    }
+    default:
+      return expr;
+  }
+}
+
+}  // namespace
+
+Result<std::string> RewriteSnc(const ParsedQuery& query) {
+  auto stmt = query.facts.ast->Clone();
+  if (!stmt->where) return Status::Internal("SNC query without WHERE");
+  stmt->where = FixNullComparisons(std::move(stmt->where));
+  return PrintRewritten(*stmt);
+}
+
+SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& parsed,
+                               const AntipatternReport& report,
+                               const std::vector<CustomRule>& custom_rules) {
+  SolveOutcome outcome;
+
+  // Only parsed SELECTs flow into the output logs (Sec. 5.3: syntax
+  // errors and non-SELECTs "are not considered any further").
+  std::vector<bool> was_parsed(pre_clean.size(), false);
+  for (const auto& query : parsed.queries) was_parsed[query.record_index] = true;
+
+  // record index → (instance id, member rank) for queries owned by an
+  // instance via the solver-priority map.
+  struct Membership {
+    uint32_t instance_id = 0;  // 1-based; 0 = none
+    bool is_first = false;
+  };
+  std::vector<Membership> membership(pre_clean.size());
+  for (size_t q = 0; q < parsed.queries.size(); ++q) {
+    uint32_t instance_id = report.instance_of_query[q];
+    if (instance_id == 0) continue;
+    const AntipatternInstance& instance = report.instances[instance_id - 1];
+    size_t record = parsed.queries[q].record_index;
+    membership[record].instance_id = instance_id;
+    membership[record].is_first =
+        parsed.queries[instance.query_indices.front()].record_index == record;
+  }
+
+  // Pre-compute rewrites per solvable instance.
+  std::unordered_map<uint32_t, std::string> rewritten;
+  std::unordered_set<uint32_t> failed;
+  for (size_t k = 0; k < report.instances.size(); ++k) {
+    const AntipatternInstance& instance = report.instances[k];
+    if (!InstanceSolvable(instance, custom_rules)) {
+      ++outcome.stats.instances_unsolvable;
+      continue;
+    }
+    std::vector<const ParsedQuery*> members;
+    members.reserve(instance.query_indices.size());
+    for (size_t idx : instance.query_indices) members.push_back(&parsed.queries[idx]);
+    Result<std::string> rewrite = Status::Internal("unset");
+    switch (instance.type) {
+      case AntipatternType::kDwStifle: rewrite = RewriteDwStifle(members); break;
+      case AntipatternType::kDsStifle: rewrite = RewriteDsStifle(members); break;
+      case AntipatternType::kDfStifle: rewrite = RewriteDfStifle(members); break;
+      case AntipatternType::kSnc: rewrite = RewriteSnc(*members[0]); break;
+      case AntipatternType::kCustom:
+        rewrite = custom_rules[static_cast<size_t>(instance.custom_rule)].rewrite(
+            *members[0]);
+        break;
+      case AntipatternType::kCthCandidate: break;
+    }
+    uint32_t id = static_cast<uint32_t>(k + 1);
+    if (rewrite.ok()) {
+      rewritten[id] = std::move(rewrite.value());
+      ++outcome.stats.instances_solved;
+      if (instance.type == AntipatternType::kSnc ||
+          instance.type == AntipatternType::kCustom) {
+        ++outcome.stats.queries_rewritten_in_place;
+      } else {
+        outcome.stats.queries_merged += instance.query_indices.size() - 1;
+      }
+    } else {
+      failed.insert(id);
+      ++outcome.stats.rewrite_failures;
+    }
+  }
+
+  // Emit the clean and removal logs in one pass over the input.
+  for (size_t r = 0; r < pre_clean.size(); ++r) {
+    const log::LogRecord& record = pre_clean.records()[r];
+    if (!was_parsed[r]) continue;
+    const Membership& m = membership[r];
+    if (m.instance_id == 0) {
+      outcome.clean_log.Append(record);
+      outcome.removal_log.Append(record);
+      continue;
+    }
+    const AntipatternInstance& instance = report.instances[m.instance_id - 1];
+    bool solvable =
+        InstanceSolvable(instance, custom_rules) && failed.count(m.instance_id) == 0;
+    if (!solvable) {
+      // CTH candidates (and failed rewrites) stay in the clean log but
+      // leave the removal log.
+      outcome.clean_log.Append(record);
+      if (failed.count(m.instance_id) != 0) outcome.removal_log.Append(record);
+      continue;
+    }
+    if (m.is_first) {
+      log::LogRecord merged = record;
+      merged.statement = rewritten[m.instance_id];
+      outcome.clean_log.Append(std::move(merged));
+    }
+    // Members of solvable instances never reach the removal log.
+  }
+  outcome.clean_log.Renumber();
+  outcome.removal_log.Renumber();
+  return outcome;
+}
+
+}  // namespace sqlog::core

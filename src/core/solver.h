@@ -1,0 +1,62 @@
+#ifndef SQLOG_CORE_SOLVER_H_
+#define SQLOG_CORE_SOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/antipattern.h"
+#include "core/template_store.h"
+#include "log/record.h"
+#include "util/status.h"
+
+namespace sqlog::core {
+
+/// Counters for the solving step.
+struct SolveStats {
+  uint64_t instances_solved = 0;
+  uint64_t instances_unsolvable = 0;   // CTH candidates (annotated only)
+  uint64_t queries_merged = 0;         // statements removed by rewriting
+  uint64_t queries_rewritten_in_place = 0;  // SNC fixes
+  uint64_t rewrite_failures = 0;       // instances kept verbatim on error
+};
+
+/// Solving output: the clean log (antipatterns rewritten) and the
+/// removal log (antipattern member queries dropped entirely) that
+/// Sec. 6.9 compares against.
+struct SolveOutcome {
+  log::QueryLog clean_log;
+  log::QueryLog removal_log;
+  SolveStats stats;
+};
+
+/// Rewrites one DW-Stifle instance (Example 10): one statement whose
+/// WHERE is an IN-list over the member constants; the filter column is
+/// added to the select list so results stay interpretable.
+Result<std::string> RewriteDwStifle(const std::vector<const ParsedQuery*>& members);
+
+/// Rewrites one DS-Stifle instance (Example 12): the union of the
+/// member select lists over the shared FROM/WHERE.
+Result<std::string> RewriteDsStifle(const std::vector<const ParsedQuery*>& members);
+
+/// Rewrites one DF-Stifle instance (Example 14): an INNER JOIN of the
+/// member tables on the shared filter column.
+Result<std::string> RewriteDfStifle(const std::vector<const ParsedQuery*>& members);
+
+/// Rewrites one SNC statement (Sec. 5.4): `= NULL` → `IS NULL`,
+/// `<> NULL` → `IS NOT NULL`.
+Result<std::string> RewriteSnc(const ParsedQuery& query);
+
+/// Applies all solving rules over the pre-clean log: member queries of
+/// each solvable instance collapse into one rewritten statement at the
+/// position of the instance's first query; SNC statements (and solvable
+/// custom-rule hits) are fixed in place; everything else passes through.
+/// Also produces the removal variant. Rewritten/removed records keep
+/// their original metadata. `custom_rules` must be the rule vector the
+/// report was detected with.
+SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& parsed,
+                               const AntipatternReport& report,
+                               const std::vector<CustomRule>& custom_rules = {});
+
+}  // namespace sqlog::core
+
+#endif  // SQLOG_CORE_SOLVER_H_

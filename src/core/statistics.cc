@@ -1,0 +1,49 @@
+#include "core/statistics.h"
+
+#include "util/string_util.h"
+
+namespace sqlog::core {
+
+namespace {
+
+std::string Row(const char* label, uint64_t value, uint64_t base = 0) {
+  std::string line = StrFormat("  %-42s %14s", label,
+                               WithThousands(static_cast<long long>(value)).c_str());
+  if (base > 0) {
+    line += StrFormat("  (%.2f%%)",
+                      100.0 * static_cast<double>(value) / static_cast<double>(base));
+  }
+  line += "\n";
+  return line;
+}
+
+}  // namespace
+
+std::string PipelineStats::ToTable() const {
+  std::string out = "Results overview (cf. paper Table 5)\n";
+  out += Row("Size of original query log", original_size);
+  out += Row("Count of SELECT queries", select_count, original_size);
+  out += Row("Non-SELECT statements", non_select_count, original_size);
+  out += Row("Syntax errors", syntax_error_count, original_size);
+  out += Row("Size after deleting duplicates", after_dedup_size, original_size);
+  out += Row("Duplicates removed", duplicates_removed, original_size);
+  out += Row("Final (clean) log size", final_size, original_size);
+  out += Row("Removal log size", removal_size, original_size);
+  out += Row("Count of patterns", pattern_count);
+  out += Row("Maximal pattern frequency", max_pattern_frequency);
+  out += Row("Count of distinct DW-Stifle", distinct_dw);
+  out += Row("Count of queries in all DW-Stifle", queries_dw);
+  out += Row("Count of distinct DS-Stifle", distinct_ds);
+  out += Row("Count of queries in all DS-Stifle", queries_ds);
+  out += Row("Count of distinct DF-Stifle", distinct_df);
+  out += Row("Count of queries in all DF-Stifle", queries_df);
+  out += Row("Count of distinct candidate CTH", distinct_cth);
+  out += Row("Count of queries in all candidate CTH", queries_cth);
+  out += Row("Count of distinct SNC", distinct_snc);
+  out += Row("Count of queries in all SNC", queries_snc);
+  out += Row("Instances solved", solve.instances_solved);
+  out += Row("Queries merged away by rewriting", solve.queries_merged);
+  return out;
+}
+
+}  // namespace sqlog::core

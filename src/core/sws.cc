@@ -1,0 +1,31 @@
+#include "core/sws.h"
+
+#include <cmath>
+
+namespace sqlog::core {
+
+SwsReport DetectSws(const std::vector<Pattern>& patterns, size_t parsed_query_count,
+                    const SwsOptions& options) {
+  SwsReport report;
+  if (parsed_query_count == 0) return report;
+  double min_frequency = options.frequency_fraction * static_cast<double>(parsed_query_count);
+
+  // Only length-1 patterns contribute coverage: longer windows over the
+  // same templates would double-count the same statements.
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const Pattern& pattern = patterns[i];
+    if (pattern.length() != 1) continue;
+    if (static_cast<double>(pattern.frequency) < min_frequency) continue;
+    if (pattern.user_popularity() > options.max_user_popularity) continue;
+    SwsPattern hit;
+    hit.pattern_index = i;
+    hit.covered_queries = pattern.covered_statements();
+    report.covered_queries += hit.covered_queries;
+    report.patterns.push_back(hit);
+  }
+  report.coverage =
+      static_cast<double>(report.covered_queries) / static_cast<double>(parsed_query_count);
+  return report;
+}
+
+}  // namespace sqlog::core

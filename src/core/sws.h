@@ -1,0 +1,43 @@
+#ifndef SQLOG_CORE_SWS_H_
+#define SQLOG_CORE_SWS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pattern_miner.h"
+
+namespace sqlog::core {
+
+/// Thresholds for sliding-window-search detection (Sec. 6.5): a pattern
+/// is SWS when it is frequent (relative to the parsed log size) yet
+/// comes from very few users — the signature of a machine download.
+struct SwsOptions {
+  /// Minimum frequency as a fraction of the parsed log (Table 8 columns
+  /// use 10%, 1%, 0.1%, 0.01%).
+  double frequency_fraction = 0.001;
+  /// Maximum userPopularity (Table 8 rows use 1, 2, 4, 8, 16).
+  size_t max_user_popularity = 1;
+};
+
+/// One detected SWS pattern.
+struct SwsPattern {
+  size_t pattern_index = 0;   // into the mined pattern vector
+  uint64_t covered_queries = 0;
+};
+
+/// SWS detection result.
+struct SwsReport {
+  std::vector<SwsPattern> patterns;
+  uint64_t covered_queries = 0;
+  /// covered_queries / parsed-log size — one cell of Table 8.
+  double coverage = 0.0;
+};
+
+/// Applies the thresholds to mined patterns. `parsed_query_count` is the
+/// number of parsed SELECTs the frequencies were counted over.
+SwsReport DetectSws(const std::vector<Pattern>& patterns, size_t parsed_query_count,
+                    const SwsOptions& options);
+
+}  // namespace sqlog::core
+
+#endif  // SQLOG_CORE_SWS_H_

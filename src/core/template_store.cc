@@ -1,0 +1,90 @@
+#include "core/template_store.h"
+
+#include <algorithm>
+
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace sqlog::core {
+
+TemplateStore::TemplateStore() {
+  // User id 0 is the anonymous user (records without user metadata).
+  user_names_.push_back("");
+  user_ids_[""] = 0;
+}
+
+uint64_t TemplateStore::Intern(const sql::QueryTemplate& tmpl, size_t query_index) {
+  auto& bucket = by_fingerprint_[tmpl.fingerprint];
+  for (uint64_t id : bucket) {
+    if (templates_[id].tmpl == tmpl) return id;
+  }
+  uint64_t id = templates_.size();
+  TemplateInfo info;
+  info.id = id;
+  info.tmpl = tmpl;
+  info.first_query = query_index;
+  templates_.push_back(std::move(info));
+  bucket.push_back(id);
+  return id;
+}
+
+void TemplateStore::RecordUse(uint64_t id, uint32_t user_id) {
+  TemplateInfo& info = templates_[id];
+  ++info.frequency;
+  info.users.insert(user_id);
+}
+
+uint32_t TemplateStore::InternUser(const std::string& user) {
+  auto it = user_ids_.find(user);
+  if (it != user_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(user_names_.size());
+  user_names_.push_back(user);
+  user_ids_[user] = id;
+  return id;
+}
+
+ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store) {
+  ParsedLog parsed;
+  parsed.queries.reserve(log.size());
+
+  for (size_t i = 0; i < log.size(); ++i) {
+    const log::LogRecord& record = log.records()[i];
+    if (sql::ClassifyStatement(record.statement) != sql::StatementKind::kSelect) {
+      ++parsed.non_select_count;
+      continue;
+    }
+    auto facts = sql::ParseAndAnalyze(record.statement);
+    if (!facts.ok()) {
+      ++parsed.syntax_error_count;
+      continue;
+    }
+    ParsedQuery query;
+    query.record_index = i;
+    query.timestamp_ms = record.timestamp_ms;
+    query.user_id = store.InternUser(record.user);
+    query.row_count = record.row_count;
+    query.facts = std::move(facts.value());
+    size_t query_index = parsed.queries.size();
+    query.template_id = store.Intern(query.facts.tmpl, query_index);
+    store.RecordUse(query.template_id, query.user_id);
+    parsed.queries.push_back(std::move(query));
+  }
+
+  // Per-user time-ordered streams.
+  parsed.user_names = store.user_names();
+  parsed.user_streams.resize(store.user_names().size());
+  for (size_t i = 0; i < parsed.queries.size(); ++i) {
+    parsed.user_streams[parsed.queries[i].user_id].push_back(i);
+  }
+  for (auto& stream : parsed.user_streams) {
+    std::stable_sort(stream.begin(), stream.end(), [&](size_t a, size_t b) {
+      const ParsedQuery& qa = parsed.queries[a];
+      const ParsedQuery& qb = parsed.queries[b];
+      if (qa.timestamp_ms != qb.timestamp_ms) return qa.timestamp_ms < qb.timestamp_ms;
+      return qa.record_index < qb.record_index;
+    });
+  }
+  return parsed;
+}
+
+}  // namespace sqlog::core

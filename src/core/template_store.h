@@ -1,0 +1,82 @@
+#ifndef SQLOG_CORE_TEMPLATE_STORE_H_
+#define SQLOG_CORE_TEMPLATE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "log/record.h"
+#include "sql/skeleton.h"
+
+namespace sqlog::core {
+
+/// Interned query template with usage statistics (Defs. 9-10).
+struct TemplateInfo {
+  uint64_t id = 0;
+  sql::QueryTemplate tmpl;
+  uint64_t frequency = 0;                 // occurrences in the parsed log
+  std::unordered_set<uint32_t> users;     // interned user ids
+  size_t first_query = 0;                 // index of first ParsedQuery
+
+  size_t user_popularity() const { return users.size(); }
+};
+
+/// One successfully parsed SELECT of the log.
+struct ParsedQuery {
+  size_t record_index = 0;   // index into the pre-clean log
+  int64_t timestamp_ms = 0;
+  uint32_t user_id = 0;      // interned; 0 is the anonymous user
+  int64_t row_count = -1;
+  sql::QueryFacts facts;
+  uint64_t template_id = 0;
+};
+
+/// Parse-step outcome (paper Sec. 5.3): parsed SELECTs with assigned
+/// templates, plus counts of what was dropped.
+struct ParsedLog {
+  std::vector<ParsedQuery> queries;
+  size_t non_select_count = 0;
+  size_t syntax_error_count = 0;
+
+  /// Per-user streams: indices into `queries`, time-ordered. Stream 0 is
+  /// the anonymous user (empty user field).
+  std::vector<std::vector<size_t>> user_streams;
+  std::vector<std::string> user_names;  // user_names[user_id]
+};
+
+/// Interns templates and users and tracks per-template statistics.
+class TemplateStore {
+ public:
+  TemplateStore();
+
+  /// Interns a template, returning its id (stable for equal templates).
+  uint64_t Intern(const sql::QueryTemplate& tmpl, size_t query_index);
+
+  /// Records one occurrence by `user_id` for template `id`.
+  void RecordUse(uint64_t id, uint32_t user_id);
+
+  const TemplateInfo& Get(uint64_t id) const { return templates_[id]; }
+  size_t size() const { return templates_.size(); }
+  const std::vector<TemplateInfo>& templates() const { return templates_; }
+
+  /// Interns a user name; empty names map to user id 0.
+  uint32_t InternUser(const std::string& user);
+  const std::vector<std::string>& user_names() const { return user_names_; }
+
+ private:
+  std::vector<TemplateInfo> templates_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> by_fingerprint_;
+  std::vector<std::string> user_names_;
+  std::unordered_map<std::string, uint32_t> user_ids_;
+};
+
+/// Runs the parse step over a (deduplicated) log: classifies statements,
+/// drops non-SELECTs and syntax errors, analyzes the rest, interns
+/// templates, and builds per-user time-ordered streams.
+ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store);
+
+}  // namespace sqlog::core
+
+#endif  // SQLOG_CORE_TEMPLATE_STORE_H_

@@ -1,0 +1,203 @@
+#include "engine/database.h"
+
+#include "util/string_util.h"
+
+namespace sqlog::engine {
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     const std::vector<Table::Column>& columns) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + key);
+  }
+  auto table = std::make_unique<Table>(key);
+  for (const auto& col : columns) {
+    SQLOG_RETURN_IF_ERROR_R(table->AddColumn(col.name, col.kind));
+  }
+  Table* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+Result<Table*> Database::CreateTableFromCatalog(const catalog::TableDef& def) {
+  std::vector<Table::Column> columns;
+  columns.reserve(def.columns().size());
+  for (const auto& col : def.columns()) {
+    columns.push_back(Table::Column{col.name, KindForColumnType(col.type)});
+  }
+  return CreateTable(def.name(), columns);
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+Status FillPhotoTable(Table* table, const std::vector<int64_t>& objids, Rng& rng) {
+  for (int64_t objid : objids) {
+    double ra = rng.NextDouble() * 360.0;
+    double dec = rng.NextDouble() * 180.0 - 90.0;
+    std::vector<Value> row;
+    row.reserve(table->columns().size());
+    for (const auto& col : table->columns()) {
+      if (col.name == "objid") {
+        row.push_back(Value::Int(objid));
+      } else if (col.name == "ra") {
+        row.push_back(Value::Real(ra));
+      } else if (col.name == "dec") {
+        row.push_back(Value::Real(dec));
+      } else if (col.name == "htmid") {
+        row.push_back(Value::Int(static_cast<int64_t>(rng.Uniform(1ULL << 40))));
+      } else if (col.kind == Value::Kind::kInt64) {
+        row.push_back(Value::Int(static_cast<int64_t>(rng.Uniform(10000))));
+      } else if (col.kind == Value::Kind::kDouble) {
+        row.push_back(Value::Real(rng.NextDouble() * 30.0));
+      } else {
+        row.push_back(Value::Str(StrFormat("s%llu", (unsigned long long)rng.Uniform(1000))));
+      }
+    }
+    SQLOG_RETURN_IF_ERROR(table->AppendRow(std::move(row)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PopulateSkyServerSample(Database& db, size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  catalog::Schema schema = catalog::MakeSkyServerSchema();
+
+  // Shared objid population so photoprimary/photoobjall point lookups hit.
+  std::vector<int64_t> objids;
+  objids.reserve(rows);
+  int64_t base = 587722981740000000LL;
+  for (size_t i = 0; i < rows; ++i) {
+    objids.push_back(base + static_cast<int64_t>(i) * 131LL);
+  }
+
+  for (const char* name : {"photoprimary", "photoobjall"}) {
+    const catalog::TableDef* def = schema.FindTable(name);
+    if (def == nullptr) return Status::Internal("missing catalog table");
+    auto table = db.CreateTableFromCatalog(*def);
+    if (!table.ok()) return table.status();
+    SQLOG_RETURN_IF_ERROR(FillPhotoTable(table.value(), objids, rng));
+  }
+
+  // Spectroscopic subset: every 4th photo object has a spectrum.
+  for (const char* name : {"specobj", "specobjall"}) {
+    const catalog::TableDef* def = schema.FindTable(name);
+    if (def == nullptr) return Status::Internal("missing catalog table");
+    auto table = db.CreateTableFromCatalog(*def);
+    if (!table.ok()) return table.status();
+    int64_t spec_base = 75094090000000000LL;
+    for (size_t i = 0; i < objids.size(); i += 4) {
+      std::vector<Value> row;
+      for (const auto& col : table.value()->columns()) {
+        if (col.name == "specobjid") {
+          row.push_back(Value::Int(spec_base + static_cast<int64_t>(i) * 257LL));
+        } else if (col.name == "bestobjid") {
+          row.push_back(Value::Int(objids[i]));
+        } else if (col.kind == Value::Kind::kInt64) {
+          row.push_back(Value::Int(static_cast<int64_t>(rng.Uniform(100000))));
+        } else if (col.kind == Value::Kind::kDouble) {
+          row.push_back(Value::Real(rng.NextDouble()));
+        } else {
+          row.push_back(Value::Str("spec"));
+        }
+      }
+      SQLOG_RETURN_IF_ERROR(table.value()->AppendRow(std::move(row)));
+    }
+  }
+
+  // Metadata table.
+  {
+    const catalog::TableDef* def = schema.FindTable("dbobjects");
+    if (def == nullptr) return Status::Internal("missing catalog table");
+    auto table = db.CreateTableFromCatalog(*def);
+    if (!table.ok()) return table.status();
+    static constexpr const char* kNames[] = {"Galaxy",       "Star",      "photoObjAll",
+                                             "photoPrimary", "specObj",   "specObjAll",
+                                             "DBObjects",    "fGetNearbyObjEq"};
+    int rank = 0;
+    for (const char* name : kNames) {
+      SQLOG_RETURN_IF_ERROR(table.value()->AppendRow({
+          Value::Str(name),
+          Value::Str(rank < 6 ? "U" : "F"),
+          Value::Str(std::string("description of ") + name),
+          Value::Str(std::string("long text for ") + name),
+          Value::Str("public"),
+          Value::Int(rank++),
+      }));
+    }
+  }
+
+  // Paper running-example tables.
+  {
+    const catalog::TableDef* def = schema.FindTable("employees");
+    auto table = db.CreateTableFromCatalog(*def);
+    if (!table.ok()) return table.status();
+    static constexpr const char* kDepartments[] = {"sales", "hr", "it"};
+    for (int i = 1; i <= 60; ++i) {
+      SQLOG_RETURN_IF_ERROR(table.value()->AppendRow({
+          Value::Int(i),
+          Value::Int(i),
+          Value::Str(StrFormat("Name%d", i)),
+          Value::Str(StrFormat("Surname%d", i)),
+          Value::Str(StrFormat("19%02d-03-12", 50 + i % 50)),
+          Value::Str(StrFormat("0125986%04d", i)),
+          Value::Str(kDepartments[i % 3]),
+          Value::Str(StrFormat("%d Main Street", i)),
+      }));
+    }
+  }
+  {
+    const catalog::TableDef* def = schema.FindTable("orders");
+    auto table = db.CreateTableFromCatalog(*def);
+    if (!table.ok()) return table.status();
+    for (int i = 1; i <= 400; ++i) {
+      SQLOG_RETURN_IF_ERROR(table.value()->AppendRow({
+          Value::Int(i),
+          Value::Int(1 + static_cast<int64_t>(rng.Uniform(60))),
+          Value::Int(static_cast<int64_t>(rng.Uniform(50))),
+          Value::Str(StrFormat("2007-0%llu-15",
+                               static_cast<unsigned long long>(1 + rng.Uniform(9)))),
+      }));
+    }
+  }
+  {
+    const catalog::TableDef* def = schema.FindTable("bugs");
+    auto table = db.CreateTableFromCatalog(*def);
+    if (!table.ok()) return table.status();
+    for (int i = 1; i <= 50; ++i) {
+      SQLOG_RETURN_IF_ERROR(table.value()->AppendRow({
+          Value::Int(i),
+          i % 5 == 0 ? Value::Null() : Value::Int(100 + i),
+          Value::Str(i % 2 == 0 ? "open" : "closed"),
+      }));
+    }
+  }
+
+  return Status::OK();
+}
+
+std::vector<int64_t> PhotoObjIds(const Database& db) {
+  std::vector<int64_t> out;
+  const Table* table = db.FindTable("photoprimary");
+  if (table == nullptr) return out;
+  int col = table->ColumnIndex("objid");
+  if (col < 0) return out;
+  out.reserve(table->row_count());
+  for (size_t row = 0; row < table->row_count(); ++row) {
+    out.push_back(table->At(row, static_cast<size_t>(col)).AsInt());
+  }
+  return out;
+}
+
+}  // namespace sqlog::engine

@@ -1,0 +1,52 @@
+#ifndef SQLOG_ENGINE_DATABASE_H_
+#define SQLOG_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "catalog/schema.h"
+#include "engine/table.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sqlog::engine {
+
+/// Named collection of in-memory tables. Lookup is case-insensitive.
+class Database {
+ public:
+  Database() = default;
+
+  /// Creates an empty table with the given columns. Fails when a table
+  /// of that name exists.
+  Result<Table*> CreateTable(const std::string& name,
+                             const std::vector<Table::Column>& columns);
+
+  /// Creates a table from a catalog definition (column types mapped to
+  /// value kinds).
+  Result<Table*> CreateTableFromCatalog(const catalog::TableDef& def);
+
+  /// Case-insensitive lookup; nullptr when absent.
+  const Table* FindTable(const std::string& name) const;
+  Table* FindTable(const std::string& name);
+
+  size_t table_count() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+/// Populates a database with a synthetic SkyServer-like sample:
+/// `rows` objects in photoprimary/photoobjall (matching objids), a
+/// spectroscopic subset in specobj/specobjall, dbobjects metadata, the
+/// Employees/Orders example tables, and the Bugs table. Deterministic
+/// in `seed`.
+Status PopulateSkyServerSample(Database& db, size_t rows, uint64_t seed = 42);
+
+/// Returns the objids present in photoprimary, in insertion order —
+/// workload builders use these to generate hitting point lookups.
+std::vector<int64_t> PhotoObjIds(const Database& db);
+
+}  // namespace sqlog::engine
+
+#endif  // SQLOG_ENGINE_DATABASE_H_

@@ -1,0 +1,1075 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "util/string_util.h"
+
+namespace sqlog::engine {
+
+namespace sql = ::sqlog::sql;
+
+namespace {
+
+/// A relation during execution: either a zero-copy view of a base table
+/// or owned (materialized) rows. Columns carry a binding qualifier
+/// (alias or table name) for name resolution.
+class Rel {
+ public:
+  struct Col {
+    std::string qualifier;  // lower-case alias/table name; may be empty
+    std::string name;       // lower-case column name
+  };
+
+  static Rel View(const Table* table, std::string qualifier) {
+    Rel rel;
+    rel.base_ = table;
+    rel.cols_.reserve(table->columns().size());
+    for (const auto& col : table->columns()) {
+      rel.cols_.push_back(Col{qualifier, col.name});
+    }
+    return rel;
+  }
+
+  static Rel Owned(std::vector<Col> cols, std::vector<std::vector<Value>> rows) {
+    Rel rel;
+    rel.cols_ = std::move(cols);
+    rel.rows_ = std::move(rows);
+    return rel;
+  }
+
+  size_t NumRows() const { return base_ != nullptr ? base_->row_count() : rows_.size(); }
+  size_t NumCols() const { return cols_.size(); }
+  const std::vector<Col>& cols() const { return cols_; }
+
+  const Value& Cell(size_t row, size_t col) const {
+    return base_ != nullptr ? base_->At(row, col) : rows_[row][col];
+  }
+
+  /// Copies one full row (used when materializing joins).
+  void CopyRowInto(size_t row, std::vector<Value>& out) const {
+    for (size_t c = 0; c < NumCols(); ++c) out.push_back(Cell(row, c));
+  }
+
+  /// Finds a column by (qualifier, name); qualifier empty matches any.
+  /// Returns -1 when not found.
+  int Find(const std::string& qualifier, const std::string& name) const {
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (cols_[i].name != name) continue;
+      if (qualifier.empty() || cols_[i].qualifier == qualifier) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+ private:
+  const Table* base_ = nullptr;
+  std::vector<Col> cols_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+/// SQL LIKE with % and _, case-insensitive.
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Classic recursive matcher with memo-free greedy backtracking.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star_p = std::string::npos;
+  size_t star_t = 0;
+  auto lower = [](char c) { return std::tolower(static_cast<unsigned char>(c)); };
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || lower(pattern[p]) == lower(text[t]))) {
+      ++p;
+      ++t;
+      continue;
+    }
+    if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+      continue;
+    }
+    if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+      continue;
+    }
+    return false;
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+bool IsAggregateName(const std::string& name) {
+  std::string lower = ToLower(name);
+  // Strip a schema prefix like `dbo.`.
+  size_t dot = lower.rfind('.');
+  if (dot != std::string::npos) lower = lower.substr(dot + 1);
+  return lower == "count" || lower == "sum" || lower == "min" || lower == "max" ||
+         lower == "avg";
+}
+
+bool ExprContainsAggregate(const sql::Expr& expr) {
+  switch (expr.kind()) {
+    case sql::ExprKind::kFunctionCall: {
+      const auto& fn = static_cast<const sql::FunctionCallExpr&>(expr);
+      if (IsAggregateName(fn.name)) return true;
+      for (const auto& arg : fn.args) {
+        if (ExprContainsAggregate(*arg)) return true;
+      }
+      return false;
+    }
+    case sql::ExprKind::kUnary:
+      return ExprContainsAggregate(*static_cast<const sql::UnaryExpr&>(expr).operand);
+    case sql::ExprKind::kBinary: {
+      const auto& bin = static_cast<const sql::BinaryExpr&>(expr);
+      return ExprContainsAggregate(*bin.lhs) || ExprContainsAggregate(*bin.rhs);
+    }
+    default:
+      return false;
+  }
+}
+
+/// Aggregate accumulator.
+struct Agg {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool any = false;
+  Value min_v;
+  Value max_v;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    sum += v.AsDouble();
+    if (!any) {
+      min_v = v;
+      max_v = v;
+      any = true;
+    } else {
+      if (v.Compare(min_v) < 0) min_v = v;
+      if (v.Compare(max_v) > 0) max_v = v;
+    }
+  }
+};
+
+/// One evaluation scope: the combined relation plus the current row.
+struct RowCtx {
+  const Rel* rel = nullptr;
+  size_t row = 0;
+};
+
+/// Executes statements; one instance per Execute call (cheap).
+class Exec {
+ public:
+  explicit Exec(const Database* db) : db_(db) {}
+
+  Result<ResultSet> Run(const sql::SelectStatement& stmt);
+
+ private:
+  // -- FROM resolution ------------------------------------------------------
+
+  Result<Rel> ResolveFromItem(const sql::FromItem& item);
+  Result<Rel> ResolveTableFunction(const sql::TableFunctionRef& fn);
+  Result<Rel> FoldFrom(const sql::SelectStatement& stmt);
+  Result<Rel> JoinRels(Rel left, Rel right, sql::JoinType type, const sql::Expr* condition,
+                       const std::vector<const sql::Expr*>& where_conjuncts);
+
+  // -- expression evaluation -------------------------------------------------
+
+  Result<Value> Eval(const sql::Expr& expr, const RowCtx& ctx);
+  Result<bool> EvalBool(const sql::Expr& expr, const RowCtx& ctx);
+
+  /// Evaluates an expression over a whole group: aggregates consume the
+  /// group's rows; arithmetic/comparisons recurse; anything else is
+  /// evaluated on the group's first row. Used for aggregate select
+  /// items and HAVING (e.g. `count(*) > 5`).
+  Result<Value> EvalAgg(const sql::Expr& expr, const Rel& rel,
+                        const std::vector<size_t>& rows);
+
+  const Database* db_;
+
+  /// Per-statement cache of constant IN-list membership sets, keyed by
+  /// the expression node. This is where the rewritten Stifle queries get
+  /// their set-oriented advantage: one hash probe per row instead of a
+  /// linear pass over the list.
+  std::unordered_map<const sql::Expr*, std::unordered_set<std::string>> in_list_sets_;
+};
+
+/// Collects top-level AND conjuncts of a WHERE tree.
+void CollectConjuncts(const sql::Expr* expr, std::vector<const sql::Expr*>& out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == sql::ExprKind::kBinary) {
+    const auto& bin = static_cast<const sql::BinaryExpr&>(*expr);
+    if (bin.op == sql::BinaryOp::kAnd) {
+      CollectConjuncts(bin.lhs.get(), out);
+      CollectConjuncts(bin.rhs.get(), out);
+      return;
+    }
+  }
+  out.push_back(expr);
+}
+
+/// Attempts to read `expr` as `colA = colB`; returns both refs.
+bool AsColumnEquality(const sql::Expr& expr, const sql::ColumnRefExpr** a,
+                      const sql::ColumnRefExpr** b) {
+  if (expr.kind() != sql::ExprKind::kBinary) return false;
+  const auto& bin = static_cast<const sql::BinaryExpr&>(expr);
+  if (bin.op != sql::BinaryOp::kEq) return false;
+  if (bin.lhs->kind() != sql::ExprKind::kColumnRef ||
+      bin.rhs->kind() != sql::ExprKind::kColumnRef) {
+    return false;
+  }
+  *a = static_cast<const sql::ColumnRefExpr*>(bin.lhs.get());
+  *b = static_cast<const sql::ColumnRefExpr*>(bin.rhs.get());
+  return true;
+}
+
+Result<Rel> Exec::ResolveTableFunction(const sql::TableFunctionRef& fn) {
+  std::string name = ToLower(fn.name);
+  std::string qualifier = fn.alias.empty() ? name : ToLower(fn.alias);
+  const Table* photo = db_->FindTable("photoprimary");
+  if (photo == nullptr) {
+    return Status::NotFound("table function substrate photoprimary missing");
+  }
+  int objid_col = photo->ColumnIndex("objid");
+  int ra_col = photo->ColumnIndex("ra");
+  int dec_col = photo->ColumnIndex("dec");
+  if (objid_col < 0 || ra_col < 0 || dec_col < 0) {
+    return Status::Internal("photoprimary lacks objid/ra/dec");
+  }
+
+  auto arg_value = [&](size_t i) -> double {
+    if (i >= fn.args.size()) return 0.0;
+    if (fn.args[i]->kind() == sql::ExprKind::kLiteral) {
+      return static_cast<const sql::LiteralExpr&>(*fn.args[i]).number_value;
+    }
+    return 0.0;  // variables default to 0 — logs replay without bindings
+  };
+
+  if (name == "fgetnearbyobjeq" || name == "fgetnearestobjeq") {
+    double ra0 = arg_value(0);
+    double dec0 = arg_value(1);
+    double radius_deg = arg_value(2) / 60.0;  // arcmin → degrees
+    std::vector<Rel::Col> cols = {{qualifier, "objid"}, {qualifier, "distance"}};
+    std::vector<std::vector<Value>> rows;
+    double best = 1e300;
+    std::vector<Value> best_row;
+    for (size_t r = 0; r < photo->row_count(); ++r) {
+      double dra = photo->At(r, static_cast<size_t>(ra_col)).AsDouble() - ra0;
+      double ddec = photo->At(r, static_cast<size_t>(dec_col)).AsDouble() - dec0;
+      double dist = std::sqrt(dra * dra + ddec * ddec);
+      if (name == "fgetnearestobjeq") {
+        if (dist < best) {
+          best = dist;
+          best_row = {photo->At(r, static_cast<size_t>(objid_col)), Value::Real(dist)};
+        }
+      } else if (dist <= radius_deg) {
+        rows.push_back({photo->At(r, static_cast<size_t>(objid_col)), Value::Real(dist)});
+      }
+    }
+    if (name == "fgetnearestobjeq" && !best_row.empty()) rows.push_back(std::move(best_row));
+    return Rel::Owned(std::move(cols), std::move(rows));
+  }
+
+  if (name == "fgetobjfromrect") {
+    double ra1 = arg_value(0);
+    double dec1 = arg_value(1);
+    double ra2 = arg_value(2);
+    double dec2 = arg_value(3);
+    if (ra2 < ra1) std::swap(ra1, ra2);
+    if (dec2 < dec1) std::swap(dec1, dec2);
+    std::vector<Rel::Col> cols = {{qualifier, "objid"}, {qualifier, "ra"}, {qualifier, "dec"}};
+    std::vector<std::vector<Value>> rows;
+    for (size_t r = 0; r < photo->row_count(); ++r) {
+      double ra = photo->At(r, static_cast<size_t>(ra_col)).AsDouble();
+      double dec = photo->At(r, static_cast<size_t>(dec_col)).AsDouble();
+      if (ra >= ra1 && ra <= ra2 && dec >= dec1 && dec <= dec2) {
+        rows.push_back({photo->At(r, static_cast<size_t>(objid_col)), Value::Real(ra),
+                        Value::Real(dec)});
+      }
+    }
+    return Rel::Owned(std::move(cols), std::move(rows));
+  }
+
+  return Status::Unsupported("unknown table function: " + name);
+}
+
+Result<Rel> Exec::ResolveFromItem(const sql::FromItem& item) {
+  switch (item.kind()) {
+    case sql::FromKind::kTable: {
+      const auto& ref = static_cast<const sql::TableRef&>(item);
+      const Table* table = db_->FindTable(ref.table);
+      if (table == nullptr) return Status::NotFound("no such table: " + ref.table);
+      std::string qualifier = ref.alias.empty() ? ToLower(ref.table) : ToLower(ref.alias);
+      return Rel::View(table, qualifier);
+    }
+    case sql::FromKind::kTableFunction:
+      return ResolveTableFunction(static_cast<const sql::TableFunctionRef&>(item));
+    case sql::FromKind::kSubquery: {
+      const auto& sub = static_cast<const sql::SubqueryRef&>(item);
+      Exec inner(db_);
+      auto result = inner.Run(*sub.subquery);
+      if (!result.ok()) return result.status();
+      std::string qualifier = ToLower(sub.alias);
+      std::vector<Rel::Col> cols;
+      cols.reserve(result->column_names.size());
+      for (const auto& name : result->column_names) {
+        cols.push_back(Rel::Col{qualifier, ToLower(name)});
+      }
+      return Rel::Owned(std::move(cols), std::move(result->rows));
+    }
+    case sql::FromKind::kJoin: {
+      const auto& join = static_cast<const sql::JoinRef&>(item);
+      auto left = ResolveFromItem(*join.left);
+      if (!left.ok()) return left.status();
+      auto right = ResolveFromItem(*join.right);
+      if (!right.ok()) return right.status();
+      return JoinRels(std::move(left.value()), std::move(right.value()), join.join_type,
+                      join.condition.get(), {});
+    }
+  }
+  return Status::Internal("unreachable FROM kind");
+}
+
+Result<Rel> Exec::JoinRels(Rel left, Rel right, sql::JoinType type,
+                           const sql::Expr* condition,
+                           const std::vector<const sql::Expr*>& where_conjuncts) {
+  std::vector<Rel::Col> cols = left.cols();
+  for (const auto& col : right.cols()) cols.push_back(col);
+
+  // Find one equi-condition binding a left column to a right column —
+  // from the ON clause first, then from WHERE conjuncts (comma joins).
+  int left_key = -1;
+  int right_key = -1;
+  std::vector<const sql::Expr*> candidates;
+  CollectConjuncts(condition, candidates);
+  for (const sql::Expr* conjunct : where_conjuncts) candidates.push_back(conjunct);
+  for (const sql::Expr* cand : candidates) {
+    const sql::ColumnRefExpr* a = nullptr;
+    const sql::ColumnRefExpr* b = nullptr;
+    if (!AsColumnEquality(*cand, &a, &b)) continue;
+    int la = left.Find(ToLower(a->qualifier), ToLower(a->name));
+    int rb = right.Find(ToLower(b->qualifier), ToLower(b->name));
+    if (la >= 0 && rb >= 0) {
+      left_key = la;
+      right_key = rb;
+      break;
+    }
+    int lb = left.Find(ToLower(b->qualifier), ToLower(b->name));
+    int ra = right.Find(ToLower(a->qualifier), ToLower(a->name));
+    if (lb >= 0 && ra >= 0) {
+      left_key = lb;
+      right_key = ra;
+      break;
+    }
+  }
+
+  std::vector<std::vector<Value>> rows;
+  const bool left_outer = type == sql::JoinType::kLeftOuter;
+
+  // Residual ON predicates (everything beyond the chosen equi key) are
+  // re-checked per matched pair via the generic evaluator.
+  auto residual_ok = [&](const std::vector<Value>& combined) -> Result<bool> {
+    if (condition == nullptr) return true;
+    Rel probe = Rel::Owned(cols, {combined});
+    RowCtx ctx{&probe, 0};
+    return EvalBool(*condition, ctx);
+  };
+
+  if (left_key >= 0) {
+    // Hash join: build on the right side.
+    std::unordered_map<std::string, std::vector<size_t>> build;
+    build.reserve(right.NumRows() * 2);
+    for (size_t r = 0; r < right.NumRows(); ++r) {
+      const Value& v = right.Cell(r, static_cast<size_t>(right_key));
+      if (v.is_null()) continue;
+      build[v.ToString()].push_back(r);
+    }
+    for (size_t l = 0; l < left.NumRows(); ++l) {
+      const Value& v = left.Cell(l, static_cast<size_t>(left_key));
+      bool matched = false;
+      if (!v.is_null()) {
+        auto it = build.find(v.ToString());
+        if (it != build.end()) {
+          for (size_t r : it->second) {
+            std::vector<Value> combined;
+            combined.reserve(cols.size());
+            left.CopyRowInto(l, combined);
+            right.CopyRowInto(r, combined);
+            auto ok = residual_ok(combined);
+            if (!ok.ok()) return ok.status();
+            if (*ok) {
+              matched = true;
+              rows.push_back(std::move(combined));
+            }
+          }
+        }
+      }
+      if (!matched && left_outer) {
+        std::vector<Value> combined;
+        combined.reserve(cols.size());
+        left.CopyRowInto(l, combined);
+        for (size_t c = 0; c < right.NumCols(); ++c) combined.push_back(Value::Null());
+        rows.push_back(std::move(combined));
+      }
+    }
+  } else {
+    // Nested loop (CROSS or non-equi ON).
+    for (size_t l = 0; l < left.NumRows(); ++l) {
+      bool matched = false;
+      for (size_t r = 0; r < right.NumRows(); ++r) {
+        std::vector<Value> combined;
+        combined.reserve(cols.size());
+        left.CopyRowInto(l, combined);
+        right.CopyRowInto(r, combined);
+        auto ok = residual_ok(combined);
+        if (!ok.ok()) return ok.status();
+        if (*ok) {
+          matched = true;
+          rows.push_back(std::move(combined));
+        }
+      }
+      if (!matched && left_outer) {
+        std::vector<Value> combined;
+        combined.reserve(cols.size());
+        left.CopyRowInto(l, combined);
+        for (size_t c = 0; c < right.NumCols(); ++c) combined.push_back(Value::Null());
+        rows.push_back(std::move(combined));
+      }
+    }
+  }
+  return Rel::Owned(std::move(cols), std::move(rows));
+}
+
+Result<Rel> Exec::FoldFrom(const sql::SelectStatement& stmt) {
+  if (stmt.from_items.empty()) {
+    // `SELECT 1`: one empty row.
+    return Rel::Owned({}, {std::vector<Value>{}});
+  }
+  std::vector<const sql::Expr*> where_conjuncts;
+  CollectConjuncts(stmt.where.get(), where_conjuncts);
+
+  auto acc = ResolveFromItem(*stmt.from_items[0]);
+  if (!acc.ok()) return acc.status();
+  Rel folded = std::move(acc.value());
+  for (size_t i = 1; i < stmt.from_items.size(); ++i) {
+    auto next = ResolveFromItem(*stmt.from_items[i]);
+    if (!next.ok()) return next.status();
+    auto joined = JoinRels(std::move(folded), std::move(next.value()),
+                           sql::JoinType::kCross, nullptr, where_conjuncts);
+    if (!joined.ok()) return joined.status();
+    folded = std::move(joined.value());
+  }
+  return folded;
+}
+
+Result<Value> Exec::Eval(const sql::Expr& expr, const RowCtx& ctx) {
+  switch (expr.kind()) {
+    case sql::ExprKind::kLiteral: {
+      const auto& lit = static_cast<const sql::LiteralExpr&>(expr);
+      switch (lit.literal_kind) {
+        case sql::LiteralKind::kNull: return Value::Null();
+        case sql::LiteralKind::kString: return Value::Str(lit.text);
+        case sql::LiteralKind::kNumber: {
+          // Integral literals stay integral (objids exceed double range).
+          if (lit.text.find('.') == std::string::npos &&
+              lit.text.find('e') == std::string::npos &&
+              lit.text.find('E') == std::string::npos) {
+            return Value::Int(std::strtoll(lit.text.c_str(), nullptr, 0));
+          }
+          return Value::Real(lit.number_value);
+        }
+      }
+      return Value::Null();
+    }
+    case sql::ExprKind::kVariable:
+      // Unbound T-SQL variables evaluate to NULL during replay.
+      return Value::Null();
+    case sql::ExprKind::kColumnRef: {
+      const auto& col = static_cast<const sql::ColumnRefExpr&>(expr);
+      int idx = ctx.rel->Find(ToLower(col.qualifier), ToLower(col.name));
+      if (idx < 0) {
+        return Status::NotFound(StrFormat("unknown column: %s", col.name.c_str()));
+      }
+      return ctx.rel->Cell(ctx.row, static_cast<size_t>(idx));
+    }
+    case sql::ExprKind::kUnary: {
+      const auto& unary = static_cast<const sql::UnaryExpr&>(expr);
+      if (unary.op == sql::UnaryOp::kNot) {
+        auto b = EvalBool(*unary.operand, ctx);
+        if (!b.ok()) return b.status();
+        return Value::Int(*b ? 0 : 1);
+      }
+      auto v = Eval(*unary.operand, ctx);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) return Value::Null();
+      if (unary.op == sql::UnaryOp::kMinus) {
+        if (v->kind() == Value::Kind::kInt64) return Value::Int(-v->AsInt());
+        return Value::Real(-v->AsDouble());
+      }
+      return std::move(v.value());
+    }
+    case sql::ExprKind::kBinary: {
+      const auto& bin = static_cast<const sql::BinaryExpr&>(expr);
+      switch (bin.op) {
+        case sql::BinaryOp::kAnd:
+        case sql::BinaryOp::kOr: {
+          auto b = EvalBool(expr, ctx);
+          if (!b.ok()) return b.status();
+          return Value::Int(*b ? 1 : 0);
+        }
+        case sql::BinaryOp::kEq:
+        case sql::BinaryOp::kNotEq:
+        case sql::BinaryOp::kLess:
+        case sql::BinaryOp::kLessEq:
+        case sql::BinaryOp::kGreater:
+        case sql::BinaryOp::kGreaterEq: {
+          auto b = EvalBool(expr, ctx);
+          if (!b.ok()) return b.status();
+          return Value::Int(*b ? 1 : 0);
+        }
+        default:
+          break;
+      }
+      auto lhs = Eval(*bin.lhs, ctx);
+      if (!lhs.ok()) return lhs.status();
+      auto rhs = Eval(*bin.rhs, ctx);
+      if (!rhs.ok()) return rhs.status();
+      if (lhs->is_null() || rhs->is_null()) return Value::Null();
+      bool both_int = lhs->kind() == Value::Kind::kInt64 &&
+                      rhs->kind() == Value::Kind::kInt64;
+      switch (bin.op) {
+        case sql::BinaryOp::kAdd:
+          if (both_int) return Value::Int(lhs->AsInt() + rhs->AsInt());
+          return Value::Real(lhs->AsDouble() + rhs->AsDouble());
+        case sql::BinaryOp::kSub:
+          if (both_int) return Value::Int(lhs->AsInt() - rhs->AsInt());
+          return Value::Real(lhs->AsDouble() - rhs->AsDouble());
+        case sql::BinaryOp::kMul:
+          if (both_int) return Value::Int(lhs->AsInt() * rhs->AsInt());
+          return Value::Real(lhs->AsDouble() * rhs->AsDouble());
+        case sql::BinaryOp::kDiv: {
+          double denom = rhs->AsDouble();
+          if (denom == 0.0) return Value::Null();
+          return Value::Real(lhs->AsDouble() / denom);
+        }
+        case sql::BinaryOp::kMod: {
+          int64_t denom = rhs->AsInt();
+          if (denom == 0) return Value::Null();
+          return Value::Int(lhs->AsInt() % denom);
+        }
+        default:
+          return Status::Internal("unexpected binary operator");
+      }
+    }
+    case sql::ExprKind::kSubquery: {
+      const auto& sub = static_cast<const sql::SubqueryExpr&>(expr);
+      Exec inner(db_);
+      auto result = inner.Run(*sub.subquery);
+      if (!result.ok()) return result.status();
+      if (result->rows.empty() || result->rows[0].empty()) return Value::Null();
+      return result->rows[0][0];
+    }
+    case sql::ExprKind::kCase: {
+      const auto& case_expr = static_cast<const sql::CaseExpr&>(expr);
+      for (const auto& branch : case_expr.branches) {
+        auto cond = EvalBool(*branch.condition, ctx);
+        if (!cond.ok()) return cond.status();
+        if (*cond) return Eval(*branch.value, ctx);
+      }
+      if (case_expr.else_value) return Eval(*case_expr.else_value, ctx);
+      return Value::Null();
+    }
+    case sql::ExprKind::kFunctionCall: {
+      const auto& fn = static_cast<const sql::FunctionCallExpr&>(expr);
+      // Aggregates are handled by the projection layer; reaching one
+      // here means it appeared in a row-level context.
+      if (IsAggregateName(fn.name)) {
+        return Status::Unsupported("aggregate in row-level context: " + fn.name);
+      }
+      std::string lower = ToLower(fn.name);
+      if (lower == "abs" && fn.args.size() == 1) {
+        auto v = Eval(*fn.args[0], ctx);
+        if (!v.ok()) return v.status();
+        if (v->is_null()) return Value::Null();
+        if (v->kind() == Value::Kind::kInt64) {
+          int64_t i = v->AsInt();
+          return Value::Int(i < 0 ? -i : i);
+        }
+        return Value::Real(std::fabs(v->AsDouble()));
+      }
+      if ((lower == "sqrt" || lower == "log" || lower == "exp") && fn.args.size() == 1) {
+        auto v = Eval(*fn.args[0], ctx);
+        if (!v.ok()) return v.status();
+        if (v->is_null()) return Value::Null();
+        double x = v->AsDouble();
+        if (lower == "sqrt") return Value::Real(std::sqrt(x));
+        if (lower == "log") return Value::Real(std::log(x));
+        return Value::Real(std::exp(x));
+      }
+      return Status::Unsupported("unknown scalar function: " + fn.name);
+    }
+    case sql::ExprKind::kStar:
+      return Status::Unsupported("bare * outside select list / count(*)");
+    case sql::ExprKind::kBetween:
+    case sql::ExprKind::kInList:
+    case sql::ExprKind::kInSubquery:
+    case sql::ExprKind::kExists:
+    case sql::ExprKind::kIsNull:
+    case sql::ExprKind::kLike: {
+      auto b = EvalBool(expr, ctx);
+      if (!b.ok()) return b.status();
+      return Value::Int(*b ? 1 : 0);
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<bool> Exec::EvalBool(const sql::Expr& expr, const RowCtx& ctx) {
+  switch (expr.kind()) {
+    case sql::ExprKind::kBinary: {
+      const auto& bin = static_cast<const sql::BinaryExpr&>(expr);
+      if (bin.op == sql::BinaryOp::kAnd) {
+        auto lhs = EvalBool(*bin.lhs, ctx);
+        if (!lhs.ok()) return lhs.status();
+        if (!*lhs) return false;
+        return EvalBool(*bin.rhs, ctx);
+      }
+      if (bin.op == sql::BinaryOp::kOr) {
+        auto lhs = EvalBool(*bin.lhs, ctx);
+        if (!lhs.ok()) return lhs.status();
+        if (*lhs) return true;
+        return EvalBool(*bin.rhs, ctx);
+      }
+      bool is_comparison =
+          bin.op == sql::BinaryOp::kEq || bin.op == sql::BinaryOp::kNotEq ||
+          bin.op == sql::BinaryOp::kLess || bin.op == sql::BinaryOp::kLessEq ||
+          bin.op == sql::BinaryOp::kGreater || bin.op == sql::BinaryOp::kGreaterEq;
+      if (is_comparison) {
+        auto lhs = Eval(*bin.lhs, ctx);
+        if (!lhs.ok()) return lhs.status();
+        auto rhs = Eval(*bin.rhs, ctx);
+        if (!rhs.ok()) return rhs.status();
+        // SQL semantics: comparisons against NULL are never true.
+        if (lhs->is_null() || rhs->is_null()) return false;
+        int cmp = lhs->Compare(*rhs);
+        switch (bin.op) {
+          case sql::BinaryOp::kEq: return cmp == 0;
+          case sql::BinaryOp::kNotEq: return cmp != 0;
+          case sql::BinaryOp::kLess: return cmp < 0;
+          case sql::BinaryOp::kLessEq: return cmp <= 0;
+          case sql::BinaryOp::kGreater: return cmp > 0;
+          case sql::BinaryOp::kGreaterEq: return cmp >= 0;
+          default: return false;
+        }
+      }
+      auto v = Eval(expr, ctx);
+      if (!v.ok()) return v.status();
+      return !v->is_null() && v->AsDouble() != 0.0;
+    }
+    case sql::ExprKind::kUnary: {
+      const auto& unary = static_cast<const sql::UnaryExpr&>(expr);
+      if (unary.op == sql::UnaryOp::kNot) {
+        auto b = EvalBool(*unary.operand, ctx);
+        if (!b.ok()) return b.status();
+        return !*b;
+      }
+      auto v = Eval(expr, ctx);
+      if (!v.ok()) return v.status();
+      return !v->is_null() && v->AsDouble() != 0.0;
+    }
+    case sql::ExprKind::kBetween: {
+      const auto& between = static_cast<const sql::BetweenExpr&>(expr);
+      auto v = Eval(*between.operand, ctx);
+      if (!v.ok()) return v.status();
+      auto lo = Eval(*between.low, ctx);
+      if (!lo.ok()) return lo.status();
+      auto hi = Eval(*between.high, ctx);
+      if (!hi.ok()) return hi.status();
+      if (v->is_null() || lo->is_null() || hi->is_null()) return false;
+      bool in_range = v->Compare(*lo) >= 0 && v->Compare(*hi) <= 0;
+      return between.negated ? !in_range : in_range;
+    }
+    case sql::ExprKind::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      auto v = Eval(*in.operand, ctx);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) return false;
+      // Fast path: an all-literal list probes a cached hash set. Keyed
+      // by canonical value text, which is stable across numeric kinds.
+      bool all_literals = true;
+      for (const auto& item : in.items) {
+        if (item->kind() != sql::ExprKind::kLiteral) {
+          all_literals = false;
+          break;
+        }
+      }
+      if (all_literals) {
+        auto [it, inserted] = in_list_sets_.try_emplace(&expr);
+        if (inserted) {
+          RowCtx empty_ctx{ctx.rel, ctx.row};
+          for (const auto& item : in.items) {
+            auto candidate = Eval(*item, empty_ctx);
+            if (!candidate.ok()) return candidate.status();
+            if (!candidate->is_null()) it->second.insert(candidate->ToString());
+          }
+        }
+        bool member = it->second.count(v->ToString()) > 0;
+        return in.negated ? !member : member;
+      }
+      for (const auto& item : in.items) {
+        auto candidate = Eval(*item, ctx);
+        if (!candidate.ok()) return candidate.status();
+        if (!candidate->is_null() && v->Equals(*candidate)) {
+          return !in.negated;
+        }
+      }
+      return in.negated;
+    }
+    case sql::ExprKind::kInSubquery: {
+      const auto& in = static_cast<const sql::InSubqueryExpr&>(expr);
+      auto v = Eval(*in.operand, ctx);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) return false;
+      Exec inner(db_);
+      auto result = inner.Run(*in.subquery);
+      if (!result.ok()) return result.status();
+      for (const auto& row : result->rows) {
+        if (!row.empty() && !row[0].is_null() && v->Equals(row[0])) {
+          return !in.negated;
+        }
+      }
+      return in.negated;
+    }
+    case sql::ExprKind::kExists: {
+      const auto& exists = static_cast<const sql::ExistsExpr&>(expr);
+      Exec inner(db_);
+      auto result = inner.Run(*exists.subquery);
+      if (!result.ok()) return result.status();
+      bool nonempty = !result->rows.empty();
+      return exists.negated ? !nonempty : nonempty;
+    }
+    case sql::ExprKind::kIsNull: {
+      const auto& is_null = static_cast<const sql::IsNullExpr&>(expr);
+      auto v = Eval(*is_null.operand, ctx);
+      if (!v.ok()) return v.status();
+      return is_null.negated ? !v->is_null() : v->is_null();
+    }
+    case sql::ExprKind::kLike: {
+      const auto& like = static_cast<const sql::LikeExpr&>(expr);
+      auto v = Eval(*like.operand, ctx);
+      if (!v.ok()) return v.status();
+      auto pattern = Eval(*like.pattern, ctx);
+      if (!pattern.ok()) return pattern.status();
+      if (v->is_null() || pattern->is_null()) return false;
+      bool match = LikeMatch(v->ToString(), pattern->ToString());
+      return like.negated ? !match : match;
+    }
+    default: {
+      auto v = Eval(expr, ctx);
+      if (!v.ok()) return v.status();
+      return !v->is_null() && v->AsDouble() != 0.0;
+    }
+  }
+}
+
+/// Output column label for a select item.
+std::string ItemLabel(const sql::SelectItem& item) {
+  if (!item.alias.empty()) return ToLower(item.alias);
+  if (item.expr->kind() == sql::ExprKind::kColumnRef) {
+    return ToLower(static_cast<const sql::ColumnRefExpr&>(*item.expr).name);
+  }
+  if (item.expr->kind() == sql::ExprKind::kFunctionCall) {
+    return ToLower(static_cast<const sql::FunctionCallExpr&>(*item.expr).name);
+  }
+  sql::PrintOptions opts;
+  return Print(*item.expr, opts);
+}
+
+Result<ResultSet> Exec::Run(const sql::SelectStatement& stmt) {
+  auto folded = FoldFrom(stmt);
+  if (!folded.ok()) return folded.status();
+  const Rel& rel = folded.value();
+
+  bool aggregated = !stmt.group_by.empty();
+  for (const auto& item : stmt.select_items) {
+    if (ExprContainsAggregate(*item.expr)) aggregated = true;
+  }
+
+  // Collect the indices of rows surviving WHERE.
+  std::vector<size_t> surviving;
+  for (size_t r = 0; r < rel.NumRows(); ++r) {
+    RowCtx ctx{&rel, r};
+    if (stmt.where) {
+      auto keep = EvalBool(*stmt.where, ctx);
+      if (!keep.ok()) return keep.status();
+      if (!*keep) continue;
+    }
+    surviving.push_back(r);
+  }
+
+  ResultSet result;
+
+  // Output column names.
+  for (const auto& item : stmt.select_items) {
+    if (item.expr->kind() == sql::ExprKind::kStar) {
+      const auto& star = static_cast<const sql::StarExpr&>(*item.expr);
+      std::string qualifier = ToLower(star.qualifier);
+      for (const auto& col : rel.cols()) {
+        if (qualifier.empty() || col.qualifier == qualifier) {
+          result.column_names.push_back(col.name);
+        }
+      }
+    } else {
+      result.column_names.push_back(ItemLabel(item));
+    }
+  }
+
+  if (!aggregated) {
+    // Row-by-row projection, with ORDER BY keys computed alongside.
+    struct OutRow {
+      std::vector<Value> keys;
+      std::vector<Value> cells;
+    };
+    std::vector<OutRow> out_rows;
+    out_rows.reserve(surviving.size());
+    for (size_t r : surviving) {
+      RowCtx ctx{&rel, r};
+      OutRow out;
+      for (const auto& item : stmt.select_items) {
+        if (item.expr->kind() == sql::ExprKind::kStar) {
+          const auto& star = static_cast<const sql::StarExpr&>(*item.expr);
+          std::string qualifier = ToLower(star.qualifier);
+          for (size_t c = 0; c < rel.NumCols(); ++c) {
+            if (qualifier.empty() || rel.cols()[c].qualifier == qualifier) {
+              out.cells.push_back(rel.Cell(r, c));
+            }
+          }
+        } else {
+          auto v = Eval(*item.expr, ctx);
+          if (!v.ok()) return v.status();
+          out.cells.push_back(std::move(v.value()));
+        }
+      }
+      for (const auto& key : stmt.order_by) {
+        auto v = Eval(*key.expr, ctx);
+        if (!v.ok()) return v.status();
+        out.keys.push_back(std::move(v.value()));
+      }
+      out_rows.push_back(std::move(out));
+    }
+    if (!stmt.order_by.empty()) {
+      std::stable_sort(out_rows.begin(), out_rows.end(),
+                       [&](const OutRow& a, const OutRow& b) {
+                         for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+                           int cmp = a.keys[k].Compare(b.keys[k]);
+                           if (cmp != 0) {
+                             return stmt.order_by[k].descending ? cmp > 0 : cmp < 0;
+                           }
+                         }
+                         return false;
+                       });
+    }
+    std::unordered_set<std::string> seen;
+    for (auto& out : out_rows) {
+      if (stmt.distinct) {
+        std::string key;
+        for (const auto& cell : out.cells) {
+          key += cell.ToString();
+          key.push_back('\x1f');
+        }
+        if (!seen.insert(key).second) continue;
+      }
+      result.rows.push_back(std::move(out.cells));
+      if (stmt.top_count >= 0 &&
+          result.rows.size() >= static_cast<size_t>(stmt.top_count)) {
+        break;
+      }
+    }
+    return result;
+  }
+
+  // Aggregated path: group surviving rows, one accumulator set per
+  // (group key, select item).
+  struct Group {
+    std::vector<size_t> rows;
+  };
+  std::vector<std::string> group_order;
+  std::unordered_map<std::string, Group> groups;
+  for (size_t r : surviving) {
+    RowCtx ctx{&rel, r};
+    std::string key;
+    for (const auto& g : stmt.group_by) {
+      auto v = Eval(*g, ctx);
+      if (!v.ok()) return v.status();
+      key += v->ToString();
+      key.push_back('\x1f');
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) group_order.push_back(key);
+    it->second.rows.push_back(r);
+  }
+  if (stmt.group_by.empty() && groups.empty()) {
+    // Global aggregate over zero rows still yields one row.
+    groups.try_emplace("");
+    group_order.push_back("");
+  }
+
+  struct AggRow {
+    std::vector<Value> keys;
+    std::vector<Value> cells;
+  };
+  std::vector<AggRow> agg_rows;
+  for (const auto& key : group_order) {
+    const Group& group = groups[key];
+    if (stmt.having) {
+      auto having_value = EvalAgg(*stmt.having, rel, group.rows);
+      if (!having_value.ok()) return having_value.status();
+      if (having_value->is_null() || having_value->AsDouble() == 0.0) continue;
+    }
+    AggRow out;
+    for (const auto& item : stmt.select_items) {
+      if (item.expr->kind() == sql::ExprKind::kStar) {
+        return Status::Unsupported("SELECT * with aggregation");
+      }
+      auto v = EvalAgg(*item.expr, rel, group.rows);
+      if (!v.ok()) return v.status();
+      out.cells.push_back(std::move(v.value()));
+    }
+    for (const auto& order : stmt.order_by) {
+      auto v = EvalAgg(*order.expr, rel, group.rows);
+      if (!v.ok()) return v.status();
+      out.keys.push_back(std::move(v.value()));
+    }
+    agg_rows.push_back(std::move(out));
+  }
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(agg_rows.begin(), agg_rows.end(),
+                     [&](const AggRow& a, const AggRow& b) {
+                       for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+                         int cmp = a.keys[k].Compare(b.keys[k]);
+                         if (cmp != 0) {
+                           return stmt.order_by[k].descending ? cmp > 0 : cmp < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+  for (auto& out : agg_rows) {
+    result.rows.push_back(std::move(out.cells));
+    if (stmt.top_count >= 0 && result.rows.size() >= static_cast<size_t>(stmt.top_count)) {
+      break;
+    }
+  }
+  return result;
+}
+
+Result<Value> Exec::EvalAgg(const sql::Expr& expr, const Rel& rel,
+                            const std::vector<size_t>& rows) {
+  switch (expr.kind()) {
+    case sql::ExprKind::kFunctionCall: {
+      const auto& fn = static_cast<const sql::FunctionCallExpr&>(expr);
+      if (!IsAggregateName(fn.name)) break;
+      std::string lower = ToLower(fn.name);
+      size_t dot = lower.rfind('.');
+      if (dot != std::string::npos) lower = lower.substr(dot + 1);
+      if (lower == "count" &&
+          (fn.args.empty() || fn.args[0]->kind() == sql::ExprKind::kStar)) {
+        return Value::Int(static_cast<int64_t>(rows.size()));
+      }
+      if (fn.args.empty()) {
+        return Status::InvalidArgument("aggregate without argument: " + fn.name);
+      }
+      Agg agg;
+      std::unordered_set<std::string> distinct_seen;
+      for (size_t r : rows) {
+        RowCtx ctx{&rel, r};
+        auto v = Eval(*fn.args[0], ctx);
+        if (!v.ok()) return v.status();
+        if (fn.distinct && !v->is_null()) {
+          if (!distinct_seen.insert(v->ToString()).second) continue;
+        }
+        agg.Add(*v);
+      }
+      if (lower == "count") return Value::Int(agg.count);
+      if (!agg.any) return Value::Null();
+      if (lower == "sum") return Value::Real(agg.sum);
+      if (lower == "avg") return Value::Real(agg.sum / static_cast<double>(agg.count));
+      if (lower == "min") return agg.min_v;
+      return agg.max_v;
+    }
+    case sql::ExprKind::kBinary: {
+      const auto& bin = static_cast<const sql::BinaryExpr&>(expr);
+      auto lhs = EvalAgg(*bin.lhs, rel, rows);
+      if (!lhs.ok()) return lhs.status();
+      auto rhs = EvalAgg(*bin.rhs, rel, rows);
+      if (!rhs.ok()) return rhs.status();
+      if (lhs->is_null() || rhs->is_null()) return Value::Null();
+      switch (bin.op) {
+        case sql::BinaryOp::kEq: return Value::Int(lhs->Compare(*rhs) == 0 ? 1 : 0);
+        case sql::BinaryOp::kNotEq: return Value::Int(lhs->Compare(*rhs) != 0 ? 1 : 0);
+        case sql::BinaryOp::kLess: return Value::Int(lhs->Compare(*rhs) < 0 ? 1 : 0);
+        case sql::BinaryOp::kLessEq: return Value::Int(lhs->Compare(*rhs) <= 0 ? 1 : 0);
+        case sql::BinaryOp::kGreater: return Value::Int(lhs->Compare(*rhs) > 0 ? 1 : 0);
+        case sql::BinaryOp::kGreaterEq: return Value::Int(lhs->Compare(*rhs) >= 0 ? 1 : 0);
+        case sql::BinaryOp::kAnd:
+          return Value::Int(lhs->AsDouble() != 0.0 && rhs->AsDouble() != 0.0 ? 1 : 0);
+        case sql::BinaryOp::kOr:
+          return Value::Int(lhs->AsDouble() != 0.0 || rhs->AsDouble() != 0.0 ? 1 : 0);
+        case sql::BinaryOp::kAdd: return Value::Real(lhs->AsDouble() + rhs->AsDouble());
+        case sql::BinaryOp::kSub: return Value::Real(lhs->AsDouble() - rhs->AsDouble());
+        case sql::BinaryOp::kMul: return Value::Real(lhs->AsDouble() * rhs->AsDouble());
+        case sql::BinaryOp::kDiv: {
+          double denom = rhs->AsDouble();
+          if (denom == 0.0) return Value::Null();
+          return Value::Real(lhs->AsDouble() / denom);
+        }
+        case sql::BinaryOp::kMod: {
+          int64_t denom = rhs->AsInt();
+          if (denom == 0) return Value::Null();
+          return Value::Int(lhs->AsInt() % denom);
+        }
+      }
+      return Status::Internal("unreachable aggregate binary op");
+    }
+    case sql::ExprKind::kUnary: {
+      const auto& unary = static_cast<const sql::UnaryExpr&>(expr);
+      auto v = EvalAgg(*unary.operand, rel, rows);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) return Value::Null();
+      switch (unary.op) {
+        case sql::UnaryOp::kNot: return Value::Int(v->AsDouble() == 0.0 ? 1 : 0);
+        case sql::UnaryOp::kMinus: return Value::Real(-v->AsDouble());
+        case sql::UnaryOp::kPlus: return std::move(v.value());
+      }
+      return Status::Internal("unreachable aggregate unary op");
+    }
+    default:
+      break;
+  }
+  // Non-aggregate leaf in a grouped query: evaluate on the group's
+  // first row (lenient, like SQLite).
+  if (rows.empty()) return Value::Null();
+  RowCtx ctx{&rel, rows[0]};
+  return Eval(expr, ctx);
+}
+
+}  // namespace
+
+Result<ResultSet> Executor::Execute(const sql::SelectStatement& stmt) const {
+  Exec exec(db_);
+  return exec.Run(stmt);
+}
+
+Result<ResultSet> Executor::ExecuteSql(const std::string& statement_text) const {
+  auto parsed = sql::ParseSelect(statement_text);
+  if (!parsed.ok()) return parsed.status();
+  return Execute(*parsed.value());
+}
+
+}  // namespace sqlog::engine

@@ -1,0 +1,45 @@
+#ifndef SQLOG_ENGINE_EXECUTOR_H_
+#define SQLOG_ENGINE_EXECUTOR_H_
+
+#include <string>
+
+#include "engine/database.h"
+#include "engine/table.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace sqlog::engine {
+
+/// Executes parsed SELECT statements of the dialect against an
+/// in-memory Database. Supports:
+///   - single-table scans with full WHERE evaluation (comparisons,
+///     AND/OR/NOT, IN lists & subqueries, BETWEEN, LIKE, IS NULL,
+///     arithmetic),
+///   - INNER/LEFT OUTER joins (hash join on a single equi-condition,
+///     nested-loop fallback) and comma-joins with equi-conditions pulled
+///     from WHERE,
+///   - derived tables, scalar subqueries, EXISTS,
+///   - SkyServer table-valued functions fGetNearbyObjEq /
+///     fGetNearestObjEq / fGetObjFromRect simulated over photoprimary,
+///   - aggregates count/sum/min/max/avg with GROUP BY and HAVING,
+///   - DISTINCT, TOP, ORDER BY.
+///
+/// This is the substrate for the Sec. 6.3 runtime experiment: running a
+/// Stifle's many point queries versus the one rewritten query.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  /// Executes a parsed statement.
+  Result<ResultSet> Execute(const sql::SelectStatement& stmt) const;
+
+  /// Parses and executes SQL text.
+  Result<ResultSet> ExecuteSql(const std::string& statement_text) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace sqlog::engine
+
+#endif  // SQLOG_ENGINE_EXECUTOR_H_

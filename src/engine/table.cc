@@ -1,0 +1,67 @@
+#include "engine/table.h"
+
+#include "util/string_util.h"
+
+namespace sqlog::engine {
+
+Status Table::AddColumn(const std::string& name, Value::Kind kind) {
+  if (row_count_ > 0) {
+    return Status::InvalidArgument("cannot add a column to a non-empty table");
+  }
+  std::string lower = ToLower(name);
+  if (index_.count(lower) > 0) {
+    return Status::AlreadyExists("duplicate column: " + lower);
+  }
+  index_[lower] = columns_.size();
+  columns_.push_back(Column{lower, kind});
+  data_.emplace_back();
+  return Status::OK();
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(ToLower(name));
+  if (it == index_.end()) return -1;
+  return static_cast<int>(it->second);
+}
+
+Status Table::AppendRow(std::vector<Value> values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, table has %zu columns", values.size(),
+                  columns_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    data_[i].push_back(std::move(values[i]));
+  }
+  ++row_count_;
+  return Status::OK();
+}
+
+std::string ResultSet::ToText(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += column_names[i];
+  }
+  out += "\n";
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (i > 0) out += "-+-";
+    out.append(column_names[i].size(), '-');
+  }
+  out += "\n";
+  size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) {
+      out += StrFormat("... (%zu more rows)\n", rows.size() - max_rows);
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sqlog::engine

@@ -1,0 +1,66 @@
+#ifndef SQLOG_ENGINE_TABLE_H_
+#define SQLOG_ENGINE_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/value.h"
+#include "util/status.h"
+
+namespace sqlog::engine {
+
+/// In-memory columnar table. Values are stored per column; rows are
+/// addressed by index. Schema is a flat (name, kind) list with
+/// case-insensitive lookup.
+class Table {
+ public:
+  struct Column {
+    std::string name;  // stored lower-case
+    Value::Kind kind = Value::Kind::kString;
+  };
+
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t row_count() const { return row_count_; }
+
+  /// Appends a column definition. Must be called before any rows exist.
+  Status AddColumn(const std::string& name, Value::Kind kind);
+
+  /// Case-insensitive; returns -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Appends one row; the value count must match the column count.
+  Status AppendRow(std::vector<Value> values);
+
+  /// Cell access; indices must be in range.
+  const Value& At(size_t row, size_t col) const { return data_[col][row]; }
+
+  /// Full column access (for scans).
+  const std::vector<Value>& ColumnData(size_t col) const { return data_[col]; }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::vector<Value>> data_;  // data_[col][row]
+  size_t row_count_ = 0;
+};
+
+/// Materialized query output: named columns plus row-major tuples.
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<Value>> rows;
+
+  size_t row_count() const { return rows.size(); }
+
+  /// Renders an ASCII table (examples and debugging).
+  std::string ToText(size_t max_rows = 20) const;
+};
+
+}  // namespace sqlog::engine
+
+#endif  // SQLOG_ENGINE_TABLE_H_

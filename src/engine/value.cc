@@ -1,0 +1,80 @@
+#include "engine/value.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace sqlog::engine {
+
+int64_t Value::AsInt() const {
+  switch (kind_) {
+    case Kind::kInt64: return int_;
+    case Kind::kDouble: return static_cast<int64_t>(double_);
+    case Kind::kString: return std::strtoll(string_.c_str(), nullptr, 10);
+    case Kind::kNull: return 0;
+  }
+  return 0;
+}
+
+double Value::AsDouble() const {
+  switch (kind_) {
+    case Kind::kInt64: return static_cast<double>(int_);
+    case Kind::kDouble: return double_;
+    case Kind::kString: return std::strtod(string_.c_str(), nullptr);
+    case Kind::kNull: return 0.0;
+  }
+  return 0.0;
+}
+
+int Value::Compare(const Value& other) const {
+  // NULLs order first; callers implement SQL semantics above this.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (kind_ == Kind::kString && other.kind_ == Kind::kString) {
+    // Case-insensitive comparison, matching SQL Server's default
+    // collation which the SkyServer logs assume.
+    const std::string& a = string_;
+    const std::string& b = other.string_;
+    size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (size_t i = 0; i < n; ++i) {
+      int ca = std::tolower(static_cast<unsigned char>(a[i]));
+      int cb = std::tolower(static_cast<unsigned char>(b[i]));
+      if (ca != cb) return ca < cb ? -1 : 1;
+    }
+    if (a.size() == b.size()) return 0;
+    return a.size() < b.size() ? -1 : 1;
+  }
+  if (kind_ == Kind::kInt64 && other.kind_ == Kind::kInt64) {
+    if (int_ == other.int_) return 0;
+    return int_ < other.int_ ? -1 : 1;
+  }
+  // Mixed numeric (or string vs number): compare as doubles.
+  double a = AsDouble();
+  double b = other.AsDouble();
+  if (a == b) return 0;
+  return a < b ? -1 : 1;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull: return "NULL";
+    case Kind::kInt64: return std::to_string(int_);
+    case Kind::kDouble: return StrFormat("%g", double_);
+    case Kind::kString: return string_;
+  }
+  return "NULL";
+}
+
+Value::Kind KindForColumnType(catalog::ColumnType type) {
+  switch (type) {
+    case catalog::ColumnType::kInt64: return Value::Kind::kInt64;
+    case catalog::ColumnType::kDouble: return Value::Kind::kDouble;
+    case catalog::ColumnType::kString: return Value::Kind::kString;
+  }
+  return Value::Kind::kString;
+}
+
+}  // namespace sqlog::engine

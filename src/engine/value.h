@@ -1,0 +1,69 @@
+#ifndef SQLOG_ENGINE_VALUE_H_
+#define SQLOG_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/schema.h"
+
+namespace sqlog::engine {
+
+/// Runtime value of the mini execution engine: NULL, 64-bit integer,
+/// double, or string. Small enough to copy freely.
+class Value {
+ public:
+  enum class Kind { kNull, kInt64, kDouble, kString };
+
+  Value() : kind_(Kind::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.kind_ = Kind::kInt64;
+    out.int_ = v;
+    return out;
+  }
+  static Value Real(double v) {
+    Value out;
+    out.kind_ = Kind::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.kind_ = Kind::kString;
+    out.string_ = std::move(v);
+    return out;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_numeric() const { return kind_ == Kind::kInt64 || kind_ == Kind::kDouble; }
+
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const { return string_; }
+
+  /// SQL-style three-valued comparison is handled by the executor; this
+  /// is a plain total comparison for non-null values: returns <0, 0, >0.
+  /// Numeric kinds compare numerically; strings compare
+  /// case-insensitively (SQL Server default collation behaviour).
+  int Compare(const Value& other) const;
+
+  bool Equals(const Value& other) const { return Compare(other) == 0; }
+
+  /// Human-readable rendering for result printing.
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+/// Maps a catalog column type to the value kind stored in it.
+Value::Kind KindForColumnType(catalog::ColumnType type);
+
+}  // namespace sqlog::engine
+
+#endif  // SQLOG_ENGINE_VALUE_H_

@@ -1,0 +1,646 @@
+#include "log/generator.h"
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace sqlog::log {
+
+namespace {
+
+// 2003-01-01 00:00:00 UTC — the SkyServer study window opens here.
+constexpr int64_t kEpochStartMs = 1041379200000LL;
+
+/// SkyServer-style 18-digit object id.
+int64_t MakeObjId(Rng& rng) {
+  return 587722981740000000LL + static_cast<int64_t>(rng.Uniform(9000000ULL)) * 131LL;
+}
+
+/// SkyServer-style spectro object id.
+int64_t MakeSpecObjId(Rng& rng) {
+  return 75094090000000000LL + static_cast<int64_t>(rng.Uniform(8000000ULL)) * 257LL;
+}
+
+std::string FormatDouble(double v) { return StrFormat("%.6f", v); }
+
+/// Picks a deterministic k-subset of `pool` based on `salt`, preserving
+/// pool order. Used to build distinct CTH/SWS column sets per family.
+std::vector<std::string> PickColumns(const std::vector<std::string>& pool, size_t count,
+                                     uint64_t salt) {
+  std::vector<std::string> out;
+  if (count >= pool.size()) return pool;
+  size_t start = salt % pool.size();
+  size_t step = 1 + (salt / 7) % (pool.size() - 1);
+  size_t idx = start;
+  while (out.size() < count) {
+    const std::string& candidate = pool[idx % pool.size()];
+    bool seen = false;
+    for (const auto& existing : out) {
+      if (existing == candidate) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(candidate);
+    idx += step;
+    ++step;  // avoid short cycles when step divides pool size
+  }
+  return out;
+}
+
+std::string JoinColumns(const std::vector<std::string>& cols) {
+  std::string out;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += cols[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryLog GenerateLog(const GeneratorConfig& config) {
+  return Generator(config).Generate();
+}
+
+Generator::UserClock Generator::MakeUser(const char* prefix, int index) {
+  UserClock user;
+  // Synthetic dotted-quad derived deterministically from prefix + index.
+  uint64_t h = Fnv1aOfPrefix(prefix, index);
+  user.ip = StrFormat("%u.%u.%u.%u", static_cast<unsigned>((h >> 24) % 223 + 1),
+                      static_cast<unsigned>((h >> 16) & 0xff),
+                      static_cast<unsigned>((h >> 8) & 0xff),
+                      static_cast<unsigned>(h & 0xff));
+  user.cursor_ms = kEpochStartMs + static_cast<int64_t>(rng_.Uniform(90ULL * 24 * 3600 * 1000));
+  return user;
+}
+
+uint64_t Generator::Fnv1aOfPrefix(const char* prefix, int index) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = prefix; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= static_cast<uint64_t>(index) + 0x9e37;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+void Generator::Emit(QueryLog& log, UserClock& user, const std::string& statement,
+                     int64_t row_count, TruthLabel truth, int64_t gap_ms) {
+  user.cursor_ms += gap_ms;
+  LogRecord record;
+  record.seq = static_cast<uint64_t>(log.size());
+  record.timestamp_ms = user.cursor_ms;
+  record.user = user.ip;
+  record.session = StrFormat("%s#%lld", user.ip.c_str(),
+                             static_cast<long long>(user.cursor_ms / (3600 * 1000)));
+  record.statement = statement;
+  record.row_count = row_count;
+  record.truth = truth;
+  log.Append(std::move(record));
+
+  // Web-form reload: the same statement lands again within a second.
+  if (rng_.Chance(config_.duplicate_prob)) {
+    user.cursor_ms += static_cast<int64_t>(100 + rng_.Uniform(800));
+    LogRecord dup;
+    dup.seq = static_cast<uint64_t>(log.size());
+    dup.timestamp_ms = user.cursor_ms;
+    dup.user = user.ip;
+    dup.session = StrFormat("%s#%lld", user.ip.c_str(),
+                            static_cast<long long>(user.cursor_ms / (3600 * 1000)));
+    dup.statement = statement;
+    dup.row_count = row_count;
+    // Reloads of broken/DML statements are still noise, not clean dups.
+    dup.truth = truth == TruthLabel::kNoise ? truth : TruthLabel::kDuplicate;
+    log.Append(std::move(dup));
+  }
+}
+
+void Generator::SessionPause(UserClock& user) {
+  // 10 minutes to 48 hours between sessions of the same user.
+  user.cursor_ms += static_cast<int64_t>(10 * 60 * 1000 + rng_.Uniform(48ULL * 3600 * 1000));
+}
+
+int64_t Generator::InRunGapMs() { return static_cast<int64_t>(400 + rng_.Uniform(4200)); }
+
+// --- spatial robot families (paper Table 7) ---------------------------------
+
+size_t Generator::EmitSpatialNearbySession(QueryLog& log) {
+  UserClock& user = spatial_nearby_users_[0];
+  size_t n = 80 + rng_.Uniform(400);
+  for (size_t i = 0; i < n; ++i) {
+    double ra = rng_.NextDouble() * 360.0;
+    double dec = rng_.NextDouble() * 180.0 - 90.0;
+    double radius = 0.5 + rng_.NextDouble() * 2.5;
+    std::string sql = StrFormat(
+        "SELECT g.objID, g.ra, g.dec, g.u, g.g, g.r, g.i, g.z, s.specObjID "
+        "FROM photoObjAll as g JOIN fGetNearbyObjEq(%s, %s, %s) as gn "
+        "ON g.objID = gn.objID LEFT OUTER JOIN specObj s ON s.bestObjID = gn.objID",
+        FormatDouble(ra).c_str(), FormatDouble(dec).c_str(), FormatDouble(radius).c_str());
+    Emit(log, user, sql, static_cast<int64_t>(rng_.Uniform(300)), TruthLabel::kOrganic,
+         InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
+size_t Generator::EmitSpatialRectSession(QueryLog& log) {
+  UserClock& user = spatial_rect_users_[rng_.Uniform(spatial_rect_users_.size())];
+  size_t n = 40 + rng_.Uniform(240);
+  for (size_t i = 0; i < n; ++i) {
+    double ra1 = rng_.NextDouble() * 355.0;
+    double dec1 = rng_.NextDouble() * 170.0 - 90.0;
+    double lo = 14.0 + rng_.NextDouble() * 4.0;
+    std::string sql = StrFormat(
+        "SELECT p.objID, p.ra, p.dec, p.r "
+        "FROM fGetObjFromRect(%s, %s, %s, %s) n, photoPrimary p "
+        "WHERE n.objID = p.objID and r between %s and %s",
+        FormatDouble(ra1).c_str(), FormatDouble(dec1).c_str(),
+        FormatDouble(ra1 + 0.5).c_str(), FormatDouble(dec1 + 0.5).c_str(),
+        FormatDouble(lo).c_str(), FormatDouble(lo + 3.0).c_str());
+    Emit(log, user, sql, static_cast<int64_t>(rng_.Uniform(800)), TruthLabel::kOrganic,
+         InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
+size_t Generator::EmitHtmCountSession(QueryLog& log) {
+  UserClock& user = htm_count_users_[0];
+  size_t n = 120 + rng_.Uniform(500);
+  int64_t htm = static_cast<int64_t>(rng_.Uniform(1000000000ULL)) * 16;
+  for (size_t i = 0; i < n; ++i) {
+    std::string sql = StrFormat(
+        "SELECT count(*) FROM photoPrimary WHERE htmid >= %lld and htmid <= %lld",
+        static_cast<long long>(htm), static_cast<long long>(htm + 16384));
+    htm += 16384;  // disjoint, sliding triangles
+    Emit(log, user, sql, 1, TruthLabel::kOrganic, InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
+size_t Generator::EmitNearbyInfoSession(QueryLog& log) {
+  UserClock& user = nearby_info_users_[0];
+  size_t n = 80 + rng_.Uniform(360);
+  for (size_t i = 0; i < n; ++i) {
+    double ra = rng_.NextDouble() * 360.0;
+    double dec = rng_.NextDouble() * 180.0 - 90.0;
+    std::string sql = StrFormat(
+        "SELECT p.objID, p.run, p.rerun, p.camcol, p.field, p.ra, p.dec "
+        "FROM fGetNearbyObjEq(%s, %s, 1.0) n, photoPrimary p WHERE n.objID = p.objID",
+        FormatDouble(ra).c_str(), FormatDouble(dec).c_str());
+    Emit(log, user, sql, static_cast<int64_t>(rng_.Uniform(200)), TruthLabel::kOrganic,
+         InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
+size_t Generator::EmitScanStripSession(QueryLog& log) {
+  UserClock& user = scan_strip_users_[0];
+  size_t n = 30 + rng_.Uniform(160);
+  for (size_t i = 0; i < n; ++i) {
+    double ra = rng_.NextDouble() * 360.0;
+    double dec = rng_.NextDouble() * 180.0 - 90.0;
+    long long run = 94 + static_cast<long long>(rng_.Uniform(8000));
+    std::string sql = StrFormat(
+        "SELECT ra, dec, objID, run, camcol, field "
+        "FROM fGetNearbyObjEq(%s, %s, 2.0) n, photoPrimary p "
+        "WHERE n.objID = p.objID and p.run = %lld",
+        FormatDouble(ra).c_str(), FormatDouble(dec).c_str(), run);
+    Emit(log, user, sql, static_cast<int64_t>(rng_.Uniform(400)), TruthLabel::kOrganic,
+         InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
+// --- Stifle families (paper Table 6) -----------------------------------------
+
+size_t Generator::EmitDwStifleSession(QueryLog& log) {
+  // Three colour-band variants, weighted like Table 6 ranks 1-3.
+  static constexpr std::array<const char*, 3> kBands = {"g", "r", "i"};
+  uint64_t pick = rng_.Uniform(14 + 14 + 10);
+  size_t variant = pick < 14 ? 0 : (pick < 28 ? 1 : 2);
+  // Rank 1 comes from 2 IPs, rank 2 from 3 IPs, rank 3 from 1 IP.
+  static constexpr std::array<size_t, 3> kIpBase = {0, 2, 5};
+  static constexpr std::array<size_t, 3> kIpCount = {2, 3, 1};
+  UserClock& user = dw_users_[kIpBase[variant] + rng_.Uniform(kIpCount[variant])];
+
+  size_t n = 4 + rng_.Uniform(36);
+  for (size_t i = 0; i < n; ++i) {
+    std::string sql = StrFormat(
+        "SELECT rowc_%s, colc_%s FROM photoPrimary WHERE objID = %lld", kBands[variant],
+        kBands[variant], static_cast<long long>(MakeObjId(rng_)));
+    Emit(log, user, sql, 1, TruthLabel::kDwStifle, InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
+size_t Generator::EmitDsStifleSession(QueryLog& log) {
+  // Two alternating-band variants (Table 6 ranks 4-5): for each object,
+  // fetch band A centroids then band B centroids — same FROM and WHERE,
+  // different SELECT.
+  size_t variant = rng_.Uniform(2);
+  const char* first = variant == 0 ? "r" : "g";
+  const char* second = variant == 0 ? "g" : "r";
+  UserClock& user = ds_users_[variant * 2 + rng_.Uniform(2)];
+
+  size_t pairs = 2 + rng_.Uniform(9);
+  for (size_t i = 0; i < pairs; ++i) {
+    long long objid = static_cast<long long>(MakeObjId(rng_));
+    Emit(log, user,
+         StrFormat("SELECT rowc_%s, colc_%s FROM photoPrimary WHERE objID = %lld", first,
+                   first, objid),
+         1, TruthLabel::kDsStifle, InRunGapMs());
+    Emit(log, user,
+         StrFormat("SELECT rowc_%s, colc_%s FROM photoPrimary WHERE objID = %lld", second,
+                   second, objid),
+         1, TruthLabel::kDsStifle, static_cast<int64_t>(150 + rng_.Uniform(900)));
+  }
+  SessionPause(user);
+  return pairs * 2;
+}
+
+size_t Generator::EmitDfStifleSession(QueryLog& log) {
+  UserClock& user = df_users_[rng_.Uniform(df_users_.size())];
+  size_t pairs = 2 + rng_.Uniform(7);
+  for (size_t i = 0; i < pairs; ++i) {
+    long long objid = static_cast<long long>(MakeObjId(rng_));
+    Emit(log, user,
+         StrFormat("SELECT ra, dec FROM photoPrimary WHERE objID = %lld", objid), 1,
+         TruthLabel::kDfStifle, InRunGapMs());
+    Emit(log, user,
+         StrFormat("SELECT flags, status FROM photoObjAll WHERE objID = %lld", objid), 1,
+         TruthLabel::kDfStifle, static_cast<int64_t>(150 + rng_.Uniform(900)));
+  }
+  SessionPause(user);
+  return pairs * 2;
+}
+
+// --- CTH candidate families ---------------------------------------------------
+
+size_t Generator::EmitCthSession(QueryLog& log) {
+  size_t family = next_cth_family_;
+  next_cth_family_ = (next_cth_family_ + 1) % cth_family_users_.size();
+  size_t real_count =
+      static_cast<size_t>(config_.cth_real_share * static_cast<double>(config_.cth_families));
+  bool real = family < real_count;
+  auto& users = cth_family_users_[family];
+  UserClock& user = users[rng_.Uniform(users.size())];
+
+  static const std::vector<std::string> kSpecCols = {
+      "plate", "fiberID", "mjd", "specObjID", "z", "zErr", "ra", "dec"};
+  static const std::vector<std::string> kPhotoCols = {
+      "ra", "dec", "u", "g", "r", "i", "z", "run", "camcol", "field", "flags"};
+
+  size_t emitted = 0;
+  if (real) {
+    // Program-driven treasure hunt: locate an object, then immediately
+    // fetch dependent rows keyed by the located id. Distinct select
+    // lists per family keep the templates distinct.
+    bool spec_flavour = (family % 2) == 0;
+    size_t width = 2 + family % 4;
+    if (spec_flavour) {
+      double ra = rng_.NextDouble() * 360.0;
+      double dec = rng_.NextDouble() * 180.0 - 90.0;
+      Emit(log, user,
+           StrFormat("SELECT * FROM dbo.fGetNearestObjEq(%s, %s, 0.1)",
+                     FormatDouble(ra).c_str(), FormatDouble(dec).c_str()),
+           1, TruthLabel::kCthReal, InRunGapMs());
+      ++emitted;
+      std::string cols = JoinColumns(PickColumns(kSpecCols, width, family * 131 + 7));
+      size_t followups = 1 + rng_.Uniform(5);
+      for (size_t i = 0; i < followups; ++i) {
+        Emit(log, user,
+             StrFormat("SELECT %s FROM specObjAll WHERE specObjID = %lld", cols.c_str(),
+                       static_cast<long long>(MakeSpecObjId(rng_))),
+             1, TruthLabel::kCthReal, static_cast<int64_t>(rng_.Uniform(400)));
+        ++emitted;
+      }
+    } else {
+      long long run = 94 + static_cast<long long>(rng_.Uniform(8000));
+      Emit(log, user,
+           StrFormat("SELECT objID, ra, dec FROM photoPrimary WHERE run = %lld", run),
+           static_cast<int64_t>(5 + rng_.Uniform(40)), TruthLabel::kCthReal, InRunGapMs());
+      ++emitted;
+      std::string cols = JoinColumns(PickColumns(kPhotoCols, width, family * 977 + 13));
+      size_t followups = 2 + rng_.Uniform(6);
+      for (size_t i = 0; i < followups; ++i) {
+        Emit(log, user,
+             StrFormat("SELECT %s FROM photoObjAll WHERE objID = %lld", cols.c_str(),
+                       static_cast<long long>(MakeObjId(rng_))),
+             1, TruthLabel::kCthReal, static_cast<int64_t>(rng_.Uniform(400)));
+        ++emitted;
+      }
+    }
+  } else {
+    // Human browsing that merely looks like a treasure hunt: list the
+    // tables, think for a while, then open one.
+    static const std::vector<std::string> kMetaCols = {"description", "text", "access",
+                                                       "rank", "type"};
+    static constexpr std::array<const char*, 6> kTableNames = {
+        "Galaxy", "Star", "photoObjAll", "specObj", "photoPrimary", "specObjAll"};
+    size_t width = 1 + family % 3;
+    std::string q1_cols = (family % 2) == 0 ? "name, type" : "name, type, access";
+    Emit(log, user,
+         StrFormat("SELECT %s FROM DBObjects WHERE type = 'U' ORDER BY name",
+                   q1_cols.c_str()),
+         static_cast<int64_t>(40 + rng_.Uniform(80)), TruthLabel::kCthFalse, InRunGapMs());
+    ++emitted;
+    std::string cols = JoinColumns(PickColumns(kMetaCols, width, family * 613 + 3));
+    // Humans reflect before the follow-up: 15-90 seconds.
+    Emit(log, user,
+         StrFormat("SELECT %s FROM DBObjects WHERE name = '%s'", cols.c_str(),
+                   kTableNames[rng_.Uniform(kTableNames.size())]),
+         1, TruthLabel::kCthFalse, static_cast<int64_t>(15000 + rng_.Uniform(75000)));
+    ++emitted;
+  }
+  SessionPause(user);
+  return emitted;
+}
+
+// --- SWS robots ----------------------------------------------------------------
+
+size_t Generator::EmitSwsSession(QueryLog& log) {
+  size_t family = rng_.Uniform(sws_users_.size());
+  UserClock& user = sws_users_[family];
+  static const std::vector<std::string> kExtraCols = {
+      "u", "g", "r", "i", "z", "run", "rerun", "camcol", "field", "htmid", "type", "flags"};
+  // Guaranteed-distinct column sets per family: singles first, then
+  // adjacent pairs with growing stride — one robot, one template.
+  std::vector<std::string> cols;
+  const size_t pool = kExtraCols.size();
+  if (family < pool) {
+    cols = {kExtraCols[family]};
+  } else {
+    size_t rank = family - pool;
+    size_t first = rank % pool;
+    size_t stride = 1 + rank / pool;
+    cols = {kExtraCols[first], kExtraCols[(first + stride) % pool]};
+  }
+  std::string extra = JoinColumns(cols);
+
+  size_t n = 80 + rng_.Uniform(700);
+  double& pos = sws_window_pos_[family];
+  const double width = 0.05;
+  for (size_t i = 0; i < n; ++i) {
+    std::string sql = StrFormat(
+        "SELECT objID, ra, dec, %s FROM photoPrimary WHERE ra >= %s and ra < %s",
+        extra.c_str(), FormatDouble(pos).c_str(), FormatDouble(pos + width).c_str());
+    pos += width;  // disjoint sliding windows — the machine download
+    if (pos >= 360.0) pos -= 360.0;
+    Emit(log, user, sql, static_cast<int64_t>(500 + rng_.Uniform(4500)), TruthLabel::kSws,
+         InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
+// --- misc families ---------------------------------------------------------------
+
+size_t Generator::EmitSncSession(QueryLog& log) {
+  UserClock& user = snc_users_[rng_.Uniform(snc_users_.size())];
+  size_t n = 1 + rng_.Uniform(3);
+  for (size_t i = 0; i < n; ++i) {
+    bool negated = rng_.Chance(0.4);
+    Emit(log, user,
+         negated ? std::string("SELECT * FROM Bugs WHERE assigned_to <> NULL")
+                 : std::string("SELECT * FROM Bugs WHERE assigned_to = NULL"),
+         0, TruthLabel::kSnc, InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
+size_t Generator::EmitHumanSession(QueryLog& log) {
+  UserClock& user = human_users_[rng_.Zipf(human_users_.size(), 1.2)];
+  size_t n = 1 + rng_.Uniform(6);
+  for (size_t i = 0; i < n; ++i) {
+    std::string sql;
+    int64_t rows = static_cast<int64_t>(rng_.Uniform(5000));
+    // Weighted shape choice: the two low-variety shapes (count-by-class,
+    // DBObjects browse) are rare, like in the real log — otherwise the
+    // unrestricted-dedup gap of Table 4 would balloon.
+    static constexpr int kShapeOf[20] = {0, 0, 0, 1, 1, 1, 2, 2, 2, 3,
+                                         4, 4, 4, 5, 6, 6, 7, 7, 8, 8};
+    switch (kShapeOf[rng_.Uniform(20)]) {
+      case 0:
+        sql = StrFormat(
+            "SELECT top %llu objID, ra, dec, u, g, r, i, z FROM Galaxy "
+            "WHERE r < %s and g - r > %s",
+            static_cast<unsigned long long>(10 + rng_.Uniform(90) * 10),
+            FormatDouble(14.0 + rng_.NextDouble() * 8).c_str(),
+            FormatDouble(rng_.NextDouble()).c_str());
+        break;
+      case 1:
+        sql = StrFormat(
+            "SELECT objID, ra, dec FROM photoPrimary WHERE ra > %s and ra < %s "
+            "and dec > %s and dec < %s",
+            FormatDouble(rng_.NextDouble() * 350).c_str(),
+            FormatDouble(rng_.NextDouble() * 350 + 5).c_str(),
+            FormatDouble(rng_.NextDouble() * 160 - 90).c_str(),
+            FormatDouble(rng_.NextDouble() * 160 - 70).c_str());
+        break;
+      case 2:
+        sql = StrFormat(
+            "SELECT p.objID, p.u, p.g, p.r, p.i, p.z, s.z as redshift "
+            "FROM photoPrimary p JOIN specObj s ON s.bestObjID = p.objID "
+            "WHERE s.z between %s and %s",
+            FormatDouble(rng_.NextDouble() * 0.4).c_str(),
+            FormatDouble(0.4 + rng_.NextDouble() * 0.4).c_str());
+        break;
+      case 3:
+        sql = StrFormat("SELECT count(*) FROM specObj WHERE specClass = %llu",
+                        static_cast<unsigned long long>(1 + rng_.Uniform(6)));
+        rows = 1;
+        break;
+      case 4:
+        sql = StrFormat("SELECT plate, mjd, fiberID FROM specObj WHERE z > %s and zErr < %s",
+                        FormatDouble(rng_.NextDouble()).c_str(),
+                        FormatDouble(0.001 + rng_.NextDouble() * 0.01).c_str());
+        break;
+      case 5:
+        sql = "SELECT name FROM DBObjects WHERE type = 'V'";
+        rows = 42;
+        break;
+      case 6:
+        sql = StrFormat(
+            "SELECT top 10 * FROM photoPrimary WHERE htmid between %llu and %llu",
+            static_cast<unsigned long long>(rng_.Uniform(1000000000ULL)),
+            static_cast<unsigned long long>(1000000000ULL + rng_.Uniform(1000000ULL)));
+        break;
+      case 7:
+        sql = StrFormat(
+            "SELECT objID, u - g as ug, g - r as gr FROM photoPrimary "
+            "WHERE type = %llu and u - g between %s and %s",
+            static_cast<unsigned long long>(3 + rng_.Uniform(4)),
+            FormatDouble(rng_.NextDouble()).c_str(),
+            FormatDouble(1.0 + rng_.NextDouble()).c_str());
+        break;
+      default:
+        sql = StrFormat(
+            "SELECT s.plate, s.mjd, s.fiberID, s.z FROM specObjAll s "
+            "WHERE s.specClass = %llu and s.zErr < %s ORDER BY s.z desc",
+            static_cast<unsigned long long>(1 + rng_.Uniform(6)),
+            FormatDouble(0.001 + rng_.NextDouble() * 0.01).c_str());
+        break;
+    }
+    // Humans pause 3-120 seconds between queries.
+    Emit(log, user, sql, rows, TruthLabel::kOrganic,
+         static_cast<int64_t>(3000 + rng_.Uniform(117000)));
+  }
+  SessionPause(user);
+  return n;
+}
+
+size_t Generator::EmitNoiseStatement(QueryLog& log) {
+  UserClock& user = noise_users_[rng_.Uniform(noise_users_.size())];
+  std::string sql;
+  switch (rng_.Uniform(5)) {
+    case 0:
+      sql = StrFormat("INSERT INTO mydb.results (objID, ra, dec) VALUES (%lld, 1.0, 2.0)",
+                      static_cast<long long>(MakeObjId(rng_)));
+      break;
+    case 1:
+      sql = StrFormat("UPDATE mydb.results SET checked = 1 WHERE objID = %lld",
+                      static_cast<long long>(MakeObjId(rng_)));
+      break;
+    case 2:
+      sql = "CREATE TABLE #tmp (objID bigint, ra float, dec float)";
+      break;
+    case 3:
+      sql = StrFormat("DELETE FROM mydb.results WHERE objID = %lld",
+                      static_cast<long long>(MakeObjId(rng_)));
+      break;
+    default:
+      sql = "DROP TABLE #tmp";
+      break;
+  }
+  Emit(log, user, sql, 0, TruthLabel::kNoise, InRunGapMs());
+  SessionPause(user);
+  return 1;
+}
+
+size_t Generator::EmitSyntaxErrorStatement(QueryLog& log) {
+  UserClock& user = noise_users_[rng_.Uniform(noise_users_.size())];
+  static constexpr std::array<const char*, 4> kBroken = {
+      "SELECT FROM photoPrimary WHERE objID = 1",
+      "SELECT objid, FROM photoPrimary",
+      "SELECT count( FROM photoPrimary",
+      "SELECT * FROM photoPrimary WHERE ra >",
+  };
+  Emit(log, user, kBroken[rng_.Uniform(kBroken.size())], 0, TruthLabel::kNoise,
+       InRunGapMs());
+  SessionPause(user);
+  return 1;
+}
+
+// --- driver ---------------------------------------------------------------------
+
+QueryLog Generator::Generate() {
+  // Dedicated users per robot family.
+  spatial_nearby_users_ = {MakeUser("nearby", 0)};
+  spatial_rect_users_.clear();
+  for (int i = 0; i < 19; ++i) spatial_rect_users_.push_back(MakeUser("rect", i));
+  htm_count_users_ = {MakeUser("htm", 0)};
+  nearby_info_users_ = {MakeUser("nearbyinfo", 0)};
+  scan_strip_users_ = {MakeUser("strip", 0)};
+  dw_users_.clear();
+  for (int i = 0; i < 6; ++i) dw_users_.push_back(MakeUser("dw", i));
+  ds_users_.clear();
+  for (int i = 0; i < 4; ++i) ds_users_.push_back(MakeUser("ds", i));
+  df_users_.clear();
+  for (int i = 0; i < 2; ++i) df_users_.push_back(MakeUser("df", i));
+
+  size_t real_count = static_cast<size_t>(config_.cth_real_share *
+                                          static_cast<double>(config_.cth_families));
+  cth_family_users_.clear();
+  cth_family_users_.resize(static_cast<size_t>(config_.cth_families));
+  for (size_t f = 0; f < cth_family_users_.size(); ++f) {
+    // Real (program-driven) hunts come from 1-3 IPs; human look-alikes
+    // from many — this separation drives Fig. 2(d).
+    size_t ip_count = f < real_count ? 1 + f % 3 : 4 + f % 9;
+    for (size_t i = 0; i < ip_count; ++i) {
+      cth_family_users_[f].push_back(MakeUser("cth", static_cast<int>(f * 100 + i)));
+    }
+  }
+
+  sws_users_.clear();
+  sws_window_pos_.clear();
+  for (int i = 0; i < config_.sws_families; ++i) {
+    sws_users_.push_back(MakeUser("sws", i));
+    sws_window_pos_.push_back(rng_.NextDouble() * 300.0);
+  }
+  snc_users_.clear();
+  for (int i = 0; i < 3; ++i) snc_users_.push_back(MakeUser("snc", i));
+  human_users_.clear();
+  for (int i = 0; i < config_.human_users; ++i) {
+    human_users_.push_back(MakeUser("human", i));
+  }
+  noise_users_.clear();
+  for (int i = 0; i < 12; ++i) noise_users_.push_back(MakeUser("noise", i));
+
+  struct Family {
+    double frac;
+    size_t emitted;
+    size_t (Generator::*emit)(QueryLog&);
+  };
+  double human_frac = 1.0 - config_.frac_noise_dml - config_.frac_syntax_errors -
+                      config_.frac_spatial_nearby - config_.frac_spatial_rect -
+                      config_.frac_htm_count - config_.frac_nearby_info -
+                      config_.frac_scan_strip - config_.frac_dw_stifle -
+                      config_.frac_ds_stifle - config_.frac_df_stifle - config_.frac_cth -
+                      config_.frac_sws - config_.frac_snc;
+  if (human_frac < 0.05) human_frac = 0.05;
+
+  std::vector<Family> families = {
+      {config_.frac_spatial_nearby, 0, &Generator::EmitSpatialNearbySession},
+      {config_.frac_spatial_rect, 0, &Generator::EmitSpatialRectSession},
+      {config_.frac_htm_count, 0, &Generator::EmitHtmCountSession},
+      {config_.frac_nearby_info, 0, &Generator::EmitNearbyInfoSession},
+      {config_.frac_scan_strip, 0, &Generator::EmitScanStripSession},
+      {config_.frac_dw_stifle, 0, &Generator::EmitDwStifleSession},
+      {config_.frac_ds_stifle, 0, &Generator::EmitDsStifleSession},
+      {config_.frac_df_stifle, 0, &Generator::EmitDfStifleSession},
+      {config_.frac_cth, 0, &Generator::EmitCthSession},
+      {config_.frac_sws, 0, &Generator::EmitSwsSession},
+      {config_.frac_snc, 0, &Generator::EmitSncSession},
+      {config_.frac_noise_dml, 0, &Generator::EmitNoiseStatement},
+      {config_.frac_syntax_errors, 0, &Generator::EmitSyntaxErrorStatement},
+      {human_frac, 0, &Generator::EmitHumanSession},
+  };
+
+  QueryLog log;
+  // Emit sessions until every family has met its quota: small families
+  // (DF-Stifle, SNC, CTH) must not be starved by the big robots, so the
+  // loop keys on per-family deficits rather than the total size.
+  while (true) {
+    double best_deficit = 0.0;
+    size_t best = families.size();
+    for (size_t i = 0; i < families.size(); ++i) {
+      double want = families[i].frac * static_cast<double>(config_.target_statements);
+      double deficit = want - static_cast<double>(families[i].emitted);
+      // Jitter interleaves the tail ends of similar-sized families.
+      deficit += rng_.NextDouble() * 4.0;
+      if (deficit > best_deficit && deficit > 1.0) {
+        best_deficit = deficit;
+        best = i;
+      }
+    }
+    if (best == families.size()) break;  // all quotas met
+    families[best].emitted += (this->*families[best].emit)(log);
+  }
+
+  log.SortByTime();
+  log.Renumber();
+  return log;
+}
+
+}  // namespace sqlog::log

@@ -1,0 +1,131 @@
+#ifndef SQLOG_LOG_GENERATOR_H_
+#define SQLOG_LOG_GENERATOR_H_
+
+#include <cstdint>
+
+#include "log/record.h"
+#include "util/random.h"
+
+namespace sqlog::log {
+
+/// Mix configuration for the synthetic SkyServer-style workload. The
+/// default fractions are calibrated so that the pipeline reproduces the
+/// *shape* of the paper's Table 5: ~96% SELECT share, ~4% duplicates,
+/// ~19% of the log covered by solvable Stifles, CTH coverage ~1%, a
+/// heavy SWS share, and top patterns dominated by one-user spatial
+/// robots.
+struct GeneratorConfig {
+  uint64_t seed = 20180416;       // ICDE'18 vintage
+  size_t target_statements = 200000;
+
+  // Workload family shares (of all statements). The remainder after
+  // noise/errors/stifles/cth/sws is filled with human ad-hoc queries.
+  double frac_noise_dml = 0.041;       // INSERT/UPDATE/CREATE/... statements
+  double frac_syntax_errors = 0.004;   // unparseable SELECTs
+  double frac_spatial_nearby = 0.087;  // paper Table 7 rank 1 (1 user)
+  double frac_spatial_rect = 0.080;    // rank 2 (19 users)
+  double frac_htm_count = 0.057;       // rank 3 (1 user)
+  double frac_nearby_info = 0.054;     // rank 4 (1 user)
+  double frac_scan_strip = 0.018;      // rank 5 (1 user)
+  double frac_dw_stifle = 0.150;       // Table 6 ranks 1-3
+  double frac_ds_stifle = 0.030;       // Table 6 ranks 4-5
+  double frac_df_stifle = 0.005;
+  double frac_cth = 0.011;
+  double frac_sws = 0.120;             // sliding-window robots
+  double frac_snc = 0.002;
+
+  /// Probability that a SELECT is instantly re-issued (web-form reload);
+  /// produces the duplicates the dedup stage removes (Table 4).
+  double duplicate_prob = 0.042;
+
+  /// Number of ordinary human users issuing ad-hoc queries.
+  int human_users = 400;
+
+  /// Distinct sliding-window robot families (each one template + user).
+  int sws_families = 23;
+
+  /// Distinct CTH candidate families; ~56% are real (28/50 in the paper).
+  int cth_families = 50;
+  double cth_real_share = 0.56;
+};
+
+/// Deterministic synthetic query-log generator. Given the same config it
+/// produces a byte-identical log, so experiments and golden tests are
+/// reproducible. Records carry TruthLabel ground truth.
+class Generator {
+ public:
+  explicit Generator(GeneratorConfig config) : config_(config), rng_(config.seed) {}
+
+  /// Generates the full log, time-sorted and renumbered.
+  QueryLog Generate();
+
+ private:
+  struct UserClock {
+    std::string ip;
+    int64_t cursor_ms = 0;
+  };
+
+  // Family emitters. Each emits one session (a run of statements from
+  // one user) and returns the number of statements emitted.
+  size_t EmitSpatialNearbySession(QueryLog& log);
+  size_t EmitSpatialRectSession(QueryLog& log);
+  size_t EmitHtmCountSession(QueryLog& log);
+  size_t EmitNearbyInfoSession(QueryLog& log);
+  size_t EmitScanStripSession(QueryLog& log);
+  size_t EmitDwStifleSession(QueryLog& log);
+  size_t EmitDsStifleSession(QueryLog& log);
+  size_t EmitDfStifleSession(QueryLog& log);
+  size_t EmitCthSession(QueryLog& log);
+  size_t EmitSwsSession(QueryLog& log);
+  size_t EmitSncSession(QueryLog& log);
+  size_t EmitHumanSession(QueryLog& log);
+  size_t EmitNoiseStatement(QueryLog& log);
+  size_t EmitSyntaxErrorStatement(QueryLog& log);
+
+  /// Appends one record for `user`, advancing its clock by
+  /// `gap_ms`; with probability duplicate_prob appends an immediate
+  /// duplicate labelled kDuplicate.
+  void Emit(QueryLog& log, UserClock& user, const std::string& statement,
+            int64_t row_count, TruthLabel truth, int64_t gap_ms);
+
+  /// Advances a user clock past a between-sessions pause.
+  void SessionPause(UserClock& user);
+
+  /// Random in-run gap between consecutive statements of one session.
+  int64_t InRunGapMs();
+
+  UserClock MakeUser(const char* prefix, int index);
+
+  /// Deterministic hash for synthesizing stable per-user IPs.
+  static uint64_t Fnv1aOfPrefix(const char* prefix, int index);
+
+  GeneratorConfig config_;
+  Rng rng_;
+
+  // Dedicated robot users, created lazily in Generate().
+  std::vector<UserClock> spatial_nearby_users_;
+  std::vector<UserClock> spatial_rect_users_;
+  std::vector<UserClock> htm_count_users_;
+  std::vector<UserClock> nearby_info_users_;
+  std::vector<UserClock> scan_strip_users_;
+  std::vector<UserClock> dw_users_;
+  std::vector<UserClock> ds_users_;
+  std::vector<UserClock> df_users_;
+  std::vector<std::vector<UserClock>> cth_family_users_;
+  std::vector<UserClock> sws_users_;
+  std::vector<UserClock> snc_users_;
+  std::vector<UserClock> human_users_;
+  std::vector<UserClock> noise_users_;
+
+  // Per-family sliding-window positions for the SWS robots.
+  std::vector<double> sws_window_pos_;
+  // Round-robin cursor over CTH families.
+  size_t next_cth_family_ = 0;
+};
+
+/// Convenience wrapper: generate with the given config.
+QueryLog GenerateLog(const GeneratorConfig& config);
+
+}  // namespace sqlog::log
+
+#endif  // SQLOG_LOG_GENERATOR_H_

@@ -1,0 +1,33 @@
+#ifndef SQLOG_LOG_LOG_IO_H_
+#define SQLOG_LOG_LOG_IO_H_
+
+#include <string>
+
+#include "log/record.h"
+#include "util/status.h"
+
+namespace sqlog::log {
+
+/// CSV serialization of query logs. Format (with header row):
+///   seq,timestamp_ms,user,session,row_count,truth,statement
+/// Statements are CSV-escaped, so embedded commas/quotes/newlines
+/// round-trip.
+class LogIo {
+ public:
+  /// Serializes a log to CSV text.
+  static std::string ToCsv(const QueryLog& log);
+
+  /// Parses CSV text produced by ToCsv (or hand-written with the same
+  /// header). Rows with the wrong field count produce an error.
+  static Result<QueryLog> FromCsv(const std::string& csv_text);
+
+  /// Writes a log to a file.
+  static Status WriteFile(const QueryLog& log, const std::string& path);
+
+  /// Reads a log from a file.
+  static Result<QueryLog> ReadFile(const std::string& path);
+};
+
+}  // namespace sqlog::log
+
+#endif  // SQLOG_LOG_LOG_IO_H_

@@ -1,0 +1,102 @@
+#include "sql/ast.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace sqlog::sql {
+
+InSubqueryExpr::InSubqueryExpr(ExprPtr operand_in,
+                               std::unique_ptr<SelectStatement> subquery_in, bool negated_in)
+    : Expr(ExprKind::kInSubquery),
+      operand(std::move(operand_in)),
+      subquery(std::move(subquery_in)),
+      negated(negated_in) {}
+
+InSubqueryExpr::~InSubqueryExpr() = default;
+
+std::unique_ptr<Expr> InSubqueryExpr::Clone() const {
+  return std::make_unique<InSubqueryExpr>(operand->Clone(), subquery->Clone(), negated);
+}
+
+ExistsExpr::ExistsExpr(std::unique_ptr<SelectStatement> subquery_in, bool negated_in)
+    : Expr(ExprKind::kExists), subquery(std::move(subquery_in)), negated(negated_in) {}
+
+ExistsExpr::~ExistsExpr() = default;
+
+std::unique_ptr<Expr> ExistsExpr::Clone() const {
+  return std::make_unique<ExistsExpr>(subquery->Clone(), negated);
+}
+
+SubqueryExpr::SubqueryExpr(std::unique_ptr<SelectStatement> subquery_in)
+    : Expr(ExprKind::kSubquery), subquery(std::move(subquery_in)) {}
+
+SubqueryExpr::~SubqueryExpr() = default;
+
+std::unique_ptr<Expr> SubqueryExpr::Clone() const {
+  return std::make_unique<SubqueryExpr>(subquery->Clone());
+}
+
+SubqueryRef::SubqueryRef(std::unique_ptr<SelectStatement> subquery_in, std::string alias_in)
+    : FromItem(FromKind::kSubquery),
+      subquery(std::move(subquery_in)),
+      alias(std::move(alias_in)) {}
+
+SubqueryRef::~SubqueryRef() = default;
+
+std::unique_ptr<FromItem> SubqueryRef::Clone() const {
+  return std::make_unique<SubqueryRef>(subquery->Clone(), alias);
+}
+
+StatementKind ClassifyStatement(const std::string& statement_text) {
+  std::string_view trimmed = Trim(statement_text);
+  // Skip leading comments so `-- note\nSELECT` classifies as SELECT.
+  while (true) {
+    if (trimmed.size() >= 2 && trimmed[0] == '-' && trimmed[1] == '-') {
+      size_t nl = trimmed.find('\n');
+      if (nl == std::string_view::npos) return StatementKind::kOther;
+      trimmed = Trim(trimmed.substr(nl + 1));
+      continue;
+    }
+    if (trimmed.size() >= 2 && trimmed[0] == '/' && trimmed[1] == '*') {
+      size_t close = trimmed.find("*/");
+      if (close == std::string_view::npos) return StatementKind::kOther;
+      trimmed = Trim(trimmed.substr(close + 2));
+      continue;
+    }
+    break;
+  }
+  if (trimmed.empty()) return StatementKind::kOther;
+  // Parenthesized selects: `(SELECT ...)`.
+  while (!trimmed.empty() && trimmed.front() == '(') trimmed = Trim(trimmed.substr(1));
+  size_t end = 0;
+  while (end < trimmed.size() &&
+         (std::isalpha(static_cast<unsigned char>(trimmed[end])) != 0)) {
+    ++end;
+  }
+  std::string_view word = trimmed.substr(0, end);
+  if (EqualsIgnoreCase(word, "select")) return StatementKind::kSelect;
+  if (EqualsIgnoreCase(word, "insert")) return StatementKind::kInsert;
+  if (EqualsIgnoreCase(word, "update")) return StatementKind::kUpdate;
+  if (EqualsIgnoreCase(word, "delete")) return StatementKind::kDelete;
+  if (EqualsIgnoreCase(word, "create")) return StatementKind::kCreate;
+  if (EqualsIgnoreCase(word, "drop")) return StatementKind::kDrop;
+  if (EqualsIgnoreCase(word, "alter")) return StatementKind::kAlter;
+  return StatementKind::kOther;
+}
+
+const char* StatementKindName(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kSelect: return "SELECT";
+    case StatementKind::kInsert: return "INSERT";
+    case StatementKind::kUpdate: return "UPDATE";
+    case StatementKind::kDelete: return "DELETE";
+    case StatementKind::kCreate: return "CREATE";
+    case StatementKind::kDrop: return "DROP";
+    case StatementKind::kAlter: return "ALTER";
+    case StatementKind::kOther: return "OTHER";
+  }
+  return "OTHER";
+}
+
+}  // namespace sqlog::sql

@@ -1,0 +1,526 @@
+#ifndef SQLOG_SQL_AST_H_
+#define SQLOG_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sqlog::sql {
+
+class SelectStatement;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+/// Discriminator for Expr subclasses; the library avoids RTTI, so
+/// downcasts go through kind() checks.
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kStar,
+  kVariable,
+  kFunctionCall,
+  kUnary,
+  kBinary,
+  kBetween,
+  kInList,
+  kInSubquery,
+  kExists,
+  kIsNull,
+  kLike,
+  kSubquery,
+  kCase,
+};
+
+/// Binary operators, both scalar and boolean.
+enum class BinaryOp {
+  kAnd,
+  kOr,
+  kEq,
+  kNotEq,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+};
+
+/// Unary operators.
+enum class UnaryOp {
+  kNot,
+  kMinus,
+  kPlus,
+};
+
+/// Literal payload categories.
+enum class LiteralKind {
+  kNumber,
+  kString,
+  kNull,
+};
+
+/// Base class of all expression nodes. Every node is deep-copyable via
+/// Clone(), which the antipattern solvers rely on when rewriting queries.
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind() const { return kind_; }
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
+ private:
+  ExprKind kind_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A numeric, string, or NULL literal. `text` preserves the literal
+/// exactly as written (for round-trip printing); `number_value` is the
+/// parsed value for numeric literals.
+class LiteralExpr final : public Expr {
+ public:
+  LiteralExpr(LiteralKind literal_kind, std::string text)
+      : Expr(ExprKind::kLiteral), literal_kind(literal_kind), text(std::move(text)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    auto copy = std::make_unique<LiteralExpr>(literal_kind, text);
+    copy->number_value = number_value;
+    return copy;
+  }
+
+  LiteralKind literal_kind;
+  std::string text;
+  double number_value = 0.0;
+};
+
+/// Reference to a column, optionally qualified: `E.name` or `name`.
+class ColumnRefExpr final : public Expr {
+ public:
+  ColumnRefExpr(std::string qualifier, std::string name)
+      : Expr(ExprKind::kColumnRef), qualifier(std::move(qualifier)), name(std::move(name)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<ColumnRefExpr>(qualifier, name);
+  }
+
+  std::string qualifier;  // empty when unqualified
+  std::string name;
+};
+
+/// `*` or `T.*` in a select list or inside count(*).
+class StarExpr final : public Expr {
+ public:
+  explicit StarExpr(std::string qualifier = "")
+      : Expr(ExprKind::kStar), qualifier(std::move(qualifier)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<StarExpr>(qualifier);
+  }
+
+  std::string qualifier;  // empty for a bare `*`
+};
+
+/// T-SQL variable such as `@ra`.
+class VariableExpr final : public Expr {
+ public:
+  explicit VariableExpr(std::string name)
+      : Expr(ExprKind::kVariable), name(std::move(name)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<VariableExpr>(name);
+  }
+
+  std::string name;  // without the leading '@'
+};
+
+/// Function call: `count(orders)`, `fgetnearbyobjeq(@ra, @dec, 0.1)`,
+/// `count(distinct x)`.
+class FunctionCallExpr final : public Expr {
+ public:
+  explicit FunctionCallExpr(std::string name)
+      : Expr(ExprKind::kFunctionCall), name(std::move(name)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    auto copy = std::make_unique<FunctionCallExpr>(name);
+    copy->distinct = distinct;
+    copy->args.reserve(args.size());
+    for (const auto& a : args) copy->args.push_back(a->Clone());
+    return copy;
+  }
+
+  std::string name;
+  bool distinct = false;
+  std::vector<ExprPtr> args;
+};
+
+/// Unary operation: NOT x, -x, +x.
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : Expr(ExprKind::kUnary), op(op), operand(std::move(operand)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<UnaryExpr>(op, operand->Clone());
+  }
+
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+/// Binary operation: comparisons, AND/OR, arithmetic.
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kBinary), op(op), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<BinaryExpr>(op, lhs->Clone(), rhs->Clone());
+  }
+
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// `x BETWEEN lo AND hi` (optionally NOT).
+class BetweenExpr final : public Expr {
+ public:
+  BetweenExpr(ExprPtr operand, ExprPtr low, ExprPtr high, bool negated)
+      : Expr(ExprKind::kBetween),
+        operand(std::move(operand)),
+        low(std::move(low)),
+        high(std::move(high)),
+        negated(negated) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<BetweenExpr>(operand->Clone(), low->Clone(), high->Clone(),
+                                         negated);
+  }
+
+  ExprPtr operand;
+  ExprPtr low;
+  ExprPtr high;
+  bool negated;
+};
+
+/// `x IN (v1, v2, ...)` (optionally NOT).
+class InListExpr final : public Expr {
+ public:
+  InListExpr(ExprPtr operand, std::vector<ExprPtr> items, bool negated)
+      : Expr(ExprKind::kInList),
+        operand(std::move(operand)),
+        items(std::move(items)),
+        negated(negated) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    std::vector<ExprPtr> copy_items;
+    copy_items.reserve(items.size());
+    for (const auto& e : items) copy_items.push_back(e->Clone());
+    return std::make_unique<InListExpr>(operand->Clone(), std::move(copy_items), negated);
+  }
+
+  ExprPtr operand;
+  std::vector<ExprPtr> items;
+  bool negated;
+};
+
+/// `x IN (SELECT ...)` (optionally NOT). Declared after SelectStatement's
+/// forward declaration; Clone is defined out of line in ast.cc.
+class InSubqueryExpr final : public Expr {
+ public:
+  InSubqueryExpr(ExprPtr operand, std::unique_ptr<SelectStatement> subquery, bool negated);
+  ~InSubqueryExpr() override;
+
+  std::unique_ptr<Expr> Clone() const override;
+
+  ExprPtr operand;
+  std::unique_ptr<SelectStatement> subquery;
+  bool negated;
+};
+
+/// `EXISTS (SELECT ...)` (optionally NOT).
+class ExistsExpr final : public Expr {
+ public:
+  ExistsExpr(std::unique_ptr<SelectStatement> subquery, bool negated);
+  ~ExistsExpr() override;
+
+  std::unique_ptr<Expr> Clone() const override;
+
+  std::unique_ptr<SelectStatement> subquery;
+  bool negated;
+};
+
+/// `x IS NULL` / `x IS NOT NULL`.
+class IsNullExpr final : public Expr {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : Expr(ExprKind::kIsNull), operand(std::move(operand)), negated(negated) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<IsNullExpr>(operand->Clone(), negated);
+  }
+
+  ExprPtr operand;
+  bool negated;
+};
+
+/// `x LIKE pattern` (optionally NOT).
+class LikeExpr final : public Expr {
+ public:
+  LikeExpr(ExprPtr operand, ExprPtr pattern, bool negated)
+      : Expr(ExprKind::kLike),
+        operand(std::move(operand)),
+        pattern(std::move(pattern)),
+        negated(negated) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<LikeExpr>(operand->Clone(), pattern->Clone(), negated);
+  }
+
+  ExprPtr operand;
+  ExprPtr pattern;
+  bool negated;
+};
+
+/// Scalar subquery `(SELECT ...)` used as an expression.
+class SubqueryExpr final : public Expr {
+ public:
+  explicit SubqueryExpr(std::unique_ptr<SelectStatement> subquery);
+  ~SubqueryExpr() override;
+
+  std::unique_ptr<Expr> Clone() const override;
+
+  std::unique_ptr<SelectStatement> subquery;
+};
+
+/// `CASE WHEN cond THEN value [...] [ELSE value] END`. Searched form
+/// only; the simple form is normalized by the parser into the searched
+/// form (`CASE x WHEN v` ⇒ `WHEN x = v`).
+class CaseExpr final : public Expr {
+ public:
+  CaseExpr() : Expr(ExprKind::kCase) {}
+
+  std::unique_ptr<Expr> Clone() const override {
+    auto copy = std::make_unique<CaseExpr>();
+    copy->branches.reserve(branches.size());
+    for (const auto& b : branches) {
+      copy->branches.push_back(Branch{b.condition->Clone(), b.value->Clone()});
+    }
+    if (else_value) copy->else_value = else_value->Clone();
+    return copy;
+  }
+
+  struct Branch {
+    ExprPtr condition;
+    ExprPtr value;
+  };
+  std::vector<Branch> branches;
+  ExprPtr else_value;  // may be null
+};
+
+// ---------------------------------------------------------------------------
+// FROM clause
+// ---------------------------------------------------------------------------
+
+/// Discriminator for FromItem subclasses.
+enum class FromKind {
+  kTable,
+  kTableFunction,
+  kSubquery,
+  kJoin,
+};
+
+/// Join flavours supported by the dialect.
+enum class JoinType {
+  kInner,
+  kLeftOuter,
+  kRightOuter,
+  kFullOuter,
+  kCross,
+};
+
+/// Base class of FROM-clause items.
+class FromItem {
+ public:
+  explicit FromItem(FromKind kind) : kind_(kind) {}
+  virtual ~FromItem() = default;
+
+  FromItem(const FromItem&) = delete;
+  FromItem& operator=(const FromItem&) = delete;
+
+  FromKind kind() const { return kind_; }
+  virtual std::unique_ptr<FromItem> Clone() const = 0;
+
+ private:
+  FromKind kind_;
+};
+
+using FromItemPtr = std::unique_ptr<FromItem>;
+
+/// Plain table reference: `dbo.SpecObjAll AS s`.
+class TableRef final : public FromItem {
+ public:
+  TableRef(std::string schema, std::string table, std::string alias)
+      : FromItem(FromKind::kTable),
+        schema(std::move(schema)),
+        table(std::move(table)),
+        alias(std::move(alias)) {}
+
+  std::unique_ptr<FromItem> Clone() const override {
+    return std::make_unique<TableRef>(schema, table, alias);
+  }
+
+  std::string schema;  // empty when unqualified
+  std::string table;
+  std::string alias;  // empty when none
+};
+
+/// Table-valued function: `fgetnearbyobjeq(@ra, @dec, @r) AS n`.
+class TableFunctionRef final : public FromItem {
+ public:
+  TableFunctionRef(std::string schema, std::string name, std::string alias)
+      : FromItem(FromKind::kTableFunction),
+        schema(std::move(schema)),
+        name(std::move(name)),
+        alias(std::move(alias)) {}
+
+  std::unique_ptr<FromItem> Clone() const override {
+    auto copy = std::make_unique<TableFunctionRef>(schema, name, alias);
+    copy->args.reserve(args.size());
+    for (const auto& a : args) copy->args.push_back(a->Clone());
+    return copy;
+  }
+
+  std::string schema;
+  std::string name;
+  std::string alias;
+  std::vector<ExprPtr> args;
+};
+
+/// Derived table: `(SELECT ...) AS o`.
+class SubqueryRef final : public FromItem {
+ public:
+  SubqueryRef(std::unique_ptr<SelectStatement> subquery, std::string alias);
+  ~SubqueryRef() override;
+
+  std::unique_ptr<FromItem> Clone() const override;
+
+  std::unique_ptr<SelectStatement> subquery;
+  std::string alias;
+};
+
+/// Binary join tree node: `left JOIN right ON condition`.
+class JoinRef final : public FromItem {
+ public:
+  JoinRef(JoinType join_type, FromItemPtr left, FromItemPtr right, ExprPtr condition)
+      : FromItem(FromKind::kJoin),
+        join_type(join_type),
+        left(std::move(left)),
+        right(std::move(right)),
+        condition(std::move(condition)) {}
+
+  std::unique_ptr<FromItem> Clone() const override {
+    return std::make_unique<JoinRef>(join_type, left->Clone(), right->Clone(),
+                                     condition ? condition->Clone() : nullptr);
+  }
+
+  JoinType join_type;
+  FromItemPtr left;
+  FromItemPtr right;
+  ExprPtr condition;  // null for CROSS JOIN
+};
+
+// ---------------------------------------------------------------------------
+// SELECT statement
+// ---------------------------------------------------------------------------
+
+/// One select-list item: expression plus optional alias.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty when none
+
+  SelectItem() = default;
+  SelectItem(ExprPtr e, std::string a) : expr(std::move(e)), alias(std::move(a)) {}
+
+  SelectItem Copy() const { return SelectItem(expr->Clone(), alias); }
+};
+
+/// One ORDER BY key.
+struct OrderByItem {
+  ExprPtr expr;
+  bool descending = false;
+
+  OrderByItem() = default;
+  OrderByItem(ExprPtr e, bool desc) : expr(std::move(e)), descending(desc) {}
+
+  OrderByItem Copy() const { return OrderByItem(expr->Clone(), descending); }
+};
+
+/// Full SELECT statement of the dialect:
+///   SELECT [DISTINCT] [TOP n] items FROM from_items
+///   [WHERE cond] [GROUP BY exprs [HAVING cond]] [ORDER BY keys]
+class SelectStatement {
+ public:
+  SelectStatement() = default;
+
+  SelectStatement(const SelectStatement&) = delete;
+  SelectStatement& operator=(const SelectStatement&) = delete;
+
+  std::unique_ptr<SelectStatement> Clone() const {
+    auto copy = std::make_unique<SelectStatement>();
+    copy->distinct = distinct;
+    copy->top_count = top_count;
+    copy->select_items.reserve(select_items.size());
+    for (const auto& item : select_items) copy->select_items.push_back(item.Copy());
+    copy->from_items.reserve(from_items.size());
+    for (const auto& f : from_items) copy->from_items.push_back(f->Clone());
+    if (where) copy->where = where->Clone();
+    copy->group_by.reserve(group_by.size());
+    for (const auto& g : group_by) copy->group_by.push_back(g->Clone());
+    if (having) copy->having = having->Clone();
+    copy->order_by.reserve(order_by.size());
+    for (const auto& o : order_by) copy->order_by.push_back(o.Copy());
+    return copy;
+  }
+
+  bool distinct = false;
+  long long top_count = -1;  // -1 when absent
+  std::vector<SelectItem> select_items;
+  std::vector<FromItemPtr> from_items;  // comma-separated FROM elements
+  ExprPtr where;                        // null when absent
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // null when absent
+  std::vector<OrderByItem> order_by;
+};
+
+/// Coarse statement classification. Only SELECT statements are parsed
+/// into ASTs; the pipeline filters the rest out (Sec. 5.3 of the paper).
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreate,
+  kDrop,
+  kAlter,
+  kOther,
+};
+
+/// Classifies a raw statement by its first keyword.
+StatementKind ClassifyStatement(const std::string& statement_text);
+
+/// Returns a stable name for a statement kind.
+const char* StatementKindName(StatementKind kind);
+
+}  // namespace sqlog::sql
+
+#endif  // SQLOG_SQL_AST_H_

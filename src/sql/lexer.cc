@@ -1,0 +1,290 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace sqlog::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '#';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$' || c == '#';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kVariable: return "variable";
+    case TokenType::kNumber: return "number";
+    case TokenType::kString: return "string";
+    case TokenType::kComma: return ",";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kDot: return ".";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kStar: return "*";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kSlash: return "/";
+    case TokenType::kPercent: return "%";
+    case TokenType::kEq: return "=";
+    case TokenType::kNotEq: return "<>";
+    case TokenType::kLess: return "<";
+    case TokenType::kLessEq: return "<=";
+    case TokenType::kGreater: return ">";
+    case TokenType::kGreaterEq: return ">=";
+    case TokenType::kEnd: return "<end>";
+  }
+  return "<unknown>";
+}
+
+Result<std::vector<Token>> Lex(std::string_view s) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = s.size();
+
+  auto push = [&](TokenType type, std::string text, size_t offset) {
+    tokens.push_back(Token{type, std::move(text), offset});
+  };
+
+  while (i < n) {
+    char c = s[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && s[i + 1] == '-') {
+      while (i < n && s[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      size_t start = i;
+      i += 2;
+      bool closed = false;
+      while (i + 1 < n) {
+        if (s[i] == '*' && s[i + 1] == '/') {
+          i += 2;
+          closed = true;
+          break;
+        }
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated block comment at offset %zu", start));
+      }
+      continue;
+    }
+    // String literal.
+    if (c == '\'') {
+      size_t start = i;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (s[i] == '\'') {
+          if (i + 1 < n && s[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(s[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      push(TokenType::kString, std::move(text), start);
+      continue;
+    }
+    // Bracketed identifier.
+    if (c == '[') {
+      size_t start = i;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (s[i] == ']') {
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(s[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated bracketed identifier at offset %zu", start));
+      }
+      push(TokenType::kIdentifier, std::move(text), start);
+      continue;
+    }
+    // Double-quoted identifier.
+    if (c == '"') {
+      size_t start = i;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (s[i] == '"') {
+          if (i + 1 < n && s[i + 1] == '"') {
+            text.push_back('"');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(s[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated quoted identifier at offset %zu", start));
+      }
+      push(TokenType::kIdentifier, std::move(text), start);
+      continue;
+    }
+    // Variable.
+    if (c == '@') {
+      size_t start = i;
+      ++i;
+      std::string text;
+      while (i < n && IsIdentChar(s[i])) {
+        text.push_back(s[i]);
+        ++i;
+      }
+      if (text.empty()) {
+        return Status::ParseError(StrFormat("bare '@' at offset %zu", start));
+      }
+      push(TokenType::kVariable, std::move(text), start);
+      continue;
+    }
+    // Number. A leading digit, or a '.' followed by a digit.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(s[i + 1]))) {
+      size_t start = i;
+      std::string text;
+      if (c == '0' && i + 1 < n && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+        text += "0x";
+        i += 2;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(s[i]))) {
+          text.push_back(s[i]);
+          ++i;
+        }
+        if (text.size() == 2) {
+          return Status::ParseError(StrFormat("malformed hex literal at offset %zu", start));
+        }
+      } else {
+        bool seen_dot = false;
+        while (i < n && (IsDigit(s[i]) || (s[i] == '.' && !seen_dot))) {
+          if (s[i] == '.') seen_dot = true;
+          text.push_back(s[i]);
+          ++i;
+        }
+        // Exponent part.
+        if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+          size_t mark = i;
+          std::string exp;
+          exp.push_back(s[i]);
+          ++i;
+          if (i < n && (s[i] == '+' || s[i] == '-')) {
+            exp.push_back(s[i]);
+            ++i;
+          }
+          if (i < n && IsDigit(s[i])) {
+            while (i < n && IsDigit(s[i])) {
+              exp.push_back(s[i]);
+              ++i;
+            }
+            text += exp;
+          } else {
+            i = mark;  // 'e' starts an identifier, not an exponent
+          }
+        }
+      }
+      push(TokenType::kNumber, std::move(text), start);
+      continue;
+    }
+    // Identifier.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      std::string text;
+      while (i < n && IsIdentChar(s[i])) {
+        text.push_back(s[i]);
+        ++i;
+      }
+      push(TokenType::kIdentifier, std::move(text), start);
+      continue;
+    }
+    // Operators and punctuation.
+    size_t start = i;
+    switch (c) {
+      case ',': push(TokenType::kComma, ",", start); ++i; break;
+      case '(': push(TokenType::kLParen, "(", start); ++i; break;
+      case ')': push(TokenType::kRParen, ")", start); ++i; break;
+      case '.': push(TokenType::kDot, ".", start); ++i; break;
+      case ';': push(TokenType::kSemicolon, ";", start); ++i; break;
+      case '*': push(TokenType::kStar, "*", start); ++i; break;
+      case '+': push(TokenType::kPlus, "+", start); ++i; break;
+      case '-': push(TokenType::kMinus, "-", start); ++i; break;
+      case '/': push(TokenType::kSlash, "/", start); ++i; break;
+      case '%': push(TokenType::kPercent, "%", start); ++i; break;
+      case '=': push(TokenType::kEq, "=", start); ++i; break;
+      case '!':
+        if (i + 1 < n && s[i + 1] == '=') {
+          push(TokenType::kNotEq, "!=", start);
+          i += 2;
+        } else {
+          return Status::ParseError(StrFormat("unexpected '!' at offset %zu", start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && s[i + 1] == '>') {
+          push(TokenType::kNotEq, "<>", start);
+          i += 2;
+        } else if (i + 1 < n && s[i + 1] == '=') {
+          push(TokenType::kLessEq, "<=", start);
+          i += 2;
+        } else {
+          push(TokenType::kLess, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && s[i + 1] == '=') {
+          push(TokenType::kGreaterEq, ">=", start);
+          i += 2;
+        } else {
+          push(TokenType::kGreater, ">", start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' (0x%02x) at offset %zu", c,
+                      static_cast<unsigned char>(c), start));
+    }
+  }
+  tokens.push_back(Token{TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace sqlog::sql

@@ -1,0 +1,24 @@
+#ifndef SQLOG_SQL_LEXER_H_
+#define SQLOG_SQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace sqlog::sql {
+
+/// Tokenizes one SQL statement. Supports:
+///   - `--` line comments and `/* ... */` block comments,
+///   - single-quoted strings with `''` escaping,
+///   - `[bracketed]` and `"double-quoted"` identifiers,
+///   - integer, decimal, scientific and 0x hex numeric literals,
+///   - T-SQL `@variables`.
+/// The returned vector is terminated by a kEnd token. Lexing never
+/// throws; malformed input yields a ParseError status.
+Result<std::vector<Token>> Lex(std::string_view statement);
+
+}  // namespace sqlog::sql
+
+#endif  // SQLOG_SQL_LEXER_H_

@@ -1,0 +1,641 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace sqlog::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Keywords are matched
+/// case-insensitively against identifier tokens.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> ParseStatement() {
+    auto select = ParseSelectCore();
+    if (!select.ok()) return select.status();
+    // Allow trailing semicolons.
+    while (Check(TokenType::kSemicolon)) Advance();
+    if (!Check(TokenType::kEnd)) {
+      return Error("unexpected trailing input");
+    }
+    return select;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead(size_t k) const {
+    size_t idx = pos_ + k;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+
+  bool CheckKeyword(std::string_view kw) const {
+    return Peek().type == TokenType::kIdentifier && EqualsIgnoreCase(Peek().text, kw);
+  }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (!CheckKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  bool Match(TokenType type) {
+    if (!Check(type)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (!Check(type)) {
+      return Status::ParseError(StrFormat("expected %s at offset %zu, found '%s'", what,
+                                          Peek().offset, Peek().text.c_str()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!CheckKeyword(kw)) {
+      return Status::ParseError(StrFormat("expected keyword '%.*s' at offset %zu",
+                                          static_cast<int>(kw.size()), kw.data(),
+                                          Peek().offset));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Error(const char* message) const {
+    return Status::ParseError(
+        StrFormat("%s at offset %zu (near '%s')", message, Peek().offset,
+                  Peek().text.c_str()));
+  }
+
+  /// Reserved words that terminate expressions / cannot start a primary.
+  static bool IsReservedKeyword(const std::string& word) {
+    static constexpr const char* kReserved[] = {
+        "select", "from",  "where", "group",  "order", "having", "join",
+        "inner",  "left",  "right", "full",   "cross", "outer",  "on",
+        "and",    "or",    "not",   "in",     "like",  "is",     "between",
+        "as",     "union", "top",   "distinct", "asc", "desc",   "when",
+        "then",   "else",  "end",   "case",   "exists",
+    };
+    for (const char* kw : kReserved) {
+      if (EqualsIgnoreCase(word, kw)) return true;
+    }
+    return false;
+  }
+
+  // --- statement ------------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelectCore() {
+    SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("select"));
+    auto stmt = std::make_unique<SelectStatement>();
+
+    if (MatchKeyword("distinct")) stmt->distinct = true;
+    if (MatchKeyword("top")) {
+      bool paren = Match(TokenType::kLParen);
+      if (!Check(TokenType::kNumber)) return Error("expected count after TOP");
+      stmt->top_count = std::strtoll(Advance().text.c_str(), nullptr, 10);
+      if (paren) SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
+    }
+
+    // Select list.
+    while (true) {
+      auto item = ParseSelectItem();
+      if (!item.ok()) return item.status();
+      stmt->select_items.push_back(std::move(item.value()));
+      if (!Match(TokenType::kComma)) break;
+    }
+
+    // FROM clause (optional: `SELECT 1` is legal).
+    if (MatchKeyword("from")) {
+      while (true) {
+        auto from = ParseFromElement();
+        if (!from.ok()) return from.status();
+        stmt->from_items.push_back(std::move(from.value()));
+        if (!Match(TokenType::kComma)) break;
+      }
+    }
+
+    if (MatchKeyword("where")) {
+      auto cond = ParseExpr();
+      if (!cond.ok()) return cond.status();
+      stmt->where = std::move(cond.value());
+    }
+
+    if (CheckKeyword("group")) {
+      Advance();
+      SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("by"));
+      while (true) {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        stmt->group_by.push_back(std::move(expr.value()));
+        if (!Match(TokenType::kComma)) break;
+      }
+      if (MatchKeyword("having")) {
+        auto cond = ParseExpr();
+        if (!cond.ok()) return cond.status();
+        stmt->having = std::move(cond.value());
+      }
+    }
+
+    if (CheckKeyword("order")) {
+      Advance();
+      SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("by"));
+      while (true) {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        bool desc = false;
+        if (MatchKeyword("desc")) {
+          desc = true;
+        } else {
+          MatchKeyword("asc");
+        }
+        stmt->order_by.emplace_back(std::move(expr.value()), desc);
+        if (!Match(TokenType::kComma)) break;
+      }
+    }
+
+    return stmt;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    // Bare `*`.
+    if (Check(TokenType::kStar)) {
+      Advance();
+      return SelectItem(std::make_unique<StarExpr>(), "");
+    }
+    // Qualified star `T.*`.
+    if (Check(TokenType::kIdentifier) && PeekAhead(1).Is(TokenType::kDot) &&
+        PeekAhead(2).Is(TokenType::kStar) && !IsReservedKeyword(Peek().text)) {
+      std::string qualifier = Advance().text;
+      Advance();  // '.'
+      Advance();  // '*'
+      return SelectItem(std::make_unique<StarExpr>(qualifier), "");
+    }
+    auto expr = ParseExpr();
+    if (!expr.ok()) return expr.status();
+    std::string alias;
+    if (MatchKeyword("as")) {
+      if (!Check(TokenType::kIdentifier)) return Error("expected alias after AS");
+      alias = Advance().text;
+    } else if (Check(TokenType::kIdentifier) && !IsReservedKeyword(Peek().text)) {
+      alias = Advance().text;
+    }
+    return SelectItem(std::move(expr.value()), std::move(alias));
+  }
+
+  // --- FROM -----------------------------------------------------------------
+
+  /// Parses one comma-separated FROM element, folding any JOIN chain into
+  /// a left-deep JoinRef tree.
+  Result<FromItemPtr> ParseFromElement() {
+    auto left = ParseFromPrimary();
+    if (!left.ok()) return left.status();
+    FromItemPtr node = std::move(left.value());
+
+    while (true) {
+      JoinType type;
+      if (MatchKeyword("join") || CheckJoinSequence("inner", type, JoinType::kInner)) {
+        type = JoinType::kInner;
+      } else if (CheckJoinSequence("left", type, JoinType::kLeftOuter)) {
+      } else if (CheckJoinSequence("right", type, JoinType::kRightOuter)) {
+      } else if (CheckJoinSequence("full", type, JoinType::kFullOuter)) {
+      } else if (CheckJoinSequence("cross", type, JoinType::kCross)) {
+      } else {
+        break;
+      }
+      auto right = ParseFromPrimary();
+      if (!right.ok()) return right.status();
+      ExprPtr condition;
+      if (type != JoinType::kCross) {
+        SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("on"));
+        auto cond = ParseExpr();
+        if (!cond.ok()) return cond.status();
+        condition = std::move(cond.value());
+      }
+      node = std::make_unique<JoinRef>(type, std::move(node), std::move(right.value()),
+                                       std::move(condition));
+    }
+    return node;
+  }
+
+  /// If the upcoming tokens are `<first> [OUTER] JOIN`, consumes them,
+  /// sets `type` to `resolved`, and returns true.
+  bool CheckJoinSequence(std::string_view first, JoinType& type, JoinType resolved) {
+    if (!CheckKeyword(first)) return false;
+    size_t k = 1;
+    if (EqualsIgnoreCase(PeekAhead(k).text, "outer") &&
+        PeekAhead(k).Is(TokenType::kIdentifier)) {
+      ++k;
+    }
+    if (!(PeekAhead(k).Is(TokenType::kIdentifier) &&
+          EqualsIgnoreCase(PeekAhead(k).text, "join"))) {
+      return false;
+    }
+    for (size_t i = 0; i <= k; ++i) Advance();
+    type = resolved;
+    return true;
+  }
+
+  Result<FromItemPtr> ParseFromPrimary() {
+    // Derived table.
+    if (Check(TokenType::kLParen)) {
+      // `( SELECT` — a derived table; `( name ...` would be invalid here.
+      if (PeekAhead(1).Is(TokenType::kIdentifier) &&
+          EqualsIgnoreCase(PeekAhead(1).text, "select")) {
+        Advance();  // '('
+        auto sub = ParseSelectCore();
+        if (!sub.ok()) return sub.status();
+        SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
+        std::string alias;
+        MatchKeyword("as");
+        if (Check(TokenType::kIdentifier) && !IsReservedKeyword(Peek().text)) {
+          alias = Advance().text;
+        }
+        return FromItemPtr(std::make_unique<SubqueryRef>(std::move(sub.value()), alias));
+      }
+      // Parenthesized join tree: `(T1 JOIN T2 ON ...)`.
+      Advance();
+      auto inner = ParseFromElement();
+      if (!inner.ok()) return inner.status();
+      SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
+      return inner;
+    }
+
+    if (!Check(TokenType::kIdentifier)) return Error("expected table name");
+    std::string first = Advance().text;
+    std::string schema;
+    std::string name = std::move(first);
+    if (Match(TokenType::kDot)) {
+      if (!Check(TokenType::kIdentifier)) return Error("expected name after '.'");
+      schema = std::move(name);
+      name = Advance().text;
+    }
+
+    // Table-valued function.
+    if (Check(TokenType::kLParen)) {
+      Advance();
+      auto fn = std::make_unique<TableFunctionRef>(schema, name, "");
+      if (!Check(TokenType::kRParen)) {
+        while (true) {
+          auto arg = ParseExpr();
+          if (!arg.ok()) return arg.status();
+          fn->args.push_back(std::move(arg.value()));
+          if (!Match(TokenType::kComma)) break;
+        }
+      }
+      SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
+      MatchKeyword("as");
+      if (Check(TokenType::kIdentifier) && !IsReservedKeyword(Peek().text)) {
+        fn->alias = Advance().text;
+      }
+      return FromItemPtr(std::move(fn));
+    }
+
+    std::string alias;
+    MatchKeyword("as");
+    if (Check(TokenType::kIdentifier) && !IsReservedKeyword(Peek().text)) {
+      alias = Advance().text;
+    }
+    return FromItemPtr(std::make_unique<TableRef>(schema, name, alias));
+  }
+
+  // --- expressions ----------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr node = std::move(lhs.value());
+    while (MatchKeyword("or")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs.status();
+      node = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(node),
+                                          std::move(rhs.value()));
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseNot();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr node = std::move(lhs.value());
+    while (MatchKeyword("and")) {
+      auto rhs = ParseNot();
+      if (!rhs.ok()) return rhs.status();
+      node = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(node),
+                                          std::move(rhs.value()));
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("not")) {
+      auto operand = ParseNot();
+      if (!operand.ok()) return operand.status();
+      return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand.value())));
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    // EXISTS (SELECT ...)
+    if (CheckKeyword("exists")) {
+      Advance();
+      SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kLParen, "'('"));
+      auto sub = ParseSelectCore();
+      if (!sub.ok()) return sub.status();
+      SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
+      return ExprPtr(std::make_unique<ExistsExpr>(std::move(sub.value()), false));
+    }
+
+    auto lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr node = std::move(lhs.value());
+
+    // IS [NOT] NULL
+    if (CheckKeyword("is")) {
+      Advance();
+      bool negated = MatchKeyword("not");
+      SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("null"));
+      return ExprPtr(std::make_unique<IsNullExpr>(std::move(node), negated));
+    }
+
+    bool negated = false;
+    if (CheckKeyword("not") &&
+        (EqualsIgnoreCase(PeekAhead(1).text, "in") ||
+         EqualsIgnoreCase(PeekAhead(1).text, "like") ||
+         EqualsIgnoreCase(PeekAhead(1).text, "between"))) {
+      Advance();
+      negated = true;
+    }
+
+    // [NOT] BETWEEN lo AND hi
+    if (MatchKeyword("between")) {
+      auto low = ParseAdditive();
+      if (!low.ok()) return low.status();
+      SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("and"));
+      auto high = ParseAdditive();
+      if (!high.ok()) return high.status();
+      return ExprPtr(std::make_unique<BetweenExpr>(std::move(node), std::move(low.value()),
+                                                   std::move(high.value()), negated));
+    }
+
+    // [NOT] IN (list | subquery)
+    if (MatchKeyword("in")) {
+      SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kLParen, "'(' after IN"));
+      if (CheckKeyword("select")) {
+        auto sub = ParseSelectCore();
+        if (!sub.ok()) return sub.status();
+        SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
+        return ExprPtr(std::make_unique<InSubqueryExpr>(std::move(node),
+                                                        std::move(sub.value()), negated));
+      }
+      std::vector<ExprPtr> items;
+      while (true) {
+        auto item = ParseExpr();
+        if (!item.ok()) return item.status();
+        items.push_back(std::move(item.value()));
+        if (!Match(TokenType::kComma)) break;
+      }
+      SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
+      return ExprPtr(
+          std::make_unique<InListExpr>(std::move(node), std::move(items), negated));
+    }
+
+    // [NOT] LIKE pattern
+    if (MatchKeyword("like")) {
+      auto pattern = ParseAdditive();
+      if (!pattern.ok()) return pattern.status();
+      return ExprPtr(std::make_unique<LikeExpr>(std::move(node), std::move(pattern.value()),
+                                                negated));
+    }
+
+    if (negated) return Error("dangling NOT");
+
+    // Comparison.
+    BinaryOp op;
+    bool has_op = true;
+    switch (Peek().type) {
+      case TokenType::kEq: op = BinaryOp::kEq; break;
+      case TokenType::kNotEq: op = BinaryOp::kNotEq; break;
+      case TokenType::kLess: op = BinaryOp::kLess; break;
+      case TokenType::kLessEq: op = BinaryOp::kLessEq; break;
+      case TokenType::kGreater: op = BinaryOp::kGreater; break;
+      case TokenType::kGreaterEq: op = BinaryOp::kGreaterEq; break;
+      default: has_op = false; op = BinaryOp::kEq; break;
+    }
+    if (has_op) {
+      Advance();
+      auto rhs = ParseAdditive();
+      if (!rhs.ok()) return rhs.status();
+      return ExprPtr(
+          std::make_unique<BinaryExpr>(op, std::move(node), std::move(rhs.value())));
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr node = std::move(lhs.value());
+    while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+      BinaryOp op = Check(TokenType::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      auto rhs = ParseMultiplicative();
+      if (!rhs.ok()) return rhs.status();
+      node = std::make_unique<BinaryExpr>(op, std::move(node), std::move(rhs.value()));
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr node = std::move(lhs.value());
+    while (Check(TokenType::kStar) || Check(TokenType::kSlash) ||
+           Check(TokenType::kPercent)) {
+      BinaryOp op = Check(TokenType::kStar)
+                        ? BinaryOp::kMul
+                        : (Check(TokenType::kSlash) ? BinaryOp::kDiv : BinaryOp::kMod);
+      Advance();
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs.status();
+      node = std::make_unique<BinaryExpr>(op, std::move(node), std::move(rhs.value()));
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Check(TokenType::kMinus)) {
+      Advance();
+      // Fold unary minus into numeric literals so `-5` skeletonizes the
+      // same way as other constants.
+      if (Check(TokenType::kNumber)) {
+        auto lit = MakeNumberLiteral("-" + Advance().text);
+        return ExprPtr(std::move(lit));
+      }
+      auto operand = ParseUnary();
+      if (!operand.ok()) return operand.status();
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kMinus, std::move(operand.value())));
+    }
+    if (Check(TokenType::kPlus)) {
+      Advance();
+      auto operand = ParseUnary();
+      if (!operand.ok()) return operand.status();
+      return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kPlus, std::move(operand.value())));
+    }
+    return ParsePrimary();
+  }
+
+  static std::unique_ptr<LiteralExpr> MakeNumberLiteral(std::string text) {
+    auto lit = std::make_unique<LiteralExpr>(LiteralKind::kNumber, text);
+    lit->number_value = std::strtod(text.c_str(), nullptr);
+    return lit;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kNumber: {
+        std::string text = Advance().text;
+        return ExprPtr(MakeNumberLiteral(std::move(text)));
+      }
+      case TokenType::kString: {
+        std::string text = Advance().text;
+        return ExprPtr(std::make_unique<LiteralExpr>(LiteralKind::kString, std::move(text)));
+      }
+      case TokenType::kVariable: {
+        std::string name = Advance().text;
+        return ExprPtr(std::make_unique<VariableExpr>(std::move(name)));
+      }
+      case TokenType::kStar:
+        // count(*) routes through FunctionCall args; a bare star here is
+        // a select-list concern, but tolerate it for robustness.
+        Advance();
+        return ExprPtr(std::make_unique<StarExpr>());
+      case TokenType::kLParen: {
+        Advance();
+        if (CheckKeyword("select")) {
+          auto sub = ParseSelectCore();
+          if (!sub.ok()) return sub.status();
+          SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
+          return ExprPtr(std::make_unique<SubqueryExpr>(std::move(sub.value())));
+        }
+        auto inner = ParseExpr();
+        if (!inner.ok()) return inner.status();
+        SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
+        return inner;
+      }
+      case TokenType::kIdentifier:
+        break;  // handled below
+      default:
+        return Error("expected expression");
+    }
+
+    if (CheckKeyword("null")) {
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(LiteralKind::kNull, "NULL"));
+    }
+    if (CheckKeyword("case")) return ParseCase();
+    if (IsReservedKeyword(tok.text)) return Error("unexpected keyword in expression");
+
+    std::string first = Advance().text;
+
+    // Function call (optionally schema-qualified).
+    if (Check(TokenType::kLParen) ||
+        (Check(TokenType::kDot) && PeekAhead(1).Is(TokenType::kIdentifier) &&
+         PeekAhead(2).Is(TokenType::kLParen))) {
+      std::string name = first;
+      if (Match(TokenType::kDot)) {
+        name += ".";
+        name += Advance().text;
+      }
+      Advance();  // '('
+      auto fn = std::make_unique<FunctionCallExpr>(std::move(name));
+      if (MatchKeyword("distinct")) fn->distinct = true;
+      if (!Check(TokenType::kRParen)) {
+        while (true) {
+          if (Check(TokenType::kStar)) {
+            Advance();
+            fn->args.push_back(std::make_unique<StarExpr>());
+          } else {
+            auto arg = ParseExpr();
+            if (!arg.ok()) return arg.status();
+            fn->args.push_back(std::move(arg.value()));
+          }
+          if (!Match(TokenType::kComma)) break;
+        }
+      }
+      SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
+      return ExprPtr(std::move(fn));
+    }
+
+    // Column reference, optionally qualified.
+    if (Check(TokenType::kDot) && PeekAhead(1).Is(TokenType::kIdentifier)) {
+      Advance();  // '.'
+      std::string name = Advance().text;
+      return ExprPtr(std::make_unique<ColumnRefExpr>(std::move(first), std::move(name)));
+    }
+    return ExprPtr(std::make_unique<ColumnRefExpr>("", std::move(first)));
+  }
+
+  Result<ExprPtr> ParseCase() {
+    SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("case"));
+    auto node = std::make_unique<CaseExpr>();
+    // Simple form: CASE x WHEN v THEN ... → normalized to searched form.
+    ExprPtr subject;
+    if (!CheckKeyword("when")) {
+      auto subj = ParseExpr();
+      if (!subj.ok()) return subj.status();
+      subject = std::move(subj.value());
+    }
+    while (MatchKeyword("when")) {
+      auto cond = ParseExpr();
+      if (!cond.ok()) return cond.status();
+      SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("then"));
+      auto value = ParseExpr();
+      if (!value.ok()) return value.status();
+      ExprPtr condition = std::move(cond.value());
+      if (subject) {
+        condition = std::make_unique<BinaryExpr>(BinaryOp::kEq, subject->Clone(),
+                                                 std::move(condition));
+      }
+      node->branches.push_back(CaseExpr::Branch{std::move(condition), std::move(value.value())});
+    }
+    if (node->branches.empty()) return Error("CASE without WHEN branch");
+    if (MatchKeyword("else")) {
+      auto value = ParseExpr();
+      if (!value.ok()) return value.status();
+      node->else_value = std::move(value.value());
+    }
+    SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("end"));
+    return ExprPtr(std::move(node));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStatement>> ParseSelect(std::string_view statement) {
+  auto tokens = Lex(statement);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()));
+  return parser.ParseStatement();
+}
+
+}  // namespace sqlog::sql

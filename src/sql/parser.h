@@ -1,0 +1,20 @@
+#ifndef SQLOG_SQL_PARSER_H_
+#define SQLOG_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace sqlog::sql {
+
+/// Parses one SELECT statement of the dialect described in DESIGN.md
+/// into an AST. Trailing semicolons are accepted. Non-SELECT statements
+/// and syntax errors yield a ParseError status — never an exception —
+/// matching the paper's parse step that simply drops such statements.
+Result<std::unique_ptr<SelectStatement>> ParseSelect(std::string_view statement);
+
+}  // namespace sqlog::sql
+
+#endif  // SQLOG_SQL_PARSER_H_

@@ -1,0 +1,420 @@
+#include "sql/printer.h"
+
+#include "util/string_util.h"
+
+namespace sqlog::sql {
+
+namespace {
+
+/// Stateful renderer; one instance per Print call.
+class Printer {
+ public:
+  explicit Printer(const PrintOptions& options) : options_(options) {}
+
+  std::string Ident(const std::string& name) const {
+    return options_.canonical ? ToLower(name) : name;
+  }
+
+  void PrintExpr(const Expr& expr, std::string& out) const {
+    switch (expr.kind()) {
+      case ExprKind::kLiteral: {
+        const auto& lit = static_cast<const LiteralExpr&>(expr);
+        if (options_.placeholders) {
+          switch (lit.literal_kind) {
+            case LiteralKind::kNumber: out += "<num>"; return;
+            case LiteralKind::kString: out += "<str>"; return;
+            case LiteralKind::kNull: out += "null"; return;
+          }
+        }
+        switch (lit.literal_kind) {
+          case LiteralKind::kNumber:
+            out += lit.text;
+            return;
+          case LiteralKind::kString: {
+            out.push_back('\'');
+            for (char c : lit.text) {
+              if (c == '\'') out.push_back('\'');
+              out.push_back(c);
+            }
+            out.push_back('\'');
+            return;
+          }
+          case LiteralKind::kNull:
+            out += options_.canonical ? "null" : lit.text;
+            return;
+        }
+        return;
+      }
+      case ExprKind::kColumnRef: {
+        const auto& col = static_cast<const ColumnRefExpr&>(expr);
+        if (!col.qualifier.empty()) {
+          out += Ident(col.qualifier);
+          out.push_back('.');
+        }
+        out += Ident(col.name);
+        return;
+      }
+      case ExprKind::kStar: {
+        const auto& star = static_cast<const StarExpr&>(expr);
+        if (!star.qualifier.empty()) {
+          out += Ident(star.qualifier);
+          out.push_back('.');
+        }
+        out.push_back('*');
+        return;
+      }
+      case ExprKind::kVariable: {
+        const auto& var = static_cast<const VariableExpr&>(expr);
+        if (options_.placeholders) {
+          out += "<num>";  // log variables stand for constants
+          return;
+        }
+        out.push_back('@');
+        out += Ident(var.name);
+        return;
+      }
+      case ExprKind::kFunctionCall: {
+        const auto& fn = static_cast<const FunctionCallExpr&>(expr);
+        out += Ident(fn.name);
+        out.push_back('(');
+        if (fn.distinct) out += "distinct ";
+        for (size_t i = 0; i < fn.args.size(); ++i) {
+          if (i > 0) out += ", ";
+          PrintExpr(*fn.args[i], out);
+        }
+        out.push_back(')');
+        return;
+      }
+      case ExprKind::kUnary: {
+        const auto& unary = static_cast<const UnaryExpr&>(expr);
+        switch (unary.op) {
+          case UnaryOp::kNot: out += "not "; break;
+          case UnaryOp::kMinus: out.push_back('-'); break;
+          case UnaryOp::kPlus: out.push_back('+'); break;
+        }
+        bool parens = unary.operand->kind() == ExprKind::kBinary;
+        if (parens) out.push_back('(');
+        PrintExpr(*unary.operand, out);
+        if (parens) out.push_back(')');
+        return;
+      }
+      case ExprKind::kBinary: {
+        const auto& bin = static_cast<const BinaryExpr&>(expr);
+        PrintOperand(*bin.lhs, bin.op, out);
+        out.push_back(' ');
+        out += BinaryOpText(bin.op);
+        out.push_back(' ');
+        PrintOperand(*bin.rhs, bin.op, out);
+        return;
+      }
+      case ExprKind::kBetween: {
+        const auto& between = static_cast<const BetweenExpr&>(expr);
+        PrintExpr(*between.operand, out);
+        out += between.negated ? " not between " : " between ";
+        PrintExpr(*between.low, out);
+        out += " and ";
+        PrintExpr(*between.high, out);
+        return;
+      }
+      case ExprKind::kInList: {
+        const auto& in = static_cast<const InListExpr&>(expr);
+        PrintExpr(*in.operand, out);
+        out += in.negated ? " not in (" : " in (";
+        if (options_.placeholders) {
+          // A skeleton abstracts the arity of the IN list too; otherwise
+          // `IN (1,2)` and `IN (1,2,3)` would be different templates.
+          out += "<list>";
+        } else {
+          for (size_t i = 0; i < in.items.size(); ++i) {
+            if (i > 0) out += ", ";
+            PrintExpr(*in.items[i], out);
+          }
+        }
+        out.push_back(')');
+        return;
+      }
+      case ExprKind::kInSubquery: {
+        const auto& in = static_cast<const InSubqueryExpr&>(expr);
+        PrintExpr(*in.operand, out);
+        out += in.negated ? " not in (" : " in (";
+        out += PrintStatement(*in.subquery);
+        out.push_back(')');
+        return;
+      }
+      case ExprKind::kExists: {
+        const auto& exists = static_cast<const ExistsExpr&>(expr);
+        if (exists.negated) out += "not ";
+        out += "exists (";
+        out += PrintStatement(*exists.subquery);
+        out.push_back(')');
+        return;
+      }
+      case ExprKind::kIsNull: {
+        const auto& is_null = static_cast<const IsNullExpr&>(expr);
+        PrintExpr(*is_null.operand, out);
+        out += is_null.negated ? " is not null" : " is null";
+        return;
+      }
+      case ExprKind::kLike: {
+        const auto& like = static_cast<const LikeExpr&>(expr);
+        PrintExpr(*like.operand, out);
+        out += like.negated ? " not like " : " like ";
+        PrintExpr(*like.pattern, out);
+        return;
+      }
+      case ExprKind::kSubquery: {
+        const auto& sub = static_cast<const SubqueryExpr&>(expr);
+        out.push_back('(');
+        out += PrintStatement(*sub.subquery);
+        out.push_back(')');
+        return;
+      }
+      case ExprKind::kCase: {
+        const auto& case_expr = static_cast<const CaseExpr&>(expr);
+        out += "case";
+        for (const auto& branch : case_expr.branches) {
+          out += " when ";
+          PrintExpr(*branch.condition, out);
+          out += " then ";
+          PrintExpr(*branch.value, out);
+        }
+        if (case_expr.else_value) {
+          out += " else ";
+          PrintExpr(*case_expr.else_value, out);
+        }
+        out += " end";
+        return;
+      }
+    }
+  }
+
+  void PrintFromItem(const FromItem& item, std::string& out) const {
+    switch (item.kind()) {
+      case FromKind::kTable: {
+        const auto& table = static_cast<const TableRef&>(item);
+        if (!table.schema.empty()) {
+          out += Ident(table.schema);
+          out.push_back('.');
+        }
+        out += Ident(table.table);
+        if (!table.alias.empty()) {
+          out += " as ";
+          out += Ident(table.alias);
+        }
+        return;
+      }
+      case FromKind::kTableFunction: {
+        const auto& fn = static_cast<const TableFunctionRef&>(item);
+        if (!fn.schema.empty()) {
+          out += Ident(fn.schema);
+          out.push_back('.');
+        }
+        out += Ident(fn.name);
+        out.push_back('(');
+        for (size_t i = 0; i < fn.args.size(); ++i) {
+          if (i > 0) out += ", ";
+          PrintExpr(*fn.args[i], out);
+        }
+        out.push_back(')');
+        if (!fn.alias.empty()) {
+          out += " as ";
+          out += Ident(fn.alias);
+        }
+        return;
+      }
+      case FromKind::kSubquery: {
+        const auto& sub = static_cast<const SubqueryRef&>(item);
+        out.push_back('(');
+        out += PrintStatement(*sub.subquery);
+        out.push_back(')');
+        if (!sub.alias.empty()) {
+          out += " as ";
+          out += Ident(sub.alias);
+        }
+        return;
+      }
+      case FromKind::kJoin: {
+        const auto& join = static_cast<const JoinRef&>(item);
+        PrintFromItem(*join.left, out);
+        switch (join.join_type) {
+          case JoinType::kInner: out += " inner join "; break;
+          case JoinType::kLeftOuter: out += " left outer join "; break;
+          case JoinType::kRightOuter: out += " right outer join "; break;
+          case JoinType::kFullOuter: out += " full outer join "; break;
+          case JoinType::kCross: out += " cross join "; break;
+        }
+        PrintFromItem(*join.right, out);
+        if (join.condition) {
+          out += " on ";
+          PrintExpr(*join.condition, out);
+        }
+        return;
+      }
+    }
+  }
+
+  std::string PrintSelectList(const SelectStatement& stmt) const {
+    std::string out = "select ";
+    if (stmt.distinct) out += "distinct ";
+    if (stmt.top_count >= 0) {
+      out += "top ";
+      out += std::to_string(stmt.top_count);
+      out.push_back(' ');
+    }
+    for (size_t i = 0; i < stmt.select_items.size(); ++i) {
+      if (i > 0) out += ", ";
+      PrintExpr(*stmt.select_items[i].expr, out);
+      if (!stmt.select_items[i].alias.empty()) {
+        out += " as ";
+        out += Ident(stmt.select_items[i].alias);
+      }
+    }
+    return out;
+  }
+
+  std::string PrintFrom(const SelectStatement& stmt) const {
+    if (stmt.from_items.empty()) return "";
+    std::string out = "from ";
+    for (size_t i = 0; i < stmt.from_items.size(); ++i) {
+      if (i > 0) out += ", ";
+      PrintFromItem(*stmt.from_items[i], out);
+    }
+    return out;
+  }
+
+  std::string PrintWhere(const SelectStatement& stmt) const {
+    if (!stmt.where) return "";
+    std::string out = "where ";
+    PrintExpr(*stmt.where, out);
+    return out;
+  }
+
+  std::string PrintTail(const SelectStatement& stmt) const {
+    std::string out;
+    if (!stmt.group_by.empty()) {
+      out += "group by ";
+      for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+        if (i > 0) out += ", ";
+        PrintExpr(*stmt.group_by[i], out);
+      }
+      if (stmt.having) {
+        out += " having ";
+        PrintExpr(*stmt.having, out);
+      }
+    }
+    if (!stmt.order_by.empty()) {
+      if (!out.empty()) out.push_back(' ');
+      out += "order by ";
+      for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+        if (i > 0) out += ", ";
+        PrintExpr(*stmt.order_by[i].expr, out);
+        if (stmt.order_by[i].descending) out += " desc";
+      }
+    }
+    return out;
+  }
+
+  std::string PrintStatement(const SelectStatement& stmt) const {
+    std::string out = PrintSelectList(stmt);
+    std::string from = PrintFrom(stmt);
+    if (!from.empty()) {
+      out.push_back(' ');
+      out += from;
+    }
+    std::string where = PrintWhere(stmt);
+    if (!where.empty()) {
+      out.push_back(' ');
+      out += where;
+    }
+    std::string tail = PrintTail(stmt);
+    if (!tail.empty()) {
+      out.push_back(' ');
+      out += tail;
+    }
+    return out;
+  }
+
+ private:
+  static const char* BinaryOpText(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::kAnd: return "and";
+      case BinaryOp::kOr: return "or";
+      case BinaryOp::kEq: return "=";
+      case BinaryOp::kNotEq: return "<>";
+      case BinaryOp::kLess: return "<";
+      case BinaryOp::kLessEq: return "<=";
+      case BinaryOp::kGreater: return ">";
+      case BinaryOp::kGreaterEq: return ">=";
+      case BinaryOp::kAdd: return "+";
+      case BinaryOp::kSub: return "-";
+      case BinaryOp::kMul: return "*";
+      case BinaryOp::kDiv: return "/";
+      case BinaryOp::kMod: return "%";
+    }
+    return "?";
+  }
+
+  static int Precedence(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::kOr: return 1;
+      case BinaryOp::kAnd: return 2;
+      case BinaryOp::kEq:
+      case BinaryOp::kNotEq:
+      case BinaryOp::kLess:
+      case BinaryOp::kLessEq:
+      case BinaryOp::kGreater:
+      case BinaryOp::kGreaterEq: return 3;
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub: return 4;
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod: return 5;
+    }
+    return 0;
+  }
+
+  /// Parenthesizes child binary expressions of lower precedence than the
+  /// parent so the printed text re-parses to the same tree.
+  void PrintOperand(const Expr& operand, BinaryOp parent_op, std::string& out) const {
+    bool parens = false;
+    if (operand.kind() == ExprKind::kBinary) {
+      const auto& child = static_cast<const BinaryExpr&>(operand);
+      parens = Precedence(child.op) < Precedence(parent_op);
+    }
+    if (parens) out.push_back('(');
+    PrintExpr(operand, out);
+    if (parens) out.push_back(')');
+  }
+
+  const PrintOptions& options_;
+};
+
+}  // namespace
+
+std::string Print(const SelectStatement& stmt, const PrintOptions& options) {
+  return Printer(options).PrintStatement(stmt);
+}
+
+std::string Print(const Expr& expr, const PrintOptions& options) {
+  std::string out;
+  Printer(options).PrintExpr(expr, out);
+  return out;
+}
+
+std::string PrintSelectClause(const SelectStatement& stmt, const PrintOptions& options) {
+  return Printer(options).PrintSelectList(stmt);
+}
+
+std::string PrintFromClause(const SelectStatement& stmt, const PrintOptions& options) {
+  return Printer(options).PrintFrom(stmt);
+}
+
+std::string PrintWhereClause(const SelectStatement& stmt, const PrintOptions& options) {
+  return Printer(options).PrintWhere(stmt);
+}
+
+std::string PrintTailClauses(const SelectStatement& stmt, const PrintOptions& options) {
+  return Printer(options).PrintTail(stmt);
+}
+
+}  // namespace sqlog::sql

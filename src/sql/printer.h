@@ -1,0 +1,44 @@
+#ifndef SQLOG_SQL_PRINTER_H_
+#define SQLOG_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace sqlog::sql {
+
+/// Controls how an AST is rendered back to SQL text.
+struct PrintOptions {
+  /// Lower-cases identifiers and keywords and normalizes spacing, so two
+  /// structurally equal queries print identically (Def. 5 equality is
+  /// string equality of canonical prints).
+  bool canonical = true;
+  /// Replaces literals with `<num>` / `<str>` / `<null>` placeholders,
+  /// producing the *skeleton* form of Sec. 4.1.2. Variables (`@x`) count
+  /// as parameters and also collapse to placeholders.
+  bool placeholders = false;
+};
+
+/// Renders a full statement.
+std::string Print(const SelectStatement& stmt, const PrintOptions& options = {});
+
+/// Renders one expression.
+std::string Print(const Expr& expr, const PrintOptions& options = {});
+
+/// Renders the select list only (the SC / SSC of Definitions 2–3).
+std::string PrintSelectClause(const SelectStatement& stmt, const PrintOptions& options = {});
+
+/// Renders the FROM clause only (the FC / SFC).
+std::string PrintFromClause(const SelectStatement& stmt, const PrintOptions& options = {});
+
+/// Renders the WHERE clause only (the WC / SWC); empty string when the
+/// statement has no WHERE.
+std::string PrintWhereClause(const SelectStatement& stmt, const PrintOptions& options = {});
+
+/// Renders GROUP BY / HAVING / ORDER BY / TOP / DISTINCT decorations that
+/// are not part of the three core clauses but still distinguish templates.
+std::string PrintTailClauses(const SelectStatement& stmt, const PrintOptions& options = {});
+
+}  // namespace sqlog::sql
+
+#endif  // SQLOG_SQL_PRINTER_H_

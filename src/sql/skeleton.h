@@ -1,0 +1,111 @@
+#ifndef SQLOG_SQL_SKELETON_H_
+#define SQLOG_SQL_SKELETON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace sqlog::sql {
+
+/// Leaf predicate shapes recognized in WHERE clauses.
+enum class PredicateOp {
+  kEq,
+  kNotEq,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kBetween,
+  kIn,
+  kLike,
+  kIsNull,
+  kIsNotNull,
+  kOther,  // joins predicates, subqueries, function comparisons, ...
+};
+
+/// Returns a stable name for a predicate operator.
+const char* PredicateOpName(PredicateOp op);
+
+/// One leaf predicate extracted from a WHERE clause. The Stifle and CTH
+/// definitions (Defs. 11 and 15) are phrased over these features: CP is
+/// the number of leaf predicates, θ the comparison operator, filCol the
+/// filtered column.
+struct Predicate {
+  PredicateOp op = PredicateOp::kOther;
+  std::string qualifier;  // lower-cased column qualifier, may be empty
+  std::string column;     // lower-cased filter column, empty when not a column
+  /// Constant operand(s) as canonical text: 1 for comparisons, 2 for
+  /// BETWEEN, n for IN lists.
+  std::vector<std::string> values;
+  /// True when the predicate compares a column against literal /
+  /// variable constants (not another column or subquery).
+  bool constant_comparison = false;
+  /// True for `col = NULL` / `col <> NULL` — the SNC antipattern
+  /// (Def. 16) triggers on these.
+  bool compares_to_null_literal = false;
+};
+
+/// The query template of Definition 4: the skeleton triple (SFC, SWC,
+/// SSC) plus the tail (GROUP/ORDER/TOP) that also shapes a template.
+struct QueryTemplate {
+  std::string ssc;   // skeleton SELECT clause
+  std::string sfc;   // skeleton FROM clause
+  std::string swc;   // skeleton WHERE clause
+  std::string tail;  // skeleton GROUP BY / HAVING / ORDER BY
+  uint64_t fingerprint = 0;
+
+  bool operator==(const QueryTemplate& other) const {
+    return fingerprint == other.fingerprint && ssc == other.ssc && sfc == other.sfc &&
+           swc == other.swc && tail == other.tail;
+  }
+};
+
+/// Everything the pipeline needs to know about one parsed SELECT:
+/// concrete clause texts (SC/FC/WC of Def. 3), the skeleton template,
+/// predicate features, output columns and source tables.
+struct QueryFacts {
+  std::shared_ptr<const SelectStatement> ast;
+
+  QueryTemplate tmpl;
+  std::string sc;  // concrete canonical SELECT clause
+  std::string fc;  // concrete canonical FROM clause
+  std::string wc;  // concrete canonical WHERE clause
+
+  std::vector<Predicate> predicates;
+  /// True when the WHERE tree is a pure AND-conjunction of leaves (no OR
+  /// / NOT above leaf level); several detection rules require this.
+  bool where_conjunctive = true;
+
+  /// Lower-cased output column names (from select list; aliases win),
+  /// used for the CTH "selected attribute reappears as filter" rule.
+  std::vector<std::string> selected_columns;
+  bool selects_star = false;
+
+  /// Lower-cased base-table names reachable in FROM (join trees are
+  /// flattened; subqueries contribute their own tables).
+  std::vector<std::string> tables;
+  /// Lower-cased table-valued function names in FROM.
+  std::vector<std::string> table_functions;
+
+  /// Count of leaf predicates — the paper's CP.
+  int predicate_count() const { return static_cast<int>(predicates.size()); }
+};
+
+/// Computes the skeleton template of a statement.
+QueryTemplate MakeTemplate(const SelectStatement& stmt);
+
+/// Full analysis: template, concrete clauses, predicates, columns,
+/// tables. Never fails for a parsed statement; the Result carries the
+/// analyzed value for API symmetry with ParseSelect.
+QueryFacts Analyze(std::shared_ptr<const SelectStatement> stmt);
+
+/// Parses and analyzes in one step.
+Result<QueryFacts> ParseAndAnalyze(const std::string& statement_text);
+
+}  // namespace sqlog::sql
+
+#endif  // SQLOG_SQL_SKELETON_H_

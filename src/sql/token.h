@@ -1,0 +1,52 @@
+#ifndef SQLOG_SQL_TOKEN_H_
+#define SQLOG_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sqlog::sql {
+
+/// Lexical token categories for the SELECT dialect. SQL keywords are
+/// lexed as kIdentifier; the parser matches them case-insensitively, so
+/// the lexer needs no keyword table.
+enum class TokenType {
+  kIdentifier,   // photoPrimary, [Bracketed Name], "quoted name"
+  kVariable,     // @ra, @dec (SkyServer logs keep T-SQL variables)
+  kNumber,       // 42, 0.1, 1e-5, 0x1F
+  kString,       // 'sales' (with '' escaping)
+  kComma,        // ,
+  kLParen,       // (
+  kRParen,       // )
+  kDot,          // .
+  kSemicolon,    // ;
+  kStar,         // *
+  kPlus,         // +
+  kMinus,        // -
+  kSlash,        // /
+  kPercent,      // %
+  kEq,           // =
+  kNotEq,        // <> or !=
+  kLess,         // <
+  kLessEq,       // <=
+  kGreater,      // >
+  kGreaterEq,    // >=
+  kEnd,          // end of input
+};
+
+/// Returns a stable name for a token type (diagnostics and tests).
+const char* TokenTypeName(TokenType type);
+
+/// One lexical token. `text` holds the normalized payload: identifier
+/// text without brackets/quotes, string text without surrounding quotes
+/// (escapes resolved), number text verbatim.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;  // byte offset in the original statement
+
+  bool Is(TokenType t) const { return type == t; }
+};
+
+}  // namespace sqlog::sql
+
+#endif  // SQLOG_SQL_TOKEN_H_

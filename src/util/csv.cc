@@ -1,0 +1,100 @@
+#include "util/csv.h"
+
+namespace sqlog {
+
+std::string Csv::EscapeField(std::string_view field, char sep) {
+  bool needs_quoting = false;
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') {
+      needs_quoting = true;
+      break;
+    }
+  }
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Csv::JoinLine(const std::vector<std::string>& fields, char sep) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += EscapeField(fields[i], sep);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> Csv::ParseLine(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::vector<std::string> Csv::SplitLogicalLines(std::string_view content) {
+  std::vector<std::string> lines;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      current.push_back(c);
+      continue;
+    }
+    if (!in_quotes && (c == '\n' || c == '\r')) {
+      if (c == '\r' && i + 1 < content.size() && content[i + 1] == '\n') ++i;
+      lines.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+}  // namespace sqlog

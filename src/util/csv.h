@@ -1,0 +1,35 @@
+#ifndef SQLOG_UTIL_CSV_H_
+#define SQLOG_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sqlog {
+
+/// RFC-4180-style CSV handling: fields containing the separator, quotes
+/// or newlines are quoted; embedded quotes are doubled. The query-log
+/// file format (log_io) is built on this.
+class Csv {
+ public:
+  /// Escapes one field for emission.
+  static std::string EscapeField(std::string_view field, char sep = ',');
+
+  /// Joins already-raw fields into one escaped CSV line (no newline).
+  static std::string JoinLine(const std::vector<std::string>& fields, char sep = ',');
+
+  /// Parses one logical CSV line into fields. The line must not contain
+  /// an unterminated quoted field; on malformed input a ParseError is
+  /// returned.
+  static Result<std::vector<std::string>> ParseLine(std::string_view line, char sep = ',');
+
+  /// Splits file content into logical CSV lines: newlines inside quoted
+  /// fields do not terminate a line.
+  static std::vector<std::string> SplitLogicalLines(std::string_view content);
+};
+
+}  // namespace sqlog
+
+#endif  // SQLOG_UTIL_CSV_H_

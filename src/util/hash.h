@@ -1,0 +1,27 @@
+#ifndef SQLOG_UTIL_HASH_H_
+#define SQLOG_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace sqlog {
+
+/// 64-bit FNV-1a over a byte string. Deterministic across platforms so
+/// fingerprints are stable in logs and golden tests.
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Boost-style hash combiner for building compound fingerprints.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace sqlog
+
+#endif  // SQLOG_UTIL_HASH_H_

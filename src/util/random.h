@@ -1,0 +1,72 @@
+#ifndef SQLOG_UTIL_RANDOM_H_
+#define SQLOG_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace sqlog {
+
+/// Deterministic 64-bit PRNG (xorshift* family). Used instead of
+/// std::mt19937 so that synthetic workloads are bit-identical across
+/// standard-library implementations, which keeps experiment outputs and
+/// golden tests stable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed ? seed : 1) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Zipf-like skewed index in [0, n): rank r picked with probability
+  /// proportional to 1/(r+1)^s, via inverse-CDF on a harmonic prefix
+  /// (approximate, O(1) memory). Skew s in (0, 2] is typical.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  uint64_t state_;
+};
+
+inline uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  // Rejection-free approximation: invert the continuous Zipf CDF
+  // p(x) ~ x^{-s} on [1, n]. Accurate enough for workload skew shaping.
+  double u = NextDouble();
+  if (s == 1.0) s = 1.0000001;  // avoid the log-form special case
+  double one_minus_s = 1.0 - s;
+  double pow_n = __builtin_pow(static_cast<double>(n), one_minus_s);
+  double x = __builtin_pow(u * (pow_n - 1.0) + 1.0, 1.0 / one_minus_s);
+  uint64_t idx = static_cast<uint64_t>(x) - 1;
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+}  // namespace sqlog
+
+#endif  // SQLOG_UTIL_RANDOM_H_

@@ -1,0 +1,133 @@
+#ifndef SQLOG_UTIL_STATUS_H_
+#define SQLOG_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sqlog {
+
+/// Error categories used across the library. Library code never throws;
+/// every fallible operation reports through Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight error-or-success value, modelled after absl::Status /
+/// rocksdb::Status. Ok statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error, modelled after absl::StatusOr. Accessing the value of
+/// a non-ok Result is a programming error (checked by assert).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: makes `return value;` work in functions
+  /// returning Result<T>.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status. The status must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sqlog
+
+/// Propagates a non-ok Status from an expression, RocksDB-style.
+#define SQLOG_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::sqlog::Status _sqlog_status = (expr);        \
+    if (!_sqlog_status.ok()) return _sqlog_status; \
+  } while (0)
+
+/// Same as SQLOG_RETURN_IF_ERROR, for functions returning Result<T>
+/// (Result<T> converts implicitly from a non-ok Status).
+#define SQLOG_RETURN_IF_ERROR_R(expr)              \
+  do {                                             \
+    ::sqlog::Status _sqlog_status = (expr);        \
+    if (!_sqlog_status.ok()) return _sqlog_status; \
+  } while (0)
+
+#endif  // SQLOG_UTIL_STATUS_H_

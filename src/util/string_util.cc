@@ -1,0 +1,127 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace sqlog {
+
+std::string ToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  return out;
+}
+
+namespace {
+bool IsSpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v';
+}
+}  // namespace
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && IsSpaceChar(s[begin])) ++begin;
+  while (end > begin && IsSpaceChar(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix) {
+  if (s.size() < prefix.size()) return false;
+  return EqualsIgnoreCase(s.substr(0, prefix.size()), prefix);
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CollapseWhitespace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = false;
+  for (char c : s) {
+    if (IsSpaceChar(c)) {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !out.empty()) out.push_back(' ');
+    in_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string WithThousands(long long value) {
+  bool negative = value < 0;
+  unsigned long long magnitude =
+      negative ? 0ULL - static_cast<unsigned long long>(value)
+               : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace sqlog

@@ -1,0 +1,44 @@
+#ifndef SQLOG_UTIL_STRING_UTIL_H_
+#define SQLOG_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlog {
+
+/// ASCII-only lower-casing; SQL identifiers in this project are ASCII.
+std::string ToLower(std::string_view s);
+
+/// ASCII-only upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing whitespace (space, tab, CR, LF).
+std::string_view Trim(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True iff `s` begins with `prefix`, comparing case-insensitively.
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive equality for ASCII strings.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Collapses every run of whitespace to a single space and trims the
+/// result. Used when canonicalizing SQL text.
+std::string CollapseWhitespace(std::string_view s);
+
+/// Formats `value` with thousands separators ("1,234,567") for
+/// human-readable experiment tables.
+std::string WithThousands(long long value);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace sqlog
+
+#endif  // SQLOG_UTIL_STRING_UTIL_H_

@@ -1,0 +1,114 @@
+#include "sql/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace sqlog::sql {
+namespace {
+
+TEST(ClassifyTest, BasicKinds) {
+  EXPECT_EQ(ClassifyStatement("SELECT 1"), StatementKind::kSelect);
+  EXPECT_EQ(ClassifyStatement("select 1"), StatementKind::kSelect);
+  EXPECT_EQ(ClassifyStatement("INSERT INTO t VALUES (1)"), StatementKind::kInsert);
+  EXPECT_EQ(ClassifyStatement("UPDATE t SET a = 1"), StatementKind::kUpdate);
+  EXPECT_EQ(ClassifyStatement("DELETE FROM t"), StatementKind::kDelete);
+  EXPECT_EQ(ClassifyStatement("CREATE TABLE t (a int)"), StatementKind::kCreate);
+  EXPECT_EQ(ClassifyStatement("DROP TABLE t"), StatementKind::kDrop);
+  EXPECT_EQ(ClassifyStatement("ALTER TABLE t ADD b int"), StatementKind::kAlter);
+  EXPECT_EQ(ClassifyStatement("EXEC spGetStats"), StatementKind::kOther);
+  EXPECT_EQ(ClassifyStatement(""), StatementKind::kOther);
+}
+
+TEST(ClassifyTest, LeadingWhitespaceAndComments) {
+  EXPECT_EQ(ClassifyStatement("   \n\t SELECT 1"), StatementKind::kSelect);
+  EXPECT_EQ(ClassifyStatement("-- note\nSELECT 1"), StatementKind::kSelect);
+  EXPECT_EQ(ClassifyStatement("/* block */ SELECT 1"), StatementKind::kSelect);
+  EXPECT_EQ(ClassifyStatement("-- only a comment"), StatementKind::kOther);
+  EXPECT_EQ(ClassifyStatement("/* unterminated"), StatementKind::kOther);
+}
+
+TEST(ClassifyTest, ParenthesizedSelect) {
+  EXPECT_EQ(ClassifyStatement("(SELECT 1)"), StatementKind::kSelect);
+  EXPECT_EQ(ClassifyStatement("((SELECT 1))"), StatementKind::kSelect);
+}
+
+TEST(ClassifyTest, KindNames) {
+  EXPECT_STREQ(StatementKindName(StatementKind::kSelect), "SELECT");
+  EXPECT_STREQ(StatementKindName(StatementKind::kInsert), "INSERT");
+  EXPECT_STREQ(StatementKindName(StatementKind::kOther), "OTHER");
+}
+
+/// Clones must be deep: printing both before and after the original is
+/// destroyed yields the same text.
+TEST(CloneTest, DeepCopyFullStatement) {
+  const char* sql =
+      "SELECT DISTINCT TOP 5 a, b AS x, count(*), t.*, -3, 'lit', @v, "
+      "CASE WHEN a = 1 THEN 'x' ELSE 'y' END "
+      "FROM t1 AS t INNER JOIN (SELECT c FROM t2) s ON t.id = s.c, "
+      "fGetNearbyObjEq(1, 2, 3) n "
+      "WHERE a BETWEEN 1 AND 2 AND b IN (1, 2) AND c IN (SELECT d FROM t3) "
+      "AND EXISTS (SELECT 1 FROM t4) AND e IS NOT NULL AND f LIKE 'x%' "
+      "AND NOT (g = 1 OR h = 2) "
+      "GROUP BY a HAVING count(*) > 1 ORDER BY a DESC, b";
+  auto parsed = ParseSelect(sql);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  PrintOptions opts;
+  std::string original_text = Print(*parsed.value(), opts);
+  std::unique_ptr<SelectStatement> clone = parsed.value()->Clone();
+  std::string clone_text_before = Print(*clone, opts);
+  parsed.value().reset();  // destroy the original
+  std::string clone_text_after = Print(*clone, opts);
+
+  EXPECT_EQ(clone_text_before, original_text);
+  EXPECT_EQ(clone_text_after, original_text);
+}
+
+TEST(CloneTest, MutatingCloneLeavesOriginalIntact) {
+  auto parsed = ParseSelect("SELECT a FROM t WHERE x = 1");
+  ASSERT_TRUE(parsed.ok());
+  auto clone = parsed.value()->Clone();
+  clone->select_items.clear();
+  clone->where = nullptr;
+  PrintOptions opts;
+  EXPECT_EQ(Print(*parsed.value(), opts), "select a from t where x = 1");
+}
+
+TEST(CloneTest, ExpressionCloneKindsMatch) {
+  const char* exprs[] = {
+      "SELECT a + b * -c FROM t",
+      "SELECT a FROM t WHERE x IN (1,2,3)",
+      "SELECT a FROM t WHERE x IS NULL",
+      "SELECT a FROM t WHERE x LIKE 'p%'",
+      "SELECT (SELECT max(b) FROM u) FROM t",
+  };
+  PrintOptions opts;
+  for (const char* sql : exprs) {
+    auto parsed = ParseSelect(sql);
+    ASSERT_TRUE(parsed.ok()) << sql;
+    const Expr& original = *parsed.value()->select_items[0].expr;
+    auto clone = original.Clone();
+    EXPECT_EQ(clone->kind(), original.kind());
+    EXPECT_EQ(Print(*clone, opts), Print(original, opts)) << sql;
+  }
+}
+
+TEST(SelectItemTest, CopyIsDeep) {
+  auto parsed = ParseSelect("SELECT a AS x FROM t");
+  ASSERT_TRUE(parsed.ok());
+  SelectItem copy = parsed.value()->select_items[0].Copy();
+  EXPECT_EQ(copy.alias, "x");
+  EXPECT_NE(copy.expr.get(), parsed.value()->select_items[0].expr.get());
+}
+
+TEST(OrderByItemTest, CopyPreservesDirection) {
+  auto parsed = ParseSelect("SELECT a FROM t ORDER BY a DESC");
+  ASSERT_TRUE(parsed.ok());
+  OrderByItem copy = parsed.value()->order_by[0].Copy();
+  EXPECT_TRUE(copy.descending);
+}
+
+}  // namespace
+}  // namespace sqlog::sql

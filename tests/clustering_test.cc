@@ -1,0 +1,126 @@
+#include "analysis/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace sqlog::analysis {
+namespace {
+
+DataSpace SpaceOf(const std::string& sql) {
+  auto facts = sqlog::sql::ParseAndAnalyze(sql);
+  EXPECT_TRUE(facts.ok()) << sql;
+  return ExtractDataSpace(facts.value());
+}
+
+TEST(ClusteringTest, IdenticalSpacesFormOneCluster) {
+  std::vector<DataSpace> spaces;
+  for (int i = 0; i < 5; ++i) spaces.push_back(SpaceOf("SELECT a FROM t WHERE x = 5"));
+  auto result = ClusterDataSpaces(spaces, ClusteringOptions{});
+  ASSERT_EQ(result.cluster_count(), 1u);
+  EXPECT_EQ(result.clusters[0].size(), 5u);
+}
+
+TEST(ClusteringTest, DifferentTablesStayApart) {
+  std::vector<DataSpace> spaces = {
+      SpaceOf("SELECT a FROM t WHERE x = 5"),
+      SpaceOf("SELECT a FROM u WHERE x = 5"),
+  };
+  auto result = ClusterDataSpaces(spaces, ClusteringOptions{});
+  EXPECT_EQ(result.cluster_count(), 2u);
+}
+
+TEST(ClusteringTest, ThresholdControlsMerging) {
+  // Overlap = 5/15 → distance ≈ 0.667.
+  std::vector<DataSpace> spaces = {
+      SpaceOf("SELECT a FROM t WHERE r BETWEEN 0 AND 10"),
+      SpaceOf("SELECT a FROM t WHERE r BETWEEN 5 AND 15"),
+  };
+  ClusteringOptions tight;
+  tight.threshold = 0.5;
+  EXPECT_EQ(ClusterDataSpaces(spaces, tight).cluster_count(), 2u);
+  ClusteringOptions loose;
+  loose.threshold = 0.7;
+  EXPECT_EQ(ClusterDataSpaces(spaces, loose).cluster_count(), 1u);
+}
+
+TEST(ClusteringTest, SingleLinkageChains) {
+  // A↔B and B↔C overlap, A↔C do not: single linkage puts all three in
+  // one cluster at a loose threshold.
+  std::vector<DataSpace> spaces = {
+      SpaceOf("SELECT a FROM t WHERE r BETWEEN 0 AND 10"),
+      SpaceOf("SELECT a FROM t WHERE r BETWEEN 8 AND 18"),
+      SpaceOf("SELECT a FROM t WHERE r BETWEEN 16 AND 26"),
+  };
+  ClusteringOptions options;
+  options.threshold = 0.95;
+  auto result = ClusterDataSpaces(spaces, options);
+  EXPECT_EQ(result.cluster_count(), 1u);
+}
+
+TEST(ClusteringTest, ClustersSortedBySizeDescending) {
+  std::vector<DataSpace> spaces;
+  for (int i = 0; i < 3; ++i) spaces.push_back(SpaceOf("SELECT a FROM t WHERE x = 1"));
+  spaces.push_back(SpaceOf("SELECT a FROM u WHERE x = 1"));
+  auto result = ClusterDataSpaces(spaces, ClusteringOptions{});
+  ASSERT_EQ(result.cluster_count(), 2u);
+  EXPECT_GE(result.clusters[0].size(), result.clusters[1].size());
+}
+
+TEST(ClusteringTest, MembersCoverAllInputsExactlyOnce) {
+  std::vector<DataSpace> spaces;
+  for (int i = 0; i < 10; ++i) {
+    spaces.push_back(SpaceOf(sqlog::StrFormat("SELECT a FROM t WHERE x = %d", i % 3)));
+  }
+  auto result = ClusterDataSpaces(spaces, ClusteringOptions{});
+  std::vector<bool> seen(spaces.size(), false);
+  for (const auto& cluster : result.clusters) {
+    for (size_t member : cluster.members) {
+      ASSERT_LT(member, spaces.size());
+      EXPECT_FALSE(seen[member]);
+      seen[member] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(ClusteringTest, AverageSize) {
+  std::vector<DataSpace> spaces = {
+      SpaceOf("SELECT a FROM t WHERE x = 1"),
+      SpaceOf("SELECT a FROM t WHERE x = 1"),
+      SpaceOf("SELECT a FROM u WHERE x = 1"),
+  };
+  auto result = ClusterDataSpaces(spaces, ClusteringOptions{});
+  EXPECT_DOUBLE_EQ(result.average_size(), 1.5);
+}
+
+TEST(ClusteringTest, EmptyInput) {
+  auto result = ClusterDataSpaces({}, ClusteringOptions{});
+  EXPECT_EQ(result.cluster_count(), 0u);
+  EXPECT_EQ(result.average_size(), 0.0);
+}
+
+TEST(ClusteringTest, RuntimeIsRecorded) {
+  std::vector<DataSpace> spaces;
+  for (int i = 0; i < 100; ++i) {
+    spaces.push_back(SpaceOf(sqlog::StrFormat("SELECT a FROM t WHERE x = %d", i)));
+  }
+  auto result = ClusterDataSpaces(spaces, ClusteringOptions{});
+  EXPECT_GE(result.runtime_seconds, 0.0);
+  EXPECT_EQ(result.cluster_count(), 100u);  // distinct points stay apart
+}
+
+TEST(ClusteringTest, ScalesViaSignatureCollapse) {
+  // 20k identical spaces must cluster instantly (one distinct group).
+  std::vector<DataSpace> spaces;
+  for (int i = 0; i < 20000; ++i) {
+    spaces.push_back(SpaceOf("SELECT a FROM t WHERE x = 5"));
+  }
+  auto result = ClusterDataSpaces(spaces, ClusteringOptions{});
+  ASSERT_EQ(result.cluster_count(), 1u);
+  EXPECT_EQ(result.clusters[0].size(), 20000u);
+  EXPECT_LT(result.runtime_seconds, 2.0);
+}
+
+}  // namespace
+}  // namespace sqlog::analysis

@@ -1,0 +1,90 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlog {
+namespace {
+
+TEST(CsvTest, PlainFieldsNeedNoQuoting) {
+  EXPECT_EQ(Csv::EscapeField("hello"), "hello");
+  EXPECT_EQ(Csv::EscapeField(""), "");
+}
+
+TEST(CsvTest, FieldsWithSeparatorAreQuoted) {
+  EXPECT_EQ(Csv::EscapeField("a,b"), "\"a,b\"");
+}
+
+TEST(CsvTest, EmbeddedQuotesAreDoubled) {
+  EXPECT_EQ(Csv::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, NewlinesForceQuoting) {
+  EXPECT_EQ(Csv::EscapeField("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvTest, JoinLineEscapesEachField) {
+  EXPECT_EQ(Csv::JoinLine({"a", "b,c", "d"}), "a,\"b,c\",d");
+}
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto fields = Csv::ParseLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseQuotedFieldWithSeparator) {
+  auto fields = Csv::ParseLine("a,\"b,c\",d");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b,c", "d"}));
+}
+
+TEST(CsvTest, ParseDoubledQuote) {
+  auto fields = Csv::ParseLine("\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[0], "say \"hi\"");
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  auto fields = Csv::ParseLine(",,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto fields = Csv::ParseLine("\"oops");
+  EXPECT_FALSE(fields.ok());
+  EXPECT_EQ(fields.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RoundTripWithSqlStatement) {
+  std::string sql = "SELECT a, b FROM t WHERE s = 'x,\"y\"'\nAND b > 1";
+  std::string line = Csv::JoinLine({"1", sql, "end"});
+  auto fields = Csv::ParseLine(line);
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[1], sql);
+}
+
+TEST(CsvTest, SplitLogicalLinesRespectsQuotedNewlines) {
+  std::string content = "a,\"line1\nline2\",c\nd,e,f\n";
+  auto lines = Csv::SplitLogicalLines(content);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a,\"line1\nline2\",c");
+  EXPECT_EQ(lines[1], "d,e,f");
+}
+
+TEST(CsvTest, SplitLogicalLinesHandlesCrLf) {
+  auto lines = Csv::SplitLogicalLines("a,b\r\nc,d\r\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a,b");
+  EXPECT_EQ(lines[1], "c,d");
+}
+
+TEST(CsvTest, SplitLogicalLinesWithoutTrailingNewline) {
+  auto lines = Csv::SplitLogicalLines("a,b");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "a,b");
+}
+
+}  // namespace
+}  // namespace sqlog

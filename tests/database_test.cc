@@ -1,0 +1,112 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sqlog::engine {
+namespace {
+
+TEST(DatabaseTest, CreateAndFindCaseInsensitive) {
+  Database db;
+  auto table = db.CreateTable("PhotoPrimary", {{"objid", Value::Kind::kInt64}});
+  ASSERT_TRUE(table.ok());
+  EXPECT_NE(db.FindTable("photoprimary"), nullptr);
+  EXPECT_NE(db.FindTable("PHOTOPRIMARY"), nullptr);
+  EXPECT_EQ(db.FindTable("other"), nullptr);
+}
+
+TEST(DatabaseTest, DuplicateTableRejected) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", {{"a", Value::Kind::kInt64}}).ok());
+  auto dup = db.CreateTable("T", {{"a", Value::Kind::kInt64}});
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, CreateFromCatalogMapsTypes) {
+  Database db;
+  catalog::Schema schema = catalog::MakeSkyServerSchema();
+  auto table = db.CreateTableFromCatalog(*schema.FindTable("photoprimary"));
+  ASSERT_TRUE(table.ok());
+  int objid = table.value()->ColumnIndex("objid");
+  ASSERT_GE(objid, 0);
+  EXPECT_EQ(table.value()->columns()[static_cast<size_t>(objid)].kind,
+            Value::Kind::kInt64);
+  int ra = table.value()->ColumnIndex("ra");
+  EXPECT_EQ(table.value()->columns()[static_cast<size_t>(ra)].kind, Value::Kind::kDouble);
+}
+
+TEST(DatabaseTest, PopulateSkyServerSampleShape) {
+  Database db;
+  ASSERT_TRUE(PopulateSkyServerSample(db, 100).ok());
+  const Table* photo = db.FindTable("photoprimary");
+  ASSERT_NE(photo, nullptr);
+  EXPECT_EQ(photo->row_count(), 100u);
+  const Table* all = db.FindTable("photoobjall");
+  ASSERT_NE(all, nullptr);
+  EXPECT_EQ(all->row_count(), 100u);
+  const Table* spec = db.FindTable("specobjall");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->row_count(), 25u);  // every 4th object has a spectrum
+  EXPECT_NE(db.FindTable("dbobjects"), nullptr);
+  EXPECT_NE(db.FindTable("employees"), nullptr);
+  EXPECT_NE(db.FindTable("orders"), nullptr);
+  EXPECT_NE(db.FindTable("bugs"), nullptr);
+}
+
+TEST(DatabaseTest, PhotoPrimaryAndPhotoObjAllShareObjIds) {
+  Database db;
+  ASSERT_TRUE(PopulateSkyServerSample(db, 50).ok());
+  const Table* photo = db.FindTable("photoprimary");
+  const Table* all = db.FindTable("photoobjall");
+  int col_a = photo->ColumnIndex("objid");
+  int col_b = all->ColumnIndex("objid");
+  std::unordered_set<int64_t> a_ids;
+  for (size_t r = 0; r < photo->row_count(); ++r) {
+    a_ids.insert(photo->At(r, static_cast<size_t>(col_a)).AsInt());
+  }
+  for (size_t r = 0; r < all->row_count(); ++r) {
+    EXPECT_EQ(a_ids.count(all->At(r, static_cast<size_t>(col_b)).AsInt()), 1u);
+  }
+}
+
+TEST(DatabaseTest, PhotoObjIdsHelper) {
+  Database db;
+  ASSERT_TRUE(PopulateSkyServerSample(db, 20).ok());
+  auto ids = PhotoObjIds(db);
+  EXPECT_EQ(ids.size(), 20u);
+  std::unordered_set<int64_t> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), 20u);
+}
+
+TEST(DatabaseTest, BugsTableHasNullAssignees) {
+  // The SNC demo needs NULL values to search for.
+  Database db;
+  ASSERT_TRUE(PopulateSkyServerSample(db, 10).ok());
+  const Table* bugs = db.FindTable("bugs");
+  int col = bugs->ColumnIndex("assigned_to");
+  size_t nulls = 0;
+  for (size_t r = 0; r < bugs->row_count(); ++r) {
+    if (bugs->At(r, static_cast<size_t>(col)).is_null()) ++nulls;
+  }
+  EXPECT_GT(nulls, 0u);
+  EXPECT_LT(nulls, bugs->row_count());
+}
+
+TEST(DatabaseTest, PopulateIsDeterministic) {
+  Database a;
+  Database b;
+  ASSERT_TRUE(PopulateSkyServerSample(a, 30, 7).ok());
+  ASSERT_TRUE(PopulateSkyServerSample(b, 30, 7).ok());
+  const Table* ta = a.FindTable("photoprimary");
+  const Table* tb = b.FindTable("photoprimary");
+  for (size_t r = 0; r < ta->row_count(); ++r) {
+    for (size_t c = 0; c < ta->columns().size(); ++c) {
+      EXPECT_EQ(ta->At(r, c).ToString(), tb->At(r, c).ToString());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqlog::engine

@@ -1,0 +1,147 @@
+#include "analysis/dataspace.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlog::analysis {
+namespace {
+
+DataSpace SpaceOf(const std::string& sql) {
+  auto facts = sqlog::sql::ParseAndAnalyze(sql);
+  EXPECT_TRUE(facts.ok()) << sql;
+  return ExtractDataSpace(facts.value());
+}
+
+TEST(DataSpaceTest, TableKeyIsSortedUnion) {
+  DataSpace space = SpaceOf("SELECT * FROM b, a JOIN c ON a.x = c.x");
+  EXPECT_EQ(space.table_key, "a+b+c");
+}
+
+TEST(DataSpaceTest, TableFunctionsJoinTableKey) {
+  DataSpace space = SpaceOf("SELECT * FROM fGetNearbyObjEq(1,2,3) n, photoPrimary p");
+  EXPECT_EQ(space.table_key, "fgetnearbyobjeq+photoprimary");
+}
+
+TEST(DataSpaceTest, EqualityBecomesPointInterval) {
+  DataSpace space = SpaceOf("SELECT a FROM t WHERE x = 5");
+  ASSERT_EQ(space.numeric_ranges.count("x"), 1u);
+  EXPECT_TRUE(space.numeric_ranges.at("x").is_point());
+  EXPECT_EQ(space.numeric_ranges.at("x").lo, 5.0);
+}
+
+TEST(DataSpaceTest, RangePredicatesBoundOneSide) {
+  DataSpace space = SpaceOf("SELECT a FROM t WHERE x > 5 AND x <= 10");
+  const Interval& interval = space.numeric_ranges.at("x");
+  EXPECT_EQ(interval.lo, 5.0);
+  EXPECT_EQ(interval.hi, 10.0);
+}
+
+TEST(DataSpaceTest, BetweenBoundsBothSides) {
+  DataSpace space = SpaceOf("SELECT a FROM t WHERE r BETWEEN 14 AND 17");
+  EXPECT_EQ(space.numeric_ranges.at("r").lo, 14.0);
+  EXPECT_EQ(space.numeric_ranges.at("r").hi, 17.0);
+}
+
+TEST(DataSpaceTest, InListBecomesHull) {
+  DataSpace space = SpaceOf("SELECT a FROM t WHERE id IN (5, 1, 9)");
+  EXPECT_EQ(space.numeric_ranges.at("id").lo, 1.0);
+  EXPECT_EQ(space.numeric_ranges.at("id").hi, 9.0);
+}
+
+TEST(DataSpaceTest, StringEqualityIsLoweredPoint) {
+  DataSpace space = SpaceOf("SELECT a FROM t WHERE name = 'Galaxy'");
+  ASSERT_EQ(space.string_points.count("name"), 1u);
+  EXPECT_EQ(space.string_points.at("name"), "galaxy");
+}
+
+TEST(OverlapTest, IdenticalQueriesOverlapFully) {
+  DataSpace a = SpaceOf("SELECT a FROM t WHERE x = 5");
+  DataSpace b = SpaceOf("SELECT b FROM t WHERE x = 5");
+  EXPECT_DOUBLE_EQ(Overlap(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 0.0);
+}
+
+TEST(OverlapTest, DifferentTablesNeverOverlap) {
+  DataSpace a = SpaceOf("SELECT a FROM t WHERE x = 5");
+  DataSpace b = SpaceOf("SELECT a FROM u WHERE x = 5");
+  EXPECT_DOUBLE_EQ(Overlap(a, b), 0.0);
+}
+
+TEST(OverlapTest, DifferentPointsAreDisjoint) {
+  DataSpace a = SpaceOf("SELECT a FROM t WHERE x = 5");
+  DataSpace b = SpaceOf("SELECT a FROM t WHERE x = 6");
+  EXPECT_DOUBLE_EQ(Overlap(a, b), 0.0);
+}
+
+TEST(OverlapTest, DisjointWindowsAreDisjoint) {
+  // The SWS signature: consecutive disjoint slices.
+  DataSpace a = SpaceOf("SELECT a FROM t WHERE ra >= 10 and ra < 20");
+  DataSpace b = SpaceOf("SELECT a FROM t WHERE ra >= 20 and ra < 30");
+  EXPECT_LT(Overlap(a, b), 0.01);
+}
+
+TEST(OverlapTest, PartialIntervalOverlapIsJaccard) {
+  DataSpace a = SpaceOf("SELECT a FROM t WHERE r BETWEEN 0 AND 10");
+  DataSpace b = SpaceOf("SELECT a FROM t WHERE r BETWEEN 5 AND 15");
+  EXPECT_NEAR(Overlap(a, b), 5.0 / 15.0, 1e-9);
+}
+
+TEST(OverlapTest, ColumnConstrainedOnOneSideOnlyIsDisjoint) {
+  DataSpace a = SpaceOf("SELECT a FROM t WHERE x = 5 AND y = 1");
+  DataSpace b = SpaceOf("SELECT a FROM t WHERE x = 5");
+  EXPECT_DOUBLE_EQ(Overlap(a, b), 0.0);
+}
+
+TEST(OverlapTest, UnconstrainedFullTableQueriesAreIdentical) {
+  DataSpace a = SpaceOf("SELECT a FROM t");
+  DataSpace b = SpaceOf("SELECT b, c FROM t");
+  EXPECT_DOUBLE_EQ(Overlap(a, b), 1.0);
+}
+
+TEST(OverlapTest, StringPointsMustMatch) {
+  DataSpace a = SpaceOf("SELECT a FROM t WHERE name = 'Galaxy'");
+  DataSpace b = SpaceOf("SELECT a FROM t WHERE name = 'galaxy'");
+  DataSpace c = SpaceOf("SELECT a FROM t WHERE name = 'Star'");
+  EXPECT_DOUBLE_EQ(Overlap(a, b), 1.0);  // case-insensitive
+  EXPECT_DOUBLE_EQ(Overlap(a, c), 0.0);
+}
+
+TEST(OverlapTest, MultiColumnFactorsMultiply) {
+  DataSpace a = SpaceOf("SELECT a FROM t WHERE x BETWEEN 0 AND 10 AND y BETWEEN 0 AND 10");
+  DataSpace b = SpaceOf("SELECT a FROM t WHERE x BETWEEN 0 AND 10 AND y BETWEEN 5 AND 15");
+  EXPECT_NEAR(Overlap(a, b), 1.0 * (5.0 / 15.0), 1e-9);
+}
+
+TEST(OverlapTest, OverlapIsSymmetric) {
+  DataSpace a = SpaceOf("SELECT a FROM t WHERE r BETWEEN 0 AND 10");
+  DataSpace b = SpaceOf("SELECT a FROM t WHERE r BETWEEN 5 AND 15");
+  EXPECT_DOUBLE_EQ(Overlap(a, b), Overlap(b, a));
+}
+
+TEST(OverlapTest, OverlapBoundedZeroOne) {
+  const char* queries[] = {
+      "SELECT a FROM t WHERE x = 5",
+      "SELECT a FROM t WHERE x > 3",
+      "SELECT a FROM t WHERE x BETWEEN 1 AND 9",
+      "SELECT a FROM t",
+      "SELECT a FROM t WHERE name = 'x'",
+  };
+  for (const char* qa : queries) {
+    for (const char* qb : queries) {
+      double overlap = Overlap(SpaceOf(qa), SpaceOf(qb));
+      EXPECT_GE(overlap, 0.0) << qa << " vs " << qb;
+      EXPECT_LE(overlap, 1.0) << qa << " vs " << qb;
+    }
+  }
+}
+
+TEST(DataSpaceTest, SignatureKeyDistinguishesSpaces) {
+  EXPECT_EQ(SpaceOf("SELECT a FROM t WHERE x = 5").SignatureKey(),
+            SpaceOf("SELECT b FROM t WHERE x = 5").SignatureKey());
+  EXPECT_NE(SpaceOf("SELECT a FROM t WHERE x = 5").SignatureKey(),
+            SpaceOf("SELECT a FROM t WHERE x = 6").SignatureKey());
+  EXPECT_NE(SpaceOf("SELECT a FROM t WHERE x = 5").SignatureKey(),
+            SpaceOf("SELECT a FROM u WHERE x = 5").SignatureKey());
+}
+
+}  // namespace
+}  // namespace sqlog::analysis

@@ -1,0 +1,376 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sqlog::engine {
+namespace {
+
+/// Small hand-built database: predictable values for exact assertions.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto people = db_.CreateTable("people", {{"id", Value::Kind::kInt64},
+                                             {"name", Value::Kind::kString},
+                                             {"age", Value::Kind::kInt64},
+                                             {"city", Value::Kind::kString}});
+    ASSERT_TRUE(people.ok());
+    ASSERT_TRUE(people.value()->AppendRow({Value::Int(1), Value::Str("Ann"),
+                                           Value::Int(30), Value::Str("Berlin")}).ok());
+    ASSERT_TRUE(people.value()->AppendRow({Value::Int(2), Value::Str("Bob"),
+                                           Value::Int(25), Value::Str("Paris")}).ok());
+    ASSERT_TRUE(people.value()->AppendRow({Value::Int(3), Value::Str("Cid"),
+                                           Value::Int(35), Value::Str("Berlin")}).ok());
+    ASSERT_TRUE(people.value()->AppendRow({Value::Int(4), Value::Str("Dee"),
+                                           Value::Null(), Value::Str("Rome")}).ok());
+
+    auto orders = db_.CreateTable("orders", {{"oid", Value::Kind::kInt64},
+                                             {"person_id", Value::Kind::kInt64},
+                                             {"total", Value::Kind::kDouble}});
+    ASSERT_TRUE(orders.ok());
+    ASSERT_TRUE(orders.value()->AppendRow({Value::Int(10), Value::Int(1),
+                                           Value::Real(9.5)}).ok());
+    ASSERT_TRUE(orders.value()->AppendRow({Value::Int(11), Value::Int(1),
+                                           Value::Real(20.0)}).ok());
+    ASSERT_TRUE(orders.value()->AppendRow({Value::Int(12), Value::Int(3),
+                                           Value::Real(5.0)}).ok());
+  }
+
+  ResultSet MustRun(const std::string& sql) {
+    Executor executor(&db_);
+    auto result = executor.ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << " → " << result.status().ToString();
+    return result.ok() ? std::move(result.value()) : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, FullScanProjection) {
+  ResultSet r = MustRun("SELECT name FROM people");
+  ASSERT_EQ(r.row_count(), 4u);
+  EXPECT_EQ(r.column_names, (std::vector<std::string>{"name"}));
+  EXPECT_EQ(r.rows[0][0].AsString(), "Ann");
+}
+
+TEST_F(ExecutorTest, SelectStarExpandsAllColumns) {
+  ResultSet r = MustRun("SELECT * FROM people");
+  EXPECT_EQ(r.column_names.size(), 4u);
+  EXPECT_EQ(r.row_count(), 4u);
+}
+
+TEST_F(ExecutorTest, WhereEquality) {
+  ResultSet r = MustRun("SELECT name FROM people WHERE id = 2");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Bob");
+}
+
+TEST_F(ExecutorTest, WhereStringEqualityIsCaseInsensitive) {
+  ResultSet r = MustRun("SELECT name FROM people WHERE city = 'berlin'");
+  EXPECT_EQ(r.row_count(), 2u);
+}
+
+TEST_F(ExecutorTest, WhereRangeAndConjunction) {
+  ResultSet r = MustRun("SELECT name FROM people WHERE age >= 30 AND city = 'Berlin'");
+  ASSERT_EQ(r.row_count(), 2u);
+}
+
+TEST_F(ExecutorTest, WhereDisjunction) {
+  ResultSet r = MustRun("SELECT name FROM people WHERE id = 1 OR id = 3");
+  EXPECT_EQ(r.row_count(), 2u);
+}
+
+TEST_F(ExecutorTest, InList) {
+  ResultSet r = MustRun("SELECT name FROM people WHERE id IN (1, 3, 99)");
+  EXPECT_EQ(r.row_count(), 2u);
+}
+
+TEST_F(ExecutorTest, NotInList) {
+  ResultSet r = MustRun("SELECT name FROM people WHERE id NOT IN (1, 3)");
+  EXPECT_EQ(r.row_count(), 2u);
+}
+
+TEST_F(ExecutorTest, Between) {
+  ResultSet r = MustRun("SELECT name FROM people WHERE age BETWEEN 25 AND 30");
+  EXPECT_EQ(r.row_count(), 2u);
+}
+
+TEST_F(ExecutorTest, Like) {
+  EXPECT_EQ(MustRun("SELECT name FROM people WHERE name LIKE 'A%'").row_count(), 1u);
+  EXPECT_EQ(MustRun("SELECT name FROM people WHERE name LIKE '%e%'").row_count(), 1u);
+  EXPECT_EQ(MustRun("SELECT name FROM people WHERE name LIKE '_ob'").row_count(), 1u);
+  EXPECT_EQ(MustRun("SELECT name FROM people WHERE city NOT LIKE 'B%'").row_count(), 2u);
+}
+
+TEST_F(ExecutorTest, NullComparisonNeverMatches) {
+  // Dee's age is NULL: `= NULL` and `<> NULL` both miss every row — the
+  // precise bug SNC rewrites fix.
+  EXPECT_EQ(MustRun("SELECT name FROM people WHERE age = NULL").row_count(), 0u);
+  EXPECT_EQ(MustRun("SELECT name FROM people WHERE age <> NULL").row_count(), 0u);
+}
+
+TEST_F(ExecutorTest, IsNullMatches) {
+  EXPECT_EQ(MustRun("SELECT name FROM people WHERE age IS NULL").row_count(), 1u);
+  EXPECT_EQ(MustRun("SELECT name FROM people WHERE age IS NOT NULL").row_count(), 3u);
+}
+
+TEST_F(ExecutorTest, ArithmeticInProjectionAndFilter) {
+  ResultSet r = MustRun("SELECT age + 1 AS next FROM people WHERE age * 2 = 50");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.column_names[0], "next");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 26);
+}
+
+TEST_F(ExecutorTest, OrderByDescending) {
+  ResultSet r = MustRun("SELECT name FROM people WHERE age IS NOT NULL ORDER BY age DESC");
+  ASSERT_EQ(r.row_count(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Cid");
+  EXPECT_EQ(r.rows[2][0].AsString(), "Bob");
+}
+
+TEST_F(ExecutorTest, TopLimitsRows) {
+  ResultSet r = MustRun("SELECT TOP 2 name FROM people ORDER BY id");
+  EXPECT_EQ(r.row_count(), 2u);
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  ResultSet r = MustRun("SELECT DISTINCT city FROM people");
+  EXPECT_EQ(r.row_count(), 3u);
+}
+
+TEST_F(ExecutorTest, CountStar) {
+  ResultSet r = MustRun("SELECT count(*) FROM people");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+}
+
+TEST_F(ExecutorTest, CountColumnSkipsNulls) {
+  ResultSet r = MustRun("SELECT count(age) FROM people");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, AggregatesMinMaxSumAvg) {
+  ResultSet r = MustRun("SELECT min(age), max(age), sum(age), avg(age) FROM people");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 25);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 35);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 90.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 30.0);
+}
+
+TEST_F(ExecutorTest, GroupByWithHaving) {
+  ResultSet r = MustRun(
+      "SELECT city, count(*) AS n FROM people GROUP BY city HAVING count(*) > 1");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Berlin");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, GlobalAggregateOverEmptyFilterYieldsOneRow) {
+  ResultSet r = MustRun("SELECT count(*) FROM people WHERE id = 99");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(ExecutorTest, InnerJoinOnEquality) {
+  ResultSet r = MustRun(
+      "SELECT p.name, o.total FROM people p INNER JOIN orders o ON p.id = o.person_id");
+  EXPECT_EQ(r.row_count(), 3u);
+}
+
+TEST_F(ExecutorTest, LeftOuterJoinKeepsUnmatched) {
+  ResultSet r = MustRun(
+      "SELECT p.name, o.oid FROM people p LEFT OUTER JOIN orders o ON p.id = o.person_id");
+  // Ann×2, Cid×1, Bob+NULL, Dee+NULL.
+  ASSERT_EQ(r.row_count(), 5u);
+  size_t nulls = 0;
+  for (const auto& row : r.rows) {
+    if (row[1].is_null()) ++nulls;
+  }
+  EXPECT_EQ(nulls, 2u);
+}
+
+TEST_F(ExecutorTest, CommaJoinWithWhereEquality) {
+  ResultSet r = MustRun(
+      "SELECT p.name FROM people p, orders o WHERE p.id = o.person_id AND o.total > 10");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Ann");
+}
+
+TEST_F(ExecutorTest, JoinAggregation) {
+  ResultSet r = MustRun(
+      "SELECT p.name, sum(o.total) AS spent FROM people p JOIN orders o "
+      "ON p.id = o.person_id GROUP BY p.name ORDER BY p.name");
+  ASSERT_EQ(r.row_count(), 2u);
+}
+
+TEST_F(ExecutorTest, GroupByWithOrderByAggregate) {
+  ResultSet r = MustRun(
+      "SELECT city, count(*) AS n FROM people GROUP BY city ORDER BY count(*) DESC, city");
+  ASSERT_EQ(r.row_count(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Berlin");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][0].AsString(), "Paris");  // tie broken by city name
+  EXPECT_EQ(r.rows[2][0].AsString(), "Rome");
+}
+
+TEST_F(ExecutorTest, TopWithAggregateOrderBy) {
+  ResultSet r = MustRun(
+      "SELECT TOP 1 city, count(*) FROM people GROUP BY city ORDER BY count(*) DESC");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Berlin");
+}
+
+TEST_F(ExecutorTest, DerivedTable) {
+  ResultSet r = MustRun(
+      "SELECT x.n FROM (SELECT count(*) AS n FROM people) x");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+}
+
+TEST_F(ExecutorTest, InSubquery) {
+  ResultSet r = MustRun(
+      "SELECT name FROM people WHERE id IN (SELECT person_id FROM orders)");
+  EXPECT_EQ(r.row_count(), 2u);
+}
+
+TEST_F(ExecutorTest, ExistsSubquery) {
+  ResultSet r = MustRun("SELECT name FROM people WHERE EXISTS (SELECT 1 FROM orders)");
+  EXPECT_EQ(r.row_count(), 4u);
+}
+
+TEST_F(ExecutorTest, ScalarSubquery) {
+  ResultSet r = MustRun("SELECT name FROM people WHERE age > (SELECT min(age) FROM people)");
+  EXPECT_EQ(r.row_count(), 2u);
+}
+
+TEST_F(ExecutorTest, CaseExpression) {
+  ResultSet r = MustRun(
+      "SELECT name, CASE WHEN age >= 30 THEN 'senior' ELSE 'junior' END AS band "
+      "FROM people WHERE age IS NOT NULL ORDER BY id");
+  ASSERT_EQ(r.row_count(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "senior");
+  EXPECT_EQ(r.rows[1][1].AsString(), "junior");
+}
+
+TEST_F(ExecutorTest, ThreeTableJoin) {
+  // people ⋈ orders ⋈ people (self via derived table) exercises the
+  // left-deep fold with two hash joins.
+  ResultSet r = MustRun(
+      "SELECT p.name, o.total, x.cnt FROM people p "
+      "JOIN orders o ON p.id = o.person_id "
+      "JOIN (SELECT person_id, count(*) AS cnt FROM orders GROUP BY person_id) x "
+      "ON x.person_id = p.id");
+  EXPECT_EQ(r.row_count(), 3u);
+}
+
+TEST_F(ExecutorTest, NotInSubquery) {
+  ResultSet r = MustRun(
+      "SELECT name FROM people WHERE id NOT IN (SELECT person_id FROM orders)");
+  EXPECT_EQ(r.row_count(), 2u);  // Bob and Dee
+}
+
+TEST_F(ExecutorTest, DivisionByZeroYieldsNull) {
+  ResultSet r = MustRun("SELECT age / 0 FROM people WHERE id = 1");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_TRUE(r.rows[0][0].is_null());
+}
+
+TEST_F(ExecutorTest, ModuloArithmetic) {
+  ResultSet r = MustRun("SELECT age % 7 FROM people WHERE id = 1");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, HexLiteralComparison) {
+  ResultSet r = MustRun("SELECT name FROM people WHERE id = 0x2");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Bob");
+}
+
+TEST_F(ExecutorTest, ScalarFunctions) {
+  ResultSet r = MustRun("SELECT abs(-5), sqrt(16.0) FROM people WHERE id = 1");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 4.0);
+}
+
+TEST_F(ExecutorTest, CountDistinct) {
+  ResultSet r = MustRun("SELECT count(DISTINCT city) FROM people");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, SelectWithoutFrom) {
+  ResultSet r = MustRun("SELECT 1 + 2");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, InListSetFastPathMatchesLinearSemantics) {
+  // Large literal IN-list (hash-set fast path) must agree with a chain
+  // of OR equalities (generic path).
+  std::string in_list = "SELECT name FROM people WHERE id IN (";
+  std::string ors = "SELECT name FROM people WHERE ";
+  for (int i = 1; i <= 40; i += 2) {
+    if (i > 1) {
+      in_list += ", ";
+      ors += " OR ";
+    }
+    in_list += std::to_string(i);
+    ors += "id = " + std::to_string(i);
+  }
+  in_list += ")";
+  EXPECT_EQ(MustRun(in_list).row_count(), MustRun(ors).row_count());
+}
+
+TEST_F(ExecutorTest, UnknownTableIsNotFound) {
+  Executor executor(&db_);
+  auto result = executor.ExecuteSql("SELECT * FROM missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, UnknownColumnIsNotFound) {
+  Executor executor(&db_);
+  auto result = executor.ExecuteSql("SELECT nope FROM people");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, ParseErrorPropagates) {
+  Executor executor(&db_);
+  EXPECT_EQ(executor.ExecuteSql("SELECT FROM").status().code(), StatusCode::kParseError);
+}
+
+TEST(ExecutorSkyServerTest, TableFunctionsWorkOverPhotoPrimary) {
+  Database db;
+  ASSERT_TRUE(PopulateSkyServerSample(db, 300).ok());
+  Executor executor(&db);
+
+  // Nearest object: exactly one row.
+  auto nearest = executor.ExecuteSql("SELECT * FROM fGetNearestObjEq(180.0, 0.0, 0.1)");
+  ASSERT_TRUE(nearest.ok()) << nearest.status().ToString();
+  EXPECT_EQ(nearest->row_count(), 1u);
+
+  // Rect: every returned (ra, dec) is inside the rectangle.
+  auto rect = executor.ExecuteSql(
+      "SELECT ra, dec FROM fGetObjFromRect(0.0, -90.0, 180.0, 0.0) n");
+  ASSERT_TRUE(rect.ok());
+  for (const auto& row : rect->rows) {
+    EXPECT_GE(row[0].AsDouble(), 0.0);
+    EXPECT_LE(row[0].AsDouble(), 180.0);
+    EXPECT_LE(row[1].AsDouble(), 0.0);
+  }
+
+  // Nearby join against the base table (the paper's top pattern shape).
+  auto nearby = executor.ExecuteSql(
+      "SELECT p.objID, p.ra, p.dec FROM fGetNearbyObjEq(180.0, 0.0, 3000.0) n, "
+      "photoPrimary p WHERE n.objID = p.objID");
+  ASSERT_TRUE(nearby.ok()) << nearby.status().ToString();
+  EXPECT_GT(nearby->row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sqlog::engine

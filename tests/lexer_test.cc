@@ -1,0 +1,158 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlog::sql {
+namespace {
+
+std::vector<Token> MustLex(std::string_view s) {
+  auto tokens = Lex(s);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? tokens.value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEndToken) {
+  auto tokens = MustLex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = MustLex("photoPrimary _tmp x1 #temp");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "photoPrimary");
+  EXPECT_EQ(tokens[1].text, "_tmp");
+  EXPECT_EQ(tokens[2].text, "x1");
+  EXPECT_EQ(tokens[3].text, "#temp");
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(tokens[i].type, TokenType::kIdentifier);
+}
+
+TEST(LexerTest, BracketedAndQuotedIdentifiers) {
+  auto tokens = MustLex("[My Table] \"other name\"");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "My Table");
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "other name");
+}
+
+TEST(LexerTest, StringLiteralWithEscape) {
+  auto tokens = MustLex("'it''s'");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Lex("'oops").ok());
+  EXPECT_FALSE(Lex("[oops").ok());
+  EXPECT_FALSE(Lex("\"oops").ok());
+}
+
+struct NumberCase {
+  const char* input;
+  const char* expected;
+};
+
+class LexerNumberTest : public ::testing::TestWithParam<NumberCase> {};
+
+TEST_P(LexerNumberTest, LexesNumber) {
+  auto tokens = MustLex(GetParam().input);
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[0].text, GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Numbers, LexerNumberTest,
+                         ::testing::Values(NumberCase{"42", "42"},
+                                           NumberCase{"0.5", "0.5"},
+                                           NumberCase{".25", ".25"},
+                                           NumberCase{"1e9", "1e9"},
+                                           NumberCase{"1.5E-3", "1.5E-3"},
+                                           NumberCase{"2e+4", "2e+4"},
+                                           NumberCase{"0x1F", "0x1F"},
+                                           NumberCase{"587722981742", "587722981742"}));
+
+TEST(LexerTest, ExponentFollowedByIdentifierIsNotExponent) {
+  // `1 error` must not swallow the 'e'.
+  auto tokens = MustLex("1error");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[0].text, "1");
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "error");
+}
+
+TEST(LexerTest, Variables) {
+  auto tokens = MustLex("@ra @dec");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kVariable);
+  EXPECT_EQ(tokens[0].text, "ra");
+  EXPECT_EQ(tokens[1].text, "dec");
+}
+
+TEST(LexerTest, BareAtSignIsError) {
+  EXPECT_FALSE(Lex("@ ").ok());
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = MustLex("= <> != < <= > >= + - * / % . , ; ( )");
+  std::vector<TokenType> expected = {
+      TokenType::kEq,      TokenType::kNotEq,   TokenType::kNotEq, TokenType::kLess,
+      TokenType::kLessEq,  TokenType::kGreater, TokenType::kGreaterEq,
+      TokenType::kPlus,    TokenType::kMinus,   TokenType::kStar,  TokenType::kSlash,
+      TokenType::kPercent, TokenType::kDot,     TokenType::kComma, TokenType::kSemicolon,
+      TokenType::kLParen,  TokenType::kRParen,  TokenType::kEnd};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  auto tokens = MustLex("SELECT -- comment here\n x");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(LexerTest, BlockCommentsAreSkipped) {
+  auto tokens = MustLex("a /* multi\nline */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  EXPECT_FALSE(Lex("a /* oops").ok());
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  auto tokens = MustLex("ab  cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  auto result = Lex("a ? b");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), sqlog::StatusCode::kParseError);
+}
+
+TEST(LexerTest, FullStatement) {
+  auto tokens = MustLex(
+      "SELECT p.objID FROM fGetObjFromRect(1.0, 2.0, 3.0, 4.0) n, photoPrimary p "
+      "WHERE n.objID = p.objID and r between 14 and 17");
+  // Spot-check shape: first, a keyword identifier; contains 4 numbers in
+  // the function call, ends with kEnd.
+  EXPECT_EQ(tokens.front().text, "SELECT");
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+  int numbers = 0;
+  for (const auto& token : tokens) {
+    if (token.type == TokenType::kNumber) ++numbers;
+  }
+  EXPECT_EQ(numbers, 6);
+}
+
+}  // namespace
+}  // namespace sqlog::sql

@@ -1,0 +1,113 @@
+#include "log/log_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace sqlog::log {
+namespace {
+
+QueryLog SampleLog() {
+  QueryLog log;
+  LogRecord a;
+  a.seq = 0;
+  a.timestamp_ms = 1041379200000;
+  a.user = "192.168.0.1";
+  a.session = "192.168.0.1#1";
+  a.statement = "SELECT a, b FROM t WHERE s = 'x,\"y\"'";
+  a.row_count = 12;
+  a.truth = TruthLabel::kOrganic;
+  log.Append(a);
+
+  LogRecord b;
+  b.seq = 1;
+  b.timestamp_ms = 1041379201000;
+  b.user = "";
+  b.session = "";
+  b.statement = "SELECT *\nFROM multi\nWHERE line = 1";
+  b.row_count = -1;
+  b.truth = TruthLabel::kDwStifle;
+  log.Append(b);
+  return log;
+}
+
+TEST(LogIoTest, CsvRoundTrip) {
+  QueryLog original = SampleLog();
+  std::string csv = LogIo::ToCsv(original);
+  auto loaded = LogIo::FromCsv(csv);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const LogRecord& want = original.records()[i];
+    const LogRecord& got = loaded->records()[i];
+    EXPECT_EQ(got.seq, want.seq);
+    EXPECT_EQ(got.timestamp_ms, want.timestamp_ms);
+    EXPECT_EQ(got.user, want.user);
+    EXPECT_EQ(got.session, want.session);
+    EXPECT_EQ(got.statement, want.statement);
+    EXPECT_EQ(got.row_count, want.row_count);
+    EXPECT_EQ(got.truth, want.truth);
+  }
+}
+
+TEST(LogIoTest, CsvHasHeader) {
+  std::string csv = LogIo::ToCsv(SampleLog());
+  EXPECT_EQ(csv.rfind("seq,timestamp_ms,user,session,row_count,truth,statement\n", 0), 0u);
+}
+
+TEST(LogIoTest, FromCsvSkipsBlankLines) {
+  auto loaded = LogIo::FromCsv(
+      "seq,timestamp_ms,user,session,row_count,truth,statement\n"
+      "\n"
+      "0,100,u,s,1,organic,SELECT 1\n"
+      "\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(LogIoTest, FromCsvWithoutHeader) {
+  auto loaded = LogIo::FromCsv("0,100,u,s,1,organic,SELECT 1\n");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->records()[0].statement, "SELECT 1");
+}
+
+TEST(LogIoTest, WrongFieldCountIsError) {
+  auto loaded = LogIo::FromCsv("0,100,u\n");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(LogIoTest, StatementWithCommasSurvives) {
+  QueryLog log;
+  LogRecord record;
+  record.statement = "SELECT a, b, c FROM t WHERE id IN (1, 2, 3)";
+  log.Append(record);
+  auto loaded = LogIo::FromCsv(LogIo::ToCsv(log));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->records()[0].statement, record.statement);
+}
+
+TEST(LogIoTest, FileRoundTrip) {
+  QueryLog original = SampleLog();
+  std::string path = ::testing::TempDir() + "/sqlog_io_test.csv";
+  ASSERT_TRUE(LogIo::WriteFile(original, path).ok());
+  auto loaded = LogIo::ReadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(LogIoTest, ReadMissingFileIsIoError) {
+  auto loaded = LogIo::ReadFile("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(LogIoTest, WriteToBadPathIsIoError) {
+  EXPECT_EQ(LogIo::WriteFile(SampleLog(), "/nonexistent/dir/file.csv").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace sqlog::log

@@ -1,0 +1,308 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/printer.h"
+
+namespace sqlog::sql {
+namespace {
+
+std::unique_ptr<SelectStatement> MustParse(const std::string& sql) {
+  auto parsed = ParseSelect(sql);
+  EXPECT_TRUE(parsed.ok()) << sql << " → " << parsed.status().ToString();
+  return parsed.ok() ? std::move(parsed.value()) : nullptr;
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = MustParse("SELECT 1");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->select_items.size(), 1u);
+  EXPECT_TRUE(stmt->from_items.empty());
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(ParserTest, SelectListWithAliases) {
+  auto stmt = MustParse("SELECT a AS x, b y, c FROM t");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->select_items.size(), 3u);
+  EXPECT_EQ(stmt->select_items[0].alias, "x");
+  EXPECT_EQ(stmt->select_items[1].alias, "y");
+  EXPECT_EQ(stmt->select_items[2].alias, "");
+}
+
+TEST(ParserTest, StarAndQualifiedStar) {
+  auto stmt = MustParse("SELECT *, p.* FROM photoPrimary p");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->select_items.size(), 2u);
+  EXPECT_EQ(stmt->select_items[0].expr->kind(), ExprKind::kStar);
+  ASSERT_EQ(stmt->select_items[1].expr->kind(), ExprKind::kStar);
+  EXPECT_EQ(static_cast<const StarExpr&>(*stmt->select_items[1].expr).qualifier, "p");
+}
+
+TEST(ParserTest, DistinctAndTop) {
+  auto stmt = MustParse("SELECT DISTINCT TOP 10 a FROM t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->distinct);
+  EXPECT_EQ(stmt->top_count, 10);
+}
+
+TEST(ParserTest, TopWithParentheses) {
+  auto stmt = MustParse("SELECT TOP (5) a FROM t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->top_count, 5);
+}
+
+TEST(ParserTest, SchemaQualifiedTable) {
+  auto stmt = MustParse("SELECT a FROM dbo.SpecObjAll s");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->from_items.size(), 1u);
+  ASSERT_EQ(stmt->from_items[0]->kind(), FromKind::kTable);
+  const auto& table = static_cast<const TableRef&>(*stmt->from_items[0]);
+  EXPECT_EQ(table.schema, "dbo");
+  EXPECT_EQ(table.table, "SpecObjAll");
+  EXPECT_EQ(table.alias, "s");
+}
+
+TEST(ParserTest, TableValuedFunction) {
+  auto stmt = MustParse("SELECT * FROM fGetNearbyObjEq(180.0, 0.5, 1.0) AS n");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->from_items[0]->kind(), FromKind::kTableFunction);
+  const auto& fn = static_cast<const TableFunctionRef&>(*stmt->from_items[0]);
+  EXPECT_EQ(fn.name, "fGetNearbyObjEq");
+  EXPECT_EQ(fn.alias, "n");
+  EXPECT_EQ(fn.args.size(), 3u);
+}
+
+TEST(ParserTest, CommaJoin) {
+  auto stmt = MustParse("SELECT * FROM a, b, c");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->from_items.size(), 3u);
+}
+
+TEST(ParserTest, InnerJoinChain) {
+  auto stmt = MustParse(
+      "SELECT * FROM a JOIN b ON a.x = b.x INNER JOIN c ON b.y = c.y");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->from_items.size(), 1u);
+  ASSERT_EQ(stmt->from_items[0]->kind(), FromKind::kJoin);
+  const auto& outer = static_cast<const JoinRef&>(*stmt->from_items[0]);
+  EXPECT_EQ(outer.join_type, JoinType::kInner);
+  EXPECT_EQ(outer.left->kind(), FromKind::kJoin);  // left-deep
+}
+
+TEST(ParserTest, LeftOuterJoin) {
+  auto stmt = MustParse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x");
+  ASSERT_NE(stmt, nullptr);
+  const auto& join = static_cast<const JoinRef&>(*stmt->from_items[0]);
+  EXPECT_EQ(join.join_type, JoinType::kLeftOuter);
+}
+
+TEST(ParserTest, LeftJoinWithoutOuterKeyword) {
+  auto stmt = MustParse("SELECT * FROM a LEFT JOIN b ON a.x = b.x");
+  ASSERT_NE(stmt, nullptr);
+  const auto& join = static_cast<const JoinRef&>(*stmt->from_items[0]);
+  EXPECT_EQ(join.join_type, JoinType::kLeftOuter);
+}
+
+TEST(ParserTest, CrossJoinHasNoCondition) {
+  auto stmt = MustParse("SELECT * FROM a CROSS JOIN b");
+  ASSERT_NE(stmt, nullptr);
+  const auto& join = static_cast<const JoinRef&>(*stmt->from_items[0]);
+  EXPECT_EQ(join.join_type, JoinType::kCross);
+  EXPECT_EQ(join.condition, nullptr);
+}
+
+TEST(ParserTest, DerivedTable) {
+  auto stmt = MustParse(
+      "SELECT o.c FROM (SELECT empId, count(orders) as c FROM Orders GROUP BY empId) o");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->from_items[0]->kind(), FromKind::kSubquery);
+  const auto& sub = static_cast<const SubqueryRef&>(*stmt->from_items[0]);
+  EXPECT_EQ(sub.alias, "o");
+  EXPECT_EQ(sub.subquery->group_by.size(), 1u);
+}
+
+TEST(ParserTest, WherePrecedenceAndOverOr) {
+  auto stmt = MustParse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->where->kind(), ExprKind::kBinary);
+  const auto& root = static_cast<const BinaryExpr&>(*stmt->where);
+  EXPECT_EQ(root.op, BinaryOp::kOr);  // AND binds tighter
+}
+
+TEST(ParserTest, NotPredicate) {
+  auto stmt = MustParse("SELECT a FROM t WHERE NOT x = 1");
+  ASSERT_EQ(stmt->where->kind(), ExprKind::kUnary);
+  EXPECT_EQ(static_cast<const UnaryExpr&>(*stmt->where).op, UnaryOp::kNot);
+}
+
+TEST(ParserTest, BetweenPredicate) {
+  auto stmt = MustParse("SELECT a FROM t WHERE r BETWEEN 14 AND 17");
+  ASSERT_EQ(stmt->where->kind(), ExprKind::kBetween);
+  EXPECT_FALSE(static_cast<const BetweenExpr&>(*stmt->where).negated);
+}
+
+TEST(ParserTest, NotBetweenPredicate) {
+  auto stmt = MustParse("SELECT a FROM t WHERE r NOT BETWEEN 14 AND 17");
+  ASSERT_EQ(stmt->where->kind(), ExprKind::kBetween);
+  EXPECT_TRUE(static_cast<const BetweenExpr&>(*stmt->where).negated);
+}
+
+TEST(ParserTest, InList) {
+  auto stmt = MustParse("SELECT a FROM t WHERE id IN (1, 2, 3)");
+  ASSERT_EQ(stmt->where->kind(), ExprKind::kInList);
+  EXPECT_EQ(static_cast<const InListExpr&>(*stmt->where).items.size(), 3u);
+}
+
+TEST(ParserTest, InSubquery) {
+  auto stmt = MustParse("SELECT a FROM t WHERE id IN (SELECT id FROM u)");
+  ASSERT_EQ(stmt->where->kind(), ExprKind::kInSubquery);
+}
+
+TEST(ParserTest, ExistsPredicate) {
+  auto stmt = MustParse("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)");
+  ASSERT_EQ(stmt->where->kind(), ExprKind::kExists);
+}
+
+TEST(ParserTest, IsNullAndIsNotNull) {
+  auto stmt = MustParse("SELECT a FROM t WHERE x IS NULL AND y IS NOT NULL");
+  const auto& root = static_cast<const BinaryExpr&>(*stmt->where);
+  ASSERT_EQ(root.lhs->kind(), ExprKind::kIsNull);
+  EXPECT_FALSE(static_cast<const IsNullExpr&>(*root.lhs).negated);
+  ASSERT_EQ(root.rhs->kind(), ExprKind::kIsNull);
+  EXPECT_TRUE(static_cast<const IsNullExpr&>(*root.rhs).negated);
+}
+
+TEST(ParserTest, LikePredicate) {
+  auto stmt = MustParse("SELECT a FROM t WHERE name LIKE 'Gal%'");
+  ASSERT_EQ(stmt->where->kind(), ExprKind::kLike);
+}
+
+TEST(ParserTest, EqualsNullParsesAsComparison) {
+  // The SNC antipattern shape must survive parsing (Def. 16).
+  auto stmt = MustParse("SELECT * FROM Bugs WHERE assigned_to = NULL");
+  ASSERT_EQ(stmt->where->kind(), ExprKind::kBinary);
+  const auto& cmp = static_cast<const BinaryExpr&>(*stmt->where);
+  ASSERT_EQ(cmp.rhs->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(static_cast<const LiteralExpr&>(*cmp.rhs).literal_kind, LiteralKind::kNull);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = MustParse("SELECT a + b * c FROM t");
+  const auto& root = static_cast<const BinaryExpr&>(*stmt->select_items[0].expr);
+  EXPECT_EQ(root.op, BinaryOp::kAdd);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*root.rhs).op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, UnaryMinusFoldsIntoNumberLiteral) {
+  auto stmt = MustParse("SELECT a FROM t WHERE dec = -12.5");
+  const auto& cmp = static_cast<const BinaryExpr&>(*stmt->where);
+  ASSERT_EQ(cmp.rhs->kind(), ExprKind::kLiteral);
+  EXPECT_DOUBLE_EQ(static_cast<const LiteralExpr&>(*cmp.rhs).number_value, -12.5);
+}
+
+TEST(ParserTest, FunctionCallsAndCountStar) {
+  auto stmt = MustParse("SELECT count(*), max(r), dbo.fDist(a, b) FROM t");
+  ASSERT_EQ(stmt->select_items.size(), 3u);
+  const auto& count = static_cast<const FunctionCallExpr&>(*stmt->select_items[0].expr);
+  EXPECT_EQ(count.name, "count");
+  ASSERT_EQ(count.args.size(), 1u);
+  EXPECT_EQ(count.args[0]->kind(), ExprKind::kStar);
+  const auto& qualified = static_cast<const FunctionCallExpr&>(*stmt->select_items[2].expr);
+  EXPECT_EQ(qualified.name, "dbo.fDist");
+}
+
+TEST(ParserTest, CountDistinct) {
+  auto stmt = MustParse("SELECT count(DISTINCT objID) FROM t");
+  const auto& fn = static_cast<const FunctionCallExpr&>(*stmt->select_items[0].expr);
+  EXPECT_TRUE(fn.distinct);
+}
+
+TEST(ParserTest, GroupByHavingOrderBy) {
+  auto stmt = MustParse(
+      "SELECT type, count(*) FROM t GROUP BY type HAVING count(*) > 5 "
+      "ORDER BY count(*) DESC, type");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_NE(stmt->having, nullptr);
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_TRUE(stmt->order_by[0].descending);
+  EXPECT_FALSE(stmt->order_by[1].descending);
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto stmt = MustParse(
+      "SELECT CASE WHEN r < 15 THEN 'bright' ELSE 'faint' END FROM t");
+  ASSERT_EQ(stmt->select_items[0].expr->kind(), ExprKind::kCase);
+  const auto& case_expr = static_cast<const CaseExpr&>(*stmt->select_items[0].expr);
+  EXPECT_EQ(case_expr.branches.size(), 1u);
+  EXPECT_NE(case_expr.else_value, nullptr);
+}
+
+TEST(ParserTest, SimpleCaseNormalizesToSearched) {
+  auto stmt = MustParse("SELECT CASE type WHEN 3 THEN 'galaxy' END FROM t");
+  const auto& case_expr = static_cast<const CaseExpr&>(*stmt->select_items[0].expr);
+  ASSERT_EQ(case_expr.branches.size(), 1u);
+  EXPECT_EQ(case_expr.branches[0].condition->kind(), ExprKind::kBinary);
+}
+
+TEST(ParserTest, TrailingSemicolonsAccepted) {
+  EXPECT_NE(MustParse("SELECT 1;"), nullptr);
+  EXPECT_NE(MustParse("SELECT 1;;"), nullptr);
+}
+
+TEST(ParserTest, VariablesInPredicates) {
+  auto stmt = MustParse("SELECT a FROM t WHERE htmid >= @htm1 and htmid <= @htm2");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_NE(stmt->where, nullptr);
+}
+
+struct ErrorCase {
+  const char* sql;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<ErrorCase> {};
+
+TEST_P(ParserErrorTest, Rejects) {
+  auto parsed = ParseSelect(GetParam().sql);
+  EXPECT_FALSE(parsed.ok()) << GetParam().sql;
+  EXPECT_EQ(parsed.status().code(), sqlog::StatusCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Errors, ParserErrorTest,
+    ::testing::Values(ErrorCase{""}, ErrorCase{"UPDATE t SET x = 1"},
+                      ErrorCase{"SELECT FROM t"}, ErrorCase{"SELECT a, FROM t"},
+                      ErrorCase{"SELECT a FROM"}, ErrorCase{"SELECT a FROM t WHERE"},
+                      ErrorCase{"SELECT a FROM t WHERE x ="},
+                      ErrorCase{"SELECT a FROM t WHERE x IN"},
+                      ErrorCase{"SELECT a FROM t WHERE x BETWEEN 1"},
+                      ErrorCase{"SELECT count( FROM t"},
+                      ErrorCase{"SELECT a FROM t trailing garbage ("},
+                      ErrorCase{"SELECT a FROM t GROUP type"},
+                      ErrorCase{"SELECT a FROM t ORDER type"},
+                      ErrorCase{"SELECT CASE END FROM t"}));
+
+TEST(ParserTest, RoundTripThroughPrinter) {
+  // print(parse(x)) must re-parse to the same canonical text.
+  const char* statements[] = {
+      "SELECT a, b FROM t WHERE a = 0 AND b >= 3",
+      "SELECT p.objID FROM fGetObjFromRect(1.0, 2.0, 3.0, 4.0) n, photoPrimary p "
+      "WHERE n.objID = p.objID and r between 14 and 17",
+      "SELECT count(*) FROM photoPrimary WHERE htmid >= 1 and htmid <= 2",
+      "SELECT top 10 * FROM g JOIN s ON g.id = s.id ORDER BY g.r DESC",
+      "SELECT x FROM t WHERE a = 1 OR (b = 2 AND c = 3)",
+  };
+  PrintOptions opts;
+  for (const char* sql : statements) {
+    auto first = ParseSelect(sql);
+    ASSERT_TRUE(first.ok()) << sql;
+    std::string printed = Print(*first.value(), opts);
+    auto second = ParseSelect(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_EQ(Print(*second.value(), opts), printed) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace sqlog::sql

@@ -1,0 +1,191 @@
+#include "core/pattern_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace sqlog::core {
+namespace {
+
+/// Builds a ParsedLog from (user, time, statement) triples.
+struct Entry {
+  const char* user;
+  int64_t time_ms;
+  std::string sql;
+};
+
+ParsedLog BuildParsedLog(const std::vector<Entry>& entries, TemplateStore& store) {
+  log::QueryLog log;
+  for (const auto& entry : entries) {
+    log::LogRecord record;
+    record.user = entry.user;
+    record.timestamp_ms = entry.time_ms;
+    record.statement = entry.sql;
+    log.Append(record);
+  }
+  log.Renumber();
+  return ParseLog(log, store);
+}
+
+MinerOptions LowSupport() {
+  MinerOptions options;
+  options.min_support = 1;
+  return options;
+}
+
+const Pattern* FindByLength(const std::vector<Pattern>& patterns, size_t length,
+                            uint64_t frequency) {
+  for (const auto& p : patterns) {
+    if (p.length() == length && p.frequency == frequency) return &p;
+  }
+  return nullptr;
+}
+
+TEST(PatternMinerTest, SingleTemplateFrequencyIsOccurrenceCount) {
+  TemplateStore store;
+  std::vector<Entry> entries;
+  for (int i = 0; i < 5; ++i) {
+    entries.push_back({"u", 1000 + i * 1000,
+                       StrFormat("SELECT x FROM t WHERE id = %d", i)});
+  }
+  ParsedLog parsed = BuildParsedLog(entries, store);
+  auto patterns = MinePatterns(parsed, LowSupport());
+  ASSERT_EQ(patterns.size(), 1u);  // (A,A) self-repetitions are subsumed
+  EXPECT_EQ(patterns[0].length(), 1u);
+  EXPECT_EQ(patterns[0].frequency, 5u);
+  EXPECT_EQ(patterns[0].user_popularity(), 1u);
+}
+
+TEST(PatternMinerTest, AlternatingPairMinedOnce) {
+  TemplateStore store;
+  std::vector<Entry> entries;
+  for (int i = 0; i < 4; ++i) {
+    entries.push_back({"u", 1000 + i * 2000,
+                       StrFormat("SELECT a FROM t WHERE id = %d", i)});
+    entries.push_back({"u", 2000 + i * 2000,
+                       StrFormat("SELECT b FROM t WHERE id = %d", i)});
+  }
+  ParsedLog parsed = BuildParsedLog(entries, store);
+  auto patterns = MinePatterns(parsed, LowSupport());
+  // Non-overlapping (A,B) instances: 4. The (B,A) seam windows: 3.
+  const Pattern* ab = FindByLength(patterns, 2, 4);
+  ASSERT_NE(ab, nullptr);
+  // Self-repetition windows like (A,B,A,B) are subsumed and absent.
+  for (const auto& p : patterns) {
+    EXPECT_LE(p.length(), 3u);
+  }
+}
+
+TEST(PatternMinerTest, GapSplitsInstances) {
+  TemplateStore store;
+  std::vector<Entry> entries = {
+      {"u", 0, "SELECT a FROM t WHERE id = 1"},
+      {"u", 1000, "SELECT b FROM t WHERE id = 1"},
+      // 2 hours later — a different segment.
+      {"u", 7200000, "SELECT a FROM t WHERE id = 2"},
+      {"u", 7201000, "SELECT b FROM t WHERE id = 2"},
+  };
+  ParsedLog parsed = BuildParsedLog(entries, store);
+  MinerOptions options = LowSupport();
+  options.max_gap_ms = 60000;
+  auto patterns = MinePatterns(parsed, options);
+  const Pattern* ab = FindByLength(patterns, 2, 2);
+  ASSERT_NE(ab, nullptr);  // two instances, one per segment
+}
+
+TEST(PatternMinerTest, UsersDoNotMixStreams) {
+  TemplateStore store;
+  std::vector<Entry> entries = {
+      {"a", 0, "SELECT a FROM t WHERE id = 1"},
+      {"b", 100, "SELECT b FROM t WHERE id = 1"},
+      {"a", 200, "SELECT b FROM t WHERE id = 2"},
+  };
+  ParsedLog parsed = BuildParsedLog(entries, store);
+  auto patterns = MinePatterns(parsed, LowSupport());
+  // The pair (A,B) exists only inside user a's stream.
+  const Pattern* ab = FindByLength(patterns, 2, 1);
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab->user_popularity(), 1u);
+}
+
+TEST(PatternMinerTest, UserPopularityCountsDistinctUsers) {
+  TemplateStore store;
+  std::vector<Entry> entries;
+  for (int u = 0; u < 3; ++u) {
+    entries.push_back({u == 0 ? "a" : (u == 1 ? "b" : "c"), u * 10000,
+                       StrFormat("SELECT x FROM t WHERE id = %d", u)});
+  }
+  ParsedLog parsed = BuildParsedLog(entries, store);
+  auto patterns = MinePatterns(parsed, LowSupport());
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].frequency, 3u);
+  EXPECT_EQ(patterns[0].user_popularity(), 3u);
+}
+
+TEST(PatternMinerTest, MinSupportFilters) {
+  TemplateStore store;
+  std::vector<Entry> entries = {
+      {"u", 0, "SELECT rare FROM t WHERE id = 1"},
+      {"u", 100000000, "SELECT common FROM t WHERE id = 1"},
+      {"u", 200000000, "SELECT common FROM t WHERE id = 2"},
+  };
+  ParsedLog parsed = BuildParsedLog(entries, store);
+  MinerOptions options;
+  options.min_support = 2;
+  auto patterns = MinePatterns(parsed, options);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].frequency, 2u);
+}
+
+TEST(PatternMinerTest, MaxLengthBoundsWindow) {
+  TemplateStore store;
+  std::vector<Entry> entries;
+  for (int i = 0; i < 4; ++i) {
+    entries.push_back({"u", i * 1000,
+                       StrFormat("SELECT c%d FROM t WHERE id = 1", i)});
+  }
+  ParsedLog parsed = BuildParsedLog(entries, store);
+  MinerOptions options = LowSupport();
+  options.max_length = 2;
+  auto patterns = MinePatterns(parsed, options);
+  for (const auto& p : patterns) {
+    EXPECT_LE(p.length(), 2u);
+  }
+}
+
+TEST(PatternMinerTest, SortByFrequencyIsDeterministic) {
+  TemplateStore store;
+  std::vector<Entry> entries = {
+      {"u", 0, "SELECT a FROM t WHERE id = 1"},
+      {"u", 100000000, "SELECT b FROM t WHERE id = 1"},
+      {"u", 200000000, "SELECT a FROM t WHERE id = 2"},
+  };
+  ParsedLog parsed = BuildParsedLog(entries, store);
+  auto patterns = MinePatterns(parsed, LowSupport());
+  SortByFrequency(patterns);
+  for (size_t i = 1; i < patterns.size(); ++i) {
+    EXPECT_GE(patterns[i - 1].frequency, patterns[i].frequency);
+  }
+  // Ties broken by length then ids — re-sorting yields the same order.
+  auto copy = patterns;
+  SortByFrequency(copy);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    EXPECT_EQ(copy[i].template_ids, patterns[i].template_ids);
+  }
+}
+
+TEST(PatternMinerTest, EmptyLogYieldsNoPatterns) {
+  TemplateStore store;
+  ParsedLog parsed = BuildParsedLog({}, store);
+  EXPECT_TRUE(MinePatterns(parsed, LowSupport()).empty());
+}
+
+TEST(PatternMinerTest, CoveredStatements) {
+  Pattern pattern;
+  pattern.template_ids = {1, 2};
+  pattern.frequency = 10;
+  EXPECT_EQ(pattern.covered_statements(), 20u);
+}
+
+}  // namespace
+}  // namespace sqlog::core

@@ -1,0 +1,141 @@
+#include "sql/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace sqlog::sql {
+namespace {
+
+std::string Canonical(const std::string& sql) {
+  auto stmt = ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << sql << " → " << stmt.status().ToString();
+  PrintOptions opts;
+  return Print(*stmt.value(), opts);
+}
+
+std::string Skeleton(const std::string& sql) {
+  auto stmt = ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << sql;
+  PrintOptions opts;
+  opts.placeholders = true;
+  return Print(*stmt.value(), opts);
+}
+
+TEST(PrinterTest, CanonicalLowercasesIdentifiers) {
+  EXPECT_EQ(Canonical("SELECT ObjID FROM PhotoPrimary"),
+            "select objid from photoprimary");
+}
+
+TEST(PrinterTest, CanonicalNormalizesWhitespace) {
+  EXPECT_EQ(Canonical("SELECT   a ,  b   FROM  t"), "select a, b from t");
+}
+
+TEST(PrinterTest, StringLiteralsKeepCaseAndEscape) {
+  EXPECT_EQ(Canonical("SELECT a FROM t WHERE s = 'It''s'"),
+            "select a from t where s = 'It''s'");
+}
+
+TEST(PrinterTest, SkeletonReplacesNumbers) {
+  EXPECT_EQ(Skeleton("SELECT a, b FROM t WHERE a = 0 AND b >= 3"),
+            "select a, b from t where a = <num> and b >= <num>");
+}
+
+TEST(PrinterTest, SkeletonReplacesStrings) {
+  EXPECT_EQ(Skeleton("SELECT a FROM t WHERE s = 'sales'"),
+            "select a from t where s = <str>");
+}
+
+TEST(PrinterTest, SkeletonReplacesVariables) {
+  EXPECT_EQ(Skeleton("SELECT a FROM t WHERE htmid >= @h1"),
+            "select a from t where htmid >= <num>");
+}
+
+TEST(PrinterTest, SkeletonCollapsesInListArity) {
+  // Def. 6 equality must not depend on IN-list length.
+  EXPECT_EQ(Skeleton("SELECT a FROM t WHERE id IN (1, 2)"),
+            Skeleton("SELECT a FROM t WHERE id IN (3, 4, 5, 6)"));
+}
+
+TEST(PrinterTest, EqualSkeletonsForExample8) {
+  // The paper's Example 8: both queries share one skeleton.
+  EXPECT_EQ(Skeleton("SELECT a, b FROM T WHERE a = 0 AND b >= 3"),
+            Skeleton("SELECT a, b FROM T WHERE a = 10 AND b >= 5"));
+}
+
+TEST(PrinterTest, DifferentStructureDifferentSkeleton) {
+  EXPECT_NE(Skeleton("SELECT a FROM t WHERE a = 1"),
+            Skeleton("SELECT a FROM t WHERE a > 1"));
+  EXPECT_NE(Skeleton("SELECT a FROM t WHERE a = 1"),
+            Skeleton("SELECT b FROM t WHERE a = 1"));
+}
+
+TEST(PrinterTest, ClausePrinters) {
+  auto stmt = ParseSelect("SELECT a, b FROM t1, t2 WHERE x = 1 GROUP BY a ORDER BY b DESC");
+  ASSERT_TRUE(stmt.ok());
+  PrintOptions opts;
+  EXPECT_EQ(PrintSelectClause(*stmt.value(), opts), "select a, b");
+  EXPECT_EQ(PrintFromClause(*stmt.value(), opts), "from t1, t2");
+  EXPECT_EQ(PrintWhereClause(*stmt.value(), opts), "where x = 1");
+  EXPECT_EQ(PrintTailClauses(*stmt.value(), opts), "group by a order by b desc");
+}
+
+TEST(PrinterTest, EmptyClausesPrintEmpty) {
+  auto stmt = ParseSelect("SELECT 1");
+  ASSERT_TRUE(stmt.ok());
+  PrintOptions opts;
+  EXPECT_EQ(PrintFromClause(*stmt.value(), opts), "");
+  EXPECT_EQ(PrintWhereClause(*stmt.value(), opts), "");
+  EXPECT_EQ(PrintTailClauses(*stmt.value(), opts), "");
+}
+
+TEST(PrinterTest, JoinsPrintWithExplicitForm) {
+  EXPECT_EQ(Canonical("SELECT * FROM a JOIN b ON a.x = b.x"),
+            "select * from a inner join b on a.x = b.x");
+  EXPECT_EQ(Canonical("SELECT * FROM a LEFT JOIN b ON a.x = b.x"),
+            "select * from a left outer join b on a.x = b.x");
+}
+
+TEST(PrinterTest, PrecedenceParenthesesPreserved) {
+  // The OR below AND must keep its parentheses to re-parse identically.
+  std::string printed = Canonical("SELECT x FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+  EXPECT_NE(printed.find("("), std::string::npos);
+  EXPECT_EQ(Canonical(printed), printed);
+}
+
+TEST(PrinterTest, ArithmeticParenthesesPreserved) {
+  std::string printed = Canonical("SELECT (a + b) * c FROM t");
+  EXPECT_EQ(printed, "select (a + b) * c from t");
+}
+
+TEST(PrinterTest, TopAndDistinct) {
+  EXPECT_EQ(Canonical("SELECT DISTINCT TOP 5 a FROM t"), "select distinct top 5 a from t");
+}
+
+TEST(PrinterTest, SubqueriesPrintRecursively) {
+  EXPECT_EQ(Canonical("SELECT a FROM (SELECT a FROM t) x WHERE a IN (SELECT b FROM u)"),
+            "select a from (select a from t) as x where a in (select b from u)");
+}
+
+TEST(PrinterTest, IsNullForms) {
+  EXPECT_EQ(Canonical("SELECT a FROM t WHERE x IS NULL"),
+            "select a from t where x is null");
+  EXPECT_EQ(Canonical("SELECT a FROM t WHERE x IS NOT NULL"),
+            "select a from t where x is not null");
+}
+
+TEST(PrinterTest, CaseExpressionPrints) {
+  EXPECT_EQ(Canonical("SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t"),
+            "select case when a = 1 then 'x' else 'y' end from t");
+}
+
+TEST(PrinterTest, NonCanonicalPreservesIdentifierCase) {
+  auto stmt = ParseSelect("SELECT ObjID FROM PhotoPrimary");
+  ASSERT_TRUE(stmt.ok());
+  PrintOptions opts;
+  opts.canonical = false;
+  EXPECT_EQ(Print(*stmt.value(), opts), "select ObjID from PhotoPrimary");
+}
+
+}  // namespace
+}  // namespace sqlog::sql

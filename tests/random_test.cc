@@ -1,0 +1,98 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sqlog {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, ZeroSeedIsUsable) {
+  Rng rng(0);
+  EXPECT_NE(rng.Next(), rng.Next());
+}
+
+TEST(RandomTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean of U[0,1) ≈ 0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, ChanceRespectsProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(RandomTest, ZipfStaysInBoundsAndIsSkewed) {
+  Rng rng(17);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.Zipf(100, 1.2);
+    ASSERT_LT(v, 100u);
+    ++counts[v];
+  }
+  // Rank 0 must dominate deep ranks by a wide margin.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 1000);
+}
+
+TEST(RandomTest, ZipfSingleElement) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Zipf(1, 1.5), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sqlog

@@ -1,0 +1,71 @@
+#include "log/record.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlog::log {
+namespace {
+
+LogRecord Make(uint64_t seq, int64_t t, const char* user) {
+  LogRecord record;
+  record.seq = seq;
+  record.timestamp_ms = t;
+  record.user = user;
+  record.statement = "SELECT 1";
+  return record;
+}
+
+TEST(RecordTest, TruthLabelNamesRoundTrip) {
+  for (TruthLabel label :
+       {TruthLabel::kUnlabeled, TruthLabel::kOrganic, TruthLabel::kDwStifle,
+        TruthLabel::kDsStifle, TruthLabel::kDfStifle, TruthLabel::kCthReal,
+        TruthLabel::kCthFalse, TruthLabel::kSws, TruthLabel::kSnc, TruthLabel::kDuplicate,
+        TruthLabel::kNoise}) {
+    EXPECT_EQ(ParseTruthLabel(TruthLabelName(label)), label);
+  }
+}
+
+TEST(RecordTest, UnknownTruthLabelMapsToUnlabeled) {
+  EXPECT_EQ(ParseTruthLabel("nonsense"), TruthLabel::kUnlabeled);
+  EXPECT_EQ(ParseTruthLabel(""), TruthLabel::kUnlabeled);
+}
+
+TEST(RecordTest, SortByTimeOrdersByTimestampThenSeq) {
+  QueryLog log;
+  log.Append(Make(2, 100, "a"));
+  log.Append(Make(1, 50, "b"));
+  log.Append(Make(0, 100, "c"));
+  log.SortByTime();
+  EXPECT_EQ(log.records()[0].user, "b");
+  EXPECT_EQ(log.records()[1].user, "c");  // same time, lower seq first
+  EXPECT_EQ(log.records()[2].user, "a");
+}
+
+TEST(RecordTest, RenumberAssignsPositions) {
+  QueryLog log;
+  log.Append(Make(7, 1, "a"));
+  log.Append(Make(3, 2, "b"));
+  log.Renumber();
+  EXPECT_EQ(log.records()[0].seq, 0u);
+  EXPECT_EQ(log.records()[1].seq, 1u);
+}
+
+TEST(RecordTest, DistinctUserCountIgnoresEmpty) {
+  QueryLog log;
+  log.Append(Make(0, 1, "a"));
+  log.Append(Make(1, 2, "a"));
+  log.Append(Make(2, 3, "b"));
+  log.Append(Make(3, 4, ""));
+  EXPECT_EQ(log.DistinctUserCount(), 2u);
+}
+
+TEST(RecordTest, EmptyLogBasics) {
+  QueryLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.DistinctUserCount(), 0u);
+  log.SortByTime();   // no-op, must not crash
+  log.Renumber();
+}
+
+}  // namespace
+}  // namespace sqlog::log

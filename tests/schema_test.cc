@@ -1,0 +1,92 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlog::catalog {
+namespace {
+
+TEST(SchemaTest, AddAndFindTableCaseInsensitive) {
+  Schema schema;
+  TableDef table("PhotoPrimary");
+  table.AddColumn("ObjID", ColumnType::kInt64, /*is_key=*/true);
+  schema.AddTable(std::move(table));
+
+  EXPECT_NE(schema.FindTable("photoprimary"), nullptr);
+  EXPECT_NE(schema.FindTable("PHOTOPRIMARY"), nullptr);
+  EXPECT_EQ(schema.FindTable("missing"), nullptr);
+}
+
+TEST(SchemaTest, ColumnLookupCaseInsensitive) {
+  TableDef table("t");
+  table.AddColumn("ObjID", ColumnType::kInt64, true).AddColumn("ra", ColumnType::kDouble);
+  const ColumnDef* col = table.FindColumn("OBJID");
+  ASSERT_NE(col, nullptr);
+  EXPECT_TRUE(col->is_key);
+  EXPECT_EQ(col->type, ColumnType::kInt64);
+  EXPECT_EQ(table.FindColumn("missing"), nullptr);
+}
+
+TEST(SchemaTest, ReRegisteringReplaces) {
+  Schema schema;
+  TableDef v1("t");
+  v1.AddColumn("a", ColumnType::kInt64);
+  schema.AddTable(std::move(v1));
+  TableDef v2("T");
+  v2.AddColumn("b", ColumnType::kInt64);
+  schema.AddTable(std::move(v2));
+  EXPECT_EQ(schema.table_count(), 1u);
+  EXPECT_EQ(schema.FindTable("t")->FindColumn("a"), nullptr);
+  EXPECT_NE(schema.FindTable("t")->FindColumn("b"), nullptr);
+}
+
+TEST(SchemaTest, IsKeyColumnWithTableList) {
+  Schema schema = MakeSkyServerSchema();
+  EXPECT_TRUE(schema.IsKeyColumn("objid", {"photoprimary"}));
+  EXPECT_TRUE(schema.IsKeyColumn("OBJID", {"PhotoPrimary"}));
+  EXPECT_FALSE(schema.IsKeyColumn("ra", {"photoprimary"}));
+  EXPECT_FALSE(schema.IsKeyColumn("objid", {"dbobjects"}));
+}
+
+TEST(SchemaTest, IsKeyColumnUnknownTablesAreSkipped) {
+  Schema schema = MakeSkyServerSchema();
+  EXPECT_FALSE(schema.IsKeyColumn("objid", {"nonexistent"}));
+  EXPECT_TRUE(schema.IsKeyColumn("objid", {"nonexistent", "photoprimary"}));
+}
+
+TEST(SchemaTest, IsKeyColumnEmptyTableListSearchesAll) {
+  Schema schema = MakeSkyServerSchema();
+  EXPECT_TRUE(schema.IsKeyColumn("objid", {}));
+  EXPECT_TRUE(schema.IsKeyColumn("specobjid", {}));
+  EXPECT_FALSE(schema.IsKeyColumn("ra", {}));
+}
+
+TEST(SchemaTest, SkyServerSchemaShape) {
+  Schema schema = MakeSkyServerSchema();
+  // The tables the case study's queries touch must exist.
+  for (const char* name : {"photoprimary", "photoobjall", "specobj", "specobjall",
+                           "dbobjects", "galaxy", "employees", "employee", "employeeinfo",
+                           "orders", "bugs"}) {
+    EXPECT_NE(schema.FindTable(name), nullptr) << name;
+  }
+  // Per-band centroid columns of Table 6.
+  const TableDef* photo = schema.FindTable("photoprimary");
+  for (const char* col : {"rowc_g", "colc_g", "rowc_r", "colc_r", "rowc_i", "colc_i"}) {
+    EXPECT_NE(photo->FindColumn(col), nullptr) << col;
+  }
+  // dbobjects.name is the key the CTH-candidate queries filter on.
+  EXPECT_TRUE(schema.IsKeyColumn("name", {"dbobjects"}));
+  // bugs.assigned_to must be nullable (the SNC setup).
+  EXPECT_TRUE(schema.FindTable("bugs")->FindColumn("assigned_to")->nullable);
+}
+
+TEST(SchemaTest, EmployeesKeysMatchPaperExamples) {
+  Schema schema = MakeSkyServerSchema();
+  // Table 1 filters Employees by id and Orders by empId (foreign key);
+  // Example 9 filters Employee by empId.
+  EXPECT_TRUE(schema.IsKeyColumn("id", {"employees"}));
+  EXPECT_TRUE(schema.IsKeyColumn("empid", {"employees"}));
+  EXPECT_TRUE(schema.IsKeyColumn("empid", {"employee"}));
+}
+
+}  // namespace
+}  // namespace sqlog::catalog

@@ -1,0 +1,143 @@
+#include "analysis/sessions.h"
+
+#include <gtest/gtest.h>
+
+#include "log/generator.h"
+#include "util/string_util.h"
+
+namespace sqlog::analysis {
+namespace {
+
+struct Entry {
+  const char* user;
+  int64_t time_ms;
+  std::string sql;
+};
+
+core::ParsedLog BuildParsedLog(const std::vector<Entry>& entries,
+                               core::TemplateStore& store) {
+  log::QueryLog log;
+  for (const auto& entry : entries) {
+    log::LogRecord record;
+    record.user = entry.user;
+    record.timestamp_ms = entry.time_ms;
+    record.statement = entry.sql;
+    log.Append(record);
+  }
+  log.Renumber();
+  return core::ParseLog(log, store);
+}
+
+TEST(SessionsTest, GapSplitsSessions) {
+  core::TemplateStore store;
+  core::ParsedLog parsed = BuildParsedLog(
+      {
+          {"u", 0, "SELECT a FROM t WHERE id = 1"},
+          {"u", 1000, "SELECT a FROM t WHERE id = 2"},
+          {"u", 7200000, "SELECT a FROM t WHERE id = 3"},  // 2h later
+      },
+      store);
+  auto sessions = SegmentSessions(parsed);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].size(), 2u);
+  EXPECT_EQ(sessions[1].size(), 1u);
+  EXPECT_EQ(sessions[0].duration_ms(), 1000);
+}
+
+TEST(SessionsTest, UsersSeparateSessions) {
+  core::TemplateStore store;
+  core::ParsedLog parsed = BuildParsedLog(
+      {
+          {"a", 0, "SELECT a FROM t WHERE id = 1"},
+          {"b", 1000, "SELECT a FROM t WHERE id = 2"},
+      },
+      store);
+  auto sessions = SegmentSessions(parsed);
+  EXPECT_EQ(sessions.size(), 2u);
+}
+
+TEST(SessionsTest, RobotDetectionRequiresLengthDominanceAndPace) {
+  core::TemplateStore store;
+  std::vector<Entry> entries;
+  // 40 identical-template queries, 2s apart: a robot.
+  for (int i = 0; i < 40; ++i) {
+    entries.push_back({"bot", i * 2000, StrFormat("SELECT a FROM t WHERE id = %d", i)});
+  }
+  // 40 queries but from many templates: not a robot.
+  for (int i = 0; i < 40; ++i) {
+    entries.push_back({"mixy", i * 2000, StrFormat("SELECT c%d FROM t WHERE id = 1", i)});
+  }
+  // 40 identical-template queries but human pacing (1 min): not a robot.
+  for (int i = 0; i < 40; ++i) {
+    entries.push_back({"slow", i * 60000, StrFormat("SELECT a FROM t WHERE id = %d", i)});
+  }
+  core::ParsedLog parsed = BuildParsedLog(entries, store);
+  SessionOptions options;
+  options.max_gap_ms = 90000;
+  auto sessions = SegmentSessions(parsed, options);
+  ASSERT_EQ(sessions.size(), 3u);
+  size_t robots = 0;
+  for (const auto& session : sessions) {
+    if (IsRobotSession(session, parsed)) ++robots;
+  }
+  EXPECT_EQ(robots, 1u);
+}
+
+TEST(SessionsTest, ShortSessionIsNeverRobot) {
+  core::TemplateStore store;
+  core::ParsedLog parsed = BuildParsedLog(
+      {
+          {"u", 0, "SELECT a FROM t WHERE id = 1"},
+          {"u", 1000, "SELECT a FROM t WHERE id = 2"},
+      },
+      store);
+  auto sessions = SegmentSessions(parsed);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_FALSE(IsRobotSession(sessions[0], parsed));
+}
+
+TEST(SessionsTest, TrafficStatsBasics) {
+  core::TemplateStore store;
+  core::ParsedLog parsed = BuildParsedLog(
+      {
+          {"a", 0, "SELECT a FROM t WHERE id = 1"},
+          {"a", 2000, "SELECT a FROM t WHERE id = 2"},
+          {"b", 0, "SELECT a FROM t WHERE id = 3"},
+      },
+      store);
+  auto sessions = SegmentSessions(parsed);
+  TrafficStats stats = ComputeTrafficStats(sessions, parsed);
+  EXPECT_EQ(stats.session_count, 2u);
+  EXPECT_EQ(stats.user_count, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_session_length, 1.5);
+  EXPECT_DOUBLE_EQ(stats.mean_gap_s, 2.0);
+  EXPECT_EQ(stats.robot_sessions, 0u);
+}
+
+TEST(SessionsTest, SyntheticWorkloadContainsRobots) {
+  log::GeneratorConfig config;
+  config.target_statements = 8000;
+  config.cth_families = 8;
+  log::QueryLog raw = log::GenerateLog(config);
+  core::TemplateStore store;
+  core::ParsedLog parsed = core::ParseLog(raw, store);
+  auto sessions = SegmentSessions(parsed);
+  TrafficStats stats = ComputeTrafficStats(sessions, parsed);
+  EXPECT_GT(stats.session_count, 100u);
+  EXPECT_GT(stats.robot_sessions, 0u);
+  // The SWS + spatial robots carry a large share of the traffic.
+  EXPECT_GT(stats.robot_query_share, 0.2);
+  EXPECT_LT(stats.robot_query_share, 0.9);
+}
+
+TEST(SessionsTest, EmptyLog) {
+  core::TemplateStore store;
+  core::ParsedLog parsed = BuildParsedLog({}, store);
+  auto sessions = SegmentSessions(parsed);
+  EXPECT_TRUE(sessions.empty());
+  TrafficStats stats = ComputeTrafficStats(sessions, parsed);
+  EXPECT_EQ(stats.session_count, 0u);
+}
+
+}  // namespace
+}  // namespace sqlog::analysis

@@ -1,0 +1,205 @@
+// Property tests: every solver rewrite must return the same data as the
+// original statement sequence when executed on the in-memory engine.
+// This is the semantic guarantee behind "cleaning" — the clean log
+// represents the same information needs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/solver.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "sql/skeleton.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace sqlog {
+namespace {
+
+class SolverEngineEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new engine::Database();
+    ASSERT_TRUE(engine::PopulateSkyServerSample(*db_, 800).ok());
+    executor_ = new engine::Executor(db_);
+    objids_ = engine::PhotoObjIds(*db_);
+  }
+
+  static void TearDownTestSuite() {
+    delete executor_;
+    delete db_;
+    executor_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static std::vector<core::ParsedQuery> ParseAll(const std::vector<std::string>& sqls) {
+    std::vector<core::ParsedQuery> parsed(sqls.size());
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      auto facts = sql::ParseAndAnalyze(sqls[i]);
+      EXPECT_TRUE(facts.ok()) << sqls[i];
+      parsed[i].facts = std::move(facts.value());
+    }
+    return parsed;
+  }
+
+  static std::vector<const core::ParsedQuery*> Pointers(
+      const std::vector<core::ParsedQuery>& parsed) {
+    std::vector<const core::ParsedQuery*> out;
+    for (const auto& query : parsed) out.push_back(&query);
+    return out;
+  }
+
+  /// Executes a statement and returns its rows as a multiset of strings,
+  /// with column order preserved.
+  static std::multiset<std::string> RowsOf(const std::string& sql) {
+    auto result = executor_->ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << " → " << result.status().ToString();
+    std::multiset<std::string> rows;
+    if (!result.ok()) return rows;
+    for (const auto& row : result->rows) {
+      std::string key;
+      for (const auto& cell : row) {
+        key += cell.ToString();
+        key.push_back('\x1f');
+      }
+      rows.insert(std::move(key));
+    }
+    return rows;
+  }
+
+  static engine::Database* db_;
+  static engine::Executor* executor_;
+  static std::vector<int64_t> objids_;
+};
+
+engine::Database* SolverEngineEquivalenceTest::db_ = nullptr;
+engine::Executor* SolverEngineEquivalenceTest::executor_ = nullptr;
+std::vector<int64_t> SolverEngineEquivalenceTest::objids_;
+
+TEST_F(SolverEngineEquivalenceTest, DwRewriteOverManySeeds) {
+  // Random DW runs: the union of per-query results must equal the
+  // rewrite's results, modulo the prepended filter column.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    size_t run = 2 + rng.Uniform(10);
+    std::vector<std::string> originals;
+    std::multiset<std::string> expected;
+    std::set<int64_t> used;
+    for (size_t i = 0; i < run; ++i) {
+      int64_t objid = objids_[rng.Uniform(objids_.size())];
+      if (!used.insert(objid).second) continue;  // IN dedups; keep sets equal
+      originals.push_back(
+          StrFormat("SELECT objID, ra, dec FROM photoPrimary WHERE objID = %lld",
+                    static_cast<long long>(objid)));
+      for (const auto& row : RowsOf(originals.back())) expected.insert(row);
+    }
+    if (originals.size() < 2) continue;
+    auto parsed = ParseAll(originals);
+    auto rewritten = core::RewriteDwStifle(Pointers(parsed));
+    ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+    // objID is already exposed, so columns line up exactly.
+    EXPECT_EQ(RowsOf(rewritten.value()), expected) << "seed " << seed;
+  }
+}
+
+TEST_F(SolverEngineEquivalenceTest, DsRewriteConcatenatesColumns) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 77);
+    int64_t objid = objids_[rng.Uniform(objids_.size())];
+    std::vector<std::string> originals = {
+        StrFormat("SELECT ra, dec FROM photoPrimary WHERE objID = %lld",
+                  static_cast<long long>(objid)),
+        StrFormat("SELECT rowc_g, colc_g FROM photoPrimary WHERE objID = %lld",
+                  static_cast<long long>(objid)),
+    };
+    auto parsed = ParseAll(originals);
+    auto rewritten = core::RewriteDsStifle(Pointers(parsed));
+    ASSERT_TRUE(rewritten.ok());
+
+    auto merged = executor_->ExecuteSql(rewritten.value());
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    ASSERT_EQ(merged->row_count(), 1u);
+    ASSERT_EQ(merged->column_names,
+              (std::vector<std::string>{"ra", "dec", "rowc_g", "colc_g"}));
+
+    auto first = executor_->ExecuteSql(originals[0]);
+    auto second = executor_->ExecuteSql(originals[1]);
+    ASSERT_TRUE(first.ok() && second.ok());
+    ASSERT_EQ(first->row_count(), 1u);
+    ASSERT_EQ(second->row_count(), 1u);
+    EXPECT_EQ(merged->rows[0][0].ToString(), first->rows[0][0].ToString());
+    EXPECT_EQ(merged->rows[0][1].ToString(), first->rows[0][1].ToString());
+    EXPECT_EQ(merged->rows[0][2].ToString(), second->rows[0][0].ToString());
+    EXPECT_EQ(merged->rows[0][3].ToString(), second->rows[0][1].ToString());
+  }
+}
+
+TEST_F(SolverEngineEquivalenceTest, DfRewriteJoinsTables) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 131);
+    int64_t objid = objids_[rng.Uniform(objids_.size())];
+    std::vector<std::string> originals = {
+        StrFormat("SELECT ra, dec FROM photoPrimary WHERE objID = %lld",
+                  static_cast<long long>(objid)),
+        StrFormat("SELECT run, camcol FROM photoObjAll WHERE objID = %lld",
+                  static_cast<long long>(objid)),
+    };
+    auto parsed = ParseAll(originals);
+    auto rewritten = core::RewriteDfStifle(Pointers(parsed));
+    ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+
+    auto merged = executor_->ExecuteSql(rewritten.value());
+    ASSERT_TRUE(merged.ok()) << rewritten.value() << " → "
+                             << merged.status().ToString();
+    ASSERT_EQ(merged->row_count(), 1u);
+
+    auto first = executor_->ExecuteSql(originals[0]);
+    auto second = executor_->ExecuteSql(originals[1]);
+    ASSERT_TRUE(first.ok() && second.ok());
+    ASSERT_EQ(first->row_count(), 1u);
+    ASSERT_EQ(second->row_count(), 1u);
+    EXPECT_EQ(merged->rows[0][0].ToString(), first->rows[0][0].ToString());
+    EXPECT_EQ(merged->rows[0][1].ToString(), first->rows[0][1].ToString());
+    EXPECT_EQ(merged->rows[0][2].ToString(), second->rows[0][0].ToString());
+    EXPECT_EQ(merged->rows[0][3].ToString(), second->rows[0][1].ToString());
+  }
+}
+
+TEST_F(SolverEngineEquivalenceTest, SncRewriteFindsTheRowsTheUserMeant) {
+  // `= NULL` returns nothing; the rewrite returns the NULL rows.
+  auto broken = RowsOf("SELECT bugID FROM Bugs WHERE assigned_to = NULL");
+  EXPECT_TRUE(broken.empty());
+
+  auto parsed = ParseAll({"SELECT bugID FROM Bugs WHERE assigned_to = NULL"});
+  auto rewritten = core::RewriteSnc(parsed[0]);
+  ASSERT_TRUE(rewritten.ok());
+  auto fixed = RowsOf(rewritten.value());
+  auto expected = RowsOf("SELECT bugID FROM Bugs WHERE assigned_to IS NULL");
+  EXPECT_FALSE(fixed.empty());
+  EXPECT_EQ(fixed, expected);
+}
+
+TEST_F(SolverEngineEquivalenceTest, DwRewriteWithStringKeyColumn) {
+  std::vector<std::string> originals = {
+      "SELECT description FROM DBObjects WHERE name = 'Galaxy'",
+      "SELECT description FROM DBObjects WHERE name = 'Star'",
+  };
+  std::multiset<std::string> expected;
+  for (const auto& sql : originals) {
+    auto result = executor_->ExecuteSql(sql);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->row_count(), 1u);
+  }
+  auto parsed = ParseAll(originals);
+  auto rewritten = core::RewriteDwStifle(Pointers(parsed));
+  ASSERT_TRUE(rewritten.ok());
+  auto merged = executor_->ExecuteSql(rewritten.value());
+  ASSERT_TRUE(merged.ok()) << rewritten.value() << " → " << merged.status().ToString();
+  EXPECT_EQ(merged->row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace sqlog

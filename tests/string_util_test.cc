@@ -1,0 +1,82 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlog {
+namespace {
+
+TEST(StringUtilTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("SELECT objID"), "select objid");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("123_x"), "123_x");
+}
+
+TEST(StringUtilTest, ToUpper) {
+  EXPECT_EQ(ToUpper("select"), "SELECT");
+}
+
+TEST(StringUtilTest, TrimRemovesAllWhitespaceKinds) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\r\n x \v\f"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StartsWithIgnoreCase) {
+  EXPECT_TRUE(StartsWithIgnoreCase("SELECT * FROM t", "select"));
+  EXPECT_TRUE(StartsWithIgnoreCase("select", "SELECT"));
+  EXPECT_FALSE(StartsWithIgnoreCase("sel", "select"));
+  EXPECT_FALSE(StartsWithIgnoreCase("update t", "select"));
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("PhotoPrimary", "photoprimary"));
+  EXPECT_FALSE(EqualsIgnoreCase("photo", "photos"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringUtilTest, CollapseWhitespace) {
+  EXPECT_EQ(CollapseWhitespace("a   b\t\nc"), "a b c");
+  EXPECT_EQ(CollapseWhitespace("  leading and trailing  "), "leading and trailing");
+  EXPECT_EQ(CollapseWhitespace(""), "");
+}
+
+TEST(StringUtilTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(41998253), "41,998,253");
+  EXPECT_EQ(WithThousands(-1234567), "-1,234,567");
+}
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  std::string long_arg(5000, 'a');
+  std::string out = StrFormat("<%s>", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+  EXPECT_EQ(out.front(), '<');
+  EXPECT_EQ(out.back(), '>');
+}
+
+}  // namespace
+}  // namespace sqlog

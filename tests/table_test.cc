@@ -1,0 +1,81 @@
+#include "engine/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlog::engine {
+namespace {
+
+TEST(TableTest, AddColumnsAndRows) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("ID", Value::Kind::kInt64).ok());
+  ASSERT_TRUE(table.AddColumn("name", Value::Kind::kString).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Int(1), Value::Str("x")}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Int(2), Value::Str("y")}).ok());
+
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.At(0, 0).AsInt(), 1);
+  EXPECT_EQ(table.At(1, 1).AsString(), "y");
+}
+
+TEST(TableTest, ColumnIndexCaseInsensitive) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("ObjID", Value::Kind::kInt64).ok());
+  EXPECT_EQ(table.ColumnIndex("objid"), 0);
+  EXPECT_EQ(table.ColumnIndex("OBJID"), 0);
+  EXPECT_EQ(table.ColumnIndex("missing"), -1);
+}
+
+TEST(TableTest, DuplicateColumnRejected) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("a", Value::Kind::kInt64).ok());
+  Status s = table.AddColumn("A", Value::Kind::kInt64);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, AddColumnAfterRowsRejected) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("a", Value::Kind::kInt64).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Int(1)}).ok());
+  EXPECT_EQ(table.AddColumn("b", Value::Kind::kInt64).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, WrongArityRowRejected) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("a", Value::Kind::kInt64).ok());
+  EXPECT_EQ(table.AppendRow({Value::Int(1), Value::Int(2)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.row_count(), 0u);
+}
+
+TEST(TableTest, ColumnDataIsColumnar) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("a", Value::Kind::kInt64).ok());
+  ASSERT_TRUE(table.AddColumn("b", Value::Kind::kInt64).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Int(1), Value::Int(10)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Int(2), Value::Int(20)}).ok());
+  const auto& col_b = table.ColumnData(1);
+  ASSERT_EQ(col_b.size(), 2u);
+  EXPECT_EQ(col_b[0].AsInt(), 10);
+  EXPECT_EQ(col_b[1].AsInt(), 20);
+}
+
+TEST(ResultSetTest, ToTextRendersHeaderAndRows) {
+  ResultSet result;
+  result.column_names = {"id", "name"};
+  result.rows.push_back({Value::Int(1), Value::Str("x")});
+  std::string text = result.ToText();
+  EXPECT_NE(text.find("id | name"), std::string::npos);
+  EXPECT_NE(text.find("1 | x"), std::string::npos);
+}
+
+TEST(ResultSetTest, ToTextTruncatesLongResults) {
+  ResultSet result;
+  result.column_names = {"n"};
+  for (int i = 0; i < 30; ++i) result.rows.push_back({Value::Int(i)});
+  std::string text = result.ToText(5);
+  EXPECT_NE(text.find("25 more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlog::engine

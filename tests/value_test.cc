@@ -1,0 +1,74 @@
+#include "engine/value.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlog::engine {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), Value::Kind::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::Int(587722981742LL);
+  EXPECT_EQ(v.kind(), Value::Kind::kInt64);
+  EXPECT_EQ(v.AsInt(), 587722981742LL);
+  EXPECT_EQ(v.ToString(), "587722981742");
+  EXPECT_TRUE(v.is_numeric());
+}
+
+TEST(ValueTest, RealRoundTrip) {
+  Value v = Value::Real(3.5);
+  EXPECT_EQ(v.AsDouble(), 3.5);
+  EXPECT_EQ(v.AsInt(), 3);
+}
+
+TEST(ValueTest, StringCoercions) {
+  Value v = Value::Str("42.5");
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 42.5);
+  EXPECT_EQ(v.AsString(), "42.5");
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(5).Compare(Value::Int(5)), 0);
+  EXPECT_GT(Value::Int(9).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, LargeIntComparisonIsExact) {
+  // Two objids differing by 1 must not collapse under double rounding.
+  int64_t base = 587722981740000000LL;
+  EXPECT_LT(Value::Int(base).Compare(Value::Int(base + 1)), 0);
+  EXPECT_EQ(Value::Int(base).Compare(Value::Int(base)), 0);
+}
+
+TEST(ValueTest, MixedNumericComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Real(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Real(3.5)), 0);
+}
+
+TEST(ValueTest, StringComparisonIsCaseInsensitive) {
+  EXPECT_EQ(Value::Str("Galaxy").Compare(Value::Str("galaxy")), 0);
+  EXPECT_TRUE(Value::Str("Galaxy").Equals(Value::Str("GALAXY")));
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_LT(Value::Str("ab").Compare(Value::Str("abc")), 0);
+}
+
+TEST(ValueTest, NullsOrderFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, KindForColumnType) {
+  EXPECT_EQ(KindForColumnType(catalog::ColumnType::kInt64), Value::Kind::kInt64);
+  EXPECT_EQ(KindForColumnType(catalog::ColumnType::kDouble), Value::Kind::kDouble);
+  EXPECT_EQ(KindForColumnType(catalog::ColumnType::kString), Value::Kind::kString);
+}
+
+}  // namespace
+}  // namespace sqlog::engine

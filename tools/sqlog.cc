@@ -1,0 +1,233 @@
+// sqlog — the operator command-line tool. Wraps the library end to end:
+//
+//   sqlog generate <n> <out.csv>            synthesize a SkyServer-style log
+//   sqlog clean <in.csv> <out-prefix>       run the full pipeline, write
+//                                           <prefix>.clean.csv/.removal.csv
+//   sqlog stats <in.csv>                    Table 5-style overview
+//   sqlog patterns <in.csv> [k]             top-k patterns with descriptions
+//   sqlog antipatterns <in.csv> [k]         top-k distinct antipatterns
+//   sqlog cluster <in.csv> [threshold]      Sec. 6.9 clustering summary
+//   sqlog recommend <in.csv> <sql...>       next-query suggestions
+
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "analysis/clustering.h"
+#include "analysis/describe.h"
+#include "analysis/recommender.h"
+#include "catalog/schema.h"
+#include "core/pipeline.h"
+#include "log/generator.h"
+#include "log/log_io.h"
+
+namespace {
+
+using namespace sqlog;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sqlog <command> [args]\n"
+      "  generate <n> <out.csv>       synthesize a SkyServer-style log\n"
+      "  clean <in.csv> <out-prefix>  clean a log; writes <prefix>.clean.csv\n"
+      "                               and <prefix>.removal.csv\n"
+      "  stats <in.csv>               results overview (paper Table 5)\n"
+      "  patterns <in.csv> [k]        top-k patterns with descriptions\n"
+      "  antipatterns <in.csv> [k]    top-k distinct antipatterns\n"
+      "  cluster <in.csv> [threshold] data-space clustering summary\n"
+      "  recommend <in.csv> <sql>     suggest likely next queries\n");
+  return 2;
+}
+
+Result<log::QueryLog> Load(const char* path) { return log::LogIo::ReadFile(path); }
+
+core::PipelineResult RunPipeline(const log::QueryLog& raw) {
+  static catalog::Schema schema = catalog::MakeSkyServerSchema();
+  core::Pipeline pipeline;
+  pipeline.SetSchema(&schema);
+  return pipeline.Run(raw);
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  log::GeneratorConfig config;
+  config.target_statements = static_cast<size_t>(std::strtoull(argv[0], nullptr, 10));
+  log::QueryLog log = log::GenerateLog(config);
+  Status s = log::LogIo::WriteFile(log, argv[1]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, %zu users)\n", argv[1], log.size(),
+              log.DistinctUserCount());
+  return 0;
+}
+
+int CmdClean(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto raw = Load(argv[0]);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  core::PipelineResult result = RunPipeline(*raw);
+  std::printf("%s\n", result.stats.ToTable().c_str());
+  std::string prefix = argv[1];
+  for (const auto& [suffix, log] :
+       {std::pair<const char*, const log::QueryLog*>{".clean.csv", &result.clean_log},
+        std::pair<const char*, const log::QueryLog*>{".removal.csv",
+                                                     &result.removal_log}}) {
+    Status s = log::LogIo::WriteFile(*log, prefix + suffix);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s%s (%zu records)\n", prefix.c_str(), suffix, log->size());
+  }
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto raw = Load(argv[0]);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  core::PipelineResult result = RunPipeline(*raw);
+  std::printf("%s", result.stats.ToTable().c_str());
+  return 0;
+}
+
+int CmdPatterns(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  size_t k = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 15;
+  auto raw = Load(argv[0]);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  core::PipelineResult result = RunPipeline(*raw);
+  std::printf("%-4s %-10s %-6s %-4s %s\n", "#", "freq", "users", "AP?", "description");
+  for (size_t i = 0; i < result.patterns.size() && i < k; ++i) {
+    const auto& pattern = result.patterns[i];
+    const auto& info = result.templates.Get(pattern.template_ids[0]);
+    const auto& sample = result.parsed.queries[info.first_query];
+    std::printf("%-4zu %-10llu %-6zu %-4s %s\n", i + 1,
+                (unsigned long long)pattern.frequency, pattern.user_popularity(),
+                result.PatternIsAntipattern(i) ? "yes" : "",
+                analysis::DescribeTemplate(sample.facts).c_str());
+  }
+  return 0;
+}
+
+int CmdAntipatterns(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  size_t k = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 15;
+  auto raw = Load(argv[0]);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  core::PipelineResult result = RunPipeline(*raw);
+  auto distinct = result.antipatterns.distinct;
+  std::sort(distinct.begin(), distinct.end(),
+            [](const auto& a, const auto& b) { return a.query_count > b.query_count; });
+  std::printf("%-4s %-10s %-10s %-6s %s\n", "#", "type", "queries", "users", "skeleton");
+  for (size_t i = 0; i < distinct.size() && i < k; ++i) {
+    const auto& d = distinct[i];
+    const auto& tmpl = result.templates.Get(d.template_ids[0]).tmpl;
+    std::printf("%-4zu %-10s %-10llu %-6zu %.80s\n", i + 1,
+                core::AntipatternTypeName(d.type), (unsigned long long)d.query_count,
+                d.user_popularity(), (tmpl.ssc + " " + tmpl.swc).c_str());
+  }
+  return 0;
+}
+
+int CmdCluster(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  double threshold = argc > 1 ? std::strtod(argv[1], nullptr) : 0.9;
+  auto raw = Load(argv[0]);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<analysis::DataSpace> spaces;
+  for (const auto& record : raw->records()) {
+    auto facts = sql::ParseAndAnalyze(record.statement);
+    if (!facts.ok()) continue;
+    spaces.push_back(analysis::ExtractDataSpace(facts.value()));
+  }
+  analysis::ClusteringOptions options;
+  options.threshold = threshold;
+  auto clusters = analysis::ClusterDataSpaces(spaces, options);
+  std::printf("queries=%zu clusters=%zu avg-size=%.1f runtime=%.2fs\n", spaces.size(),
+              clusters.cluster_count(), clusters.average_size(),
+              clusters.runtime_seconds);
+  for (size_t i = 0; i < clusters.clusters.size() && i < 10; ++i) {
+    std::printf("  cluster %zu: %zu queries\n", i + 1, clusters.clusters[i].size());
+  }
+  return 0;
+}
+
+int CmdRecommend(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto raw = Load(argv[0]);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  // Train on the cleaned log so suggestions are antipattern-free
+  // (exactly the setup the paper's future work argues for).
+  core::PipelineResult result = RunPipeline(*raw);
+  core::TemplateStore clean_store;
+  core::ParsedLog clean_parsed = core::ParseLog(result.clean_log, clean_store);
+  analysis::Recommender model;
+  model.Train(clean_parsed);
+
+  auto facts = sql::ParseAndAnalyze(argv[1]);
+  if (!facts.ok()) {
+    std::fprintf(stderr, "cannot parse query: %s\n", facts.status().ToString().c_str());
+    return 1;
+  }
+  auto suggestions = model.Recommend(facts->tmpl.fingerprint, 5);
+  if (suggestions.empty()) {
+    std::printf("no suggestions (template unseen in the cleaned log)\n");
+    return 0;
+  }
+  // Resolve fingerprints back to a sample statement each.
+  std::printf("likely next queries:\n");
+  for (uint64_t fp : suggestions) {
+    for (const auto& info : clean_store.templates()) {
+      if (info.tmpl.fingerprint != fp) continue;
+      const auto& sample = clean_parsed.queries[info.first_query];
+      std::printf("  - %s\n     e.g. %.100s\n",
+                  analysis::DescribeTemplate(sample.facts).c_str(),
+                  result.clean_log.records()[sample.record_index].statement.c_str());
+      break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* command = argv[1];
+  int rest_argc = argc - 2;
+  char** rest_argv = argv + 2;
+  if (std::strcmp(command, "generate") == 0) return CmdGenerate(rest_argc, rest_argv);
+  if (std::strcmp(command, "clean") == 0) return CmdClean(rest_argc, rest_argv);
+  if (std::strcmp(command, "stats") == 0) return CmdStats(rest_argc, rest_argv);
+  if (std::strcmp(command, "patterns") == 0) return CmdPatterns(rest_argc, rest_argv);
+  if (std::strcmp(command, "antipatterns") == 0) {
+    return CmdAntipatterns(rest_argc, rest_argv);
+  }
+  if (std::strcmp(command, "cluster") == 0) return CmdCluster(rest_argc, rest_argv);
+  if (std::strcmp(command, "recommend") == 0) return CmdRecommend(rest_argc, rest_argv);
+  return Usage();
+}
