@@ -36,13 +36,19 @@ inline log::GeneratorConfig StudyConfig() {
 inline log::QueryLog GenerateStudyLog() { return log::GenerateLog(StudyConfig()); }
 
 /// Runs the full pipeline with the bundled SkyServer schema. The schema
-/// object must outlive the result, hence the static.
+/// object must outlive the result, hence the static. Benches configure
+/// valid options, so a failed Run aborts the harness loudly.
 inline core::PipelineResult RunStudyPipeline(const log::QueryLog& raw,
                                              core::PipelineOptions options = {}) {
   static catalog::Schema schema = catalog::MakeSkyServerSchema();
   core::Pipeline pipeline(options);
   pipeline.SetSchema(&schema);
-  return pipeline.Run(raw);
+  Result<core::PipelineResult> result = pipeline.Run(raw);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
 }
 
 /// Prints the standard bench banner.

@@ -118,19 +118,31 @@ void BM_GenerateLog(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateLog)->Arg(5000)->Arg(20000);
 
+/// End-to-end pipeline throughput. Second argument is the thread count
+/// handed to PipelineOptions::num_threads (1 = serial path), sweeping
+/// the parallel engine at fixed input size — compare the num_threads=1
+/// and num_threads=4 rows for the end-to-end speedup.
 void BM_FullPipeline(benchmark::State& state) {
   log::GeneratorConfig config;
   config.target_statements = static_cast<size_t>(state.range(0));
   log::QueryLog raw = log::GenerateLog(config);
   catalog::Schema schema = catalog::MakeSkyServerSchema();
+  core::PipelineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
   for (auto _ : state) {
-    core::Pipeline pipeline;
+    core::Pipeline pipeline(options);
     pipeline.SetSchema(&schema);
-    core::PipelineResult result = pipeline.Run(raw);
+    auto result = pipeline.Run(raw);
     benchmark::DoNotOptimize(result);
     state.SetItemsProcessed(state.items_processed() + static_cast<int64_t>(raw.size()));
   }
 }
-BENCHMARK(BM_FullPipeline)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullPipeline)
+    ->Args({5000, 1})
+    ->Args({20000, 1})
+    ->Args({20000, 2})
+    ->Args({20000, 4})
+    ->Args({20000, 8})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

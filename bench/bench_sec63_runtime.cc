@@ -3,6 +3,7 @@
 // and wall time. Paper: 10222 queries → 254 after rewriting (≈40×
 // fewer), running 29.27× faster.
 
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -109,5 +110,26 @@ int main() {
   std::printf("\nNote: result-row counts can differ slightly because repeated objids\n"
               "inside one instance deduplicate in the IN-list — the rewrite returns\n"
               "each object once, which is the intended semantics.\n");
+
+  // Threads sweep: the same end-to-end pipeline runtime question at
+  // scale, over the study log, for the parallel engine. Output is
+  // byte-identical across rows (pipeline_parallel_test proves it); only
+  // wall time may change with the hardware's core count.
+  std::printf("\nPipeline runtime vs num_threads (study log, %zu statements, "
+              "%u hardware threads):\n",
+              bench::StudySize(), std::thread::hardware_concurrency());
+  log::QueryLog study = bench::GenerateStudyLog();
+  double serial_seconds = 0.0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    core::PipelineOptions options;
+    options.num_threads = threads;
+    Timer timer;
+    core::PipelineResult result = bench::RunStudyPipeline(study, options);
+    double seconds = timer.ElapsedSeconds();
+    if (threads == 1) serial_seconds = seconds;
+    std::printf("  num_threads=%zu  %8.2fs  speedup %.2fx  (clean log %s)\n", threads,
+                seconds, serial_seconds / seconds,
+                bench::Thousands(result.stats.final_size).c_str());
+  }
   return 0;
 }

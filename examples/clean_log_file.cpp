@@ -8,10 +8,7 @@
 #include <cstring>
 #include <string>
 
-#include "catalog/schema.h"
-#include "core/pipeline.h"
-#include "log/generator.h"
-#include "log/log_io.h"
+#include "sqlog.h"
 
 namespace {
 
@@ -62,11 +59,28 @@ int main(int argc, char** argv) {
   }
 
   sqlog::catalog::Schema schema = sqlog::catalog::MakeSkyServerSchema();
-  sqlog::core::Pipeline pipeline;
-  pipeline.SetSchema(&schema);
-  sqlog::core::PipelineResult result = pipeline.Run(raw);
+  auto pipeline = sqlog::core::PipelineBuilder()
+                      .WithSchema(&schema)
+                      .NumThreads(0)  // operator batch job: use every core
+                      .ExtraCleanPasses(1)
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "bad pipeline config: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+  auto run = pipeline->Run(raw);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  sqlog::core::PipelineResult& result = *run;
 
   std::printf("%s\n", result.stats.ToTable().c_str());
+  for (const auto& diagnostic : result.stats.parse_diagnostics) {
+    std::fprintf(stderr, "  parse diagnostic (record %llu): %s\n",
+                 (unsigned long long)diagnostic.record_seq, diagnostic.message.c_str());
+  }
 
   sqlog::Status s = sqlog::log::LogIo::WriteFile(result.clean_log, prefix + ".clean.csv");
   if (!s.ok()) {

@@ -38,7 +38,12 @@ int main(int argc, char** argv) {
   sqlog::catalog::Schema schema = sqlog::catalog::MakeSkyServerSchema();
   sqlog::core::Pipeline pipeline(options);
   pipeline.SetSchema(&schema);
-  sqlog::core::PipelineResult result = pipeline.Run(raw);
+  auto run = pipeline.Run(raw);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  sqlog::core::PipelineResult& result = *run;
 
   std::printf("Linted %zu statements (%zu parsed SELECTs)\n\n", raw.size(),
               result.parsed.queries.size());

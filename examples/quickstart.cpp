@@ -2,10 +2,9 @@
 // (Table 1) and show what each stage produces.
 
 #include <cstdio>
+#include <utility>
 
-#include "catalog/schema.h"
-#include "core/pipeline.h"
-#include "log/record.h"
+#include "sqlog.h"
 
 namespace {
 
@@ -47,13 +46,28 @@ int main() {
                   "SELECT * FROM Bugs WHERE assigned_to = NULL", 0));
 
   sqlog::catalog::Schema schema = sqlog::catalog::MakeSkyServerSchema();
-  sqlog::core::PipelineOptions options;
-  options.miner.min_support = 1;
-  options.detector.cth_min_support = 1;
-  sqlog::core::Pipeline pipeline(options);
-  pipeline.SetSchema(&schema);
+  sqlog::core::MinerOptions miner;
+  miner.min_support = 1;  // the running example is tiny
+  sqlog::core::DetectorOptions detector;
+  detector.cth_min_support = 1;
 
-  sqlog::core::PipelineResult result = pipeline.Run(raw);
+  auto pipeline = sqlog::core::PipelineBuilder()
+                      .WithSchema(&schema)  // enables Def. 11's key check
+                      .WithMiner(miner)
+                      .WithDetector(std::move(detector))
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "bad pipeline config: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+
+  auto run = pipeline->Run(raw);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  sqlog::core::PipelineResult& result = *run;
 
   std::printf("== Statistics ==\n%s\n", result.stats.ToTable().c_str());
 

@@ -25,11 +25,23 @@ int main(int argc, char** argv) {
               raw.DistinctUserCount(), gen_timer.ElapsedSeconds());
 
   sqlog::catalog::Schema schema = sqlog::catalog::MakeSkyServerSchema();
-  sqlog::core::Pipeline pipeline;
-  pipeline.SetSchema(&schema);
+  auto pipeline = sqlog::core::PipelineBuilder()
+                      .WithSchema(&schema)
+                      .NumThreads(0)  // the case study runs at full width
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "bad pipeline config: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
 
   sqlog::Timer run_timer;
-  sqlog::core::PipelineResult result = pipeline.Run(raw);
+  auto run = pipeline->Run(raw);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  sqlog::core::PipelineResult& result = *run;
   std::printf("Pipeline finished in %.2fs\n\n%s\n", run_timer.ElapsedSeconds(),
               result.stats.ToTable().c_str());
 
@@ -58,7 +70,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nSWS coverage at (freq >= %.2f%%, users <= %zu): %.1f%% of parsed log\n",
-              100.0 * pipeline.options().sws.frequency_fraction,
-              pipeline.options().sws.max_user_popularity, 100.0 * result.sws.coverage);
+              100.0 * pipeline->options().sws.frequency_fraction,
+              pipeline->options().sws.max_user_popularity, 100.0 * result.sws.coverage);
   return 0;
 }

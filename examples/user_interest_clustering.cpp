@@ -49,7 +49,12 @@ int main(int argc, char** argv) {
   sqlog::catalog::Schema schema = sqlog::catalog::MakeSkyServerSchema();
   sqlog::core::Pipeline pipeline;
   pipeline.SetSchema(&schema);
-  sqlog::core::PipelineResult result = pipeline.Run(raw);
+  auto run = pipeline.Run(raw);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  sqlog::core::PipelineResult& result = *run;
 
   auto raw_spaces = SpacesOf(result.pre_clean);
   auto clean_spaces = SpacesOf(result.clean_log);

@@ -283,16 +283,18 @@ class SegmentScanner {
 
 }  // namespace
 
-AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStore& store,
-                                     const catalog::Schema* schema,
-                                     const DetectorOptions& options) {
-  (void)store;
-  AntipatternReport report;
+namespace {
 
-  for (uint32_t user_id = 0; user_id < parsed.user_streams.size(); ++user_id) {
+/// Scans the streams of users [user_begin, user_end) into `out`,
+/// emitting instances in the serial order (users ascending, per-user
+/// scanner order).
+void ScanUserRange(const ParsedLog& parsed, const catalog::Schema* schema,
+                   const DetectorOptions& options, uint32_t user_begin,
+                   uint32_t user_end, std::vector<AntipatternInstance>& out) {
+  for (uint32_t user_id = user_begin; user_id < user_end; ++user_id) {
     const auto& stream = parsed.user_streams[user_id];
     if (stream.empty()) continue;
-    SegmentScanner scanner(parsed, schema, options, user_id, report.instances);
+    SegmentScanner scanner(parsed, schema, options, user_id, out);
 
     std::vector<size_t> segment;
     int64_t prev_time = 0;
@@ -306,6 +308,43 @@ AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStor
       prev_time = query.timestamp_ms;
     }
     scanner.Scan(segment);
+  }
+}
+
+}  // namespace
+
+AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStore& store,
+                                     const catalog::Schema* schema,
+                                     const DetectorOptions& options,
+                                     util::ThreadPool* pool) {
+  (void)store;
+  AntipatternReport report;
+
+  const size_t user_count = parsed.user_streams.size();
+  size_t num_shards = 1;
+  if (pool != nullptr && pool->size() > 0) {
+    num_shards = std::min(user_count, pool->size() + 1);
+    if (num_shards == 0) num_shards = 1;
+  }
+  if (num_shards <= 1) {
+    ScanUserRange(parsed, schema, options, 0, static_cast<uint32_t>(user_count),
+                  report.instances);
+  } else {
+    // Map over contiguous user ranges, then concatenate in shard order:
+    // instances come out in exactly the order the serial loop emits.
+    using InstanceList = std::vector<AntipatternInstance>;
+    std::vector<InstanceList> shards = util::MapShards<InstanceList>(
+        pool, user_count, num_shards, [&](size_t, size_t begin, size_t end) {
+          InstanceList local;
+          ScanUserRange(parsed, schema, options, static_cast<uint32_t>(begin),
+                        static_cast<uint32_t>(end), local);
+          return local;
+        });
+    for (InstanceList& shard : shards) {
+      report.instances.insert(report.instances.end(),
+                              std::make_move_iterator(shard.begin()),
+                              std::make_move_iterator(shard.end()));
+    }
   }
 
   // Deterministic log order: by first member query's record index.

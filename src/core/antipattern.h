@@ -82,9 +82,16 @@ struct AntipatternReport {
 /// Runs all detectors over per-user gap-bounded segments. `schema` may
 /// be null — the key-attribute axiom is then skipped (as if
 /// require_key_attribute were false).
+///
+/// With a non-null `pool`, scanning is sharded over contiguous user-id
+/// ranges (every instance lives within one user's stream, Defs. 11-16)
+/// and per-shard instance lists are concatenated in ascending shard
+/// order — reproducing the serial emission order exactly, so the report
+/// is byte-identical to the serial path.
 AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStore& store,
                                      const catalog::Schema* schema,
-                                     const DetectorOptions& options);
+                                     const DetectorOptions& options,
+                                     util::ThreadPool* pool = nullptr);
 
 /// True when an instance has a solving rule: built-in types consult
 /// IsSolvable; kCustom consults its rule's rewrite hook.

@@ -1,38 +1,42 @@
 #include "core/dedup.h"
 
 #include <unordered_map>
+#include <vector>
 
 #include "util/hash.h"
 
 namespace sqlog::core {
 
-log::QueryLog RemoveDuplicates(const log::QueryLog& input, const DedupOptions& options,
-                               DedupStats* stats) {
-  log::QueryLog sorted = input;
-  sorted.SortByTime();
+namespace {
 
-  // Key: (user, statement) → timestamp of the last kept-or-suppressed
-  // occurrence. Chaining on the last occurrence (not the last *kept*
-  // one) means a burst of reloads with sub-threshold gaps collapses
-  // entirely, which matches the web-form-reload interpretation.
-  struct LastSeen {
-    int64_t timestamp_ms;
-  };
+/// Key: (user, statement) → timestamp of the last kept-or-suppressed
+/// occurrence. Chaining on the last occurrence (not the last *kept*
+/// one) means a burst of reloads with sub-threshold gaps collapses
+/// entirely, which matches the web-form-reload interpretation.
+struct LastSeen {
+  int64_t timestamp_ms;
+};
+
+/// Walks the records at `positions` (ascending sorted-log positions) and
+/// flags duplicates. Factored out so the parallel path can run it once
+/// per user shard over disjoint position sets.
+void MarkDuplicates(const std::vector<log::LogRecord>& records,
+                    const std::vector<size_t>& positions, const DedupOptions& options,
+                    std::vector<uint8_t>& duplicate) {
   std::unordered_map<uint64_t, LastSeen> last_seen;
-  last_seen.reserve(sorted.size() * 2);
-
-  log::QueryLog output;
-  size_t removed = 0;
-  for (const auto& record : sorted.records()) {
+  last_seen.reserve(positions.size() * 2);
+  for (size_t pos : positions) {
+    const log::LogRecord& record = records[pos];
     uint64_t key = Fnv1a64(record.user);
     key = HashCombine(key, Fnv1a64(record.statement));
     auto it = last_seen.find(key);
-    bool duplicate = false;
+    bool is_duplicate = false;
     if (it != last_seen.end()) {
       if (options.unrestricted) {
-        duplicate = true;
+        is_duplicate = true;
       } else {
-        duplicate = record.timestamp_ms - it->second.timestamp_ms <= options.threshold_ms;
+        is_duplicate =
+            record.timestamp_ms - it->second.timestamp_ms <= options.threshold_ms;
       }
     }
     if (it == last_seen.end()) {
@@ -40,11 +44,46 @@ log::QueryLog RemoveDuplicates(const log::QueryLog& input, const DedupOptions& o
     } else {
       it->second.timestamp_ms = record.timestamp_ms;
     }
-    if (duplicate) {
+    duplicate[pos] = is_duplicate ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+log::QueryLog RemoveDuplicates(const log::QueryLog& input, const DedupOptions& options,
+                               DedupStats* stats, util::ThreadPool* pool) {
+  log::QueryLog sorted = input;
+  sorted.SortByTime();
+  const auto& records = sorted.records();
+
+  std::vector<uint8_t> duplicate(records.size(), 0);
+  const size_t num_shards = pool == nullptr ? 1 : pool->size() + 1;
+  if (num_shards <= 1) {
+    std::vector<size_t> all(records.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    MarkDuplicates(records, all, options, duplicate);
+  } else {
+    // Shard by user so every (user, statement) chain stays within one
+    // shard; each shard writes disjoint entries of `duplicate`.
+    std::vector<std::vector<size_t>> shard_positions(num_shards);
+    for (size_t i = 0; i < records.size(); ++i) {
+      shard_positions[Fnv1a64(records[i].user) % num_shards].push_back(i);
+    }
+    pool->ParallelFor(0, num_shards, 1, [&](size_t begin, size_t end) {
+      for (size_t shard = begin; shard < end; ++shard) {
+        MarkDuplicates(records, shard_positions[shard], options, duplicate);
+      }
+    });
+  }
+
+  log::QueryLog output;
+  size_t removed = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (duplicate[i] != 0) {
       ++removed;
       continue;
     }
-    output.Append(record);
+    output.Append(records[i]);
   }
   output.Renumber();
 

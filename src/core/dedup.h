@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "log/record.h"
+#include "util/thread_pool.h"
 
 namespace sqlog::core {
 
@@ -28,8 +29,15 @@ struct DedupStats {
 /// time threshold of the previous occurrence (chained — a burst of
 /// reloads collapses to its first statement). The input is sorted by
 /// time internally; the output preserves time order and is renumbered.
+///
+/// With a non-null `pool`, duplicate marking is sharded by user (every
+/// (user, statement) chain lives wholly inside one user's record set, so
+/// user partitioning cannot change which records are duplicates) and the
+/// kept records are appended in a serial pass — the output is
+/// byte-identical to the serial path.
 log::QueryLog RemoveDuplicates(const log::QueryLog& input, const DedupOptions& options,
-                               DedupStats* stats = nullptr);
+                               DedupStats* stats = nullptr,
+                               util::ThreadPool* pool = nullptr);
 
 }  // namespace sqlog::core
 

@@ -32,23 +32,27 @@ bool IsSelfRepetition(const std::vector<uint64_t>& ids, size_t begin, size_t len
   return false;
 }
 
-}  // namespace
+/// Accumulator per distinct sequence.
+struct Acc {
+  std::vector<uint64_t> template_ids;
+  uint64_t frequency = 0;
+  std::unordered_set<uint32_t> users;
+  size_t sample_query = 0;
+  size_t last_end = 0;        // non-overlap bookkeeping within one segment
+  uint64_t last_segment = 0;  // segment the last_end belongs to
+  bool has_last = false;
+};
 
-std::vector<Pattern> MinePatterns(const ParsedLog& parsed, const MinerOptions& options) {
-  // Accumulator per distinct sequence.
-  struct Acc {
-    std::vector<uint64_t> template_ids;
-    uint64_t frequency = 0;
-    std::unordered_set<uint32_t> users;
-    size_t sample_query = 0;
-    size_t last_end = 0;       // non-overlap bookkeeping within one segment
-    uint64_t last_segment = 0;  // segment the last_end belongs to
-    bool has_last = false;
-  };
-  std::unordered_map<uint64_t, Acc> accs;
+using AccMap = std::unordered_map<uint64_t, Acc>;
+
+/// Mines the streams of users [user_begin, user_end) into `accs`.
+/// Segment serials only disambiguate segments *within* one AccMap, so a
+/// per-call counter is enough.
+void MineUserRange(const ParsedLog& parsed, const MinerOptions& options,
+                   uint32_t user_begin, uint32_t user_end, AccMap& accs) {
   uint64_t segment_serial = 0;
 
-  for (uint32_t user_id = 0; user_id < parsed.user_streams.size(); ++user_id) {
+  for (uint32_t user_id = user_begin; user_id < user_end; ++user_id) {
     const auto& stream = parsed.user_streams[user_id];
     if (stream.empty()) continue;
 
@@ -96,6 +100,48 @@ std::vector<Pattern> MinePatterns(const ParsedLog& parsed, const MinerOptions& o
       prev_time = query.timestamp_ms;
     }
     flush();
+  }
+}
+
+}  // namespace
+
+std::vector<Pattern> MinePatterns(const ParsedLog& parsed, const MinerOptions& options,
+                                  util::ThreadPool* pool) {
+  const size_t user_count = parsed.user_streams.size();
+  size_t num_shards = 1;
+  if (pool != nullptr && pool->size() > 0) {
+    num_shards = std::min(user_count, pool->size() + 1);
+    if (num_shards == 0) num_shards = 1;
+  }
+
+  AccMap accs;
+  if (num_shards <= 1) {
+    MineUserRange(parsed, options, 0, static_cast<uint32_t>(user_count), accs);
+  } else {
+    // Map: mine each contiguous user-id range into its own accumulator.
+    std::vector<AccMap> shard_accs = util::MapShards<AccMap>(
+        pool, user_count, num_shards, [&](size_t, size_t begin, size_t end) {
+          AccMap local;
+          MineUserRange(parsed, options, static_cast<uint32_t>(begin),
+                        static_cast<uint32_t>(end), local);
+          return local;
+        });
+    // Reduce in ascending shard order: frequencies add, user sets union,
+    // and the first (lowest-user) shard holding a key provides its
+    // template_ids/sample_query — exactly what the serial pass, which
+    // visits users in ascending order, would have recorded.
+    accs = std::move(shard_accs[0]);
+    for (size_t shard = 1; shard < shard_accs.size(); ++shard) {
+      for (auto& [key, acc] : shard_accs[shard]) {
+        auto [it, inserted] = accs.try_emplace(key);
+        if (inserted) {
+          it->second = std::move(acc);
+          continue;
+        }
+        it->second.frequency += acc.frequency;
+        it->second.users.insert(acc.users.begin(), acc.users.end());
+      }
+    }
   }
 
   std::vector<Pattern> patterns;

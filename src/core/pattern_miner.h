@@ -40,7 +40,16 @@ struct Pattern {
 /// reported only when it is not a trivial self-repetition (e.g. (A,A) is
 /// subsumed by (A)) — keeping the report aligned with the paper's
 /// pattern tables while CTH detection still sees all pairs.
-std::vector<Pattern> MinePatterns(const ParsedLog& parsed, const MinerOptions& options);
+///
+/// With a non-null `pool`, mining is sharded over contiguous user-id
+/// ranges (Defs. 7-10 are per-user, so user partitioning is lossless)
+/// and the per-shard accumulators are merged in ascending shard order.
+/// The returned set of patterns — frequencies, user sets, sample
+/// queries — is identical to the serial path; only the order of the
+/// returned vector is unspecified until SortByFrequency (a strict total
+/// order) is applied, as the pipeline always does.
+std::vector<Pattern> MinePatterns(const ParsedLog& parsed, const MinerOptions& options,
+                                  util::ThreadPool* pool = nullptr);
 
 /// Sorts patterns by frequency (descending), tie-broken by length then
 /// template ids, and returns the result (ranks of Sec. 6.5).

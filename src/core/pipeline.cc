@@ -1,6 +1,10 @@
 #include "core/pipeline.h"
 
+#include <memory>
 #include <unordered_set>
+
+#include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace sqlog::core {
 
@@ -17,7 +21,59 @@ bool PipelineResult::PatternIsAntipattern(size_t pattern_index, bool solvable_on
   return false;
 }
 
-PipelineResult Pipeline::Run(const log::QueryLog& raw_log) const {
+Status ValidatePipelineOptions(const PipelineOptions& options) {
+  if (options.dedup.threshold_ms < 0 && !options.dedup.unrestricted) {
+    return Status::InvalidArgument("dedup threshold_ms must be >= 0");
+  }
+  if (options.miner.max_length == 0) {
+    return Status::InvalidArgument("miner max_length must be >= 1 (n-gram length)");
+  }
+  if (options.miner.max_gap_ms < 0) {
+    return Status::InvalidArgument("miner max_gap_ms must be >= 0");
+  }
+  if (options.detector.max_gap_ms < 0) {
+    return Status::InvalidArgument("detector max_gap_ms must be >= 0");
+  }
+  if (options.detector.cth_min_support == 0) {
+    return Status::InvalidArgument("detector cth_min_support must be >= 1");
+  }
+  if (options.sws.frequency_fraction < 0.0 || options.sws.frequency_fraction > 1.0) {
+    return Status::InvalidArgument("sws frequency_fraction must be within [0, 1]");
+  }
+  if (options.sws.max_user_popularity == 0) {
+    return Status::InvalidArgument("sws max_user_popularity must be >= 1");
+  }
+  for (size_t r = 0; r < options.detector.custom_rules.size(); ++r) {
+    if (!options.detector.custom_rules[r].detect) {
+      return Status::InvalidArgument(
+          StrFormat("custom rule #%zu has no detect hook", r));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Pipeline> PipelineBuilder::Build() const {
+  SQLOG_RETURN_IF_ERROR_R(ValidatePipelineOptions(options_));
+  Pipeline pipeline(options_);
+  pipeline.SetSchema(schema_);
+  return pipeline;
+}
+
+Result<PipelineResult> Pipeline::Run(const log::QueryLog& raw_log) const {
+  SQLOG_RETURN_IF_ERROR_R(ValidatePipelineOptions(options_));
+
+  // The parallel engine: with num_threads == 1 no pool exists and every
+  // stage takes its serial path; otherwise the pool holds one worker
+  // less than the requested thread count because ParallelFor callers
+  // execute chunks themselves.
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool = nullptr;
+  size_t threads = util::ResolveThreadCount(options_.num_threads);
+  if (threads > 1) {
+    owned_pool = std::make_unique<util::ThreadPool>(threads - 1);
+    pool = owned_pool.get();
+  }
+
   PipelineResult result;
   result.stats.original_size = raw_log.size();
 
@@ -30,19 +86,21 @@ PipelineResult Pipeline::Run(const log::QueryLog& raw_log) const {
     }
   }
   DedupStats dedup_stats;
-  result.pre_clean = RemoveDuplicates(working, options_.dedup, &dedup_stats);
+  result.pre_clean = RemoveDuplicates(working, options_.dedup, &dedup_stats, pool);
   result.stats.after_dedup_size = dedup_stats.output_count;
   result.stats.duplicates_removed = dedup_stats.removed_count;
 
   // Step 2 (Sec. 5.3): parse statements, build templates.
-  result.parsed = ParseLog(result.pre_clean, result.templates);
+  result.parsed =
+      ParseLog(result.pre_clean, result.templates, pool, options_.max_parse_diagnostics);
   result.stats.select_count = result.parsed.queries.size();
   result.stats.non_select_count = result.parsed.non_select_count;
   result.stats.syntax_error_count = result.parsed.syntax_error_count;
+  result.stats.parse_diagnostics = result.parsed.diagnostics;
 
   // Step 3 (Sec. 5.4): mine patterns.
   if (options_.mine_patterns) {
-    result.patterns = MinePatterns(result.parsed, options_.miner);
+    result.patterns = MinePatterns(result.parsed, options_.miner, pool);
     SortByFrequency(result.patterns);
     result.stats.pattern_count = result.patterns.size();
     if (!result.patterns.empty()) {
@@ -52,7 +110,7 @@ PipelineResult Pipeline::Run(const log::QueryLog& raw_log) const {
 
   // Step 4: detect antipatterns.
   result.antipatterns =
-      DetectAntipatterns(result.parsed, result.templates, schema_, options_.detector);
+      DetectAntipatterns(result.parsed, result.templates, schema_, options_.detector, pool);
   result.stats.distinct_dw = result.antipatterns.CountDistinct(AntipatternType::kDwStifle);
   result.stats.queries_dw = result.antipatterns.CountQueries(AntipatternType::kDwStifle);
   result.stats.distinct_ds = result.antipatterns.CountDistinct(AntipatternType::kDsStifle);
@@ -83,9 +141,9 @@ PipelineResult Pipeline::Run(const log::QueryLog& raw_log) const {
   // first pass — only the clean log is refined further.
   for (size_t pass = 0; pass < options_.extra_clean_passes; ++pass) {
     TemplateStore pass_templates;
-    ParsedLog pass_parsed = ParseLog(result.clean_log, pass_templates);
+    ParsedLog pass_parsed = ParseLog(result.clean_log, pass_templates, pool);
     AntipatternReport pass_report =
-        DetectAntipatterns(pass_parsed, pass_templates, schema_, options_.detector);
+        DetectAntipatterns(pass_parsed, pass_templates, schema_, options_.detector, pool);
     uint64_t solvable = 0;
     for (const auto& instance : pass_report.instances) {
       if (InstanceSolvable(instance, options_.detector.custom_rules)) ++solvable;

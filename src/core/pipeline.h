@@ -12,6 +12,7 @@
 #include "core/sws.h"
 #include "core/template_store.h"
 #include "log/record.h"
+#include "util/status.h"
 
 namespace sqlog::core {
 
@@ -33,7 +34,19 @@ struct PipelineOptions {
   /// antipatterns, e.g. merged DS pairs lining up into fresh DW runs).
   /// 0 reproduces the paper's single-pass setting.
   size_t extra_clean_passes = 0;
+  /// Worker threads for the parallel stages (dedup, parse+skeletonize,
+  /// pattern mining, antipattern detection). 1 = the serial path; 0 =
+  /// one thread per hardware thread. Results are byte-identical across
+  /// every value — sharding keys (record ranges, user streams) and
+  /// merge orders are deterministic, never wall-clock dependent.
+  size_t num_threads = 1;
+  /// Cap on per-record parse failures kept as diagnostics in
+  /// PipelineStats (the failures are always *counted* in full).
+  size_t max_parse_diagnostics = 32;
 };
+
+/// Validates a PipelineOptions bundle; returns the first violation.
+Status ValidatePipelineOptions(const PipelineOptions& options);
 
 /// Everything the Fig. 1 workflow produces.
 struct PipelineResult {
@@ -55,7 +68,8 @@ struct PipelineResult {
 
 /// Runs the full workflow of Fig. 1 over a raw log: delete duplicates →
 /// parse statements → templates → patterns → detect antipatterns →
-/// solve → clean log + statistics.
+/// solve → clean log + statistics. Prefer constructing through
+/// PipelineBuilder, which validates options up front.
 class Pipeline {
  public:
   explicit Pipeline(PipelineOptions options = {}) : options_(std::move(options)) {}
@@ -66,8 +80,74 @@ class Pipeline {
 
   const PipelineOptions& options() const { return options_; }
 
-  /// Executes the workflow. The input log is not modified.
-  PipelineResult Run(const log::QueryLog& raw_log) const;
+  /// Executes the workflow. The input log is not modified. Fails (never
+  /// throws — the repo's Status/Result design rule) on invalid options;
+  /// per-record parse failures do not fail the run, they are counted
+  /// and sampled into PipelineStats::parse_diagnostics.
+  Result<PipelineResult> Run(const log::QueryLog& raw_log) const;
+
+ private:
+  PipelineOptions options_;
+  const catalog::Schema* schema_ = nullptr;
+};
+
+/// Fluent, validating construction of a Pipeline:
+///
+///   auto pipeline = core::PipelineBuilder()
+///                       .WithSchema(&schema)
+///                       .NumThreads(0)          // all hardware threads
+///                       .ExtraCleanPasses(1)
+///                       .Build();               // Result<Pipeline>
+///   if (!pipeline.ok()) { ... }
+///   auto result = pipeline->Run(raw);
+class PipelineBuilder {
+ public:
+  PipelineBuilder() = default;
+
+  PipelineBuilder& WithSchema(const catalog::Schema* schema) {
+    schema_ = schema;
+    return *this;
+  }
+  PipelineBuilder& WithDedup(DedupOptions dedup) {
+    options_.dedup = dedup;
+    return *this;
+  }
+  PipelineBuilder& WithMiner(MinerOptions miner) {
+    options_.miner = miner;
+    return *this;
+  }
+  PipelineBuilder& WithDetector(DetectorOptions detector) {
+    options_.detector = std::move(detector);
+    return *this;
+  }
+  PipelineBuilder& WithSws(SwsOptions sws) {
+    options_.sws = sws;
+    return *this;
+  }
+  PipelineBuilder& NumThreads(size_t num_threads) {
+    options_.num_threads = num_threads;
+    return *this;
+  }
+  PipelineBuilder& ExtraCleanPasses(size_t passes) {
+    options_.extra_clean_passes = passes;
+    return *this;
+  }
+  PipelineBuilder& UseUserMetadata(bool use) {
+    options_.use_user_metadata = use;
+    return *this;
+  }
+  PipelineBuilder& MinePatterns(bool mine) {
+    options_.mine_patterns = mine;
+    return *this;
+  }
+  PipelineBuilder& MaxParseDiagnostics(size_t max) {
+    options_.max_parse_diagnostics = max;
+    return *this;
+  }
+
+  /// Validates the accumulated options and returns the configured
+  /// Pipeline, or the first validation error.
+  Result<Pipeline> Build() const;
 
  private:
   PipelineOptions options_;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/antipattern.h"
 #include "core/dedup.h"
@@ -37,6 +38,12 @@ struct PipelineStats {
   uint64_t queries_snc = 0;
 
   SolveStats solve;
+
+  /// The first PipelineOptions::max_parse_diagnostics per-record parse
+  /// failures, in record order — dropped statements are counted above
+  /// (syntax_error_count) and sampled here instead of vanishing
+  /// silently.
+  std::vector<ParseDiagnostic> parse_diagnostics;
 
   /// Renders the Table 5-style overview.
   std::string ToTable() const;

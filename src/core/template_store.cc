@@ -43,31 +43,104 @@ uint32_t TemplateStore::InternUser(const std::string& user) {
   return id;
 }
 
-ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store) {
-  ParsedLog parsed;
-  parsed.queries.reserve(log.size());
+namespace {
 
-  for (size_t i = 0; i < log.size(); ++i) {
+/// Parse output of one contiguous record shard, with template ids local
+/// to the shard's store. `queries[i].user_id` is left 0 — users are
+/// interned during the serial merge so ids match the serial path.
+struct ParseShard {
+  TemplateStore store;
+  std::vector<ParsedQuery> queries;
+  size_t non_select_count = 0;
+  size_t syntax_error_count = 0;
+  std::vector<ParseDiagnostic> diagnostics;
+};
+
+/// Classifies + parses records [begin, end) of `log` into a shard.
+ParseShard ParseShardRange(const log::QueryLog& log, size_t begin, size_t end,
+                           size_t max_diagnostics) {
+  ParseShard shard;
+  shard.queries.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
     const log::LogRecord& record = log.records()[i];
     if (sql::ClassifyStatement(record.statement) != sql::StatementKind::kSelect) {
-      ++parsed.non_select_count;
+      ++shard.non_select_count;
       continue;
     }
     auto facts = sql::ParseAndAnalyze(record.statement);
     if (!facts.ok()) {
-      ++parsed.syntax_error_count;
+      ++shard.syntax_error_count;
+      if (shard.diagnostics.size() < max_diagnostics) {
+        ParseDiagnostic diagnostic;
+        diagnostic.record_index = i;
+        diagnostic.record_seq = record.seq;
+        diagnostic.message = facts.status().message();
+        shard.diagnostics.push_back(std::move(diagnostic));
+      }
       continue;
     }
     ParsedQuery query;
     query.record_index = i;
     query.timestamp_ms = record.timestamp_ms;
-    query.user_id = store.InternUser(record.user);
     query.row_count = record.row_count;
     query.facts = std::move(facts.value());
-    size_t query_index = parsed.queries.size();
-    query.template_id = store.Intern(query.facts.tmpl, query_index);
-    store.RecordUse(query.template_id, query.user_id);
-    parsed.queries.push_back(std::move(query));
+    size_t local_index = shard.queries.size();
+    query.template_id = shard.store.Intern(query.facts.tmpl, local_index);
+    shard.queries.push_back(std::move(query));
+  }
+  return shard;
+}
+
+constexpr uint64_t kUnmapped = ~uint64_t{0};
+
+}  // namespace
+
+ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
+                   util::ThreadPool* pool, size_t max_diagnostics) {
+  ParsedLog parsed;
+  parsed.queries.reserve(log.size());
+
+  size_t num_shards = 1;
+  if (pool != nullptr && pool->size() > 0) {
+    num_shards = std::min(log.size(), 4 * (pool->size() + 1));
+    if (num_shards == 0) num_shards = 1;
+  }
+
+  // Map: parse + skeletonize each contiguous record shard into a local
+  // TemplateStore (the expensive part — runs in parallel).
+  std::vector<ParseShard> shards = util::MapShards<ParseShard>(
+      num_shards > 1 ? pool : nullptr, log.size(), num_shards,
+      [&](size_t, size_t begin, size_t end) {
+        return ParseShardRange(log, begin, end, max_diagnostics);
+      });
+
+  // Reduce: merge shards in order. Shards are contiguous record ranges,
+  // so walking them in shard order visits queries in exactly the serial
+  // order — global template ids, user ids, first_query indices, and
+  // per-template statistics come out byte-identical to the serial path.
+  for (ParseShard& shard : shards) {
+    parsed.non_select_count += shard.non_select_count;
+    parsed.syntax_error_count += shard.syntax_error_count;
+    for (ParseDiagnostic& diagnostic : shard.diagnostics) {
+      if (parsed.diagnostics.size() < max_diagnostics) {
+        parsed.diagnostics.push_back(std::move(diagnostic));
+      }
+    }
+    std::vector<uint64_t> local_to_global(shard.store.size(), kUnmapped);
+    for (ParsedQuery& query : shard.queries) {
+      size_t query_index = parsed.queries.size();
+      uint64_t local_id = query.template_id;
+      if (local_to_global[local_id] == kUnmapped) {
+        // First use in this shard: intern the canonical skeleton into
+        // the global store (a no-op id lookup when an earlier shard
+        // already interned an equal template).
+        local_to_global[local_id] = store.Intern(query.facts.tmpl, query_index);
+      }
+      query.template_id = local_to_global[local_id];
+      query.user_id = store.InternUser(log.records()[query.record_index].user);
+      store.RecordUse(query.template_id, query.user_id);
+      parsed.queries.push_back(std::move(query));
+    }
   }
 
   // Per-user time-ordered streams.

@@ -9,6 +9,7 @@
 
 #include "log/record.h"
 #include "sql/skeleton.h"
+#include "util/thread_pool.h"
 
 namespace sqlog::core {
 
@@ -33,12 +34,25 @@ struct ParsedQuery {
   uint64_t template_id = 0;
 };
 
+/// One per-record parse failure, kept as a diagnostic instead of being
+/// silently dropped. `record_index`/`record_seq` locate the offending
+/// statement in the (deduplicated) input log.
+struct ParseDiagnostic {
+  size_t record_index = 0;
+  uint64_t record_seq = 0;
+  std::string message;  // the parser's Status message
+};
+
 /// Parse-step outcome (paper Sec. 5.3): parsed SELECTs with assigned
 /// templates, plus counts of what was dropped.
 struct ParsedLog {
   std::vector<ParsedQuery> queries;
   size_t non_select_count = 0;
   size_t syntax_error_count = 0;
+
+  /// The first `max_diagnostics` parse failures in record order
+  /// (`syntax_error_count` still counts them all).
+  std::vector<ParseDiagnostic> diagnostics;
 
   /// Per-user streams: indices into `queries`, time-ordered. Stream 0 is
   /// the anonymous user (empty user field).
@@ -73,9 +87,17 @@ class TemplateStore {
 };
 
 /// Runs the parse step over a (deduplicated) log: classifies statements,
-/// drops non-SELECTs and syntax errors, analyzes the rest, interns
-/// templates, and builds per-user time-ordered streams.
-ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store);
+/// drops non-SELECTs (counting syntax errors as diagnostics, capped at
+/// `max_diagnostics`), analyzes the rest, interns templates, and builds
+/// per-user time-ordered streams.
+///
+/// With a non-null `pool`, parse + skeletonize is sharded over
+/// contiguous record ranges into per-shard TemplateStores, then merged
+/// into `store` by canonical skeleton key in shard order — which visits
+/// queries in exactly the serial order, so template ids, user ids, and
+/// every statistic are byte-identical to the serial path.
+ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
+                   util::ThreadPool* pool = nullptr, size_t max_diagnostics = 0);
 
 }  // namespace sqlog::core
 

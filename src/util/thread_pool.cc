@@ -1,0 +1,129 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace sqlog::util {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = ResolveThreadCount(num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue before honouring shutdown so submitted work is
+      // never dropped.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (begin >= end) return;
+  if (min_grain == 0) min_grain = 1;
+  const size_t n = end - begin;
+  const size_t participants = size() + 1;  // workers plus the caller
+  if (participants <= 1 || n <= min_grain) {
+    body(begin, end);
+    return;
+  }
+
+  // Oversplit a little beyond the participant count so uneven chunks
+  // load-balance, but never below the grain size.
+  size_t chunks = std::min(n / min_grain, 4 * participants);
+  if (chunks == 0) chunks = 1;
+
+  // Shared claim-and-count state. Helpers submitted to the pool may run
+  // after this call returns (finding no chunks left), so the state is
+  // reference-counted rather than stack-owned.
+  struct ForState {
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> done_chunks{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+    size_t begin = 0;
+    size_t n = 0;
+    size_t chunks = 0;
+    const std::function<void(size_t, size_t)>* body = nullptr;
+  };
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->n = n;
+  state->chunks = chunks;
+  state->body = &body;
+
+  auto run_chunks = [](const std::shared_ptr<ForState>& s) {
+    for (;;) {
+      size_t chunk = s->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= s->chunks) return;
+      auto [lo, hi] = ShardRange(s->n, chunk, s->chunks);
+      (*s->body)(s->begin + lo, s->begin + hi);
+      if (s->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 == s->chunks) {
+        // Pair with the caller's wait below; the lock ensures the
+        // notification cannot fire between its predicate check and its
+        // wait.
+        std::lock_guard<std::mutex> lock(s->mutex);
+        s->all_done.notify_all();
+      }
+    }
+  };
+
+  for (size_t i = 0; i < size(); ++i) {
+    Submit([state, run_chunks] { run_chunks(state); });
+  }
+  // The caller participates: nested ParallelFor calls from inside tasks
+  // therefore finish even when every worker is occupied.
+  run_chunks(state);
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->done_chunks.load(std::memory_order_acquire) == state->chunks;
+  });
+}
+
+std::pair<size_t, size_t> ShardRange(size_t n, size_t shard, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  size_t base = n / num_shards;
+  size_t extra = n % num_shards;
+  size_t begin = shard * base + std::min(shard, extra);
+  size_t size = base + (shard < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+}  // namespace sqlog::util

@@ -1,0 +1,96 @@
+#ifndef SQLOG_UTIL_THREAD_POOL_H_
+#define SQLOG_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sqlog::util {
+
+/// Resolves a requested thread count: 0 means "one per hardware thread"
+/// (with a floor of 1 when the runtime cannot tell), anything else is
+/// taken literally.
+size_t ResolveThreadCount(size_t requested);
+
+/// A fixed-size worker pool. Workers are started in the constructor and
+/// joined in the destructor; queued tasks submitted before destruction
+/// are drained first, so shutdown never drops work. The pool itself
+/// never throws and never lets a task exception escape (library code is
+/// exception-free by design rule).
+///
+/// `ParallelFor` is cooperative: the calling thread executes chunks
+/// alongside the workers, so a pool of N workers yields N+1 executing
+/// threads during a ParallelFor, and nested ParallelFor calls from
+/// inside a task make progress even when every worker is busy (the
+/// nested caller chews through its own chunks instead of blocking).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 resolves via ResolveThreadCount).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding cooperative callers).
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Safe to call from worker threads.
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(begin, end)` over [begin, end) split into chunks of at
+  /// least `min_grain` indices. Chunks are claimed dynamically by the
+  /// workers and by the calling thread; the call returns when every
+  /// index has been processed. With an empty range it returns
+  /// immediately. `body` must be safe to invoke concurrently on
+  /// disjoint ranges.
+  void ParallelFor(size_t begin, size_t end, size_t min_grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+/// Returns the half-open index range of shard `shard` when [0, n) is cut
+/// into `num_shards` contiguous, near-equal slices (first `n %
+/// num_shards` shards get one extra element). Deterministic: merging
+/// shard results in shard order visits every index in order.
+std::pair<size_t, size_t> ShardRange(size_t n, size_t shard, size_t num_shards);
+
+/// Map step of a sharded map-reduce: cuts [0, n) into `num_shards`
+/// contiguous shards, runs `fn(shard, begin, end)` for each — in
+/// parallel when `pool` is non-null, serially otherwise — and returns
+/// the per-shard results indexed by shard, ready for a deterministic
+/// in-order reduce. `fn` must not touch state shared across shards.
+template <typename ResultT, typename Fn>
+std::vector<ResultT> MapShards(ThreadPool* pool, size_t n, size_t num_shards, Fn fn) {
+  if (num_shards == 0) num_shards = 1;
+  std::vector<ResultT> results(num_shards);
+  auto run_shard = [&](size_t shard) {
+    auto [begin, end] = ShardRange(n, shard, num_shards);
+    results[shard] = fn(shard, begin, end);
+  };
+  if (pool == nullptr || num_shards == 1) {
+    for (size_t shard = 0; shard < num_shards; ++shard) run_shard(shard);
+  } else {
+    pool->ParallelFor(0, num_shards, 1, [&](size_t first, size_t last) {
+      for (size_t shard = first; shard < last; ++shard) run_shard(shard);
+    });
+  }
+  return results;
+}
+
+}  // namespace sqlog::util
+
+#endif  // SQLOG_UTIL_THREAD_POOL_H_

@@ -29,7 +29,7 @@ class IntegrationTest : public ::testing::Test {
     schema_ = new catalog::Schema(catalog::MakeSkyServerSchema());
     core::Pipeline pipeline;
     pipeline.SetSchema(schema_);
-    result_ = new core::PipelineResult(pipeline.Run(*raw_));
+    result_ = new core::PipelineResult(pipeline.Run(*raw_).value());
   }
 
   static void TearDownTestSuite() {
@@ -118,14 +118,14 @@ TEST_F(IntegrationTest, RecleaningConverges) {
   // must be small and a second pass must drive it to near zero.
   core::Pipeline pipeline;
   pipeline.SetSchema(schema_);
-  core::PipelineResult second = pipeline.Run(result_->clean_log);
+  core::PipelineResult second = pipeline.Run(result_->clean_log).value();
   uint64_t residual1 = second.stats.queries_dw + second.stats.queries_ds +
                        second.stats.queries_df;
   double share1 = static_cast<double>(residual1) /
                   static_cast<double>(result_->clean_log.size());
   EXPECT_LT(share1, 0.06) << "first-pass residual too high";
 
-  core::PipelineResult third = pipeline.Run(second.clean_log);
+  core::PipelineResult third = pipeline.Run(second.clean_log).value();
   uint64_t residual2 =
       third.stats.queries_dw + third.stats.queries_ds + third.stats.queries_df;
   double share2 = static_cast<double>(residual2) /
@@ -162,7 +162,7 @@ TEST_F(IntegrationTest, TopPatternsAfterCleaningAreNotAntipatterns) {
   // clean (the paper: all top-40 patterns are meaningful after cleaning).
   core::Pipeline pipeline;
   pipeline.SetSchema(schema_);
-  core::PipelineResult second = pipeline.Run(result_->clean_log);
+  core::PipelineResult second = pipeline.Run(result_->clean_log).value();
   size_t top = std::min<size_t>(10, second.patterns.size());
   for (size_t i = 0; i < top; ++i) {
     EXPECT_FALSE(second.PatternIsAntipattern(i, /*solvable_only=*/true))

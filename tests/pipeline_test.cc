@@ -50,7 +50,9 @@ PipelineResult RunCrafted(PipelineOptions options = {}) {
   options.detector.cth_min_support = 1;
   Pipeline pipeline(options);
   pipeline.SetSchema(&schema);
-  return pipeline.Run(CraftedLog());
+  Result<PipelineResult> result = pipeline.Run(CraftedLog());
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
 }
 
 TEST(PipelineTest, StatsReflectEveryStage) {
@@ -142,7 +144,7 @@ TEST(PipelineTest, InputLogIsNotModified) {
 
 TEST(PipelineTest, EmptyLog) {
   Pipeline pipeline;
-  PipelineResult result = pipeline.Run(log::QueryLog{});
+  PipelineResult result = pipeline.Run(log::QueryLog{}).value();
   EXPECT_EQ(result.stats.original_size, 0u);
   EXPECT_EQ(result.stats.final_size, 0u);
   EXPECT_TRUE(result.patterns.empty());
@@ -167,14 +169,14 @@ TEST(PipelineTest, ExtraCleanPassesReachFixpoint) {
   single.miner.min_support = 1;
   Pipeline pipeline_single(single);
   pipeline_single.SetSchema(&schema);
-  PipelineResult one_pass = pipeline_single.Run(raw);
+  PipelineResult one_pass = pipeline_single.Run(raw).value();
   EXPECT_EQ(one_pass.stats.final_size, 3u);  // three merged DS statements
 
   PipelineOptions multi = single;
   multi.extra_clean_passes = 3;
   Pipeline pipeline_multi(multi);
   pipeline_multi.SetSchema(&schema);
-  PipelineResult fixpoint = pipeline_multi.Run(raw);
+  PipelineResult fixpoint = pipeline_multi.Run(raw).value();
   // The three merged statements share SELECT/FROM and differ in WHERE —
   // a DW run the second pass merges into one IN query.
   EXPECT_EQ(fixpoint.stats.final_size, 1u);
@@ -189,8 +191,102 @@ TEST(PipelineTest, WithoutSchemaKeyAxiomIsSkipped) {
   PipelineOptions options;
   options.miner.min_support = 1;
   Pipeline pipeline(options);
-  PipelineResult result = pipeline.Run(raw);
+  PipelineResult result = pipeline.Run(raw).value();
   EXPECT_EQ(result.stats.queries_dw, 2u);
+}
+
+TEST(PipelineTest, RunRejectsInvalidOptions) {
+  PipelineOptions options;
+  options.miner.max_length = 0;
+  Pipeline pipeline(options);
+  Result<PipelineResult> result = pipeline.Run(CraftedLog());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineTest, ParseFailuresBecomeCountedDiagnostics) {
+  PipelineResult result = RunCrafted();
+  // CraftedLog carries exactly one broken statement.
+  EXPECT_EQ(result.stats.syntax_error_count, 1u);
+  ASSERT_EQ(result.stats.parse_diagnostics.size(), 1u);
+  const ParseDiagnostic& diagnostic = result.stats.parse_diagnostics[0];
+  EXPECT_EQ(result.pre_clean.records()[diagnostic.record_index].statement,
+            "SELECT broken FROM");
+  EXPECT_FALSE(diagnostic.message.empty());
+}
+
+TEST(PipelineTest, DiagnosticCapBoundsSamplesNotCounts) {
+  log::QueryLog raw;
+  for (int i = 0; i < 8; ++i) {
+    raw.Append(Make(1000 + i * 100000, "u", StrFormat("SELECT broken%d FROM", i)));
+  }
+  raw.Renumber();
+  PipelineOptions options;
+  options.max_parse_diagnostics = 3;
+  Pipeline pipeline(options);
+  PipelineResult result = pipeline.Run(raw).value();
+  EXPECT_EQ(result.stats.syntax_error_count, 8u);
+  ASSERT_EQ(result.stats.parse_diagnostics.size(), 3u);
+  // Samples are the *first* failures in record order.
+  EXPECT_EQ(result.stats.parse_diagnostics[0].record_index, 0u);
+  EXPECT_EQ(result.stats.parse_diagnostics[2].record_index, 2u);
+}
+
+TEST(PipelineBuilderTest, BuildsConfiguredPipeline) {
+  static catalog::Schema schema = catalog::MakeSkyServerSchema();
+  MinerOptions miner;
+  miner.min_support = 1;
+  DetectorOptions detector;
+  detector.cth_min_support = 1;
+  auto pipeline = PipelineBuilder()
+                      .WithSchema(&schema)
+                      .WithMiner(miner)
+                      .WithDetector(std::move(detector))
+                      .NumThreads(2)
+                      .ExtraCleanPasses(1)
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_EQ(pipeline->options().num_threads, 2u);
+  EXPECT_EQ(pipeline->options().extra_clean_passes, 1u);
+  PipelineResult result = pipeline->Run(CraftedLog()).value();
+  EXPECT_EQ(result.stats.final_size, 4u);
+  // The schema made it through the builder: Def. 11's key axiom held, so
+  // the DW run over objid was detected.
+  EXPECT_EQ(result.stats.queries_dw, 4u);
+}
+
+TEST(PipelineBuilderTest, RejectsNegativeDedupThreshold) {
+  DedupOptions dedup;
+  dedup.threshold_ms = -5;
+  auto pipeline = PipelineBuilder().WithDedup(dedup).Build();
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(pipeline.status().message().find("threshold_ms"), std::string::npos);
+}
+
+TEST(PipelineBuilderTest, RejectsZeroLengthMinerNGram) {
+  MinerOptions miner;
+  miner.max_length = 0;
+  auto pipeline = PipelineBuilder().WithMiner(miner).Build();
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(pipeline.status().message().find("max_length"), std::string::npos);
+}
+
+TEST(PipelineBuilderTest, RejectsOutOfRangeSwsFraction) {
+  SwsOptions sws;
+  sws.frequency_fraction = 1.5;
+  auto pipeline = PipelineBuilder().WithSws(sws).Build();
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineBuilderTest, RejectsDetectHookLessCustomRule) {
+  DetectorOptions detector;
+  detector.custom_rules.push_back(CustomRule{});  // no detect hook
+  auto pipeline = PipelineBuilder().WithDetector(std::move(detector)).Build();
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -81,8 +81,8 @@ TEST(RoundTripPropertyTest, PipelineIsDeterministic) {
   catalog::Schema schema = catalog::MakeSkyServerSchema();
   core::Pipeline pipeline;
   pipeline.SetSchema(&schema);
-  core::PipelineResult a = pipeline.Run(raw);
-  core::PipelineResult b = pipeline.Run(raw);
+  core::PipelineResult a = pipeline.Run(raw).value();
+  core::PipelineResult b = pipeline.Run(raw).value();
 
   EXPECT_EQ(a.stats.final_size, b.stats.final_size);
   EXPECT_EQ(a.stats.pattern_count, b.stats.pattern_count);
@@ -110,7 +110,7 @@ TEST_P(SeedSweepTest, PipelineInvariantsHoldAcrossSeeds) {
   catalog::Schema schema = catalog::MakeSkyServerSchema();
   core::Pipeline pipeline;
   pipeline.SetSchema(&schema);
-  core::PipelineResult result = pipeline.Run(raw);
+  core::PipelineResult result = pipeline.Run(raw).value();
 
   // Structural invariants that must hold for any workload.
   const auto& stats = result.stats;

@@ -69,7 +69,7 @@ class RulePipelineTest : public ::testing::Test {
     static catalog::Schema schema = catalog::MakeSkyServerSchema();
     Pipeline pipeline(options);
     pipeline.SetSchema(&schema);
-    return pipeline.Run(raw);
+    return pipeline.Run(raw).value();
   }
 };
 
@@ -105,7 +105,7 @@ TEST_F(RulePipelineTest, SolvableCustomRuleRewritesInPlace) {
   // rule's rewrite must win or be identical — verify final text.
   options.detector.custom_rules = {MakeSncRule()};
   Pipeline pipeline(options);
-  PipelineResult result = pipeline.Run(raw);
+  PipelineResult result = pipeline.Run(raw).value();
   ASSERT_EQ(result.clean_log.size(), 1u);
   EXPECT_EQ(result.clean_log.records()[0].statement,
             "select * from bugs where assigned_to is null");

@@ -1,0 +1,115 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace sqlog::util {
+namespace {
+
+TEST(ResolveThreadCountTest, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(7), 7u);
+}
+
+TEST(ShardRangeTest, ShardsAreContiguousAndCoverEverything) {
+  for (size_t n : {0u, 1u, 7u, 8u, 100u}) {
+    for (size_t shards : {1u, 3u, 8u, 13u}) {
+      size_t expected_begin = 0;
+      for (size_t s = 0; s < shards; ++s) {
+        auto [begin, end] = ShardRange(n, s, shards);
+        EXPECT_EQ(begin, expected_begin) << "n=" << n << " shards=" << shards;
+        EXPECT_LE(begin, end);
+        // Near-equal: sizes differ by at most one.
+        EXPECT_LE(end - begin, n / shards + 1);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&executed] { executed.fetch_add(1); });
+    }
+    // Destructor runs here: every queued task must still execute.
+  }
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, ImmediateShutdownIsClean) {
+  ThreadPool pool(4);
+  // No tasks at all — destruction alone must not hang or crash.
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeReturnsImmediately) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  pool.ParallelFor(0, kN, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWorksWithZeroWorkers) {
+  // A pool of 0 workers degenerates to the caller doing all chunks.
+  ThreadPool pool(0);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(0, 100, 10, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Every outer chunk issues an inner ParallelFor on the same pool. The
+  // cooperative design (callers execute chunks themselves) guarantees
+  // progress even when all workers sit inside outer chunks.
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 200;
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(0, kOuter, 1, [&](size_t begin, size_t end) {
+    for (size_t o = begin; o < end; ++o) {
+      pool.ParallelFor(0, kInner, 16, [&](size_t ib, size_t ie) {
+        total.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(MapShardsTest, SerialAndParallelProduceIdenticalShardResults) {
+  constexpr size_t kN = 1000;
+  auto shard_sum = [](size_t, size_t begin, size_t end) {
+    size_t sum = 0;
+    for (size_t i = begin; i < end; ++i) sum += i;
+    return sum;
+  };
+  std::vector<size_t> serial = MapShards<size_t>(nullptr, kN, 8, shard_sum);
+  ThreadPool pool(3);
+  std::vector<size_t> parallel = MapShards<size_t>(&pool, kN, 8, shard_sum);
+  EXPECT_EQ(serial, parallel);
+  size_t total = std::accumulate(serial.begin(), serial.end(), size_t{0});
+  EXPECT_EQ(total, kN * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace sqlog::util

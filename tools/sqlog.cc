@@ -15,13 +15,11 @@
 #include <cstring>
 #include <string>
 
+#include "sqlog.h"
+
 #include "analysis/clustering.h"
 #include "analysis/describe.h"
 #include "analysis/recommender.h"
-#include "catalog/schema.h"
-#include "core/pipeline.h"
-#include "log/generator.h"
-#include "log/log_io.h"
 
 namespace {
 
@@ -44,11 +42,14 @@ int Usage() {
 
 Result<log::QueryLog> Load(const char* path) { return log::LogIo::ReadFile(path); }
 
-core::PipelineResult RunPipeline(const log::QueryLog& raw) {
+Result<core::PipelineResult> RunPipeline(const log::QueryLog& raw) {
   static catalog::Schema schema = catalog::MakeSkyServerSchema();
-  core::Pipeline pipeline;
-  pipeline.SetSchema(&schema);
-  return pipeline.Run(raw);
+  auto pipeline = core::PipelineBuilder()
+                      .WithSchema(&schema)
+                      .NumThreads(0)  // CLI batch work: use every core
+                      .Build();
+  SQLOG_RETURN_IF_ERROR_R(pipeline.status());
+  return pipeline->Run(raw);
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -73,7 +74,12 @@ int CmdClean(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
     return 1;
   }
-  core::PipelineResult result = RunPipeline(*raw);
+  auto run = RunPipeline(*raw);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  core::PipelineResult& result = *run;
   std::printf("%s\n", result.stats.ToTable().c_str());
   std::string prefix = argv[1];
   for (const auto& [suffix, log] :
@@ -97,7 +103,12 @@ int CmdStats(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
     return 1;
   }
-  core::PipelineResult result = RunPipeline(*raw);
+  auto run = RunPipeline(*raw);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  core::PipelineResult& result = *run;
   std::printf("%s", result.stats.ToTable().c_str());
   return 0;
 }
@@ -110,7 +121,12 @@ int CmdPatterns(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
     return 1;
   }
-  core::PipelineResult result = RunPipeline(*raw);
+  auto run = RunPipeline(*raw);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  core::PipelineResult& result = *run;
   std::printf("%-4s %-10s %-6s %-4s %s\n", "#", "freq", "users", "AP?", "description");
   for (size_t i = 0; i < result.patterns.size() && i < k; ++i) {
     const auto& pattern = result.patterns[i];
@@ -132,7 +148,12 @@ int CmdAntipatterns(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
     return 1;
   }
-  core::PipelineResult result = RunPipeline(*raw);
+  auto run = RunPipeline(*raw);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  core::PipelineResult& result = *run;
   auto distinct = result.antipatterns.distinct;
   std::sort(distinct.begin(), distinct.end(),
             [](const auto& a, const auto& b) { return a.query_count > b.query_count; });
@@ -182,7 +203,12 @@ int CmdRecommend(int argc, char** argv) {
   }
   // Train on the cleaned log so suggestions are antipattern-free
   // (exactly the setup the paper's future work argues for).
-  core::PipelineResult result = RunPipeline(*raw);
+  auto run = RunPipeline(*raw);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  core::PipelineResult& result = *run;
   core::TemplateStore clean_store;
   core::ParsedLog clean_parsed = core::ParseLog(result.clean_log, clean_store);
   analysis::Recommender model;
