@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2a_topk"
+  "../bench/bench_fig2a_topk.pdb"
+  "CMakeFiles/bench_fig2a_topk.dir/bench_fig2a_topk.cc.o"
+  "CMakeFiles/bench_fig2a_topk.dir/bench_fig2a_topk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

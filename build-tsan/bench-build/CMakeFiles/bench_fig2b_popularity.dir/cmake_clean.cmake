@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2b_popularity"
+  "../bench/bench_fig2b_popularity.pdb"
+  "CMakeFiles/bench_fig2b_popularity.dir/bench_fig2b_popularity.cc.o"
+  "CMakeFiles/bench_fig2b_popularity.dir/bench_fig2b_popularity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2c_metadata"
+  "../bench/bench_fig2c_metadata.pdb"
+  "CMakeFiles/bench_fig2c_metadata.dir/bench_fig2c_metadata.cc.o"
+  "CMakeFiles/bench_fig2c_metadata.dir/bench_fig2c_metadata.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

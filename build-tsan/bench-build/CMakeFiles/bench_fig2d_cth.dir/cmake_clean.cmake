@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2d_cth"
+  "../bench/bench_fig2d_cth.pdb"
+  "CMakeFiles/bench_fig2d_cth.dir/bench_fig2d_cth.cc.o"
+  "CMakeFiles/bench_fig2d_cth.dir/bench_fig2d_cth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2d_cth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_clustering"
+  "../bench/bench_fig3_clustering.pdb"
+  "CMakeFiles/bench_fig3_clustering.dir/bench_fig3_clustering.cc.o"
+  "CMakeFiles/bench_fig3_clustering.dir/bench_fig3_clustering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_cluster_sizes"
+  "../bench/bench_fig4_cluster_sizes.pdb"
+  "CMakeFiles/bench_fig4_cluster_sizes.dir/bench_fig4_cluster_sizes.cc.o"
+  "CMakeFiles/bench_fig4_cluster_sizes.dir/bench_fig4_cluster_sizes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cluster_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

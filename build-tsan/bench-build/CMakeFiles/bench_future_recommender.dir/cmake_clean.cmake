@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_future_recommender"
+  "../bench/bench_future_recommender.pdb"
+  "CMakeFiles/bench_future_recommender.dir/bench_future_recommender.cc.o"
+  "CMakeFiles/bench_future_recommender.dir/bench_future_recommender.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

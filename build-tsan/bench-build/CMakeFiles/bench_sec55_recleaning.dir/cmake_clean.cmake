@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec55_recleaning"
+  "../bench/bench_sec55_recleaning.pdb"
+  "CMakeFiles/bench_sec55_recleaning.dir/bench_sec55_recleaning.cc.o"
+  "CMakeFiles/bench_sec55_recleaning.dir/bench_sec55_recleaning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec55_recleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec63_runtime"
+  "../bench/bench_sec63_runtime.pdb"
+  "CMakeFiles/bench_sec63_runtime.dir/bench_sec63_runtime.cc.o"
+  "CMakeFiles/bench_sec63_runtime.dir/bench_sec63_runtime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

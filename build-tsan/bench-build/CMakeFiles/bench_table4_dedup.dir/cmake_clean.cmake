@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_dedup"
+  "../bench/bench_table4_dedup.pdb"
+  "CMakeFiles/bench_table4_dedup.dir/bench_table4_dedup.cc.o"
+  "CMakeFiles/bench_table4_dedup.dir/bench_table4_dedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_antipatterns"
+  "../bench/bench_table6_antipatterns.pdb"
+  "CMakeFiles/bench_table6_antipatterns.dir/bench_table6_antipatterns.cc.o"
+  "CMakeFiles/bench_table6_antipatterns.dir/bench_table6_antipatterns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_antipatterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_patterns"
+  "../bench/bench_table7_patterns.pdb"
+  "CMakeFiles/bench_table7_patterns.dir/bench_table7_patterns.cc.o"
+  "CMakeFiles/bench_table7_patterns.dir/bench_table7_patterns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_sws"
+  "../bench/bench_table8_sws.pdb"
+  "CMakeFiles/bench_table8_sws.dir/bench_table8_sws.cc.o"
+  "CMakeFiles/bench_table8_sws.dir/bench_table8_sws.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_sws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clean_log_file.dir/clean_log_file.cpp.o"
+  "CMakeFiles/clean_log_file.dir/clean_log_file.cpp.o.d"
+  "clean_log_file"
+  "clean_log_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clean_log_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_rules_lint.dir/custom_rules_lint.cpp.o"
+  "CMakeFiles/custom_rules_lint.dir/custom_rules_lint.cpp.o.d"
+  "custom_rules_lint"
+  "custom_rules_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_rules_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

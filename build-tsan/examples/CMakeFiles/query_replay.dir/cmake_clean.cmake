@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_replay.dir/query_replay.cpp.o"
+  "CMakeFiles/query_replay.dir/query_replay.cpp.o.d"
+  "query_replay"
+  "query_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

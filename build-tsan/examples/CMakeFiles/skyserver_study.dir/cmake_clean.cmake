@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyserver_study.dir/skyserver_study.cpp.o"
+  "CMakeFiles/skyserver_study.dir/skyserver_study.cpp.o.d"
+  "skyserver_study"
+  "skyserver_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyserver_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

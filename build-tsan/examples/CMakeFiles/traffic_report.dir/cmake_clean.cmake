@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_report.dir/traffic_report.cpp.o"
+  "CMakeFiles/traffic_report.dir/traffic_report.cpp.o.d"
+  "traffic_report"
+  "traffic_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_interest_clustering.dir/user_interest_clustering.cpp.o"
+  "CMakeFiles/user_interest_clustering.dir/user_interest_clustering.cpp.o.d"
+  "user_interest_clustering"
+  "user_interest_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_interest_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clustering.cc" "src/CMakeFiles/sqlog.dir/analysis/clustering.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/analysis/clustering.cc.o.d"
+  "/root/repo/src/analysis/dataspace.cc" "src/CMakeFiles/sqlog.dir/analysis/dataspace.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/analysis/dataspace.cc.o.d"
+  "/root/repo/src/analysis/describe.cc" "src/CMakeFiles/sqlog.dir/analysis/describe.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/analysis/describe.cc.o.d"
+  "/root/repo/src/analysis/recommender.cc" "src/CMakeFiles/sqlog.dir/analysis/recommender.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/analysis/recommender.cc.o.d"
+  "/root/repo/src/analysis/sessions.cc" "src/CMakeFiles/sqlog.dir/analysis/sessions.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/analysis/sessions.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/sqlog.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/core/antipattern.cc" "src/CMakeFiles/sqlog.dir/core/antipattern.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/core/antipattern.cc.o.d"
+  "/root/repo/src/core/dedup.cc" "src/CMakeFiles/sqlog.dir/core/dedup.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/core/dedup.cc.o.d"
+  "/root/repo/src/core/pattern_miner.cc" "src/CMakeFiles/sqlog.dir/core/pattern_miner.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/core/pattern_miner.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/sqlog.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/rules.cc" "src/CMakeFiles/sqlog.dir/core/rules.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/core/rules.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/CMakeFiles/sqlog.dir/core/solver.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/core/solver.cc.o.d"
+  "/root/repo/src/core/statistics.cc" "src/CMakeFiles/sqlog.dir/core/statistics.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/core/statistics.cc.o.d"
+  "/root/repo/src/core/sws.cc" "src/CMakeFiles/sqlog.dir/core/sws.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/core/sws.cc.o.d"
+  "/root/repo/src/core/template_store.cc" "src/CMakeFiles/sqlog.dir/core/template_store.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/core/template_store.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/sqlog.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/sqlog.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/CMakeFiles/sqlog.dir/engine/table.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/engine/table.cc.o.d"
+  "/root/repo/src/engine/value.cc" "src/CMakeFiles/sqlog.dir/engine/value.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/engine/value.cc.o.d"
+  "/root/repo/src/log/generator.cc" "src/CMakeFiles/sqlog.dir/log/generator.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/log/generator.cc.o.d"
+  "/root/repo/src/log/log_io.cc" "src/CMakeFiles/sqlog.dir/log/log_io.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/log/log_io.cc.o.d"
+  "/root/repo/src/log/record.cc" "src/CMakeFiles/sqlog.dir/log/record.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/log/record.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/sqlog.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/sqlog.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/sqlog.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/printer.cc" "src/CMakeFiles/sqlog.dir/sql/printer.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/sql/printer.cc.o.d"
+  "/root/repo/src/sql/skeleton.cc" "src/CMakeFiles/sqlog.dir/sql/skeleton.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/sql/skeleton.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/sqlog.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/sqlog.dir/util/status.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/sqlog.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/sqlog.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/sqlog.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

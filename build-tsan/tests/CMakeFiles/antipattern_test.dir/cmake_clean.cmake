@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antipattern_test.dir/antipattern_test.cc.o"
+  "CMakeFiles/antipattern_test.dir/antipattern_test.cc.o.d"
+  "antipattern_test"
+  "antipattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antipattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataspace_test.dir/dataspace_test.cc.o"
+  "CMakeFiles/dataspace_test.dir/dataspace_test.cc.o.d"
+  "dataspace_test"
+  "dataspace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/describe_test.dir/describe_test.cc.o"
+  "CMakeFiles/describe_test.dir/describe_test.cc.o.d"
+  "describe_test"
+  "describe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/describe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_parallel_test.dir/pipeline_parallel_test.cc.o"
+  "CMakeFiles/pipeline_parallel_test.dir/pipeline_parallel_test.cc.o.d"
+  "pipeline_parallel_test"
+  "pipeline_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

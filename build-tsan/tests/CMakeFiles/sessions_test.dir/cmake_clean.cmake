@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessions_test.dir/sessions_test.cc.o"
+  "CMakeFiles/sessions_test.dir/sessions_test.cc.o.d"
+  "sessions_test"
+  "sessions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

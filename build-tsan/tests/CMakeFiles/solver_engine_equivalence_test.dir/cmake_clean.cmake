@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_engine_equivalence_test.dir/solver_engine_equivalence_test.cc.o"
+  "CMakeFiles/solver_engine_equivalence_test.dir/solver_engine_equivalence_test.cc.o.d"
+  "solver_engine_equivalence_test"
+  "solver_engine_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_engine_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sws_test.dir/sws_test.cc.o"
+  "CMakeFiles/sws_test.dir/sws_test.cc.o.d"
+  "sws_test"
+  "sws_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_store_test.dir/template_store_test.cc.o"
+  "CMakeFiles/template_store_test.dir/template_store_test.cc.o.d"
+  "template_store_test"
+  "template_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

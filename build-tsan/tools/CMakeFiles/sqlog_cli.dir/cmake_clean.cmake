@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlog_cli.dir/sqlog.cc.o"
+  "CMakeFiles/sqlog_cli.dir/sqlog.cc.o.d"
+  "sqlog"
+  "sqlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlog_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
