@@ -1,0 +1,33 @@
+// Fuzz harness for the SQL lexer: arbitrary bytes must lex into a
+// well-formed token stream (offsets nondecreasing and in-bounds, one
+// trailing end sentinel) or be rejected with a diagnostic — never
+// crash, hang, or lex nondeterministically.
+//
+// Builds against libFuzzer when the toolchain provides it
+// (-fsanitize=fuzzer); otherwise fuzz/standalone_driver.cc supplies
+// main() with corpus replay and a timed in-process mutation loop.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/sql_mutator.h"
+#include "tests/oracles/oracles.h"
+
+namespace {
+// Statements in real logs are a few KB; a generous cap keeps the lexer
+// harness from spending its budget scanning megabyte monsters.
+constexpr size_t kMaxInput = 1 << 16;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  sqlog::oracle::AbortOnFailure(sqlog::oracle::CheckLexInvariants(input), input);
+  return 0;
+}
+
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned int seed) {
+  return sqlog::fuzz::MutateSqlBuffer(data, size, max_size, seed);
+}

@@ -1,0 +1,36 @@
+// Fuzz harness for the recursive-descent parser: arbitrary bytes must
+// either parse into an AST or yield a ParseError with a non-empty
+// message — never crash (the kMaxParseDepth guard exists because this
+// harness overflowed the stack on kilobyte runs of '(').
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/sql_mutator.h"
+#include "sql/parser.h"
+#include "tests/oracles/oracles.h"
+
+namespace {
+constexpr size_t kMaxInput = 1 << 16;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  auto parsed = sqlog::sql::ParseSelect(input);
+  if (!parsed.ok() && parsed.status().message().empty()) {
+    sqlog::oracle::AbortOnFailure(
+        sqlog::oracle::Fail("parser rejected input without a diagnostic message"),
+        input);
+  }
+  // The lexer invariants must hold on whatever the parser just consumed.
+  sqlog::oracle::AbortOnFailure(sqlog::oracle::CheckLexInvariants(input), input);
+  return 0;
+}
+
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned int seed) {
+  return sqlog::fuzz::MutateSqlBuffer(data, size, max_size, seed);
+}

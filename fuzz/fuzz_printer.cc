@@ -1,0 +1,28 @@
+// Fuzz harness for the canonical printer: any input the parser accepts
+// must survive parse → print → parse as a fixpoint (the canonical
+// reprint parses, and reprinting the reparse is byte-identical), and
+// the non-canonical print must re-parse to the same canonical form.
+// This differential caught the `- -5` → `--5` line-comment fusion bug.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/sql_mutator.h"
+#include "tests/oracles/oracles.h"
+
+namespace {
+constexpr size_t kMaxInput = 1 << 14;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  sqlog::oracle::AbortOnFailure(sqlog::oracle::CheckParsePrintFixpoint(input), input);
+  return 0;
+}
+
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned int seed) {
+  return sqlog::fuzz::MutateSqlBuffer(data, size, max_size, seed);
+}

@@ -1,0 +1,31 @@
+// Fuzz harness for skeleton extraction (paper Def. 4): analysis must be
+// idempotent (the template of a statement equals the template of its
+// canonical reprint) and invariant under whitespace jitter, identifier
+// case flips, and literal-value replacement — the property that makes
+// templates usable as pattern-mining alphabet symbols.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/sql_mutator.h"
+#include "tests/oracles/oracles.h"
+
+namespace {
+constexpr size_t kMaxInput = 1 << 14;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  const uint64_t seed = sqlog::oracle::SeedFromBytes(input);
+  sqlog::oracle::AbortOnFailure(sqlog::oracle::CheckSkeletonIdempotence(input), input);
+  sqlog::oracle::AbortOnFailure(sqlog::oracle::CheckTemplateInvariance(input, seed),
+                                input);
+  return 0;
+}
+
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned int seed) {
+  return sqlog::fuzz::MutateSqlBuffer(data, size, max_size, seed);
+}

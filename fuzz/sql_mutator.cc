@@ -1,0 +1,363 @@
+#include "fuzz/sql_mutator.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "log/generator.h"
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace sqlog::fuzz {
+
+namespace {
+
+using sql::Token;
+using sql::TokenType;
+
+bool IsBareIdentifier(const std::string& text) {
+  if (text.empty()) return false;
+  char first = text[0];
+  bool start_ok = (first >= 'a' && first <= 'z') || (first >= 'A' && first <= 'Z') ||
+                  first == '_' || first == '#';
+  if (!start_ok) return false;
+  for (char c : text) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '$' || c == '#';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string FlipCase(const std::string& text, Rng& rng) {
+  std::string out = text;
+  for (char& c : out) {
+    if (!rng.Chance(0.5)) continue;
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+    else if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string RandomWhitespace(Rng& rng) {
+  static constexpr const char* kRuns[] = {" ", "  ", "\t", "\n", " \t ", "\r\n", "   \n"};
+  return kRuns[rng.Uniform(sizeof(kRuns) / sizeof(kRuns[0]))];
+}
+
+std::string RandomNumber(Rng& rng) {
+  std::string out;
+  size_t digits = 1 + rng.Uniform(6);
+  for (size_t i = 0; i < digits; ++i) out.push_back(static_cast<char>('0' + rng.Uniform(10)));
+  if (rng.Chance(0.25)) {
+    out.push_back('.');
+    out.push_back(static_cast<char>('0' + rng.Uniform(10)));
+  }
+  return out;
+}
+
+std::string RandomStringBody(Rng& rng) {
+  std::string out;
+  size_t len = rng.Uniform(12);
+  for (size_t i = 0; i < len; ++i) out.push_back(static_cast<char>('a' + rng.Uniform(26)));
+  return out;
+}
+
+/// Renders one token back to source text. Identifiers that are not bare
+/// re-quote with `"` (doubling embedded quotes), so bracketed names with
+/// spaces survive the trip.
+std::string RenderToken(const Token& token, Rng& rng, bool mutate_case) {
+  switch (token.type) {
+    case TokenType::kIdentifier:
+      if (IsBareIdentifier(token.text)) {
+        return mutate_case ? FlipCase(token.text, rng) : token.text;
+      } else {
+        std::string out = "\"";
+        for (char c : token.text) {
+          if (c == '"') out += "\"\"";
+          else out.push_back(c);
+        }
+        out.push_back('"');
+        return out;
+      }
+    case TokenType::kVariable:
+      return "@" + (mutate_case ? FlipCase(token.text, rng) : token.text);
+    case TokenType::kNumber:
+      return token.text;
+    case TokenType::kString: {
+      std::string out = "'";
+      for (char c : token.text) {
+        if (c == '\'') out += "''";
+        else out.push_back(c);
+      }
+      out.push_back('\'');
+      return out;
+    }
+    case TokenType::kEnd:
+      return "";
+    default:
+      return sql::TokenTypeName(token.type);
+  }
+}
+
+/// True when `tokens[i]` is the numeric argument of TOP (`top 5` or
+/// `top (5)`), whose value prints concretely in the skeleton and is
+/// therefore part of the template.
+bool IsTopCount(const std::vector<Token>& tokens, size_t i) {
+  if (!tokens[i].Is(TokenType::kNumber)) return false;
+  if (i >= 1 && tokens[i - 1].Is(TokenType::kIdentifier) &&
+      EqualsIgnoreCase(tokens[i - 1].text, "top")) {
+    return true;
+  }
+  return i >= 2 && tokens[i - 1].Is(TokenType::kLParen) &&
+         tokens[i - 2].Is(TokenType::kIdentifier) &&
+         EqualsIgnoreCase(tokens[i - 2].text, "top");
+}
+
+std::string RenderTokens(std::vector<Token> tokens, Rng& rng, bool mutate_literals) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    Token& token = tokens[i];
+    if (token.Is(TokenType::kEnd)) break;
+    if (mutate_literals) {
+      if (token.Is(TokenType::kNumber) && !IsTopCount(tokens, i) && rng.Chance(0.7)) {
+        token.text = RandomNumber(rng);
+      } else if (token.Is(TokenType::kString) && rng.Chance(0.7)) {
+        token.text = RandomStringBody(rng);
+      } else if (token.Is(TokenType::kNotEq) && rng.Chance(0.5)) {
+        token.text = (token.text == "<>") ? "!=" : "<>";
+      }
+    }
+    // A separator between every token pair keeps adjacent tokens from
+    // fusing into comments (`--`, `/*`) or compound operators (`<>`).
+    if (!out.empty()) out += RandomWhitespace(rng);
+    if (token.Is(TokenType::kNotEq)) {
+      out += token.text.empty() ? "<>" : token.text;
+    } else {
+      out += RenderToken(token, rng, /*mutate_case=*/true);
+    }
+  }
+  if (rng.Chance(0.2)) out += RandomWhitespace(rng);
+  if (rng.Chance(0.15)) out += ";";
+  return out;
+}
+
+std::string RenderPreserving(const std::string& sql, Rng& rng, bool mutate_literals) {
+  auto tokens = sql::Lex(sql);
+  if (!tokens.ok()) return sql;
+  return RenderTokens(std::move(tokens.value()), rng, mutate_literals);
+}
+
+// --- destructive mutation ---------------------------------------------------
+
+const char* kKeywords[] = {
+    "select", "from", "where", "group", "by",  "order",    "having", "join",
+    "inner",  "left", "right", "full",  "on",  "and",      "or",     "not",
+    "in",     "like", "is",    "between", "as", "union",   "top",    "distinct",
+    "case",   "when", "then",  "else",  "end", "exists",   "null",   "asc",
+    "desc",   "outer", "cross",
+};
+
+const char* kExtremeLiterals[] = {
+    "999999999999999999999999999",
+    "0x7fffffffffffffff",
+    "1e308",
+    "1e-308",
+    "0.0000000000000001",
+    "''",
+    "'%%%___%%%'",
+    "-0",
+};
+
+Token MakeToken(TokenType type, std::string text) {
+  Token token;
+  token.type = type;
+  token.text = std::move(text);
+  return token;
+}
+
+void TokenHavoc(std::vector<Token>& tokens, Rng& rng) {
+  if (tokens.empty()) return;
+  // Strip the kEnd sentinel while editing.
+  if (tokens.back().Is(TokenType::kEnd)) tokens.pop_back();
+  if (tokens.empty()) return;
+  size_t ops = 1 + rng.Uniform(4);
+  for (size_t op = 0; op < ops && !tokens.empty(); ++op) {
+    size_t pos = rng.Uniform(tokens.size());
+    switch (rng.Uniform(8)) {
+      case 0: {  // delete a short span
+        size_t len = std::min(tokens.size() - pos, size_t{1} + rng.Uniform(3));
+        tokens.erase(tokens.begin() + pos, tokens.begin() + pos + len);
+        break;
+      }
+      case 1: {  // duplicate a short span
+        size_t len = std::min(tokens.size() - pos, size_t{1} + rng.Uniform(3));
+        std::vector<Token> span(tokens.begin() + pos, tokens.begin() + pos + len);
+        tokens.insert(tokens.begin() + pos, span.begin(), span.end());
+        break;
+      }
+      case 2: {  // swap two tokens
+        std::swap(tokens[pos], tokens[rng.Uniform(tokens.size())]);
+        break;
+      }
+      case 3: {  // inject a keyword
+        size_t k = rng.Uniform(sizeof(kKeywords) / sizeof(kKeywords[0]));
+        tokens.insert(tokens.begin() + pos,
+                      MakeToken(TokenType::kIdentifier, kKeywords[k]));
+        break;
+      }
+      case 4: {  // wrap a span in parentheses
+        size_t len = std::min(tokens.size() - pos, size_t{1} + rng.Uniform(5));
+        tokens.insert(tokens.begin() + pos + len, MakeToken(TokenType::kRParen, ")"));
+        tokens.insert(tokens.begin() + pos, MakeToken(TokenType::kLParen, "("));
+        break;
+      }
+      case 5: {  // replace a literal with an extreme value
+        if (tokens[pos].Is(TokenType::kNumber) || tokens[pos].Is(TokenType::kString)) {
+          size_t k = rng.Uniform(sizeof(kExtremeLiterals) / sizeof(kExtremeLiterals[0]));
+          tokens[pos] = MakeToken(TokenType::kNumber, kExtremeLiterals[k]);
+        } else {
+          tokens[pos] = MakeToken(TokenType::kNumber, RandomNumber(rng));
+        }
+        break;
+      }
+      case 6: {  // splice a token range from a seed statement
+        const auto& seeds = SeedStatements();
+        auto donor = sql::Lex(seeds[rng.Uniform(seeds.size())]);
+        if (donor.ok() && donor.value().size() > 1) {
+          auto& dt = donor.value();
+          dt.pop_back();  // kEnd
+          size_t from = rng.Uniform(dt.size());
+          size_t len = std::min(dt.size() - from, size_t{1} + rng.Uniform(6));
+          tokens.insert(tokens.begin() + pos, dt.begin() + from,
+                        dt.begin() + from + len);
+        }
+        break;
+      }
+      case 7: {  // operator shuffle
+        static constexpr TokenType kOps[] = {
+            TokenType::kEq,     TokenType::kNotEq,     TokenType::kLess,
+            TokenType::kLessEq, TokenType::kGreater,   TokenType::kGreaterEq,
+            TokenType::kPlus,   TokenType::kMinus,     TokenType::kStar,
+            TokenType::kSlash,  TokenType::kPercent,   TokenType::kComma,
+            TokenType::kDot,
+        };
+        TokenType t = kOps[rng.Uniform(sizeof(kOps) / sizeof(kOps[0]))];
+        tokens.insert(tokens.begin() + pos, MakeToken(t, sql::TokenTypeName(t)));
+        break;
+      }
+    }
+  }
+}
+
+/// Renders havoc'd tokens with *loose* spacing: separators are usually
+/// emitted but sometimes dropped, so the fuzzer also explores token
+/// fusion (`--` comments, `<>` from `<` + `>`, identifier gluing).
+std::string RenderLoose(const std::vector<Token>& tokens, Rng& rng) {
+  std::string out;
+  for (const Token& token : tokens) {
+    if (token.Is(TokenType::kEnd)) break;
+    if (!out.empty() && !rng.Chance(0.15)) out += RandomWhitespace(rng);
+    out += RenderToken(token, rng, rng.Chance(0.5));
+  }
+  return out;
+}
+
+size_t ByteHavoc(uint8_t* data, size_t size, size_t max_size, Rng& rng) {
+  std::string buf(reinterpret_cast<const char*>(data), size);
+  size_t ops = 1 + rng.Uniform(4);
+  for (size_t op = 0; op < ops; ++op) {
+    switch (rng.Uniform(4)) {
+      case 0:
+        if (!buf.empty()) buf[rng.Uniform(buf.size())] = static_cast<char>(rng.Uniform(256));
+        break;
+      case 1:
+        buf.insert(buf.begin() + rng.Uniform(buf.size() + 1),
+                   static_cast<char>(rng.Uniform(128)));
+        break;
+      case 2:
+        if (!buf.empty()) {
+          size_t pos = rng.Uniform(buf.size());
+          size_t len = std::min(buf.size() - pos, size_t{1} + rng.Uniform(8));
+          buf.erase(pos, len);
+        }
+        break;
+      case 3:
+        if (!buf.empty()) {
+          size_t pos = rng.Uniform(buf.size());
+          size_t len = std::min(buf.size() - pos, size_t{1} + rng.Uniform(8));
+          buf.insert(pos, buf.substr(pos, len));
+        }
+        break;
+    }
+  }
+  size_t out_size = std::min(buf.size(), max_size);
+  std::memcpy(data, buf.data(), out_size);
+  return out_size;
+}
+
+}  // namespace
+
+std::string MutatePreservingCanonicalForm(const std::string& sql, Rng& rng) {
+  return RenderPreserving(sql, rng, /*mutate_literals=*/false);
+}
+
+std::string MutatePreservingTemplate(const std::string& sql, Rng& rng) {
+  return RenderPreserving(sql, rng, /*mutate_literals=*/true);
+}
+
+size_t MutateSqlBuffer(uint8_t* data, size_t size, size_t max_size, unsigned seed) {
+  if (max_size == 0) return 0;
+  uint64_t state = 0x9e3779b97f4a7c15ULL ^ seed;
+  for (size_t i = 0; i < size; ++i) state = (state ^ data[i]) * 0x100000001b3ULL;
+  Rng rng(state);
+
+  std::string input(reinterpret_cast<const char*>(data), size);
+  auto tokens = sql::Lex(input);
+  if (!tokens.ok() || tokens.value().size() <= 1 || rng.Chance(0.2)) {
+    // Not lexable (or occasionally on purpose): byte-level havoc keeps
+    // the lexer's error paths under pressure too.
+    return ByteHavoc(data, size, max_size, rng);
+  }
+
+  std::vector<Token> stream = std::move(tokens.value());
+  TokenHavoc(stream, rng);
+  std::string out = RenderLoose(stream, rng);
+  if (out.empty()) out = SeedStatements()[rng.Uniform(SeedStatements().size())];
+  size_t out_size = std::min(out.size(), max_size);
+  std::memcpy(data, out.data(), out_size);
+  return out_size;
+}
+
+const std::vector<std::string>& SeedStatements() {
+  static const std::vector<std::string>* kSeeds = [] {
+    auto* seeds = new std::vector<std::string>();
+    // A tiny run of the deterministic workload generator covers every
+    // family emitter: spatial functions, Stifle shapes, CTH follow-ups,
+    // SWS windows, SNC mistakes, plus noise and broken statements.
+    log::GeneratorConfig config;
+    config.seed = 20180416;
+    config.target_statements = 400;
+    config.cth_families = 6;
+    config.human_users = 40;
+    std::set<std::string> unique;
+    const log::QueryLog generated = log::GenerateLog(config);
+    for (const auto& record : generated.records()) {
+      unique.insert(record.statement);
+    }
+    seeds->assign(unique.begin(), unique.end());
+    // Hand-written shapes that the generator does not emit.
+    seeds->push_back("SELECT a, b FROM t WHERE a = 0 AND b >= 3");
+    seeds->push_back("SELECT top (5) * FROM g JOIN s ON g.id = s.id ORDER BY g.r DESC");
+    seeds->push_back("SELECT CASE x WHEN 1 THEN 'a' ELSE 'b' END FROM t");
+    seeds->push_back("SELECT x FROM (SELECT y AS x FROM u) d WHERE EXISTS "
+                     "(SELECT 1 FROM v WHERE v.id = d.x)");
+    seeds->push_back("SELECT - -5, NOT NOT a, [bracketed name].\"quoted id\" FROM "
+                     "[Schema Name].t AS alias");
+    seeds->push_back("SELECT count(distinct u) FROM t WHERE s LIKE 'x%' AND r "
+                     "BETWEEN 1 AND 2 OR q IN (1, 2, 3) ;");
+    return seeds;
+  }();
+  return *kSeeds;
+}
+
+}  // namespace sqlog::fuzz

@@ -1,0 +1,43 @@
+#ifndef SQLOG_FUZZ_SQL_MUTATOR_H_
+#define SQLOG_FUZZ_SQL_MUTATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sqlog::fuzz {
+
+/// Re-renders the token stream of `sql` with randomized whitespace
+/// (spaces, tabs, newlines between every token pair) and randomized
+/// identifier / keyword / variable casing. Lexing, parsing, the
+/// canonical print, and the skeleton template are all invariant under
+/// this mutation. Returns the input unchanged when it does not lex.
+std::string MutatePreservingCanonicalForm(const std::string& sql, Rng& rng);
+
+/// As above, and additionally replaces literal values: numeric literals
+/// get fresh digits, string literals fresh content, and `!=` / `<>`
+/// swap spelling. The *canonical* print may change, but the skeleton
+/// template (Def. 4) is invariant — literals collapse to placeholders.
+/// The numeric argument of TOP is left alone (TOP counts print
+/// concretely in the skeleton, so they are part of the template).
+std::string MutatePreservingTemplate(const std::string& sql, Rng& rng);
+
+/// Structure-aware destructive mutation for fuzzing: lexes the buffer
+/// and applies token-level havoc (span deletion/duplication/swap,
+/// keyword injection, paren wrapping, literal extremes, splicing from
+/// seed statements), falling back to byte-level havoc when the buffer
+/// does not lex. Mutates `data` in place; returns the new size
+/// (<= max_size). Deterministic in (data, size, max_size, seed).
+size_t MutateSqlBuffer(uint8_t* data, size_t size, size_t max_size, unsigned seed);
+
+/// Deterministic seed statements covering the synthetic generator's
+/// statement shapes (spatial functions, Stifle runs, CTH follow-ups,
+/// SWS windows, human ad-hoc queries) — the fuzzers' starting corpus.
+const std::vector<std::string>& SeedStatements();
+
+}  // namespace sqlog::fuzz
+
+#endif  // SQLOG_FUZZ_SQL_MUTATOR_H_

@@ -10,7 +10,11 @@ namespace sqlog::sql {
 namespace {
 
 /// Recursive-descent parser over the token stream. Keywords are matched
-/// case-insensitively against identifier tokens.
+/// case-insensitively against identifier tokens. Recursion is bounded by
+/// kMaxParseDepth: every production that re-enters the expression /
+/// statement / FROM grammar holds a DepthGuard while it is open, so
+/// pathological input (fuzzer-style runs of '(' or NOT) yields a
+/// ParseError instead of overflowing the stack.
 class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
@@ -79,6 +83,28 @@ class Parser {
                   Peek().text.c_str()));
   }
 
+  // --- recursion depth ------------------------------------------------------
+
+  /// Counts simultaneously open nesting productions while in scope.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(int& depth) : depth_(depth) { ++depth_; }
+    ~DepthGuard() { --depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    int& depth_;
+  };
+
+  /// Fails once the next nesting production would exceed kMaxParseDepth.
+  Status CheckDepth() const {
+    if (depth_ < kMaxParseDepth) return Status::OK();
+    return Status::ParseError(
+        StrFormat("nesting deeper than %d levels at offset %zu", kMaxParseDepth,
+                  Peek().offset));
+  }
+
   /// Reserved words that terminate expressions / cannot start a primary.
   static bool IsReservedKeyword(const std::string& word) {
     static constexpr const char* kReserved[] = {
@@ -97,6 +123,8 @@ class Parser {
   // --- statement ------------------------------------------------------------
 
   Result<std::unique_ptr<SelectStatement>> ParseSelectCore() {
+    SQLOG_RETURN_IF_ERROR_R(CheckDepth());
+    DepthGuard depth(depth_);
     SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("select"));
     auto stmt = std::make_unique<SelectStatement>();
 
@@ -266,6 +294,8 @@ class Parser {
       }
       // Parenthesized join tree: `(T1 JOIN T2 ON ...)`.
       Advance();
+      SQLOG_RETURN_IF_ERROR_R(CheckDepth());
+      DepthGuard depth(depth_);
       auto inner = ParseFromElement();
       if (!inner.ok()) return inner.status();
       SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
@@ -342,6 +372,8 @@ class Parser {
 
   Result<ExprPtr> ParseNot() {
     if (MatchKeyword("not")) {
+      SQLOG_RETURN_IF_ERROR_R(CheckDepth());
+      DepthGuard depth(depth_);
       auto operand = ParseNot();
       if (!operand.ok()) return operand.status();
       return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand.value())));
@@ -486,13 +518,26 @@ class Parser {
         auto lit = MakeNumberLiteral("-" + Advance().text);
         return ExprPtr(std::move(lit));
       }
+      SQLOG_RETURN_IF_ERROR_R(CheckDepth());
+      DepthGuard depth(depth_);
       auto operand = ParseUnary();
       if (!operand.ok()) return operand.status();
+      // Fold through parens too: `-(1e-308)` must build the same literal
+      // as `-1e-308`, or the two skeletonize differently (fuzz-found).
+      if (operand.value()->kind() == ExprKind::kLiteral) {
+        auto& lit = static_cast<LiteralExpr&>(*operand.value());
+        if (lit.literal_kind == LiteralKind::kNumber) {
+          std::string text = lit.text[0] == '-' ? lit.text.substr(1) : "-" + lit.text;
+          return ExprPtr(MakeNumberLiteral(std::move(text)));
+        }
+      }
       return ExprPtr(
           std::make_unique<UnaryExpr>(UnaryOp::kMinus, std::move(operand.value())));
     }
     if (Check(TokenType::kPlus)) {
       Advance();
+      SQLOG_RETURN_IF_ERROR_R(CheckDepth());
+      DepthGuard depth(depth_);
       auto operand = ParseUnary();
       if (!operand.ok()) return operand.status();
       return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kPlus, std::move(operand.value())));
@@ -522,12 +567,15 @@ class Parser {
         return ExprPtr(std::make_unique<VariableExpr>(std::move(name)));
       }
       case TokenType::kStar:
-        // count(*) routes through FunctionCall args; a bare star here is
-        // a select-list concern, but tolerate it for robustness.
-        Advance();
-        return ExprPtr(std::make_unique<StarExpr>());
+        // count(*) routes through FunctionCall args and bare `*` through
+        // ParseSelectItem; a star in any other expression position (e.g.
+        // `(*)`, fuzz-found) would build an AST whose canonical print
+        // cannot reparse, so reject it here.
+        return Error("'*' is not valid in an expression");
       case TokenType::kLParen: {
         Advance();
+        SQLOG_RETURN_IF_ERROR_R(CheckDepth());
+        DepthGuard depth(depth_);
         if (CheckKeyword("select")) {
           auto sub = ParseSelectCore();
           if (!sub.ok()) return sub.status();
@@ -593,6 +641,8 @@ class Parser {
   }
 
   Result<ExprPtr> ParseCase() {
+    SQLOG_RETURN_IF_ERROR_R(CheckDepth());
+    DepthGuard depth(depth_);
     SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("case"));
     auto node = std::make_unique<CaseExpr>();
     // Simple form: CASE x WHEN v THEN ... → normalized to searched form.
@@ -627,6 +677,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -9,10 +9,20 @@
 
 namespace sqlog::sql {
 
+/// Maximum syntactic nesting depth the parser accepts: simultaneously
+/// open nesting constructs (parenthesized expressions, subqueries,
+/// NOT / unary-sign chains, parenthesized join trees, CASE expressions).
+/// Hostile log input — fuzzing surfaced multi-kilobyte runs of '(' —
+/// would otherwise overflow the recursive-descent parser's stack; past
+/// the limit the statement yields a ParseError like any other broken
+/// input, so the pipeline just drops it.
+inline constexpr int kMaxParseDepth = 64;
+
 /// Parses one SELECT statement of the dialect described in DESIGN.md
 /// into an AST. Trailing semicolons are accepted. Non-SELECT statements
 /// and syntax errors yield a ParseError status — never an exception —
 /// matching the paper's parse step that simply drops such statements.
+/// Nesting beyond kMaxParseDepth is rejected with a ParseError.
 Result<std::unique_ptr<SelectStatement>> ParseSelect(std::string_view statement);
 
 }  // namespace sqlog::sql

@@ -1,5 +1,7 @@
 #include "sql/printer.h"
 
+#include <cctype>
+
 #include "util/string_util.h"
 
 namespace sqlog::sql {
@@ -11,8 +13,37 @@ class Printer {
  public:
   explicit Printer(const PrintOptions& options) : options_(options) {}
 
+  /// True when `name` lexes back as one bare identifier token; names
+  /// from `[bracketed]` / `"quoted"` sources can hold spaces or
+  /// punctuation and must be re-quoted or the print does not reparse
+  /// (found by the parse→print→parse fuzz oracle).
+  static bool LexesBare(const std::string& name) {
+    if (name.empty()) return false;
+    char first = name[0];
+    if (!(std::isalpha(static_cast<unsigned char>(first)) || first == '_' ||
+          first == '#')) {
+      return false;
+    }
+    for (char c : name) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$' ||
+            c == '#')) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   std::string Ident(const std::string& name) const {
-    return options_.canonical ? ToLower(name) : name;
+    std::string text = options_.canonical ? ToLower(name) : name;
+    if (LexesBare(text)) return text;
+    std::string quoted;
+    quoted.push_back('"');
+    for (char c : text) {
+      if (c == '"') quoted.push_back('"');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return quoted;
   }
 
   void PrintExpr(const Expr& expr, std::string& out) const {
@@ -69,8 +100,11 @@ class Printer {
           out += "<num>";  // log variables stand for constants
           return;
         }
+        // Variable names lex as '@' followed by any identifier characters
+        // (digits may lead), so they are printed verbatim — quoting would
+        // produce '@"..."', which does not lex.
         out.push_back('@');
-        out += Ident(var.name);
+        out += options_.canonical ? ToLower(var.name) : var.name;
         return;
       }
       case ExprKind::kFunctionCall: {
@@ -92,33 +126,44 @@ class Printer {
           case UnaryOp::kMinus: out.push_back('-'); break;
           case UnaryOp::kPlus: out.push_back('+'); break;
         }
-        bool parens = unary.operand->kind() == ExprKind::kBinary;
+        std::string operand;
+        PrintExpr(*unary.operand, operand);
+        // An operand that itself starts with '-' (nested unary minus or a
+        // folded negative literal) would fuse with a minus sign into the
+        // line-comment introducer `--`, silently truncating the reparse.
+        // Boolean-level operands under -/+ (only buildable from explicit
+        // parens, e.g. `-(NOT x)`) must keep their parens to reparse.
+        bool parens = unary.operand->kind() == ExprKind::kBinary ||
+                      (unary.op != UnaryOp::kNot &&
+                       IsBooleanLevelNode(*unary.operand)) ||
+                      (unary.op == UnaryOp::kMinus && !operand.empty() &&
+                       operand.front() == '-');
         if (parens) out.push_back('(');
-        PrintExpr(*unary.operand, out);
+        out += operand;
         if (parens) out.push_back(')');
         return;
       }
       case ExprKind::kBinary: {
         const auto& bin = static_cast<const BinaryExpr&>(expr);
-        PrintOperand(*bin.lhs, bin.op, out);
+        PrintOperand(*bin.lhs, bin.op, /*is_rhs=*/false, out);
         out.push_back(' ');
         out += BinaryOpText(bin.op);
         out.push_back(' ');
-        PrintOperand(*bin.rhs, bin.op, out);
+        PrintOperand(*bin.rhs, bin.op, /*is_rhs=*/true, out);
         return;
       }
       case ExprKind::kBetween: {
         const auto& between = static_cast<const BetweenExpr&>(expr);
-        PrintExpr(*between.operand, out);
+        PrintAdditiveOperand(*between.operand, out);
         out += between.negated ? " not between " : " between ";
-        PrintExpr(*between.low, out);
+        PrintAdditiveOperand(*between.low, out);
         out += " and ";
-        PrintExpr(*between.high, out);
+        PrintAdditiveOperand(*between.high, out);
         return;
       }
       case ExprKind::kInList: {
         const auto& in = static_cast<const InListExpr&>(expr);
-        PrintExpr(*in.operand, out);
+        PrintAdditiveOperand(*in.operand, out);
         out += in.negated ? " not in (" : " in (";
         if (options_.placeholders) {
           // A skeleton abstracts the arity of the IN list too; otherwise
@@ -135,7 +180,7 @@ class Printer {
       }
       case ExprKind::kInSubquery: {
         const auto& in = static_cast<const InSubqueryExpr&>(expr);
-        PrintExpr(*in.operand, out);
+        PrintAdditiveOperand(*in.operand, out);
         out += in.negated ? " not in (" : " in (";
         out += PrintStatement(*in.subquery);
         out.push_back(')');
@@ -151,15 +196,15 @@ class Printer {
       }
       case ExprKind::kIsNull: {
         const auto& is_null = static_cast<const IsNullExpr&>(expr);
-        PrintExpr(*is_null.operand, out);
+        PrintAdditiveOperand(*is_null.operand, out);
         out += is_null.negated ? " is not null" : " is null";
         return;
       }
       case ExprKind::kLike: {
         const auto& like = static_cast<const LikeExpr&>(expr);
-        PrintExpr(*like.operand, out);
+        PrintAdditiveOperand(*like.operand, out);
         out += like.negated ? " not like " : " like ";
-        PrintExpr(*like.pattern, out);
+        PrintAdditiveOperand(*like.pattern, out);
         return;
       }
       case ExprKind::kSubquery: {
@@ -373,13 +418,63 @@ class Printer {
     return 0;
   }
 
-  /// Parenthesizes child binary expressions of lower precedence than the
-  /// parent so the printed text re-parses to the same tree.
-  void PrintOperand(const Expr& operand, BinaryOp parent_op, std::string& out) const {
+  /// True for nodes the grammar only accepts at the boolean level,
+  /// directly under NOT/AND/OR: NOT itself and the predicate forms.
+  /// Anywhere an additive-level operand is expected, such a node can only
+  /// have come from explicit source parentheses, and printing it bare
+  /// would not reparse (`ra < not x` is a parse error — fuzz-found).
+  static bool IsBooleanLevelNode(const Expr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::kUnary:
+        return static_cast<const UnaryExpr&>(expr).op == UnaryOp::kNot;
+      case ExprKind::kBetween:
+      case ExprKind::kInList:
+      case ExprKind::kInSubquery:
+      case ExprKind::kExists:
+      case ExprKind::kIsNull:
+      case ExprKind::kLike:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Prints `expr` where the grammar expects an additive-level operand
+  /// (BETWEEN bounds, LIKE patterns, the left operand of a predicate),
+  /// re-parenthesizing boolean-level nodes and binary operators at or
+  /// below comparison precedence — e.g. `(a AND b) BETWEEN c AND d`
+  /// printed bare would reparse as `a AND (b BETWEEN c AND d)`.
+  void PrintAdditiveOperand(const Expr& expr, std::string& out) const {
+    bool parens = IsBooleanLevelNode(expr);
+    if (expr.kind() == ExprKind::kBinary) {
+      parens = Precedence(static_cast<const BinaryExpr&>(expr).op) <=
+               Precedence(BinaryOp::kEq);
+    }
+    if (parens) out.push_back('(');
+    PrintExpr(expr, out);
+    if (parens) out.push_back(')');
+  }
+
+  /// Parenthesizes child binary expressions so the printed text
+  /// re-parses to the same tree: lower precedence than the parent,
+  /// equal precedence on the right of a left-associative parent (the
+  /// parser only builds such trees from explicit parens), and any
+  /// comparison under a comparison — comparisons are non-associative, so
+  /// `objid = (a = b)` printed bare does not reparse (fuzz-found).
+  /// Boolean-level children under a comparison or arithmetic parent
+  /// likewise need their parens back.
+  void PrintOperand(const Expr& operand, BinaryOp parent_op, bool is_rhs,
+                    std::string& out) const {
     bool parens = false;
     if (operand.kind() == ExprKind::kBinary) {
       const auto& child = static_cast<const BinaryExpr&>(operand);
-      parens = Precedence(child.op) < Precedence(parent_op);
+      int child_prec = Precedence(child.op);
+      int parent_prec = Precedence(parent_op);
+      parens = child_prec < parent_prec ||
+               (child_prec == parent_prec &&
+                (is_rhs || Precedence(parent_op) == Precedence(BinaryOp::kEq)));
+    } else if (IsBooleanLevelNode(operand)) {
+      parens = Precedence(parent_op) >= Precedence(BinaryOp::kEq);
     }
     if (parens) out.push_back('(');
     PrintExpr(operand, out);

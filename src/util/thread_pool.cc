@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <memory>
 
 namespace sqlog::util {
@@ -75,8 +76,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
   struct ForState {
     std::atomic<size_t> next_chunk{0};
     std::atomic<size_t> done_chunks{0};
+    std::atomic<bool> cancelled{false};
     std::mutex mutex;
     std::condition_variable all_done;
+    std::exception_ptr error;  // first body exception; guarded by mutex
     size_t begin = 0;
     size_t n = 0;
     size_t chunks = 0;
@@ -92,8 +95,20 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
     for (;;) {
       size_t chunk = s->next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= s->chunks) return;
-      auto [lo, hi] = ShardRange(s->n, chunk, s->chunks);
-      (*s->body)(s->begin + lo, s->begin + hi);
+      // A body that throws cancels the loop: remaining chunks are still
+      // claimed and counted (so the completion wait below terminates)
+      // but their bodies are skipped, and the first exception is
+      // rethrown to the ParallelFor caller once every chunk is retired.
+      if (!s->cancelled.load(std::memory_order_acquire)) {
+        auto [lo, hi] = ShardRange(s->n, chunk, s->chunks);
+        try {
+          (*s->body)(s->begin + lo, s->begin + hi);
+        } catch (...) {
+          s->cancelled.store(true, std::memory_order_release);
+          std::lock_guard<std::mutex> lock(s->mutex);
+          if (!s->error) s->error = std::current_exception();
+        }
+      }
       if (s->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 == s->chunks) {
         // Pair with the caller's wait below; the lock ensures the
         // notification cannot fire between its predicate check and its
@@ -115,6 +130,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
   state->all_done.wait(lock, [&] {
     return state->done_chunks.load(std::memory_order_acquire) == state->chunks;
   });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 std::pair<size_t, size_t> ShardRange(size_t n, size_t shard, size_t num_shards) {

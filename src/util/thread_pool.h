@@ -19,9 +19,13 @@ size_t ResolveThreadCount(size_t requested);
 
 /// A fixed-size worker pool. Workers are started in the constructor and
 /// joined in the destructor; queued tasks submitted before destruction
-/// are drained first, so shutdown never drops work. The pool itself
-/// never throws and never lets a task exception escape (library code is
-/// exception-free by design rule).
+/// are drained first, so shutdown never drops work. Library code is
+/// exception-free by design rule, but user callbacks run through
+/// `ParallelFor` may throw: the first exception cancels the remaining
+/// chunks and is rethrown to the ParallelFor caller — it never kills a
+/// worker thread and never deadlocks the completion wait. Tasks handed
+/// directly to `Submit` must not throw (there is no caller to receive
+/// the exception).
 ///
 /// `ParallelFor` is cooperative: the calling thread executes chunks
 /// alongside the workers, so a pool of N workers yields N+1 executing
@@ -48,7 +52,8 @@ class ThreadPool {
   /// workers and by the calling thread; the call returns when every
   /// index has been processed. With an empty range it returns
   /// immediately. `body` must be safe to invoke concurrently on
-  /// disjoint ranges.
+  /// disjoint ranges. If `body` throws, unstarted chunks are skipped
+  /// and the first exception is rethrown from this call.
   void ParallelFor(size_t begin, size_t end, size_t min_grain,
                    const std::function<void(size_t, size_t)>& body);
 

@@ -1,0 +1,365 @@
+#include "oracles.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "core/dedup.h"
+#include "core/solver.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "fuzz/sql_mutator.h"
+#include "log/record.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/skeleton.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace sqlog::oracle {
+
+namespace {
+
+std::string Preview(std::string_view input, size_t limit = 160) {
+  std::string out(input.substr(0, limit));
+  if (input.size() > limit) out += "...";
+  for (char& c : out) {
+    if (static_cast<unsigned char>(c) < 0x20 && c != '\n' && c != '\t') c = '?';
+  }
+  return out;
+}
+
+bool SameToken(const sql::Token& a, const sql::Token& b) {
+  return a.type == b.type && a.text == b.text && a.offset == b.offset;
+}
+
+}  // namespace
+
+OracleResult Fail(std::string message) { return {false, std::move(message)}; }
+
+uint64_t SeedFromBytes(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash ? hash : 1;
+}
+
+OracleResult CheckLexInvariants(std::string_view input) {
+  auto first = sql::Lex(input);
+  auto second = sql::Lex(input);
+  if (first.ok() != second.ok()) {
+    return Fail("lexing is nondeterministic (ok flag differs)");
+  }
+  if (!first.ok()) return Ok();
+
+  const auto& tokens = first.value();
+  if (tokens.empty() || !tokens.back().Is(sql::TokenType::kEnd)) {
+    return Fail("token stream does not end with the kEnd sentinel");
+  }
+  size_t prev_offset = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].offset > input.size()) {
+      return Fail(StrFormat("token %zu offset %zu beyond input size %zu", i,
+                            tokens[i].offset, input.size()));
+    }
+    if (tokens[i].offset < prev_offset) {
+      return Fail(StrFormat("token %zu offset %zu goes backwards", i, tokens[i].offset));
+    }
+    prev_offset = tokens[i].offset;
+    if (i + 1 < tokens.size() && tokens[i].Is(sql::TokenType::kEnd)) {
+      return Fail("kEnd sentinel appears before the last token");
+    }
+  }
+  if (second.value().size() != tokens.size()) {
+    return Fail("lexing is nondeterministic (token count differs)");
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!SameToken(tokens[i], second.value()[i])) {
+      return Fail(StrFormat("lexing is nondeterministic at token %zu", i));
+    }
+  }
+  return Ok();
+}
+
+OracleResult CheckParsePrintFixpoint(std::string_view input) {
+  auto first = sql::ParseSelect(input);
+  if (!first.ok()) return Ok();  // graceful rejection is fine
+
+  sql::PrintOptions canonical;
+  std::string p1 = Print(*first.value(), canonical);
+  auto second = sql::ParseSelect(p1);
+  if (!second.ok()) {
+    return Fail(StrFormat("canonical print does not reparse: [%s] → %s",
+                          Preview(p1).c_str(), second.status().ToString().c_str()));
+  }
+  std::string p2 = Print(*second.value(), canonical);
+  if (p2 != p1) {
+    return Fail(StrFormat("canonical print is not a fixpoint: [%s] vs [%s]",
+                          Preview(p1).c_str(), Preview(p2).c_str()));
+  }
+
+  sql::PrintOptions verbatim;
+  verbatim.canonical = false;
+  std::string raw = Print(*first.value(), verbatim);
+  auto reparsed_raw = sql::ParseSelect(raw);
+  if (!reparsed_raw.ok()) {
+    return Fail(StrFormat("non-canonical print does not reparse: [%s]",
+                          Preview(raw).c_str()));
+  }
+  if (Print(*reparsed_raw.value(), canonical) != p1) {
+    return Fail("non-canonical print reparses to a different canonical form");
+  }
+  return Ok();
+}
+
+OracleResult CheckSkeletonIdempotence(std::string_view input) {
+  std::string text(input);
+  auto first = sql::ParseAndAnalyze(text);
+  if (!first.ok()) return Ok();
+
+  auto again = sql::ParseAndAnalyze(text);
+  if (!again.ok() || !(again->tmpl == first->tmpl)) {
+    return Fail("repeated analysis of the same text changes the template");
+  }
+
+  sql::PrintOptions canonical;
+  std::string printed = Print(*first->ast, canonical);
+  auto reparsed = sql::ParseAndAnalyze(printed);
+  if (!reparsed.ok()) {
+    return Fail(StrFormat("canonical print does not re-analyze: [%s]",
+                          Preview(printed).c_str()));
+  }
+  if (reparsed->tmpl.fingerprint != first->tmpl.fingerprint ||
+      !(reparsed->tmpl == first->tmpl)) {
+    return Fail(StrFormat("template not idempotent: (%s | %s | %s | %s) vs (%s | %s | %s | %s)",
+                          first->tmpl.ssc.c_str(), first->tmpl.sfc.c_str(),
+                          first->tmpl.swc.c_str(), first->tmpl.tail.c_str(),
+                          reparsed->tmpl.ssc.c_str(), reparsed->tmpl.sfc.c_str(),
+                          reparsed->tmpl.swc.c_str(), reparsed->tmpl.tail.c_str()));
+  }
+  if (reparsed->predicates.size() != first->predicates.size()) {
+    return Fail("predicate features change across the canonical reprint");
+  }
+  return Ok();
+}
+
+OracleResult CheckTemplateInvariance(std::string_view input, uint64_t seed) {
+  std::string text(input);
+  auto base = sql::ParseAndAnalyze(text);
+  if (!base.ok()) return Ok();
+
+  Rng rng(seed);
+  for (int round = 0; round < 4; ++round) {
+    std::string mutated = fuzz::MutatePreservingTemplate(text, rng);
+    auto facts = sql::ParseAndAnalyze(mutated);
+    if (!facts.ok()) {
+      return Fail(StrFormat("template-preserving mutation broke parsing: [%s] → [%s] → %s",
+                            Preview(text).c_str(), Preview(mutated).c_str(),
+                            facts.status().ToString().c_str()));
+    }
+    if (!(facts->tmpl == base->tmpl)) {
+      return Fail(StrFormat("template changed under ws/case/literal mutation: [%s] → [%s]",
+                            Preview(text).c_str(), Preview(mutated).c_str()));
+    }
+
+    std::string cosmetic = fuzz::MutatePreservingCanonicalForm(text, rng);
+    auto cosmetic_parse = sql::ParseSelect(cosmetic);
+    if (!cosmetic_parse.ok()) {
+      return Fail(StrFormat("ws/case mutation broke parsing: [%s] → [%s]",
+                            Preview(text).c_str(), Preview(cosmetic).c_str()));
+    }
+    if (Print(*cosmetic_parse.value(), sql::PrintOptions{}) !=
+        Print(*base->ast, sql::PrintOptions{})) {
+      return Fail(StrFormat("canonical form changed under ws/case mutation: [%s] → [%s]",
+                            Preview(text).c_str(), Preview(cosmetic).c_str()));
+    }
+  }
+  return Ok();
+}
+
+OracleResult CheckDedupIdempotence(std::string_view input, uint64_t seed) {
+  // Turn the input's lines into a small multi-user log with a mix of
+  // in-window and out-of-window gaps.
+  Rng rng(seed);
+  log::QueryLog raw;
+  int64_t clock_ms = 1000000;
+  size_t line_start = 0;
+  auto add_line = [&](std::string_view line, size_t index) {
+    if (line.empty()) return;
+    log::LogRecord record;
+    record.seq = index;
+    record.user = StrFormat("user%llu", static_cast<unsigned long long>(rng.Uniform(3)));
+    clock_ms += static_cast<int64_t>(rng.Uniform(2500));  // straddles the 1s window
+    record.timestamp_ms = clock_ms;
+    record.statement = std::string(line);
+    raw.Append(std::move(record));
+  };
+  size_t index = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == '\n') {
+      add_line(input.substr(line_start, i - line_start), index++);
+      line_start = i + 1;
+    }
+  }
+  if (raw.empty()) return Ok();
+  // Re-issue a few records immediately so duplicates actually exist.
+  const size_t n = raw.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!rng.Chance(0.4)) continue;
+    log::LogRecord dup = raw.records()[i];
+    dup.seq = raw.size();
+    dup.timestamp_ms += static_cast<int64_t>(rng.Uniform(900));
+    raw.Append(std::move(dup));
+  }
+
+  for (bool unrestricted : {false, true}) {
+    core::DedupOptions options;
+    options.unrestricted = unrestricted;
+    core::DedupStats stats1, stats2;
+    log::QueryLog once = core::RemoveDuplicates(raw, options, &stats1);
+    log::QueryLog twice = core::RemoveDuplicates(once, options, &stats2);
+    if (stats1.input_count != stats1.removed_count + stats1.output_count) {
+      return Fail("dedup stats do not balance");
+    }
+    if (stats2.removed_count != 0) {
+      return Fail(StrFormat("dedup is not idempotent: second pass removed %zu records "
+                            "(unrestricted=%d)",
+                            stats2.removed_count, unrestricted ? 1 : 0));
+    }
+    if (once.size() != twice.size()) {
+      return Fail("dedup is not idempotent: sizes differ across passes");
+    }
+    for (size_t i = 0; i < once.size(); ++i) {
+      const auto& a = once.records()[i];
+      const auto& b = twice.records()[i];
+      if (a.statement != b.statement || a.user != b.user ||
+          a.timestamp_ms != b.timestamp_ms) {
+        return Fail(StrFormat("dedup is not idempotent at record %zu", i));
+      }
+    }
+  }
+  return Ok();
+}
+
+namespace {
+
+/// Shared read-only engine fixture for the solver oracle; built once.
+struct EngineFixture {
+  engine::Database db;
+  engine::Executor executor{&db};
+  std::vector<int64_t> objids;
+  bool ok = false;
+};
+
+const EngineFixture& Fixture() {
+  static EngineFixture* fixture = [] {
+    auto* f = new EngineFixture();
+    f->ok = engine::PopulateSkyServerSample(f->db, 400).ok();
+    if (f->ok) f->objids = engine::PhotoObjIds(f->db);
+    return f;
+  }();
+  return *fixture;
+}
+
+std::multiset<std::string> RowsOf(const engine::Executor& executor, const std::string& sql,
+                                  OracleResult* error) {
+  auto result = executor.ExecuteSql(sql);
+  std::multiset<std::string> rows;
+  if (!result.ok()) {
+    *error = Fail(StrFormat("engine rejected [%s]: %s", Preview(sql).c_str(),
+                            result.status().ToString().c_str()));
+    return rows;
+  }
+  for (const auto& row : result->rows) {
+    std::string key;
+    for (const auto& cell : row) {
+      key += cell.ToString();
+      key.push_back('\x1f');
+    }
+    rows.insert(std::move(key));
+  }
+  return rows;
+}
+
+}  // namespace
+
+OracleResult CheckSolverEngineEquivalence(uint64_t seed) {
+  const EngineFixture& fixture = Fixture();
+  if (!fixture.ok || fixture.objids.empty()) {
+    return Fail("engine sample population failed");
+  }
+
+  Rng rng(seed);
+  size_t run = 2 + rng.Uniform(6);
+  std::vector<std::string> statements;
+  std::set<int64_t> used;
+  for (size_t i = 0; i < run; ++i) {
+    int64_t objid = fixture.objids[rng.Uniform(fixture.objids.size())];
+    if (!used.insert(objid).second) continue;  // IN dedups; keep sets equal
+    std::string statement =
+        StrFormat("SELECT objID, ra, dec FROM photoPrimary WHERE objID = %lld",
+                  static_cast<long long>(objid));
+    // Jitter whitespace / identifier case: the rewrite must be immune to
+    // the surface form the front-end saw.
+    statements.push_back(fuzz::MutatePreservingCanonicalForm(statement, rng));
+  }
+  if (statements.size() < 2) return Ok();
+
+  OracleResult error = Ok();
+  std::multiset<std::string> expected;
+  std::vector<core::ParsedQuery> parsed(statements.size());
+  for (size_t i = 0; i < statements.size(); ++i) {
+    for (const auto& row : RowsOf(fixture.executor, statements[i], &error)) {
+      expected.insert(row);
+    }
+    if (!error.ok) return error;
+    auto facts = sql::ParseAndAnalyze(statements[i]);
+    if (!facts.ok()) {
+      return Fail(StrFormat("jittered statement does not parse: [%s]",
+                            Preview(statements[i]).c_str()));
+    }
+    parsed[i].facts = std::move(facts.value());
+  }
+
+  std::vector<const core::ParsedQuery*> pointers;
+  for (const auto& query : parsed) pointers.push_back(&query);
+  auto rewritten = core::RewriteDwStifle(pointers);
+  if (!rewritten.ok()) {
+    return Fail(StrFormat("DW rewrite failed: %s", rewritten.status().ToString().c_str()));
+  }
+  std::multiset<std::string> actual = RowsOf(fixture.executor, rewritten.value(), &error);
+  if (!error.ok) return error;
+  if (actual != expected) {
+    return Fail(StrFormat("DW rewrite returns different rows (%zu vs %zu) for [%s]",
+                          actual.size(), expected.size(),
+                          Preview(rewritten.value()).c_str()));
+  }
+  return Ok();
+}
+
+OracleResult RunFrontEndOracles(std::string_view input, uint64_t seed) {
+  OracleResult result = CheckLexInvariants(input);
+  if (!result.ok) return result;
+  result = CheckParsePrintFixpoint(input);
+  if (!result.ok) return result;
+  result = CheckSkeletonIdempotence(input);
+  if (!result.ok) return result;
+  result = CheckTemplateInvariance(input, seed);
+  if (!result.ok) return result;
+  return CheckDedupIdempotence(input, seed);
+}
+
+void AbortOnFailure(const OracleResult& result, std::string_view input) {
+  if (result.ok) return;
+  std::fprintf(stderr, "\n=== ORACLE FAILURE ===\n%s\n--- input (%zu bytes) ---\n",
+               result.message.c_str(), input.size());
+  std::fwrite(input.data(), 1, input.size(), stderr);
+  std::fprintf(stderr, "\n======================\n");
+  std::abort();
+}
+
+}  // namespace sqlog::oracle

@@ -304,5 +304,66 @@ TEST(ParserTest, RoundTripThroughPrinter) {
   }
 }
 
+std::string NestedParens(int depth) {
+  std::string sql = "SELECT ";
+  sql.append(depth, '(');
+  sql += "1";
+  sql.append(depth, ')');
+  return sql;
+}
+
+TEST(ParserTest, NestingUpToTheDepthLimitParses) {
+  // The SELECT core occupies one level, so kMaxParseDepth - 1 paren
+  // levels sit exactly at the limit.
+  EXPECT_TRUE(ParseSelect(NestedParens(kMaxParseDepth - 1)).ok());
+}
+
+TEST(ParserTest, NestingBeyondTheDepthLimitIsADiagnosticNotACrash) {
+  auto at_limit = ParseSelect(NestedParens(kMaxParseDepth));
+  ASSERT_FALSE(at_limit.ok());
+  EXPECT_NE(at_limit.status().ToString().find("nesting"), std::string::npos);
+
+  // Far past the limit — the fuzzer's original finding was a stack
+  // overflow on multi-kilobyte paren runs.
+  EXPECT_FALSE(ParseSelect(NestedParens(100000)).ok());
+}
+
+TEST(ParserTest, StarIsRejectedInExpressionPositions) {
+  // Fuzz-found: `(*)` used to parse into an AST whose canonical print
+  // (`* as alias`) could not reparse. Star is select-list / count(*)
+  // syntax only.
+  EXPECT_FALSE(ParseSelect("SELECT (*) FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT 1 + * FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE x = *").ok());
+  // The legitimate star positions still work.
+  EXPECT_TRUE(ParseSelect("SELECT * FROM t").ok());
+  EXPECT_TRUE(ParseSelect("SELECT t.* FROM t").ok());
+  EXPECT_TRUE(ParseSelect("SELECT count(*) FROM t").ok());
+}
+
+TEST(ParserTest, DepthLimitCoversEveryRecursionShape) {
+  auto nested = [](const char* head, const char* open, const char* body,
+                   const char* close, int depth) {
+    std::string sql = head;
+    for (int i = 0; i < depth; ++i) sql += open;
+    sql += body;
+    for (int i = 0; i < depth; ++i) sql += close;
+    return sql;
+  };
+  // NOT chains, unary-sign chains, FROM paren trees, nested subqueries,
+  // and CASE nesting must all hit the diagnostic, never the stack limit.
+  EXPECT_FALSE(ParseSelect(nested("SELECT 1 WHERE ", "NOT ", "a = 1", "", 100000)).ok());
+  EXPECT_FALSE(ParseSelect(nested("SELECT ", "- ", "x", "", 100000)).ok());
+  EXPECT_FALSE(ParseSelect(nested("SELECT ", "+ ", "x", "", 100000)).ok());
+  EXPECT_FALSE(ParseSelect(nested("SELECT * FROM ", "(", "t", ")", 100000)).ok());
+  EXPECT_FALSE(
+      ParseSelect(nested("", "SELECT * FROM (", "t", ")", 100000)).ok());
+  EXPECT_FALSE(ParseSelect(nested("SELECT ", "CASE WHEN 1 = 1 THEN ", "0",
+                                  " ELSE 0 END", 100000)).ok());
+  // Deep but legal nesting of each shape still parses.
+  EXPECT_TRUE(ParseSelect(nested("SELECT 1 WHERE ", "NOT ", "a = 1", "", 40)).ok());
+  EXPECT_TRUE(ParseSelect(nested("SELECT * FROM ", "(", "t", ")", 40)).ok());
+}
+
 }  // namespace
 }  // namespace sqlog::sql

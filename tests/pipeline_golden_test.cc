@@ -1,0 +1,94 @@
+// Golden-file integration test: a fixed-seed generator log pushed
+// through PipelineBuilder must reproduce the checked-in statistics
+// overview byte for byte — at 1 thread and at 8 threads (the engine
+// guarantees byte-identical results at any thread count).
+//
+// Regenerate after an intentional pipeline change with:
+//   SQLOG_REGEN_GOLDEN=1 ./build/tests/pipeline_golden_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "catalog/schema.h"
+#include "core/pipeline.h"
+#include "log/generator.h"
+
+#ifndef SQLOG_GOLDEN_DIR
+#error "SQLOG_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace sqlog {
+namespace {
+
+constexpr const char* kGoldenPath = SQLOG_GOLDEN_DIR "/pipeline_stats.golden";
+
+log::QueryLog FixedLog() {
+  log::GeneratorConfig config;
+  config.seed = 20180416;
+  config.target_statements = 6000;
+  config.human_users = 60;
+  config.sws_families = 8;
+  config.cth_families = 8;
+  return log::GenerateLog(config);
+}
+
+core::PipelineResult RunAt(size_t threads, const log::QueryLog& raw,
+                           const catalog::Schema& schema) {
+  auto pipeline = core::PipelineBuilder()
+                      .WithSchema(&schema)
+                      .NumThreads(threads)
+                      .Build();
+  EXPECT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  auto result = pipeline->Run(raw);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result.value());
+}
+
+std::string ReadGolden() {
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(PipelineGoldenTest, StatisticsMatchTheGoldenFileAtOneAndEightThreads) {
+  const log::QueryLog raw = FixedLog();
+  const catalog::Schema schema = catalog::MakeSkyServerSchema();
+
+  core::PipelineResult serial = RunAt(1, raw, schema);
+  const std::string table = serial.stats.ToTable();
+
+  if (std::getenv("SQLOG_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary | std::ios::trunc);
+    out << table;
+    GTEST_SKIP() << "regenerated " << kGoldenPath;
+  }
+
+  const std::string golden = ReadGolden();
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << kGoldenPath
+                               << " — regenerate with SQLOG_REGEN_GOLDEN=1";
+  EXPECT_EQ(table, golden)
+      << "pipeline statistics drifted from the golden file; if the change is "
+         "intentional, regenerate with SQLOG_REGEN_GOLDEN=1";
+
+  core::PipelineResult parallel = RunAt(8, raw, schema);
+  EXPECT_EQ(parallel.stats.ToTable(), golden) << "8-thread run diverged";
+
+  // The determinism contract goes beyond the stats table: the actual
+  // clean logs must agree record for record.
+  ASSERT_EQ(parallel.clean_log.size(), serial.clean_log.size());
+  for (size_t i = 0; i < serial.clean_log.size(); ++i) {
+    const auto& a = serial.clean_log.records()[i];
+    const auto& b = parallel.clean_log.records()[i];
+    ASSERT_EQ(a.statement, b.statement) << "record " << i;
+    ASSERT_EQ(a.timestamp_ms, b.timestamp_ms) << "record " << i;
+    ASSERT_EQ(a.user, b.user) << "record " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sqlog

@@ -137,5 +137,107 @@ TEST(PrinterTest, NonCanonicalPreservesIdentifierCase) {
   EXPECT_EQ(Print(*stmt.value(), opts), "select ObjID from PhotoPrimary");
 }
 
+TEST(PrinterTest, IdentifiersThatCannotLexBareAreRequoted) {
+  // Fuzz-found: `[Bracketed Name]` printed bare (`bracketed name`) does
+  // not reparse. The canonical print must re-quote such identifiers.
+  EXPECT_EQ(Canonical("SELECT [Bracketed Name] FROM [My Schema].t"),
+            "select \"bracketed name\" from \"my schema\".t");
+  EXPECT_EQ(Canonical("SELECT \"odd \"\"name\"\"\" FROM t"),
+            "select \"odd \"\"name\"\"\" from t");
+  // Bare-safe names stay unquoted even when the source quoted them.
+  EXPECT_EQ(Canonical("SELECT [objID] FROM \"photoPrimary\""),
+            "select objid from photoprimary");
+  // And the reprint round-trips.
+  for (const char* sql :
+       {"SELECT [a b].*, \"c d\" AS [e f] FROM [My Schema].[T 1]",
+        "SELECT t.[x y] FROM t WHERE [x y] = 1"}) {
+    std::string once = Canonical(sql);
+    EXPECT_EQ(Canonical(once), once) << sql;
+  }
+}
+
+TEST(PrinterTest, BooleanLevelOperandsKeepTheirParens) {
+  // Fuzz regression: `ra < (NOT x)` printed bare as `ra < not x`, which
+  // is a parse error — NOT and the predicate forms live above comparison
+  // precedence, so in additive positions they need their parens back.
+  EXPECT_EQ(Canonical("SELECT a FROM t WHERE ra < (NOT 139.583221)"),
+            "select a from t where ra < (not 139.583221)");
+  EXPECT_EQ(Canonical("SELECT a FROM t WHERE (x LIKE 'p') = 1"),
+            "select a from t where (x like 'p') = 1");
+  EXPECT_EQ(Canonical("SELECT a FROM t WHERE (a AND b) BETWEEN c AND (d IS NULL)"),
+            "select a from t where (a and b) between c and (d is null)");
+  EXPECT_EQ(Canonical("SELECT -(NOT x) FROM t"), "select -(not x) from t");
+  // Bare boolean operands under AND/OR/NOT stay bare.
+  EXPECT_EQ(Canonical("SELECT a FROM t WHERE NOT x LIKE 'p' AND b IS NULL"),
+            "select a from t where not x like 'p' and b is null");
+  for (const char* sql :
+       {"SELECT a FROM t WHERE ra < (NOT 139.583221)",
+        "SELECT a FROM t WHERE (a AND b) BETWEEN c AND (d IS NULL)",
+        "SELECT -(NOT x) FROM t"}) {
+    std::string printed = Canonical(sql);
+    auto reparsed = ParseSelect(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(Print(*reparsed.value(), PrintOptions{}), printed) << sql;
+  }
+}
+
+TEST(PrinterTest, VariableNamesPrintVerbatimEvenWhenDigitLed) {
+  // Fuzz regression: '@112900Q3184' lexes as one variable (digits may
+  // lead a variable name), but the printer quoted it as '@"112900q3184"',
+  // which does not lex. Variable names must print verbatim.
+  EXPECT_EQ(Canonical("SELECT a FROM t WHERE htmid >= @112900Q3184"),
+            "select a from t where htmid >= @112900q3184");
+  EXPECT_EQ(Canonical("SELECT a FROM t WHERE objID = @87722982781112544"),
+            "select a from t where objid = @87722982781112544");
+  EXPECT_EQ(Skeleton("SELECT a FROM t WHERE objID = @87722982781112544"),
+            "select a from t where objid = <num>");
+  for (const char* sql : {"SELECT a FROM t WHERE htmid >= @112900Q3184",
+                          "SELECT a FROM t WHERE x = @h1"}) {
+    std::string printed = Canonical(sql);
+    auto reparsed = ParseSelect(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(Print(*reparsed.value(), PrintOptions{}), printed) << sql;
+  }
+}
+
+TEST(PrinterTest, DoubledUnaryMinusDoesNotPrintALineComment) {
+  // Fuzz regression: `- -5` used to print as `--5`, which re-lexes as a
+  // line comment and truncates the statement on reparse. Stacked signs
+  // over a numeric literal now fold into one literal; signs over
+  // non-literals print with protective parens.
+  EXPECT_EQ(Canonical("SELECT - -5"), "select 5");
+  EXPECT_EQ(Canonical("SELECT -(-5)"), "select 5");
+  EXPECT_EQ(Canonical("SELECT -(1e-308)"), "select -1e-308");
+  EXPECT_EQ(Canonical("SELECT - - -x FROM t"), "select -(-(-x)) from t");
+  EXPECT_EQ(Canonical("SELECT + -5"), "select +-5");
+  for (const char* sql : {"SELECT - -5", "SELECT - - -x FROM t", "SELECT 1 - -5"}) {
+    std::string printed = Canonical(sql);
+    auto reparsed = ParseSelect(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(Print(*reparsed.value(), PrintOptions{}), printed) << sql;
+  }
+}
+
+TEST(PrinterTest, NestedComparisonsKeepTheirParens) {
+  // Fuzz regression: `objid = (a = b)` printed bare as `objid = a = b`,
+  // which does not reparse — comparisons are non-associative.
+  EXPECT_EQ(Canonical("SELECT x FROM t WHERE a = (b = c)"),
+            "select x from t where a = (b = c)");
+  EXPECT_EQ(Canonical("SELECT x FROM t WHERE (a = b) = c"),
+            "select x from t where (a = b) = c");
+  // Same-precedence right operands of left-associative operators too.
+  EXPECT_EQ(Canonical("SELECT a - (b - c) FROM t"), "select a - (b - c) from t");
+  EXPECT_EQ(Canonical("SELECT a / (b / c) FROM t"), "select a / (b / c) from t");
+  // Left-associative chains stay unparenthesized.
+  EXPECT_EQ(Canonical("SELECT a - b - c FROM t"), "select a - b - c from t");
+  for (const char* sql :
+       {"SELECT x FROM t WHERE a = (b = c)", "SELECT a - (b - c) FROM t"}) {
+    std::string printed = Canonical(sql);
+    auto reparsed = ParseSelect(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(Print(*reparsed.value(), PrintOptions{}), printed) << sql;
+  }
+}
+
 }  // namespace
 }  // namespace sqlog::sql

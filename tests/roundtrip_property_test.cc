@@ -7,10 +7,12 @@
 
 #include "catalog/schema.h"
 #include "core/pipeline.h"
+#include "fuzz/sql_mutator.h"
 #include "log/generator.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "sql/skeleton.h"
+#include "util/random.h"
 
 namespace sqlog {
 namespace {
@@ -70,6 +72,36 @@ TEST(RoundTripPropertyTest, PredicateFeaturesSurviveReprinting) {
       EXPECT_EQ(facts->predicates[i].op, reparsed->predicates[i].op);
       EXPECT_EQ(facts->predicates[i].column, reparsed->predicates[i].column);
       EXPECT_EQ(facts->predicates[i].values, reparsed->predicates[i].values);
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 5000u);
+}
+
+TEST(RoundTripPropertyTest, TemplatesAreInvariantUnderSemanticPreservingMutation) {
+  // Def. 4's whole point: the template must not care about whitespace,
+  // identifier case, or literal values. Jitter every parseable generated
+  // statement with the structure-aware mutator and check the skeleton
+  // never moves.
+  log::QueryLog raw = SmallLog(5);
+  Rng rng(0xD1FFu);
+  size_t checked = 0;
+  for (const auto& record : raw.records()) {
+    auto base = sql::ParseAndAnalyze(record.statement);
+    if (!base.ok()) continue;
+    for (int round = 0; round < 2; ++round) {
+      std::string jittered = fuzz::MutatePreservingTemplate(record.statement, rng);
+      auto mutated = sql::ParseAndAnalyze(jittered);
+      ASSERT_TRUE(mutated.ok()) << record.statement << " → " << jittered;
+      EXPECT_EQ(base->tmpl, mutated->tmpl) << record.statement << " → " << jittered;
+
+      std::string cosmetic =
+          fuzz::MutatePreservingCanonicalForm(record.statement, rng);
+      auto reparsed = sql::ParseSelect(cosmetic);
+      ASSERT_TRUE(reparsed.ok()) << record.statement << " → " << cosmetic;
+      EXPECT_EQ(Print(*reparsed.value(), sql::PrintOptions{}),
+                Print(*base->ast, sql::PrintOptions{}))
+          << record.statement << " → " << cosmetic;
     }
     ++checked;
   }

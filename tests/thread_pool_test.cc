@@ -96,6 +96,100 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(total.load(), kOuter * kInner);
 }
 
+TEST(ThreadPoolTest, ParallelForSingleItemRunsExactlyOnce) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  std::atomic<size_t> seen_begin{999}, seen_end{999};
+  pool.ParallelFor(7, 8, 1, [&](size_t begin, size_t end) {
+    calls.fetch_add(1);
+    seen_begin.store(begin);
+    seen_end.store(end);
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin.load(), 7u);
+  EXPECT_EQ(seen_end.load(), 8u);
+}
+
+TEST(ThreadPoolTest, ThrowingBodyPropagatesToTheCallerWithoutDeadlock) {
+  ThreadPool pool(3);
+  // Repeat many times: the throw may land on a worker or on the
+  // cooperative caller, and either way it must surface here.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> processed{0};
+    bool caught = false;
+    try {
+      pool.ParallelFor(0, 1000, 1, [&](size_t begin, size_t end) {
+        if (begin <= 500 && 500 < end) throw std::runtime_error("boom");
+        processed.fetch_add(end - begin);
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "boom");
+    }
+    EXPECT_TRUE(caught) << "round " << round;
+    // Cancellation means not every index ran, but the pool is intact —
+    // the next round (and this follow-up) reuse it.
+    EXPECT_LT(processed.load(), 1000u);
+  }
+  std::atomic<size_t> after{0};
+  pool.ParallelFor(0, 100, 1, [&](size_t b, size_t e) { after.fetch_add(e - b); });
+  EXPECT_EQ(after.load(), 100u);
+}
+
+TEST(ThreadPoolTest, ThrowOnTheSerialPathPropagatesToo) {
+  // n <= min_grain short-circuits to a direct body call in the caller.
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 4, 8, [](size_t, size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+}
+
+TEST(MapShardsTest, MoreShardsThanItemsYieldsEmptyTailShards) {
+  constexpr size_t kN = 3;
+  auto shard_extent = [](size_t, size_t begin, size_t end) {
+    return std::make_pair(begin, end);
+  };
+  for (ThreadPool* pool_ptr : {static_cast<ThreadPool*>(nullptr)}) {
+    auto ranges = MapShards<std::pair<size_t, size_t>>(pool_ptr, kN, 8, shard_extent);
+    ASSERT_EQ(ranges.size(), 8u);
+    size_t covered = 0;
+    for (size_t s = 0; s < ranges.size(); ++s) {
+      EXPECT_LE(ranges[s].first, ranges[s].second);
+      covered += ranges[s].second - ranges[s].first;
+      if (s >= kN) {
+        EXPECT_EQ(ranges[s].first, ranges[s].second) << "shard " << s;
+      }
+    }
+    EXPECT_EQ(covered, kN);
+  }
+  ThreadPool pool(3);
+  auto parallel = MapShards<std::pair<size_t, size_t>>(&pool, kN, 8, shard_extent);
+  auto serial = MapShards<std::pair<size_t, size_t>>(nullptr, kN, 8, shard_extent);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(MapShardsTest, ZeroItemsStillRunsEveryShardFn) {
+  std::atomic<int> calls{0};
+  ThreadPool pool(2);
+  auto results = MapShards<int>(&pool, 0, 4, [&](size_t, size_t begin, size_t end) {
+    calls.fetch_add(1);
+    EXPECT_EQ(begin, end);
+    return 0;
+  });
+  EXPECT_EQ(results.size(), 4u);
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(MapShardsTest, ThrowingShardFnPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(MapShards<int>(&pool, 100, 4,
+                              [](size_t shard, size_t, size_t) -> int {
+                                if (shard == 2) throw std::runtime_error("shard");
+                                return 1;
+                              }),
+               std::runtime_error);
+}
+
 TEST(MapShardsTest, SerialAndParallelProduceIdenticalShardResults) {
   constexpr size_t kN = 1000;
   auto shard_sum = [](size_t, size_t begin, size_t end) {
