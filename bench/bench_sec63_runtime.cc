@@ -3,6 +3,11 @@
 // and wall time. Paper: 10222 queries → 254 after rewriting (≈40×
 // fewer), running 29.27× faster.
 
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -10,10 +15,134 @@
 #include "core/solver.h"
 #include "engine/database.h"
 #include "engine/executor.h"
+#include "log/log_io.h"
 #include "sql/skeleton.h"
 
-int main() {
+namespace {
+
+/// The calling process's own peak RSS in bytes. Linux reads VmHWM from
+/// /proc/self/status because it tracks the current address space only:
+/// getrusage's ru_maxrss folds in the pre-exec inherited peak, which
+/// would make every child echo the parent's footprint.
+size_t SelfPeakRssBytes() {
+#ifdef __APPLE__
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<size_t>(usage.ru_maxrss);
+#else
+  FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+  }
+  std::fclose(status);
+  return kb * 1024;
+#endif
+}
+
+/// Re-runs this binary with the given arguments and reports the child's
+/// wall time and peak RSS. The child measures its own peak (see
+/// SelfPeakRssBytes) and reports it over a pipe; a fresh exec'd process
+/// per configuration keeps each row's footprint independent.
+bool RunChildConfig(const char* exe, const std::vector<std::string>& args,
+                    double* seconds, size_t* peak_rss_bytes) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  std::vector<char*> child_argv;
+  child_argv.push_back(const_cast<char*>(exe));
+  for (const std::string& arg : args)
+    child_argv.push_back(const_cast<char*>(arg.c_str()));
+  child_argv.push_back(nullptr);
+  sqlog::Timer timer;
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[1]);
+    execv(exe, child_argv.data());
+    _exit(127);
+  }
+  close(fds[1]);
+  FILE* in = fdopen(fds[0], "r");
+  size_t peak = 0;
+  bool got = false;
+  if (in != nullptr) {
+    char line[256];
+    while (std::fgets(line, sizeof line, in) != nullptr)
+      if (std::sscanf(line, "rss-child peak_bytes=%zu", &peak) == 1) got = true;
+    std::fclose(in);
+  } else {
+    close(fds[0]);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return false;
+  *seconds = timer.ElapsedSeconds();
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 || !got) return false;
+  *peak_rss_bytes = peak;
+  return true;
+}
+
+/// Child mode: runs one ingestion configuration against an existing CSV,
+/// then prints its own peak RSS on stdout for the parent to collect.
+/// argv: --rss-child <mem|stream> <batch_size> <threads> <in> <clean> <removal>
+int RunRssChild(int argc, char** argv) {
   using namespace sqlog;
+  if (argc != 8) return 2;
+  const bool streaming = std::string(argv[2]) == "stream";
+  const size_t batch_size = std::strtoull(argv[3], nullptr, 10);
+  const size_t threads = std::strtoull(argv[4], nullptr, 10);
+  const std::string input_path = argv[5];
+  const std::string clean_path = argv[6];
+  const std::string removal_path = argv[7];
+
+  static catalog::Schema schema = catalog::MakeSkyServerSchema();
+  core::PipelineOptions options;
+  options.num_threads = threads;
+  options.streaming = streaming;
+  if (streaming) options.batch_size = batch_size;
+  core::Pipeline pipeline(options);
+  pipeline.SetSchema(&schema);
+  if (streaming) {
+    auto run = pipeline.RunStreaming(input_path, clean_path, removal_path);
+    if (!run.ok()) {
+      std::fprintf(stderr, "streaming run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+  } else {
+    auto loaded = log::LogIo::ReadFile(input_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "read failed: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    auto result = pipeline.Run(*loaded);
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    // Write the outputs too, so both modes do the same I/O work.
+    if (!log::LogIo::WriteFile(result->clean_log, clean_path).ok() ||
+        !log::LogIo::WriteFile(result->removal_log, removal_path).ok()) {
+      return 1;
+    }
+  }
+  std::printf("rss-child peak_bytes=%zu\n", SelfPeakRssBytes());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sqlog;
+  if (argc > 1 && std::string(argv[1]) == "--rss-child")
+    return RunRssChild(argc, argv);
   bench::Banner("Sec. 6.3 — runtime of original Stifle queries vs rewritten queries",
                 "paper Sec. 6.3: 10222 → 254 queries, 29.27x faster");
 
@@ -131,5 +260,57 @@ int main() {
                 seconds, serial_seconds / seconds,
                 bench::Thousands(result.stats.final_size).c_str());
   }
+
+  // Streaming vs in-memory ingestion over the same study log read from a
+  // CSV file. Each configuration re-runs this binary (--rss-child) in a
+  // fresh process so the peak-RSS column is that run's own footprint.
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string input_path =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/sqlog_bench_stream_input.csv";
+  std::string clean_path = input_path + ".clean";
+  std::string removal_path = input_path + ".removal";
+  Status written = log::LogIo::WriteFile(study, input_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  study = log::QueryLog();
+
+  std::printf("\nStreaming vs in-memory ingestion (study log from CSV, "
+              "fresh process per run):\n");
+  std::printf("  %-28s %10s %14s\n", "configuration", "seconds", "peak RSS MiB");
+  struct SweepConfig {
+    const char* label;
+    const char* mode;
+    size_t batch_size;
+    size_t threads;
+  };
+  const SweepConfig sweep[] = {
+      {"in-memory, 1 thread", "mem", 0, 1},
+      {"in-memory, 8 threads", "mem", 0, 8},
+      {"streaming b=1024, 1 thread", "stream", 1024, 1},
+      {"streaming b=4096, 8 threads", "stream", 4096, 8},
+      {"streaming b=65536, 8 threads", "stream", 65536, 8},
+  };
+  for (const SweepConfig& config : sweep) {
+    double seconds = 0.0;
+    size_t peak_rss = 0;
+    std::vector<std::string> args = {"--rss-child",
+                                     config.mode,
+                                     std::to_string(config.batch_size),
+                                     std::to_string(config.threads),
+                                     input_path,
+                                     clean_path,
+                                     removal_path};
+    if (!RunChildConfig(argv[0], args, &seconds, &peak_rss)) {
+      std::fprintf(stderr, "child run failed for %s\n", config.label);
+      return 1;
+    }
+    std::printf("  %-28s %9.2fs %14.1f\n", config.label, seconds,
+                static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+  }
+  std::remove(input_path.c_str());
+  std::remove(clean_path.c_str());
+  std::remove(removal_path.c_str());
   return 0;
 }

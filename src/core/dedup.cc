@@ -9,12 +9,25 @@ namespace sqlog::core {
 
 namespace {
 
+uint64_t DedupKeyHash(const DedupOptions& options, std::string_view user,
+                      std::string_view statement) {
+  if (options.key_hash_for_test) return options.key_hash_for_test(user, statement);
+  return HashCombine(Fnv1a64(user), Fnv1a64(statement));
+}
+
 /// Key: (user, statement) → timestamp of the last kept-or-suppressed
 /// occurrence. Chaining on the last occurrence (not the last *kept*
 /// one) means a burst of reloads with sub-threshold gaps collapses
 /// entirely, which matches the web-form-reload interpretation.
+///
+/// The hash only buckets; `first_pos` points at the first occurrence so
+/// the full (user, statement) strings verify every match — a 64-bit
+/// collision between distinct keys lands in the same bucket but can
+/// never flag a non-duplicate (it used to silently delete the colliding
+/// query from the clean log).
 struct LastSeen {
-  int64_t timestamp_ms;
+  size_t first_pos;      // sorted-log position of the first occurrence
+  int64_t timestamp_ms;  // last occurrence in the chain
 };
 
 /// Walks the records at `positions` (ascending sorted-log positions) and
@@ -23,26 +36,30 @@ struct LastSeen {
 void MarkDuplicates(const std::vector<log::LogRecord>& records,
                     const std::vector<size_t>& positions, const DedupOptions& options,
                     std::vector<uint8_t>& duplicate) {
-  std::unordered_map<uint64_t, LastSeen> last_seen;
+  std::unordered_map<uint64_t, std::vector<LastSeen>> last_seen;
   last_seen.reserve(positions.size() * 2);
   for (size_t pos : positions) {
     const log::LogRecord& record = records[pos];
-    uint64_t key = Fnv1a64(record.user);
-    key = HashCombine(key, Fnv1a64(record.statement));
-    auto it = last_seen.find(key);
+    uint64_t key = DedupKeyHash(options, record.user, record.statement);
+    std::vector<LastSeen>& bucket = last_seen[key];
+    LastSeen* entry = nullptr;
+    for (LastSeen& candidate : bucket) {
+      const log::LogRecord& first = records[candidate.first_pos];
+      if (first.user == record.user && first.statement == record.statement) {
+        entry = &candidate;
+        break;
+      }
+    }
     bool is_duplicate = false;
-    if (it != last_seen.end()) {
+    if (entry != nullptr) {
       if (options.unrestricted) {
         is_duplicate = true;
       } else {
-        is_duplicate =
-            record.timestamp_ms - it->second.timestamp_ms <= options.threshold_ms;
+        is_duplicate = record.timestamp_ms - entry->timestamp_ms <= options.threshold_ms;
       }
-    }
-    if (it == last_seen.end()) {
-      last_seen.emplace(key, LastSeen{record.timestamp_ms});
+      entry->timestamp_ms = record.timestamp_ms;
     } else {
-      it->second.timestamp_ms = record.timestamp_ms;
+      bucket.push_back(LastSeen{pos, record.timestamp_ms});
     }
     duplicate[pos] = is_duplicate ? 1 : 0;
   }
@@ -93,6 +110,36 @@ log::QueryLog RemoveDuplicates(const log::QueryLog& input, const DedupOptions& o
     stats->output_count = output.size();
   }
   return output;
+}
+
+StreamingDeduper::StreamingDeduper(const DedupOptions& options) : options_(options) {}
+
+bool StreamingDeduper::IsDuplicate(const log::LogRecord& record) {
+  ++records_seen_;
+  uint64_t key = DedupKeyHash(options_, record.user, record.statement);
+  std::vector<Entry>& bucket = last_seen_[key];
+  Entry* entry = nullptr;
+  for (Entry& candidate : bucket) {
+    if (candidate.user == record.user && candidate.statement == record.statement) {
+      entry = &candidate;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    Entry fresh;
+    fresh.user = arena_.Intern(record.user);
+    fresh.statement = arena_.Intern(record.statement);
+    fresh.timestamp_ms = record.timestamp_ms;
+    bucket.push_back(fresh);
+    ++distinct_keys_;
+    return false;
+  }
+  bool is_duplicate =
+      options_.unrestricted ||
+      record.timestamp_ms - entry->timestamp_ms <= options_.threshold_ms;
+  entry->timestamp_ms = record.timestamp_ms;
+  if (is_duplicate) ++duplicates_seen_;
+  return is_duplicate;
 }
 
 }  // namespace sqlog::core

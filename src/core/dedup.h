@@ -2,7 +2,12 @@
 #define SQLOG_CORE_DEDUP_H_
 
 #include <cstdint>
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
 
+#include "log/arena.h"
 #include "log/record.h"
 #include "util/thread_pool.h"
 
@@ -16,6 +21,12 @@ struct DedupOptions {
   /// When true, the window is unlimited ("non restricted" row of
   /// Table 4): every repeat of an identical statement is a duplicate.
   bool unrestricted = false;
+  /// Test seam: overrides the (user, statement) key hash so collision
+  /// handling can be exercised without crafting real 64-bit FNV
+  /// collisions. Duplicate decisions must not change under any override
+  /// — keys are always verified against the full stored strings.
+  std::function<uint64_t(std::string_view user, std::string_view statement)>
+      key_hash_for_test;
 };
 
 /// Outcome counters for the dedup step.
@@ -38,6 +49,46 @@ struct DedupStats {
 log::QueryLog RemoveDuplicates(const log::QueryLog& input, const DedupOptions& options,
                                DedupStats* stats = nullptr,
                                util::ThreadPool* pool = nullptr);
+
+/// Incremental duplicate detection for the streaming ingestion path:
+/// records are offered one at a time in (timestamp, seq) order and
+/// classified against a per-(user, statement) last-seen map that stores
+/// the *full* key strings (interned once into an arena), so a 64-bit
+/// hash collision can never flag a non-duplicate. Fed the time-sorted
+/// record sequence, the decisions are exactly RemoveDuplicates's.
+///
+/// Memory is O(distinct (user, statement) pairs) — independent of log
+/// length for the duplicate-heavy workloads the paper targets.
+class StreamingDeduper {
+ public:
+  explicit StreamingDeduper(const DedupOptions& options);
+
+  /// Classifies `record` and updates the chain state (the duplicate
+  /// window chains on the last occurrence, duplicate or not).
+  bool IsDuplicate(const log::LogRecord& record);
+
+  /// Distinct (user, statement) keys seen.
+  size_t distinct_keys() const { return distinct_keys_; }
+
+  /// Records offered / flagged so far.
+  uint64_t records_seen() const { return records_seen_; }
+  uint64_t duplicates_seen() const { return duplicates_seen_; }
+
+ private:
+  struct Entry {
+    std::string_view user;       // arena-owned
+    std::string_view statement;  // arena-owned
+    int64_t timestamp_ms = 0;
+  };
+
+  DedupOptions options_;
+  log::StringArena arena_;
+  /// key hash → entries (usually one; more only on a 64-bit collision).
+  std::unordered_map<uint64_t, std::vector<Entry>> last_seen_;
+  size_t distinct_keys_ = 0;
+  uint64_t records_seen_ = 0;
+  uint64_t duplicates_seen_ = 0;
+};
 
 }  // namespace sqlog::core
 

@@ -49,6 +49,21 @@ Status ValidatePipelineOptions(const PipelineOptions& options) {
           StrFormat("custom rule #%zu has no detect hook", r));
     }
   }
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (options.streaming) {
+    if (options.extra_clean_passes > 0) {
+      return Status::InvalidArgument(
+          "streaming mode does not support extra_clean_passes (re-cleaning "
+          "needs the clean log in memory)");
+    }
+    if (!options.detector.custom_rules.empty()) {
+      return Status::InvalidArgument(
+          "streaming mode does not support custom rules (their hooks read "
+          "ASTs the streaming parser releases)");
+    }
+  }
   return Status::OK();
 }
 
@@ -59,20 +74,62 @@ Result<Pipeline> PipelineBuilder::Build() const {
   return pipeline;
 }
 
+namespace {
+
+/// Builds the thread pool for `num_threads` (see PipelineOptions): with
+/// one thread no pool exists and every stage takes its serial path;
+/// otherwise the pool holds one worker less than the requested count
+/// because ParallelFor callers execute chunks themselves.
+std::unique_ptr<util::ThreadPool> MakePool(size_t num_threads) {
+  size_t threads = util::ResolveThreadCount(num_threads);
+  if (threads <= 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(threads - 1);
+}
+
+/// Steps 3-4 + SWS, shared verbatim by the in-memory and streaming
+/// paths: mine patterns, detect antipatterns, detect SWS, and fill the
+/// overview statistics.
+void AnalyzeParsed(const PipelineOptions& options, const catalog::Schema* schema,
+                   util::ThreadPool* pool, const ParsedLog& parsed,
+                   const TemplateStore& templates, std::vector<Pattern>& patterns,
+                   AntipatternReport& antipatterns, SwsReport& sws,
+                   PipelineStats& stats) {
+  // Step 3 (Sec. 5.4): mine patterns.
+  if (options.mine_patterns) {
+    patterns = MinePatterns(parsed, options.miner, pool);
+    SortByFrequency(patterns);
+    stats.pattern_count = patterns.size();
+    if (!patterns.empty()) {
+      stats.max_pattern_frequency = patterns.front().frequency;
+    }
+  }
+
+  // Step 4: detect antipatterns.
+  antipatterns = DetectAntipatterns(parsed, templates, schema, options.detector, pool);
+  stats.distinct_dw = antipatterns.CountDistinct(AntipatternType::kDwStifle);
+  stats.queries_dw = antipatterns.CountQueries(AntipatternType::kDwStifle);
+  stats.distinct_ds = antipatterns.CountDistinct(AntipatternType::kDsStifle);
+  stats.queries_ds = antipatterns.CountQueries(AntipatternType::kDsStifle);
+  stats.distinct_df = antipatterns.CountDistinct(AntipatternType::kDfStifle);
+  stats.queries_df = antipatterns.CountQueries(AntipatternType::kDfStifle);
+  stats.distinct_cth = antipatterns.CountDistinct(AntipatternType::kCthCandidate);
+  stats.queries_cth = antipatterns.CountQueries(AntipatternType::kCthCandidate);
+  stats.distinct_snc = antipatterns.CountDistinct(AntipatternType::kSnc);
+  stats.queries_snc = antipatterns.CountQueries(AntipatternType::kSnc);
+
+  // SWS detection (Sec. 6.5) over the mined patterns.
+  if (options.mine_patterns) {
+    sws = DetectSws(patterns, parsed.queries.size(), options.sws);
+  }
+}
+
+}  // namespace
+
 Result<PipelineResult> Pipeline::Run(const log::QueryLog& raw_log) const {
   SQLOG_RETURN_IF_ERROR_R(ValidatePipelineOptions(options_));
 
-  // The parallel engine: with num_threads == 1 no pool exists and every
-  // stage takes its serial path; otherwise the pool holds one worker
-  // less than the requested thread count because ParallelFor callers
-  // execute chunks themselves.
-  std::unique_ptr<util::ThreadPool> owned_pool;
-  util::ThreadPool* pool = nullptr;
-  size_t threads = util::ResolveThreadCount(options_.num_threads);
-  if (threads > 1) {
-    owned_pool = std::make_unique<util::ThreadPool>(threads - 1);
-    pool = owned_pool.get();
-  }
+  std::unique_ptr<util::ThreadPool> owned_pool = MakePool(options_.num_threads);
+  util::ThreadPool* pool = owned_pool.get();
 
   PipelineResult result;
   result.stats.original_size = raw_log.size();
@@ -98,36 +155,9 @@ Result<PipelineResult> Pipeline::Run(const log::QueryLog& raw_log) const {
   result.stats.syntax_error_count = result.parsed.syntax_error_count;
   result.stats.parse_diagnostics = result.parsed.diagnostics;
 
-  // Step 3 (Sec. 5.4): mine patterns.
-  if (options_.mine_patterns) {
-    result.patterns = MinePatterns(result.parsed, options_.miner, pool);
-    SortByFrequency(result.patterns);
-    result.stats.pattern_count = result.patterns.size();
-    if (!result.patterns.empty()) {
-      result.stats.max_pattern_frequency = result.patterns.front().frequency;
-    }
-  }
-
-  // Step 4: detect antipatterns.
-  result.antipatterns =
-      DetectAntipatterns(result.parsed, result.templates, schema_, options_.detector, pool);
-  result.stats.distinct_dw = result.antipatterns.CountDistinct(AntipatternType::kDwStifle);
-  result.stats.queries_dw = result.antipatterns.CountQueries(AntipatternType::kDwStifle);
-  result.stats.distinct_ds = result.antipatterns.CountDistinct(AntipatternType::kDsStifle);
-  result.stats.queries_ds = result.antipatterns.CountQueries(AntipatternType::kDsStifle);
-  result.stats.distinct_df = result.antipatterns.CountDistinct(AntipatternType::kDfStifle);
-  result.stats.queries_df = result.antipatterns.CountQueries(AntipatternType::kDfStifle);
-  result.stats.distinct_cth =
-      result.antipatterns.CountDistinct(AntipatternType::kCthCandidate);
-  result.stats.queries_cth =
-      result.antipatterns.CountQueries(AntipatternType::kCthCandidate);
-  result.stats.distinct_snc = result.antipatterns.CountDistinct(AntipatternType::kSnc);
-  result.stats.queries_snc = result.antipatterns.CountQueries(AntipatternType::kSnc);
-
-  // SWS detection (Sec. 6.5) over the mined patterns.
-  if (options_.mine_patterns) {
-    result.sws = DetectSws(result.patterns, result.parsed.queries.size(), options_.sws);
-  }
+  // Steps 3-4 + SWS (shared with the streaming path).
+  AnalyzeParsed(options_, schema_, pool, result.parsed, result.templates,
+                result.patterns, result.antipatterns, result.sws, result.stats);
 
   // Step 5 (Sec. 5.5): solve antipatterns.
   SolveOutcome outcome = SolveAntipatterns(result.pre_clean, result.parsed,
@@ -158,6 +188,125 @@ Result<PipelineResult> Pipeline::Run(const log::QueryLog& raw_log) const {
   result.stats.final_size = result.clean_log.size();
   result.stats.removal_size = result.removal_log.size();
 
+  return result;
+}
+
+Result<StreamingRunResult> Pipeline::RunStreaming(const std::string& input_path,
+                                                  const std::string& clean_path,
+                                                  const std::string& removal_path) const {
+  PipelineOptions options = options_;
+  options.streaming = true;  // enforce the streaming-mode restrictions
+  SQLOG_RETURN_IF_ERROR_R(ValidatePipelineOptions(options));
+
+  std::unique_ptr<util::ThreadPool> owned_pool = MakePool(options.num_threads);
+  util::ThreadPool* pool = owned_pool.get();
+
+  StreamingRunResult result;
+
+  // Pass 1: read + dedup + parse, one batch at a time. The in-memory
+  // path sorts by (timestamp, seq) before dedup; streaming replays that
+  // scan in file order, so the file must already be sorted — generated
+  // and exported logs are, arbitrary inputs are checked.
+  log::LogReader reader;
+  SQLOG_RETURN_IF_ERROR_R(reader.Open(input_path));
+  StreamingDeduper deduper(options.dedup);
+  StreamingParser parser(result.templates, options.max_parse_diagnostics, pool);
+  std::vector<uint8_t> kept;  // per raw record, consulted by pass 2
+  std::vector<log::LogRecord> batch;
+  batch.reserve(options.batch_size);
+  log::LogRecord record;
+  bool eof = false;
+  bool have_previous = false;
+  int64_t previous_ts = 0;
+  uint64_t previous_seq = 0;
+  uint64_t raw_count = 0;
+  uint64_t pre_clean_count = 0;
+  while (true) {
+    SQLOG_RETURN_IF_ERROR_R(reader.ReadRecord(&record, &eof));
+    if (eof) break;
+    ++raw_count;
+    if (!options.use_user_metadata) {
+      record.user.clear();
+      record.session.clear();
+    }
+    if (have_previous &&
+        (record.timestamp_ms < previous_ts ||
+         (record.timestamp_ms == previous_ts && record.seq < previous_seq))) {
+      return Status::InvalidArgument(StrFormat(
+          "streaming mode requires a (timestamp, seq)-ordered input; record "
+          "%llu (seq %llu) is out of order — run the in-memory pipeline instead",
+          (unsigned long long)raw_count, (unsigned long long)record.seq));
+    }
+    previous_ts = record.timestamp_ms;
+    previous_seq = record.seq;
+    have_previous = true;
+    bool duplicate = deduper.IsDuplicate(record);
+    kept.push_back(duplicate ? 0 : 1);
+    if (duplicate) continue;
+    // Replicate RemoveDuplicates's Renumber(): pre-clean seqs are
+    // positional (parse diagnostics echo them).
+    record.seq = pre_clean_count++;
+    batch.push_back(std::move(record));
+    if (batch.size() >= options.batch_size) {
+      parser.FeedBatch(batch);
+      batch.clear();
+    }
+  }
+  parser.FeedBatch(batch);
+  batch.clear();
+  batch.shrink_to_fit();
+  result.parsed = parser.Finish();
+
+  result.stats.original_size = raw_count;
+  result.stats.after_dedup_size = pre_clean_count;
+  result.stats.duplicates_removed = deduper.duplicates_seen();
+  result.stats.select_count = result.parsed.queries.size();
+  result.stats.non_select_count = result.parsed.non_select_count;
+  result.stats.syntax_error_count = result.parsed.syntax_error_count;
+  result.stats.parse_diagnostics = result.parsed.diagnostics;
+
+  // Steps 3-4 + SWS run on the compact AST-free state, unchanged.
+  AnalyzeParsed(options, schema_, pool, result.parsed, result.templates,
+                result.patterns, result.antipatterns, result.sws, result.stats);
+
+  // Pass 2: re-read the input, skip the duplicates found in pass 1, and
+  // solve + emit the clean/removal logs incrementally.
+  log::LogWriterOptions writer_options;
+  writer_options.renumber = true;  // SolveAntipatterns Renumber()s both logs
+  log::LogWriter clean_writer(writer_options);
+  log::LogWriter removal_writer(writer_options);
+  SQLOG_RETURN_IF_ERROR_R(clean_writer.Open(clean_path));
+  SQLOG_RETURN_IF_ERROR_R(removal_writer.Open(removal_path));
+  StreamingSolver solver(result.parsed, result.antipatterns, clean_writer,
+                         removal_writer);
+  log::LogReader second_reader;
+  SQLOG_RETURN_IF_ERROR_R(second_reader.Open(input_path));
+  uint64_t second_count = 0;
+  while (true) {
+    SQLOG_RETURN_IF_ERROR_R(second_reader.ReadRecord(&record, &eof));
+    if (eof) break;
+    if (second_count >= raw_count) {
+      return Status::Internal("input grew between streaming passes");
+    }
+    if (!options.use_user_metadata) {
+      record.user.clear();
+      record.session.clear();
+    }
+    if (kept[second_count] != 0) {
+      SQLOG_RETURN_IF_ERROR_R(solver.Feed(record));
+    }
+    ++second_count;
+  }
+  if (second_count != raw_count) {
+    return Status::Internal("input shrank between streaming passes");
+  }
+  SQLOG_RETURN_IF_ERROR_R(solver.Finish());
+  SQLOG_RETURN_IF_ERROR_R(clean_writer.Close());
+  SQLOG_RETURN_IF_ERROR_R(removal_writer.Close());
+
+  result.stats.solve = solver.stats();
+  result.stats.final_size = clean_writer.records_written();
+  result.stats.removal_size = removal_writer.records_written();
   return result;
 }
 

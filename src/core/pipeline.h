@@ -2,6 +2,7 @@
 #define SQLOG_CORE_PIPELINE_H_
 
 #include <memory>
+#include <string>
 
 #include "catalog/schema.h"
 #include "core/antipattern.h"
@@ -43,6 +44,19 @@ struct PipelineOptions {
   /// Cap on per-record parse failures kept as diagnostics in
   /// PipelineStats (the failures are always *counted* in full).
   size_t max_parse_diagnostics = 32;
+  /// Streaming ingestion (Pipeline::RunStreaming): the raw log is never
+  /// held in memory — records are read, deduplicated, and parsed in
+  /// batches of `batch_size`, and the clean/removal logs are written
+  /// incrementally. Peak memory is bounded by the batch plus the
+  /// template/pattern state, not the log size. Output is byte-identical
+  /// to the in-memory path at any batch size and thread count, but the
+  /// input must already be (timestamp, seq)-ordered and the mode
+  /// supports neither extra_clean_passes nor custom rules (their detect
+  /// hooks read ASTs the streaming parser releases).
+  bool streaming = false;
+  /// Records per streaming batch; larger batches parallelize better,
+  /// smaller ones bound memory tighter.
+  size_t batch_size = 4096;
 };
 
 /// Validates a PipelineOptions bundle; returns the first violation.
@@ -66,6 +80,20 @@ struct PipelineResult {
   bool PatternIsAntipattern(size_t pattern_index, bool solvable_only = false) const;
 };
 
+/// What Pipeline::RunStreaming returns: the analysis state (templates,
+/// parsed log with ASTs released, patterns, reports) plus the overview
+/// statistics. The clean and removal logs live on disk — the streaming
+/// path never materializes them; stats.final_size / stats.removal_size
+/// carry their record counts.
+struct StreamingRunResult {
+  TemplateStore templates;
+  ParsedLog parsed;
+  std::vector<Pattern> patterns;  // sorted by frequency
+  AntipatternReport antipatterns;
+  SwsReport sws;
+  PipelineStats stats;
+};
+
 /// Runs the full workflow of Fig. 1 over a raw log: delete duplicates →
 /// parse statements → templates → patterns → detect antipatterns →
 /// solve → clean log + statistics. Prefer constructing through
@@ -85,6 +113,19 @@ class Pipeline {
   /// per-record parse failures do not fail the run, they are counted
   /// and sampled into PipelineStats::parse_diagnostics.
   Result<PipelineResult> Run(const log::QueryLog& raw_log) const;
+
+  /// Executes the workflow with bounded memory: reads the raw log from
+  /// `input_path` twice (pass 1 dedups + parses in batches of
+  /// options().batch_size; pass 2 re-reads to solve + write), and emits
+  /// the clean and removal logs straight to `clean_path`/`removal_path`.
+  /// The output files and the returned statistics are byte-identical to
+  /// Run() + LogIo::WriteFile of the same input at any batch size and
+  /// thread count. The input file must be (timestamp, seq)-ordered and
+  /// must not change between the passes. Streaming-mode restrictions
+  /// (no extra_clean_passes, no custom rules) are validated up front.
+  Result<StreamingRunResult> RunStreaming(const std::string& input_path,
+                                          const std::string& clean_path,
+                                          const std::string& removal_path) const;
 
  private:
   PipelineOptions options_;
@@ -142,6 +183,14 @@ class PipelineBuilder {
   }
   PipelineBuilder& MaxParseDiagnostics(size_t max) {
     options_.max_parse_diagnostics = max;
+    return *this;
+  }
+  PipelineBuilder& Streaming(bool streaming) {
+    options_.streaming = streaming;
+    return *this;
+  }
+  PipelineBuilder& BatchSize(size_t batch_size) {
+    options_.batch_size = batch_size;
     return *this;
   }
 

@@ -335,4 +335,168 @@ SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& 
   return outcome;
 }
 
+StreamingSolver::StreamingSolver(ParsedLog& parsed, const AntipatternReport& report,
+                                 log::LogWriter& clean_writer,
+                                 log::LogWriter& removal_writer)
+    : parsed_(parsed),
+      report_(report),
+      clean_writer_(clean_writer),
+      removal_writer_(removal_writer) {
+  query_at_record_.reserve(parsed_.queries.size());
+  for (size_t q = 0; q < parsed_.queries.size(); ++q) {
+    query_at_record_[parsed_.queries[q].record_index] = q;
+  }
+  // Mirror SolveAntipatterns's pre-compute loop: every unsolvable
+  // instance counts once; every solvable instance gets a rewrite — here
+  // deferred until its last listed member streams past.
+  for (size_t k = 0; k < report_.instances.size(); ++k) {
+    const AntipatternInstance& instance = report_.instances[k];
+    if (!InstanceSolvable(instance, /*rules=*/{})) {
+      ++stats_.instances_unsolvable;
+      continue;
+    }
+    uint32_t id = static_cast<uint32_t>(k + 1);
+    members_pending_[id] = instance.query_indices.size();
+    for (size_t idx : instance.query_indices) {
+      AstNeed& need = ast_needs_[idx];
+      need.instances.push_back(id);
+      ++need.unresolved;
+    }
+  }
+}
+
+Status StreamingSolver::Feed(const log::LogRecord& record) {
+  const size_t r = next_record_++;
+  auto record_it = query_at_record_.find(r);
+  // Non-SELECTs and syntax errors never reach the output logs.
+  if (record_it == query_at_record_.end()) return Status::OK();
+  const size_t q = record_it->second;
+
+  // Restore the AST for solvable-instance members (released by the
+  // streaming parser). The parser is deterministic, so this reproduces
+  // the AST the in-memory path rewrote from.
+  std::vector<uint32_t> completed;
+  auto need_it = ast_needs_.find(q);
+  if (need_it != ast_needs_.end()) {
+    auto facts = sql::ParseAndAnalyze(record.statement);
+    if (!facts.ok()) {
+      return Status::Internal(
+          StrFormat("record %zu no longer parses between passes: %s", r,
+                    facts.status().message().c_str()));
+    }
+    parsed_.queries[q].facts.ast = std::move(facts.value().ast);
+    for (uint32_t id : need_it->second.instances) {
+      auto pending_it = members_pending_.find(id);
+      if (pending_it != members_pending_.end() && --pending_it->second == 0) {
+        members_pending_.erase(pending_it);
+        completed.push_back(id);
+      }
+    }
+  }
+
+  Slot slot;
+  slot.record = record;
+  const uint32_t claiming = report_.instance_of_query[q];
+  if (claiming == 0) {
+    slot.resolved = true;
+    slot.to_clean = true;
+    slot.to_removal = true;
+  } else {
+    const AntipatternInstance& instance = report_.instances[claiming - 1];
+    if (!InstanceSolvable(instance, /*rules=*/{})) {
+      // CTH candidates stay in the clean log but leave the removal log.
+      slot.resolved = true;
+      slot.to_clean = true;
+      slot.to_removal = false;
+    } else {
+      slot.instance_id = claiming;
+      slot.is_first =
+          parsed_.queries[instance.query_indices.front()].record_index == r;
+    }
+  }
+  slots_.push_back(std::move(slot));
+
+  for (uint32_t id : completed) ResolveInstance(id);
+  return Drain();
+}
+
+void StreamingSolver::ResolveInstance(uint32_t instance_id) {
+  const AntipatternInstance& instance = report_.instances[instance_id - 1];
+  std::vector<const ParsedQuery*> members;
+  members.reserve(instance.query_indices.size());
+  for (size_t idx : instance.query_indices) members.push_back(&parsed_.queries[idx]);
+
+  Result<std::string> rewrite = Status::Internal("unset");
+  switch (instance.type) {
+    case AntipatternType::kDwStifle: rewrite = RewriteDwStifle(members); break;
+    case AntipatternType::kDsStifle: rewrite = RewriteDsStifle(members); break;
+    case AntipatternType::kDfStifle: rewrite = RewriteDfStifle(members); break;
+    case AntipatternType::kSnc: rewrite = RewriteSnc(*members[0]); break;
+    case AntipatternType::kCustom:
+    case AntipatternType::kCthCandidate:
+      break;  // unreachable: custom rules are rejected in streaming mode
+  }
+  if (rewrite.ok()) {
+    ++stats_.instances_solved;
+    if (instance.type == AntipatternType::kSnc) {
+      ++stats_.queries_rewritten_in_place;
+    } else {
+      stats_.queries_merged += instance.query_indices.size() - 1;
+    }
+  } else {
+    ++stats_.rewrite_failures;
+  }
+
+  // All slots claimed by this instance are still queued (pending slots
+  // never drain); mark their fate.
+  for (Slot& slot : slots_) {
+    if (slot.instance_id != instance_id || slot.resolved) continue;
+    slot.resolved = true;
+    if (rewrite.ok()) {
+      if (slot.is_first) {
+        slot.record.statement = rewrite.value();
+        slot.to_clean = true;
+      }
+      // Non-first members of solved instances reach neither log.
+    } else {
+      // Failed rewrites keep the instance verbatim in both logs.
+      slot.to_clean = true;
+      slot.to_removal = true;
+    }
+  }
+
+  // Release member ASTs once no unresolved instance still needs them.
+  for (size_t idx : instance.query_indices) {
+    auto it = ast_needs_.find(idx);
+    if (it != ast_needs_.end() && --it->second.unresolved == 0) {
+      parsed_.queries[idx].facts.ast.reset();
+      ast_needs_.erase(it);
+    }
+  }
+}
+
+Status StreamingSolver::Drain() {
+  while (!slots_.empty() && slots_.front().resolved) {
+    Slot& slot = slots_.front();
+    if (slot.to_clean) SQLOG_RETURN_IF_ERROR(clean_writer_.Append(slot.record));
+    if (slot.to_removal) SQLOG_RETURN_IF_ERROR(removal_writer_.Append(slot.record));
+    slots_.pop_front();
+  }
+  return Status::OK();
+}
+
+Status StreamingSolver::Finish() {
+  if (!members_pending_.empty()) {
+    return Status::Internal(StrFormat(
+        "%zu antipattern instance(s) missing members at end of stream — the "
+        "input changed between passes",
+        members_pending_.size()));
+  }
+  SQLOG_RETURN_IF_ERROR(Drain());
+  if (!slots_.empty()) {
+    return Status::Internal("unresolved output slots at end of stream");
+  }
+  return Status::OK();
+}
+
 }  // namespace sqlog::core

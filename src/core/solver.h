@@ -1,11 +1,15 @@
 #ifndef SQLOG_CORE_SOLVER_H_
 #define SQLOG_CORE_SOLVER_H_
 
+#include <cstdint>
+#include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/antipattern.h"
 #include "core/template_store.h"
+#include "log/log_stream.h"
 #include "log/record.h"
 #include "util/status.h"
 
@@ -56,6 +60,78 @@ Result<std::string> RewriteSnc(const ParsedQuery& query);
 SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& parsed,
                                const AntipatternReport& report,
                                const std::vector<CustomRule>& custom_rules = {});
+
+/// Incremental flavour of SolveAntipatterns for the streaming ingestion
+/// path: pre-clean records are fed one at a time in pre-clean order and
+/// the clean/removal rows are emitted straight to the two LogWriters —
+/// byte-identical (rows, order, renumbered seqs, SolveStats) to what
+/// SolveAntipatterns would produce over the whole log.
+///
+/// Rewriting needs member ASTs, which the streaming parser released to
+/// bound memory; the solver re-parses just the member statements of
+/// solvable instances as they stream past (the parser is deterministic,
+/// so the ASTs — and therefore the rewrites — are identical), restores
+/// them into `parsed` temporarily, and clears them once the instance
+/// resolves. Records are buffered only while an instance that contains
+/// them is still unresolved, so the buffer is bounded by the detector's
+/// gap-bounded segment span, not the log length.
+///
+/// Custom rules are not supported (streaming mode rejects them — their
+/// detect hooks read the released ASTs).
+class StreamingSolver {
+ public:
+  /// Both writers must be open; they must be configured with
+  /// renumber=true to reproduce SolveAntipatterns's Renumber().
+  StreamingSolver(ParsedLog& parsed, const AntipatternReport& report,
+                  log::LogWriter& clean_writer, log::LogWriter& removal_writer);
+
+  /// Feeds the next pre-clean record (call in pre-clean order, starting
+  /// at position 0).
+  Status Feed(const log::LogRecord& record);
+
+  /// Flushes remaining output. Every instance must have resolved (all
+  /// members fed); call after the last record.
+  Status Finish();
+
+  const SolveStats& stats() const { return stats_; }
+
+ private:
+  /// One output slot, queued until every earlier slot is resolved.
+  struct Slot {
+    log::LogRecord record;
+    uint32_t instance_id = 0;  // pending claiming instance; 0 once resolved
+    bool is_first = false;     // first member of the claiming instance
+    bool resolved = false;
+    bool to_clean = false;
+    bool to_removal = false;
+  };
+
+  /// AST bookkeeping for one query listed by ≥1 solvable instance.
+  /// Instances overlap (claiming is first-wins), so a query's re-parsed
+  /// AST stays restored until every instance listing it has resolved.
+  struct AstNeed {
+    std::vector<uint32_t> instances;  // solvable instances listing the query
+    uint32_t unresolved = 0;
+  };
+
+  void ResolveInstance(uint32_t instance_id);
+  Status Drain();
+
+  ParsedLog& parsed_;
+  const AntipatternReport& report_;
+  log::LogWriter& clean_writer_;
+  log::LogWriter& removal_writer_;
+  SolveStats stats_;
+
+  /// pre-clean record index → ParsedLog query index.
+  std::unordered_map<size_t, size_t> query_at_record_;
+  /// query index → AST bookkeeping (solvable-instance members only).
+  std::unordered_map<size_t, AstNeed> ast_needs_;
+  /// instance id (1-based, solvable only) → members not yet fed.
+  std::unordered_map<uint32_t, size_t> members_pending_;
+  std::deque<Slot> slots_;
+  size_t next_record_ = 0;  // position assigned to the next Feed
+};
 
 }  // namespace sqlog::core
 

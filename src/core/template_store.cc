@@ -56,13 +56,15 @@ struct ParseShard {
   std::vector<ParseDiagnostic> diagnostics;
 };
 
-/// Classifies + parses records [begin, end) of `log` into a shard.
-ParseShard ParseShardRange(const log::QueryLog& log, size_t begin, size_t end,
-                           size_t max_diagnostics) {
+/// Classifies + parses the records at [begin, end) of `records` into a
+/// shard; record_index values are offset by `index_base` (the records'
+/// position in the whole pre-clean log, used by the batch path).
+ParseShard ParseShardRange(const log::LogRecord* records, size_t begin, size_t end,
+                           size_t index_base, size_t max_diagnostics) {
   ParseShard shard;
   shard.queries.reserve(end - begin);
   for (size_t i = begin; i < end; ++i) {
-    const log::LogRecord& record = log.records()[i];
+    const log::LogRecord& record = records[i];
     if (sql::ClassifyStatement(record.statement) != sql::StatementKind::kSelect) {
       ++shard.non_select_count;
       continue;
@@ -93,31 +95,15 @@ ParseShard ParseShardRange(const log::QueryLog& log, size_t begin, size_t end,
 
 constexpr uint64_t kUnmapped = ~uint64_t{0};
 
-}  // namespace
-
-ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
-                   util::ThreadPool* pool, size_t max_diagnostics) {
-  ParsedLog parsed;
-  parsed.queries.reserve(log.size());
-
-  size_t num_shards = 1;
-  if (pool != nullptr && pool->size() > 0) {
-    num_shards = std::min(log.size(), 4 * (pool->size() + 1));
-    if (num_shards == 0) num_shards = 1;
-  }
-
-  // Map: parse + skeletonize each contiguous record shard into a local
-  // TemplateStore (the expensive part — runs in parallel).
-  std::vector<ParseShard> shards = util::MapShards<ParseShard>(
-      num_shards > 1 ? pool : nullptr, log.size(), num_shards,
-      [&](size_t, size_t begin, size_t end) {
-        return ParseShardRange(log, begin, end, max_diagnostics);
-      });
-
-  // Reduce: merge shards in order. Shards are contiguous record ranges,
-  // so walking them in shard order visits queries in exactly the serial
-  // order — global template ids, user ids, first_query indices, and
-  // per-template statistics come out byte-identical to the serial path.
+/// Merges parse shards covering `records` (pre-clean indices offset by
+/// `index_base`) into `store`/`parsed` in order. Shards are contiguous
+/// record ranges, so walking them in shard order visits queries in
+/// exactly the serial order — global template ids, user ids, first_query
+/// indices, and per-template statistics come out byte-identical to the
+/// serial path.
+void MergeShards(std::vector<ParseShard>& shards, const log::LogRecord* records,
+                 size_t index_base, TemplateStore& store, size_t max_diagnostics,
+                 ParsedLog& parsed) {
   for (ParseShard& shard : shards) {
     parsed.non_select_count += shard.non_select_count;
     parsed.syntax_error_count += shard.syntax_error_count;
@@ -137,15 +123,17 @@ ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
         local_to_global[local_id] = store.Intern(query.facts.tmpl, query_index);
       }
       query.template_id = local_to_global[local_id];
-      query.user_id = store.InternUser(log.records()[query.record_index].user);
+      query.user_id = store.InternUser(records[query.record_index - index_base].user);
       store.RecordUse(query.template_id, query.user_id);
       parsed.queries.push_back(std::move(query));
     }
   }
+}
 
-  // Per-user time-ordered streams.
+/// Builds the per-user time-ordered streams from the merged queries.
+void BuildUserStreams(const TemplateStore& store, ParsedLog& parsed) {
   parsed.user_names = store.user_names();
-  parsed.user_streams.resize(store.user_names().size());
+  parsed.user_streams.assign(store.user_names().size(), {});
   for (size_t i = 0; i < parsed.queries.size(); ++i) {
     parsed.user_streams[parsed.queries[i].user_id].push_back(i);
   }
@@ -157,7 +145,81 @@ ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
       return qa.record_index < qb.record_index;
     });
   }
+}
+
+/// Shard count for parsing `count` records on `pool` (ParseLog's
+/// historical formula — reused by the batch path for byte-stability).
+size_t ParseShardCount(util::ThreadPool* pool, size_t count) {
+  size_t num_shards = 1;
+  if (pool != nullptr && pool->size() > 0) {
+    num_shards = std::min(count, 4 * (pool->size() + 1));
+    if (num_shards == 0) num_shards = 1;
+  }
+  return num_shards;
+}
+
+}  // namespace
+
+ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
+                   util::ThreadPool* pool, size_t max_diagnostics) {
+  ParsedLog parsed;
+  parsed.queries.reserve(log.size());
+
+  const log::LogRecord* records = log.records().data();
+  size_t num_shards = ParseShardCount(pool, log.size());
+
+  // Map: parse + skeletonize each contiguous record shard into a local
+  // TemplateStore (the expensive part — runs in parallel).
+  std::vector<ParseShard> shards = util::MapShards<ParseShard>(
+      num_shards > 1 ? pool : nullptr, log.size(), num_shards,
+      [&](size_t, size_t begin, size_t end) {
+        return ParseShardRange(records, begin, end, /*index_base=*/0, max_diagnostics);
+      });
+
+  // Reduce: merge shards in order, then build the per-user streams.
+  MergeShards(shards, records, /*index_base=*/0, store, max_diagnostics, parsed);
+  BuildUserStreams(store, parsed);
   return parsed;
+}
+
+StreamingParser::StreamingParser(TemplateStore& store, size_t max_diagnostics,
+                                 util::ThreadPool* pool)
+    : store_(store), max_diagnostics_(max_diagnostics), pool_(pool) {}
+
+void StreamingParser::FeedBatch(const std::vector<log::LogRecord>& records) {
+  if (records.empty()) return;
+  const size_t index_base = records_fed_;
+  const log::LogRecord* data = records.data();
+  size_t num_shards = ParseShardCount(pool_, records.size());
+
+  std::vector<ParseShard> shards = util::MapShards<ParseShard>(
+      num_shards > 1 ? pool_ : nullptr, records.size(), num_shards,
+      [&](size_t, size_t begin, size_t end) {
+        ParseShard shard =
+            ParseShardRange(data, begin, end, /*index_base=*/0, max_diagnostics_);
+        // Shard-local record indices → global pre-clean positions.
+        for (ParsedQuery& query : shard.queries) query.record_index += index_base;
+        for (ParseDiagnostic& diagnostic : shard.diagnostics) {
+          diagnostic.record_index += index_base;
+        }
+        return shard;
+      });
+
+  size_t first_new = parsed_.queries.size();
+  MergeShards(shards, data, index_base, store_, max_diagnostics_, parsed_);
+
+  // Bound memory: the AST is only needed until the template is interned
+  // (detection works off the retained clause facts). The streaming
+  // solver re-parses the statements it rewrites.
+  for (size_t i = first_new; i < parsed_.queries.size(); ++i) {
+    parsed_.queries[i].facts.ast.reset();
+  }
+  records_fed_ += records.size();
+}
+
+ParsedLog StreamingParser::Finish() {
+  BuildUserStreams(store_, parsed_);
+  return std::move(parsed_);
 }
 
 }  // namespace sqlog::core

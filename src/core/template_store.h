@@ -99,6 +99,45 @@ class TemplateStore {
 ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
                    util::ThreadPool* pool = nullptr, size_t max_diagnostics = 0);
 
+/// Batch-incremental flavour of ParseLog for the streaming ingestion
+/// path: feed the deduplicated records batch by batch (in pre-clean
+/// order), then Finish(). Produces the identical ParsedLog/TemplateStore
+/// a single ParseLog call over the concatenated records would — template
+/// ids, user ids, first_query indices, diagnostics, and user streams are
+/// all byte-stable against the in-memory path at any batch size.
+///
+/// To keep peak memory bounded by batch size, each query's `facts.ast`
+/// is released once its template is interned — the detector and miner
+/// never touch ASTs, and the streaming solver re-parses the few
+/// statements it must rewrite. Everything else in QueryFacts (clause
+/// texts, predicates) is retained, so detection is unaffected.
+class StreamingParser {
+ public:
+  /// Diagnostics are capped at `max_diagnostics` like ParseLog. With a
+  /// non-null `pool`, each batch is parsed with the same sharded
+  /// map-reduce as ParseLog.
+  StreamingParser(TemplateStore& store, size_t max_diagnostics = 0,
+                  util::ThreadPool* pool = nullptr);
+
+  /// Parses one batch of records appended at the current pre-clean
+  /// position (records_fed() before the call).
+  void FeedBatch(const std::vector<log::LogRecord>& records);
+
+  /// Builds the per-user streams and returns the accumulated log. The
+  /// parser must not be fed afterwards.
+  ParsedLog Finish();
+
+  /// Pre-clean records fed so far (= the record_index of the next one).
+  size_t records_fed() const { return records_fed_; }
+
+ private:
+  TemplateStore& store_;
+  size_t max_diagnostics_;
+  util::ThreadPool* pool_;
+  ParsedLog parsed_;
+  size_t records_fed_ = 0;
+};
+
 }  // namespace sqlog::core
 
 #endif  // SQLOG_CORE_TEMPLATE_STORE_H_

@@ -1,34 +1,18 @@
 #include "log/log_io.h"
 
-#include <cstdlib>
 #include <fstream>
-#include <sstream>
 
+#include "log/log_stream.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
 namespace sqlog::log {
 
-namespace {
-constexpr const char* kHeader = "seq,timestamp_ms,user,session,row_count,truth,statement";
-constexpr size_t kFieldCount = 7;
-}  // namespace
-
 std::string LogIo::ToCsv(const QueryLog& log) {
-  std::string out = kHeader;
+  std::string out = kLogCsvHeader;
   out.push_back('\n');
   for (const auto& record : log.records()) {
-    std::vector<std::string> fields;
-    fields.reserve(kFieldCount);
-    fields.push_back(std::to_string(record.seq));
-    fields.push_back(std::to_string(record.timestamp_ms));
-    fields.push_back(record.user);
-    fields.push_back(record.session);
-    fields.push_back(std::to_string(record.row_count));
-    fields.push_back(TruthLabelName(record.truth));
-    fields.push_back(record.statement);
-    out += Csv::JoinLine(fields);
-    out.push_back('\n');
+    AppendCsvRow(record, record.seq, out);
   }
   return out;
 }
@@ -36,47 +20,54 @@ std::string LogIo::ToCsv(const QueryLog& log) {
 Result<QueryLog> LogIo::FromCsv(const std::string& csv_text) {
   std::vector<std::string> lines = Csv::SplitLogicalLines(csv_text);
   QueryLog log;
-  bool first = true;
-  for (const auto& line : lines) {
+  uint64_t line_number = 0;
+  for (auto& line : lines) {
+    ++line_number;
     if (Trim(line).empty()) continue;
-    if (first) {
-      first = false;
-      if (StartsWithIgnoreCase(line, "seq,")) continue;  // header
+    if (IsLogCsvHeaderLine(line)) {
+      // Only the first logical line may be the header; a header-shaped
+      // line later in the file signals concatenated or corrupted input
+      // and must not be swallowed as data.
+      if (line_number == 1) continue;
+      return Status::ParseError(
+          StrFormat("line %llu: stray header row", (unsigned long long)line_number));
     }
     auto fields = Csv::ParseLine(line);
-    if (!fields.ok()) return fields.status();
-    if (fields->size() != kFieldCount) {
-      return Status::ParseError(
-          StrFormat("expected %zu CSV fields, got %zu", kFieldCount, fields->size()));
+    if (!fields.ok()) {
+      return Status::ParseError(StrFormat("line %llu: %s",
+                                          (unsigned long long)line_number,
+                                          fields.status().message().c_str()));
     }
-    LogRecord record;
-    record.seq = std::strtoull((*fields)[0].c_str(), nullptr, 10);
-    record.timestamp_ms = std::strtoll((*fields)[1].c_str(), nullptr, 10);
-    record.user = (*fields)[2];
-    record.session = (*fields)[3];
-    record.row_count = std::strtoll((*fields)[4].c_str(), nullptr, 10);
-    record.truth = ParseTruthLabel((*fields)[5]);
-    record.statement = (*fields)[6];
-    log.Append(std::move(record));
+    auto record = RecordFromCsvFields(std::move(fields.value()), line_number);
+    if (!record.ok()) return record.status();
+    log.Append(std::move(record.value()));
   }
   return log;
 }
 
 Status LogIo::WriteFile(const QueryLog& log, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  std::string csv = ToCsv(log);
-  out.write(csv.data(), static_cast<std::streamsize>(csv.size()));
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  LogWriter writer;
+  SQLOG_RETURN_IF_ERROR(writer.Open(path));
+  for (const auto& record : log.records()) {
+    SQLOG_RETURN_IF_ERROR(writer.Append(record));
+  }
+  return writer.Close();
 }
 
 Result<QueryLog> LogIo::ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return FromCsv(buffer.str());
+  // Streams in bounded chunks instead of slurping the file into one
+  // string — only the decoded records are held.
+  LogReader reader;
+  SQLOG_RETURN_IF_ERROR_R(reader.Open(path));
+  QueryLog log;
+  LogRecord record;
+  bool eof = false;
+  while (true) {
+    SQLOG_RETURN_IF_ERROR_R(reader.ReadRecord(&record, &eof));
+    if (eof) break;
+    log.Append(std::move(record));
+  }
+  return log;
 }
 
 }  // namespace sqlog::log

@@ -1,0 +1,140 @@
+#ifndef SQLOG_LOG_LOG_STREAM_H_
+#define SQLOG_LOG_LOG_STREAM_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "log/record.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace sqlog::log {
+
+/// The CSV header of the query-log file format (shared by LogIo and the
+/// streaming reader/writer).
+inline constexpr const char* kLogCsvHeader =
+    "seq,timestamp_ms,user,session,row_count,truth,statement";
+inline constexpr size_t kLogCsvFieldCount = 7;
+
+/// True when `line` looks like the file-format header (first column name
+/// in place of a numeric seq).
+bool IsLogCsvHeaderLine(std::string_view line);
+
+/// Assembles a LogRecord from one parsed CSV row, validating every
+/// numeric field strictly: non-numeric, partially-numeric, and
+/// overflowing values are ParseErrors naming the 1-based `line_number`
+/// and the offending field — never silently read as 0.
+Result<LogRecord> RecordFromCsvFields(std::vector<std::string>&& fields,
+                                      uint64_t line_number);
+
+/// Appends one CSV row (no trailing work left to the caller: includes
+/// the '\n') for `record`, with `seq` written in place of record.seq.
+/// Byte-identical to the rows LogIo::ToCsv emits.
+void AppendCsvRow(const LogRecord& record, uint64_t seq, std::string& out);
+
+/// Options for LogReader.
+struct LogReaderOptions {
+  /// Records per ReadBatch call.
+  size_t batch_size = 4096;
+  /// File-read granularity; memory held by the reader is O(chunk_bytes +
+  /// longest logical line).
+  size_t chunk_bytes = 1 << 20;
+};
+
+/// Chunked, bounded-memory CSV log reader: records are decoded
+/// incrementally from fixed-size file reads, so peak memory is
+/// independent of file size. Quoted multi-line statements are handled
+/// across chunk boundaries (util::Csv::LineSplitter). The header is
+/// recognized only on the first logical line; a stray header mid-file is
+/// a ParseError, as is any malformed numeric field or a final record
+/// truncated inside a quoted field.
+class LogReader {
+ public:
+  explicit LogReader(LogReaderOptions options = {});
+
+  LogReader(LogReader&&) = default;
+  LogReader& operator=(LogReader&&) = default;
+
+  /// Opens `path` for reading; IoError when it cannot be opened.
+  Status Open(const std::string& path);
+
+  /// Reads the next record into `*record`. Sets `*eof` (and leaves
+  /// `*record` untouched) when the input is exhausted.
+  Status ReadRecord(LogRecord* record, bool* eof);
+
+  /// Clears `*batch` and fills it with up to options.batch_size records.
+  /// An empty batch after an OK return means end of input.
+  Status ReadBatch(std::vector<LogRecord>* batch);
+
+  /// True once the underlying file is fully consumed.
+  bool exhausted() const { return exhausted_; }
+
+  /// Records decoded so far (excluding the header and blank lines).
+  uint64_t records_read() const { return records_read_; }
+
+ private:
+  /// Pulls the next logical line; false at end of input.
+  Status NextLine(std::string* line, bool* got);
+
+  LogReaderOptions options_;
+  std::ifstream in_;
+  std::vector<char> chunk_;
+  Csv::LineSplitter splitter_;
+  bool source_drained_ = false;  // file bytes fully fed to the splitter
+  bool exhausted_ = false;       // no more records will be produced
+  uint64_t line_number_ = 0;     // 1-based logical line counter
+  uint64_t records_read_ = 0;
+};
+
+/// Options for LogWriter.
+struct LogWriterOptions {
+  /// Emit the header as the first line.
+  bool write_header = true;
+  /// Write seq = output position instead of record.seq — the streaming
+  /// equivalent of QueryLog::Renumber() before LogIo::WriteFile().
+  bool renumber = false;
+  /// Buffered bytes before an implicit Flush.
+  size_t buffer_bytes = 1 << 20;
+};
+
+/// Incremental CSV log writer: records are appended one at a time into a
+/// bounded buffer, so a log of any size can be written with O(buffer)
+/// memory. The byte stream is identical to LogIo::WriteFile of the same
+/// record sequence (after Renumber() when options.renumber is set).
+class LogWriter {
+ public:
+  explicit LogWriter(LogWriterOptions options = {});
+  ~LogWriter();
+
+  LogWriter(LogWriter&&) = default;
+  LogWriter& operator=(LogWriter&&) = default;
+
+  /// Opens `path` for writing (truncates); IoError on failure.
+  Status Open(const std::string& path);
+
+  /// Appends one record.
+  Status Append(const LogRecord& record);
+
+  /// Writes buffered bytes through to the file.
+  Status Flush();
+
+  /// Flushes and closes; Append afterwards is an error. Open may be
+  /// called again. Destruction without Close() flushes best-effort.
+  Status Close();
+
+  uint64_t records_written() const { return records_written_; }
+
+ private:
+  LogWriterOptions options_;
+  std::ofstream out_;
+  std::string buffer_;
+  bool open_ = false;
+  uint64_t records_written_ = 0;
+};
+
+}  // namespace sqlog::log
+
+#endif  // SQLOG_LOG_LOG_STREAM_H_

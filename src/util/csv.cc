@@ -74,6 +74,60 @@ Result<std::vector<std::string>> Csv::ParseLine(std::string_view line, char sep)
   return fields;
 }
 
+void Csv::LineSplitter::Feed(std::string_view chunk) {
+  for (char c : chunk) {
+    if (pending_cr_) {
+      // The CR ended a line; a following LF belongs to the same break.
+      pending_cr_ = false;
+      ready_.push_back(std::move(current_));
+      current_.clear();
+      if (c == '\n') continue;
+    }
+    if (c == '"') {
+      in_quotes_ = !in_quotes_;
+      current_.push_back(c);
+      continue;
+    }
+    if (!in_quotes_ && c == '\r') {
+      // Hold the decision: an LF may follow in the next chunk.
+      pending_cr_ = true;
+      continue;
+    }
+    if (!in_quotes_ && c == '\n') {
+      ready_.push_back(std::move(current_));
+      current_.clear();
+      continue;
+    }
+    current_.push_back(c);
+  }
+}
+
+bool Csv::LineSplitter::Next(std::string* line) {
+  if (next_ready_ == ready_.size()) {
+    if (next_ready_ != 0) {
+      ready_.clear();
+      next_ready_ = 0;
+    }
+    return false;
+  }
+  *line = std::move(ready_[next_ready_]);
+  ++next_ready_;
+  return true;
+}
+
+void Csv::LineSplitter::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (pending_cr_) {
+    pending_cr_ = false;
+    ready_.push_back(std::move(current_));
+    current_.clear();
+  } else if (!current_.empty()) {
+    ready_.push_back(std::move(current_));
+    current_.clear();
+  }
+}
+
 std::vector<std::string> Csv::SplitLogicalLines(std::string_view content) {
   std::vector<std::string> lines;
   std::string current;

@@ -28,6 +28,45 @@ class Csv {
   /// Splits file content into logical CSV lines: newlines inside quoted
   /// fields do not terminate a line.
   static std::vector<std::string> SplitLogicalLines(std::string_view content);
+
+  /// Incremental flavour of SplitLogicalLines for streaming readers:
+  /// feed the file in arbitrary chunks, pull complete logical lines as
+  /// they become available. Quote state and CRLF pairs survive chunk
+  /// boundaries, so any chunking yields exactly the lines
+  /// SplitLogicalLines produces on the concatenated input.
+  ///
+  ///   LineSplitter splitter;
+  ///   while (read chunk) {
+  ///     splitter.Feed(chunk);
+  ///     while (splitter.Next(&line)) { ... }
+  ///   }
+  ///   splitter.Finish();
+  ///   while (splitter.Next(&line)) { ... }   // the unterminated tail
+  class LineSplitter {
+   public:
+    /// Appends a chunk of file content.
+    void Feed(std::string_view chunk);
+
+    /// Moves the next complete logical line into `*line`; false when no
+    /// complete line is buffered yet.
+    bool Next(std::string* line);
+
+    /// Marks end of input: a non-empty unterminated final line becomes
+    /// available to Next(). Feed() must not be called afterwards.
+    void Finish();
+
+    /// True when Finish() was called while inside a quoted field — the
+    /// input was truncated mid-record.
+    bool truncated_in_quotes() const { return finished_ && in_quotes_; }
+
+   private:
+    std::string current_;
+    std::vector<std::string> ready_;
+    size_t next_ready_ = 0;
+    bool in_quotes_ = false;
+    bool pending_cr_ = false;  // last fed byte was an unquoted CR
+    bool finished_ = false;
+  };
 };
 
 }  // namespace sqlog

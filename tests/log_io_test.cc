@@ -78,6 +78,53 @@ TEST(LogIoTest, WrongFieldCountIsError) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
 }
 
+TEST(LogIoTest, NonNumericSeqIsParseErrorNotZero) {
+  // Regression: unchecked strtoull used to read "abc" as seq 0.
+  auto loaded = LogIo::FromCsv("abc,100,u,s,1,organic,SELECT 1\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("seq"), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("line 1"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(LogIoTest, TrailingGarbageInTimestampIsParseError) {
+  auto loaded = LogIo::FromCsv(
+      "seq,timestamp_ms,user,session,row_count,truth,statement\n"
+      "0,100,u,s,1,organic,SELECT 1\n"
+      "1,200x,u,s,1,organic,SELECT 2\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("timestamp_ms"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(LogIoTest, OverflowingRowCountIsParseError) {
+  auto loaded =
+      LogIo::FromCsv("0,100,u,s,123456789012345678901234567890,organic,SELECT 1\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("row_count"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("out of range"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(LogIoTest, StrayHeaderMidFileIsParseError) {
+  // A second header means concatenated or corrupted input; it used to be
+  // swallowed as a data row (strtoull("seq") == 0).
+  auto loaded = LogIo::FromCsv(
+      "seq,timestamp_ms,user,session,row_count,truth,statement\n"
+      "0,100,u,s,1,organic,SELECT 1\n"
+      "seq,timestamp_ms,user,session,row_count,truth,statement\n"
+      "1,200,u,s,1,organic,SELECT 2\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("stray header"), std::string::npos)
+      << loaded.status().message();
+}
+
 TEST(LogIoTest, StatementWithCommasSurvives) {
   QueryLog log;
   LogRecord record;

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -16,6 +17,7 @@
 #include "catalog/schema.h"
 #include "core/pipeline.h"
 #include "log/generator.h"
+#include "log/log_io.h"
 
 #ifndef SQLOG_GOLDEN_DIR
 #error "SQLOG_GOLDEN_DIR must point at tests/golden"
@@ -88,6 +90,54 @@ TEST(PipelineGoldenTest, StatisticsMatchTheGoldenFileAtOneAndEightThreads) {
     ASSERT_EQ(a.timestamp_ms, b.timestamp_ms) << "record " << i;
     ASSERT_EQ(a.user, b.user) << "record " << i;
   }
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(PipelineGoldenTest, StreamingIsByteIdenticalAtAnyBatchSizeAndThreadCount) {
+  const log::QueryLog raw = FixedLog();
+  const catalog::Schema schema = catalog::MakeSkyServerSchema();
+
+  // The in-memory reference: its clean/removal logs serialized exactly
+  // as the streaming writers serialize them.
+  core::PipelineResult reference = RunAt(1, raw, schema);
+  const std::string want_table = reference.stats.ToTable();
+  const std::string want_clean = log::LogIo::ToCsv(reference.clean_log);
+  const std::string want_removal = log::LogIo::ToCsv(reference.removal_log);
+
+  const std::string input_path = ::testing::TempDir() + "/golden_stream_input.csv";
+  ASSERT_TRUE(log::LogIo::WriteFile(raw, input_path).ok());
+
+  for (size_t batch_size : {size_t{1}, size_t{4096}, raw.size()}) {
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch_size) +
+                   " threads=" + std::to_string(threads));
+      const std::string clean_path = ::testing::TempDir() + "/golden_stream_clean.csv";
+      const std::string removal_path =
+          ::testing::TempDir() + "/golden_stream_removal.csv";
+      auto pipeline = core::PipelineBuilder()
+                          .WithSchema(&schema)
+                          .NumThreads(threads)
+                          .Streaming(true)
+                          .BatchSize(batch_size)
+                          .Build();
+      ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+      auto run = pipeline->RunStreaming(input_path, clean_path, removal_path);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+      EXPECT_EQ(run->stats.ToTable(), want_table);
+      EXPECT_EQ(ReadAll(clean_path), want_clean);
+      EXPECT_EQ(ReadAll(removal_path), want_removal);
+      std::remove(clean_path.c_str());
+      std::remove(removal_path.c_str());
+    }
+  }
+  std::remove(input_path.c_str());
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ using namespace sqlog;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: sqlog <command> [args]\n"
+      "usage: sqlog <command> [flags] [args]\n"
       "  generate <n> <out.csv>       synthesize a SkyServer-style log\n"
       "  clean <in.csv> <out-prefix>  clean a log; writes <prefix>.clean.csv\n"
       "                               and <prefix>.removal.csv\n"
@@ -36,8 +36,37 @@ int Usage() {
       "  patterns <in.csv> [k]        top-k patterns with descriptions\n"
       "  antipatterns <in.csv> [k]    top-k distinct antipatterns\n"
       "  cluster <in.csv> [threshold] data-space clustering summary\n"
-      "  recommend <in.csv> <sql>     suggest likely next queries\n");
+      "  recommend <in.csv> <sql>     suggest likely next queries\n"
+      "flags for clean/stats:\n"
+      "  --streaming                  bounded-memory two-pass ingestion; the\n"
+      "                               input must be (timestamp, seq)-ordered\n"
+      "  --batch-size=<n>             records per streaming batch (default 4096;\n"
+      "                               implies --streaming)\n");
   return 2;
+}
+
+/// --streaming / --batch-size=<n>, stripped from the argument list by
+/// ParseStreamFlags (remaining positional args shift down).
+struct StreamFlags {
+  bool streaming = false;
+  size_t batch_size = 4096;
+};
+
+int ParseStreamFlags(int argc, char** argv, StreamFlags* flags) {
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--streaming") == 0) {
+      flags->streaming = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--batch-size=", 13) == 0) {
+      flags->batch_size = std::strtoull(argv[i] + 13, nullptr, 10);
+      flags->streaming = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  return kept;
 }
 
 Result<log::QueryLog> Load(const char* path) { return log::LogIo::ReadFile(path); }
@@ -50,6 +79,21 @@ Result<core::PipelineResult> RunPipeline(const log::QueryLog& raw) {
                       .Build();
   SQLOG_RETURN_IF_ERROR_R(pipeline.status());
   return pipeline->Run(raw);
+}
+
+Result<core::StreamingRunResult> RunStreamingPipeline(const StreamFlags& flags,
+                                                      const std::string& input,
+                                                      const std::string& clean_path,
+                                                      const std::string& removal_path) {
+  static catalog::Schema schema = catalog::MakeSkyServerSchema();
+  auto pipeline = core::PipelineBuilder()
+                      .WithSchema(&schema)
+                      .NumThreads(0)
+                      .Streaming(true)
+                      .BatchSize(flags.batch_size)
+                      .Build();
+  SQLOG_RETURN_IF_ERROR_R(pipeline.status());
+  return pipeline->RunStreaming(input, clean_path, removal_path);
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -68,7 +112,25 @@ int CmdGenerate(int argc, char** argv) {
 }
 
 int CmdClean(int argc, char** argv) {
+  StreamFlags flags;
+  argc = ParseStreamFlags(argc, argv, &flags);
   if (argc < 2) return Usage();
+  if (flags.streaming) {
+    std::string prefix = argv[1];
+    std::string clean_path = prefix + ".clean.csv";
+    std::string removal_path = prefix + ".removal.csv";
+    auto run = RunStreamingPipeline(flags, argv[0], clean_path, removal_path);
+    if (!run.ok()) {
+      std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", run->stats.ToTable().c_str());
+    std::printf("wrote %s (%llu records)\n", clean_path.c_str(),
+                (unsigned long long)run->stats.final_size);
+    std::printf("wrote %s (%llu records)\n", removal_path.c_str(),
+                (unsigned long long)run->stats.removal_size);
+    return 0;
+  }
   auto raw = Load(argv[0]);
   if (!raw.ok()) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
@@ -97,7 +159,25 @@ int CmdClean(int argc, char** argv) {
 }
 
 int CmdStats(int argc, char** argv) {
+  StreamFlags flags;
+  argc = ParseStreamFlags(argc, argv, &flags);
   if (argc < 1) return Usage();
+  if (flags.streaming) {
+    // stats has no output files of its own; the streaming pass still
+    // writes the clean/removal logs, so park them next to the input and
+    // remove them afterwards.
+    std::string clean_path = std::string(argv[0]) + ".stats-tmp.clean.csv";
+    std::string removal_path = std::string(argv[0]) + ".stats-tmp.removal.csv";
+    auto run = RunStreamingPipeline(flags, argv[0], clean_path, removal_path);
+    std::remove(clean_path.c_str());
+    std::remove(removal_path.c_str());
+    if (!run.ok()) {
+      std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", run->stats.ToTable().c_str());
+    return 0;
+  }
   auto raw = Load(argv[0]);
   if (!raw.ok()) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
