@@ -1,8 +1,11 @@
 #ifndef SQLOG_BENCH_BENCH_COMMON_H_
 #define SQLOG_BENCH_BENCH_COMMON_H_
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "catalog/schema.h"
@@ -12,6 +15,45 @@
 #include "util/timer.h"
 
 namespace sqlog::bench {
+
+/// The calling process's own peak RSS in bytes. Linux reads VmHWM from
+/// /proc/self/status because it tracks the current address space only:
+/// getrusage's ru_maxrss folds in the pre-exec inherited peak, which
+/// would make every child echo the parent's footprint.
+inline size_t SelfPeakRssBytes() {
+#ifdef __APPLE__
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<size_t>(usage.ru_maxrss);
+#else
+  FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+  }
+  std::fclose(status);
+  return kb * 1024;
+#endif
+}
+
+/// Strips a `--json=<path>` flag from argv (compacting the remaining
+/// arguments) and returns the path, or "" when absent. Both bench
+/// drivers share this so CI can request machine-readable results.
+inline std::string StripJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  return path;
+}
 
 /// Size of the synthetic study log. The paper's log has 42 M queries; we
 /// default to 120 k (≈ 1:350 scale) so every bench finishes in seconds.

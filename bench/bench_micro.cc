@@ -1,19 +1,29 @@
 // Micro-benchmarks (google-benchmark): component throughput of the
 // pipeline stages, plus the DESIGN.md ablation comparing hash-first
 // template grouping against canonical-string comparison.
+//
+// A custom main handles `--json=<path>` (google-benchmark rejects flags
+// it does not know): after the registered benchmarks run, it measures
+// the parse stage with the template fingerprint cache on and off over a
+// template-heavy generator workload and writes the machine-readable
+// comparison (records/sec, ns/record, hit rate, peak RSS) to the path —
+// CI checks this in as BENCH_parse.json.
 
 #include <benchmark/benchmark.h>
 
 #include <map>
 
+#include "bench_common.h"
 #include "catalog/schema.h"
 #include "core/pipeline.h"
+#include "core/template_store.h"
 #include "log/generator.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "sql/skeleton.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -145,4 +155,104 @@ BENCHMARK(BM_FullPipeline)
     ->Args({20000, 8})
     ->Unit(benchmark::kMillisecond);
 
+/// Parse-stage throughput with the fingerprint cache on vs off (the
+/// tentpole comparison; `sqlog --no-parse-cache` is the same switch).
+void BM_ParseLog(benchmark::State& state) {
+  static log::QueryLog raw = [] {
+    log::GeneratorConfig config;
+    config.target_statements = 20000;
+    return log::GenerateLog(config);
+  }();
+  core::ParseCacheOptions options;
+  options.enabled = state.range(0) != 0;
+  for (auto _ : state) {
+    core::TemplateStore store;
+    core::ParsedLog parsed = core::ParseLog(raw, store, nullptr, 0, options);
+    benchmark::DoNotOptimize(parsed);
+    state.SetItemsProcessed(state.items_processed() + static_cast<int64_t>(raw.size()));
+  }
+}
+BENCHMARK(BM_ParseLog)
+    ->Arg(0)  // cache off: every SELECT takes the full parser
+    ->Arg(1)  // cache on: repeats lex + fingerprint only
+    ->Unit(benchmark::kMillisecond);
+
+struct ParseMeasurement {
+  double seconds = 0.0;
+  double records_per_sec = 0.0;
+  double ns_per_record = 0.0;
+  core::ParseStats stats;
+};
+
+ParseMeasurement MeasureParse(const log::QueryLog& raw, bool cache_enabled) {
+  core::ParseCacheOptions options;
+  options.enabled = cache_enabled;
+  // Warm-up pass (page in the records), then the timed pass.
+  {
+    core::TemplateStore store;
+    core::ParsedLog parsed = core::ParseLog(raw, store, nullptr, 0, options);
+    benchmark::DoNotOptimize(parsed);
+  }
+  ParseMeasurement m;
+  Timer timer;
+  core::TemplateStore store;
+  core::ParsedLog parsed = core::ParseLog(raw, store, nullptr, 0, options);
+  m.seconds = timer.ElapsedSeconds();
+  m.stats = parsed.parse_stats;
+  m.records_per_sec = static_cast<double>(raw.size()) / m.seconds;
+  m.ns_per_record = m.seconds * 1e9 / static_cast<double>(raw.size());
+  return m;
+}
+
+int WriteParseJson(const std::string& path) {
+  log::QueryLog raw = bench::GenerateStudyLog();
+  ParseMeasurement uncached = MeasureParse(raw, /*cache_enabled=*/false);
+  ParseMeasurement cached = MeasureParse(raw, /*cache_enabled=*/true);
+  const uint64_t keyed = cached.stats.cache_hits + cached.stats.cache_misses +
+                         cached.stats.uncacheable_hits + cached.stats.failure_hits;
+  const double hit_rate =
+      keyed == 0 ? 0.0
+                 : static_cast<double>(cached.stats.parses_avoided()) /
+                       static_cast<double>(keyed);
+
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"parse_avoidance\",\n");
+  std::fprintf(out, "  \"records\": %zu,\n", raw.size());
+  std::fprintf(out,
+               "  \"uncached\": {\"seconds\": %.6f, \"records_per_sec\": %.1f, "
+               "\"ns_per_record\": %.1f, \"full_parses\": %llu},\n",
+               uncached.seconds, uncached.records_per_sec, uncached.ns_per_record,
+               static_cast<unsigned long long>(uncached.stats.full_parses));
+  std::fprintf(out,
+               "  \"cached\": {\"seconds\": %.6f, \"records_per_sec\": %.1f, "
+               "\"ns_per_record\": %.1f, \"full_parses\": %llu, "
+               "\"cache_hit_rate\": %.4f, \"parses_avoided\": %llu, "
+               "\"templates_cached\": %llu, \"cache_bytes\": %llu},\n",
+               cached.seconds, cached.records_per_sec, cached.ns_per_record,
+               static_cast<unsigned long long>(cached.stats.full_parses), hit_rate,
+               static_cast<unsigned long long>(cached.stats.parses_avoided()),
+               static_cast<unsigned long long>(cached.stats.templates_cached),
+               static_cast<unsigned long long>(cached.stats.cache_bytes));
+  std::fprintf(out, "  \"speedup\": %.3f,\n", uncached.seconds / cached.seconds);
+  std::fprintf(out, "  \"peak_rss_bytes\": %zu\n}\n", bench::SelfPeakRssBytes());
+  std::fclose(out);
+  std::printf("wrote %s (parse speedup %.2fx, hit rate %.1f%%)\n", path.c_str(),
+              uncached.seconds / cached.seconds, hit_rate * 100.0);
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = sqlog::bench::StripJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) return WriteParseJson(json_path);
+  return 0;
+}

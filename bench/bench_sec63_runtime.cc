@@ -20,27 +20,7 @@
 
 namespace {
 
-/// The calling process's own peak RSS in bytes. Linux reads VmHWM from
-/// /proc/self/status because it tracks the current address space only:
-/// getrusage's ru_maxrss folds in the pre-exec inherited peak, which
-/// would make every child echo the parent's footprint.
-size_t SelfPeakRssBytes() {
-#ifdef __APPLE__
-  struct rusage usage {};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<size_t>(usage.ru_maxrss);
-#else
-  FILE* status = std::fopen("/proc/self/status", "r");
-  if (status == nullptr) return 0;
-  char line[256];
-  size_t kb = 0;
-  while (std::fgets(line, sizeof line, status) != nullptr) {
-    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
-  }
-  std::fclose(status);
-  return kb * 1024;
-#endif
-}
+using sqlog::bench::SelfPeakRssBytes;
 
 /// Re-runs this binary with the given arguments and reports the child's
 /// wall time and peak RSS. The child measures its own peak (see
@@ -143,6 +123,7 @@ int main(int argc, char** argv) {
   using namespace sqlog;
   if (argc > 1 && std::string(argv[1]) == "--rss-child")
     return RunRssChild(argc, argv);
+  const std::string json_path = bench::StripJsonFlag(&argc, argv);
   bench::Banner("Sec. 6.3 — runtime of original Stifle queries vs rewritten queries",
                 "paper Sec. 6.3: 10222 → 254 queries, 29.27x faster");
 
@@ -249,6 +230,7 @@ int main(int argc, char** argv) {
               bench::StudySize(), std::thread::hardware_concurrency());
   log::QueryLog study = bench::GenerateStudyLog();
   double serial_seconds = 0.0;
+  std::vector<std::pair<size_t, double>> thread_sweep;
   for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
     core::PipelineOptions options;
     options.num_threads = threads;
@@ -256,6 +238,7 @@ int main(int argc, char** argv) {
     core::PipelineResult result = bench::RunStudyPipeline(study, options);
     double seconds = timer.ElapsedSeconds();
     if (threads == 1) serial_seconds = seconds;
+    thread_sweep.emplace_back(threads, seconds);
     std::printf("  num_threads=%zu  %8.2fs  speedup %.2fx  (clean log %s)\n", threads,
                 seconds, serial_seconds / seconds,
                 bench::Thousands(result.stats.final_size).c_str());
@@ -292,6 +275,12 @@ int main(int argc, char** argv) {
       {"streaming b=4096, 8 threads", "stream", 4096, 8},
       {"streaming b=65536, 8 threads", "stream", 65536, 8},
   };
+  struct SweepRow {
+    const SweepConfig* config;
+    double seconds;
+    size_t peak_rss;
+  };
+  std::vector<SweepRow> sweep_rows;
   for (const SweepConfig& config : sweep) {
     double seconds = 0.0;
     size_t peak_rss = 0;
@@ -306,11 +295,48 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "child run failed for %s\n", config.label);
       return 1;
     }
+    sweep_rows.push_back({&config, seconds, peak_rss});
     std::printf("  %-28s %9.2fs %14.1f\n", config.label, seconds,
                 static_cast<double>(peak_rss) / (1024.0 * 1024.0));
   }
   std::remove(input_path.c_str());
   std::remove(clean_path.c_str());
   std::remove(removal_path.c_str());
+
+  if (!json_path.empty()) {
+    FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"sec63_runtime\",\n");
+    std::fprintf(out, "  \"stifle\": {\n");
+    std::fprintf(out, "    \"original_statements\": %zu,\n", total);
+    std::fprintf(out, "    \"rewritten_statements\": %zu,\n", rewritten.size());
+    std::fprintf(out, "    \"original_seconds\": %.6f,\n", original_seconds);
+    std::fprintf(out, "    \"rewritten_seconds\": %.6f,\n", rewritten_seconds);
+    std::fprintf(out, "    \"speedup\": %.3f\n  },\n",
+                 original_seconds / rewritten_seconds);
+    std::fprintf(out, "  \"pipeline_thread_sweep\": [\n");
+    for (size_t i = 0; i < thread_sweep.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"threads\": %zu, \"seconds\": %.6f, \"speedup\": %.3f}%s\n",
+                   thread_sweep[i].first, thread_sweep[i].second,
+                   serial_seconds / thread_sweep[i].second,
+                   i + 1 < thread_sweep.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"ingestion_sweep\": [\n");
+    for (size_t i = 0; i < sweep_rows.size(); ++i) {
+      const SweepRow& row = sweep_rows[i];
+      std::fprintf(out,
+                   "    {\"label\": \"%s\", \"seconds\": %.6f, "
+                   "\"peak_rss_bytes\": %zu}%s\n",
+                   row.config->label, row.seconds, row.peak_rss,
+                   i + 1 < sweep_rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"peak_rss_bytes\": %zu\n}\n", SelfPeakRssBytes());
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

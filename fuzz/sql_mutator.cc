@@ -12,8 +12,26 @@ namespace sqlog::fuzz {
 
 namespace {
 
-using sql::Token;
 using sql::TokenType;
+
+/// Owning token copy for mutation: the lexer's tokens are string_views
+/// into the input, so edits (literal swaps, splices from other seeds)
+/// work on detached text.
+struct OwnedToken {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+
+  bool Is(TokenType t) const { return type == t; }
+};
+
+std::vector<OwnedToken> OwnTokens(const sql::TokenStream& stream) {
+  std::vector<OwnedToken> out;
+  out.reserve(stream.size());
+  for (const sql::Token& token : stream) {
+    out.push_back(OwnedToken{token.type, std::string(token.text)});
+  }
+  return out;
+}
 
 bool IsBareIdentifier(const std::string& text) {
   if (text.empty()) return false;
@@ -65,7 +83,7 @@ std::string RandomStringBody(Rng& rng) {
 /// Renders one token back to source text. Identifiers that are not bare
 /// re-quote with `"` (doubling embedded quotes), so bracketed names with
 /// spaces survive the trip.
-std::string RenderToken(const Token& token, Rng& rng, bool mutate_case) {
+std::string RenderToken(const OwnedToken& token, Rng& rng, bool mutate_case) {
   switch (token.type) {
     case TokenType::kIdentifier:
       if (IsBareIdentifier(token.text)) {
@@ -102,7 +120,7 @@ std::string RenderToken(const Token& token, Rng& rng, bool mutate_case) {
 /// True when `tokens[i]` is the numeric argument of TOP (`top 5` or
 /// `top (5)`), whose value prints concretely in the skeleton and is
 /// therefore part of the template.
-bool IsTopCount(const std::vector<Token>& tokens, size_t i) {
+bool IsTopCount(const std::vector<OwnedToken>& tokens, size_t i) {
   if (!tokens[i].Is(TokenType::kNumber)) return false;
   if (i >= 1 && tokens[i - 1].Is(TokenType::kIdentifier) &&
       EqualsIgnoreCase(tokens[i - 1].text, "top")) {
@@ -113,10 +131,10 @@ bool IsTopCount(const std::vector<Token>& tokens, size_t i) {
          EqualsIgnoreCase(tokens[i - 2].text, "top");
 }
 
-std::string RenderTokens(std::vector<Token> tokens, Rng& rng, bool mutate_literals) {
+std::string RenderTokens(std::vector<OwnedToken> tokens, Rng& rng, bool mutate_literals) {
   std::string out;
   for (size_t i = 0; i < tokens.size(); ++i) {
-    Token& token = tokens[i];
+    OwnedToken& token = tokens[i];
     if (token.Is(TokenType::kEnd)) break;
     if (mutate_literals) {
       if (token.Is(TokenType::kNumber) && !IsTopCount(tokens, i) && rng.Chance(0.7)) {
@@ -144,7 +162,7 @@ std::string RenderTokens(std::vector<Token> tokens, Rng& rng, bool mutate_litera
 std::string RenderPreserving(const std::string& sql, Rng& rng, bool mutate_literals) {
   auto tokens = sql::Lex(sql);
   if (!tokens.ok()) return sql;
-  return RenderTokens(std::move(tokens.value()), rng, mutate_literals);
+  return RenderTokens(OwnTokens(tokens.value()), rng, mutate_literals);
 }
 
 // --- destructive mutation ---------------------------------------------------
@@ -168,14 +186,14 @@ const char* kExtremeLiterals[] = {
     "-0",
 };
 
-Token MakeToken(TokenType type, std::string text) {
-  Token token;
+OwnedToken MakeToken(TokenType type, std::string text) {
+  OwnedToken token;
   token.type = type;
   token.text = std::move(text);
   return token;
 }
 
-void TokenHavoc(std::vector<Token>& tokens, Rng& rng) {
+void TokenHavoc(std::vector<OwnedToken>& tokens, Rng& rng) {
   if (tokens.empty()) return;
   // Strip the kEnd sentinel while editing.
   if (tokens.back().Is(TokenType::kEnd)) tokens.pop_back();
@@ -191,7 +209,7 @@ void TokenHavoc(std::vector<Token>& tokens, Rng& rng) {
       }
       case 1: {  // duplicate a short span
         size_t len = std::min(tokens.size() - pos, size_t{1} + rng.Uniform(3));
-        std::vector<Token> span(tokens.begin() + pos, tokens.begin() + pos + len);
+        std::vector<OwnedToken> span(tokens.begin() + pos, tokens.begin() + pos + len);
         tokens.insert(tokens.begin() + pos, span.begin(), span.end());
         break;
       }
@@ -224,7 +242,7 @@ void TokenHavoc(std::vector<Token>& tokens, Rng& rng) {
         const auto& seeds = SeedStatements();
         auto donor = sql::Lex(seeds[rng.Uniform(seeds.size())]);
         if (donor.ok() && donor.value().size() > 1) {
-          auto& dt = donor.value();
+          std::vector<OwnedToken> dt = OwnTokens(donor.value());
           dt.pop_back();  // kEnd
           size_t from = rng.Uniform(dt.size());
           size_t len = std::min(dt.size() - from, size_t{1} + rng.Uniform(6));
@@ -252,9 +270,9 @@ void TokenHavoc(std::vector<Token>& tokens, Rng& rng) {
 /// Renders havoc'd tokens with *loose* spacing: separators are usually
 /// emitted but sometimes dropped, so the fuzzer also explores token
 /// fusion (`--` comments, `<>` from `<` + `>`, identifier gluing).
-std::string RenderLoose(const std::vector<Token>& tokens, Rng& rng) {
+std::string RenderLoose(const std::vector<OwnedToken>& tokens, Rng& rng) {
   std::string out;
-  for (const Token& token : tokens) {
+  for (const OwnedToken& token : tokens) {
     if (token.Is(TokenType::kEnd)) break;
     if (!out.empty() && !rng.Chance(0.15)) out += RandomWhitespace(rng);
     out += RenderToken(token, rng, rng.Chance(0.5));
@@ -319,7 +337,7 @@ size_t MutateSqlBuffer(uint8_t* data, size_t size, size_t max_size, unsigned see
     return ByteHavoc(data, size, max_size, rng);
   }
 
-  std::vector<Token> stream = std::move(tokens.value());
+  std::vector<OwnedToken> stream = OwnTokens(tokens.value());
   TokenHavoc(stream, rng);
   std::string out = RenderLoose(stream, rng);
   if (out.empty()) out = SeedStatements()[rng.Uniform(SeedStatements().size())];

@@ -1,0 +1,269 @@
+#include "core/parse_cache.h"
+
+#include <cassert>
+
+#include "sql/printer.h"
+
+namespace sqlog::core {
+
+namespace {
+
+/// Renders slot `slot` from the raw token text: numbers get the folded
+/// '-' prefix back, strings are re-quoted with '' escaping — exactly the
+/// bytes the canonical printer would emit for the literal.
+std::string RenderSlotText(const ParseCacheEntry::Slot& slot, std::string_view token_text) {
+  std::string out;
+  if (slot.is_string) {
+    out.reserve(token_text.size() + 2);
+    out.push_back('\'');
+    for (char c : token_text) {
+      if (c == '\'') out.push_back('\'');
+      out.push_back(c);
+    }
+    out.push_back('\'');
+    return out;
+  }
+  out.reserve(token_text.size() + 1);
+  if (slot.negated) out.push_back('-');
+  out.append(token_text);
+  return out;
+}
+
+size_t StringBytes(const std::string& s) { return s.capacity(); }
+
+size_t ClauseBytes(const ParseCacheEntry::Clause& clause) {
+  size_t total = clause.slot_refs.capacity() * sizeof(uint32_t);
+  for (const auto& piece : clause.pieces) total += sizeof(piece) + StringBytes(piece);
+  return total;
+}
+
+}  // namespace
+
+size_t ParseCacheEntry::bytes() const {
+  size_t total = sizeof(*this) + StringBytes(key);
+  total += StringBytes(tmpl.ssc) + StringBytes(tmpl.sfc) + StringBytes(tmpl.swc) +
+           StringBytes(tmpl.tail);
+  for (const auto& s : selected_columns) total += sizeof(s) + StringBytes(s);
+  for (const auto& s : tables) total += sizeof(s) + StringBytes(s);
+  for (const auto& s : table_functions) total += sizeof(s) + StringBytes(s);
+  total += slots.capacity() * sizeof(Slot);
+  total += ClauseBytes(sc) + ClauseBytes(fc) + ClauseBytes(wc);
+  for (const auto& pred : predicates) {
+    total += sizeof(pred);
+    total += StringBytes(pred.base.qualifier) + StringBytes(pred.base.column);
+    for (const auto& value : pred.values) total += sizeof(value) + StringBytes(value.fixed);
+  }
+  return total;
+}
+
+const ParseCacheEntry* ParseCache::Find(const sql::TokenFingerprint& fp,
+                                        std::string_view key) const {
+  auto it = buckets_.find(fp.lo);
+  if (it == buckets_.end()) return nullptr;
+  for (const auto& entry : it->second) {
+    if (entry->fingerprint.hi == fp.hi && entry->key == key) return entry.get();
+  }
+  return nullptr;
+}
+
+const ParseCacheEntry* ParseCache::Insert(std::unique_ptr<ParseCacheEntry> entry) {
+  bytes_ += entry->bytes();
+  ParseCacheEntry* raw = entry.get();
+  buckets_[entry->fingerprint.lo].push_back(std::move(entry));
+  order_.push_back(raw);
+  return raw;
+}
+
+std::vector<std::unique_ptr<ParseCacheEntry>> ParseCache::TakeEntries() {
+  std::vector<std::unique_ptr<ParseCacheEntry>> drained;
+  drained.reserve(order_.size());
+  for (ParseCacheEntry* raw : order_) {
+    auto& bucket = buckets_[raw->fingerprint.lo];
+    for (auto& owned : bucket) {
+      if (owned.get() == raw) {
+        drained.push_back(std::move(owned));
+        break;
+      }
+    }
+  }
+  buckets_.clear();
+  order_.clear();
+  bytes_ = 0;
+  return drained;
+}
+
+void BuildRecipes(const sql::TokenStream& tokens, const sql::QueryFacts& facts,
+                  const std::vector<const sql::Expr*>& predicate_value_exprs,
+                  ParseCacheEntry& entry) {
+  entry.cacheable = false;
+  entry.tmpl = facts.tmpl;
+  entry.where_conjunctive = facts.where_conjunctive;
+  entry.selects_star = facts.selects_star;
+  entry.selected_columns = facts.selected_columns;
+  entry.tables = facts.tables;
+  entry.table_functions = facts.table_functions;
+
+  const std::vector<size_t> lit_idx = sql::PlaceholderedTokenIndices(tokens);
+
+  // Re-print the clauses recording literal positions. The prints must
+  // reproduce the analyzed clause texts byte-for-byte (same options), or
+  // the recipe would disagree with the facts it claims to reproduce.
+  std::vector<sql::LiteralSlot> print_slots;
+  sql::PrintOptions opts;
+  opts.canonical = true;
+  opts.placeholders = false;
+  opts.literal_sink = &print_slots;
+  const sql::SelectStatement& ast = *facts.ast;
+  std::string sc = PrintSelectClause(ast, opts);
+  const size_t sc_end = print_slots.size();
+  std::string fc = PrintFromClause(ast, opts);
+  const size_t fc_end = print_slots.size();
+  std::string wc = PrintWhereClause(ast, opts);
+  const size_t wc_end = print_slots.size();
+  std::string tail = PrintTailClauses(ast, opts);
+  if (sc != facts.sc || fc != facts.fc || wc != facts.wc) return;
+
+  // Strict 1:1 in-order alignment: print order of literals (sc, fc, wc,
+  // tail) must equal source order of placeholdered tokens. The parser
+  // preserves clause order and literal order within clauses; anything
+  // that breaks the alignment (e.g. simple-form CASE normalization
+  // cloning its subject into every branch) makes the template
+  // uncacheable rather than wrong.
+  if (print_slots.size() != lit_idx.size()) return;
+  entry.slots.assign(lit_idx.size(), {});
+  for (size_t j = 0; j < lit_idx.size(); ++j) {
+    const sql::Token& token = tokens[lit_idx[j]];
+    const auto& lit = static_cast<const sql::LiteralExpr&>(*print_slots[j].expr);
+    if (lit.literal_kind == sql::LiteralKind::kString) {
+      if (!token.Is(sql::TokenType::kString) || lit.text != token.text) return;
+      entry.slots[j].is_string = true;
+    } else if (lit.literal_kind == sql::LiteralKind::kNumber) {
+      if (!token.Is(sql::TokenType::kNumber)) return;
+      if (lit.text == token.text) {
+        entry.slots[j].negated = false;
+      } else if (lit.text.size() == token.text.size() + 1 && lit.text[0] == '-' &&
+                 std::string_view(lit.text).substr(1) == token.text) {
+        // The parser folded a structural minus sign into the literal;
+        // structural tokens are part of the key, so the fold is
+        // template-constant and the prefix can live in the slot.
+        entry.slots[j].negated = true;
+      } else {
+        return;
+      }
+    } else {
+      return;  // the sink never records NULL literals
+    }
+  }
+
+  // Cut each clause into pieces at the slot positions, verifying that
+  // re-rendering the slot from the token reproduces the printed bytes.
+  auto build_clause = [&](const std::string& text, size_t begin_slot, size_t end_slot,
+                          ParseCacheEntry::Clause& out) -> bool {
+    size_t pos = 0;
+    for (size_t j = begin_slot; j < end_slot; ++j) {
+      const sql::LiteralSlot& ps = print_slots[j];
+      if (ps.begin < pos || ps.end < ps.begin || ps.end > text.size()) return false;
+      std::string rendered = RenderSlotText(entry.slots[j], tokens[lit_idx[j]].text);
+      if (text.compare(ps.begin, ps.end - ps.begin, rendered) != 0) return false;
+      out.pieces.push_back(text.substr(pos, ps.begin - pos));
+      out.slot_refs.push_back(static_cast<uint32_t>(j));
+      pos = ps.end;
+    }
+    out.pieces.push_back(text.substr(pos));
+    return true;
+  };
+  if (!build_clause(sc, 0, sc_end, entry.sc)) return;
+  if (!build_clause(fc, sc_end, fc_end, entry.fc)) return;
+  if (!build_clause(wc, fc_end, wc_end, entry.wc)) return;
+  // The tail is not persisted (QueryFacts keeps no concrete tail), but
+  // its slots still validate so the alignment proof covers every literal.
+  ParseCacheEntry::Clause tail_scratch;
+  if (!build_clause(tail, wc_end, print_slots.size(), tail_scratch)) return;
+
+  // Predicate templates: map each recorded value expression to its print
+  // slot by node identity; values with no slot (variables, NULLs) are
+  // template-constant text.
+  std::unordered_map<const sql::Expr*, uint32_t> slot_of;
+  slot_of.reserve(print_slots.size());
+  for (size_t j = 0; j < print_slots.size(); ++j) {
+    slot_of.emplace(print_slots[j].expr, static_cast<uint32_t>(j));
+  }
+  size_t flat = 0;
+  entry.predicates.clear();
+  entry.predicates.reserve(facts.predicates.size());
+  for (const auto& pred : facts.predicates) {
+    ParseCacheEntry::PredTemplate pt;
+    pt.base = pred;
+    pt.base.values.clear();
+    pt.values.reserve(pred.values.size());
+    for (const std::string& value : pred.values) {
+      if (flat >= predicate_value_exprs.size()) return;
+      const sql::Expr* value_expr = predicate_value_exprs[flat++];
+      ParseCacheEntry::ValueRef ref;
+      auto it = slot_of.find(value_expr);
+      if (it != slot_of.end()) {
+        // Cross-check: the analyzed value text must equal the slot
+        // render, or reproducing it from the slot would drift.
+        uint32_t j = it->second;
+        if (value != RenderSlotText(entry.slots[j], tokens[lit_idx[j]].text)) return;
+        ref.is_slot = true;
+        ref.slot = j;
+      } else {
+        ref.fixed = value;
+      }
+      pt.values.push_back(std::move(ref));
+    }
+    entry.predicates.push_back(std::move(pt));
+  }
+  if (flat != predicate_value_exprs.size()) return;
+
+  entry.cacheable = true;
+}
+
+sql::QueryFacts RenderFacts(const ParseCacheEntry& entry, const sql::TokenStream& tokens) {
+  assert(entry.parse_ok && entry.cacheable);
+  sql::QueryFacts facts;
+  facts.tmpl = entry.tmpl;
+  facts.where_conjunctive = entry.where_conjunctive;
+  facts.selects_star = entry.selects_star;
+  facts.selected_columns = entry.selected_columns;
+  facts.tables = entry.tables;
+  facts.table_functions = entry.table_functions;
+
+  const std::vector<size_t> lit_idx = sql::PlaceholderedTokenIndices(tokens);
+  assert(lit_idx.size() == entry.slots.size() && "key equality fixes the slot count");
+  std::vector<std::string> slot_texts(entry.slots.size());
+  for (size_t j = 0; j < entry.slots.size(); ++j) {
+    slot_texts[j] = RenderSlotText(entry.slots[j], tokens[lit_idx[j]].text);
+  }
+
+  auto render_clause = [&](const ParseCacheEntry::Clause& clause) {
+    size_t total = 0;
+    for (const auto& piece : clause.pieces) total += piece.size();
+    for (uint32_t j : clause.slot_refs) total += slot_texts[j].size();
+    std::string out;
+    out.reserve(total);
+    out += clause.pieces[0];
+    for (size_t k = 0; k < clause.slot_refs.size(); ++k) {
+      out += slot_texts[clause.slot_refs[k]];
+      out += clause.pieces[k + 1];
+    }
+    return out;
+  };
+  facts.sc = render_clause(entry.sc);
+  facts.fc = render_clause(entry.fc);
+  facts.wc = render_clause(entry.wc);
+
+  facts.predicates.reserve(entry.predicates.size());
+  for (const auto& pt : entry.predicates) {
+    sql::Predicate pred = pt.base;
+    pred.values.reserve(pt.values.size());
+    for (const auto& ref : pt.values) {
+      pred.values.push_back(ref.is_slot ? slot_texts[ref.slot] : ref.fixed);
+    }
+    facts.predicates.push_back(std::move(pred));
+  }
+  return facts;
+}
+
+}  // namespace sqlog::core

@@ -147,9 +147,13 @@ Result<PipelineResult> Pipeline::Run(const log::QueryLog& raw_log) const {
   result.stats.after_dedup_size = dedup_stats.output_count;
   result.stats.duplicates_removed = dedup_stats.removed_count;
 
-  // Step 2 (Sec. 5.3): parse statements, build templates.
-  result.parsed =
-      ParseLog(result.pre_clean, result.templates, pool, options_.max_parse_diagnostics);
+  // Step 2 (Sec. 5.3): parse statements, build templates. Custom rules
+  // force the cache off: their detect hooks read per-query ASTs, which
+  // cache hits never build.
+  ParseCacheOptions cache_options;
+  cache_options.enabled = options_.parse_cache && options_.detector.custom_rules.empty();
+  result.parsed = ParseLog(result.pre_clean, result.templates, pool,
+                           options_.max_parse_diagnostics, cache_options);
   result.stats.select_count = result.parsed.queries.size();
   result.stats.non_select_count = result.parsed.non_select_count;
   result.stats.syntax_error_count = result.parsed.syntax_error_count;
@@ -171,7 +175,8 @@ Result<PipelineResult> Pipeline::Run(const log::QueryLog& raw_log) const {
   // first pass — only the clean log is refined further.
   for (size_t pass = 0; pass < options_.extra_clean_passes; ++pass) {
     TemplateStore pass_templates;
-    ParsedLog pass_parsed = ParseLog(result.clean_log, pass_templates, pool);
+    ParsedLog pass_parsed =
+        ParseLog(result.clean_log, pass_templates, pool, /*max_diagnostics=*/0, cache_options);
     AntipatternReport pass_report =
         DetectAntipatterns(pass_parsed, pass_templates, schema_, options_.detector, pool);
     uint64_t solvable = 0;
@@ -210,7 +215,10 @@ Result<StreamingRunResult> Pipeline::RunStreaming(const std::string& input_path,
   log::LogReader reader;
   SQLOG_RETURN_IF_ERROR_R(reader.Open(input_path));
   StreamingDeduper deduper(options.dedup);
-  StreamingParser parser(result.templates, options.max_parse_diagnostics, pool);
+  ParseCacheOptions cache_options;
+  cache_options.enabled = options.parse_cache;  // no custom rules in streaming mode
+  StreamingParser parser(result.templates, options.max_parse_diagnostics, pool,
+                         cache_options);
   std::vector<uint8_t> kept;  // per raw record, consulted by pass 2
   std::vector<log::LogRecord> batch;
   batch.reserve(options.batch_size);

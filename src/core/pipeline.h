@@ -44,6 +44,14 @@ struct PipelineOptions {
   /// Cap on per-record parse failures kept as diagnostics in
   /// PipelineStats (the failures are always *counted* in full).
   size_t max_parse_diagnostics = 32;
+  /// Template fingerprint cache (parse avoidance): repeated statements
+  /// skip the parser and have their facts rendered from cached template
+  /// recipes. Outputs are byte-identical with the cache on or off — this
+  /// is purely a performance escape hatch (`sqlog --no-parse-cache`).
+  /// Ignored (treated as false) when custom detector rules are present,
+  /// because their hooks read per-query ASTs that cache hits never
+  /// build.
+  bool parse_cache = true;
   /// Streaming ingestion (Pipeline::RunStreaming): the raw log is never
   /// held in memory — records are read, deduplicated, and parsed in
   /// batches of `batch_size`, and the clean/removal logs are written
@@ -183,6 +191,10 @@ class PipelineBuilder {
   }
   PipelineBuilder& MaxParseDiagnostics(size_t max) {
     options_.max_parse_diagnostics = max;
+    return *this;
+  }
+  PipelineBuilder& ParseCache(bool enabled) {
+    options_.parse_cache = enabled;
     return *this;
   }
   PipelineBuilder& Streaming(bool streaming) {

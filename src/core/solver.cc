@@ -1,5 +1,6 @@
 #include "core/solver.h"
 
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -25,12 +26,12 @@ sql::ExprPtr LiteralFromText(const std::string& text) {
       unescaped.push_back(inner[i]);
       if (inner[i] == '\'' && i + 1 < inner.size() && inner[i + 1] == '\'') ++i;
     }
-    return std::make_unique<sql::LiteralExpr>(sql::LiteralKind::kString, unescaped);
+    return sql::MakeNode<sql::LiteralExpr>(sql::LiteralKind::kString, unescaped);
   }
   if (EqualsIgnoreCase(text, "null")) {
-    return std::make_unique<sql::LiteralExpr>(sql::LiteralKind::kNull, "NULL");
+    return sql::MakeNode<sql::LiteralExpr>(sql::LiteralKind::kNull, "NULL");
   }
-  auto lit = std::make_unique<sql::LiteralExpr>(sql::LiteralKind::kNumber, text);
+  auto lit = sql::MakeNode<sql::LiteralExpr>(sql::LiteralKind::kNumber, text);
   lit->number_value = std::strtod(text.c_str(), nullptr);
   return lit;
 }
@@ -88,17 +89,17 @@ Result<std::string> RewriteDwStifle(const std::vector<const ParsedQuery*>& membe
     if (seen.insert(text).second) values.push_back(LiteralFromText(text));
   }
 
-  auto column = std::make_unique<sql::ColumnRefExpr>(pred.qualifier, pred.column);
+  auto column = sql::MakeNode<sql::ColumnRefExpr>(pred.qualifier, pred.column);
   // Expose the filter column so each result row stays attributable
   // (paper Example 10 adds empId to the select list).
   if (!SelectExposes(*stmt, pred.column)) {
     stmt->select_items.insert(
         stmt->select_items.begin(),
-        sql::SelectItem(std::make_unique<sql::ColumnRefExpr>(pred.qualifier, pred.column),
+        sql::SelectItem(sql::MakeNode<sql::ColumnRefExpr>(pred.qualifier, pred.column),
                         ""));
   }
-  stmt->where = std::make_unique<sql::InListExpr>(std::move(column), std::move(values),
-                                                  /*negated=*/false);
+  stmt->where = sql::MakeNode<sql::InListExpr>(std::move(column), std::move(values),
+                                               /*negated=*/false);
   return PrintRewritten(*stmt);
 }
 
@@ -152,7 +153,7 @@ Result<std::string> RewriteDfStifle(const std::vector<const ParsedQuery*>& membe
     aliases.push_back(alias);
   }
 
-  auto stmt = std::make_unique<sql::SelectStatement>();
+  auto stmt = sql::MakeNode<sql::SelectStatement>();
 
   // Qualified union of the member select lists, in log order.
   std::unordered_set<std::string> seen;
@@ -173,22 +174,22 @@ Result<std::string> RewriteDfStifle(const std::vector<const ParsedQuery*>& membe
   }
 
   // Left-deep join tree on the shared filter column.
-  sql::FromItemPtr from = std::make_unique<sql::TableRef>(tables[0]->schema,
-                                                          tables[0]->table, aliases[0]);
+  sql::FromItemPtr from = sql::MakeNode<sql::TableRef>(tables[0]->schema,
+                                                       tables[0]->table, aliases[0]);
   for (size_t i = 1; i < tables.size(); ++i) {
-    auto right = std::make_unique<sql::TableRef>(tables[i]->schema, tables[i]->table,
-                                                 aliases[i]);
-    auto condition = std::make_unique<sql::BinaryExpr>(
+    auto right = sql::MakeNode<sql::TableRef>(tables[i]->schema, tables[i]->table,
+                                              aliases[i]);
+    auto condition = sql::MakeNode<sql::BinaryExpr>(
         sql::BinaryOp::kEq,
-        std::make_unique<sql::ColumnRefExpr>(aliases[0], pred.column),
-        std::make_unique<sql::ColumnRefExpr>(aliases[i], pred.column));
-    from = std::make_unique<sql::JoinRef>(sql::JoinType::kInner, std::move(from),
-                                          std::move(right), std::move(condition));
+        sql::MakeNode<sql::ColumnRefExpr>(aliases[0], pred.column),
+        sql::MakeNode<sql::ColumnRefExpr>(aliases[i], pred.column));
+    from = sql::MakeNode<sql::JoinRef>(sql::JoinType::kInner, std::move(from),
+                                       std::move(right), std::move(condition));
   }
   stmt->from_items.push_back(std::move(from));
 
-  stmt->where = std::make_unique<sql::BinaryExpr>(
-      sql::BinaryOp::kEq, std::make_unique<sql::ColumnRefExpr>(aliases[0], pred.column),
+  stmt->where = sql::MakeNode<sql::BinaryExpr>(
+      sql::BinaryOp::kEq, sql::MakeNode<sql::ColumnRefExpr>(aliases[0], pred.column),
       LiteralFromText(pred.values.at(0)));
   return PrintRewritten(*stmt);
 }
@@ -208,10 +209,10 @@ sql::ExprPtr FixNullComparisons(sql::ExprPtr expr) {
                    sql::LiteralKind::kNull;
       };
       if ((is_eq || is_neq) && is_null_literal(*bin->rhs)) {
-        return std::make_unique<sql::IsNullExpr>(std::move(bin->lhs), is_neq);
+        return sql::MakeNode<sql::IsNullExpr>(std::move(bin->lhs), is_neq);
       }
       if ((is_eq || is_neq) && is_null_literal(*bin->lhs)) {
-        return std::make_unique<sql::IsNullExpr>(std::move(bin->rhs), is_neq);
+        return sql::MakeNode<sql::IsNullExpr>(std::move(bin->rhs), is_neq);
       }
       bin->lhs = FixNullComparisons(std::move(bin->lhs));
       bin->rhs = FixNullComparisons(std::move(bin->rhs));
@@ -263,7 +264,28 @@ SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& 
         parsed.queries[instance.query_indices.front()].record_index == record;
   }
 
-  // Pre-compute rewrites per solvable instance.
+  // Pre-compute rewrites per solvable instance. Members parsed through
+  // the template cache carry no AST — restore them on demand by
+  // re-parsing the statement (the parser is deterministic, so this is
+  // the AST the uncached path would have rewritten from). Restored
+  // copies live in a deque so member pointers stay stable.
+  std::deque<ParsedQuery> restored;
+  auto member_with_ast = [&](size_t idx) -> const ParsedQuery* {
+    const ParsedQuery& query = parsed.queries[idx];
+    if (query.facts.ast != nullptr) return &query;
+    auto facts = sql::ParseAndAnalyze(pre_clean.records()[query.record_index].statement);
+    if (!facts.ok()) return nullptr;
+    restored.push_back(ParsedQuery{});
+    ParsedQuery& copy = restored.back();
+    copy.record_index = query.record_index;
+    copy.timestamp_ms = query.timestamp_ms;
+    copy.user_id = query.user_id;
+    copy.row_count = query.row_count;
+    copy.template_id = query.template_id;
+    copy.facts = std::move(facts.value());
+    return &copy;
+  };
+
   std::unordered_map<uint32_t, std::string> rewritten;
   std::unordered_set<uint32_t> failed;
   for (size_t k = 0; k < report.instances.size(); ++k) {
@@ -274,18 +296,30 @@ SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& 
     }
     std::vector<const ParsedQuery*> members;
     members.reserve(instance.query_indices.size());
-    for (size_t idx : instance.query_indices) members.push_back(&parsed.queries[idx]);
-    Result<std::string> rewrite = Status::Internal("unset");
-    switch (instance.type) {
-      case AntipatternType::kDwStifle: rewrite = RewriteDwStifle(members); break;
-      case AntipatternType::kDsStifle: rewrite = RewriteDsStifle(members); break;
-      case AntipatternType::kDfStifle: rewrite = RewriteDfStifle(members); break;
-      case AntipatternType::kSnc: rewrite = RewriteSnc(*members[0]); break;
-      case AntipatternType::kCustom:
-        rewrite = custom_rules[static_cast<size_t>(instance.custom_rule)].rewrite(
-            *members[0]);
+    bool members_ok = true;
+    for (size_t idx : instance.query_indices) {
+      const ParsedQuery* member = member_with_ast(idx);
+      if (member == nullptr) {
+        members_ok = false;
         break;
-      case AntipatternType::kCthCandidate: break;
+      }
+      members.push_back(member);
+    }
+    Result<std::string> rewrite = Status::Internal("unset");
+    if (!members_ok) {
+      rewrite = Status::Internal("instance member no longer parses");
+    } else {
+      switch (instance.type) {
+        case AntipatternType::kDwStifle: rewrite = RewriteDwStifle(members); break;
+        case AntipatternType::kDsStifle: rewrite = RewriteDsStifle(members); break;
+        case AntipatternType::kDfStifle: rewrite = RewriteDfStifle(members); break;
+        case AntipatternType::kSnc: rewrite = RewriteSnc(*members[0]); break;
+        case AntipatternType::kCustom:
+          rewrite = custom_rules[static_cast<size_t>(instance.custom_rule)].rewrite(
+              *members[0]);
+          break;
+        case AntipatternType::kCthCandidate: break;
+      }
     }
     uint32_t id = static_cast<uint32_t>(k + 1);
     if (rewrite.ok()) {

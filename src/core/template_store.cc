@@ -1,8 +1,15 @@
 #include "core/template_store.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sql/ast.h"
+#include "sql/fingerprint.h"
+#include "sql/lexer.h"
 #include "sql/parser.h"
 
 namespace sqlog::core {
@@ -54,40 +61,164 @@ struct ParseShard {
   size_t non_select_count = 0;
   size_t syntax_error_count = 0;
   std::vector<ParseDiagnostic> diagnostics;
+  ParseCache cache;  // templates discovered by this shard
+  ParseStats stats;
 };
 
 /// Classifies + parses the records at [begin, end) of `records` into a
 /// shard; record_index values are offset by `index_base` (the records'
 /// position in the whole pre-clean log, used by the batch path).
+///
+/// With `cache_options.enabled`, statements are lexed and fingerprinted
+/// first; repeats of a known template skip the parser and have their
+/// facts rendered from the cached recipes. `shared_cache` (nullable) is
+/// the streaming parser's persistent cache — read-only here, it is
+/// frozen while shards run. Every outcome (queries, counts, diagnostics)
+/// is byte-identical to the uncached path.
 ParseShard ParseShardRange(const log::LogRecord* records, size_t begin, size_t end,
-                           size_t index_base, size_t max_diagnostics) {
+                           size_t index_base, size_t max_diagnostics,
+                           const ParseCacheOptions& cache_options,
+                           const ParseCache* shared_cache) {
   ParseShard shard;
   shard.queries.reserve(end - begin);
+  if (cache_options.fingerprint_for_test) {
+    shard.cache.set_fingerprint_for_test(cache_options.fingerprint_for_test);
+  }
+  // Local template ids already assigned to hit entries, so repeated hits
+  // skip the store's skeleton-equality probe too.
+  std::unordered_map<const ParseCacheEntry*, uint64_t> entry_template_id;
+  std::string key;  // reused normalized-key buffer
+
+  auto record_failure = [&](size_t i, const log::LogRecord& record, std::string message) {
+    ++shard.syntax_error_count;
+    if (shard.diagnostics.size() < max_diagnostics) {
+      ParseDiagnostic diagnostic;
+      diagnostic.record_index = i;
+      diagnostic.record_seq = record.seq;
+      diagnostic.message = std::move(message);
+      shard.diagnostics.push_back(std::move(diagnostic));
+    }
+  };
+  auto push_query = [&](size_t i, const log::LogRecord& record, sql::QueryFacts facts) {
+    ParsedQuery query;
+    query.record_index = i;
+    query.timestamp_ms = record.timestamp_ms;
+    query.row_count = record.row_count;
+    query.facts = std::move(facts);
+    size_t local_index = shard.queries.size();
+    query.template_id = shard.store.Intern(query.facts.tmpl, local_index);
+    shard.queries.push_back(std::move(query));
+  };
+
   for (size_t i = begin; i < end; ++i) {
     const log::LogRecord& record = records[i];
     if (sql::ClassifyStatement(record.statement) != sql::StatementKind::kSelect) {
       ++shard.non_select_count;
       continue;
     }
-    auto facts = sql::ParseAndAnalyze(record.statement);
-    if (!facts.ok()) {
-      ++shard.syntax_error_count;
-      if (shard.diagnostics.size() < max_diagnostics) {
-        ParseDiagnostic diagnostic;
-        diagnostic.record_index = i;
-        diagnostic.record_seq = record.seq;
-        diagnostic.message = facts.status().message();
-        shard.diagnostics.push_back(std::move(diagnostic));
+
+    if (!cache_options.enabled) {
+      ++shard.stats.full_parses;
+      auto facts = sql::ParseAndAnalyze(record.statement);
+      if (!facts.ok()) {
+        record_failure(i, record, facts.status().message());
+        continue;
       }
+      push_query(i, record, std::move(facts.value()));
       continue;
     }
+
+    // Cached path: lex once, fingerprint the normalized token stream,
+    // and only parse when the template has not been seen before.
+    auto lexed = sql::Lex(record.statement);
+    if (!lexed.ok()) {
+      // ParseAndAnalyze == Lex + parse, so a lex error carries exactly
+      // the message the uncached path would report.
+      ++shard.stats.full_parses;
+      record_failure(i, record, lexed.status().message());
+      continue;
+    }
+    const sql::TokenStream& tokens = lexed.value();
+    key.clear();
+    sql::AppendNormalizedKey(tokens, &key);
+    const sql::TokenFingerprint fp = shard.cache.Fingerprint(key);
+    const ParseCacheEntry* entry =
+        shared_cache != nullptr ? shared_cache->Find(fp, key) : nullptr;
+    if (entry == nullptr) entry = shard.cache.Find(fp, key);
+
+    if (entry == nullptr) {
+      // Miss: full parse, then cache what it taught us for the next
+      // statement with this key.
+      ++shard.stats.cache_misses;
+      ++shard.stats.full_parses;
+      std::vector<const sql::Expr*> value_exprs;
+      auto facts = sql::ParseAndAnalyzeTokens(tokens, &value_exprs);
+      auto fresh = std::make_unique<ParseCacheEntry>();
+      fresh->fingerprint = fp;
+      fresh->key = key;
+      if (!facts.ok()) {
+        record_failure(i, record, facts.status().message());
+        shard.cache.Insert(std::move(fresh));  // parse_ok stays false
+        continue;
+      }
+      fresh->parse_ok = true;
+      BuildRecipes(tokens, facts.value(), value_exprs, *fresh);
+      shard.cache.Insert(std::move(fresh));
+      push_query(i, record, std::move(facts.value()));
+      continue;
+    }
+
+    if (!entry->parse_ok) {
+      // Cached failure. Equal keys ⇒ the parse fails the same way (the
+      // parser never branches on placeholdered literal text); only the
+      // diagnostic message is record-specific (it embeds offsets and
+      // nearby text), so re-parse solely while the quota is open.
+      if (shard.diagnostics.size() >= max_diagnostics) {
+        ++shard.syntax_error_count;
+        ++shard.stats.failure_hits;
+        continue;
+      }
+      ++shard.stats.full_parses;
+      auto facts = sql::ParseAndAnalyzeTokens(tokens);
+      if (!facts.ok()) {
+        record_failure(i, record, facts.status().message());
+        continue;
+      }
+      // Unreachable if the key invariant holds; keep the parse rather
+      // than miscount it.
+      push_query(i, record, std::move(facts.value()));
+      continue;
+    }
+
+    if (!entry->cacheable) {
+      // Known template whose recipes did not validate: pay the parse.
+      ++shard.stats.uncacheable_hits;
+      ++shard.stats.full_parses;
+      auto facts = sql::ParseAndAnalyzeTokens(tokens);
+      if (!facts.ok()) {
+        record_failure(i, record, facts.status().message());
+        continue;
+      }
+      push_query(i, record, std::move(facts.value()));
+      continue;
+    }
+
+    // Hit: facts come from the entry's recipes plus this statement's own
+    // tokens — no AST is built (consumers re-parse on demand).
+    ++shard.stats.cache_hits;
     ParsedQuery query;
     query.record_index = i;
     query.timestamp_ms = record.timestamp_ms;
     query.row_count = record.row_count;
-    query.facts = std::move(facts.value());
+    query.facts = RenderFacts(*entry, tokens);
     size_t local_index = shard.queries.size();
-    query.template_id = shard.store.Intern(query.facts.tmpl, local_index);
+    auto memo = entry_template_id.find(entry);
+    if (memo == entry_template_id.end()) {
+      memo = entry_template_id
+                 .emplace(entry, shard.store.Intern(query.facts.tmpl, local_index))
+                 .first;
+    }
+    query.template_id = memo->second;
     shard.queries.push_back(std::move(query));
   }
   return shard;
@@ -107,6 +238,7 @@ void MergeShards(std::vector<ParseShard>& shards, const log::LogRecord* records,
   for (ParseShard& shard : shards) {
     parsed.non_select_count += shard.non_select_count;
     parsed.syntax_error_count += shard.syntax_error_count;
+    parsed.parse_stats.Merge(shard.stats);
     for (ParseDiagnostic& diagnostic : shard.diagnostics) {
       if (parsed.diagnostics.size() < max_diagnostics) {
         parsed.diagnostics.push_back(std::move(diagnostic));
@@ -161,7 +293,8 @@ size_t ParseShardCount(util::ThreadPool* pool, size_t count) {
 }  // namespace
 
 ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
-                   util::ThreadPool* pool, size_t max_diagnostics) {
+                   util::ThreadPool* pool, size_t max_diagnostics,
+                   const ParseCacheOptions& cache_options) {
   ParsedLog parsed;
   parsed.queries.reserve(log.size());
 
@@ -173,18 +306,31 @@ ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
   std::vector<ParseShard> shards = util::MapShards<ParseShard>(
       num_shards > 1 ? pool : nullptr, log.size(), num_shards,
       [&](size_t, size_t begin, size_t end) {
-        return ParseShardRange(records, begin, end, /*index_base=*/0, max_diagnostics);
+        return ParseShardRange(records, begin, end, /*index_base=*/0, max_diagnostics,
+                               cache_options, /*shared_cache=*/nullptr);
       });
 
   // Reduce: merge shards in order, then build the per-user streams.
   MergeShards(shards, records, /*index_base=*/0, store, max_diagnostics, parsed);
+  for (const ParseShard& shard : shards) {
+    parsed.parse_stats.templates_cached += shard.cache.size();
+    parsed.parse_stats.cache_bytes += shard.cache.bytes();
+  }
   BuildUserStreams(store, parsed);
   return parsed;
 }
 
 StreamingParser::StreamingParser(TemplateStore& store, size_t max_diagnostics,
-                                 util::ThreadPool* pool)
-    : store_(store), max_diagnostics_(max_diagnostics), pool_(pool) {}
+                                 util::ThreadPool* pool,
+                                 const ParseCacheOptions& cache_options)
+    : store_(store),
+      max_diagnostics_(max_diagnostics),
+      pool_(pool),
+      cache_options_(cache_options) {
+  if (cache_options_.fingerprint_for_test) {
+    cache_.set_fingerprint_for_test(cache_options_.fingerprint_for_test);
+  }
+}
 
 void StreamingParser::FeedBatch(const std::vector<log::LogRecord>& records) {
   if (records.empty()) return;
@@ -192,11 +338,15 @@ void StreamingParser::FeedBatch(const std::vector<log::LogRecord>& records) {
   const log::LogRecord* data = records.data();
   size_t num_shards = ParseShardCount(pool_, records.size());
 
+  // The persistent cache is frozen (read-only) while shards are in
+  // flight; templates discovered this batch land in the shard-local
+  // caches and are promoted below, after the shards join.
+  const ParseCache* shared_cache = cache_options_.enabled ? &cache_ : nullptr;
   std::vector<ParseShard> shards = util::MapShards<ParseShard>(
       num_shards > 1 ? pool_ : nullptr, records.size(), num_shards,
       [&](size_t, size_t begin, size_t end) {
-        ParseShard shard =
-            ParseShardRange(data, begin, end, /*index_base=*/0, max_diagnostics_);
+        ParseShard shard = ParseShardRange(data, begin, end, /*index_base=*/0,
+                                           max_diagnostics_, cache_options_, shared_cache);
         // Shard-local record indices → global pre-clean positions.
         for (ParsedQuery& query : shard.queries) query.record_index += index_base;
         for (ParseDiagnostic& diagnostic : shard.diagnostics) {
@@ -208,6 +358,20 @@ void StreamingParser::FeedBatch(const std::vector<log::LogRecord>& records) {
   size_t first_new = parsed_.queries.size();
   MergeShards(shards, data, index_base, store_, max_diagnostics_, parsed_);
 
+  // Promote shard-discovered templates into the persistent cache in
+  // shard order (insertion order within a shard), skipping keys an
+  // earlier shard of this batch already promoted. Entry contents are a
+  // pure function of the key, so which shard wins does not matter.
+  if (cache_options_.enabled) {
+    for (ParseShard& shard : shards) {
+      for (auto& entry : shard.cache.TakeEntries()) {
+        if (cache_.Find(entry->fingerprint, entry->key) == nullptr) {
+          cache_.Insert(std::move(entry));
+        }
+      }
+    }
+  }
+
   // Bound memory: the AST is only needed until the template is interned
   // (detection works off the retained clause facts). The streaming
   // solver re-parses the statements it rewrites.
@@ -218,6 +382,8 @@ void StreamingParser::FeedBatch(const std::vector<log::LogRecord>& records) {
 }
 
 ParsedLog StreamingParser::Finish() {
+  parsed_.parse_stats.templates_cached = cache_.size();
+  parsed_.parse_stats.cache_bytes = cache_.bytes();
   BuildUserStreams(store_, parsed_);
   return std::move(parsed_);
 }

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/parse_cache.h"
 #include "log/record.h"
 #include "sql/skeleton.h"
 #include "util/thread_pool.h"
@@ -58,6 +59,22 @@ struct ParsedLog {
   /// the anonymous user (empty user field).
   std::vector<std::vector<size_t>> user_streams;
   std::vector<std::string> user_names;  // user_names[user_id]
+
+  /// Parse-avoidance counters. Hit/miss splits depend on sharding, so
+  /// these are reported separately and never enter the golden-compared
+  /// statistics table; the queries/diagnostics above are byte-identical
+  /// with the cache on, off, or absent.
+  ParseStats parse_stats;
+};
+
+/// Configures the template fingerprint cache used by ParseLog /
+/// StreamingParser. Results are byte-identical with the cache on or off;
+/// only the work done per statement changes.
+struct ParseCacheOptions {
+  bool enabled = true;
+  /// Test seam forwarded to every cache this parse creates (forces
+  /// fingerprint collisions; see ParseCache::set_fingerprint_for_test).
+  ParseCache::FingerprintFn fingerprint_for_test;
 };
 
 /// Interns templates and users and tracks per-template statistics.
@@ -96,8 +113,14 @@ class TemplateStore {
 /// into `store` by canonical skeleton key in shard order — which visits
 /// queries in exactly the serial order, so template ids, user ids, and
 /// every statistic are byte-identical to the serial path.
+/// With `cache_options.enabled`, each shard carries a template
+/// fingerprint cache: statements whose normalized token stream was seen
+/// before skip the parser entirely and have their facts rendered from
+/// the cached template's recipes. The output is byte-identical either
+/// way; only `parse_stats` differs.
 ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
-                   util::ThreadPool* pool = nullptr, size_t max_diagnostics = 0);
+                   util::ThreadPool* pool = nullptr, size_t max_diagnostics = 0,
+                   const ParseCacheOptions& cache_options = {});
 
 /// Batch-incremental flavour of ParseLog for the streaming ingestion
 /// path: feed the deduplicated records batch by batch (in pre-clean
@@ -115,9 +138,13 @@ class StreamingParser {
  public:
   /// Diagnostics are capped at `max_diagnostics` like ParseLog. With a
   /// non-null `pool`, each batch is parsed with the same sharded
-  /// map-reduce as ParseLog.
+  /// map-reduce as ParseLog. The parse cache persists across batches:
+  /// shards read it concurrently (it is frozen while they run) and the
+  /// templates they discover are merged back in deterministic shard
+  /// order after each batch.
   StreamingParser(TemplateStore& store, size_t max_diagnostics = 0,
-                  util::ThreadPool* pool = nullptr);
+                  util::ThreadPool* pool = nullptr,
+                  const ParseCacheOptions& cache_options = {});
 
   /// Parses one batch of records appended at the current pre-clean
   /// position (records_fed() before the call).
@@ -134,6 +161,8 @@ class StreamingParser {
   TemplateStore& store_;
   size_t max_diagnostics_;
   util::ThreadPool* pool_;
+  ParseCacheOptions cache_options_;
+  ParseCache cache_;  // persistent across batches
   ParsedLog parsed_;
   size_t records_fed_ = 0;
 };

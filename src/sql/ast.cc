@@ -6,8 +6,7 @@
 
 namespace sqlog::sql {
 
-InSubqueryExpr::InSubqueryExpr(ExprPtr operand_in,
-                               std::unique_ptr<SelectStatement> subquery_in, bool negated_in)
+InSubqueryExpr::InSubqueryExpr(ExprPtr operand_in, StmtPtr subquery_in, bool negated_in)
     : Expr(ExprKind::kInSubquery),
       operand(std::move(operand_in)),
       subquery(std::move(subquery_in)),
@@ -15,37 +14,37 @@ InSubqueryExpr::InSubqueryExpr(ExprPtr operand_in,
 
 InSubqueryExpr::~InSubqueryExpr() = default;
 
-std::unique_ptr<Expr> InSubqueryExpr::Clone() const {
-  return std::make_unique<InSubqueryExpr>(operand->Clone(), subquery->Clone(), negated);
+ExprPtr InSubqueryExpr::Clone() const {
+  return MakeNode<InSubqueryExpr>(operand->Clone(), subquery->Clone(), negated);
 }
 
-ExistsExpr::ExistsExpr(std::unique_ptr<SelectStatement> subquery_in, bool negated_in)
+ExistsExpr::ExistsExpr(StmtPtr subquery_in, bool negated_in)
     : Expr(ExprKind::kExists), subquery(std::move(subquery_in)), negated(negated_in) {}
 
 ExistsExpr::~ExistsExpr() = default;
 
-std::unique_ptr<Expr> ExistsExpr::Clone() const {
-  return std::make_unique<ExistsExpr>(subquery->Clone(), negated);
+ExprPtr ExistsExpr::Clone() const {
+  return MakeNode<ExistsExpr>(subquery->Clone(), negated);
 }
 
-SubqueryExpr::SubqueryExpr(std::unique_ptr<SelectStatement> subquery_in)
+SubqueryExpr::SubqueryExpr(StmtPtr subquery_in)
     : Expr(ExprKind::kSubquery), subquery(std::move(subquery_in)) {}
 
 SubqueryExpr::~SubqueryExpr() = default;
 
-std::unique_ptr<Expr> SubqueryExpr::Clone() const {
-  return std::make_unique<SubqueryExpr>(subquery->Clone());
+ExprPtr SubqueryExpr::Clone() const {
+  return MakeNode<SubqueryExpr>(subquery->Clone());
 }
 
-SubqueryRef::SubqueryRef(std::unique_ptr<SelectStatement> subquery_in, std::string alias_in)
+SubqueryRef::SubqueryRef(StmtPtr subquery_in, std::string alias_in)
     : FromItem(FromKind::kSubquery),
       subquery(std::move(subquery_in)),
       alias(std::move(alias_in)) {}
 
 SubqueryRef::~SubqueryRef() = default;
 
-std::unique_ptr<FromItem> SubqueryRef::Clone() const {
-  return std::make_unique<SubqueryRef>(subquery->Clone(), alias);
+FromItemPtr SubqueryRef::Clone() const {
+  return MakeNode<SubqueryRef>(subquery->Clone(), alias);
 }
 
 StatementKind ClassifyStatement(const std::string& statement_text) {

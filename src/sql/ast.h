@@ -1,13 +1,105 @@
 #ifndef SQLOG_SQL_AST_H_
 #define SQLOG_SQL_AST_H_
 
+#include <cstddef>
 #include <memory>
+#include <new>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sqlog::sql {
 
 class SelectStatement;
+
+// ---------------------------------------------------------------------------
+// Node storage: per-parse arena
+// ---------------------------------------------------------------------------
+
+/// Common base of every AST node (Expr, FromItem, SelectStatement). The
+/// flag records where the node's storage came from so NodeDeleter can
+/// destroy it correctly: arena nodes run their destructor in place (the
+/// arena reclaims the memory in bulk), heap nodes are deleted normally.
+struct AstNode {
+  bool arena_node = false;
+
+ protected:
+  AstNode() = default;
+  ~AstNode() = default;
+};
+
+/// Deleter shared by every owning AST pointer. Destruction semantics
+/// depend on the node, not the pointer, so heap- and arena-allocated
+/// nodes mix freely inside one tree.
+struct NodeDeleter {
+  template <typename T>
+  void operator()(T* node) const {
+    if (node->arena_node) {
+      node->~T();
+    } else {
+      delete node;
+    }
+  }
+};
+
+using ExprPtr = std::unique_ptr<class Expr, NodeDeleter>;
+using FromItemPtr = std::unique_ptr<class FromItem, NodeDeleter>;
+using StmtPtr = std::unique_ptr<SelectStatement, NodeDeleter>;
+
+/// Heap-allocates an AST node behind the shared deleter — the drop-in
+/// replacement for std::make_unique at every call site that builds nodes
+/// outside a parse (clones, solver rewrites, tests).
+template <typename T, typename... Args>
+std::unique_ptr<T, NodeDeleter> MakeNode(Args&&... args) {
+  return std::unique_ptr<T, NodeDeleter>(new T(std::forward<Args>(args)...));
+}
+
+/// Chunked bump allocator for AST nodes, owned by the root statement of
+/// a parse. Nodes are destroyed individually through NodeDeleter (their
+/// destructors still run, releasing std::string payloads); the chunks
+/// are freed in one sweep when the arena dies. This removes the
+/// per-node malloc/free pair that dominated parse cost.
+class AstArena {
+ public:
+  explicit AstArena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  AstArena(const AstArena&) = delete;
+  AstArena& operator=(const AstArena&) = delete;
+
+  /// Constructs a T inside the arena and marks it as arena-backed.
+  template <typename T, typename... Args>
+  std::unique_ptr<T, NodeDeleter> New(Args&&... args) {
+    void* slot = Allocate(sizeof(T), alignof(T));
+    T* node = ::new (slot) T(std::forward<Args>(args)...);
+    node->arena_node = true;
+    return std::unique_ptr<T, NodeDeleter>(node);
+  }
+
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  static constexpr size_t kDefaultChunkBytes = 16 * 1024;
+
+ private:
+  void* Allocate(size_t bytes, size_t align) {
+    size_t aligned = (used_ + align - 1) & ~(align - 1);
+    if (chunks_.empty() || aligned + bytes > chunk_bytes_) {
+      // operator new[] storage satisfies every fundamental alignment, so
+      // nodes of any (non-overaligned) type can be placed in a chunk.
+      size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+      chunks_.push_back(std::unique_ptr<char[]>(new char[size]));
+      aligned = 0;
+    }
+    used_ = aligned + bytes;
+    bytes_allocated_ += bytes;
+    return chunks_.back().get() + aligned;
+  }
+
+  size_t chunk_bytes_;
+  size_t used_ = 0;  // bytes used in chunks_.back()
+  size_t bytes_allocated_ = 0;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+};
 
 // ---------------------------------------------------------------------------
 // Expressions
@@ -65,8 +157,10 @@ enum class LiteralKind {
 };
 
 /// Base class of all expression nodes. Every node is deep-copyable via
-/// Clone(), which the antipattern solvers rely on when rewriting queries.
-class Expr {
+/// Clone(), which the antipattern solvers rely on when rewriting
+/// queries; clones are always heap-backed so they may outlive the parse
+/// arena they were copied from.
+class Expr : public AstNode {
  public:
   explicit Expr(ExprKind kind) : kind_(kind) {}
   virtual ~Expr() = default;
@@ -75,13 +169,11 @@ class Expr {
   Expr& operator=(const Expr&) = delete;
 
   ExprKind kind() const { return kind_; }
-  virtual std::unique_ptr<Expr> Clone() const = 0;
+  virtual ExprPtr Clone() const = 0;
 
  private:
   ExprKind kind_;
 };
-
-using ExprPtr = std::unique_ptr<Expr>;
 
 /// A numeric, string, or NULL literal. `text` preserves the literal
 /// exactly as written (for round-trip printing); `number_value` is the
@@ -91,8 +183,8 @@ class LiteralExpr final : public Expr {
   LiteralExpr(LiteralKind literal_kind, std::string text)
       : Expr(ExprKind::kLiteral), literal_kind(literal_kind), text(std::move(text)) {}
 
-  std::unique_ptr<Expr> Clone() const override {
-    auto copy = std::make_unique<LiteralExpr>(literal_kind, text);
+  ExprPtr Clone() const override {
+    auto copy = MakeNode<LiteralExpr>(literal_kind, text);
     copy->number_value = number_value;
     return copy;
   }
@@ -108,8 +200,8 @@ class ColumnRefExpr final : public Expr {
   ColumnRefExpr(std::string qualifier, std::string name)
       : Expr(ExprKind::kColumnRef), qualifier(std::move(qualifier)), name(std::move(name)) {}
 
-  std::unique_ptr<Expr> Clone() const override {
-    return std::make_unique<ColumnRefExpr>(qualifier, name);
+  ExprPtr Clone() const override {
+    return MakeNode<ColumnRefExpr>(qualifier, name);
   }
 
   std::string qualifier;  // empty when unqualified
@@ -122,8 +214,8 @@ class StarExpr final : public Expr {
   explicit StarExpr(std::string qualifier = "")
       : Expr(ExprKind::kStar), qualifier(std::move(qualifier)) {}
 
-  std::unique_ptr<Expr> Clone() const override {
-    return std::make_unique<StarExpr>(qualifier);
+  ExprPtr Clone() const override {
+    return MakeNode<StarExpr>(qualifier);
   }
 
   std::string qualifier;  // empty for a bare `*`
@@ -135,8 +227,8 @@ class VariableExpr final : public Expr {
   explicit VariableExpr(std::string name)
       : Expr(ExprKind::kVariable), name(std::move(name)) {}
 
-  std::unique_ptr<Expr> Clone() const override {
-    return std::make_unique<VariableExpr>(name);
+  ExprPtr Clone() const override {
+    return MakeNode<VariableExpr>(name);
   }
 
   std::string name;  // without the leading '@'
@@ -149,8 +241,8 @@ class FunctionCallExpr final : public Expr {
   explicit FunctionCallExpr(std::string name)
       : Expr(ExprKind::kFunctionCall), name(std::move(name)) {}
 
-  std::unique_ptr<Expr> Clone() const override {
-    auto copy = std::make_unique<FunctionCallExpr>(name);
+  ExprPtr Clone() const override {
+    auto copy = MakeNode<FunctionCallExpr>(name);
     copy->distinct = distinct;
     copy->args.reserve(args.size());
     for (const auto& a : args) copy->args.push_back(a->Clone());
@@ -168,8 +260,8 @@ class UnaryExpr final : public Expr {
   UnaryExpr(UnaryOp op, ExprPtr operand)
       : Expr(ExprKind::kUnary), op(op), operand(std::move(operand)) {}
 
-  std::unique_ptr<Expr> Clone() const override {
-    return std::make_unique<UnaryExpr>(op, operand->Clone());
+  ExprPtr Clone() const override {
+    return MakeNode<UnaryExpr>(op, operand->Clone());
   }
 
   UnaryOp op;
@@ -182,8 +274,8 @@ class BinaryExpr final : public Expr {
   BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
       : Expr(ExprKind::kBinary), op(op), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
 
-  std::unique_ptr<Expr> Clone() const override {
-    return std::make_unique<BinaryExpr>(op, lhs->Clone(), rhs->Clone());
+  ExprPtr Clone() const override {
+    return MakeNode<BinaryExpr>(op, lhs->Clone(), rhs->Clone());
   }
 
   BinaryOp op;
@@ -201,9 +293,9 @@ class BetweenExpr final : public Expr {
         high(std::move(high)),
         negated(negated) {}
 
-  std::unique_ptr<Expr> Clone() const override {
-    return std::make_unique<BetweenExpr>(operand->Clone(), low->Clone(), high->Clone(),
-                                         negated);
+  ExprPtr Clone() const override {
+    return MakeNode<BetweenExpr>(operand->Clone(), low->Clone(), high->Clone(),
+                                 negated);
   }
 
   ExprPtr operand;
@@ -221,11 +313,11 @@ class InListExpr final : public Expr {
         items(std::move(items)),
         negated(negated) {}
 
-  std::unique_ptr<Expr> Clone() const override {
+  ExprPtr Clone() const override {
     std::vector<ExprPtr> copy_items;
     copy_items.reserve(items.size());
     for (const auto& e : items) copy_items.push_back(e->Clone());
-    return std::make_unique<InListExpr>(operand->Clone(), std::move(copy_items), negated);
+    return MakeNode<InListExpr>(operand->Clone(), std::move(copy_items), negated);
   }
 
   ExprPtr operand;
@@ -237,25 +329,25 @@ class InListExpr final : public Expr {
 /// forward declaration; Clone is defined out of line in ast.cc.
 class InSubqueryExpr final : public Expr {
  public:
-  InSubqueryExpr(ExprPtr operand, std::unique_ptr<SelectStatement> subquery, bool negated);
+  InSubqueryExpr(ExprPtr operand, StmtPtr subquery, bool negated);
   ~InSubqueryExpr() override;
 
-  std::unique_ptr<Expr> Clone() const override;
+  ExprPtr Clone() const override;
 
   ExprPtr operand;
-  std::unique_ptr<SelectStatement> subquery;
+  StmtPtr subquery;
   bool negated;
 };
 
 /// `EXISTS (SELECT ...)` (optionally NOT).
 class ExistsExpr final : public Expr {
  public:
-  ExistsExpr(std::unique_ptr<SelectStatement> subquery, bool negated);
+  ExistsExpr(StmtPtr subquery, bool negated);
   ~ExistsExpr() override;
 
-  std::unique_ptr<Expr> Clone() const override;
+  ExprPtr Clone() const override;
 
-  std::unique_ptr<SelectStatement> subquery;
+  StmtPtr subquery;
   bool negated;
 };
 
@@ -265,8 +357,8 @@ class IsNullExpr final : public Expr {
   IsNullExpr(ExprPtr operand, bool negated)
       : Expr(ExprKind::kIsNull), operand(std::move(operand)), negated(negated) {}
 
-  std::unique_ptr<Expr> Clone() const override {
-    return std::make_unique<IsNullExpr>(operand->Clone(), negated);
+  ExprPtr Clone() const override {
+    return MakeNode<IsNullExpr>(operand->Clone(), negated);
   }
 
   ExprPtr operand;
@@ -282,8 +374,8 @@ class LikeExpr final : public Expr {
         pattern(std::move(pattern)),
         negated(negated) {}
 
-  std::unique_ptr<Expr> Clone() const override {
-    return std::make_unique<LikeExpr>(operand->Clone(), pattern->Clone(), negated);
+  ExprPtr Clone() const override {
+    return MakeNode<LikeExpr>(operand->Clone(), pattern->Clone(), negated);
   }
 
   ExprPtr operand;
@@ -294,12 +386,12 @@ class LikeExpr final : public Expr {
 /// Scalar subquery `(SELECT ...)` used as an expression.
 class SubqueryExpr final : public Expr {
  public:
-  explicit SubqueryExpr(std::unique_ptr<SelectStatement> subquery);
+  explicit SubqueryExpr(StmtPtr subquery);
   ~SubqueryExpr() override;
 
-  std::unique_ptr<Expr> Clone() const override;
+  ExprPtr Clone() const override;
 
-  std::unique_ptr<SelectStatement> subquery;
+  StmtPtr subquery;
 };
 
 /// `CASE WHEN cond THEN value [...] [ELSE value] END`. Searched form
@@ -309,8 +401,8 @@ class CaseExpr final : public Expr {
  public:
   CaseExpr() : Expr(ExprKind::kCase) {}
 
-  std::unique_ptr<Expr> Clone() const override {
-    auto copy = std::make_unique<CaseExpr>();
+  ExprPtr Clone() const override {
+    auto copy = MakeNode<CaseExpr>();
     copy->branches.reserve(branches.size());
     for (const auto& b : branches) {
       copy->branches.push_back(Branch{b.condition->Clone(), b.value->Clone()});
@@ -349,7 +441,7 @@ enum class JoinType {
 };
 
 /// Base class of FROM-clause items.
-class FromItem {
+class FromItem : public AstNode {
  public:
   explicit FromItem(FromKind kind) : kind_(kind) {}
   virtual ~FromItem() = default;
@@ -358,13 +450,11 @@ class FromItem {
   FromItem& operator=(const FromItem&) = delete;
 
   FromKind kind() const { return kind_; }
-  virtual std::unique_ptr<FromItem> Clone() const = 0;
+  virtual FromItemPtr Clone() const = 0;
 
  private:
   FromKind kind_;
 };
-
-using FromItemPtr = std::unique_ptr<FromItem>;
 
 /// Plain table reference: `dbo.SpecObjAll AS s`.
 class TableRef final : public FromItem {
@@ -375,8 +465,8 @@ class TableRef final : public FromItem {
         table(std::move(table)),
         alias(std::move(alias)) {}
 
-  std::unique_ptr<FromItem> Clone() const override {
-    return std::make_unique<TableRef>(schema, table, alias);
+  FromItemPtr Clone() const override {
+    return MakeNode<TableRef>(schema, table, alias);
   }
 
   std::string schema;  // empty when unqualified
@@ -393,8 +483,8 @@ class TableFunctionRef final : public FromItem {
         name(std::move(name)),
         alias(std::move(alias)) {}
 
-  std::unique_ptr<FromItem> Clone() const override {
-    auto copy = std::make_unique<TableFunctionRef>(schema, name, alias);
+  FromItemPtr Clone() const override {
+    auto copy = MakeNode<TableFunctionRef>(schema, name, alias);
     copy->args.reserve(args.size());
     for (const auto& a : args) copy->args.push_back(a->Clone());
     return copy;
@@ -409,12 +499,12 @@ class TableFunctionRef final : public FromItem {
 /// Derived table: `(SELECT ...) AS o`.
 class SubqueryRef final : public FromItem {
  public:
-  SubqueryRef(std::unique_ptr<SelectStatement> subquery, std::string alias);
+  SubqueryRef(StmtPtr subquery, std::string alias);
   ~SubqueryRef() override;
 
-  std::unique_ptr<FromItem> Clone() const override;
+  FromItemPtr Clone() const override;
 
-  std::unique_ptr<SelectStatement> subquery;
+  StmtPtr subquery;
   std::string alias;
 };
 
@@ -428,9 +518,9 @@ class JoinRef final : public FromItem {
         right(std::move(right)),
         condition(std::move(condition)) {}
 
-  std::unique_ptr<FromItem> Clone() const override {
-    return std::make_unique<JoinRef>(join_type, left->Clone(), right->Clone(),
-                                     condition ? condition->Clone() : nullptr);
+  FromItemPtr Clone() const override {
+    return MakeNode<JoinRef>(join_type, left->Clone(), right->Clone(),
+                             condition ? condition->Clone() : nullptr);
   }
 
   JoinType join_type;
@@ -468,15 +558,21 @@ struct OrderByItem {
 /// Full SELECT statement of the dialect:
 ///   SELECT [DISTINCT] [TOP n] items FROM from_items
 ///   [WHERE cond] [GROUP BY exprs [HAVING cond]] [ORDER BY keys]
-class SelectStatement {
+///
+/// The root statement of a parse is heap-allocated and owns the arena
+/// holding its interior nodes; subquery statements live in the root's
+/// arena (their `arena` member is null). `arena` is declared first so it
+/// is destroyed last: member destructors release the interior nodes
+/// before the chunks backing them disappear.
+class SelectStatement : public AstNode {
  public:
   SelectStatement() = default;
 
   SelectStatement(const SelectStatement&) = delete;
   SelectStatement& operator=(const SelectStatement&) = delete;
 
-  std::unique_ptr<SelectStatement> Clone() const {
-    auto copy = std::make_unique<SelectStatement>();
+  StmtPtr Clone() const {
+    auto copy = MakeNode<SelectStatement>();
     copy->distinct = distinct;
     copy->top_count = top_count;
     copy->select_items.reserve(select_items.size());
@@ -491,6 +587,8 @@ class SelectStatement {
     for (const auto& o : order_by) copy->order_by.push_back(o.Copy());
     return copy;
   }
+
+  std::unique_ptr<AstArena> arena;  // set on root statements only
 
   bool distinct = false;
   long long top_count = -1;  // -1 when absent

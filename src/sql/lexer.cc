@@ -47,13 +47,56 @@ const char* TokenTypeName(TokenType type) {
   return "<unknown>";
 }
 
-Result<std::vector<Token>> Lex(std::string_view s) {
-  std::vector<Token> tokens;
+Result<TokenStream> Lex(std::string_view s) {
+  TokenStream stream;
+  std::vector<Token>& tokens = stream.tokens;
   size_t i = 0;
   const size_t n = s.size();
 
-  auto push = [&](TokenType type, std::string text, size_t offset) {
-    tokens.push_back(Token{type, std::move(text), offset});
+  auto push = [&](TokenType type, std::string_view text, size_t offset) {
+    tokens.push_back(Token{type, text, offset});
+  };
+
+  // Scans a quoted region starting after the opening quote. `close` is
+  // the closing character; when `doubling` is set a doubled close
+  // character is an escape for one literal close character. On success
+  // `i` is left after the closing quote and the (unescaped) payload is
+  // pushed as `type` — as a view into `s` when no escape occurred, or as
+  // stream-owned storage when unescaping had to rewrite bytes.
+  auto lex_quoted = [&](TokenType type, char close, bool doubling,
+                        const char* what) -> Status {
+    size_t start = i;
+    ++i;
+    size_t body = i;
+    bool escaped = false;
+    while (i < n) {
+      if (s[i] == close) {
+        if (doubling && i + 1 < n && s[i + 1] == close) {
+          escaped = true;
+          i += 2;
+          continue;
+        }
+        break;
+      }
+      ++i;
+    }
+    if (i >= n) {
+      return Status::ParseError(StrFormat("unterminated %s at offset %zu", what, start));
+    }
+    std::string_view raw = s.substr(body, i - body);
+    ++i;  // closing quote
+    if (!escaped) {
+      push(type, raw, start);
+      return Status::OK();
+    }
+    std::string text;
+    text.reserve(raw.size());
+    for (size_t k = 0; k < raw.size(); ++k) {
+      text.push_back(raw[k]);
+      if (raw[k] == close) ++k;  // skip the doubled escape character
+    }
+    push(type, stream.Materialize(std::move(text)), start);
+    return Status::OK();
   };
 
   while (i < n) {
@@ -89,152 +132,85 @@ Result<std::vector<Token>> Lex(std::string_view s) {
     }
     // String literal.
     if (c == '\'') {
-      size_t start = i;
-      ++i;
-      std::string text;
-      bool closed = false;
-      while (i < n) {
-        if (s[i] == '\'') {
-          if (i + 1 < n && s[i + 1] == '\'') {
-            text.push_back('\'');
-            i += 2;
-            continue;
-          }
-          ++i;
-          closed = true;
-          break;
-        }
-        text.push_back(s[i]);
-        ++i;
-      }
-      if (!closed) {
-        return Status::ParseError(
-            StrFormat("unterminated string literal at offset %zu", start));
-      }
-      push(TokenType::kString, std::move(text), start);
+      Status status = lex_quoted(TokenType::kString, '\'', true, "string literal");
+      if (!status.ok()) return status;
       continue;
     }
-    // Bracketed identifier.
+    // Bracketed identifier (no escape for ']').
     if (c == '[') {
-      size_t start = i;
-      ++i;
-      std::string text;
-      bool closed = false;
-      while (i < n) {
-        if (s[i] == ']') {
-          ++i;
-          closed = true;
-          break;
-        }
-        text.push_back(s[i]);
-        ++i;
-      }
-      if (!closed) {
-        return Status::ParseError(
-            StrFormat("unterminated bracketed identifier at offset %zu", start));
-      }
-      push(TokenType::kIdentifier, std::move(text), start);
+      Status status =
+          lex_quoted(TokenType::kIdentifier, ']', false, "bracketed identifier");
+      if (!status.ok()) return status;
       continue;
     }
     // Double-quoted identifier.
     if (c == '"') {
-      size_t start = i;
-      ++i;
-      std::string text;
-      bool closed = false;
-      while (i < n) {
-        if (s[i] == '"') {
-          if (i + 1 < n && s[i + 1] == '"') {
-            text.push_back('"');
-            i += 2;
-            continue;
-          }
-          ++i;
-          closed = true;
-          break;
-        }
-        text.push_back(s[i]);
-        ++i;
-      }
-      if (!closed) {
-        return Status::ParseError(
-            StrFormat("unterminated quoted identifier at offset %zu", start));
-      }
-      push(TokenType::kIdentifier, std::move(text), start);
+      Status status =
+          lex_quoted(TokenType::kIdentifier, '"', true, "quoted identifier");
+      if (!status.ok()) return status;
       continue;
     }
     // Variable.
     if (c == '@') {
       size_t start = i;
       ++i;
-      std::string text;
-      while (i < n && IsIdentChar(s[i])) {
-        text.push_back(s[i]);
-        ++i;
-      }
-      if (text.empty()) {
+      size_t body = i;
+      while (i < n && IsIdentChar(s[i])) ++i;
+      if (i == body) {
         return Status::ParseError(StrFormat("bare '@' at offset %zu", start));
       }
-      push(TokenType::kVariable, std::move(text), start);
+      push(TokenType::kVariable, s.substr(body, i - body), start);
       continue;
     }
     // Number. A leading digit, or a '.' followed by a digit.
     if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(s[i + 1]))) {
       size_t start = i;
-      std::string text;
       if (c == '0' && i + 1 < n && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
-        text += "0x";
+        bool upper = s[i + 1] == 'X';
         i += 2;
-        while (i < n && std::isxdigit(static_cast<unsigned char>(s[i]))) {
-          text.push_back(s[i]);
-          ++i;
-        }
-        if (text.size() == 2) {
+        size_t digits = i;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(s[i]))) ++i;
+        if (i == digits) {
           return Status::ParseError(StrFormat("malformed hex literal at offset %zu", start));
+        }
+        if (upper) {
+          // Token text is normalized to a lowercase "0x" prefix.
+          push(TokenType::kNumber,
+               stream.Materialize("0x" + std::string(s.substr(digits, i - digits))),
+               start);
+        } else {
+          push(TokenType::kNumber, s.substr(start, i - start), start);
         }
       } else {
         bool seen_dot = false;
         while (i < n && (IsDigit(s[i]) || (s[i] == '.' && !seen_dot))) {
           if (s[i] == '.') seen_dot = true;
-          text.push_back(s[i]);
           ++i;
         }
-        // Exponent part.
+        // Exponent part. Backtracks when 'e' is not followed by digits,
+        // so the token stays one contiguous slice of the input.
         if (i < n && (s[i] == 'e' || s[i] == 'E')) {
           size_t mark = i;
-          std::string exp;
-          exp.push_back(s[i]);
           ++i;
-          if (i < n && (s[i] == '+' || s[i] == '-')) {
-            exp.push_back(s[i]);
-            ++i;
-          }
+          if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
           if (i < n && IsDigit(s[i])) {
-            while (i < n && IsDigit(s[i])) {
-              exp.push_back(s[i]);
-              ++i;
-            }
-            text += exp;
+            while (i < n && IsDigit(s[i])) ++i;
           } else {
             i = mark;  // 'e' starts an identifier, not an exponent
           }
         }
+        push(TokenType::kNumber, s.substr(start, i - start), start);
       }
-      push(TokenType::kNumber, std::move(text), start);
       continue;
     }
     // Identifier.
     if (IsIdentStart(c)) {
       size_t start = i;
-      std::string text;
-      while (i < n && IsIdentChar(s[i])) {
-        text.push_back(s[i]);
-        ++i;
-      }
-      push(TokenType::kIdentifier, std::move(text), start);
+      while (i < n && IsIdentChar(s[i])) ++i;
+      push(TokenType::kIdentifier, s.substr(start, i - start), start);
       continue;
     }
-    // Operators and punctuation.
+    // Operators and punctuation. Texts are static strings.
     size_t start = i;
     switch (c) {
       case ',': push(TokenType::kComma, ",", start); ++i; break;
@@ -283,8 +259,8 @@ Result<std::vector<Token>> Lex(std::string_view s) {
                       static_cast<unsigned char>(c), start));
     }
   }
-  tokens.push_back(Token{TokenType::kEnd, "", n});
-  return tokens;
+  tokens.push_back(Token{TokenType::kEnd, {}, n});
+  return stream;
 }
 
 }  // namespace sqlog::sql

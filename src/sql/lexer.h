@@ -15,9 +15,11 @@ namespace sqlog::sql {
 ///   - `[bracketed]` and `"double-quoted"` identifiers,
 ///   - integer, decimal, scientific and 0x hex numeric literals,
 ///   - T-SQL `@variables`.
-/// The returned vector is terminated by a kEnd token. Lexing never
-/// throws; malformed input yields a ParseError status.
-Result<std::vector<Token>> Lex(std::string_view statement);
+/// The returned stream is terminated by a kEnd token. Token texts are
+/// views into `statement` (or into the stream itself where escape
+/// processing forced a rewrite) — `statement` must outlive the stream.
+/// Lexing never throws; malformed input yields a ParseError status.
+Result<TokenStream> Lex(std::string_view statement);
 
 }  // namespace sqlog::sql
 

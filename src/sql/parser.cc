@@ -15,19 +15,27 @@ namespace {
 /// statement / FROM grammar holds a DepthGuard while it is open, so
 /// pathological input (fuzzer-style runs of '(' or NOT) yields a
 /// ParseError instead of overflowing the stack.
+///
+/// Interior AST nodes are bump-allocated from the root statement's
+/// arena; only the root itself lives on the heap (it must own the arena
+/// that backs its children). The token stream is borrowed, not copied —
+/// the caller keeps it alive for the duration of the parse, and every
+/// token text the AST retains is copied into node-owned std::strings.
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  explicit Parser(const TokenStream& tokens) : tokens_(tokens) {}
 
-  Result<std::unique_ptr<SelectStatement>> ParseStatement() {
-    auto select = ParseSelectCore();
-    if (!select.ok()) return select.status();
+  Result<StmtPtr> ParseStatement() {
+    auto root = MakeNode<SelectStatement>();
+    root->arena = std::make_unique<AstArena>();
+    arena_ = root->arena.get();
+    SQLOG_RETURN_IF_ERROR_R(ParseSelectBody(*root));
     // Allow trailing semicolons.
     while (Check(TokenType::kSemicolon)) Advance();
     if (!Check(TokenType::kEnd)) {
       return Error("unexpected trailing input");
     }
-    return select;
+    return StmtPtr(std::move(root));
   }
 
  private:
@@ -60,8 +68,10 @@ class Parser {
 
   Status Expect(TokenType type, const char* what) {
     if (!Check(type)) {
-      return Status::ParseError(StrFormat("expected %s at offset %zu, found '%s'", what,
-                                          Peek().offset, Peek().text.c_str()));
+      return Status::ParseError(StrFormat("expected %s at offset %zu, found '%.*s'",
+                                          what, Peek().offset,
+                                          static_cast<int>(Peek().text.size()),
+                                          Peek().text.data()));
     }
     Advance();
     return Status::OK();
@@ -79,8 +89,22 @@ class Parser {
 
   Status Error(const char* message) const {
     return Status::ParseError(
-        StrFormat("%s at offset %zu (near '%s')", message, Peek().offset,
-                  Peek().text.c_str()));
+        StrFormat("%s at offset %zu (near '%.*s')", message, Peek().offset,
+                  static_cast<int>(Peek().text.size()), Peek().text.data()));
+  }
+
+  // --- node construction ----------------------------------------------------
+
+  /// Bump-allocates an AST node in the current parse's arena.
+  template <typename T, typename... Args>
+  std::unique_ptr<T, NodeDeleter> New(Args&&... args) {
+    return arena_->New<T>(std::forward<Args>(args)...);
+  }
+
+  std::unique_ptr<LiteralExpr, NodeDeleter> MakeNumberLiteral(std::string text) {
+    auto lit = New<LiteralExpr>(LiteralKind::kNumber, std::move(text));
+    lit->number_value = std::strtod(lit->text.c_str(), nullptr);
+    return lit;
   }
 
   // --- recursion depth ------------------------------------------------------
@@ -106,41 +130,62 @@ class Parser {
   }
 
   /// Reserved words that terminate expressions / cannot start a primary.
-  static bool IsReservedKeyword(const std::string& word) {
-    static constexpr const char* kReserved[] = {
-        "select", "from",  "where", "group",  "order", "having", "join",
-        "inner",  "left",  "right", "full",   "cross", "outer",  "on",
-        "and",    "or",    "not",   "in",     "like",  "is",     "between",
-        "as",     "union", "top",   "distinct", "asc", "desc",   "when",
-        "then",   "else",  "end",   "case",   "exists",
-    };
-    for (const char* kw : kReserved) {
-      if (EqualsIgnoreCase(word, kw)) return true;
+  /// Dispatches on the case-folded first byte so classification touches
+  /// at most four case-insensitive probes and never allocates.
+  static bool IsReservedKeyword(std::string_view word) {
+    if (word.empty()) return false;
+    auto eq = [&word](std::string_view kw) { return EqualsIgnoreCase(word, kw); };
+    switch (static_cast<unsigned char>(word[0]) | 0x20u) {
+      case 'a': return eq("and") || eq("as") || eq("asc");
+      case 'b': return eq("between");
+      case 'c': return eq("cross") || eq("case");
+      case 'd': return eq("distinct") || eq("desc");
+      case 'e': return eq("exists") || eq("else") || eq("end");
+      case 'f': return eq("from") || eq("full");
+      case 'g': return eq("group");
+      case 'h': return eq("having");
+      case 'i': return eq("in") || eq("inner") || eq("is");
+      case 'j': return eq("join");
+      case 'l': return eq("left") || eq("like");
+      case 'n': return eq("not");
+      case 'o': return eq("on") || eq("or") || eq("order") || eq("outer");
+      case 'r': return eq("right");
+      case 's': return eq("select");
+      case 't': return eq("top") || eq("then");
+      case 'u': return eq("union");
+      case 'w': return eq("where") || eq("when");
+      default: return false;
     }
-    return false;
   }
 
   // --- statement ------------------------------------------------------------
 
-  Result<std::unique_ptr<SelectStatement>> ParseSelectCore() {
-    SQLOG_RETURN_IF_ERROR_R(CheckDepth());
-    DepthGuard depth(depth_);
-    SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("select"));
-    auto stmt = std::make_unique<SelectStatement>();
+  /// Parses a subquery SELECT into an arena-backed statement node.
+  Result<StmtPtr> ParseSelectCore() {
+    auto stmt = New<SelectStatement>();
+    SQLOG_RETURN_IF_ERROR_R(ParseSelectBody(*stmt));
+    return StmtPtr(std::move(stmt));
+  }
 
-    if (MatchKeyword("distinct")) stmt->distinct = true;
+  Status ParseSelectBody(SelectStatement& stmt) {
+    SQLOG_RETURN_IF_ERROR(CheckDepth());
+    DepthGuard depth(depth_);
+    SQLOG_RETURN_IF_ERROR(ExpectKeyword("select"));
+
+    if (MatchKeyword("distinct")) stmt.distinct = true;
     if (MatchKeyword("top")) {
       bool paren = Match(TokenType::kLParen);
       if (!Check(TokenType::kNumber)) return Error("expected count after TOP");
-      stmt->top_count = std::strtoll(Advance().text.c_str(), nullptr, 10);
-      if (paren) SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
+      std::string count_text(Advance().text);
+      stmt.top_count = std::strtoll(count_text.c_str(), nullptr, 10);
+      if (paren) SQLOG_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
     }
 
     // Select list.
     while (true) {
       auto item = ParseSelectItem();
       if (!item.ok()) return item.status();
-      stmt->select_items.push_back(std::move(item.value()));
+      stmt.select_items.push_back(std::move(item.value()));
       if (!Match(TokenType::kComma)) break;
     }
 
@@ -149,7 +194,7 @@ class Parser {
       while (true) {
         auto from = ParseFromElement();
         if (!from.ok()) return from.status();
-        stmt->from_items.push_back(std::move(from.value()));
+        stmt.from_items.push_back(std::move(from.value()));
         if (!Match(TokenType::kComma)) break;
       }
     }
@@ -157,28 +202,28 @@ class Parser {
     if (MatchKeyword("where")) {
       auto cond = ParseExpr();
       if (!cond.ok()) return cond.status();
-      stmt->where = std::move(cond.value());
+      stmt.where = std::move(cond.value());
     }
 
     if (CheckKeyword("group")) {
       Advance();
-      SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("by"));
+      SQLOG_RETURN_IF_ERROR(ExpectKeyword("by"));
       while (true) {
         auto expr = ParseExpr();
         if (!expr.ok()) return expr.status();
-        stmt->group_by.push_back(std::move(expr.value()));
+        stmt.group_by.push_back(std::move(expr.value()));
         if (!Match(TokenType::kComma)) break;
       }
       if (MatchKeyword("having")) {
         auto cond = ParseExpr();
         if (!cond.ok()) return cond.status();
-        stmt->having = std::move(cond.value());
+        stmt.having = std::move(cond.value());
       }
     }
 
     if (CheckKeyword("order")) {
       Advance();
-      SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("by"));
+      SQLOG_RETURN_IF_ERROR(ExpectKeyword("by"));
       while (true) {
         auto expr = ParseExpr();
         if (!expr.ok()) return expr.status();
@@ -188,36 +233,36 @@ class Parser {
         } else {
           MatchKeyword("asc");
         }
-        stmt->order_by.emplace_back(std::move(expr.value()), desc);
+        stmt.order_by.emplace_back(std::move(expr.value()), desc);
         if (!Match(TokenType::kComma)) break;
       }
     }
 
-    return stmt;
+    return Status::OK();
   }
 
   Result<SelectItem> ParseSelectItem() {
     // Bare `*`.
     if (Check(TokenType::kStar)) {
       Advance();
-      return SelectItem(std::make_unique<StarExpr>(), "");
+      return SelectItem(New<StarExpr>(), "");
     }
     // Qualified star `T.*`.
     if (Check(TokenType::kIdentifier) && PeekAhead(1).Is(TokenType::kDot) &&
         PeekAhead(2).Is(TokenType::kStar) && !IsReservedKeyword(Peek().text)) {
-      std::string qualifier = Advance().text;
+      std::string qualifier(Advance().text);
       Advance();  // '.'
       Advance();  // '*'
-      return SelectItem(std::make_unique<StarExpr>(qualifier), "");
+      return SelectItem(New<StarExpr>(std::move(qualifier)), "");
     }
     auto expr = ParseExpr();
     if (!expr.ok()) return expr.status();
     std::string alias;
     if (MatchKeyword("as")) {
       if (!Check(TokenType::kIdentifier)) return Error("expected alias after AS");
-      alias = Advance().text;
+      alias.assign(Advance().text);
     } else if (Check(TokenType::kIdentifier) && !IsReservedKeyword(Peek().text)) {
-      alias = Advance().text;
+      alias.assign(Advance().text);
     }
     return SelectItem(std::move(expr.value()), std::move(alias));
   }
@@ -251,8 +296,8 @@ class Parser {
         if (!cond.ok()) return cond.status();
         condition = std::move(cond.value());
       }
-      node = std::make_unique<JoinRef>(type, std::move(node), std::move(right.value()),
-                                       std::move(condition));
+      node = New<JoinRef>(type, std::move(node), std::move(right.value()),
+                          std::move(condition));
     }
     return node;
   }
@@ -288,9 +333,9 @@ class Parser {
         std::string alias;
         MatchKeyword("as");
         if (Check(TokenType::kIdentifier) && !IsReservedKeyword(Peek().text)) {
-          alias = Advance().text;
+          alias.assign(Advance().text);
         }
-        return FromItemPtr(std::make_unique<SubqueryRef>(std::move(sub.value()), alias));
+        return FromItemPtr(New<SubqueryRef>(std::move(sub.value()), std::move(alias)));
       }
       // Parenthesized join tree: `(T1 JOIN T2 ON ...)`.
       Advance();
@@ -303,19 +348,19 @@ class Parser {
     }
 
     if (!Check(TokenType::kIdentifier)) return Error("expected table name");
-    std::string first = Advance().text;
+    std::string first(Advance().text);
     std::string schema;
     std::string name = std::move(first);
     if (Match(TokenType::kDot)) {
       if (!Check(TokenType::kIdentifier)) return Error("expected name after '.'");
       schema = std::move(name);
-      name = Advance().text;
+      name.assign(Advance().text);
     }
 
     // Table-valued function.
     if (Check(TokenType::kLParen)) {
       Advance();
-      auto fn = std::make_unique<TableFunctionRef>(schema, name, "");
+      auto fn = New<TableFunctionRef>(std::move(schema), std::move(name), "");
       if (!Check(TokenType::kRParen)) {
         while (true) {
           auto arg = ParseExpr();
@@ -327,7 +372,7 @@ class Parser {
       SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
       MatchKeyword("as");
       if (Check(TokenType::kIdentifier) && !IsReservedKeyword(Peek().text)) {
-        fn->alias = Advance().text;
+        fn->alias.assign(Advance().text);
       }
       return FromItemPtr(std::move(fn));
     }
@@ -335,9 +380,10 @@ class Parser {
     std::string alias;
     MatchKeyword("as");
     if (Check(TokenType::kIdentifier) && !IsReservedKeyword(Peek().text)) {
-      alias = Advance().text;
+      alias.assign(Advance().text);
     }
-    return FromItemPtr(std::make_unique<TableRef>(schema, name, alias));
+    return FromItemPtr(
+        New<TableRef>(std::move(schema), std::move(name), std::move(alias)));
   }
 
   // --- expressions ----------------------------------------------------------
@@ -351,8 +397,7 @@ class Parser {
     while (MatchKeyword("or")) {
       auto rhs = ParseAnd();
       if (!rhs.ok()) return rhs.status();
-      node = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(node),
-                                          std::move(rhs.value()));
+      node = New<BinaryExpr>(BinaryOp::kOr, std::move(node), std::move(rhs.value()));
     }
     return node;
   }
@@ -364,8 +409,7 @@ class Parser {
     while (MatchKeyword("and")) {
       auto rhs = ParseNot();
       if (!rhs.ok()) return rhs.status();
-      node = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(node),
-                                          std::move(rhs.value()));
+      node = New<BinaryExpr>(BinaryOp::kAnd, std::move(node), std::move(rhs.value()));
     }
     return node;
   }
@@ -376,7 +420,7 @@ class Parser {
       DepthGuard depth(depth_);
       auto operand = ParseNot();
       if (!operand.ok()) return operand.status();
-      return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand.value())));
+      return ExprPtr(New<UnaryExpr>(UnaryOp::kNot, std::move(operand.value())));
     }
     return ParsePredicate();
   }
@@ -389,7 +433,7 @@ class Parser {
       auto sub = ParseSelectCore();
       if (!sub.ok()) return sub.status();
       SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
-      return ExprPtr(std::make_unique<ExistsExpr>(std::move(sub.value()), false));
+      return ExprPtr(New<ExistsExpr>(std::move(sub.value()), false));
     }
 
     auto lhs = ParseAdditive();
@@ -401,7 +445,7 @@ class Parser {
       Advance();
       bool negated = MatchKeyword("not");
       SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("null"));
-      return ExprPtr(std::make_unique<IsNullExpr>(std::move(node), negated));
+      return ExprPtr(New<IsNullExpr>(std::move(node), negated));
     }
 
     bool negated = false;
@@ -420,8 +464,8 @@ class Parser {
       SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("and"));
       auto high = ParseAdditive();
       if (!high.ok()) return high.status();
-      return ExprPtr(std::make_unique<BetweenExpr>(std::move(node), std::move(low.value()),
-                                                   std::move(high.value()), negated));
+      return ExprPtr(New<BetweenExpr>(std::move(node), std::move(low.value()),
+                                      std::move(high.value()), negated));
     }
 
     // [NOT] IN (list | subquery)
@@ -431,8 +475,8 @@ class Parser {
         auto sub = ParseSelectCore();
         if (!sub.ok()) return sub.status();
         SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
-        return ExprPtr(std::make_unique<InSubqueryExpr>(std::move(node),
-                                                        std::move(sub.value()), negated));
+        return ExprPtr(
+            New<InSubqueryExpr>(std::move(node), std::move(sub.value()), negated));
       }
       std::vector<ExprPtr> items;
       while (true) {
@@ -442,16 +486,15 @@ class Parser {
         if (!Match(TokenType::kComma)) break;
       }
       SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
-      return ExprPtr(
-          std::make_unique<InListExpr>(std::move(node), std::move(items), negated));
+      return ExprPtr(New<InListExpr>(std::move(node), std::move(items), negated));
     }
 
     // [NOT] LIKE pattern
     if (MatchKeyword("like")) {
       auto pattern = ParseAdditive();
       if (!pattern.ok()) return pattern.status();
-      return ExprPtr(std::make_unique<LikeExpr>(std::move(node), std::move(pattern.value()),
-                                                negated));
+      return ExprPtr(
+          New<LikeExpr>(std::move(node), std::move(pattern.value()), negated));
     }
 
     if (negated) return Error("dangling NOT");
@@ -472,8 +515,7 @@ class Parser {
       Advance();
       auto rhs = ParseAdditive();
       if (!rhs.ok()) return rhs.status();
-      return ExprPtr(
-          std::make_unique<BinaryExpr>(op, std::move(node), std::move(rhs.value())));
+      return ExprPtr(New<BinaryExpr>(op, std::move(node), std::move(rhs.value())));
     }
     return node;
   }
@@ -487,7 +529,7 @@ class Parser {
       Advance();
       auto rhs = ParseMultiplicative();
       if (!rhs.ok()) return rhs.status();
-      node = std::make_unique<BinaryExpr>(op, std::move(node), std::move(rhs.value()));
+      node = New<BinaryExpr>(op, std::move(node), std::move(rhs.value()));
     }
     return node;
   }
@@ -504,7 +546,7 @@ class Parser {
       Advance();
       auto rhs = ParseUnary();
       if (!rhs.ok()) return rhs.status();
-      node = std::make_unique<BinaryExpr>(op, std::move(node), std::move(rhs.value()));
+      node = New<BinaryExpr>(op, std::move(node), std::move(rhs.value()));
     }
     return node;
   }
@@ -515,7 +557,7 @@ class Parser {
       // Fold unary minus into numeric literals so `-5` skeletonizes the
       // same way as other constants.
       if (Check(TokenType::kNumber)) {
-        auto lit = MakeNumberLiteral("-" + Advance().text);
+        auto lit = MakeNumberLiteral("-" + std::string(Advance().text));
         return ExprPtr(std::move(lit));
       }
       SQLOG_RETURN_IF_ERROR_R(CheckDepth());
@@ -531,8 +573,7 @@ class Parser {
           return ExprPtr(MakeNumberLiteral(std::move(text)));
         }
       }
-      return ExprPtr(
-          std::make_unique<UnaryExpr>(UnaryOp::kMinus, std::move(operand.value())));
+      return ExprPtr(New<UnaryExpr>(UnaryOp::kMinus, std::move(operand.value())));
     }
     if (Check(TokenType::kPlus)) {
       Advance();
@@ -540,31 +581,25 @@ class Parser {
       DepthGuard depth(depth_);
       auto operand = ParseUnary();
       if (!operand.ok()) return operand.status();
-      return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kPlus, std::move(operand.value())));
+      return ExprPtr(New<UnaryExpr>(UnaryOp::kPlus, std::move(operand.value())));
     }
     return ParsePrimary();
-  }
-
-  static std::unique_ptr<LiteralExpr> MakeNumberLiteral(std::string text) {
-    auto lit = std::make_unique<LiteralExpr>(LiteralKind::kNumber, text);
-    lit->number_value = std::strtod(text.c_str(), nullptr);
-    return lit;
   }
 
   Result<ExprPtr> ParsePrimary() {
     const Token& tok = Peek();
     switch (tok.type) {
       case TokenType::kNumber: {
-        std::string text = Advance().text;
+        std::string text(Advance().text);
         return ExprPtr(MakeNumberLiteral(std::move(text)));
       }
       case TokenType::kString: {
-        std::string text = Advance().text;
-        return ExprPtr(std::make_unique<LiteralExpr>(LiteralKind::kString, std::move(text)));
+        std::string text(Advance().text);
+        return ExprPtr(New<LiteralExpr>(LiteralKind::kString, std::move(text)));
       }
       case TokenType::kVariable: {
-        std::string name = Advance().text;
-        return ExprPtr(std::make_unique<VariableExpr>(std::move(name)));
+        std::string name(Advance().text);
+        return ExprPtr(New<VariableExpr>(std::move(name)));
       }
       case TokenType::kStar:
         // count(*) routes through FunctionCall args and bare `*` through
@@ -580,7 +615,7 @@ class Parser {
           auto sub = ParseSelectCore();
           if (!sub.ok()) return sub.status();
           SQLOG_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "')'"));
-          return ExprPtr(std::make_unique<SubqueryExpr>(std::move(sub.value())));
+          return ExprPtr(New<SubqueryExpr>(std::move(sub.value())));
         }
         auto inner = ParseExpr();
         if (!inner.ok()) return inner.status();
@@ -595,30 +630,30 @@ class Parser {
 
     if (CheckKeyword("null")) {
       Advance();
-      return ExprPtr(std::make_unique<LiteralExpr>(LiteralKind::kNull, "NULL"));
+      return ExprPtr(New<LiteralExpr>(LiteralKind::kNull, "NULL"));
     }
     if (CheckKeyword("case")) return ParseCase();
     if (IsReservedKeyword(tok.text)) return Error("unexpected keyword in expression");
 
-    std::string first = Advance().text;
+    std::string first(Advance().text);
 
     // Function call (optionally schema-qualified).
     if (Check(TokenType::kLParen) ||
         (Check(TokenType::kDot) && PeekAhead(1).Is(TokenType::kIdentifier) &&
          PeekAhead(2).Is(TokenType::kLParen))) {
-      std::string name = first;
+      std::string name = std::move(first);
       if (Match(TokenType::kDot)) {
         name += ".";
-        name += Advance().text;
+        name.append(Advance().text);
       }
       Advance();  // '('
-      auto fn = std::make_unique<FunctionCallExpr>(std::move(name));
+      auto fn = New<FunctionCallExpr>(std::move(name));
       if (MatchKeyword("distinct")) fn->distinct = true;
       if (!Check(TokenType::kRParen)) {
         while (true) {
           if (Check(TokenType::kStar)) {
             Advance();
-            fn->args.push_back(std::make_unique<StarExpr>());
+            fn->args.push_back(New<StarExpr>());
           } else {
             auto arg = ParseExpr();
             if (!arg.ok()) return arg.status();
@@ -634,17 +669,17 @@ class Parser {
     // Column reference, optionally qualified.
     if (Check(TokenType::kDot) && PeekAhead(1).Is(TokenType::kIdentifier)) {
       Advance();  // '.'
-      std::string name = Advance().text;
-      return ExprPtr(std::make_unique<ColumnRefExpr>(std::move(first), std::move(name)));
+      std::string name(Advance().text);
+      return ExprPtr(New<ColumnRefExpr>(std::move(first), std::move(name)));
     }
-    return ExprPtr(std::make_unique<ColumnRefExpr>("", std::move(first)));
+    return ExprPtr(New<ColumnRefExpr>("", std::move(first)));
   }
 
   Result<ExprPtr> ParseCase() {
     SQLOG_RETURN_IF_ERROR_R(CheckDepth());
     DepthGuard depth(depth_);
     SQLOG_RETURN_IF_ERROR_R(ExpectKeyword("case"));
-    auto node = std::make_unique<CaseExpr>();
+    auto node = New<CaseExpr>();
     // Simple form: CASE x WHEN v THEN ... → normalized to searched form.
     ExprPtr subject;
     if (!CheckKeyword("when")) {
@@ -660,8 +695,8 @@ class Parser {
       if (!value.ok()) return value.status();
       ExprPtr condition = std::move(cond.value());
       if (subject) {
-        condition = std::make_unique<BinaryExpr>(BinaryOp::kEq, subject->Clone(),
-                                                 std::move(condition));
+        condition = New<BinaryExpr>(BinaryOp::kEq, subject->Clone(),
+                                    std::move(condition));
       }
       node->branches.push_back(CaseExpr::Branch{std::move(condition), std::move(value.value())});
     }
@@ -675,18 +710,26 @@ class Parser {
     return ExprPtr(std::move(node));
   }
 
-  std::vector<Token> tokens_;
+  const TokenStream& tokens_;
   size_t pos_ = 0;
   int depth_ = 0;
+  AstArena* arena_ = nullptr;
 };
 
 }  // namespace
 
-Result<std::unique_ptr<SelectStatement>> ParseSelect(std::string_view statement) {
+Result<StmtPtr> ParseTokens(const TokenStream& tokens) {
+  if (tokens.empty()) {
+    return Status::ParseError("empty token stream");
+  }
+  Parser parser(tokens);
+  return parser.ParseStatement();
+}
+
+Result<StmtPtr> ParseSelect(std::string_view statement) {
   auto tokens = Lex(statement);
   if (!tokens.ok()) return tokens.status();
-  Parser parser(std::move(tokens.value()));
-  return parser.ParseStatement();
+  return ParseTokens(tokens.value());
 }
 
 }  // namespace sqlog::sql

@@ -1,10 +1,10 @@
 #ifndef SQLOG_SQL_PARSER_H_
 #define SQLOG_SQL_PARSER_H_
 
-#include <memory>
 #include <string_view>
 
 #include "sql/ast.h"
+#include "sql/token.h"
 #include "util/status.h"
 
 namespace sqlog::sql {
@@ -23,7 +23,17 @@ inline constexpr int kMaxParseDepth = 64;
 /// and syntax errors yield a ParseError status — never an exception —
 /// matching the paper's parse step that simply drops such statements.
 /// Nesting beyond kMaxParseDepth is rejected with a ParseError.
-Result<std::unique_ptr<SelectStatement>> ParseSelect(std::string_view statement);
+///
+/// The returned root statement owns the arena backing its interior
+/// nodes; the AST copies every token text it keeps, so it does not
+/// reference `statement` after the call.
+Result<StmtPtr> ParseSelect(std::string_view statement);
+
+/// Same, over an already-lexed token stream (the stream must end with a
+/// kEnd token, as produced by Lex). Lets callers that already lexed the
+/// statement — e.g. to fingerprint it — parse without lexing twice.
+/// `tokens` is borrowed only for the duration of the call.
+Result<StmtPtr> ParseTokens(const TokenStream& tokens);
 
 }  // namespace sqlog::sql
 

@@ -58,16 +58,21 @@ class Printer {
           }
         }
         switch (lit.literal_kind) {
-          case LiteralKind::kNumber:
+          case LiteralKind::kNumber: {
+            size_t begin = out.size();
             out += lit.text;
+            RecordSlot(lit, begin, out.size());
             return;
+          }
           case LiteralKind::kString: {
+            size_t begin = out.size();
             out.push_back('\'');
             for (char c : lit.text) {
               if (c == '\'') out.push_back('\'');
               out.push_back(c);
             }
             out.push_back('\'');
+            RecordSlot(lit, begin, out.size());
             return;
           }
           case LiteralKind::kNull:
@@ -126,6 +131,7 @@ class Printer {
           case UnaryOp::kMinus: out.push_back('-'); break;
           case UnaryOp::kPlus: out.push_back('+'); break;
         }
+        size_t mark = Mark();
         std::string operand;
         PrintExpr(*unary.operand, operand);
         // An operand that itself starts with '-' (nested unary minus or a
@@ -139,7 +145,7 @@ class Printer {
                       (unary.op == UnaryOp::kMinus && !operand.empty() &&
                        operand.front() == '-');
         if (parens) out.push_back('(');
-        out += operand;
+        AppendShifted(out, operand, mark);
         if (parens) out.push_back(')');
         return;
       }
@@ -182,7 +188,8 @@ class Printer {
         const auto& in = static_cast<const InSubqueryExpr&>(expr);
         PrintAdditiveOperand(*in.operand, out);
         out += in.negated ? " not in (" : " in (";
-        out += PrintStatement(*in.subquery);
+        size_t mark = Mark();
+        AppendShifted(out, PrintStatement(*in.subquery), mark);
         out.push_back(')');
         return;
       }
@@ -190,7 +197,8 @@ class Printer {
         const auto& exists = static_cast<const ExistsExpr&>(expr);
         if (exists.negated) out += "not ";
         out += "exists (";
-        out += PrintStatement(*exists.subquery);
+        size_t mark = Mark();
+        AppendShifted(out, PrintStatement(*exists.subquery), mark);
         out.push_back(')');
         return;
       }
@@ -210,7 +218,8 @@ class Printer {
       case ExprKind::kSubquery: {
         const auto& sub = static_cast<const SubqueryExpr&>(expr);
         out.push_back('(');
-        out += PrintStatement(*sub.subquery);
+        size_t mark = Mark();
+        AppendShifted(out, PrintStatement(*sub.subquery), mark);
         out.push_back(')');
         return;
       }
@@ -270,7 +279,8 @@ class Printer {
       case FromKind::kSubquery: {
         const auto& sub = static_cast<const SubqueryRef&>(item);
         out.push_back('(');
-        out += PrintStatement(*sub.subquery);
+        size_t mark = Mark();
+        AppendShifted(out, PrintStatement(*sub.subquery), mark);
         out.push_back(')');
         if (!sub.alias.empty()) {
           out += " as ";
@@ -361,25 +371,61 @@ class Printer {
 
   std::string PrintStatement(const SelectStatement& stmt) const {
     std::string out = PrintSelectList(stmt);
+    size_t mark = Mark();
     std::string from = PrintFrom(stmt);
     if (!from.empty()) {
       out.push_back(' ');
-      out += from;
+      AppendShifted(out, from, mark);
     }
+    mark = Mark();
     std::string where = PrintWhere(stmt);
     if (!where.empty()) {
       out.push_back(' ');
-      out += where;
+      AppendShifted(out, where, mark);
     }
+    mark = Mark();
     std::string tail = PrintTail(stmt);
     if (!tail.empty()) {
       out.push_back(' ');
-      out += tail;
+      AppendShifted(out, tail, mark);
     }
     return out;
   }
 
  private:
+  // --- literal-slot recording ----------------------------------------------
+  //
+  // Slots are recorded with offsets relative to the string currently
+  // being written. Wherever the printer splices a separately built piece
+  // (unary operands, subquery statements, the clause strings inside
+  // PrintStatement), the slots recorded while building that piece are
+  // shifted to the splice position, so every slot a public Print call
+  // reports is relative to the string that call returns.
+
+  void RecordSlot(const LiteralExpr& lit, size_t begin, size_t end) const {
+    if (options_.literal_sink == nullptr) return;
+    options_.literal_sink->push_back(LiteralSlot{&lit, begin, end});
+  }
+
+  /// Watermark into the sink taken before building a spliced piece.
+  size_t Mark() const {
+    return options_.literal_sink ? options_.literal_sink->size() : 0;
+  }
+
+  /// Appends `piece` to `out`, shifting the slots recorded since `mark`
+  /// (they are relative to `piece`) to their final positions in `out`.
+  void AppendShifted(std::string& out, const std::string& piece, size_t mark) const {
+    if (options_.literal_sink != nullptr) {
+      size_t base = out.size();
+      auto& sink = *options_.literal_sink;
+      for (size_t i = mark; i < sink.size(); ++i) {
+        sink[i].begin += base;
+        sink[i].end += base;
+      }
+    }
+    out += piece;
+  }
+
   static const char* BinaryOpText(BinaryOp op) {
     switch (op) {
       case BinaryOp::kAnd: return "and";

@@ -1,11 +1,22 @@
 #ifndef SQLOG_SQL_PRINTER_H_
 #define SQLOG_SQL_PRINTER_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "sql/ast.h"
 
 namespace sqlog::sql {
+
+/// Position of one concretely printed literal inside a Print result:
+/// `[begin, end)` spans the literal's rendered text (including quotes
+/// for strings) in the returned string.
+struct LiteralSlot {
+  const Expr* expr = nullptr;  // the LiteralExpr that produced the text
+  size_t begin = 0;
+  size_t end = 0;
+};
 
 /// Controls how an AST is rendered back to SQL text.
 struct PrintOptions {
@@ -17,6 +28,12 @@ struct PrintOptions {
   /// producing the *skeleton* form of Sec. 4.1.2. Variables (`@x`) count
   /// as parameters and also collapse to placeholders.
   bool placeholders = false;
+  /// When set (and `placeholders` is off), every number and string
+  /// literal printed appends a LiteralSlot locating its text in the
+  /// returned string, in print order. NULL literals and variables are
+  /// not recorded. The parse cache uses this to split clause text into
+  /// constant pieces and literal slots.
+  std::vector<LiteralSlot>* literal_sink = nullptr;
 };
 
 /// Renders a full statement.

@@ -61,20 +61,26 @@ bool AsColumn(const Expr& expr, std::string& qualifier, std::string& column) {
 
 /// Recursively collects leaf predicates from a WHERE tree. Any OR or NOT
 /// above leaf level flips `conjunctive` off; leaves below it are still
-/// collected so CP counts remain meaningful.
-void CollectPredicates(const Expr& expr, std::vector<Predicate>& out, bool& conjunctive) {
+/// collected so CP counts remain meaningful. `value_exprs`, when set,
+/// records the AST node behind every pushed predicate value, in order.
+void CollectPredicates(const Expr& expr, std::vector<Predicate>& out, bool& conjunctive,
+                       std::vector<const Expr*>* value_exprs) {
+  auto push_value = [&](Predicate& pred, const Expr& value) {
+    pred.values.push_back(ConstantText(value));
+    if (value_exprs != nullptr) value_exprs->push_back(&value);
+  };
   switch (expr.kind()) {
     case ExprKind::kBinary: {
       const auto& bin = static_cast<const BinaryExpr&>(expr);
       if (bin.op == BinaryOp::kAnd) {
-        CollectPredicates(*bin.lhs, out, conjunctive);
-        CollectPredicates(*bin.rhs, out, conjunctive);
+        CollectPredicates(*bin.lhs, out, conjunctive, value_exprs);
+        CollectPredicates(*bin.rhs, out, conjunctive, value_exprs);
         return;
       }
       if (bin.op == BinaryOp::kOr) {
         conjunctive = false;
-        CollectPredicates(*bin.lhs, out, conjunctive);
-        CollectPredicates(*bin.rhs, out, conjunctive);
+        CollectPredicates(*bin.lhs, out, conjunctive, value_exprs);
+        CollectPredicates(*bin.rhs, out, conjunctive, value_exprs);
         return;
       }
       Predicate pred;
@@ -84,7 +90,7 @@ void CollectPredicates(const Expr& expr, std::vector<Predicate>& out, bool& conj
       if (AsColumn(*bin.lhs, qualifier, column) && IsConstantOperand(*bin.rhs)) {
         pred.qualifier = qualifier;
         pred.column = column;
-        pred.values.push_back(ConstantText(*bin.rhs));
+        push_value(pred, *bin.rhs);
         pred.constant_comparison = true;
         pred.compares_to_null_literal =
             (pred.op == PredicateOp::kEq || pred.op == PredicateOp::kNotEq) &&
@@ -93,7 +99,7 @@ void CollectPredicates(const Expr& expr, std::vector<Predicate>& out, bool& conj
         pred.op = Mirror(pred.op);
         pred.qualifier = qualifier;
         pred.column = column;
-        pred.values.push_back(ConstantText(*bin.lhs));
+        push_value(pred, *bin.lhs);
         pred.constant_comparison = true;
         pred.compares_to_null_literal =
             (pred.op == PredicateOp::kEq || pred.op == PredicateOp::kNotEq) &&
@@ -114,7 +120,7 @@ void CollectPredicates(const Expr& expr, std::vector<Predicate>& out, bool& conj
       const auto& unary = static_cast<const UnaryExpr&>(expr);
       if (unary.op == UnaryOp::kNot) {
         conjunctive = false;
-        CollectPredicates(*unary.operand, out, conjunctive);
+        CollectPredicates(*unary.operand, out, conjunctive, value_exprs);
         return;
       }
       Predicate pred;
@@ -132,8 +138,8 @@ void CollectPredicates(const Expr& expr, std::vector<Predicate>& out, bool& conj
         pred.qualifier = qualifier;
         pred.column = column;
         if (IsConstantOperand(*between.low) && IsConstantOperand(*between.high)) {
-          pred.values.push_back(ConstantText(*between.low));
-          pred.values.push_back(ConstantText(*between.high));
+          push_value(pred, *between.low);
+          push_value(pred, *between.high);
           pred.constant_comparison = true;
         }
       }
@@ -157,7 +163,7 @@ void CollectPredicates(const Expr& expr, std::vector<Predicate>& out, bool& conj
           }
         }
         if (all_constant) {
-          for (const auto& item : in.items) pred.values.push_back(ConstantText(*item));
+          for (const auto& item : in.items) push_value(pred, *item);
           pred.constant_comparison = true;
         }
       }
@@ -187,7 +193,7 @@ void CollectPredicates(const Expr& expr, std::vector<Predicate>& out, bool& conj
         pred.qualifier = qualifier;
         pred.column = column;
         if (IsConstantOperand(*like.pattern)) {
-          pred.values.push_back(ConstantText(*like.pattern));
+          push_value(pred, *like.pattern);
           pred.constant_comparison = true;
         }
       }
@@ -295,7 +301,8 @@ QueryTemplate MakeTemplate(const SelectStatement& stmt) {
   return tmpl;
 }
 
-QueryFacts Analyze(std::shared_ptr<const SelectStatement> stmt) {
+QueryFacts Analyze(std::shared_ptr<const SelectStatement> stmt,
+                   std::vector<const Expr*>* predicate_value_exprs) {
   QueryFacts facts;
   facts.ast = stmt;
   facts.tmpl = MakeTemplate(*stmt);
@@ -308,7 +315,8 @@ QueryFacts Analyze(std::shared_ptr<const SelectStatement> stmt) {
   facts.wc = PrintWhereClause(*stmt, concrete);
 
   if (stmt->where) {
-    CollectPredicates(*stmt->where, facts.predicates, facts.where_conjunctive);
+    CollectPredicates(*stmt->where, facts.predicates, facts.where_conjunctive,
+                      predicate_value_exprs);
   }
   CollectSelectedColumns(*stmt, facts.selected_columns, facts.selects_star);
   for (const auto& item : stmt->from_items) {
@@ -322,6 +330,14 @@ Result<QueryFacts> ParseAndAnalyze(const std::string& statement_text) {
   if (!parsed.ok()) return parsed.status();
   std::shared_ptr<const SelectStatement> ast(std::move(parsed.value()));
   return Analyze(std::move(ast));
+}
+
+Result<QueryFacts> ParseAndAnalyzeTokens(const TokenStream& tokens,
+                                         std::vector<const Expr*>* predicate_value_exprs) {
+  auto parsed = ParseTokens(tokens);
+  if (!parsed.ok()) return parsed.status();
+  std::shared_ptr<const SelectStatement> ast(std::move(parsed.value()));
+  return Analyze(std::move(ast), predicate_value_exprs);
 }
 
 }  // namespace sqlog::sql

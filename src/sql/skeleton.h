@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sql/ast.h"
+#include "sql/token.h"
 #include "util/status.h"
 
 namespace sqlog::sql {
@@ -101,10 +102,22 @@ QueryTemplate MakeTemplate(const SelectStatement& stmt);
 /// Full analysis: template, concrete clauses, predicates, columns,
 /// tables. Never fails for a parsed statement; the Result carries the
 /// analyzed value for API symmetry with ParseSelect.
-QueryFacts Analyze(std::shared_ptr<const SelectStatement> stmt);
+///
+/// When `predicate_value_exprs` is non-null it receives, in order, the
+/// AST node behind every entry of every `Predicate::values` vector (one
+/// Expr* per value, flattened across predicates). The parse cache uses
+/// this to map predicate values back to literal slots.
+QueryFacts Analyze(std::shared_ptr<const SelectStatement> stmt,
+                   std::vector<const Expr*>* predicate_value_exprs = nullptr);
 
 /// Parses and analyzes in one step.
 Result<QueryFacts> ParseAndAnalyze(const std::string& statement_text);
+
+/// Same, over an already-lexed token stream — callers that lexed the
+/// statement to fingerprint it avoid lexing twice on a cache miss.
+Result<QueryFacts> ParseAndAnalyzeTokens(
+    const TokenStream& tokens,
+    std::vector<const Expr*>* predicate_value_exprs = nullptr);
 
 }  // namespace sqlog::sql
 

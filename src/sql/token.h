@@ -2,7 +2,10 @@
 #define SQLOG_SQL_TOKEN_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace sqlog::sql {
 
@@ -38,13 +41,49 @@ const char* TokenTypeName(TokenType type);
 
 /// One lexical token. `text` holds the normalized payload: identifier
 /// text without brackets/quotes, string text without surrounding quotes
-/// (escapes resolved), number text verbatim.
+/// (escapes resolved), number text verbatim. The view points either into
+/// the lexed statement or into the owning TokenStream's storage — it is
+/// valid as long as both are alive.
 struct Token {
   TokenType type = TokenType::kEnd;
-  std::string text;
+  std::string_view text;
   size_t offset = 0;  // byte offset in the original statement
 
   bool Is(TokenType t) const { return type == t; }
+};
+
+/// A lexed statement: the token vector plus owned storage for the few
+/// token texts that cannot alias the input (escaped strings, quoted
+/// identifiers with doubled quotes, case-normalized hex prefixes).
+/// Movable but not copyable, so token views can never dangle by
+/// accident; the lexed statement must outlive the stream.
+class TokenStream {
+ public:
+  TokenStream() = default;
+  TokenStream(TokenStream&&) = default;
+  TokenStream& operator=(TokenStream&&) = default;
+  TokenStream(const TokenStream&) = delete;
+  TokenStream& operator=(const TokenStream&) = delete;
+
+  std::vector<Token> tokens;
+
+  size_t size() const { return tokens.size(); }
+  bool empty() const { return tokens.empty(); }
+  const Token& operator[](size_t i) const { return tokens[i]; }
+  const Token& front() const { return tokens.front(); }
+  const Token& back() const { return tokens.back(); }
+  auto begin() const { return tokens.begin(); }
+  auto end() const { return tokens.end(); }
+
+  /// Copies `text` into stream-owned storage and returns a stable view
+  /// of it (std::deque never relocates existing elements).
+  std::string_view Materialize(std::string text) {
+    owned_.push_back(std::move(text));
+    return owned_.back();
+  }
+
+ private:
+  std::deque<std::string> owned_;
 };
 
 }  // namespace sqlog::sql

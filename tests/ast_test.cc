@@ -57,7 +57,7 @@ TEST(CloneTest, DeepCopyFullStatement) {
 
   PrintOptions opts;
   std::string original_text = Print(*parsed.value(), opts);
-  std::unique_ptr<SelectStatement> clone = parsed.value()->Clone();
+  StmtPtr clone = parsed.value()->Clone();
   std::string clone_text_before = Print(*clone, opts);
   parsed.value().reset();  // destroy the original
   std::string clone_text_after = Print(*clone, opts);

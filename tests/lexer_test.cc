@@ -5,10 +5,10 @@
 namespace sqlog::sql {
 namespace {
 
-std::vector<Token> MustLex(std::string_view s) {
+TokenStream MustLex(std::string_view s) {
   auto tokens = Lex(s);
   EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
-  return tokens.ok() ? tokens.value() : std::vector<Token>{};
+  return tokens.ok() ? std::move(tokens.value()) : TokenStream{};
 }
 
 TEST(LexerTest, EmptyInputYieldsEndToken) {

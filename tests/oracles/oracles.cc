@@ -2,11 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "core/dedup.h"
 #include "core/solver.h"
+#include "core/template_store.h"
 #include "engine/database.h"
 #include "engine/executor.h"
 #include "fuzz/sql_mutator.h"
@@ -247,6 +249,151 @@ OracleResult CheckDedupIdempotence(std::string_view input, uint64_t seed) {
 
 namespace {
 
+bool SamePredicate(const sql::Predicate& a, const sql::Predicate& b) {
+  return a.op == b.op && a.qualifier == b.qualifier && a.column == b.column &&
+         a.values == b.values && a.constant_comparison == b.constant_comparison &&
+         a.compares_to_null_literal == b.compares_to_null_literal;
+}
+
+/// Everything a downstream consumer can observe, except the AST pointer:
+/// cache hits deliberately carry facts.ast == nullptr (consumers that
+/// need an AST re-parse on demand).
+bool SameFacts(const sql::QueryFacts& a, const sql::QueryFacts& b) {
+  if (!(a.tmpl == b.tmpl)) return false;
+  if (a.sc != b.sc || a.fc != b.fc || a.wc != b.wc) return false;
+  if (a.where_conjunctive != b.where_conjunctive) return false;
+  if (a.selects_star != b.selects_star) return false;
+  if (a.selected_columns != b.selected_columns) return false;
+  if (a.tables != b.tables || a.table_functions != b.table_functions) return false;
+  if (a.predicates.size() != b.predicates.size()) return false;
+  for (size_t i = 0; i < a.predicates.size(); ++i) {
+    if (!SamePredicate(a.predicates[i], b.predicates[i])) return false;
+  }
+  return true;
+}
+
+struct ParseRun {
+  core::TemplateStore store;
+  core::ParsedLog parsed;
+};
+
+OracleResult CompareParseRuns(const char* label, const ParseRun& want,
+                              const ParseRun& got) {
+  const core::ParsedLog& a = want.parsed;
+  const core::ParsedLog& b = got.parsed;
+  if (a.queries.size() != b.queries.size()) {
+    return Fail(StrFormat("%s: query count %zu vs %zu", label, a.queries.size(),
+                          b.queries.size()));
+  }
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    const core::ParsedQuery& x = a.queries[i];
+    const core::ParsedQuery& y = b.queries[i];
+    if (x.record_index != y.record_index || x.timestamp_ms != y.timestamp_ms ||
+        x.user_id != y.user_id || x.row_count != y.row_count ||
+        x.template_id != y.template_id) {
+      return Fail(StrFormat("%s: query %zu metadata differs", label, i));
+    }
+    if (!SameFacts(x.facts, y.facts)) {
+      return Fail(StrFormat("%s: query %zu facts differ (sc [%s] vs [%s], wc [%s] vs [%s])",
+                            label, i, Preview(x.facts.sc).c_str(),
+                            Preview(y.facts.sc).c_str(), Preview(x.facts.wc).c_str(),
+                            Preview(y.facts.wc).c_str()));
+    }
+  }
+  if (a.non_select_count != b.non_select_count ||
+      a.syntax_error_count != b.syntax_error_count) {
+    return Fail(StrFormat("%s: drop counts differ", label));
+  }
+  if (a.diagnostics.size() != b.diagnostics.size()) {
+    return Fail(StrFormat("%s: diagnostic count %zu vs %zu", label,
+                          a.diagnostics.size(), b.diagnostics.size()));
+  }
+  for (size_t i = 0; i < a.diagnostics.size(); ++i) {
+    if (a.diagnostics[i].record_index != b.diagnostics[i].record_index ||
+        a.diagnostics[i].record_seq != b.diagnostics[i].record_seq ||
+        a.diagnostics[i].message != b.diagnostics[i].message) {
+      return Fail(StrFormat("%s: diagnostic %zu differs: [%s] vs [%s]", label, i,
+                            Preview(a.diagnostics[i].message).c_str(),
+                            Preview(b.diagnostics[i].message).c_str()));
+    }
+  }
+  if (a.user_streams != b.user_streams || a.user_names != b.user_names) {
+    return Fail(StrFormat("%s: user streams differ", label));
+  }
+  if (want.store.size() != got.store.size()) {
+    return Fail(StrFormat("%s: template count %zu vs %zu", label, want.store.size(),
+                          got.store.size()));
+  }
+  for (size_t id = 0; id < want.store.size(); ++id) {
+    const core::TemplateInfo& x = want.store.Get(id);
+    const core::TemplateInfo& y = got.store.Get(id);
+    if (!(x.tmpl == y.tmpl) || x.frequency != y.frequency || x.users != y.users ||
+        x.first_query != y.first_query) {
+      return Fail(StrFormat("%s: template %zu differs", label, id));
+    }
+  }
+  return Ok();
+}
+
+}  // namespace
+
+OracleResult CheckParseCacheEquivalence(std::string_view input, uint64_t seed) {
+  Rng rng(seed);
+  log::QueryLog raw;
+  int64_t clock_ms = 5000000;
+  auto add = [&](std::string statement) {
+    log::LogRecord record;
+    record.seq = raw.size();
+    record.user = StrFormat("user%llu", static_cast<unsigned long long>(rng.Uniform(3)));
+    clock_ms += 1000 + static_cast<int64_t>(rng.Uniform(1000));
+    record.timestamp_ms = clock_ms;
+    record.statement = std::move(statement);
+    raw.Append(std::move(record));
+  };
+  size_t line_start = 0;
+  size_t lines = 0;
+  for (size_t i = 0; i <= input.size() && lines < 48; ++i) {
+    if (i != input.size() && input[i] != '\n') continue;
+    std::string_view line = input.substr(line_start, i - line_start);
+    line_start = i + 1;
+    if (line.empty()) continue;
+    ++lines;
+    std::string text(line);
+    add(text);
+    // Re-issue with fresh literals (exercises slot rendering on a hit)
+    // and verbatim (the pure repeat-hit path).
+    add(fuzz::MutatePreservingTemplate(text, rng));
+    add(text);
+  }
+  if (raw.empty()) return Ok();
+
+  auto run = [&raw](const core::ParseCacheOptions& options) {
+    auto result = std::make_unique<ParseRun>();
+    result->parsed =
+        core::ParseLog(raw, result->store, nullptr, /*max_diagnostics=*/8, options);
+    return result;
+  };
+  core::ParseCacheOptions off;
+  off.enabled = false;
+  auto reference = run(off);
+
+  auto cached = run(core::ParseCacheOptions{});
+  OracleResult result = CompareParseRuns("parse cache on", *reference, *cached);
+  if (!result.ok) return result;
+
+  // Degenerate fingerprint: every key lands in one bucket, so hits are
+  // decided purely by the full-key comparison. Any confusion between
+  // distinct templates would show up as different assignments here.
+  core::ParseCacheOptions collide;
+  collide.fingerprint_for_test = [](std::string_view) {
+    return sql::TokenFingerprint{0x1234, 0x5678};
+  };
+  auto collided = run(collide);
+  return CompareParseRuns("forced fingerprint collision", *reference, *collided);
+}
+
+namespace {
+
 /// Shared read-only engine fixture for the solver oracle; built once.
 struct EngineFixture {
   engine::Database db;
@@ -349,6 +496,8 @@ OracleResult RunFrontEndOracles(std::string_view input, uint64_t seed) {
   result = CheckSkeletonIdempotence(input);
   if (!result.ok) return result;
   result = CheckTemplateInvariance(input, seed);
+  if (!result.ok) return result;
+  result = CheckParseCacheEquivalence(input, seed);
   if (!result.ok) return result;
   return CheckDedupIdempotence(input, seed);
 }

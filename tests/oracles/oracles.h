@@ -44,6 +44,15 @@ OracleResult CheckTemplateInvariance(std::string_view input, uint64_t seed);
 /// (both restricted and unrestricted windows), with consistent stats.
 OracleResult CheckDedupIdempotence(std::string_view input, uint64_t seed);
 
+/// Parse-cache equivalence: builds a small log from the input's lines
+/// (each statement re-issued verbatim and with template-preserving
+/// literal mutations, so the fingerprint cache actually hits), then runs
+/// the parse step with the cache off, on, and with a degenerate constant
+/// fingerprint that forces every key into one bucket. All three runs
+/// must produce identical parsed logs and template stores — the cache
+/// may only change how much work is done, never the answer.
+OracleResult CheckParseCacheEquivalence(std::string_view input, uint64_t seed);
+
 /// Solver-vs-engine equivalence on fuzz-generated inputs: derives a
 /// random Stifle run over the in-memory SkyServer sample from `seed`
 /// (statement text jittered through the template-preserving mutator),

@@ -7,7 +7,7 @@
 namespace sqlog::sql {
 namespace {
 
-std::unique_ptr<SelectStatement> MustParse(const std::string& sql) {
+StmtPtr MustParse(const std::string& sql) {
   auto parsed = ParseSelect(sql);
   EXPECT_TRUE(parsed.ok()) << sql << " → " << parsed.status().ToString();
   return parsed.ok() ? std::move(parsed.value()) : nullptr;

@@ -39,10 +39,11 @@ log::QueryLog FixedLog() {
 }
 
 core::PipelineResult RunAt(size_t threads, const log::QueryLog& raw,
-                           const catalog::Schema& schema) {
+                           const catalog::Schema& schema, bool parse_cache = true) {
   auto pipeline = core::PipelineBuilder()
                       .WithSchema(&schema)
                       .NumThreads(threads)
+                      .ParseCache(parse_cache)
                       .Build();
   EXPECT_TRUE(pipeline.ok()) << pipeline.status().ToString();
   auto result = pipeline->Run(raw);
@@ -77,18 +78,28 @@ TEST(PipelineGoldenTest, StatisticsMatchTheGoldenFileAtOneAndEightThreads) {
       << "pipeline statistics drifted from the golden file; if the change is "
          "intentional, regenerate with SQLOG_REGEN_GOLDEN=1";
 
-  core::PipelineResult parallel = RunAt(8, raw, schema);
-  EXPECT_EQ(parallel.stats.ToTable(), golden) << "8-thread run diverged";
+  // The parse cache must be output-invisible: with it disabled, and at
+  // 8 threads either way, the stats table still matches the golden file
+  // and the clean logs agree record for record.
+  for (bool parse_cache : {true, false}) {
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      if (parse_cache && threads == 1) continue;  // the reference run above
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " parse_cache=" + (parse_cache ? "on" : "off"));
+      core::PipelineResult other = RunAt(threads, raw, schema, parse_cache);
+      EXPECT_EQ(other.stats.ToTable(), golden);
 
-  // The determinism contract goes beyond the stats table: the actual
-  // clean logs must agree record for record.
-  ASSERT_EQ(parallel.clean_log.size(), serial.clean_log.size());
-  for (size_t i = 0; i < serial.clean_log.size(); ++i) {
-    const auto& a = serial.clean_log.records()[i];
-    const auto& b = parallel.clean_log.records()[i];
-    ASSERT_EQ(a.statement, b.statement) << "record " << i;
-    ASSERT_EQ(a.timestamp_ms, b.timestamp_ms) << "record " << i;
-    ASSERT_EQ(a.user, b.user) << "record " << i;
+      // The determinism contract goes beyond the stats table: the
+      // actual clean logs must agree record for record.
+      ASSERT_EQ(other.clean_log.size(), serial.clean_log.size());
+      for (size_t i = 0; i < serial.clean_log.size(); ++i) {
+        const auto& a = serial.clean_log.records()[i];
+        const auto& b = other.clean_log.records()[i];
+        ASSERT_EQ(a.statement, b.statement) << "record " << i;
+        ASSERT_EQ(a.timestamp_ms, b.timestamp_ms) << "record " << i;
+        ASSERT_EQ(a.user, b.user) << "record " << i;
+      }
+    }
   }
 }
 
@@ -115,26 +126,30 @@ TEST(PipelineGoldenTest, StreamingIsByteIdenticalAtAnyBatchSizeAndThreadCount) {
 
   for (size_t batch_size : {size_t{1}, size_t{4096}, raw.size()}) {
     for (size_t threads : {size_t{1}, size_t{8}}) {
-      SCOPED_TRACE("batch=" + std::to_string(batch_size) +
-                   " threads=" + std::to_string(threads));
-      const std::string clean_path = ::testing::TempDir() + "/golden_stream_clean.csv";
-      const std::string removal_path =
-          ::testing::TempDir() + "/golden_stream_removal.csv";
-      auto pipeline = core::PipelineBuilder()
-                          .WithSchema(&schema)
-                          .NumThreads(threads)
-                          .Streaming(true)
-                          .BatchSize(batch_size)
-                          .Build();
-      ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
-      auto run = pipeline->RunStreaming(input_path, clean_path, removal_path);
-      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      for (bool parse_cache : {true, false}) {
+        SCOPED_TRACE("batch=" + std::to_string(batch_size) +
+                     " threads=" + std::to_string(threads) +
+                     " parse_cache=" + (parse_cache ? "on" : "off"));
+        const std::string clean_path = ::testing::TempDir() + "/golden_stream_clean.csv";
+        const std::string removal_path =
+            ::testing::TempDir() + "/golden_stream_removal.csv";
+        auto pipeline = core::PipelineBuilder()
+                            .WithSchema(&schema)
+                            .NumThreads(threads)
+                            .Streaming(true)
+                            .BatchSize(batch_size)
+                            .ParseCache(parse_cache)
+                            .Build();
+        ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+        auto run = pipeline->RunStreaming(input_path, clean_path, removal_path);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
 
-      EXPECT_EQ(run->stats.ToTable(), want_table);
-      EXPECT_EQ(ReadAll(clean_path), want_clean);
-      EXPECT_EQ(ReadAll(removal_path), want_removal);
-      std::remove(clean_path.c_str());
-      std::remove(removal_path.c_str());
+        EXPECT_EQ(run->stats.ToTable(), want_table);
+        EXPECT_EQ(ReadAll(clean_path), want_clean);
+        EXPECT_EQ(ReadAll(removal_path), want_removal);
+        std::remove(clean_path.c_str());
+        std::remove(removal_path.c_str());
+      }
     }
   }
   std::remove(input_path.c_str());

@@ -41,15 +41,20 @@ int Usage() {
       "  --streaming                  bounded-memory two-pass ingestion; the\n"
       "                               input must be (timestamp, seq)-ordered\n"
       "  --batch-size=<n>             records per streaming batch (default 4096;\n"
-      "                               implies --streaming)\n");
+      "                               implies --streaming)\n"
+      "  --no-parse-cache             disable the template fingerprint cache and\n"
+      "                               fully parse every statement (escape hatch;\n"
+      "                               output is identical either way)\n");
   return 2;
 }
 
-/// --streaming / --batch-size=<n>, stripped from the argument list by
-/// ParseStreamFlags (remaining positional args shift down).
+/// --streaming / --batch-size=<n> / --no-parse-cache, stripped from the
+/// argument list by ParseStreamFlags (remaining positional args shift
+/// down).
 struct StreamFlags {
   bool streaming = false;
   size_t batch_size = 4096;
+  bool parse_cache = true;
 };
 
 int ParseStreamFlags(int argc, char** argv, StreamFlags* flags) {
@@ -64,18 +69,42 @@ int ParseStreamFlags(int argc, char** argv, StreamFlags* flags) {
       flags->streaming = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--no-parse-cache") == 0) {
+      flags->parse_cache = false;
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   return kept;
 }
 
+/// Parse-avoidance effectiveness, printed after the overview table. The
+/// hit/miss split depends on thread sharding, so this never goes into
+/// the golden-compared table itself.
+void PrintParseCacheReport(const core::ParseStats& ps) {
+  if (ps.cache_hits + ps.cache_misses + ps.uncacheable_hits + ps.failure_hits == 0) {
+    return;  // cache disabled (or nothing was parsed through it)
+  }
+  uint64_t keyed = ps.cache_hits + ps.cache_misses + ps.uncacheable_hits + ps.failure_hits;
+  double hit_rate = keyed == 0 ? 0.0 : 100.0 * (double)ps.parses_avoided() / (double)keyed;
+  std::printf(
+      "parse cache: %llu templates (%.1f KiB), %llu hits / %llu misses, "
+      "%llu parses avoided (%.1f%% of fingerprinted statements)\n",
+      (unsigned long long)ps.templates_cached, ps.cache_bytes / 1024.0,
+      (unsigned long long)(ps.cache_hits + ps.failure_hits),
+      (unsigned long long)ps.cache_misses, (unsigned long long)ps.parses_avoided(),
+      hit_rate);
+}
+
 Result<log::QueryLog> Load(const char* path) { return log::LogIo::ReadFile(path); }
 
-Result<core::PipelineResult> RunPipeline(const log::QueryLog& raw) {
+Result<core::PipelineResult> RunPipeline(const log::QueryLog& raw,
+                                         const StreamFlags& flags = {}) {
   static catalog::Schema schema = catalog::MakeSkyServerSchema();
   auto pipeline = core::PipelineBuilder()
                       .WithSchema(&schema)
                       .NumThreads(0)  // CLI batch work: use every core
+                      .ParseCache(flags.parse_cache)
                       .Build();
   SQLOG_RETURN_IF_ERROR_R(pipeline.status());
   return pipeline->Run(raw);
@@ -91,6 +120,7 @@ Result<core::StreamingRunResult> RunStreamingPipeline(const StreamFlags& flags,
                       .NumThreads(0)
                       .Streaming(true)
                       .BatchSize(flags.batch_size)
+                      .ParseCache(flags.parse_cache)
                       .Build();
   SQLOG_RETURN_IF_ERROR_R(pipeline.status());
   return pipeline->RunStreaming(input, clean_path, removal_path);
@@ -125,6 +155,7 @@ int CmdClean(int argc, char** argv) {
       return 1;
     }
     std::printf("%s\n", run->stats.ToTable().c_str());
+    PrintParseCacheReport(run->parsed.parse_stats);
     std::printf("wrote %s (%llu records)\n", clean_path.c_str(),
                 (unsigned long long)run->stats.final_size);
     std::printf("wrote %s (%llu records)\n", removal_path.c_str(),
@@ -136,13 +167,14 @@ int CmdClean(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
     return 1;
   }
-  auto run = RunPipeline(*raw);
+  auto run = RunPipeline(*raw, flags);
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
     return 1;
   }
   core::PipelineResult& result = *run;
   std::printf("%s\n", result.stats.ToTable().c_str());
+  PrintParseCacheReport(result.parsed.parse_stats);
   std::string prefix = argv[1];
   for (const auto& [suffix, log] :
        {std::pair<const char*, const log::QueryLog*>{".clean.csv", &result.clean_log},
@@ -176,6 +208,7 @@ int CmdStats(int argc, char** argv) {
       return 1;
     }
     std::printf("%s", run->stats.ToTable().c_str());
+    PrintParseCacheReport(run->parsed.parse_stats);
     return 0;
   }
   auto raw = Load(argv[0]);
@@ -183,13 +216,14 @@ int CmdStats(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
     return 1;
   }
-  auto run = RunPipeline(*raw);
+  auto run = RunPipeline(*raw, flags);
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
     return 1;
   }
   core::PipelineResult& result = *run;
   std::printf("%s", result.stats.ToTable().c_str());
+  PrintParseCacheReport(result.parsed.parse_stats);
   return 0;
 }
 
