@@ -19,6 +19,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (size > kMaxInput) return 0;
   std::string_view input(reinterpret_cast<const char*>(data), size);
 
+  // sqlog-lint: allow(R1 the raw parser is this harness's fuzz target)
   auto parsed = sqlog::sql::ParseSelect(input);
   if (!parsed.ok() && parsed.status().message().empty()) {
     sqlog::oracle::AbortOnFailure(

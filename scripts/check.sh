@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Full local gate: warning-clean build, sqlog-lint, the default test
+# sweep, then the sanitizer presets. Run from anywhere inside the repo;
+# everything a PR must pass runs here. ~5-10 minutes on 8 cores.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the asan-ubsan and tsan preset builds
+
+set -euo pipefail
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+jobs=$(nproc 2>/dev/null || echo 4)
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+# 1. Warning-clean build. -Wall -Wextra -Werror=unused-result come from
+#    CMakeLists.txt; -Werror promotes the rest. -Wthread-safety needs
+#    clang, so only clang builds add SQLOG_THREAD_SAFETY=ON — under GCC
+#    the annotations compile as no-ops and the gate is warnings-only.
+step "configure + build (warnings are errors)"
+thread_safety=OFF
+if command -v clang++ >/dev/null 2>&1; then
+  thread_safety=ON
+  export CXX=clang++
+fi
+cmake --preset default \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" \
+  -DSQLOG_THREAD_SAFETY=${thread_safety}
+cmake --build --preset default -j "$jobs"
+
+# 2. Repo lint (rules R1-R5, see DESIGN.md).
+step "sqlog-lint"
+./build/tools/sqlog-lint --config=tools/lint/lint_config.txt src tools bench fuzz
+
+# 3. Default test sweep (includes check-lint, the golden pipeline test,
+#    and the memory-budget test).
+step "ctest (default preset)"
+ctest --preset default -j "$jobs"
+
+if [[ $fast -eq 1 ]]; then
+  step "done (--fast: sanitizer presets skipped)"
+  exit 0
+fi
+
+# 4. ASan+UBSan: full sweep plus the checked-in fuzz corpus replay. The
+#    memory-budget test is excluded by the preset — ASan shadow memory
+#    inflates peak RSS ~3x past the 256 MiB cap the test pins.
+step "asan-ubsan preset"
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$jobs"
+ctest --preset asan-ubsan -j "$jobs"
+
+# 5. TSan: the concurrency surface under ThreadSanitizer. Perf and
+#    memory-budget tests are excluded by the preset — sanitizer overhead
+#    breaks their thresholds, not their correctness.
+step "tsan preset"
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs"
+ctest --preset tsan -j "$jobs"
+
+step "all checks passed"

@@ -9,6 +9,7 @@
 
 #include "log/arena.h"
 #include "log/record.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace sqlog::core {
@@ -81,13 +82,13 @@ class StreamingDeduper {
     int64_t timestamp_ms = 0;
   };
 
-  DedupOptions options_;
-  log::StringArena arena_;
+  DedupOptions options_ SQLOG_CONST_AFTER_INIT;
+  log::StringArena arena_ SQLOG_SHARD_LOCAL;
   /// key hash → entries (usually one; more only on a 64-bit collision).
-  std::unordered_map<uint64_t, std::vector<Entry>> last_seen_;
-  size_t distinct_keys_ = 0;
-  uint64_t records_seen_ = 0;
-  uint64_t duplicates_seen_ = 0;
+  std::unordered_map<uint64_t, std::vector<Entry>> last_seen_ SQLOG_SHARD_LOCAL;
+  size_t distinct_keys_ SQLOG_SHARD_LOCAL = 0;
+  uint64_t records_seen_ SQLOG_SHARD_LOCAL = 0;
+  uint64_t duplicates_seen_ SQLOG_SHARD_LOCAL = 0;
 };
 
 }  // namespace sqlog::core

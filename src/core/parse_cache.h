@@ -12,6 +12,7 @@
 #include "sql/fingerprint.h"
 #include "sql/skeleton.h"
 #include "sql/token.h"
+#include "util/thread_annotations.h"
 
 namespace sqlog::core {
 
@@ -164,10 +165,11 @@ class ParseCache {
   size_t bytes() const { return bytes_; }
 
  private:
-  std::unordered_map<uint64_t, std::vector<std::unique_ptr<ParseCacheEntry>>> buckets_;
-  std::vector<ParseCacheEntry*> order_;
-  size_t bytes_ = 0;
-  FingerprintFn fingerprint_fn_;
+  std::unordered_map<uint64_t, std::vector<std::unique_ptr<ParseCacheEntry>>> buckets_
+      SQLOG_SHARD_LOCAL;
+  std::vector<ParseCacheEntry*> order_ SQLOG_SHARD_LOCAL;
+  size_t bytes_ SQLOG_SHARD_LOCAL = 0;
+  FingerprintFn fingerprint_fn_ SQLOG_SHARD_LOCAL;
 };
 
 /// Builds and validates the recipes of `entry` from a successful full

@@ -12,6 +12,7 @@
 #include "log/log_stream.h"
 #include "log/record.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sqlog::core {
 
@@ -117,20 +118,20 @@ class StreamingSolver {
   void ResolveInstance(uint32_t instance_id);
   Status Drain();
 
-  ParsedLog& parsed_;
-  const AntipatternReport& report_;
-  log::LogWriter& clean_writer_;
-  log::LogWriter& removal_writer_;
-  SolveStats stats_;
+  ParsedLog& parsed_ SQLOG_SHARD_LOCAL;
+  const AntipatternReport& report_ SQLOG_CONST_AFTER_INIT;
+  log::LogWriter& clean_writer_ SQLOG_SHARD_LOCAL;
+  log::LogWriter& removal_writer_ SQLOG_SHARD_LOCAL;
+  SolveStats stats_ SQLOG_SHARD_LOCAL;
 
   /// pre-clean record index → ParsedLog query index.
-  std::unordered_map<size_t, size_t> query_at_record_;
+  std::unordered_map<size_t, size_t> query_at_record_ SQLOG_SHARD_LOCAL;
   /// query index → AST bookkeeping (solvable-instance members only).
-  std::unordered_map<size_t, AstNeed> ast_needs_;
+  std::unordered_map<size_t, AstNeed> ast_needs_ SQLOG_SHARD_LOCAL;
   /// instance id (1-based, solvable only) → members not yet fed.
-  std::unordered_map<uint32_t, size_t> members_pending_;
-  std::deque<Slot> slots_;
-  size_t next_record_ = 0;  // position assigned to the next Feed
+  std::unordered_map<uint32_t, size_t> members_pending_ SQLOG_SHARD_LOCAL;
+  std::deque<Slot> slots_ SQLOG_SHARD_LOCAL;
+  size_t next_record_ SQLOG_SHARD_LOCAL = 0;  // position assigned to the next Feed
 };
 
 }  // namespace sqlog::core

@@ -66,8 +66,9 @@ struct ParseShard {
 };
 
 /// Classifies + parses the records at [begin, end) of `records` into a
-/// shard; record_index values are offset by `index_base` (the records'
-/// position in the whole pre-clean log, used by the batch path).
+/// shard; record_index values are shard-relative — MergeShards rebases
+/// them by its `index_base` (the records' position in the whole
+/// pre-clean log, used by the batch path).
 ///
 /// With `cache_options.enabled`, statements are lexed and fingerprinted
 /// first; repeats of a known template skip the parser and have their
@@ -76,7 +77,7 @@ struct ParseShard {
 /// frozen while shards run. Every outcome (queries, counts, diagnostics)
 /// is byte-identical to the uncached path.
 ParseShard ParseShardRange(const log::LogRecord* records, size_t begin, size_t end,
-                           size_t index_base, size_t max_diagnostics,
+                           size_t max_diagnostics,
                            const ParseCacheOptions& cache_options,
                            const ParseCache* shared_cache) {
   ParseShard shard;
@@ -306,7 +307,7 @@ ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
   std::vector<ParseShard> shards = util::MapShards<ParseShard>(
       num_shards > 1 ? pool : nullptr, log.size(), num_shards,
       [&](size_t, size_t begin, size_t end) {
-        return ParseShardRange(records, begin, end, /*index_base=*/0, max_diagnostics,
+        return ParseShardRange(records, begin, end, max_diagnostics,
                                cache_options, /*shared_cache=*/nullptr);
       });
 
@@ -345,8 +346,8 @@ void StreamingParser::FeedBatch(const std::vector<log::LogRecord>& records) {
   std::vector<ParseShard> shards = util::MapShards<ParseShard>(
       num_shards > 1 ? pool_ : nullptr, records.size(), num_shards,
       [&](size_t, size_t begin, size_t end) {
-        ParseShard shard = ParseShardRange(data, begin, end, /*index_base=*/0,
-                                           max_diagnostics_, cache_options_, shared_cache);
+        ParseShard shard = ParseShardRange(data, begin, end, max_diagnostics_,
+                                           cache_options_, shared_cache);
         // Shard-local record indices → global pre-clean positions.
         for (ParsedQuery& query : shard.queries) query.record_index += index_base;
         for (ParseDiagnostic& diagnostic : shard.diagnostics) {

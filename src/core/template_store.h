@@ -10,6 +10,7 @@
 #include "core/parse_cache.h"
 #include "log/record.h"
 #include "sql/skeleton.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace sqlog::core {
@@ -97,10 +98,10 @@ class TemplateStore {
   const std::vector<std::string>& user_names() const { return user_names_; }
 
  private:
-  std::vector<TemplateInfo> templates_;
-  std::unordered_map<uint64_t, std::vector<uint64_t>> by_fingerprint_;
-  std::vector<std::string> user_names_;
-  std::unordered_map<std::string, uint32_t> user_ids_;
+  std::vector<TemplateInfo> templates_ SQLOG_SHARD_LOCAL;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> by_fingerprint_ SQLOG_SHARD_LOCAL;
+  std::vector<std::string> user_names_ SQLOG_SHARD_LOCAL;
+  std::unordered_map<std::string, uint32_t> user_ids_ SQLOG_SHARD_LOCAL;
 };
 
 /// Runs the parse step over a (deduplicated) log: classifies statements,
@@ -158,13 +159,15 @@ class StreamingParser {
   size_t records_fed() const { return records_fed_; }
 
  private:
-  TemplateStore& store_;
-  size_t max_diagnostics_;
-  util::ThreadPool* pool_;
-  ParseCacheOptions cache_options_;
-  ParseCache cache_;  // persistent across batches
-  ParsedLog parsed_;
-  size_t records_fed_ = 0;
+  TemplateStore& store_ SQLOG_SHARD_LOCAL;
+  size_t max_diagnostics_ SQLOG_CONST_AFTER_INIT;
+  util::ThreadPool* pool_ SQLOG_CONST_AFTER_INIT;
+  ParseCacheOptions cache_options_ SQLOG_CONST_AFTER_INIT;
+  /// Persistent across batches: frozen (const reads only) while shards
+  /// are in flight, mutated between batches on the feeding thread.
+  ParseCache cache_ SQLOG_SHARD_LOCAL;
+  ParsedLog parsed_ SQLOG_SHARD_LOCAL;
+  size_t records_fed_ SQLOG_SHARD_LOCAL = 0;
 };
 
 }  // namespace sqlog::core

@@ -10,6 +10,7 @@
 #include "log/record.h"
 #include "util/csv.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sqlog::log {
 
@@ -79,14 +80,14 @@ class LogReader {
   /// Pulls the next logical line; false at end of input.
   Status NextLine(std::string* line, bool* got);
 
-  LogReaderOptions options_;
-  std::ifstream in_;
-  std::vector<char> chunk_;
-  Csv::LineSplitter splitter_;
-  bool source_drained_ = false;  // file bytes fully fed to the splitter
-  bool exhausted_ = false;       // no more records will be produced
-  uint64_t line_number_ = 0;     // 1-based logical line counter
-  uint64_t records_read_ = 0;
+  LogReaderOptions options_ SQLOG_CONST_AFTER_INIT;
+  std::ifstream in_ SQLOG_SHARD_LOCAL;
+  std::vector<char> chunk_ SQLOG_SHARD_LOCAL;
+  Csv::LineSplitter splitter_ SQLOG_SHARD_LOCAL;
+  bool source_drained_ SQLOG_SHARD_LOCAL = false;  // file fully fed to the splitter
+  bool exhausted_ SQLOG_SHARD_LOCAL = false;       // no more records will be produced
+  uint64_t line_number_ SQLOG_SHARD_LOCAL = 0;     // 1-based logical line counter
+  uint64_t records_read_ SQLOG_SHARD_LOCAL = 0;
 };
 
 /// Options for LogWriter.
@@ -128,11 +129,11 @@ class LogWriter {
   uint64_t records_written() const { return records_written_; }
 
  private:
-  LogWriterOptions options_;
-  std::ofstream out_;
-  std::string buffer_;
-  bool open_ = false;
-  uint64_t records_written_ = 0;
+  LogWriterOptions options_ SQLOG_CONST_AFTER_INIT;
+  std::ofstream out_ SQLOG_SHARD_LOCAL;
+  std::string buffer_ SQLOG_SHARD_LOCAL;
+  bool open_ SQLOG_SHARD_LOCAL = false;
+  uint64_t records_written_ SQLOG_SHARD_LOCAL = 0;
 };
 
 }  // namespace sqlog::log

@@ -27,7 +27,11 @@ const char* StatusCodeName(StatusCode code);
 
 /// Lightweight error-or-success value, modelled after absl::Status /
 /// rocksdb::Status. Ok statuses carry no allocation.
-class Status {
+///
+/// [[nodiscard]] on the class makes silently dropping any returned
+/// Status a compile error (-Werror=unused-result): a caller must check,
+/// propagate, or explicitly log it. The same applies to Result<T>.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -74,7 +78,7 @@ class Status {
 /// Value-or-error, modelled after absl::StatusOr. Accessing the value of
 /// a non-ok Result is a programming error (checked by assert).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: makes `return value;` work in functions
   /// returning Result<T>.

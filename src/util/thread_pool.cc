@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
@@ -32,7 +32,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   wake_.notify_one();
@@ -42,8 +42,13 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      CondVarLock lock(mutex_);
+      // The wait predicate runs with mutex_ held (condition_variable
+      // re-acquires before evaluating it), which the analysis cannot see
+      // through the type-erased std::function boundary.
+      wake_.wait(lock.native(), [this]() SQLOG_NO_THREAD_SAFETY_ANALYSIS {
+        return stopping_ || !queue_.empty();
+      });
       // Drain the queue before honouring shutdown so submitted work is
       // never dropped.
       if (queue_.empty()) return;
@@ -77,9 +82,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
     std::atomic<size_t> next_chunk{0};
     std::atomic<size_t> done_chunks{0};
     std::atomic<bool> cancelled{false};
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable all_done;
-    std::exception_ptr error;  // first body exception; guarded by mutex
+    std::exception_ptr error SQLOG_GUARDED_BY(mutex);  // first body exception
     size_t begin = 0;
     size_t n = 0;
     size_t chunks = 0;
@@ -105,7 +110,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
           (*s->body)(s->begin + lo, s->begin + hi);
         } catch (...) {
           s->cancelled.store(true, std::memory_order_release);
-          std::lock_guard<std::mutex> lock(s->mutex);
+          MutexLock lock(s->mutex);
           if (!s->error) s->error = std::current_exception();
         }
       }
@@ -113,7 +118,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
         // Pair with the caller's wait below; the lock ensures the
         // notification cannot fire between its predicate check and its
         // wait.
-        std::lock_guard<std::mutex> lock(s->mutex);
+        MutexLock lock(s->mutex);
         s->all_done.notify_all();
       }
     }
@@ -126,8 +131,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
   // therefore finish even when every worker is occupied.
   run_chunks(state);
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->all_done.wait(lock, [&] {
+  CondVarLock lock(state->mutex);
+  state->all_done.wait(lock.native(), [&] {
     return state->done_chunks.load(std::memory_order_acquire) == state->chunks;
   });
   if (state->error) std::rethrow_exception(state->error);

@@ -5,10 +5,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sqlog::util {
 
@@ -60,11 +61,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_ SQLOG_CONST_AFTER_INIT;
+  Mutex mutex_;
+  std::condition_variable wake_ SQLOG_SELF_SYNCHRONIZED;
+  std::deque<std::function<void()>> queue_ SQLOG_GUARDED_BY(mutex_);
+  bool stopping_ SQLOG_GUARDED_BY(mutex_) = false;
 };
 
 /// Returns the half-open index range of shard `shard` when [0, n) is cut

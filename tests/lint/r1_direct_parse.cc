@@ -1,0 +1,14 @@
+// Negative fixture for rule R1: a direct parser call in a file that is
+// not on the parse-avoidance allowlist. Linted with
+// --assume-path=src/core/report.cc; never compiled.
+#include "sql/parser.h"
+
+namespace sqlog::core {
+
+int CountJoinsTheWrongWay(const std::string& statement) {
+  auto parsed = sql::ParseSelect(statement);  // R1 fires here
+  if (!parsed.ok()) return 0;
+  return static_cast<int>(parsed->from.size());
+}
+
+}  // namespace sqlog::core

@@ -1,0 +1,22 @@
+// Negative fixture for rule R2: nondeterminism sources in deterministic
+// core code. Linted with --assume-path=src/core/sampler.cc; never
+// compiled. Each marked line must produce one R2 finding.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace sqlog::core {
+
+unsigned SeedFromWallClock() {
+  return static_cast<unsigned>(std::time(nullptr));  // R2: std::time
+}
+
+int SampleWithoutASeed() {
+  std::random_device rd;     // R2: random_device
+  std::mt19937 gen;          // R2: default-seeded engine
+  (void)rd;
+  (void)gen;
+  return rand() % 100;       // R2: rand
+}
+
+}  // namespace sqlog::core

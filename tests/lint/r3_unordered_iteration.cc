@@ -1,0 +1,19 @@
+// Negative fixture for rule R3: iterating an unordered container in
+// core code without the deterministic-merge tag. Linted with
+// --assume-path=src/core/tally.cc; never compiled.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sqlog::core {
+
+std::vector<std::string> TemplatesInHashOrder(
+    const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::string> out;
+  for (const auto& entry : counts) {  // R3 fires here
+    out.push_back(entry.first);
+  }
+  return out;
+}
+
+}  // namespace sqlog::core

@@ -1,0 +1,20 @@
+// Negative fixture for rule R4: raw std::mutex / std::lock_guard use
+// instead of the annotated wrappers from util/thread_annotations.h.
+// Linted with --assume-path=src/util/counter.cc; never compiled.
+#include <mutex>
+
+namespace sqlog::util {
+
+class Counter {
+ public:
+  void Increment() {
+    std::lock_guard<std::mutex> lock(mu_);  // R4: lock_guard (and mutex in the type)
+    ++value_;
+  }
+
+ private:
+  std::mutex mu_;  // R4: raw mutex member
+  long value_ = 0;
+};
+
+}  // namespace sqlog::util

@@ -1,0 +1,16 @@
+// Negative fixture for rule R5: a concurrency-manifest type with a
+// mutable member that carries no thread_annotations.h marker. Linted
+// with --assume-path=src/util/thread_pool.h, which the checked-in
+// manifest maps to type ThreadPool; never compiled.
+
+namespace sqlog::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+
+ private:
+  unsigned thread_count_ = 0;  // R5: no SQLOG_* marker on a mutable member
+};
+
+}  // namespace sqlog::util

@@ -1,0 +1,33 @@
+// Positive fixture: every violation below carries a well-formed
+// suppression, so sqlog-lint must exit 0 on this file. Linted with
+// --assume-path=src/core/suppressed.cc; never compiled.
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/parser.h"
+
+namespace sqlog::core {
+
+int ParseOnceForADiagnostic(const std::string& statement) {
+  // sqlog-lint: allow(R1 fixture demonstrating a justified one-off parse)
+  auto parsed = sql::ParseSelect(statement);
+  return parsed.ok() ? 1 : 0;
+}
+
+std::vector<int> DrainCounts(const std::unordered_map<int, int>& counts) {
+  std::vector<int> out;
+  // sqlog-lint: deterministic-merge(caller sorts `out` before any output)
+  for (const auto& entry : counts) {
+    out.push_back(entry.second);
+  }
+  return out;
+}
+
+class LegacyGuard {
+ private:
+  // sqlog-lint: allow(R4 fixture keeps a raw mutex to prove suppression works)
+  std::mutex mu_;
+};
+
+}  // namespace sqlog::core

@@ -1,0 +1,10 @@
+// Negative fixture: a suppression naming a rule id that does not exist
+// is itself a lint error ("config" finding, unsuppressible). Linted
+// with --assume-path=src/util/unknown_rule.cc; never compiled.
+
+namespace sqlog::util {
+
+// sqlog-lint: allow(R9 there is no rule nine)
+inline int Nothing() { return 0; }
+
+}  // namespace sqlog::util

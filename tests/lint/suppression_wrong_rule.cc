@@ -1,0 +1,15 @@
+// Negative fixture: a suppression names a different rule than the one
+// that fires, so it must NOT silence the finding. The allow(R2) below
+// is well-formed but the violation is R4. Linted with
+// --assume-path=src/util/wrong_rule.cc; never compiled.
+#include <mutex>
+
+namespace sqlog::util {
+
+class WrongRule {
+ private:
+  // sqlog-lint: allow(R2 this suppression targets the wrong rule on purpose)
+  std::mutex mu_;  // R4 still fires
+};
+
+}  // namespace sqlog::util

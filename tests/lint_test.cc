@@ -1,0 +1,209 @@
+// Self-tests for sqlog-lint (tools/lint): each rule fires on its
+// negative fixture, suppressions behave exactly as documented, and
+// config parsing rejects malformed input. The fixtures under
+// tests/lint/ double as the inputs for the WILL_FAIL ctest entries that
+// exercise the CLI end to end.
+
+#include "lint/linter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sqlog::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(std::string(SQLOG_LINT_FIXTURE_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+LintConfig TestConfig() {
+  LintConfig config;
+  config.r1_allow = {"src/sql/", "tests/oracles/"};
+  config.manifest.push_back({"src/util/thread_pool.h", "ThreadPool"});
+  return config;
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+size_t CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<size_t>(std::count_if(
+      findings.begin(), findings.end(),
+      [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// --- Each rule fires on its fixture -----------------------------------
+
+TEST(LintRuleTest, R1FiresOnDirectParseOutsideAllowlist) {
+  auto findings = LintSource(TestConfig(), "src/core/report.cc",
+                             ReadFixture("r1_direct_parse.cc"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R1");
+  EXPECT_NE(findings[0].message.find("ParseSelect"), std::string::npos);
+}
+
+TEST(LintRuleTest, R1SilentOnAllowlistedPath) {
+  auto findings = LintSource(TestConfig(), "src/sql/parser_util.cc",
+                             ReadFixture("r1_direct_parse.cc"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRuleTest, R2FiresOnEveryNondeterminismSource) {
+  auto findings = LintSource(TestConfig(), "src/core/sampler.cc",
+                             ReadFixture("r2_wall_clock.cc"));
+  // std::time, random_device, default-seeded mt19937, rand.
+  EXPECT_EQ(CountRule(findings, "R2"), 4u) << "rules: " << ::testing::PrintToString(Rules(findings));
+}
+
+TEST(LintRuleTest, R2ScopedToCoreAndLog) {
+  auto in_log = LintSource(TestConfig(), "src/log/sampler.cc",
+                           ReadFixture("r2_wall_clock.cc"));
+  EXPECT_EQ(CountRule(in_log, "R2"), 4u);
+  auto in_tools = LintSource(TestConfig(), "tools/sampler.cc",
+                             ReadFixture("r2_wall_clock.cc"));
+  EXPECT_EQ(CountRule(in_tools, "R2"), 0u);
+}
+
+TEST(LintRuleTest, R3FiresOnUnorderedIterationWithoutTag) {
+  auto findings = LintSource(TestConfig(), "src/core/tally.cc",
+                             ReadFixture("r3_unordered_iteration.cc"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R3");
+}
+
+TEST(LintRuleTest, R4FiresOnRawMutex) {
+  auto findings = LintSource(TestConfig(), "src/util/counter.cc",
+                             ReadFixture("r4_raw_mutex.cc"));
+  EXPECT_GE(CountRule(findings, "R4"), 2u);  // lock_guard line + member line
+}
+
+TEST(LintRuleTest, R4ExemptsTheWrapperHeaderItself) {
+  auto findings = LintSource(TestConfig(), "src/util/thread_annotations.h",
+                             "#include <mutex>\nstd::mutex raw;\n");
+  EXPECT_EQ(CountRule(findings, "R4"), 0u);
+}
+
+TEST(LintRuleTest, R5FiresOnUnannotatedManifestMember) {
+  auto findings = LintSource(TestConfig(), "src/util/thread_pool.h",
+                             ReadFixture("r5_unannotated_member.cc"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R5");
+  EXPECT_NE(findings[0].message.find("thread_count_"), std::string::npos);
+}
+
+TEST(LintRuleTest, R5AcceptsMarkedMembers) {
+  const char* marked =
+      "class ThreadPool {\n"
+      " private:\n"
+      "  unsigned thread_count_ SQLOG_CONST_AFTER_INIT = 0;\n"
+      "  bool stopping_ SQLOG_GUARDED_BY(mutex_) = false;\n"
+      "  Mutex mutex_;\n"
+      "};\n";
+  auto findings = LintSource(TestConfig(), "src/util/thread_pool.h", marked);
+  EXPECT_TRUE(findings.empty()) << findings[0].ToString();
+}
+
+TEST(LintRuleTest, R5ManifestTypeMissingFromFileIsConfigError) {
+  auto findings = LintSource(TestConfig(), "src/util/thread_pool.h",
+                             "// no ThreadPool declared here\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "config");
+}
+
+// --- Suppression semantics --------------------------------------------
+
+TEST(LintSuppressionTest, WellFormedAllowsSilenceEverything) {
+  auto findings = LintSource(TestConfig(), "src/core/suppressed.cc",
+                             ReadFixture("suppressed_ok.cc"));
+  EXPECT_TRUE(findings.empty()) << findings[0].ToString();
+}
+
+TEST(LintSuppressionTest, AllowForOneRuleDoesNotSilenceAnother) {
+  auto findings = LintSource(TestConfig(), "src/util/wrong_rule.cc",
+                             ReadFixture("suppression_wrong_rule.cc"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R4");
+}
+
+TEST(LintSuppressionTest, UnknownRuleIdIsItselfAFinding) {
+  auto findings = LintSource(TestConfig(), "src/util/unknown_rule.cc",
+                             ReadFixture("suppression_unknown_rule.cc"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "config");
+  EXPECT_NE(findings[0].message.find("R9"), std::string::npos);
+}
+
+TEST(LintSuppressionTest, MissingReasonIsAFinding) {
+  auto findings = LintSource(TestConfig(), "src/core/x.cc",
+                             "// sqlog-lint: allow(R2)\nint x = rand();\n");
+  // The malformed allow is a config finding AND, because it is void, the
+  // R2 it meant to cover still fires.
+  EXPECT_EQ(CountRule(findings, "config"), 1u);
+  EXPECT_EQ(CountRule(findings, "R2"), 1u);
+}
+
+TEST(LintSuppressionTest, AllowCoversOwnLineAndNextLineOnly) {
+  const char* two_below =
+      "// sqlog-lint: allow(R2 reason here)\n"
+      "\n"
+      "int x = rand();\n";
+  auto findings = LintSource(TestConfig(), "src/core/x.cc", two_below);
+  EXPECT_EQ(CountRule(findings, "R2"), 1u) << "blank line must break coverage";
+
+  const char* same_line = "int x = rand();  // sqlog-lint: allow(R2 one-off)\n";
+  EXPECT_TRUE(LintSource(TestConfig(), "src/core/x.cc", same_line).empty());
+}
+
+TEST(LintSuppressionTest, ViolationsInsideCommentsOrStringsAreIgnored) {
+  const char* content =
+      "// calling rand() would be bad\n"
+      "/* std::mutex in prose */\n"
+      "const char* msg = \"rand() is banned\";\n";
+  EXPECT_TRUE(LintSource(TestConfig(), "src/core/x.cc", content).empty());
+}
+
+// --- Config parsing ----------------------------------------------------
+
+TEST(LintConfigTest, ParsesDirectivesAndComments) {
+  auto config = ParseConfig(
+      "# comment\n"
+      "r1-allow src/sql/\n"
+      "\n"
+      "manifest src/util/thread_pool.h ThreadPool\n",
+      "test");
+  ASSERT_TRUE(config.ok());
+  ASSERT_EQ(config->r1_allow.size(), 1u);
+  EXPECT_EQ(config->r1_allow[0], "src/sql/");
+  ASSERT_EQ(config->manifest.size(), 1u);
+  EXPECT_EQ(config->manifest[0].type_name, "ThreadPool");
+}
+
+TEST(LintConfigTest, RejectsUnknownDirective) {
+  EXPECT_FALSE(ParseConfig("frobnicate all\n", "test").ok());
+}
+
+TEST(LintConfigTest, RejectsManifestWithoutTypeName) {
+  EXPECT_FALSE(ParseConfig("manifest src/util/thread_pool.h\n", "test").ok());
+}
+
+TEST(LintConfigTest, CheckedInConfigParsesAndCoversTheManifest) {
+  auto config = LoadConfig(std::string(SQLOG_SOURCE_DIR) + "/tools/lint/lint_config.txt");
+  ASSERT_TRUE(config.ok()) << config.status().message();
+  EXPECT_FALSE(config->r1_allow.empty());
+  EXPECT_GE(config->manifest.size(), 8u);
+}
+
+}  // namespace
+}  // namespace sqlog::lint

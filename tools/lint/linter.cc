@@ -1,0 +1,646 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sqlog::lint {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True when `word` occurs at `pos` in `s` with word boundaries on both
+/// sides. ':' is not a word character, so qualified names still match
+/// their last component.
+bool WordAt(std::string_view s, size_t pos, std::string_view word) {
+  if (pos + word.size() > s.size()) return false;
+  if (s.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && IsWordChar(s[pos - 1])) return false;
+  size_t end = pos + word.size();
+  if (end < s.size() && IsWordChar(s[end])) return false;
+  return true;
+}
+
+std::vector<size_t> FindWordAll(std::string_view s, std::string_view word) {
+  std::vector<size_t> hits;
+  for (size_t pos = s.find(word); pos != std::string_view::npos;
+       pos = s.find(word, pos + 1)) {
+    if (WordAt(s, pos, word)) hits.push_back(pos);
+  }
+  return hits;
+}
+
+size_t SkipSpaces(std::string_view s, size_t pos) {
+  while (pos < s.size() && IsSpace(s[pos])) ++pos;
+  return pos;
+}
+
+/// The input split into two equal-length masks: `code` keeps everything
+/// outside comments and literal contents (literal quotes stay, contents
+/// are blanked); `comments` keeps only comment text. Newlines survive in
+/// both, so offsets and line numbers agree between the masks and the
+/// original file.
+struct SplitSource {
+  std::string code;
+  std::string comments;
+};
+
+SplitSource SplitCodeAndComments(std::string_view src) {
+  SplitSource out;
+  out.code.assign(src.size(), ' ');
+  out.comments.assign(src.size(), ' ');
+  auto keep_newlines = [&](size_t from, size_t to) {
+    for (size_t k = from; k < to && k < src.size(); ++k) {
+      if (src[k] == '\n') {
+        out.code[k] = '\n';
+        out.comments[k] = '\n';
+      }
+    }
+  };
+  size_t i = 0;
+  const size_t n = src.size();
+  while (i < n) {
+    char c = src[i];
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      for (size_t k = i; k < end; ++k) out.comments[k] = src[k];
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      end = end == std::string_view::npos ? n : end + 2;
+      for (size_t k = i; k < end; ++k) {
+        out.comments[k] = src[k] == '\n' ? ' ' : src[k];
+      }
+      keep_newlines(i, end);
+      i = end;
+      continue;
+    }
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+        (i == 0 || !IsWordChar(src[i - 1]))) {
+      // Raw string literal: R"delim( ... )delim".
+      size_t open = src.find('(', i + 2);
+      if (open != std::string_view::npos) {
+        std::string closer = ")";
+        closer.append(src.substr(i + 2, open - (i + 2)));
+        closer.push_back('"');
+        size_t end = src.find(closer, open + 1);
+        end = end == std::string_view::npos ? n : end + closer.size();
+        out.code[i] = 'R';
+        out.code[i + 1] = '"';
+        out.code[end - 1] = '"';
+        keep_newlines(i, end);
+        i = end;
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      out.code[i] = c;
+      size_t k = i + 1;
+      while (k < n && src[k] != c) {
+        if (src[k] == '\\') ++k;
+        if (src[k] == '\n') out.code[k] = '\n';  // unterminated; keep lines aligned
+        ++k;
+      }
+      if (k < n) out.code[k] = c;
+      i = k + 1;
+      continue;
+    }
+    out.code[i] = c;
+    ++i;
+  }
+  return out;
+}
+
+/// Offsets where each 1-based line starts, for offset → line mapping.
+std::vector<size_t> LineStarts(std::string_view s) {
+  std::vector<size_t> starts{0};
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+size_t LineOf(const std::vector<size_t>& starts, size_t offset) {
+  auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<size_t>(it - starts.begin());  // 1-based
+}
+
+const std::set<std::string, std::less<>> kRuleIds = {"R1", "R2", "R3", "R4", "R5"};
+
+/// Inline suppressions: rule → lines it is allowed on.
+struct Suppressions {
+  std::map<size_t, std::set<std::string, std::less<>>> allowed_by_line;
+  std::vector<Finding> errors;
+
+  bool Allows(std::string_view rule, size_t line) const {
+    auto it = allowed_by_line.find(line);
+    return it != allowed_by_line.end() && it->second.count(rule) > 0;
+  }
+};
+
+Suppressions CollectSuppressions(const std::string& rel_path, std::string_view comments,
+                                 const std::vector<size_t>& line_starts) {
+  Suppressions out;
+  static constexpr std::string_view kMarker = "sqlog-lint:";
+  for (size_t pos = comments.find(kMarker); pos != std::string_view::npos;
+       pos = comments.find(kMarker, pos + kMarker.size())) {
+    size_t line = LineOf(line_starts, pos);
+    size_t p = SkipSpaces(comments, pos + kMarker.size());
+    auto add_allow = [&](std::string_view rule) {
+      // A suppression covers its own line and the next one, so it can
+      // sit at the end of the offending line or on its own line above.
+      out.allowed_by_line[line].emplace(rule);
+      out.allowed_by_line[line + 1].emplace(rule);
+    };
+    if (StartsWith(comments.substr(p), "allow(")) {
+      p += 6;
+      size_t close = comments.find(')', p);
+      if (close == std::string_view::npos) {
+        out.errors.push_back({rel_path, line, "config",
+                              "unterminated sqlog-lint: allow(...) suppression"});
+        continue;
+      }
+      std::string_view body = comments.substr(p, close - p);
+      size_t space = body.find_first_of(" \t");
+      std::string_view rule = body.substr(0, space);
+      std::string_view reason =
+          space == std::string_view::npos ? std::string_view{} : body.substr(space + 1);
+      while (!reason.empty() && IsSpace(reason.front())) reason.remove_prefix(1);
+      if (kRuleIds.count(rule) == 0) {
+        out.errors.push_back(
+            {rel_path, line, "config",
+             StrFormat("unknown rule id '%.*s' in sqlog-lint suppression (expected R1..R5)",
+                       (int)rule.size(), rule.data())});
+        continue;
+      }
+      if (reason.empty()) {
+        out.errors.push_back(
+            {rel_path, line, "config",
+             StrFormat("sqlog-lint suppression for %.*s is missing a reason: "
+                       "write allow(%.*s why-this-is-safe)",
+                       (int)rule.size(), rule.data(), (int)rule.size(), rule.data())});
+        continue;
+      }
+      add_allow(rule);
+      continue;
+    }
+    if (StartsWith(comments.substr(p), "deterministic-merge")) {
+      // The R3-specific tag: asserts the iteration order cannot reach
+      // output or hashed state. An optional (reason) follows.
+      add_allow("R3");
+      continue;
+    }
+    out.errors.push_back({rel_path, line, "config",
+                          "unrecognized sqlog-lint directive (expected allow(RN reason) "
+                          "or deterministic-merge(reason))"});
+  }
+  return out;
+}
+
+void Report(std::vector<Finding>& findings, const Suppressions& supp,
+            const std::string& rel_path, size_t line, std::string_view rule,
+            std::string message) {
+  if (supp.Allows(rule, line)) return;
+  findings.push_back({rel_path, line, std::string(rule), std::move(message)});
+}
+
+// --- R1: direct parser calls --------------------------------------------
+
+constexpr std::string_view kParserEntryPoints[] = {
+    "ParseSelect", "ParseTokens", "ParseAndAnalyze", "ParseAndAnalyzeTokens"};
+
+void CheckR1(const LintConfig& config, const std::string& rel_path,
+             std::string_view code, const std::vector<size_t>& line_starts,
+             const Suppressions& supp, std::vector<Finding>& findings) {
+  for (const auto& prefix : config.r1_allow) {
+    if (StartsWith(rel_path, prefix)) return;
+  }
+  for (std::string_view fn : kParserEntryPoints) {
+    for (size_t pos : FindWordAll(code, fn)) {
+      Report(findings, supp, rel_path, LineOf(line_starts, pos), "R1",
+             StrFormat("direct SQL-parser call '%.*s' outside the parse-avoidance "
+                       "allowlist; route statements through core::ParseLog / the "
+                       "parse cache, or extend r1-allow in the lint config",
+                       (int)fn.size(), fn.data()));
+    }
+  }
+}
+
+// --- R2: nondeterminism sources in src/core + src/log -------------------
+
+bool InDeterministicScope(std::string_view rel_path) {
+  return StartsWith(rel_path, "src/core/") || StartsWith(rel_path, "src/log/");
+}
+
+void CheckR2(const std::string& rel_path, std::string_view code,
+             const std::vector<size_t>& line_starts, const Suppressions& supp,
+             std::vector<Finding>& findings) {
+  if (!InDeterministicScope(rel_path)) return;
+  auto flag = [&](size_t pos, std::string_view what) {
+    Report(findings, supp, rel_path, LineOf(line_starts, pos), "R2",
+           StrFormat("nondeterminism source '%.*s' in pipeline code (src/core, "
+                     "src/log must be bit-deterministic); use sqlog::Rng with a "
+                     "fixed seed, or take timestamps from the input records",
+                     (int)what.size(), what.data()));
+  };
+  for (std::string_view word : {"rand", "srand", "random_device"}) {
+    for (size_t pos : FindWordAll(code, word)) flag(pos, word);
+  }
+  for (size_t pos = code.find("std::time"); pos != std::string_view::npos;
+       pos = code.find("std::time", pos + 1)) {
+    if (!WordAt(code, pos + 5, "time")) continue;  // e.g. std::timespec
+    flag(pos, "std::time");
+  }
+  for (std::string_view engine : {"mt19937", "mt19937_64"}) {
+    for (size_t pos : FindWordAll(code, engine)) {
+      size_t p = SkipSpaces(code, pos + engine.size());
+      if (p >= code.size()) continue;
+      char c = code[p];
+      if (c == ':' || c == '&' || c == '*' || c == '>' || c == ',') {
+        continue;  // type usage (template arg, reference parameter, ...)
+      }
+      if (c == '(' || c == '{') {
+        // Temporary: seeded when the parens/braces are non-empty.
+        char close = c == '(' ? ')' : '}';
+        if (SkipSpaces(code, p + 1) < code.size() &&
+            code[SkipSpaces(code, p + 1)] != close) {
+          continue;
+        }
+        flag(pos, engine);
+        continue;
+      }
+      // Declaration: skip the variable name, then look at what follows.
+      size_t q = p;
+      while (q < code.size() && IsWordChar(code[q])) ++q;
+      q = SkipSpaces(code, q);
+      if (q >= code.size() || code[q] == ';' || code[q] == ',' || code[q] == ')') {
+        flag(pos, engine);  // default-constructed → seeded from a fixed constant
+        continue;
+      }
+      if (code[q] == '(' || code[q] == '{') {
+        char close = code[q] == '(' ? ')' : '}';
+        size_t arg = SkipSpaces(code, q + 1);
+        if (arg >= code.size() || code[arg] == close) flag(pos, engine);
+      }
+    }
+  }
+}
+
+// --- R3: unordered-container iteration ----------------------------------
+
+/// Advances past a balanced template-argument list; `pos` is at '<'.
+/// Returns the offset one past the matching '>'.
+size_t SkipTemplateArgs(std::string_view code, size_t pos) {
+  size_t angle = 0, paren = 0;
+  while (pos < code.size()) {
+    char c = code[pos];
+    if (c == '(') ++paren;
+    if (c == ')' && paren > 0) --paren;
+    if (paren == 0) {
+      if (c == '<') ++angle;
+      if (c == '>') {
+        --angle;
+        if (angle == 0) return pos + 1;
+      }
+    }
+    ++pos;
+  }
+  return pos;
+}
+
+void CheckR3(const std::string& rel_path, std::string_view code,
+             const std::vector<size_t>& line_starts, const Suppressions& supp,
+             std::vector<Finding>& findings) {
+  if (!InDeterministicScope(rel_path)) return;
+  // Pass 1: names declared with an unordered container type.
+  std::set<std::string, std::less<>> unordered_names;
+  for (std::string_view container : {"unordered_map", "unordered_set",
+                                     "unordered_multimap", "unordered_multiset"}) {
+    for (size_t pos : FindWordAll(code, container)) {
+      size_t p = SkipSpaces(code, pos + container.size());
+      if (p >= code.size() || code[p] != '<') continue;
+      p = SkipSpaces(code, SkipTemplateArgs(code, p));
+      // A reference or pointer to an unordered container iterates in
+      // hash order just the same — skip the declarator decoration.
+      while (p < code.size() && (code[p] == '&' || code[p] == '*')) {
+        p = SkipSpaces(code, p + 1);
+      }
+      size_t name_begin = p;
+      while (p < code.size() && IsWordChar(code[p])) ++p;
+      if (p == name_begin) continue;  // e.g. ...>::iterator, closing a nested <>
+      if (SkipSpaces(code, p) < code.size() && code[SkipSpaces(code, p)] == '(') {
+        continue;  // function returning the container, not a variable
+      }
+      unordered_names.emplace(code.substr(name_begin, p - name_begin));
+    }
+  }
+  if (unordered_names.empty()) return;
+  // Pass 2: range-for loops whose range expression names one of them.
+  for (size_t pos : FindWordAll(code, "for")) {
+    size_t open = SkipSpaces(code, pos + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    size_t depth = 0, colon = std::string_view::npos, close = std::string_view::npos;
+    bool classic = false;
+    for (size_t p = open; p < code.size(); ++p) {
+      char c = code[p];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        if (--depth == 0) {
+          close = p;
+          break;
+        }
+      }
+      if (depth == 1 && c == ';') classic = true;
+      if (depth == 1 && c == ':' && colon == std::string_view::npos) {
+        bool qualified = (p > 0 && code[p - 1] == ':') ||
+                         (p + 1 < code.size() && code[p + 1] == ':');
+        if (!qualified) colon = p;
+      }
+    }
+    if (classic || colon == std::string_view::npos || close == std::string_view::npos) {
+      continue;
+    }
+    std::string_view range_expr = code.substr(colon + 1, close - colon - 1);
+    for (const auto& name : unordered_names) {
+      if (FindWordAll(range_expr, name).empty()) continue;
+      Report(findings, supp, rel_path, LineOf(line_starts, pos), "R3",
+             StrFormat("range-for over unordered container '%s': iteration order is "
+                       "not deterministic; sort a copy first, or assert the order "
+                       "cannot reach output or hashed state with a "
+                       "deterministic-merge(reason) tag",
+                       name.c_str()));
+      break;
+    }
+  }
+}
+
+// --- R4: raw std::mutex -------------------------------------------------
+
+constexpr std::string_view kRawMutexTypes[] = {
+    "std::mutex",        "std::recursive_mutex", "std::timed_mutex",
+    "std::shared_mutex", "std::lock_guard",      "std::unique_lock",
+    "std::scoped_lock",  "std::shared_lock"};
+
+void CheckR4(const std::string& rel_path, std::string_view code,
+             const std::vector<size_t>& line_starts, const Suppressions& supp,
+             std::vector<Finding>& findings) {
+  if (EndsWith(rel_path, "util/thread_annotations.h")) return;  // the wrapper itself
+  for (std::string_view type : kRawMutexTypes) {
+    std::string_view name = type.substr(5);  // past "std::"
+    for (size_t pos = code.find(type); pos != std::string_view::npos;
+         pos = code.find(type, pos + 1)) {
+      if (!WordAt(code, pos + 5, name)) continue;
+      if (pos > 0 && IsWordChar(code[pos - 1])) continue;
+      Report(findings, supp, rel_path, LineOf(line_starts, pos), "R4",
+             StrFormat("raw '%.*s' — use the annotated sqlog::util::Mutex / "
+                       "MutexLock / CondVarLock wrappers (util/thread_annotations.h) "
+                       "so -Wthread-safety and lint rule R5 can check the guarded "
+                       "state",
+                       (int)type.size(), type.data()));
+    }
+  }
+}
+
+// --- R5: concurrency-manifest annotations -------------------------------
+
+constexpr std::string_view kMemberMarkers[] = {
+    "SQLOG_GUARDED_BY", "SQLOG_PT_GUARDED_BY", "SQLOG_SHARD_LOCAL",
+    "SQLOG_CONST_AFTER_INIT", "SQLOG_SELF_SYNCHRONIZED"};
+
+/// One depth-1 statement of a class body.
+struct MemberStatement {
+  std::string text;
+  size_t offset = 0;  // of its first non-space character
+};
+
+/// Collects the depth-1 `;`-terminated statements of the class body that
+/// opens at `body_open` ('{'). Nested braces (inline function bodies,
+/// nested types, brace initializers) are skipped wholesale, which keeps
+/// the scan simple: R5 covers `type name_ = ...;`-style members, the
+/// repo's style for mutable state.
+std::vector<MemberStatement> ClassBodyStatements(std::string_view code,
+                                                 size_t body_open) {
+  std::vector<MemberStatement> out;
+  MemberStatement current;
+  size_t i = body_open + 1;
+  while (i < code.size()) {
+    char c = code[i];
+    if (c == '}') break;  // end of the class body
+    if (c == '{') {
+      size_t depth = 1;
+      for (++i; i < code.size() && depth > 0; ++i) {
+        if (code[i] == '{') ++depth;
+        if (code[i] == '}') --depth;
+      }
+      current = {};  // whatever preceded the brace was not a data member
+      continue;
+    }
+    if (c == ';') {
+      if (!current.text.empty()) out.push_back(std::move(current));
+      current = {};
+      ++i;
+      continue;
+    }
+    if (!IsSpace(c) && current.text.empty()) current.offset = i;
+    if (!current.text.empty() || !IsSpace(c)) current.text.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+/// Splits a statement into word tokens at angle/paren depth 0, stopping
+/// at a top-level '=' (the initializer). Returns the tokens seen.
+std::vector<std::string> TopLevelTokens(std::string_view stmt) {
+  std::vector<std::string> tokens;
+  size_t angle = 0, paren = 0;
+  std::string word;
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    char c = stmt[i];
+    if (c == '(') ++paren;
+    if (c == ')' && paren > 0) --paren;
+    if (paren == 0 && c == '<') ++angle;
+    if (paren == 0 && c == '>' && angle > 0) --angle;
+    if (angle == 0 && paren == 0 && c == '=') break;
+    if (IsWordChar(c) && angle == 0 && paren == 0) {
+      word.push_back(c);
+    } else if (!word.empty()) {
+      tokens.push_back(std::move(word));
+      word.clear();
+    }
+  }
+  if (!word.empty()) tokens.push_back(std::move(word));
+  return tokens;
+}
+
+void CheckR5(const LintConfig& config, const std::string& rel_path,
+             std::string_view code, const std::vector<size_t>& line_starts,
+             const Suppressions& supp, std::vector<Finding>& findings) {
+  for (const auto& entry : config.manifest) {
+    if (!EndsWith(rel_path, entry.path_suffix)) continue;
+    // Locate `class Name {` / `struct Name {` (or with a base clause).
+    size_t body_open = std::string_view::npos;
+    for (size_t pos : FindWordAll(code, entry.type_name)) {
+      // The keyword must directly precede the name.
+      size_t back = pos;
+      while (back > 0 && IsSpace(code[back - 1])) --back;
+      size_t kw_end = back;
+      while (back > 0 && IsWordChar(code[back - 1])) --back;
+      std::string_view kw = code.substr(back, kw_end - back);
+      if (kw != "class" && kw != "struct") continue;
+      size_t p = pos + entry.type_name.size();
+      while (p < code.size() && code[p] != '{' && code[p] != ';') ++p;
+      if (p < code.size() && code[p] == '{') {
+        body_open = p;
+        break;
+      }
+    }
+    if (body_open == std::string_view::npos) {
+      findings.push_back({rel_path, 1, "config",
+                          StrFormat("concurrency-manifest type '%s' not found in this "
+                                    "file; update the lint config",
+                                    entry.type_name.c_str())});
+      continue;
+    }
+    for (const auto& stmt : ClassBodyStatements(code, body_open)) {
+      std::string_view text = stmt.text;
+      // Drop access-specifier labels glued to the statement front.
+      for (std::string_view label : {"public", "protected", "private"}) {
+        if (StartsWith(text, label)) {
+          size_t p = SkipSpaces(text, label.size());
+          if (p < text.size() && text[p] == ':') text.remove_prefix(p + 1);
+        }
+      }
+      bool has_marker = false;
+      for (std::string_view marker : kMemberMarkers) {
+        if (!FindWordAll(text, marker).empty()) has_marker = true;
+      }
+      if (has_marker) continue;
+      std::vector<std::string> tokens = TopLevelTokens(text);
+      if (tokens.empty()) continue;
+      static const std::set<std::string, std::less<>> kSkipLeading = {
+          "using", "typedef", "friend", "static", "constexpr", "const",
+          "class",  "struct", "enum",   "explicit"};
+      if (kSkipLeading.count(tokens.front()) > 0) continue;
+      if (tokens.front() == "Mutex") continue;  // the capability itself
+      const std::string& declarator = tokens.back();
+      if (declarator.empty() || declarator.back() != '_') continue;
+      Report(findings, supp, rel_path, LineOf(line_starts, stmt.offset), "R5",
+             StrFormat("mutable member '%s' of concurrency-manifest type '%s' has no "
+                       "annotation; add SQLOG_GUARDED_BY(mu), SQLOG_SHARD_LOCAL, "
+                       "SQLOG_CONST_AFTER_INIT, or SQLOG_SELF_SYNCHRONIZED "
+                       "(util/thread_annotations.h)",
+                       declarator.c_str(), entry.type_name.c_str()));
+    }
+  }
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  return StrFormat("%s:%zu: %s: %s", file.c_str(), line, rule.c_str(),
+                   message.c_str());
+}
+
+Result<LintConfig> ParseConfig(std::string_view text, const std::string& origin) {
+  LintConfig config;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive) || directive[0] == '#') continue;
+    if (directive == "r1-allow") {
+      std::string prefix;
+      if (!(fields >> prefix)) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: r1-allow needs a path prefix", origin.c_str(),
+                      line_number));
+      }
+      config.r1_allow.push_back(std::move(prefix));
+      continue;
+    }
+    if (directive == "manifest") {
+      LintConfig::ManifestEntry entry;
+      if (!(fields >> entry.path_suffix >> entry.type_name)) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: manifest needs <path-suffix> <TypeName>",
+                      origin.c_str(), line_number));
+      }
+      config.manifest.push_back(std::move(entry));
+      continue;
+    }
+    return Status::InvalidArgument(StrFormat("%s:%zu: unknown directive '%s'",
+                                             origin.c_str(), line_number,
+                                             directive.c_str()));
+  }
+  return config;
+}
+
+Result<LintConfig> LoadConfig(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open lint config %s", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseConfig(buffer.str(), path);
+}
+
+std::vector<Finding> LintSource(const LintConfig& config, const std::string& rel_path,
+                                std::string_view content) {
+  SplitSource split = SplitCodeAndComments(content);
+  std::vector<size_t> line_starts = LineStarts(split.code);
+  Suppressions supp = CollectSuppressions(rel_path, split.comments, line_starts);
+
+  std::vector<Finding> findings = supp.errors;
+  CheckR1(config, rel_path, split.code, line_starts, supp, findings);
+  CheckR2(rel_path, split.code, line_starts, supp, findings);
+  CheckR3(rel_path, split.code, line_starts, supp, findings);
+  CheckR4(rel_path, split.code, line_starts, supp, findings);
+  CheckR5(config, rel_path, split.code, line_starts, supp, findings);
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+Result<std::vector<Finding>> LintFile(const LintConfig& config, const std::string& root,
+                                      const std::string& rel_path,
+                                      const std::string& assume_path) {
+  std::string full = root.empty() ? rel_path : root + "/" + rel_path;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open %s", full.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintSource(config, assume_path.empty() ? rel_path : assume_path, buffer.str());
+}
+
+}  // namespace sqlog::lint

@@ -1,0 +1,75 @@
+#ifndef SQLOG_TOOLS_LINT_LINTER_H_
+#define SQLOG_TOOLS_LINT_LINTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sqlog::lint {
+
+/// One diagnostic. `rule` is "R1".."R5" for the repo rules, or "config"
+/// for problems with the lint input itself (malformed suppression,
+/// unknown rule id, manifest type missing from its file). Config
+/// findings are never suppressible.
+struct Finding {
+  std::string file;
+  size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Parsed lint_config.txt. Format, one directive per line ('#' comments):
+///
+///   r1-allow <rel-path-prefix>
+///       Files whose repo-relative path starts with the prefix may call
+///       the SQL parser directly (R1).
+///   manifest <path-suffix> <TypeName>
+///       Concurrency manifest (R5): every mutable data member (trailing
+///       '_' declarator) of TypeName, declared in a file whose path ends
+///       with path-suffix, must carry one of the thread_annotations.h
+///       markers: SQLOG_GUARDED_BY / SQLOG_PT_GUARDED_BY /
+///       SQLOG_SHARD_LOCAL / SQLOG_CONST_AFTER_INIT /
+///       SQLOG_SELF_SYNCHRONIZED.
+struct LintConfig {
+  struct ManifestEntry {
+    std::string path_suffix;
+    std::string type_name;
+  };
+  std::vector<std::string> r1_allow;
+  std::vector<ManifestEntry> manifest;
+};
+
+/// Parses a config ("origin" names it in error messages).
+Result<LintConfig> ParseConfig(std::string_view text, const std::string& origin);
+
+/// Reads and parses a config file.
+Result<LintConfig> LoadConfig(const std::string& path);
+
+/// Lints one source file's `content`.
+///
+/// `rel_path` is the repo-relative path: it scopes the path-dependent
+/// rules (R2/R3 fire only under src/core/ and src/log/; R1 consults the
+/// allowlist; R5 consults the manifest) and is the path findings report.
+/// Suppression: a comment of the form `// sqlog-lint: allow(R2 reason)`
+/// suppresses that one rule on its own line and on the next line; a
+/// `// sqlog-lint: deterministic-merge(reason)` comment is the
+/// R3-specific tag asserting the iteration order cannot reach output or
+/// hashed state.
+std::vector<Finding> LintSource(const LintConfig& config, const std::string& rel_path,
+                                std::string_view content);
+
+/// Reads `root`/`rel_path` and lints it. A non-empty `assume_path`
+/// substitutes for `rel_path` in rule scoping and reported findings —
+/// how the negative fixtures under tests/lint/ exercise the path-scoped
+/// rules.
+Result<std::vector<Finding>> LintFile(const LintConfig& config, const std::string& root,
+                                      const std::string& rel_path,
+                                      const std::string& assume_path = "");
+
+}  // namespace sqlog::lint
+
+#endif  // SQLOG_TOOLS_LINT_LINTER_H_

@@ -292,6 +292,7 @@ int CmdCluster(int argc, char** argv) {
   }
   std::vector<analysis::DataSpace> spaces;
   for (const auto& record : raw->records()) {
+    // sqlog-lint: allow(R1 one-shot clustering scan with no cache to warm)
     auto facts = sql::ParseAndAnalyze(record.statement);
     if (!facts.ok()) continue;
     spaces.push_back(analysis::ExtractDataSpace(facts.value()));
@@ -328,6 +329,7 @@ int CmdRecommend(int argc, char** argv) {
   analysis::Recommender model;
   model.Train(clean_parsed);
 
+  // sqlog-lint: allow(R1 a single user-typed statement is parsed once)
   auto facts = sql::ParseAndAnalyze(argv[1]);
   if (!facts.ok()) {
     std::fprintf(stderr, "cannot parse query: %s\n", facts.status().ToString().c_str());

@@ -1,0 +1,126 @@
+// sqlog-lint — repo-specific static checks over the C++ tree.
+//
+//   sqlog-lint [--config=<file>] [--root=<dir>] [--assume-path=<rel>] <path>...
+//
+// Paths are files or directories (recursive over *.h / *.cc), resolved
+// against --root (default: the working directory) and reported relative
+// to it. Rules R1-R5 are documented in DESIGN.md ("Static analysis &
+// enforced invariants"); the allowlist and concurrency manifest live in
+// tools/lint/lint_config.txt. --assume-path lints a single file as if it
+// sat at the given repo-relative path, which is how the negative
+// fixtures under tests/lint/ exercise the path-scoped rules.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/config/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using sqlog::lint::Finding;
+using sqlog::lint::LintConfig;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sqlog-lint [--config=<file>] [--root=<dir>] "
+               "[--assume-path=<rel>] <path>...\n");
+  return 2;
+}
+
+bool IsSourceFile(const fs::path& path) {
+  return path.extension() == ".h" || path.extension() == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string root = ".";
+  std::string assume_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--config=", 9) == 0) {
+      config_path = arg + 9;
+    } else if (std::strncmp(arg, "--root=", 7) == 0) {
+      root = arg + 7;
+    } else if (std::strncmp(arg, "--assume-path=", 14) == 0) {
+      assume_path = arg + 14;
+    } else if (arg[0] == '-') {
+      return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return Usage();
+  if (!assume_path.empty() && inputs.size() != 1) {
+    std::fprintf(stderr, "sqlog-lint: --assume-path requires exactly one input file\n");
+    return 2;
+  }
+
+  LintConfig config;
+  if (!config_path.empty()) {
+    auto loaded = sqlog::lint::LoadConfig(config_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "sqlog-lint: %s\n", loaded.status().ToString().c_str());
+      return 2;
+    }
+    config = std::move(loaded).value();
+  }
+
+  // Expand directories into a sorted file list so output order (and the
+  // exit code on ties) never depends on directory-iteration order.
+  std::vector<std::string> rel_paths;
+  std::error_code ec;
+  for (const std::string& input : inputs) {
+    fs::path full = fs::path(root) / input;
+    if (fs::is_directory(full, ec)) {
+      for (fs::recursive_directory_iterator it(full, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && IsSourceFile(it->path())) {
+          rel_paths.push_back(fs::relative(it->path(), root, ec).generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(full, ec)) {
+      rel_paths.push_back(fs::path(input).generic_string());
+    } else {
+      std::fprintf(stderr, "sqlog-lint: no such file or directory: %s\n",
+                   full.generic_string().c_str());
+      return 2;
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+  rel_paths.erase(std::unique(rel_paths.begin(), rel_paths.end()), rel_paths.end());
+
+  size_t finding_count = 0;
+  size_t file_count = 0;
+  for (const std::string& rel : rel_paths) {
+    // With --assume-path, the file is linted as if it sat at that
+    // repo-relative path, so the path-scoped rules (R1/R2/R3/R5) apply
+    // to fixtures living elsewhere.
+    auto findings = sqlog::lint::LintFile(config, root, rel, assume_path);
+    if (!findings.ok()) {
+      std::fprintf(stderr, "sqlog-lint: %s\n", findings.status().ToString().c_str());
+      return 2;
+    }
+    ++file_count;
+    for (const Finding& finding : *findings) {
+      std::printf("%s\n", finding.ToString().c_str());
+      ++finding_count;
+    }
+  }
+  if (finding_count > 0) {
+    std::fprintf(stderr, "sqlog-lint: %zu finding(s) in %zu file(s)\n", finding_count,
+                 file_count);
+    return 1;
+  }
+  return 0;
+}
