@@ -36,10 +36,9 @@ PrecisionRecall StifleQuality(const core::PipelineResult& result) {
     uint32_t instance_id = result.antipatterns.instance_of_query[q];
     if (instance_id == 0) continue;
     const auto& instance = result.antipatterns.instances[instance_id - 1];
-    if (!core::IsSolvable(instance.type) ||
-        instance.type == core::AntipatternType::kSnc) {
-      continue;
-    }
+    const core::DetectorInfo& info =
+        result.antipatterns.detectors->info(instance.detector);
+    if (!info.solvable || info.id == "snc") continue;
     ++claimed;
     if (is_stifle_truth) ++true_positive;
   }

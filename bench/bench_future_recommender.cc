@@ -22,8 +22,9 @@ int main() {
 
   // Antipattern template fingerprints (from the raw run's detector).
   std::unordered_set<uint64_t> antipattern_fps;
+  const core::DetectorSet& detector_set = *result.antipatterns.detectors;
   for (const auto& d : result.antipatterns.distinct) {
-    if (!core::IsSolvable(d.type)) continue;
+    if (!detector_set.info(d.detector).solvable) continue;
     for (uint64_t id : d.template_ids) {
       antipattern_fps.insert(result.templates.Get(id).tmpl.fingerprint);
     }

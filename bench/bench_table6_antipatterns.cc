@@ -37,8 +37,8 @@ int main() {
     }
     std::printf("%-4zu %-10s %-9s %-4zu %.110s\n", i + 1,
                 bench::Thousands(d.query_count).c_str(),
-                core::AntipatternTypeName(d.type), d.user_popularity(),
-                skeletons.c_str());
+                result.antipatterns.detectors->info(d.detector).display_name.c_str(),
+                d.user_popularity(), skeletons.c_str());
   }
 
   std::printf("\nShape check vs paper Table 6: the top antipatterns are DW-Stifles\n"

@@ -30,11 +30,20 @@ cmake --preset default \
   -DSQLOG_THREAD_SAFETY=${thread_safety}
 cmake --build --preset default -j "$jobs"
 
-# 2. Repo lint (rules R1-R5, see DESIGN.md).
+# 2. Repo lint (rules R1-R6, see DESIGN.md).
 step "sqlog-lint"
 ./build/tools/sqlog-lint --config=tools/lint/lint_config.txt src tools bench fuzz
 
-# 3. Default test sweep (includes check-lint, the golden pipeline test,
+# 3. CLI smoke: the report subcommand must run the full detector catalog
+#    over a generated log without errors (the per-detector P/R tests live
+#    in detector_registry_test; this catches CLI-level wiring breaks).
+step "sqlog report smoke"
+smoke_log=$(mktemp /tmp/sqlog_smoke.XXXXXX.csv)
+trap 'rm -f "$smoke_log"' EXIT
+./build/tools/sqlog generate 2000 "$smoke_log"
+./build/tools/sqlog report "$smoke_log" >/dev/null
+
+# 4. Default test sweep (includes check-lint, the golden pipeline test,
 #    and the memory-budget test).
 step "ctest (default preset)"
 ctest --preset default -j "$jobs"
@@ -44,7 +53,7 @@ if [[ $fast -eq 1 ]]; then
   exit 0
 fi
 
-# 4. ASan+UBSan: full sweep plus the checked-in fuzz corpus replay. The
+# 5. ASan+UBSan: full sweep plus the checked-in fuzz corpus replay. The
 #    memory-budget test is excluded by the preset — ASan shadow memory
 #    inflates peak RSS ~3x past the 256 MiB cap the test pins.
 step "asan-ubsan preset"
@@ -52,7 +61,7 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 ctest --preset asan-ubsan -j "$jobs"
 
-# 5. TSan: the concurrency surface under ThreadSanitizer. Perf and
+# 6. TSan: the concurrency surface under ThreadSanitizer. Perf and
 #    memory-budget tests are excluded by the preset — sanitizer overhead
 #    breaks their thresholds, not their correctness.
 step "tsan preset"

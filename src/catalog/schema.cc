@@ -53,6 +53,26 @@ bool Schema::IsKeyColumn(const std::string& column,
   return false;
 }
 
+bool Schema::IsNullableColumn(const std::string& column,
+                              const std::vector<std::string>& tables) const {
+  std::string col = ToLower(column);
+  if (tables.empty()) {
+    for (const auto& [name, table] : tables_) {
+      (void)name;
+      const ColumnDef* def = table.FindColumn(col);
+      if (def != nullptr && def->nullable) return true;
+    }
+    return false;
+  }
+  for (const auto& table_name : tables) {
+    const TableDef* table = FindTable(table_name);
+    if (table == nullptr) continue;
+    const ColumnDef* def = table->FindColumn(col);
+    if (def != nullptr && def->nullable) return true;
+  }
+  return false;
+}
+
 Schema MakeSkyServerSchema() {
   Schema schema;
 

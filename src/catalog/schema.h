@@ -64,6 +64,12 @@ class Schema {
   /// queries whose FROM could not be resolved.
   bool IsKeyColumn(const std::string& column, const std::vector<std::string>& tables) const;
 
+  /// True iff `column` is declared nullable in at least one of `tables`
+  /// (same lookup rules as IsKeyColumn). The fear-of-the-unknown
+  /// detector uses this to restrict NULL-blind `<>` filters to columns
+  /// that can actually hold NULL.
+  bool IsNullableColumn(const std::string& column, const std::vector<std::string>& tables) const;
+
   size_t table_count() const { return tables_.size(); }
 
  private:

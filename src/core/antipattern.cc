@@ -1,36 +1,47 @@
 #include "core/antipattern.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_map>
 
 #include "util/hash.h"
 
 namespace sqlog::core {
 
-const char* AntipatternTypeName(AntipatternType type) {
+namespace {
+
+/// Registry id of the built-in detector behind a legacy type; null for
+/// kCustom (many detectors share it — the legacy name stays "Custom").
+const char* LegacyDetectorId(AntipatternType type) {
   switch (type) {
-    case AntipatternType::kDwStifle: return "DW-Stifle";
-    case AntipatternType::kDsStifle: return "DS-Stifle";
-    case AntipatternType::kDfStifle: return "DF-Stifle";
-    case AntipatternType::kCthCandidate: return "CTH";
-    case AntipatternType::kSnc: return "SNC";
-    case AntipatternType::kCustom: return "Custom";
+    case AntipatternType::kDwStifle: return "dw-stifle";
+    case AntipatternType::kDsStifle: return "ds-stifle";
+    case AntipatternType::kDfStifle: return "df-stifle";
+    case AntipatternType::kCthCandidate: return "cth";
+    case AntipatternType::kSnc: return "snc";
+    case AntipatternType::kCustom: return nullptr;
   }
-  return "?";
+  return nullptr;
+}
+
+}  // namespace
+
+const char* AntipatternTypeName(AntipatternType type) {
+  const char* id = LegacyDetectorId(type);
+  if (id == nullptr) return "Custom";
+  std::shared_ptr<const Detector> detector = DetectorRegistry::Global().Find(id);
+  assert(detector != nullptr && "built-in detector missing from registry");
+  // The registry retains every registered detector for the process
+  // lifetime, so the returned pointer is stable.
+  return detector->info().display_name.c_str();
 }
 
 bool IsSolvable(AntipatternType type) {
-  switch (type) {
-    case AntipatternType::kDwStifle:
-    case AntipatternType::kDsStifle:
-    case AntipatternType::kDfStifle:
-    case AntipatternType::kSnc:
-      return true;
-    case AntipatternType::kCthCandidate:
-    case AntipatternType::kCustom:
-      return false;  // custom solvability is per-rule; see InstanceSolvable
-  }
-  return false;
+  const char* id = LegacyDetectorId(type);
+  if (id == nullptr) return false;  // custom solvability is per-rule
+  std::shared_ptr<const Detector> detector = DetectorRegistry::Global().Find(id);
+  assert(detector != nullptr && "built-in detector missing from registry");
+  return detector->info().solvable;
 }
 
 bool InstanceSolvable(const AntipatternInstance& instance,
@@ -67,6 +78,30 @@ uint64_t AntipatternReport::CountDistinct(AntipatternType type) const {
   return n;
 }
 
+uint64_t AntipatternReport::InstancesOf(uint32_t detector) const {
+  uint64_t n = 0;
+  for (const auto& instance : instances) {
+    if (instance.detector == detector) ++n;
+  }
+  return n;
+}
+
+uint64_t AntipatternReport::QueriesOf(uint32_t detector) const {
+  uint64_t n = 0;
+  for (const auto& instance : instances) {
+    if (instance.detector == detector) n += instance.query_indices.size();
+  }
+  return n;
+}
+
+uint64_t AntipatternReport::DistinctOf(uint32_t detector) const {
+  uint64_t n = 0;
+  for (const auto& d : distinct) {
+    if (d.detector == detector) ++n;
+  }
+  return n;
+}
+
 bool StifleEligible(const ParsedQuery& query, const catalog::Schema* schema,
                     bool require_key_attribute) {
   const sql::QueryFacts& facts = query.facts;
@@ -84,29 +119,6 @@ bool StifleEligible(const ParsedQuery& query, const catalog::Schema* schema,
 
 namespace {
 
-/// True when a query can appear at position ≥ 2 of a CTH candidate:
-/// exactly one equality predicate against a constant (Def. 15).
-bool CthFollowupEligible(const ParsedQuery& query) {
-  const sql::QueryFacts& facts = query.facts;
-  if (!facts.where_conjunctive) return false;
-  if (facts.predicate_count() != 1) return false;
-  const sql::Predicate& pred = facts.predicates[0];
-  return pred.op == sql::PredicateOp::kEq && pred.constant_comparison &&
-         !pred.compares_to_null_literal;
-}
-
-/// The "information flows forward" heuristic: the follow-up filters on
-/// an attribute the head query exposed (or the head exposed everything).
-bool CthLinked(const ParsedQuery& head, const ParsedQuery& followup) {
-  if (head.facts.selects_star) return true;
-  const std::string& col = followup.facts.predicates[0].column;
-  if (col.empty()) return false;
-  for (const auto& selected : head.facts.selected_columns) {
-    if (selected == col) return true;
-  }
-  return false;
-}
-
 /// Builds the distinct-template signature of an instance.
 std::vector<uint64_t> SignatureOf(const ParsedLog& parsed,
                                   const AntipatternInstance& instance) {
@@ -120,194 +132,105 @@ std::vector<uint64_t> SignatureOf(const ParsedLog& parsed,
   return signature;
 }
 
-uint64_t SignatureKey(AntipatternType type, int custom_rule,
-                      const std::vector<uint64_t>& signature) {
-  uint64_t h = 0x517cc1b727220a95ULL + static_cast<uint64_t>(type);
-  h = HashCombine(h, static_cast<uint64_t>(custom_rule + 1));
+uint64_t SignatureKey(uint32_t detector, const std::vector<uint64_t>& signature) {
+  uint64_t h = 0x517cc1b727220a95ULL + static_cast<uint64_t>(detector);
   for (uint64_t id : signature) h = HashCombine(h, id + 1);
   return h;
 }
 
-/// Detector working over one gap-bounded segment of one user's stream.
-class SegmentScanner {
- public:
-  SegmentScanner(const ParsedLog& parsed, const catalog::Schema* schema,
-                 const DetectorOptions& options, uint32_t user_id,
-                 std::vector<AntipatternInstance>& out)
-      : parsed_(parsed), schema_(schema), options_(options), user_id_(user_id), out_(out) {}
-
-  void Scan(const std::vector<size_t>& segment) {
-    (void)user_id_;
-    // Independent passes: a query may belong to both a CTH candidate and
-    // a Stifle (paper Table 2) — the solver later prefers the solvable
-    // instance, which reproduces Table 3.
-    size_t i = 0;
-    while (i < segment.size()) {
-      size_t advanced = TryStifle(segment, i);
-      i += advanced == 0 ? 1 : advanced;
-    }
-    i = 0;
-    while (i < segment.size()) {
-      size_t advanced = TryCth(segment, i);
-      i += advanced == 0 ? 1 : advanced;
-    }
-    for (size_t idx : segment) {
-      TrySnc(idx);
-      TryCustomRules(idx);
-    }
-  }
-
- private:
-  const ParsedQuery& Q(size_t idx) const { return parsed_.queries[idx]; }
-
-  /// Attempts to start a Stifle instance at segment position `i`;
-  /// returns how many positions were consumed (0 = no instance).
-  size_t TryStifle(const std::vector<size_t>& segment, size_t i) {
-    if (i + 1 >= segment.size()) return 0;
-    const ParsedQuery& first = Q(segment[i]);
-    if (!StifleEligible(first, schema_, options_.require_key_attribute)) return 0;
-    const ParsedQuery& second = Q(segment[i + 1]);
-    if (!StifleEligible(second, schema_, options_.require_key_attribute)) return 0;
-
-    const sql::QueryFacts& f1 = first.facts;
-    const sql::QueryFacts& f2 = second.facts;
-
-    // Classify the adjacent pair, then extend greedily.
-    AntipatternType type;
-    if (f1.sc == f2.sc && f1.fc == f2.fc && f1.tmpl.swc == f2.tmpl.swc && f1.wc != f2.wc) {
-      type = AntipatternType::kDwStifle;
-    } else if (f1.fc == f2.fc && f1.wc == f2.wc && f1.tmpl.ssc != f2.tmpl.ssc) {
-      type = AntipatternType::kDsStifle;
-    } else if (f1.wc == f2.wc && f1.fc != f2.fc) {
-      type = AntipatternType::kDfStifle;
-    } else {
-      return 0;
-    }
-
-    AntipatternInstance instance;
-    instance.type = type;
-    instance.query_indices = {segment[i], segment[i + 1]};
-    std::unordered_set<std::string> seen_ssc = {f1.tmpl.ssc, f2.tmpl.ssc};
-    std::unordered_set<std::string> seen_fc = {f1.fc, f2.fc};
-    std::unordered_set<std::string> seen_wc = {f1.wc, f2.wc};
-
-    size_t j = i + 2;
-    while (j < segment.size()) {
-      const ParsedQuery& next = Q(segment[j]);
-      if (!StifleEligible(next, schema_, options_.require_key_attribute)) break;
-      const sql::QueryFacts& fn = next.facts;
-      bool extends = false;
-      switch (type) {
-        case AntipatternType::kDwStifle:
-          extends = fn.sc == f1.sc && fn.fc == f1.fc && fn.tmpl.swc == f1.tmpl.swc &&
-                    seen_wc.insert(fn.wc).second;
-          break;
-        case AntipatternType::kDsStifle:
-          extends = fn.fc == f1.fc && fn.wc == f1.wc && seen_ssc.insert(fn.tmpl.ssc).second;
-          break;
-        case AntipatternType::kDfStifle:
-          extends = fn.wc == f1.wc && seen_fc.insert(fn.fc).second;
-          break;
-        default:
-          break;
-      }
-      if (!extends) break;
-      instance.query_indices.push_back(segment[j]);
-      ++j;
-    }
-
-    size_t consumed = instance.query_indices.size();
-    out_.push_back(std::move(instance));
-    return consumed;
-  }
-
-  /// Attempts a CTH candidate chain headed at segment position `i`. The
-  /// chain extends over follow-ups satisfying Def. 15 (CP = 1, equality,
-  /// SQ ≠ SQ1); the information-flow heuristic only demands that *some*
-  /// follow-up filters on an attribute the head exposed — in the paper's
-  /// Table 1, only the last query references the selected empId.
-  size_t TryCth(const std::vector<size_t>& segment, size_t i) {
-    if (i + 1 >= segment.size()) return 0;
-    const ParsedQuery& head = Q(segment[i]);
-    AntipatternInstance instance;
-    instance.type = AntipatternType::kCthCandidate;
-    instance.query_indices = {segment[i]};
-    bool linked = false;
-    size_t j = i + 1;
-    while (j < segment.size()) {
-      const ParsedQuery& followup = Q(segment[j]);
-      if (followup.template_id == head.template_id) break;  // Def. 15: SQ1 ≠ SQ2
-      if (!CthFollowupEligible(followup)) break;
-      linked = linked || CthLinked(head, followup);
-      instance.query_indices.push_back(segment[j]);
-      ++j;
-    }
-    if (instance.query_indices.size() < 2 || !linked) return 0;
-    size_t consumed = instance.query_indices.size();
-    out_.push_back(std::move(instance));
-    return consumed;
-  }
-
-  void TryCustomRules(size_t query_index) {
-    const ParsedQuery& query = Q(query_index);
-    for (size_t r = 0; r < options_.custom_rules.size(); ++r) {
-      if (!options_.custom_rules[r].detect) continue;
-      if (!options_.custom_rules[r].detect(query)) continue;
-      AntipatternInstance instance;
-      instance.type = AntipatternType::kCustom;
-      instance.custom_rule = static_cast<int>(r);
-      instance.query_indices = {query_index};
-      out_.push_back(std::move(instance));
-    }
-  }
-
-  void TrySnc(size_t query_index) {
-    const ParsedQuery& query = Q(query_index);
-    for (const auto& pred : query.facts.predicates) {
-      if (pred.compares_to_null_literal) {
-        AntipatternInstance instance;
-        instance.type = AntipatternType::kSnc;
-        instance.query_indices = {query_index};
-        out_.push_back(std::move(instance));
-        return;
-      }
-    }
-  }
-
-  const ParsedLog& parsed_;
-  const catalog::Schema* schema_;
-  const DetectorOptions& options_;
-  uint32_t user_id_;
-  std::vector<AntipatternInstance>& out_;
+/// Evaluation order of one resolved detector set: sequence detectors
+/// grouped into passes (shared scan_group = one pass, tried in set order
+/// at every position with first-match-wins; empty group = a pass of its
+/// own), then per-query detectors in set order. The default set yields
+/// passes [dw, ds, df] and [cth] followed by per-query snc — exactly the
+/// pre-registry scanner's stifle pass, CTH pass, and per-query loop.
+struct ScanPlan {
+  std::vector<std::vector<uint32_t>> sequence_passes;  // detector set indices
+  std::vector<uint32_t> per_query;                     // detector set indices
 };
 
-}  // namespace
+ScanPlan BuildScanPlan(const DetectorSet& set) {
+  ScanPlan plan;
+  std::unordered_map<std::string, size_t> group_pass;
+  for (uint32_t d = 0; d < set.size(); ++d) {
+    const DetectorInfo& info = set.info(d);
+    if (info.scope == DetectorScope::kPerQuery) {
+      plan.per_query.push_back(d);
+      continue;
+    }
+    if (info.scan_group.empty()) {
+      plan.sequence_passes.push_back({d});
+      continue;
+    }
+    auto [it, inserted] = group_pass.try_emplace(info.scan_group, plan.sequence_passes.size());
+    if (inserted) plan.sequence_passes.push_back({});
+    plan.sequence_passes[it->second].push_back(d);
+  }
+  return plan;
+}
 
-namespace {
+/// Runs the scan plan over one gap-bounded segment of one user's stream.
+void ScanSegment(const std::vector<size_t>& segment, const DetectorSet& set,
+                 const ScanPlan& plan, const DetectorContext& ctx,
+                 std::vector<AntipatternInstance>& out) {
+  SegmentView view(ctx.parsed, segment);
+  // Independent passes: a query may belong to both a CTH candidate and
+  // a Stifle (paper Table 2) — the solver later prefers the solvable
+  // instance, which reproduces Table 3.
+  for (const auto& pass : plan.sequence_passes) {
+    size_t i = 0;
+    while (i < segment.size()) {
+      size_t advanced = 0;
+      for (uint32_t d : pass) {
+        AntipatternInstance instance;
+        instance.detector = d;
+        instance.type = set.info(d).legacy_type;
+        instance.custom_rule = set.info(d).custom_rule;
+        advanced = set.at(d).ScanAt(view, i, ctx, &instance);
+        if (advanced != 0) {
+          out.push_back(std::move(instance));
+          break;
+        }
+      }
+      i += advanced == 0 ? 1 : advanced;
+    }
+  }
+  for (size_t pos = 0; pos < segment.size(); ++pos) {
+    for (uint32_t d : plan.per_query) {
+      AntipatternInstance instance;
+      instance.detector = d;
+      instance.type = set.info(d).legacy_type;
+      instance.custom_rule = set.info(d).custom_rule;
+      instance.query_indices = {segment[pos]};
+      if (set.at(d).MatchQuery(view.at(pos), ctx, &instance)) {
+        out.push_back(std::move(instance));
+      }
+    }
+  }
+}
 
 /// Scans the streams of users [user_begin, user_end) into `out`,
 /// emitting instances in the serial order (users ascending, per-user
-/// scanner order).
-void ScanUserRange(const ParsedLog& parsed, const catalog::Schema* schema,
-                   const DetectorOptions& options, uint32_t user_begin,
-                   uint32_t user_end, std::vector<AntipatternInstance>& out) {
+/// segment order).
+void ScanUserRange(const ParsedLog& parsed, const DetectorSet& set, const ScanPlan& plan,
+                   const DetectorContext& ctx, uint32_t user_begin, uint32_t user_end,
+                   std::vector<AntipatternInstance>& out) {
   for (uint32_t user_id = user_begin; user_id < user_end; ++user_id) {
     const auto& stream = parsed.user_streams[user_id];
     if (stream.empty()) continue;
-    SegmentScanner scanner(parsed, schema, options, user_id, out);
 
     std::vector<size_t> segment;
     int64_t prev_time = 0;
     for (size_t idx : stream) {
       const ParsedQuery& query = parsed.queries[idx];
-      if (!segment.empty() && query.timestamp_ms - prev_time > options.max_gap_ms) {
-        scanner.Scan(segment);
+      if (!segment.empty() && query.timestamp_ms - prev_time > ctx.options.max_gap_ms) {
+        ScanSegment(segment, set, plan, ctx, out);
         segment.clear();
       }
       segment.push_back(idx);
       prev_time = query.timestamp_ms;
     }
-    scanner.Scan(segment);
+    ScanSegment(segment, set, plan, ctx, out);
   }
 }
 
@@ -316,9 +239,14 @@ void ScanUserRange(const ParsedLog& parsed, const catalog::Schema* schema,
 AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStore& store,
                                      const catalog::Schema* schema,
                                      const DetectorOptions& options,
+                                     std::shared_ptr<const DetectorSet> detectors,
                                      util::ThreadPool* pool) {
   (void)store;
   AntipatternReport report;
+  report.detectors = std::move(detectors);
+  const DetectorSet& set = *report.detectors;
+  const ScanPlan plan = BuildScanPlan(set);
+  const DetectorContext ctx{parsed, schema, options};
 
   const size_t user_count = parsed.user_streams.size();
   size_t num_shards = 1;
@@ -327,7 +255,7 @@ AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStor
     if (num_shards == 0) num_shards = 1;
   }
   if (num_shards <= 1) {
-    ScanUserRange(parsed, schema, options, 0, static_cast<uint32_t>(user_count),
+    ScanUserRange(parsed, set, plan, ctx, 0, static_cast<uint32_t>(user_count),
                   report.instances);
   } else {
     // Map over contiguous user ranges, then concatenate in shard order:
@@ -336,7 +264,7 @@ AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStor
     std::vector<InstanceList> shards = util::MapShards<InstanceList>(
         pool, user_count, num_shards, [&](size_t, size_t begin, size_t end) {
           InstanceList local;
-          ScanUserRange(parsed, schema, options, static_cast<uint32_t>(begin),
+          ScanUserRange(parsed, set, plan, ctx, static_cast<uint32_t>(begin),
                         static_cast<uint32_t>(end), local);
           return local;
         });
@@ -354,13 +282,12 @@ AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStor
                             parsed.queries[b.query_indices.front()].record_index;
                    });
 
-  // Drop weakly-supported CTH candidates (one-off organic coincidences).
-  std::unordered_map<uint64_t, uint64_t> cth_support;
+  // Drop weakly-supported candidates of min-support-filtered detectors
+  // (CTH: one-off organic coincidences).
+  std::unordered_map<uint64_t, uint64_t> support;
   for (const auto& instance : report.instances) {
-    if (instance.type != AntipatternType::kCthCandidate) continue;
-    uint64_t key =
-        SignatureKey(instance.type, instance.custom_rule, SignatureOf(parsed, instance));
-    ++cth_support[key];
+    if (!set.info(instance.detector).min_support_filtered) continue;
+    ++support[SignatureKey(instance.detector, SignatureOf(parsed, instance))];
   }
 
   std::unordered_map<uint64_t, size_t> distinct_index;
@@ -368,14 +295,15 @@ AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStor
   kept.reserve(report.instances.size());
   for (auto& instance : report.instances) {
     std::vector<uint64_t> signature = SignatureOf(parsed, instance);
-    uint64_t key = SignatureKey(instance.type, instance.custom_rule, signature);
-    if (instance.type == AntipatternType::kCthCandidate &&
-        cth_support[key] < options.cth_min_support) {
+    uint64_t key = SignatureKey(instance.detector, signature);
+    if (set.info(instance.detector).min_support_filtered &&
+        support[key] < options.cth_min_support) {
       continue;
     }
     auto [it, inserted] = distinct_index.try_emplace(key, report.distinct.size());
     if (inserted) {
       DistinctAntipattern d;
+      d.detector = instance.detector;
       d.type = instance.type;
       d.custom_rule = instance.custom_rule;
       d.template_ids = std::move(signature);
@@ -393,13 +321,13 @@ AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStor
   report.instances = std::move(kept);
 
   // query → instance map. Solvable instances claim their queries first
-  // (Sec. 5.5: when types overlap, the solvable rewrite proceeds); CTH
-  // candidates only annotate queries nothing else claimed.
+  // (Sec. 5.5: when types overlap, the solvable rewrite proceeds);
+  // detect-only instances annotate queries nothing else claimed.
   report.instance_of_query.assign(parsed.queries.size(), 0);
   for (int pass = 0; pass < 2; ++pass) {
     for (size_t k = 0; k < report.instances.size(); ++k) {
       const AntipatternInstance& instance = report.instances[k];
-      bool solvable = InstanceSolvable(instance, options.custom_rules);
+      bool solvable = set.Solvable(instance);
       if ((pass == 0) != solvable) continue;
       for (size_t idx : instance.query_indices) {
         if (report.instance_of_query[idx] == 0) {
@@ -409,6 +337,18 @@ AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStor
     }
   }
   return report;
+}
+
+AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStore& store,
+                                     const catalog::Schema* schema,
+                                     const DetectorOptions& options,
+                                     util::ThreadPool* pool) {
+  Result<std::shared_ptr<const DetectorSet>> set = DetectorSet::Resolve(options);
+  // The ids in options.detector_ids must resolve (the default empty
+  // list always does). Callers with user-supplied ids validate them via
+  // ValidatePipelineOptions and use the explicit-set overload.
+  assert(set.ok() && "DetectAntipatterns with unresolvable detector ids");
+  return DetectAntipatterns(parsed, store, schema, options, std::move(set.value()), pool);
 }
 
 }  // namespace sqlog::core

@@ -2,66 +2,48 @@
 #define SQLOG_CORE_ANTIPATTERN_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "catalog/schema.h"
+#include "core/detector.h"
 #include "core/rules.h"
 #include "core/template_store.h"
 
 namespace sqlog::core {
 
-/// Antipattern classes implemented per Sec. 4.2 (Defs. 11-16).
-enum class AntipatternType {
-  kDwStifle,      // Def. 12: same SELECT/FROM, different WHERE constants
-  kDsStifle,      // Def. 13: same FROM/WHERE, different SELECT
-  kDfStifle,      // Def. 14: different FROM, same WHERE
-  kCthCandidate,  // Def. 15: dependent follow-up chain (candidate only)
-  kSnc,           // Def. 16: searching nullable columns with = / <> NULL
-  kCustom,        // a registered CustomRule hit (Sec. 5.4 extension point)
-};
+// AntipatternType, AntipatternInstance, and DetectorOptions live in
+// core/detector.h together with the plugin interface; this header keeps
+// the detection driver and the report types.
 
-/// Returns a stable display name ("DW-Stifle", ...).
+/// Returns the display name of the built-in detector behind a legacy
+/// type ("DW-Stifle", ...), looked up from the registry metadata.
+/// Deprecated: prefer DetectorSet::info(instance.detector).display_name,
+/// which also covers detectors beyond the paper's set.
 const char* AntipatternTypeName(AntipatternType type);
 
-/// True for types with an automatic solving rule (CTH has none).
+/// True for legacy types whose built-in detector declares a solving
+/// rule (CTH has none). Deprecated: prefer DetectorSet::Solvable.
 bool IsSolvable(AntipatternType type);
-
-/// One concrete occurrence: the member queries in log order.
-struct AntipatternInstance {
-  AntipatternType type = AntipatternType::kDwStifle;
-  std::vector<size_t> query_indices;  // indices into ParsedLog.queries
-  int custom_rule = -1;               // index into DetectorOptions::custom_rules
-};
 
 /// Aggregation of instances sharing a template signature — the unit the
 /// paper's "count of distinct DW-Stifle" statistics and Table 6 use.
 struct DistinctAntipattern {
+  /// Index into the DetectorSet the report was produced with.
+  uint32_t detector = 0;
+  /// Legacy class of the producing detector. Deprecated: prefer
+  /// `detector`.
   AntipatternType type = AntipatternType::kDwStifle;
   std::vector<uint64_t> template_ids;  // distinct templates, first-seen order
   uint64_t instance_count = 0;
   uint64_t query_count = 0;
   std::unordered_set<uint32_t> users;
   size_t sample_query = 0;  // a ParsedQuery index from some instance
-  int custom_rule = -1;     // for kCustom aggregations
+  /// Deprecated compat field for kCustom aggregations.
+  int custom_rule = -1;
 
   size_t user_popularity() const { return users.size(); }
-};
-
-/// Detector tuning.
-struct DetectorOptions {
-  /// Enforce Def. 11 axiom 3 (the filter column must be a key attribute,
-  /// looked up in the schema catalog). Disabling it measures the
-  /// false-positive cost the paper discusses.
-  bool require_key_attribute = true;
-  /// Queries of one instance must follow each other within this gap.
-  int64_t max_gap_ms = 10 * 60 * 1000;
-  /// Distinct CTH candidates below this instance count are dropped
-  /// (one-off organic coincidences).
-  uint64_t cth_min_support = 3;
-  /// Additional single-query rules evaluated on every parsed query
-  /// (Sec. 5.4: the framework accommodates new antipatterns).
-  std::vector<CustomRule> custom_rules;
 };
 
 /// Full detector output.
@@ -73,15 +55,27 @@ struct AntipatternReport {
   /// A query belongs to at most one instance (first-wins, Sec. 5.5).
   std::vector<uint32_t> instance_of_query;
 
-  /// Convenience counters.
+  /// The detector set the report was produced with; null only for
+  /// hand-built reports (legacy tests). Kept on the report so
+  /// per-instance metadata lookups never dangle.
+  std::shared_ptr<const DetectorSet> detectors;
+
+  /// Legacy-type counters (deprecated: prefer the per-detector
+  /// overloads below, which distinguish detectors sharing kCustom).
   uint64_t CountInstances(AntipatternType type) const;
   uint64_t CountQueries(AntipatternType type) const;
   uint64_t CountDistinct(AntipatternType type) const;
+
+  /// Per-detector counters over the set index.
+  uint64_t InstancesOf(uint32_t detector) const;
+  uint64_t QueriesOf(uint32_t detector) const;
+  uint64_t DistinctOf(uint32_t detector) const;
 };
 
-/// Runs all detectors over per-user gap-bounded segments. `schema` may
-/// be null — the key-attribute axiom is then skipped (as if
-/// require_key_attribute were false).
+/// Runs the resolved detector set over per-user gap-bounded segments.
+/// `schema` may be null — schema-aware axioms are then skipped (as if
+/// require_key_attribute were false; schema-aware detectors match
+/// nothing).
 ///
 /// With a non-null `pool`, scanning is sharded over contiguous user-id
 /// ranges (every instance lives within one user's stream, Defs. 11-16)
@@ -91,10 +85,20 @@ struct AntipatternReport {
 AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStore& store,
                                      const catalog::Schema* schema,
                                      const DetectorOptions& options,
+                                     std::shared_ptr<const DetectorSet> detectors,
+                                     util::ThreadPool* pool = nullptr);
+
+/// Deprecated compat overload: resolves the detector set from `options`
+/// itself (options.detector_ids must be valid — the default empty list
+/// always is).
+AntipatternReport DetectAntipatterns(const ParsedLog& parsed, const TemplateStore& store,
+                                     const catalog::Schema* schema,
+                                     const DetectorOptions& options,
                                      util::ThreadPool* pool = nullptr);
 
 /// True when an instance has a solving rule: built-in types consult
-/// IsSolvable; kCustom consults its rule's rewrite hook.
+/// IsSolvable; kCustom consults its rule's rewrite hook. Deprecated:
+/// prefer AntipatternReport::detectors->Solvable(instance).
 bool InstanceSolvable(const AntipatternInstance& instance,
                       const std::vector<CustomRule>& rules);
 

@@ -99,6 +99,7 @@ void BuildRecipes(const sql::TokenStream& tokens, const sql::QueryFacts& facts,
   entry.tmpl = facts.tmpl;
   entry.where_conjunctive = facts.where_conjunctive;
   entry.selects_star = facts.selects_star;
+  entry.from_item_count = facts.from_item_count;
   entry.selected_columns = facts.selected_columns;
   entry.tables = facts.tables;
   entry.table_functions = facts.table_functions;
@@ -226,6 +227,7 @@ sql::QueryFacts RenderFacts(const ParseCacheEntry& entry, const sql::TokenStream
   facts.tmpl = entry.tmpl;
   facts.where_conjunctive = entry.where_conjunctive;
   facts.selects_star = entry.selects_star;
+  facts.from_item_count = entry.from_item_count;
   facts.selected_columns = entry.selected_columns;
   facts.tables = entry.tables;
   facts.table_functions = entry.table_functions;

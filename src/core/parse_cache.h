@@ -82,6 +82,7 @@ struct ParseCacheEntry {
   sql::QueryTemplate tmpl;
   bool where_conjunctive = true;
   bool selects_star = false;
+  int from_item_count = 0;
   std::vector<std::string> selected_columns;
   std::vector<std::string> tables;
   std::vector<std::string> table_functions;

@@ -15,7 +15,12 @@ bool PipelineResult::PatternIsAntipattern(size_t pattern_index, bool solvable_on
   // template in a longer signature does not flag the pattern: a CTH
   // head also used organically stays a pattern.
   for (const auto& d : antipatterns.distinct) {
-    if (solvable_only && !IsSolvable(d.type)) continue;
+    if (solvable_only) {
+      bool solvable = antipatterns.detectors != nullptr
+                          ? antipatterns.detectors->info(d.detector).solvable
+                          : IsSolvable(d.type);
+      if (!solvable) continue;
+    }
     if (pattern.template_ids == d.template_ids) return true;
   }
   return false;
@@ -49,6 +54,10 @@ Status ValidatePipelineOptions(const PipelineOptions& options) {
           StrFormat("custom rule #%zu has no detect hook", r));
     }
   }
+  // Resolve the detector selection so unknown/duplicate ids surface at
+  // validation time rather than mid-run.
+  Result<std::shared_ptr<const DetectorSet>> detectors = DetectorSet::Resolve(options.detector);
+  if (!detectors.ok()) return detectors.status();
   if (options.batch_size == 0) {
     return Status::InvalidArgument("batch_size must be >= 1");
   }
@@ -62,6 +71,11 @@ Status ValidatePipelineOptions(const PipelineOptions& options) {
       return Status::InvalidArgument(
           "streaming mode does not support custom rules (their hooks read "
           "ASTs the streaming parser releases)");
+    }
+    if (detectors.value()->AnyNeedsAst()) {
+      return Status::InvalidArgument(
+          "streaming mode does not support detectors that read per-query "
+          "ASTs (the streaming parser releases them)");
     }
   }
   return Status::OK();
@@ -91,9 +105,10 @@ std::unique_ptr<util::ThreadPool> MakePool(size_t num_threads) {
 /// overview statistics.
 void AnalyzeParsed(const PipelineOptions& options, const catalog::Schema* schema,
                    util::ThreadPool* pool, const ParsedLog& parsed,
-                   const TemplateStore& templates, std::vector<Pattern>& patterns,
-                   AntipatternReport& antipatterns, SwsReport& sws,
-                   PipelineStats& stats) {
+                   const TemplateStore& templates,
+                   std::shared_ptr<const DetectorSet> detectors,
+                   std::vector<Pattern>& patterns, AntipatternReport& antipatterns,
+                   SwsReport& sws, PipelineStats& stats) {
   // Step 3 (Sec. 5.4): mine patterns.
   if (options.mine_patterns) {
     patterns = MinePatterns(parsed, options.miner, pool);
@@ -105,7 +120,8 @@ void AnalyzeParsed(const PipelineOptions& options, const catalog::Schema* schema
   }
 
   // Step 4: detect antipatterns.
-  antipatterns = DetectAntipatterns(parsed, templates, schema, options.detector, pool);
+  antipatterns = DetectAntipatterns(parsed, templates, schema, options.detector,
+                                    std::move(detectors), pool);
   stats.distinct_dw = antipatterns.CountDistinct(AntipatternType::kDwStifle);
   stats.queries_dw = antipatterns.CountQueries(AntipatternType::kDwStifle);
   stats.distinct_ds = antipatterns.CountDistinct(AntipatternType::kDsStifle);
@@ -117,6 +133,20 @@ void AnalyzeParsed(const PipelineOptions& options, const catalog::Schema* schema
   stats.distinct_snc = antipatterns.CountDistinct(AntipatternType::kSnc);
   stats.queries_snc = antipatterns.CountQueries(AntipatternType::kSnc);
 
+  // Registry additions (legacy_type kCustom, not a custom-rule adapter)
+  // get their own row pair; empty for the default set, so the
+  // golden-compared table is unchanged there.
+  const DetectorSet& set = *antipatterns.detectors;
+  for (uint32_t d = 0; d < set.size(); ++d) {
+    const DetectorInfo& info = set.info(d);
+    if (info.legacy_type != AntipatternType::kCustom || info.custom_rule >= 0) continue;
+    PipelineStats::DetectorStatsRow row;
+    row.label = info.display_name;
+    row.distinct_count = antipatterns.DistinctOf(d);
+    row.query_count = antipatterns.QueriesOf(d);
+    stats.extra_detectors.push_back(std::move(row));
+  }
+
   // SWS detection (Sec. 6.5) over the mined patterns.
   if (options.mine_patterns) {
     sws = DetectSws(patterns, parsed.queries.size(), options.sws);
@@ -127,6 +157,9 @@ void AnalyzeParsed(const PipelineOptions& options, const catalog::Schema* schema
 
 Result<PipelineResult> Pipeline::Run(const log::QueryLog& raw_log) const {
   SQLOG_RETURN_IF_ERROR_R(ValidatePipelineOptions(options_));
+  Result<std::shared_ptr<const DetectorSet>> detectors =
+      DetectorSet::Resolve(options_.detector);
+  if (!detectors.ok()) return detectors.status();  // unreachable post-validation
 
   std::unique_ptr<util::ThreadPool> owned_pool = MakePool(options_.num_threads);
   util::ThreadPool* pool = owned_pool.get();
@@ -147,11 +180,11 @@ Result<PipelineResult> Pipeline::Run(const log::QueryLog& raw_log) const {
   result.stats.after_dedup_size = dedup_stats.output_count;
   result.stats.duplicates_removed = dedup_stats.removed_count;
 
-  // Step 2 (Sec. 5.3): parse statements, build templates. Custom rules
-  // force the cache off: their detect hooks read per-query ASTs, which
-  // cache hits never build.
+  // Step 2 (Sec. 5.3): parse statements, build templates. AST-reading
+  // detectors (legacy custom rules) force the cache off: their hooks
+  // read per-query ASTs, which cache hits never build.
   ParseCacheOptions cache_options;
-  cache_options.enabled = options_.parse_cache && options_.detector.custom_rules.empty();
+  cache_options.enabled = options_.parse_cache && !detectors.value()->AnyNeedsAst();
   result.parsed = ParseLog(result.pre_clean, result.templates, pool,
                            options_.max_parse_diagnostics, cache_options);
   result.stats.select_count = result.parsed.queries.size();
@@ -161,7 +194,8 @@ Result<PipelineResult> Pipeline::Run(const log::QueryLog& raw_log) const {
 
   // Steps 3-4 + SWS (shared with the streaming path).
   AnalyzeParsed(options_, schema_, pool, result.parsed, result.templates,
-                result.patterns, result.antipatterns, result.sws, result.stats);
+                detectors.value(), result.patterns, result.antipatterns, result.sws,
+                result.stats);
 
   // Step 5 (Sec. 5.5): solve antipatterns.
   SolveOutcome outcome = SolveAntipatterns(result.pre_clean, result.parsed,
@@ -177,11 +211,11 @@ Result<PipelineResult> Pipeline::Run(const log::QueryLog& raw_log) const {
     TemplateStore pass_templates;
     ParsedLog pass_parsed =
         ParseLog(result.clean_log, pass_templates, pool, /*max_diagnostics=*/0, cache_options);
-    AntipatternReport pass_report =
-        DetectAntipatterns(pass_parsed, pass_templates, schema_, options_.detector, pool);
+    AntipatternReport pass_report = DetectAntipatterns(
+        pass_parsed, pass_templates, schema_, options_.detector, detectors.value(), pool);
     uint64_t solvable = 0;
     for (const auto& instance : pass_report.instances) {
-      if (InstanceSolvable(instance, options_.detector.custom_rules)) ++solvable;
+      if (pass_report.detectors->Solvable(instance)) ++solvable;
     }
     if (solvable == 0) break;
     SolveOutcome pass_outcome = SolveAntipatterns(result.clean_log, pass_parsed,
@@ -202,6 +236,9 @@ Result<StreamingRunResult> Pipeline::RunStreaming(const std::string& input_path,
   PipelineOptions options = options_;
   options.streaming = true;  // enforce the streaming-mode restrictions
   SQLOG_RETURN_IF_ERROR_R(ValidatePipelineOptions(options));
+  Result<std::shared_ptr<const DetectorSet>> detectors =
+      DetectorSet::Resolve(options.detector);
+  if (!detectors.ok()) return detectors.status();  // unreachable post-validation
 
   std::unique_ptr<util::ThreadPool> owned_pool = MakePool(options.num_threads);
   util::ThreadPool* pool = owned_pool.get();
@@ -216,7 +253,9 @@ Result<StreamingRunResult> Pipeline::RunStreaming(const std::string& input_path,
   SQLOG_RETURN_IF_ERROR_R(reader.Open(input_path));
   StreamingDeduper deduper(options.dedup);
   ParseCacheOptions cache_options;
-  cache_options.enabled = options.parse_cache;  // no custom rules in streaming mode
+  // Validation rejected AST-reading detectors in streaming mode, so the
+  // cache can always be honoured here.
+  cache_options.enabled = options.parse_cache;
   StreamingParser parser(result.templates, options.max_parse_diagnostics, pool,
                          cache_options);
   std::vector<uint8_t> kept;  // per raw record, consulted by pass 2
@@ -275,7 +314,8 @@ Result<StreamingRunResult> Pipeline::RunStreaming(const std::string& input_path,
 
   // Steps 3-4 + SWS run on the compact AST-free state, unchanged.
   AnalyzeParsed(options, schema_, pool, result.parsed, result.templates,
-                result.patterns, result.antipatterns, result.sws, result.stats);
+                detectors.value(), result.patterns, result.antipatterns, result.sws,
+                result.stats);
 
   // Pass 2: re-read the input, skip the duplicates found in pass 1, and
   // solve + emit the clean/removal logs incrementally.

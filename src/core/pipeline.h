@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "catalog/schema.h"
 #include "core/antipattern.h"
@@ -48,9 +49,9 @@ struct PipelineOptions {
   /// skip the parser and have their facts rendered from cached template
   /// recipes. Outputs are byte-identical with the cache on or off — this
   /// is purely a performance escape hatch (`sqlog --no-parse-cache`).
-  /// Ignored (treated as false) when custom detector rules are present,
-  /// because their hooks read per-query ASTs that cache hits never
-  /// build.
+  /// Ignored (treated as false) when the resolved detector set needs
+  /// per-query ASTs (DetectorSet::AnyNeedsAst — legacy custom rules),
+  /// because cache hits never build them.
   bool parse_cache = true;
   /// Streaming ingestion (Pipeline::RunStreaming): the raw log is never
   /// held in memory — records are read, deduplicated, and parsed in
@@ -167,6 +168,12 @@ class PipelineBuilder {
   }
   PipelineBuilder& WithDetector(DetectorOptions detector) {
     options_.detector = std::move(detector);
+    return *this;
+  }
+  /// Selects the detectors to run by registry id, in evaluation order
+  /// (empty = the paper's default set). Ids are validated by Build().
+  PipelineBuilder& Detectors(std::vector<std::string> ids) {
+    options_.detector.detector_ids = std::move(ids);
     return *this;
   }
   PipelineBuilder& WithSws(SwsOptions sws) {

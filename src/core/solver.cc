@@ -63,6 +63,33 @@ const sql::TableRef* SingleTable(const sql::SelectStatement& stmt) {
   return static_cast<const sql::TableRef*>(stmt.from_items[0].get());
 }
 
+/// Solvability of an instance under `report`: the report's detector set
+/// when present, the legacy type/rule path for hand-built reports.
+bool ReportSolvable(const AntipatternReport& report, const AntipatternInstance& instance,
+                    const std::vector<CustomRule>& custom_rules) {
+  if (report.detectors != nullptr) return report.detectors->Solvable(instance);
+  return InstanceSolvable(instance, custom_rules);
+}
+
+/// Dispatches the rewrite of one instance: through the report's
+/// detector set when present, else through the legacy type switch.
+Result<std::string> RewriteInstance(const AntipatternReport& report,
+                                    const AntipatternInstance& instance,
+                                    const std::vector<const ParsedQuery*>& members,
+                                    const std::vector<CustomRule>& custom_rules) {
+  if (report.detectors != nullptr) return report.detectors->Rewrite(instance, members);
+  switch (instance.type) {
+    case AntipatternType::kDwStifle: return RewriteDwStifle(members);
+    case AntipatternType::kDsStifle: return RewriteDsStifle(members);
+    case AntipatternType::kDfStifle: return RewriteDfStifle(members);
+    case AntipatternType::kSnc: return RewriteSnc(*members[0]);
+    case AntipatternType::kCustom:
+      return custom_rules[static_cast<size_t>(instance.custom_rule)].rewrite(*members[0]);
+    case AntipatternType::kCthCandidate: break;
+  }
+  return Status::Internal("unsolvable instance dispatched to RewriteInstance");
+}
+
 }  // namespace
 
 Result<std::string> RewriteDwStifle(const std::vector<const ParsedQuery*>& members) {
@@ -290,7 +317,7 @@ SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& 
   std::unordered_set<uint32_t> failed;
   for (size_t k = 0; k < report.instances.size(); ++k) {
     const AntipatternInstance& instance = report.instances[k];
-    if (!InstanceSolvable(instance, custom_rules)) {
+    if (!ReportSolvable(report, instance, custom_rules)) {
       ++outcome.stats.instances_unsolvable;
       continue;
     }
@@ -309,24 +336,15 @@ SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& 
     if (!members_ok) {
       rewrite = Status::Internal("instance member no longer parses");
     } else {
-      switch (instance.type) {
-        case AntipatternType::kDwStifle: rewrite = RewriteDwStifle(members); break;
-        case AntipatternType::kDsStifle: rewrite = RewriteDsStifle(members); break;
-        case AntipatternType::kDfStifle: rewrite = RewriteDfStifle(members); break;
-        case AntipatternType::kSnc: rewrite = RewriteSnc(*members[0]); break;
-        case AntipatternType::kCustom:
-          rewrite = custom_rules[static_cast<size_t>(instance.custom_rule)].rewrite(
-              *members[0]);
-          break;
-        case AntipatternType::kCthCandidate: break;
-      }
+      rewrite = RewriteInstance(report, instance, members, custom_rules);
     }
     uint32_t id = static_cast<uint32_t>(k + 1);
     if (rewrite.ok()) {
       rewritten[id] = std::move(rewrite.value());
       ++outcome.stats.instances_solved;
-      if (instance.type == AntipatternType::kSnc ||
-          instance.type == AntipatternType::kCustom) {
+      // Single-query instances are fixed in place (SNC, per-query
+      // rules); multi-query instances merge into their first member.
+      if (instance.query_indices.size() == 1) {
         ++outcome.stats.queries_rewritten_in_place;
       } else {
         outcome.stats.queries_merged += instance.query_indices.size() - 1;
@@ -349,7 +367,7 @@ SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& 
     }
     const AntipatternInstance& instance = report.instances[m.instance_id - 1];
     bool solvable =
-        InstanceSolvable(instance, custom_rules) && failed.count(m.instance_id) == 0;
+        ReportSolvable(report, instance, custom_rules) && failed.count(m.instance_id) == 0;
     if (!solvable) {
       // CTH candidates (and failed rewrites) stay in the clean log but
       // leave the removal log.
@@ -385,7 +403,7 @@ StreamingSolver::StreamingSolver(ParsedLog& parsed, const AntipatternReport& rep
   // deferred until its last listed member streams past.
   for (size_t k = 0; k < report_.instances.size(); ++k) {
     const AntipatternInstance& instance = report_.instances[k];
-    if (!InstanceSolvable(instance, /*rules=*/{})) {
+    if (!ReportSolvable(report_, instance, /*custom_rules=*/{})) {
       ++stats_.instances_unsolvable;
       continue;
     }
@@ -437,7 +455,7 @@ Status StreamingSolver::Feed(const log::LogRecord& record) {
     slot.to_removal = true;
   } else {
     const AntipatternInstance& instance = report_.instances[claiming - 1];
-    if (!InstanceSolvable(instance, /*rules=*/{})) {
+    if (!ReportSolvable(report_, instance, /*custom_rules=*/{})) {
       // CTH candidates stay in the clean log but leave the removal log.
       slot.resolved = true;
       slot.to_clean = true;
@@ -460,19 +478,15 @@ void StreamingSolver::ResolveInstance(uint32_t instance_id) {
   members.reserve(instance.query_indices.size());
   for (size_t idx : instance.query_indices) members.push_back(&parsed_.queries[idx]);
 
-  Result<std::string> rewrite = Status::Internal("unset");
-  switch (instance.type) {
-    case AntipatternType::kDwStifle: rewrite = RewriteDwStifle(members); break;
-    case AntipatternType::kDsStifle: rewrite = RewriteDsStifle(members); break;
-    case AntipatternType::kDfStifle: rewrite = RewriteDfStifle(members); break;
-    case AntipatternType::kSnc: rewrite = RewriteSnc(*members[0]); break;
-    case AntipatternType::kCustom:
-    case AntipatternType::kCthCandidate:
-      break;  // unreachable: custom rules are rejected in streaming mode
-  }
+  // Streaming mode rejects custom rules, so the empty rule vector can
+  // only be consulted by hand-built legacy reports without kCustom.
+  Result<std::string> rewrite = RewriteInstance(report_, instance, members,
+                                                /*custom_rules=*/{});
   if (rewrite.ok()) {
     ++stats_.instances_solved;
-    if (instance.type == AntipatternType::kSnc) {
+    // Mirror SolveAntipatterns: single-query instances are in-place
+    // fixes, multi-query instances merge into their first member.
+    if (instance.query_indices.size() == 1) {
       ++stats_.queries_rewritten_in_place;
     } else {
       stats_.queries_merged += instance.query_indices.size() - 1;

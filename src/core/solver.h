@@ -19,9 +19,9 @@ namespace sqlog::core {
 /// Counters for the solving step.
 struct SolveStats {
   uint64_t instances_solved = 0;
-  uint64_t instances_unsolvable = 0;   // CTH candidates (annotated only)
+  uint64_t instances_unsolvable = 0;   // detect-only hits (CTH, ...; annotated only)
   uint64_t queries_merged = 0;         // statements removed by rewriting
-  uint64_t queries_rewritten_in_place = 0;  // SNC fixes
+  uint64_t queries_rewritten_in_place = 0;  // single-query fixes (SNC, ...)
   uint64_t rewrite_failures = 0;       // instances kept verbatim on error
 };
 
@@ -56,8 +56,12 @@ Result<std::string> RewriteSnc(const ParsedQuery& query);
 /// position of the instance's first query; SNC statements (and solvable
 /// custom-rule hits) are fixed in place; everything else passes through.
 /// Also produces the removal variant. Rewritten/removed records keep
-/// their original metadata. `custom_rules` must be the rule vector the
-/// report was detected with.
+/// their original metadata.
+///
+/// Rewrites dispatch through the report's detector set
+/// (AntipatternReport::detectors); `custom_rules` is the deprecated
+/// fallback consulted only for hand-built reports without a set, and
+/// must then be the rule vector the report was detected with.
 SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& parsed,
                                const AntipatternReport& report,
                                const std::vector<CustomRule>& custom_rules = {});

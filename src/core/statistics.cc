@@ -41,6 +41,12 @@ std::string PipelineStats::ToTable() const {
   out += Row("Count of queries in all candidate CTH", queries_cth);
   out += Row("Count of distinct SNC", distinct_snc);
   out += Row("Count of queries in all SNC", queries_snc);
+  for (const auto& extra : extra_detectors) {
+    out += Row(StrFormat("Count of distinct %s", extra.label.c_str()).c_str(),
+               extra.distinct_count);
+    out += Row(StrFormat("Count of queries in all %s", extra.label.c_str()).c_str(),
+               extra.query_count);
+  }
   out += Row("Instances solved", solve.instances_solved);
   out += Row("Queries merged away by rewriting", solve.queries_merged);
   return out;

@@ -37,6 +37,16 @@ struct PipelineStats {
   uint64_t distinct_snc = 0;
   uint64_t queries_snc = 0;
 
+  /// One row pair per enabled detector beyond the paper's set (registry
+  /// additions like select-star). Empty for the default detector set, so
+  /// the golden-compared table is unchanged there.
+  struct DetectorStatsRow {
+    std::string label;  // the detector's display name
+    uint64_t distinct_count = 0;
+    uint64_t query_count = 0;
+  };
+  std::vector<DetectorStatsRow> extra_detectors;
+
   SolveStats solve;
 
   /// The first PipelineOptions::max_parse_diagnostics per-record parse

@@ -419,6 +419,76 @@ size_t Generator::EmitSncSession(QueryLog& log) {
   return n;
 }
 
+// --- catalog-expansion families (SQLCheck-style antipatterns) -------------------
+//
+// Each family is crafted to hit exactly one of the new per-query
+// detectors: the predicates stay off key columns (or off kEq) so the
+// Stifle scans ignore them, and never compare to NULL literals so SNC
+// stays quiet. Labels are the ground truth for detector_registry_test.
+
+size_t Generator::EmitSelectStarSession(QueryLog& log) {
+  UserClock& user = select_star_users_[rng_.Uniform(select_star_users_.size())];
+  size_t n = 2 + rng_.Uniform(6);
+  for (size_t i = 0; i < n; ++i) {
+    std::string sql =
+        StrFormat("SELECT * FROM specObjAll WHERE z > %s and zErr < %s",
+                  FormatDouble(rng_.NextDouble()).c_str(),
+                  FormatDouble(0.001 + rng_.NextDouble() * 0.01).c_str());
+    Emit(log, user, sql, static_cast<int64_t>(rng_.Uniform(900)),
+         TruthLabel::kSelectStar, InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
+size_t Generator::EmitNullFearSession(QueryLog& log) {
+  UserClock& user = null_fear_users_[rng_.Uniform(null_fear_users_.size())];
+  size_t n = 1 + rng_.Uniform(4);
+  for (size_t i = 0; i < n; ++i) {
+    // Bugs.assigned_to is nullable: `<> k` silently drops the NULL rows.
+    std::string sql =
+        StrFormat("SELECT bugId, status FROM Bugs WHERE assigned_to <> %llu",
+                  static_cast<unsigned long long>(1 + rng_.Uniform(500)));
+    Emit(log, user, sql, static_cast<int64_t>(rng_.Uniform(200)),
+         TruthLabel::kNullFear, InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
+size_t Generator::EmitSpaghettiJoinSession(QueryLog& log) {
+  UserClock& user = spaghetti_users_[rng_.Uniform(spaghetti_users_.size())];
+  size_t n = 1 + rng_.Uniform(4);
+  for (size_t i = 0; i < n; ++i) {
+    // Comma join with no join predicate at all — an implicit cross
+    // product of photoPrimary × specObjAll.
+    std::string sql = StrFormat(
+        "SELECT p.objID, s.z FROM photoPrimary p, specObjAll s WHERE s.z > %s",
+        FormatDouble(rng_.NextDouble()).c_str());
+    Emit(log, user, sql, static_cast<int64_t>(rng_.Uniform(5000)),
+         TruthLabel::kSpaghettiJoin, InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
+size_t Generator::EmitNonSargableSession(QueryLog& log) {
+  UserClock& user = non_sargable_users_[rng_.Uniform(non_sargable_users_.size())];
+  size_t n = 1 + rng_.Uniform(4);
+  for (size_t i = 0; i < n; ++i) {
+    // Arithmetic on the key column defeats the index; the solver can
+    // fold the constant to the other side.
+    std::string sql = StrFormat(
+        "SELECT bugId, status FROM Bugs WHERE bugId + %llu > %llu",
+        static_cast<unsigned long long>(1 + rng_.Uniform(20)),
+        static_cast<unsigned long long>(100 + rng_.Uniform(4000)));
+    Emit(log, user, sql, static_cast<int64_t>(rng_.Uniform(300)),
+         TruthLabel::kNonSargable, InRunGapMs());
+  }
+  SessionPause(user);
+  return n;
+}
+
 size_t Generator::EmitHumanSession(QueryLog& log) {
   UserClock& user = human_users_[rng_.Zipf(human_users_.size(), 1.2)];
   size_t n = 1 + rng_.Uniform(6);
@@ -580,6 +650,25 @@ QueryLog Generator::Generate() {
   }
   snc_users_.clear();
   for (int i = 0; i < 3; ++i) snc_users_.push_back(MakeUser("snc", i));
+  // Opt-in families: zero-frac families must not perturb the RNG
+  // stream (each MakeUser draws from it), or the calibrated default
+  // log — and the goldens — would shift.
+  select_star_users_.clear();
+  if (config_.frac_select_star > 0) {
+    for (int i = 0; i < 3; ++i) select_star_users_.push_back(MakeUser("selstar", i));
+  }
+  null_fear_users_.clear();
+  if (config_.frac_null_fear > 0) {
+    for (int i = 0; i < 3; ++i) null_fear_users_.push_back(MakeUser("nullfear", i));
+  }
+  spaghetti_users_.clear();
+  if (config_.frac_spaghetti_join > 0) {
+    for (int i = 0; i < 3; ++i) spaghetti_users_.push_back(MakeUser("spaghetti", i));
+  }
+  non_sargable_users_.clear();
+  if (config_.frac_non_sargable > 0) {
+    for (int i = 0; i < 3; ++i) non_sargable_users_.push_back(MakeUser("nonsarg", i));
+  }
   human_users_.clear();
   for (int i = 0; i < config_.human_users; ++i) {
     human_users_.push_back(MakeUser("human", i));
@@ -597,7 +686,9 @@ QueryLog Generator::Generate() {
                       config_.frac_htm_count - config_.frac_nearby_info -
                       config_.frac_scan_strip - config_.frac_dw_stifle -
                       config_.frac_ds_stifle - config_.frac_df_stifle - config_.frac_cth -
-                      config_.frac_sws - config_.frac_snc;
+                      config_.frac_sws - config_.frac_snc - config_.frac_select_star -
+                      config_.frac_null_fear - config_.frac_spaghetti_join -
+                      config_.frac_non_sargable;
   if (human_frac < 0.05) human_frac = 0.05;
 
   std::vector<Family> families = {
@@ -616,6 +707,22 @@ QueryLog Generator::Generate() {
       {config_.frac_syntax_errors, 0, &Generator::EmitSyntaxErrorStatement},
       {human_frac, 0, &Generator::EmitHumanSession},
   };
+  // Append opt-in families only when enabled: a zero-frac entry would
+  // still draw deficit jitter every scheduler round and shift the
+  // default RNG stream.
+  if (config_.frac_select_star > 0) {
+    families.push_back({config_.frac_select_star, 0, &Generator::EmitSelectStarSession});
+  }
+  if (config_.frac_null_fear > 0) {
+    families.push_back({config_.frac_null_fear, 0, &Generator::EmitNullFearSession});
+  }
+  if (config_.frac_spaghetti_join > 0) {
+    families.push_back(
+        {config_.frac_spaghetti_join, 0, &Generator::EmitSpaghettiJoinSession});
+  }
+  if (config_.frac_non_sargable > 0) {
+    families.push_back({config_.frac_non_sargable, 0, &Generator::EmitNonSargableSession});
+  }
 
   QueryLog log;
   // Emit sessions until every family has met its quota: small families

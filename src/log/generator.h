@@ -34,6 +34,16 @@ struct GeneratorConfig {
   double frac_sws = 0.120;             // sliding-window robots
   double frac_snc = 0.002;
 
+  // Catalog-expansion families (SQLCheck-style antipatterns). All
+  // default to 0 so the calibrated Table-5 mix — and every golden file
+  // derived from it — is untouched; detector tests opt in. Zero-frac
+  // families draw nothing from the RNG (users and emitters are skipped
+  // entirely).
+  double frac_select_star = 0.0;     // SELECT * (implicit columns)
+  double frac_null_fear = 0.0;       // <> filters on nullable columns
+  double frac_spaghetti_join = 0.0;  // comma joins without a join predicate
+  double frac_non_sargable = 0.0;    // computed comparisons on key columns
+
   /// Probability that a SELECT is instantly re-issued (web-form reload);
   /// produces the duplicates the dedup stage removes (Table 4).
   double duplicate_prob = 0.042;
@@ -78,6 +88,10 @@ class Generator {
   size_t EmitCthSession(QueryLog& log);
   size_t EmitSwsSession(QueryLog& log);
   size_t EmitSncSession(QueryLog& log);
+  size_t EmitSelectStarSession(QueryLog& log);
+  size_t EmitNullFearSession(QueryLog& log);
+  size_t EmitSpaghettiJoinSession(QueryLog& log);
+  size_t EmitNonSargableSession(QueryLog& log);
   size_t EmitHumanSession(QueryLog& log);
   size_t EmitNoiseStatement(QueryLog& log);
   size_t EmitSyntaxErrorStatement(QueryLog& log);
@@ -114,6 +128,10 @@ class Generator {
   std::vector<std::vector<UserClock>> cth_family_users_;
   std::vector<UserClock> sws_users_;
   std::vector<UserClock> snc_users_;
+  std::vector<UserClock> select_star_users_;
+  std::vector<UserClock> null_fear_users_;
+  std::vector<UserClock> spaghetti_users_;
+  std::vector<UserClock> non_sargable_users_;
   std::vector<UserClock> human_users_;
   std::vector<UserClock> noise_users_;
 

@@ -18,6 +18,10 @@ const char* TruthLabelName(TruthLabel label) {
     case TruthLabel::kSnc: return "snc";
     case TruthLabel::kDuplicate: return "duplicate";
     case TruthLabel::kNoise: return "noise";
+    case TruthLabel::kSelectStar: return "select_star";
+    case TruthLabel::kNullFear: return "null_fear";
+    case TruthLabel::kSpaghettiJoin: return "spaghetti_join";
+    case TruthLabel::kNonSargable: return "non_sargable";
   }
   return "unlabeled";
 }
@@ -27,7 +31,9 @@ TruthLabel ParseTruthLabel(const std::string& name) {
       TruthLabel::kUnlabeled, TruthLabel::kOrganic,  TruthLabel::kDwStifle,
       TruthLabel::kDsStifle,  TruthLabel::kDfStifle, TruthLabel::kCthReal,
       TruthLabel::kCthFalse,  TruthLabel::kSws,      TruthLabel::kSnc,
-      TruthLabel::kDuplicate, TruthLabel::kNoise,
+      TruthLabel::kDuplicate, TruthLabel::kNoise,    TruthLabel::kSelectStar,
+      TruthLabel::kNullFear,  TruthLabel::kSpaghettiJoin,
+      TruthLabel::kNonSargable,
   };
   for (TruthLabel label : kAll) {
     if (name == TruthLabelName(label)) return label;

@@ -23,6 +23,10 @@ enum class TruthLabel {
   kSnc,         // searching-nullable-columns mistake
   kDuplicate,   // unintended duplicate (web reload)
   kNoise,       // DML/DDL/broken statements
+  kSelectStar,  // implicit-columns hit (SELECT *)
+  kNullFear,    // <> filter on a nullable column
+  kSpaghettiJoin,  // comma join without a join predicate
+  kNonSargable,    // computed comparison on a key column
 };
 
 /// Returns a stable name for a truth label.

@@ -59,6 +59,49 @@ bool AsColumn(const Expr& expr, std::string& qualifier, std::string& column) {
   return true;
 }
 
+/// Matches computed-column shapes: a function call whose arguments are
+/// exactly one column plus constants (`upper(name)`, `round(ra, 2)`),
+/// or an arithmetic node over one column and one constant
+/// (`objid + 1`, `2 * z`). Extracts the wrapped column and the function
+/// name / operator spelling.
+bool AsComputedColumn(const Expr& expr, std::string& qualifier, std::string& column,
+                      std::string& fn) {
+  if (expr.kind() == ExprKind::kFunctionCall) {
+    const auto& call = static_cast<const FunctionCallExpr&>(expr);
+    const Expr* column_arg = nullptr;
+    for (const auto& arg : call.args) {
+      if (arg->kind() == ExprKind::kColumnRef) {
+        if (column_arg != nullptr) return false;  // two columns: not single-column
+        column_arg = arg.get();
+      } else if (!IsConstantOperand(*arg)) {
+        return false;
+      }
+    }
+    if (column_arg == nullptr || !AsColumn(*column_arg, qualifier, column)) return false;
+    fn = ToLower(call.name);
+    return true;
+  }
+  if (expr.kind() == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(expr);
+    char spelled;
+    switch (bin.op) {
+      case BinaryOp::kAdd: spelled = '+'; break;
+      case BinaryOp::kSub: spelled = '-'; break;
+      case BinaryOp::kMul: spelled = '*'; break;
+      case BinaryOp::kDiv: spelled = '/'; break;
+      case BinaryOp::kMod: spelled = '%'; break;
+      default: return false;
+    }
+    if ((AsColumn(*bin.lhs, qualifier, column) && IsConstantOperand(*bin.rhs)) ||
+        (AsColumn(*bin.rhs, qualifier, column) && IsConstantOperand(*bin.lhs))) {
+      fn.assign(1, spelled);
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
 /// Recursively collects leaf predicates from a WHERE tree. Any OR or NOT
 /// above leaf level flips `conjunctive` off; leaves below it are still
 /// collected so CP counts remain meaningful. `value_exprs`, when set,
@@ -108,9 +151,28 @@ void CollectPredicates(const Expr& expr, std::vector<Predicate>& out, bool& conj
         pred.op = PredicateOp::kOther;
         // Record the left column when present (e.g., join predicates),
         // so downstream heuristics can still see what is filtered.
+        std::string rhs_qualifier;
+        std::string rhs_column;
+        std::string fn;
         if (AsColumn(*bin.lhs, qualifier, column)) {
           pred.qualifier = qualifier;
           pred.column = column;
+          pred.column_equijoin =
+              bin.op == BinaryOp::kEq && AsColumn(*bin.rhs, rhs_qualifier, rhs_column);
+        } else if (AsComputedColumn(*bin.lhs, qualifier, column, fn) &&
+                   IsConstantOperand(*bin.rhs)) {
+          pred.qualifier = qualifier;
+          pred.column = column;
+          pred.lhs_computed = true;
+          pred.computed_op = FromBinaryOp(bin.op);
+          pred.computed_fn = std::move(fn);
+        } else if (AsComputedColumn(*bin.rhs, qualifier, column, fn) &&
+                   IsConstantOperand(*bin.lhs)) {
+          pred.qualifier = qualifier;
+          pred.column = column;
+          pred.lhs_computed = true;
+          pred.computed_op = Mirror(FromBinaryOp(bin.op));
+          pred.computed_fn = std::move(fn);
         }
       }
       out.push_back(std::move(pred));
@@ -319,6 +381,7 @@ QueryFacts Analyze(std::shared_ptr<const SelectStatement> stmt,
                       predicate_value_exprs);
   }
   CollectSelectedColumns(*stmt, facts.selected_columns, facts.selects_star);
+  facts.from_item_count = static_cast<int>(stmt->from_items.size());
   for (const auto& item : stmt->from_items) {
     CollectFromNames(*item, facts.tables, facts.table_functions);
   }

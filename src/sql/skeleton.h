@@ -48,6 +48,25 @@ struct Predicate {
   /// True for `col = NULL` / `col <> NULL` — the SNC antipattern
   /// (Def. 16) triggers on these.
   bool compares_to_null_literal = false;
+  /// True when one comparison side applies a function or arithmetic to
+  /// exactly one column and the other side is a constant —
+  /// `upper(name) = 'X'`, `objid + 1 < 5`. The shape the non-sargable
+  /// detector flags. `op` stays kOther and `constant_comparison` stays
+  /// false so the Stifle/CTH eligibility rules (which demand plain
+  /// column comparisons) are unaffected; `column`/`qualifier` name the
+  /// wrapped column.
+  bool lhs_computed = false;
+  /// The underlying comparison operator of a computed-column predicate
+  /// (mirrored when the computed side is on the right).
+  PredicateOp computed_op = PredicateOp::kOther;
+  /// Lower-cased function name ("upper") or arithmetic operator
+  /// spelling ("+", "-", "*", "/", "%") applied to the column.
+  std::string computed_fn;
+  /// True when both operands are plain column references under `=` — a
+  /// join condition such as `n.objid = p.objid`; `column` records the
+  /// left-hand column. Its absence over a multi-table FROM is the
+  /// implicit-cross-join smell.
+  bool column_equijoin = false;
 };
 
 /// The query template of Definition 4: the skeleton triple (SFC, SWC,
@@ -91,6 +110,9 @@ struct QueryFacts {
   std::vector<std::string> tables;
   /// Lower-cased table-valued function names in FROM.
   std::vector<std::string> table_functions;
+  /// Count of top-level (comma-separated) FROM items. Explicit JOIN
+  /// trees count as one item; implicit cross joins have ≥ 2.
+  int from_item_count = 0;
 
   /// Count of leaf predicates — the paper's CP.
   int predicate_count() const { return static_cast<int>(predicates.size()); }

@@ -1,0 +1,18 @@
+// R6 negative fixture: a core::Detector subclass outside the built-in
+// registration unit (assumed path src/core/rogue_detector.cc). Its
+// matches would never surface in DetectorRegistry::Global().Ids(), the
+// `sqlog report` catalog, or the statistics rows.
+
+#include "core/detector.h"
+
+namespace sqlog::core {
+
+class RogueDetector final : public Detector {
+ public:
+  const DetectorInfo& info() const override {
+    static const DetectorInfo kInfo{.id = "rogue", .display_name = "Rogue"};
+    return kInfo;
+  }
+};
+
+}  // namespace sqlog::core

@@ -29,6 +29,7 @@ LintConfig TestConfig() {
   LintConfig config;
   config.r1_allow = {"src/sql/", "tests/oracles/"};
   config.manifest.push_back({"src/util/thread_pool.h", "ThreadPool"});
+  config.r6_allow = {"src/core/detectors.cc"};
   return config;
 }
 
@@ -122,6 +123,57 @@ TEST(LintRuleTest, R5ManifestTypeMissingFromFileIsConfigError) {
   EXPECT_EQ(findings[0].rule, "config");
 }
 
+TEST(LintRuleTest, R6FiresOnDetectorSubclassOutsideRegistrationUnit) {
+  auto findings = LintSource(TestConfig(), "src/core/rogue_detector.cc",
+                             ReadFixture("r6_unregistered_detector.cc"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R6");
+  EXPECT_NE(findings[0].message.find("registration unit"), std::string::npos);
+}
+
+TEST(LintRuleTest, R6SilentOnTheAllowlistedRegistrationUnit) {
+  auto findings = LintSource(TestConfig(), "src/core/detectors.cc",
+                             ReadFixture("r6_unregistered_detector.cc"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRuleTest, R6ScopedToSrc) {
+  // Tests and tools may declare stub detectors freely.
+  auto findings = LintSource(TestConfig(), "tests/detector_registry_test.cc",
+                             ReadFixture("r6_unregistered_detector.cc"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRuleTest, R6CatchesQualifiedAndDefaultInheritance) {
+  auto qualified = LintSource(TestConfig(), "src/analysis/extra.cc",
+                              "class X final : public core::Detector {};\n");
+  EXPECT_EQ(CountRule(qualified, "R6"), 1u);
+  auto implicit = LintSource(TestConfig(), "src/analysis/extra.cc",
+                             "struct X : Detector {};\n");
+  EXPECT_EQ(CountRule(implicit, "R6"), 1u);
+}
+
+TEST(LintRuleTest, R6IgnoresPlainTypeUses) {
+  const char* uses =
+      "class Detector {};\n"
+      "const Detector& Pick(const std::vector<const Detector*>& all);\n"
+      "class Holder {\n"
+      " public:\n"
+      "  Detector* active_ = nullptr;\n"
+      "};\n"
+      "class Registry : public DetectorRegistry {};\n";
+  auto findings = LintSource(TestConfig(), "src/core/holder.h", uses);
+  EXPECT_EQ(CountRule(findings, "R6"), 0u)
+      << ::testing::PrintToString(Rules(findings));
+}
+
+TEST(LintRuleTest, R6IsSuppressible) {
+  const char* content =
+      "// sqlog-lint: allow(R6 prototype detector pending registration)\n"
+      "class Probe : public Detector {};\n";
+  EXPECT_TRUE(LintSource(TestConfig(), "src/analysis/probe.cc", content).empty());
+}
+
 // --- Suppression semantics --------------------------------------------
 
 TEST(LintSuppressionTest, WellFormedAllowsSilenceEverything) {
@@ -181,13 +233,16 @@ TEST(LintConfigTest, ParsesDirectivesAndComments) {
       "# comment\n"
       "r1-allow src/sql/\n"
       "\n"
-      "manifest src/util/thread_pool.h ThreadPool\n",
+      "manifest src/util/thread_pool.h ThreadPool\n"
+      "r6-allow src/core/detectors.cc\n",
       "test");
   ASSERT_TRUE(config.ok());
   ASSERT_EQ(config->r1_allow.size(), 1u);
   EXPECT_EQ(config->r1_allow[0], "src/sql/");
   ASSERT_EQ(config->manifest.size(), 1u);
   EXPECT_EQ(config->manifest[0].type_name, "ThreadPool");
+  ASSERT_EQ(config->r6_allow.size(), 1u);
+  EXPECT_EQ(config->r6_allow[0], "src/core/detectors.cc");
 }
 
 TEST(LintConfigTest, RejectsUnknownDirective) {

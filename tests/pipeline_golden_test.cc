@@ -103,6 +103,25 @@ TEST(PipelineGoldenTest, StatisticsMatchTheGoldenFileAtOneAndEightThreads) {
   }
 }
 
+TEST(PipelineGoldenTest, ExplicitDefaultDetectorSelectionMatchesTheGoldenFile) {
+  // Naming the paper's detectors explicitly must be indistinguishable
+  // from the empty (default) selection — the registry redesign may not
+  // perturb the default pipeline in any way.
+  const log::QueryLog raw = FixedLog();
+  const catalog::Schema schema = catalog::MakeSkyServerSchema();
+  auto pipeline = core::PipelineBuilder()
+                      .WithSchema(&schema)
+                      .Detectors(core::DefaultDetectorIds())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  auto result = pipeline->Run(raw);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const std::string golden = ReadGolden();
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(result->stats.ToTable(), golden);
+}
+
 std::string ReadAll(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   std::stringstream buffer;

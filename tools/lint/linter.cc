@@ -147,7 +147,8 @@ size_t LineOf(const std::vector<size_t>& starts, size_t offset) {
   return static_cast<size_t>(it - starts.begin());  // 1-based
 }
 
-const std::set<std::string, std::less<>> kRuleIds = {"R1", "R2", "R3", "R4", "R5"};
+const std::set<std::string, std::less<>> kRuleIds = {"R1", "R2", "R3",
+                                                     "R4", "R5", "R6"};
 
 /// Inline suppressions: rule → lines it is allowed on.
 struct Suppressions {
@@ -191,7 +192,7 @@ Suppressions CollectSuppressions(const std::string& rel_path, std::string_view c
       if (kRuleIds.count(rule) == 0) {
         out.errors.push_back(
             {rel_path, line, "config",
-             StrFormat("unknown rule id '%.*s' in sqlog-lint suppression (expected R1..R5)",
+             StrFormat("unknown rule id '%.*s' in sqlog-lint suppression (expected R1..R6)",
                        (int)rule.size(), rule.data())});
         continue;
       }
@@ -556,6 +557,61 @@ void CheckR5(const LintConfig& config, const std::string& rel_path,
   }
 }
 
+// --- R6: Detector implementations outside the registration unit ---------
+
+/// A class deriving from core::Detector anywhere under src/ except the
+/// allowlisted registration unit bypasses the plugin registry: its
+/// behavior would not appear in DetectorRegistry::Global().Ids(), the
+/// `sqlog report` catalog, or the statistics rows. The scan looks for a
+/// base-clause use of the word `Detector` — i.e. one preceded (past any
+/// `ns::` qualifiers) by an access specifier or a lone base-clause ':'.
+/// Type uses (`Detector&`, `std::vector<Detector*>`, `class Detector {`)
+/// never match.
+void CheckR6(const LintConfig& config, const std::string& rel_path,
+             std::string_view code, const std::vector<size_t>& line_starts,
+             const Suppressions& supp, std::vector<Finding>& findings) {
+  if (!StartsWith(rel_path, "src/")) return;
+  for (const auto& prefix : config.r6_allow) {
+    if (StartsWith(rel_path, prefix)) return;
+  }
+  for (size_t pos : FindWordAll(code, "Detector")) {
+    // Walk backward past `ns::` qualifiers (core::Detector, sqlog::core::
+    // Detector) to whatever introduces the name.
+    size_t back = pos;
+    while (back >= 2 && code[back - 1] == ':' && code[back - 2] == ':') {
+      back -= 2;
+      while (back > 0 && IsWordChar(code[back - 1])) --back;
+      while (back > 0 && IsSpace(code[back - 1])) --back;
+    }
+    while (back > 0 && IsSpace(code[back - 1])) --back;
+    if (back == 0) continue;
+    bool base_clause = false;
+    if (IsWordChar(code[back - 1])) {
+      size_t end = back;
+      while (back > 0 && IsWordChar(code[back - 1])) --back;
+      std::string_view word = code.substr(back, end - back);
+      base_clause = word == "public" || word == "protected" || word == "private";
+    } else if (code[back - 1] == ':' && (back < 2 || code[back - 2] != ':')) {
+      // A lone ':' is either a base clause (struct X : Detector — default
+      // inheritance) or an access label (public: Detector* d). The word
+      // before the colon disambiguates: labels ARE the specifier word.
+      size_t q = back - 1;
+      while (q > 0 && IsSpace(code[q - 1])) --q;
+      size_t end = q;
+      while (q > 0 && IsWordChar(code[q - 1])) --q;
+      std::string_view before = code.substr(q, end - q);
+      base_clause = end > q && before != "public" && before != "protected" &&
+                    before != "private";
+    }
+    if (!base_clause) continue;
+    Report(findings, supp, rel_path, LineOf(line_starts, pos), "R6",
+           "class derives from core::Detector outside the registration unit; "
+           "implement detectors in src/core/detectors.cc next to "
+           "RegisterBuiltinDetectors() so the global registry stays the single "
+           "catalog, or extend r6-allow in the lint config");
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -581,6 +637,16 @@ Result<LintConfig> ParseConfig(std::string_view text, const std::string& origin)
                       line_number));
       }
       config.r1_allow.push_back(std::move(prefix));
+      continue;
+    }
+    if (directive == "r6-allow") {
+      std::string prefix;
+      if (!(fields >> prefix)) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: r6-allow needs a path prefix", origin.c_str(),
+                      line_number));
+      }
+      config.r6_allow.push_back(std::move(prefix));
       continue;
     }
     if (directive == "manifest") {
@@ -622,6 +688,7 @@ std::vector<Finding> LintSource(const LintConfig& config, const std::string& rel
   CheckR3(rel_path, split.code, line_starts, supp, findings);
   CheckR4(rel_path, split.code, line_starts, supp, findings);
   CheckR5(config, rel_path, split.code, line_starts, supp, findings);
+  CheckR6(config, rel_path, split.code, line_starts, supp, findings);
 
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;

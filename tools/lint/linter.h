@@ -9,7 +9,7 @@
 
 namespace sqlog::lint {
 
-/// One diagnostic. `rule` is "R1".."R5" for the repo rules, or "config"
+/// One diagnostic. `rule` is "R1".."R6" for the repo rules, or "config"
 /// for problems with the lint input itself (malformed suppression,
 /// unknown rule id, manifest type missing from its file). Config
 /// findings are never suppressible.
@@ -34,6 +34,11 @@ struct Finding {
 ///       markers: SQLOG_GUARDED_BY / SQLOG_PT_GUARDED_BY /
 ///       SQLOG_SHARD_LOCAL / SQLOG_CONST_AFTER_INIT /
 ///       SQLOG_SELF_SYNCHRONIZED.
+///   r6-allow <rel-path-prefix>
+///       Files whose repo-relative path starts with the prefix may derive
+///       from core::Detector (R6). Everything else under src/ must keep
+///       detector implementations in the registration unit so the global
+///       registry stays the single catalog of detection behavior.
 struct LintConfig {
   struct ManifestEntry {
     std::string path_suffix;
@@ -41,6 +46,7 @@ struct LintConfig {
   };
   std::vector<std::string> r1_allow;
   std::vector<ManifestEntry> manifest;
+  std::vector<std::string> r6_allow;
 };
 
 /// Parses a config ("origin" names it in error messages).

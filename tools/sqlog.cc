@@ -6,8 +6,12 @@
 //   sqlog stats <in.csv>                    Table 5-style overview
 //   sqlog patterns <in.csv> [k]             top-k patterns with descriptions
 //   sqlog antipatterns <in.csv> [k]         top-k distinct antipatterns
+//   sqlog report <in.csv>                   per-detector hits, template-clustered
 //   sqlog cluster <in.csv> [threshold]      Sec. 6.9 clustering summary
 //   sqlog recommend <in.csv> <sql...>       next-query suggestions
+//
+// The command list above, the Usage() text, and the main() dispatch are
+// all generated from the single kCommands table at the bottom.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,28 +29,9 @@ namespace {
 
 using namespace sqlog;
 
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: sqlog <command> [flags] [args]\n"
-      "  generate <n> <out.csv>       synthesize a SkyServer-style log\n"
-      "  clean <in.csv> <out-prefix>  clean a log; writes <prefix>.clean.csv\n"
-      "                               and <prefix>.removal.csv\n"
-      "  stats <in.csv>               results overview (paper Table 5)\n"
-      "  patterns <in.csv> [k]        top-k patterns with descriptions\n"
-      "  antipatterns <in.csv> [k]    top-k distinct antipatterns\n"
-      "  cluster <in.csv> [threshold] data-space clustering summary\n"
-      "  recommend <in.csv> <sql>     suggest likely next queries\n"
-      "flags for clean/stats:\n"
-      "  --streaming                  bounded-memory two-pass ingestion; the\n"
-      "                               input must be (timestamp, seq)-ordered\n"
-      "  --batch-size=<n>             records per streaming batch (default 4096;\n"
-      "                               implies --streaming)\n"
-      "  --no-parse-cache             disable the template fingerprint cache and\n"
-      "                               fully parse every statement (escape hatch;\n"
-      "                               output is identical either way)\n");
-  return 2;
-}
+// Usage() and main() render/dispatch the kCommands table below; the
+// command handlers only need the forward declaration.
+int Usage();
 
 /// --streaming / --batch-size=<n> / --no-parse-cache, stripped from the
 /// argument list by ParseStreamFlags (remaining positional args shift
@@ -271,13 +256,110 @@ int CmdAntipatterns(int argc, char** argv) {
   auto distinct = result.antipatterns.distinct;
   std::sort(distinct.begin(), distinct.end(),
             [](const auto& a, const auto& b) { return a.query_count > b.query_count; });
-  std::printf("%-4s %-10s %-10s %-6s %s\n", "#", "type", "queries", "users", "skeleton");
+  std::printf("%-4s %-12s %-10s %-6s %s\n", "#", "detector", "queries", "users",
+              "skeleton");
+  const core::DetectorSet& set = *result.antipatterns.detectors;
   for (size_t i = 0; i < distinct.size() && i < k; ++i) {
     const auto& d = distinct[i];
     const auto& tmpl = result.templates.Get(d.template_ids[0]).tmpl;
-    std::printf("%-4zu %-10s %-10llu %-6zu %.80s\n", i + 1,
-                core::AntipatternTypeName(d.type), (unsigned long long)d.query_count,
-                d.user_popularity(), (tmpl.ssc + " " + tmpl.swc).c_str());
+    std::printf("%-4zu %-12s %-10llu %-6zu %.80s\n", i + 1,
+                set.info(d.detector).display_name.c_str(),
+                (unsigned long long)d.query_count, d.user_popularity(),
+                (tmpl.ssc + " " + tmpl.swc).c_str());
+  }
+  return 0;
+}
+
+/// `sqlog report`: runs the full registered detector catalog (or the
+/// --detectors=<id,...> subset) and prints, per detector, its distinct
+/// hit groups bucketed by template cluster — the Sec. 6.9 data-space
+/// clustering applied to detector output, so one robot that tripped a
+/// detector under many templates reads as one cluster.
+int CmdReport(int argc, char** argv) {
+  std::vector<std::string> ids = core::DetectorRegistry::Global().Ids();
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--detectors=", 12) == 0) {
+      ids.clear();
+      std::string list = argv[i] + 12;
+      size_t start = 0;
+      while (start < list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) ids.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+      }
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  if (argc < 1) return Usage();
+
+  auto raw = Load(argv[0]);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  static catalog::Schema schema = catalog::MakeSkyServerSchema();
+  auto pipeline = core::PipelineBuilder()
+                      .WithSchema(&schema)
+                      .NumThreads(0)
+                      .Detectors(std::move(ids))
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "error: %s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+  auto run = pipeline->Run(*raw);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const core::PipelineResult& result = *run;
+  const core::AntipatternReport& report = result.antipatterns;
+  const core::DetectorSet& set = *report.detectors;
+
+  for (size_t d = 0; d < set.size(); ++d) {
+    const core::DetectorInfo& info = set.info(d);
+    std::vector<const core::DistinctAntipattern*> groups;
+    for (const auto& group : report.distinct) {
+      if (group.detector == d) groups.push_back(&group);
+    }
+    std::printf("== %s (%s): %zu distinct, %llu queries\n", info.display_name.c_str(),
+                info.id.c_str(), groups.size(),
+                (unsigned long long)report.QueriesOf(static_cast<uint32_t>(d)));
+    if (!info.description.empty()) std::printf("   %s\n", info.description.c_str());
+    if (groups.empty()) continue;
+
+    std::vector<analysis::DataSpace> spaces;
+    for (const auto* group : groups) {
+      spaces.push_back(
+          analysis::ExtractDataSpace(result.parsed.queries[group->sample_query].facts));
+    }
+    auto clusters = analysis::ClusterDataSpaces(spaces, analysis::ClusteringOptions{});
+
+    struct Row {
+      size_t group_count;
+      unsigned long long queries;
+      size_t sample_query;
+    };
+    std::vector<Row> rows;
+    for (const auto& cluster : clusters.clusters) {
+      Row row{cluster.size(), 0, groups[cluster.members[0]]->sample_query};
+      for (size_t member : cluster.members) row.queries += groups[member]->query_count;
+      rows.push_back(row);
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row& a, const Row& b) { return a.queries > b.queries; });
+    for (size_t i = 0; i < rows.size() && i < 8; ++i) {
+      std::printf(
+          "   cluster %zu: %zu groups, %llu queries — %s\n", i + 1, rows[i].group_count,
+          rows[i].queries,
+          analysis::DescribeTemplate(result.parsed.queries[rows[i].sample_query].facts)
+              .c_str());
+    }
+    if (rows.size() > 8) std::printf("   ... %zu more clusters\n", rows.size() - 8);
   }
   return 0;
 }
@@ -355,21 +437,53 @@ int CmdRecommend(int argc, char** argv) {
   return 0;
 }
 
+/// The single source of truth for the CLI surface: Usage() renders it,
+/// main() dispatches over it, and the file header mirrors it.
+struct Command {
+  const char* name;
+  const char* syntax;  // positional args + per-command flags
+  const char* help;    // one line
+  int (*fn)(int argc, char** argv);
+};
+
+constexpr Command kCommands[] = {
+    {"generate", "<n> <out.csv>", "synthesize a SkyServer-style log", CmdGenerate},
+    {"clean", "<in.csv> <out-prefix>",
+     "clean a log; writes <prefix>.clean.csv and <prefix>.removal.csv", CmdClean},
+    {"stats", "<in.csv>", "results overview (paper Table 5)", CmdStats},
+    {"patterns", "<in.csv> [k]", "top-k patterns with descriptions", CmdPatterns},
+    {"antipatterns", "<in.csv> [k]", "top-k distinct antipatterns", CmdAntipatterns},
+    {"report", "<in.csv> [--detectors=a,b]",
+     "per-detector hits grouped by template cluster", CmdReport},
+    {"cluster", "<in.csv> [threshold]", "data-space clustering summary", CmdCluster},
+    {"recommend", "<in.csv> <sql>", "suggest likely next queries", CmdRecommend},
+};
+
+int Usage() {
+  std::fprintf(stderr, "usage: sqlog <command> [flags] [args]\n");
+  for (const Command& command : kCommands) {
+    std::string invocation = std::string(command.name) + " " + command.syntax;
+    std::fprintf(stderr, "  %-30s %s\n", invocation.c_str(), command.help);
+  }
+  std::fprintf(
+      stderr,
+      "flags for clean/stats:\n"
+      "  --streaming                  bounded-memory two-pass ingestion; the\n"
+      "                               input must be (timestamp, seq)-ordered\n"
+      "  --batch-size=<n>             records per streaming batch (default 4096;\n"
+      "                               implies --streaming)\n"
+      "  --no-parse-cache             disable the template fingerprint cache and\n"
+      "                               fully parse every statement (escape hatch;\n"
+      "                               output is identical either way)\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  const char* command = argv[1];
-  int rest_argc = argc - 2;
-  char** rest_argv = argv + 2;
-  if (std::strcmp(command, "generate") == 0) return CmdGenerate(rest_argc, rest_argv);
-  if (std::strcmp(command, "clean") == 0) return CmdClean(rest_argc, rest_argv);
-  if (std::strcmp(command, "stats") == 0) return CmdStats(rest_argc, rest_argv);
-  if (std::strcmp(command, "patterns") == 0) return CmdPatterns(rest_argc, rest_argv);
-  if (std::strcmp(command, "antipatterns") == 0) {
-    return CmdAntipatterns(rest_argc, rest_argv);
+  for (const Command& command : kCommands) {
+    if (std::strcmp(argv[1], command.name) == 0) return command.fn(argc - 2, argv + 2);
   }
-  if (std::strcmp(command, "cluster") == 0) return CmdCluster(rest_argc, rest_argv);
-  if (std::strcmp(command, "recommend") == 0) return CmdRecommend(rest_argc, rest_argv);
   return Usage();
 }

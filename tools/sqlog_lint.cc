@@ -4,7 +4,7 @@
 //
 // Paths are files or directories (recursive over *.h / *.cc), resolved
 // against --root (default: the working directory) and reported relative
-// to it. Rules R1-R5 are documented in DESIGN.md ("Static analysis &
+// to it. Rules R1-R6 are documented in DESIGN.md ("Static analysis &
 // enforced invariants"); the allowlist and concurrency manifest live in
 // tools/lint/lint_config.txt. --assume-path lints a single file as if it
 // sat at the given repo-relative path, which is how the negative
