@@ -1,0 +1,31 @@
+// Fuzz harness for the `.sqb` binary log reader: arbitrary bytes must
+// either decode deterministically or be rejected with a structured
+// ParseError naming the failing offset and section — never crash, hang,
+// over-allocate, or silently produce a short read. Corpus seeds are
+// minimized corrupt files (bit-flipped blocks, truncated footers, bad
+// magics, future versions) plus a small valid file to mutate from.
+//
+// Builds against libFuzzer when the toolchain provides it
+// (-fsanitize=fuzzer); otherwise fuzz/standalone_driver.cc supplies
+// main() with corpus replay and a timed in-process mutation loop.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/sql_mutator.h"
+#include "tests/oracles/oracles.h"
+
+namespace {
+// Real `.sqb` files are block-framed; corrupt headers and footers are
+// found within a few hundred bytes, so a modest cap keeps the budget on
+// structure, not bulk.
+constexpr size_t kMaxInput = 1 << 18;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  sqlog::oracle::AbortOnFailure(sqlog::oracle::CheckBinLogRobustness(input), input);
+  return 0;
+}

@@ -39,9 +39,23 @@ step "sqlog-lint"
 #    in detector_registry_test; this catches CLI-level wiring breaks).
 step "sqlog report smoke"
 smoke_log=$(mktemp /tmp/sqlog_smoke.XXXXXX.csv)
-trap 'rm -f "$smoke_log"' EXIT
+trap 'rm -f "$smoke_log" "${smoke_log%.csv}".* /tmp/sqlog_smoke_clean.*' EXIT
 ./build/tools/sqlog generate 2000 "$smoke_log"
 ./build/tools/sqlog report "$smoke_log" >/dev/null
+
+# 3b. Binary-format smoke: convert to `.sqb`, clean from it (exercising
+#     the zero-parse ingest path), convert back, and require the result
+#     to be byte-identical to cleaning the CSV directly.
+step "sqb convert round-trip smoke"
+smoke_sqb="${smoke_log%.csv}.sqb"
+smoke_back="${smoke_log%.csv}.back.csv"
+./build/tools/sqlog convert "$smoke_log" "$smoke_sqb" >/dev/null
+./build/tools/sqlog convert "$smoke_sqb" "$smoke_back" >/dev/null
+cmp "$smoke_log" "$smoke_back"
+./build/tools/sqlog clean "$smoke_log" /tmp/sqlog_smoke_clean.a --streaming >/dev/null
+./build/tools/sqlog clean "$smoke_sqb" /tmp/sqlog_smoke_clean.b --streaming >/dev/null
+cmp /tmp/sqlog_smoke_clean.a.clean.csv /tmp/sqlog_smoke_clean.b.clean.csv
+cmp /tmp/sqlog_smoke_clean.a.removal.csv /tmp/sqlog_smoke_clean.b.removal.csv
 
 # 4. Default test sweep (includes check-lint, the golden pipeline test,
 #    and the memory-budget test).

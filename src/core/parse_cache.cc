@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "log/binlog_format.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
 #include "sql/printer.h"
 
 namespace sqlog::core {
@@ -222,7 +225,19 @@ void BuildRecipes(const sql::TokenStream& tokens, const sql::QueryFacts& facts,
 }
 
 sql::QueryFacts RenderFacts(const ParseCacheEntry& entry, const sql::TokenStream& tokens) {
+  const std::vector<size_t> lit_idx = sql::PlaceholderedTokenIndices(tokens);
+  assert(lit_idx.size() == entry.slots.size() && "key equality fixes the slot count");
+  std::vector<std::string> slot_texts(entry.slots.size());
+  for (size_t j = 0; j < entry.slots.size(); ++j) {
+    slot_texts[j] = RenderSlotText(entry.slots[j], tokens[lit_idx[j]].text);
+  }
+  return RenderFactsFromSlotTexts(entry, slot_texts);
+}
+
+sql::QueryFacts RenderFactsFromSlotTexts(const ParseCacheEntry& entry,
+                                         const std::vector<std::string>& slot_texts) {
   assert(entry.parse_ok && entry.cacheable);
+  assert(slot_texts.size() == entry.slots.size());
   sql::QueryFacts facts;
   facts.tmpl = entry.tmpl;
   facts.where_conjunctive = entry.where_conjunctive;
@@ -231,13 +246,6 @@ sql::QueryFacts RenderFacts(const ParseCacheEntry& entry, const sql::TokenStream
   facts.selected_columns = entry.selected_columns;
   facts.tables = entry.tables;
   facts.table_functions = entry.table_functions;
-
-  const std::vector<size_t> lit_idx = sql::PlaceholderedTokenIndices(tokens);
-  assert(lit_idx.size() == entry.slots.size() && "key equality fixes the slot count");
-  std::vector<std::string> slot_texts(entry.slots.size());
-  for (size_t j = 0; j < entry.slots.size(); ++j) {
-    slot_texts[j] = RenderSlotText(entry.slots[j], tokens[lit_idx[j]].text);
-  }
 
   auto render_clause = [&](const ParseCacheEntry::Clause& clause) {
     size_t total = 0;
@@ -266,6 +274,361 @@ sql::QueryFacts RenderFacts(const ParseCacheEntry& entry, const sql::TokenStream
     facts.predicates.push_back(std::move(pred));
   }
   return facts;
+}
+
+bool DeriveSlotTexts(const ParseCacheEntry& entry, const std::string& statement,
+                     const std::vector<std::pair<uint32_t, uint32_t>>& constants,
+                     std::vector<std::string>* slot_texts) {
+  assert(constants.size() == entry.slots.size());
+  slot_texts->resize(entry.slots.size());
+  for (size_t j = 0; j < entry.slots.size(); ++j) {
+    const size_t offset = constants[j].first;
+    const size_t size = constants[j].second;
+    if (offset > statement.size() || size > statement.size() - offset) return false;
+    const std::string_view raw(statement.data() + offset, size);
+    const ParseCacheEntry::Slot& slot = entry.slots[j];
+    std::string& out = (*slot_texts)[j];
+    if (slot.is_string) {
+      // A canonical quoted literal's raw bytes ARE its rendered slot
+      // text (RenderSlotText re-quotes with '' escaping — the identity
+      // on well-formed input). Validate the form; reject otherwise.
+      if (raw.size() < 2 || raw.front() != '\'' || raw.back() != '\'') return false;
+      const std::string_view body = raw.substr(1, raw.size() - 2);
+      for (size_t k = 0; k < body.size(); ++k) {
+        if (body[k] == '\'') {
+          if (k + 1 >= body.size() || body[k + 1] != '\'') return false;
+          ++k;
+        }
+      }
+      out.assign(raw);
+    } else {
+      out.clear();
+      if (slot.negated) out.push_back('-');
+      out.append(raw);
+    }
+  }
+  return true;
+}
+
+// ----------------------------------------------------------- recipe serde
+//
+// The recipe blob is the `.sqb` dictionary's payload for seeding a parse
+// cache (log/binlog.h stores it opaquely). Encoding reuses the binlog
+// varint/cursor helpers; the version byte lets the format evolve without
+// invalidating readers — an unknown version simply deserializes to null
+// and the template is parsed instead.
+
+namespace {
+
+constexpr uint8_t kRecipeVersion = 1;
+constexpr uint8_t kRecipeParseOk = 1u << 0;
+constexpr uint8_t kRecipeCacheable = 1u << 1;
+constexpr uint8_t kFactsConjunctive = 1u << 0;
+constexpr uint8_t kFactsSelectsStar = 1u << 1;
+constexpr uint8_t kSlotIsString = 1u << 0;
+constexpr uint8_t kSlotNegated = 1u << 1;
+constexpr uint8_t kPredConstantComparison = 1u << 0;
+constexpr uint8_t kPredComparesToNull = 1u << 1;
+constexpr uint8_t kPredLhsComputed = 1u << 2;
+constexpr uint8_t kPredColumnEquijoin = 1u << 3;
+constexpr uint8_t kMaxPredicateOp = static_cast<uint8_t>(sql::PredicateOp::kOther);
+
+using log::binfmt::AppendVarint;
+using log::binfmt::ByteReader;
+
+void AppendString(std::string_view s, std::string* out) {
+  AppendVarint(s.size(), out);
+  out->append(s);
+}
+
+void AppendStringVector(const std::vector<std::string>& v, std::string* out) {
+  AppendVarint(v.size(), out);
+  for (const std::string& s : v) AppendString(s, out);
+}
+
+void AppendClause(const ParseCacheEntry::Clause& clause, std::string* out) {
+  AppendStringVector(clause.pieces, out);
+  AppendVarint(clause.slot_refs.size(), out);
+  for (uint32_t ref : clause.slot_refs) AppendVarint(ref, out);
+}
+
+Status ReadString(ByteReader& reader, std::string* out) {
+  std::string_view view;
+  SQLOG_RETURN_IF_ERROR(reader.ReadLengthDelimited(&view));
+  out->assign(view);
+  return Status::OK();
+}
+
+Status ReadCount(ByteReader& reader, uint64_t* out) {
+  SQLOG_RETURN_IF_ERROR(reader.ReadVarint(out));
+  // Every counted element costs at least one byte, so any honest count
+  // is bounded by what is left — reject before reserving.
+  if (*out > reader.remaining()) return reader.Error("count exceeds remaining bytes");
+  return Status::OK();
+}
+
+Status ReadStringVector(ByteReader& reader, std::vector<std::string>* out) {
+  uint64_t count = 0;
+  SQLOG_RETURN_IF_ERROR(ReadCount(reader, &count));
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string s;
+    SQLOG_RETURN_IF_ERROR(ReadString(reader, &s));
+    out->push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+Status ReadClause(ByteReader& reader, size_t slot_count,
+                  ParseCacheEntry::Clause* clause) {
+  SQLOG_RETURN_IF_ERROR(ReadStringVector(reader, &clause->pieces));
+  uint64_t ref_count = 0;
+  SQLOG_RETURN_IF_ERROR(ReadCount(reader, &ref_count));
+  if (clause->pieces.size() != ref_count + 1) {
+    return reader.Error("clause piece/slot counts disagree");
+  }
+  clause->slot_refs.reserve(static_cast<size_t>(ref_count));
+  for (uint64_t i = 0; i < ref_count; ++i) {
+    uint64_t ref = 0;
+    SQLOG_RETURN_IF_ERROR(reader.ReadVarint(&ref));
+    if (ref >= slot_count) return reader.Error("slot reference out of range");
+    clause->slot_refs.push_back(static_cast<uint32_t>(ref));
+  }
+  return Status::OK();
+}
+
+Status ReadByte(ByteReader& reader, uint8_t* out) {
+  std::string_view view;
+  SQLOG_RETURN_IF_ERROR(reader.ReadBytes(1, &view));
+  *out = static_cast<uint8_t>(view[0]);
+  return Status::OK();
+}
+
+/// The fallible core of DeserializeStatementRecipe; the public wrapper
+/// collapses any error to null.
+Status DeserializeRecipeImpl(std::string_view recipe, ParseCacheEntry* entry) {
+  ByteReader reader(recipe, 0, "recipe");
+  uint8_t version = 0;
+  uint8_t flags = 0;
+  SQLOG_RETURN_IF_ERROR(ReadByte(reader, &version));
+  if (version != kRecipeVersion) return reader.Error("unknown recipe version");
+  SQLOG_RETURN_IF_ERROR(ReadByte(reader, &flags));
+  if ((flags & ~(kRecipeParseOk | kRecipeCacheable)) != 0) {
+    return reader.Error("unknown recipe flags");
+  }
+  entry->parse_ok = (flags & kRecipeParseOk) != 0;
+  entry->cacheable = (flags & kRecipeCacheable) != 0;
+  if (entry->cacheable && !entry->parse_ok) {
+    return reader.Error("cacheable recipe without a successful parse");
+  }
+  SQLOG_RETURN_IF_ERROR(ReadString(reader, &entry->key));
+  if (!entry->cacheable) {
+    if (!reader.exhausted()) return reader.Error("trailing bytes");
+    return Status::OK();
+  }
+
+  SQLOG_RETURN_IF_ERROR(ReadString(reader, &entry->tmpl.ssc));
+  SQLOG_RETURN_IF_ERROR(ReadString(reader, &entry->tmpl.sfc));
+  SQLOG_RETURN_IF_ERROR(ReadString(reader, &entry->tmpl.swc));
+  SQLOG_RETURN_IF_ERROR(ReadString(reader, &entry->tmpl.tail));
+  SQLOG_RETURN_IF_ERROR(reader.ReadVarint(&entry->tmpl.fingerprint));
+
+  uint8_t fact_flags = 0;
+  SQLOG_RETURN_IF_ERROR(ReadByte(reader, &fact_flags));
+  if ((fact_flags & ~(kFactsConjunctive | kFactsSelectsStar)) != 0) {
+    return reader.Error("unknown facts flags");
+  }
+  entry->where_conjunctive = (fact_flags & kFactsConjunctive) != 0;
+  entry->selects_star = (fact_flags & kFactsSelectsStar) != 0;
+  uint64_t from_items = 0;
+  SQLOG_RETURN_IF_ERROR(reader.ReadVarint(&from_items));
+  if (from_items > INT32_MAX) return reader.Error("from-item count out of range");
+  entry->from_item_count = static_cast<int>(from_items);
+
+  SQLOG_RETURN_IF_ERROR(ReadStringVector(reader, &entry->selected_columns));
+  SQLOG_RETURN_IF_ERROR(ReadStringVector(reader, &entry->tables));
+  SQLOG_RETURN_IF_ERROR(ReadStringVector(reader, &entry->table_functions));
+
+  uint64_t slot_count = 0;
+  SQLOG_RETURN_IF_ERROR(ReadCount(reader, &slot_count));
+  entry->slots.reserve(static_cast<size_t>(slot_count));
+  for (uint64_t i = 0; i < slot_count; ++i) {
+    uint8_t slot_flags = 0;
+    SQLOG_RETURN_IF_ERROR(ReadByte(reader, &slot_flags));
+    if ((slot_flags & ~(kSlotIsString | kSlotNegated)) != 0) {
+      return reader.Error("unknown slot flags");
+    }
+    ParseCacheEntry::Slot slot;
+    slot.is_string = (slot_flags & kSlotIsString) != 0;
+    slot.negated = (slot_flags & kSlotNegated) != 0;
+    entry->slots.push_back(slot);
+  }
+
+  SQLOG_RETURN_IF_ERROR(ReadClause(reader, entry->slots.size(), &entry->sc));
+  SQLOG_RETURN_IF_ERROR(ReadClause(reader, entry->slots.size(), &entry->fc));
+  SQLOG_RETURN_IF_ERROR(ReadClause(reader, entry->slots.size(), &entry->wc));
+
+  uint64_t pred_count = 0;
+  SQLOG_RETURN_IF_ERROR(ReadCount(reader, &pred_count));
+  entry->predicates.reserve(static_cast<size_t>(pred_count));
+  for (uint64_t i = 0; i < pred_count; ++i) {
+    ParseCacheEntry::PredTemplate pt;
+    uint8_t op = 0;
+    SQLOG_RETURN_IF_ERROR(ReadByte(reader, &op));
+    if (op > kMaxPredicateOp) return reader.Error("unknown predicate operator");
+    pt.base.op = static_cast<sql::PredicateOp>(op);
+    SQLOG_RETURN_IF_ERROR(ReadString(reader, &pt.base.qualifier));
+    SQLOG_RETURN_IF_ERROR(ReadString(reader, &pt.base.column));
+    uint8_t pred_flags = 0;
+    SQLOG_RETURN_IF_ERROR(ReadByte(reader, &pred_flags));
+    if ((pred_flags & ~(kPredConstantComparison | kPredComparesToNull |
+                        kPredLhsComputed | kPredColumnEquijoin)) != 0) {
+      return reader.Error("unknown predicate flags");
+    }
+    pt.base.constant_comparison = (pred_flags & kPredConstantComparison) != 0;
+    pt.base.compares_to_null_literal = (pred_flags & kPredComparesToNull) != 0;
+    pt.base.lhs_computed = (pred_flags & kPredLhsComputed) != 0;
+    pt.base.column_equijoin = (pred_flags & kPredColumnEquijoin) != 0;
+    uint8_t computed_op = 0;
+    SQLOG_RETURN_IF_ERROR(ReadByte(reader, &computed_op));
+    if (computed_op > kMaxPredicateOp) {
+      return reader.Error("unknown predicate operator");
+    }
+    pt.base.computed_op = static_cast<sql::PredicateOp>(computed_op);
+    SQLOG_RETURN_IF_ERROR(ReadString(reader, &pt.base.computed_fn));
+    uint64_t value_count = 0;
+    SQLOG_RETURN_IF_ERROR(ReadCount(reader, &value_count));
+    pt.values.reserve(static_cast<size_t>(value_count));
+    for (uint64_t j = 0; j < value_count; ++j) {
+      ParseCacheEntry::ValueRef ref;
+      uint8_t is_slot = 0;
+      SQLOG_RETURN_IF_ERROR(ReadByte(reader, &is_slot));
+      if (is_slot > 1) return reader.Error("unknown value-ref kind");
+      ref.is_slot = is_slot != 0;
+      if (ref.is_slot) {
+        uint64_t slot = 0;
+        SQLOG_RETURN_IF_ERROR(reader.ReadVarint(&slot));
+        if (slot >= entry->slots.size()) {
+          return reader.Error("slot reference out of range");
+        }
+        ref.slot = static_cast<uint32_t>(slot);
+      } else {
+        SQLOG_RETURN_IF_ERROR(ReadString(reader, &ref.fixed));
+      }
+      pt.values.push_back(std::move(ref));
+    }
+    entry->predicates.push_back(std::move(pt));
+  }
+  if (!reader.exhausted()) return reader.Error("trailing bytes");
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializeParseCacheEntry(const ParseCacheEntry& entry) {
+  std::string out;
+  out.push_back(static_cast<char>(kRecipeVersion));
+  uint8_t flags = 0;
+  if (entry.parse_ok) flags |= kRecipeParseOk;
+  if (entry.cacheable) flags |= kRecipeCacheable;
+  out.push_back(static_cast<char>(flags));
+  AppendString(entry.key, &out);
+  if (!entry.cacheable) return out;
+
+  AppendString(entry.tmpl.ssc, &out);
+  AppendString(entry.tmpl.sfc, &out);
+  AppendString(entry.tmpl.swc, &out);
+  AppendString(entry.tmpl.tail, &out);
+  AppendVarint(entry.tmpl.fingerprint, &out);
+
+  uint8_t fact_flags = 0;
+  if (entry.where_conjunctive) fact_flags |= kFactsConjunctive;
+  if (entry.selects_star) fact_flags |= kFactsSelectsStar;
+  out.push_back(static_cast<char>(fact_flags));
+  AppendVarint(static_cast<uint64_t>(entry.from_item_count), &out);
+
+  AppendStringVector(entry.selected_columns, &out);
+  AppendStringVector(entry.tables, &out);
+  AppendStringVector(entry.table_functions, &out);
+
+  AppendVarint(entry.slots.size(), &out);
+  for (const ParseCacheEntry::Slot& slot : entry.slots) {
+    uint8_t slot_flags = 0;
+    if (slot.is_string) slot_flags |= kSlotIsString;
+    if (slot.negated) slot_flags |= kSlotNegated;
+    out.push_back(static_cast<char>(slot_flags));
+  }
+
+  AppendClause(entry.sc, &out);
+  AppendClause(entry.fc, &out);
+  AppendClause(entry.wc, &out);
+
+  AppendVarint(entry.predicates.size(), &out);
+  for (const ParseCacheEntry::PredTemplate& pt : entry.predicates) {
+    out.push_back(static_cast<char>(pt.base.op));
+    AppendString(pt.base.qualifier, &out);
+    AppendString(pt.base.column, &out);
+    uint8_t pred_flags = 0;
+    if (pt.base.constant_comparison) pred_flags |= kPredConstantComparison;
+    if (pt.base.compares_to_null_literal) pred_flags |= kPredComparesToNull;
+    if (pt.base.lhs_computed) pred_flags |= kPredLhsComputed;
+    if (pt.base.column_equijoin) pred_flags |= kPredColumnEquijoin;
+    out.push_back(static_cast<char>(pred_flags));
+    out.push_back(static_cast<char>(pt.base.computed_op));
+    AppendString(pt.base.computed_fn, &out);
+    AppendVarint(pt.values.size(), &out);
+    for (const ParseCacheEntry::ValueRef& ref : pt.values) {
+      out.push_back(ref.is_slot ? '\x01' : '\x00');
+      if (ref.is_slot) {
+        AppendVarint(ref.slot, &out);
+      } else {
+        AppendString(ref.fixed, &out);
+      }
+    }
+  }
+  return out;
+}
+
+std::string BuildStatementRecipe(const std::string& statement) {
+  if (sql::ClassifyStatement(statement) != sql::StatementKind::kSelect) return {};
+  auto lexed = sql::Lex(statement);
+  if (!lexed.ok()) return {};
+  const sql::TokenStream& tokens = lexed.value();
+
+  ParseCacheEntry entry;
+  sql::AppendNormalizedKey(tokens, &entry.key);
+  std::vector<const sql::Expr*> value_exprs;
+  auto facts = sql::ParseAndAnalyzeTokens(tokens, &value_exprs);
+  if (facts.ok()) {
+    entry.parse_ok = true;
+    BuildRecipes(tokens, facts.value(), value_exprs, entry);
+  }
+  // parse_ok stays false for syntax errors: the recipe still short-
+  // circuits every later statement with this key (failure_hits).
+  return SerializeParseCacheEntry(entry);
+}
+
+std::unique_ptr<ParseCacheEntry> DeserializeStatementRecipe(std::string_view template_text,
+                                                            std::string_view recipe) {
+  if (recipe.empty()) return nullptr;
+  auto entry = std::make_unique<ParseCacheEntry>();
+  Status status = DeserializeRecipeImpl(recipe, entry.get());
+  if (!status.ok()) return nullptr;
+
+  // Validate against the template text the recipe claims to describe: it
+  // must produce exactly the recipe's key (so cache lookups agree) and,
+  // when cacheable, the same number of placeholdered tokens as slots (so
+  // RenderFacts never indexes out of a statement's literal list).
+  auto lexed = sql::Lex(template_text);
+  if (!lexed.ok()) return nullptr;
+  std::string key;
+  sql::AppendNormalizedKey(lexed.value(), &key);
+  if (key != entry->key) return nullptr;
+  if (entry->cacheable &&
+      sql::PlaceholderedTokenIndices(lexed.value()).size() != entry->slots.size()) {
+    return nullptr;
+  }
+  return entry;
 }
 
 }  // namespace sqlog::core

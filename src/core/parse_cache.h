@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sql/fingerprint.h"
@@ -190,6 +191,52 @@ void BuildRecipes(const sql::TokenStream& tokens, const sql::QueryFacts& facts,
 /// entry.cacheable and a token stream whose normalized key equals
 /// entry.key.
 sql::QueryFacts RenderFacts(const ParseCacheEntry& entry, const sql::TokenStream& tokens);
+
+/// RenderFacts flavour taking pre-rendered slot texts (one per entry
+/// slot, each already in canonical printer form — quoted strings, '-'
+/// folded back into negated numbers). The zero-lex `.sqb` ingest path
+/// derives these from a record's constant spans via DeriveSlotTexts.
+sql::QueryFacts RenderFactsFromSlotTexts(const ParseCacheEntry& entry,
+                                         const std::vector<std::string>& slot_texts);
+
+/// Derives a record's slot texts straight from its `.sqb` constant spans
+/// (log::RecordShape) — no lexing. `constants` holds one (offset, size)
+/// range into `statement` per entry slot, in order. BinLogWriter only
+/// emits a template reference when every span is the canonical rendering
+/// of its literal, so for writer-produced files the result is
+/// byte-identical to RenderFacts over the lexed tokens. Returns false
+/// (contents of *slot_texts unspecified) when a span is out of bounds or
+/// a string span is not a well-formed quoted literal — a hand-crafted
+/// file; callers then fall back to the lexing path.
+bool DeriveSlotTexts(const ParseCacheEntry& entry, const std::string& statement,
+                     const std::vector<std::pair<uint32_t, uint32_t>>& constants,
+                     std::vector<std::string>* slot_texts);
+
+/// Serializes `entry` into the opaque recipe blob stored in `.sqb`
+/// dictionary sections (log/binlog.h). The encoding is versioned and
+/// self-contained; DeserializeStatementRecipe rejects anything it cannot
+/// fully validate, so a stale or corrupt recipe degrades to parsing,
+/// never to wrong facts.
+std::string SerializeParseCacheEntry(const ParseCacheEntry& entry);
+
+/// Lexes, classifies and parses `statement`, builds its cache entry the
+/// same way the parse shards do, and returns the serialized recipe.
+/// Returns "" for statements that carry no useful recipe (non-SELECTs
+/// and statements that do not lex) — BinLogWriter stores the empty blob
+/// and readers simply parse those templates. This is the
+/// BinLogWriterOptions::recipe_builder implementation.
+std::string BuildStatementRecipe(const std::string& statement);
+
+/// Deserializes one dictionary recipe and validates it against the
+/// template text it rode in with: the text must lex, its normalized key
+/// must equal the recipe's key, and (for cacheable recipes) its
+/// placeholdered-token count must equal the slot count. Returns null on
+/// empty, malformed, version-mismatched or non-validating input —
+/// callers skip the entry and fall back to parsing. The entry's
+/// fingerprint is left zero; the seeding cache stamps it with its own
+/// fingerprint function (so the test seam keeps working).
+std::unique_ptr<ParseCacheEntry> DeserializeStatementRecipe(std::string_view template_text,
+                                                            std::string_view recipe);
 
 }  // namespace sqlog::core
 

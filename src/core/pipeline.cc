@@ -3,6 +3,9 @@
 #include <memory>
 #include <unordered_set>
 
+#include "core/parse_cache.h"
+#include "log/binlog.h"
+#include "log/log_io.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -249,8 +252,8 @@ Result<StreamingRunResult> Pipeline::RunStreaming(const std::string& input_path,
   // path sorts by (timestamp, seq) before dedup; streaming replays that
   // scan in file order, so the file must already be sorted — generated
   // and exported logs are, arbitrary inputs are checked.
-  log::LogReader reader;
-  SQLOG_RETURN_IF_ERROR_R(reader.Open(input_path));
+  auto input_format = log::ResolveReadFormat(options.input_format, input_path);
+  SQLOG_RETURN_IF_ERROR_R(input_format.status());
   StreamingDeduper deduper(options.dedup);
   ParseCacheOptions cache_options;
   // Validation rejected AST-reading detectors in streaming mode, so the
@@ -258,8 +261,37 @@ Result<StreamingRunResult> Pipeline::RunStreaming(const std::string& input_path,
   cache_options.enabled = options.parse_cache;
   StreamingParser parser(result.templates, options.max_parse_diagnostics, pool,
                          cache_options);
+  std::unique_ptr<log::RecordReader> reader_owned;
+  log::BinLogReader* bin_reader = nullptr;  // non-null: shaped fast ingest
+  if (*input_format == log::LogFormat::kSqb) {
+    // A binary input carries its template dictionary up front: seed the
+    // parser's persistent cache from the stored recipes, so every
+    // record whose template validated ingests without a full parse.
+    // Record shapes then let the parser skip lexing too (zero-lex path).
+    auto bin = std::make_unique<log::BinLogReader>();
+    SQLOG_RETURN_IF_ERROR_R(bin->Open(input_path));
+    std::vector<std::unique_ptr<ParseCacheEntry>> seeds;
+    seeds.reserve(bin->dictionary().size());
+    for (const auto& entry : bin->dictionary()) {
+      seeds.push_back(DeserializeStatementRecipe(entry.text, entry.recipe));
+    }
+    parser.SeedCache(std::move(seeds));
+    // Upper bound (dedup may drop records), so the query vector never
+    // realloc-moves during ingest.
+    parser.ReserveQueries(bin->record_count());
+    bin_reader = bin.get();
+    reader_owned = std::move(bin);
+  } else {
+    reader_owned = std::make_unique<log::LogReader>();
+    SQLOG_RETURN_IF_ERROR_R(reader_owned->Open(input_path));
+  }
+  log::RecordReader& reader = *reader_owned;
   std::vector<uint8_t> kept;  // per raw record, consulted by pass 2
   std::vector<log::LogRecord> batch;
+  // Shape pool parallel to batch (`.sqb` only): the live prefix is
+  // overwritten in place so span vectors keep capacity across batches.
+  std::vector<log::RecordShape> batch_shapes;
+  size_t batch_shape_count = 0;
   batch.reserve(options.batch_size);
   log::LogRecord record;
   bool eof = false;
@@ -293,13 +325,18 @@ Result<StreamingRunResult> Pipeline::RunStreaming(const std::string& input_path,
     // Replicate RemoveDuplicates's Renumber(): pre-clean seqs are
     // positional (parse diagnostics echo them).
     record.seq = pre_clean_count++;
+    if (bin_reader != nullptr) {
+      if (batch_shape_count == batch_shapes.size()) batch_shapes.emplace_back();
+      batch_shapes[batch_shape_count++].CopyFrom(bin_reader->last_shape());
+    }
     batch.push_back(std::move(record));
     if (batch.size() >= options.batch_size) {
-      parser.FeedBatch(batch);
+      parser.FeedBatch(batch, bin_reader != nullptr ? &batch_shapes : nullptr);
       batch.clear();
+      batch_shape_count = 0;
     }
   }
-  parser.FeedBatch(batch);
+  parser.FeedBatch(batch, bin_reader != nullptr ? &batch_shapes : nullptr);
   batch.clear();
   batch.shrink_to_fit();
   result.parsed = parser.Finish();
@@ -318,17 +355,23 @@ Result<StreamingRunResult> Pipeline::RunStreaming(const std::string& input_path,
                 result.stats);
 
   // Pass 2: re-read the input, skip the duplicates found in pass 1, and
-  // solve + emit the clean/removal logs incrementally.
-  log::LogWriterOptions writer_options;
-  writer_options.renumber = true;  // SolveAntipatterns Renumber()s both logs
-  log::LogWriter clean_writer(writer_options);
-  log::LogWriter removal_writer(writer_options);
-  SQLOG_RETURN_IF_ERROR_R(clean_writer.Open(clean_path));
-  SQLOG_RETURN_IF_ERROR_R(removal_writer.Open(removal_path));
-  StreamingSolver solver(result.parsed, result.antipatterns, clean_writer,
-                         removal_writer);
-  log::LogReader second_reader;
-  SQLOG_RETURN_IF_ERROR_R(second_reader.Open(input_path));
+  // solve + emit the clean/removal logs incrementally. Output format
+  // resolves per path (kAuto: by extension), so `clean.sqb` +
+  // `removal.csv` is a valid combination; `.sqb` outputs store recipes
+  // so they re-ingest parse-free.
+  std::unique_ptr<log::RecordWriter> clean_writer = log::LogIo::MakeLogWriter(
+      log::ResolveWriteFormat(options.output_format, clean_path),
+      /*renumber=*/true, BuildStatementRecipe);  // SolveAntipatterns Renumber()s
+  std::unique_ptr<log::RecordWriter> removal_writer = log::LogIo::MakeLogWriter(
+      log::ResolveWriteFormat(options.output_format, removal_path),
+      /*renumber=*/true, BuildStatementRecipe);
+  SQLOG_RETURN_IF_ERROR_R(clean_writer->Open(clean_path));
+  SQLOG_RETURN_IF_ERROR_R(removal_writer->Open(removal_path));
+  StreamingSolver solver(result.parsed, result.antipatterns, *clean_writer,
+                         *removal_writer);
+  auto second_reader_owned = log::LogIo::OpenLogReader(input_path, *input_format);
+  SQLOG_RETURN_IF_ERROR_R(second_reader_owned.status());
+  log::RecordReader& second_reader = **second_reader_owned;
   uint64_t second_count = 0;
   while (true) {
     SQLOG_RETURN_IF_ERROR_R(second_reader.ReadRecord(&record, &eof));
@@ -349,12 +392,12 @@ Result<StreamingRunResult> Pipeline::RunStreaming(const std::string& input_path,
     return Status::Internal("input shrank between streaming passes");
   }
   SQLOG_RETURN_IF_ERROR_R(solver.Finish());
-  SQLOG_RETURN_IF_ERROR_R(clean_writer.Close());
-  SQLOG_RETURN_IF_ERROR_R(removal_writer.Close());
+  SQLOG_RETURN_IF_ERROR_R(clean_writer->Close());
+  SQLOG_RETURN_IF_ERROR_R(removal_writer->Close());
 
   result.stats.solve = solver.stats();
-  result.stats.final_size = clean_writer.records_written();
-  result.stats.removal_size = removal_writer.records_written();
+  result.stats.final_size = clean_writer->records_written();
+  result.stats.removal_size = removal_writer->records_written();
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "core/statistics.h"
 #include "core/sws.h"
 #include "core/template_store.h"
+#include "log/log_io.h"
 #include "log/record.h"
 #include "util/status.h"
 
@@ -66,6 +67,14 @@ struct PipelineOptions {
   /// Records per streaming batch; larger batches parallelize better,
   /// smaller ones bound memory tighter.
   size_t batch_size = 4096;
+  /// Format of RunStreaming's input (kAuto probes the file magic, so a
+  /// renamed file still opens correctly). A binary `.sqb` input seeds
+  /// the parse cache from its template dictionary before the first
+  /// record: with stored recipes, ingestion runs with zero full parses.
+  log::LogFormat input_format = log::LogFormat::kAuto;
+  /// Format of RunStreaming's clean/removal outputs, resolved per path
+  /// (kAuto: a ".sqb" extension means binary, anything else CSV).
+  log::LogFormat output_format = log::LogFormat::kAuto;
 };
 
 /// Validates a PipelineOptions bundle; returns the first violation.
@@ -210,6 +219,14 @@ class PipelineBuilder {
   }
   PipelineBuilder& BatchSize(size_t batch_size) {
     options_.batch_size = batch_size;
+    return *this;
+  }
+  PipelineBuilder& InputFormat(log::LogFormat format) {
+    options_.input_format = format;
+    return *this;
+  }
+  PipelineBuilder& OutputFormat(log::LogFormat format) {
+    options_.output_format = format;
     return *this;
   }
 

@@ -388,8 +388,8 @@ SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& 
 }
 
 StreamingSolver::StreamingSolver(ParsedLog& parsed, const AntipatternReport& report,
-                                 log::LogWriter& clean_writer,
-                                 log::LogWriter& removal_writer)
+                                 log::RecordWriter& clean_writer,
+                                 log::RecordWriter& removal_writer)
     : parsed_(parsed),
       report_(report),
       clean_writer_(clean_writer),

@@ -68,7 +68,7 @@ SolveOutcome SolveAntipatterns(const log::QueryLog& pre_clean, const ParsedLog& 
 
 /// Incremental flavour of SolveAntipatterns for the streaming ingestion
 /// path: pre-clean records are fed one at a time in pre-clean order and
-/// the clean/removal rows are emitted straight to the two LogWriters —
+/// the clean/removal rows are emitted straight to the two RecordWriters (either format) —
 /// byte-identical (rows, order, renumbered seqs, SolveStats) to what
 /// SolveAntipatterns would produce over the whole log.
 ///
@@ -88,7 +88,7 @@ class StreamingSolver {
   /// Both writers must be open; they must be configured with
   /// renumber=true to reproduce SolveAntipatterns's Renumber().
   StreamingSolver(ParsedLog& parsed, const AntipatternReport& report,
-                  log::LogWriter& clean_writer, log::LogWriter& removal_writer);
+                  log::RecordWriter& clean_writer, log::RecordWriter& removal_writer);
 
   /// Feeds the next pre-clean record (call in pre-clean order, starting
   /// at position 0).
@@ -124,8 +124,8 @@ class StreamingSolver {
 
   ParsedLog& parsed_ SQLOG_SHARD_LOCAL;
   const AntipatternReport& report_ SQLOG_CONST_AFTER_INIT;
-  log::LogWriter& clean_writer_ SQLOG_SHARD_LOCAL;
-  log::LogWriter& removal_writer_ SQLOG_SHARD_LOCAL;
+  log::RecordWriter& clean_writer_ SQLOG_SHARD_LOCAL;
+  log::RecordWriter& removal_writer_ SQLOG_SHARD_LOCAL;
   SolveStats stats_ SQLOG_SHARD_LOCAL;
 
   /// pre-clean record index → ParsedLog query index.

@@ -1,6 +1,7 @@
 #include "core/template_store.h"
 
 #include <algorithm>
+#include <cassert>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -65,6 +66,8 @@ struct ParseShard {
   ParseStats stats;
 };
 
+constexpr uint64_t kUnmapped = ~uint64_t{0};
+
 /// Classifies + parses the records at [begin, end) of `records` into a
 /// shard; record_index values are shard-relative — MergeShards rebases
 /// them by its `index_base` (the records' position in the whole
@@ -76,10 +79,22 @@ struct ParseShard {
 /// the streaming parser's persistent cache — read-only here, it is
 /// frozen while shards run. Every outcome (queries, counts, diagnostics)
 /// is byte-identical to the uncached path.
+///
+/// `shapes`/`seed_table` (both nullable, always together) enable the
+/// `.sqb` zero-lex path: shapes[i] is records[i]'s on-disk encoding and
+/// seed_table maps its dictionary ordinal to the seeded cache entry. A
+/// shaped record with a cacheable seeded entry renders its facts from
+/// the constant spans — no lex, no key, no fingerprint. The writer-side
+/// canonical-span contract (binlog.cc RawSpanIsCanonical) makes the
+/// derived slot texts byte-equal to the lexed ones, so every observable
+/// outcome still matches the unshaped path; anything the contract does
+/// not cover falls through to it.
 ParseShard ParseShardRange(const log::LogRecord* records, size_t begin, size_t end,
                            size_t max_diagnostics,
                            const ParseCacheOptions& cache_options,
-                           const ParseCache* shared_cache) {
+                           const ParseCache* shared_cache,
+                           const log::RecordShape* shapes,
+                           const std::vector<const ParseCacheEntry*>* seed_table) {
   ParseShard shard;
   shard.queries.reserve(end - begin);
   if (cache_options.fingerprint_for_test) {
@@ -88,7 +103,12 @@ ParseShard ParseShardRange(const log::LogRecord* records, size_t begin, size_t e
   // Local template ids already assigned to hit entries, so repeated hits
   // skip the store's skeleton-equality probe too.
   std::unordered_map<const ParseCacheEntry*, uint64_t> entry_template_id;
-  std::string key;  // reused normalized-key buffer
+  std::string key;                      // reused normalized-key buffer
+  std::vector<std::string> slot_texts;  // reused fast-path slot buffer
+  // Fast-path memo: dictionary ordinal → local template id. An indexed
+  // vector, not a hash probe — this runs once per record.
+  std::vector<uint64_t> ordinal_template_id(
+      seed_table != nullptr ? seed_table->size() : 0, kUnmapped);
 
   auto record_failure = [&](size_t i, const log::LogRecord& record, std::string message) {
     ++shard.syntax_error_count;
@@ -113,6 +133,50 @@ ParseShard ParseShardRange(const log::LogRecord* records, size_t begin, size_t e
 
   for (size_t i = begin; i < end; ++i) {
     const log::LogRecord& record = records[i];
+
+    // Zero-lex fast path: the record's `.sqb` shape hands us the seeded
+    // template entry and the literal spans directly. The entry's key is
+    // the statement's normalized key by construction (the writer interns
+    // by key and splice-verifies), so classification and lexing are
+    // already answered.
+    if (shapes != nullptr && seed_table != nullptr &&
+        shapes[i].template_ordinal != log::RecordShape::kVerbatim &&
+        shapes[i].template_ordinal < seed_table->size()) {
+      const log::RecordShape& shape = shapes[i];
+      const ParseCacheEntry* entry = (*seed_table)[shape.template_ordinal];
+      if (entry != nullptr) {
+        if (!entry->parse_ok) {
+          // Seeded failure: short-circuit exactly like a failure hit —
+          // unless the diagnostics quota is open, where the slow path
+          // re-parses for the record-specific message.
+          if (shard.diagnostics.size() >= max_diagnostics) {
+            ++shard.syntax_error_count;
+            ++shard.stats.failure_hits;
+            continue;
+          }
+        } else if (entry->cacheable && entry->slots.size() == shape.constants.size() &&
+                   DeriveSlotTexts(*entry, record.statement, shape.constants,
+                                   &slot_texts)) {
+          ++shard.stats.cache_hits;
+          ParsedQuery query;
+          query.record_index = i;
+          query.timestamp_ms = record.timestamp_ms;
+          query.row_count = record.row_count;
+          query.facts = RenderFactsFromSlotTexts(*entry, slot_texts);
+          size_t local_index = shard.queries.size();
+          uint64_t& memo_id = ordinal_template_id[shape.template_ordinal];
+          if (memo_id == kUnmapped) {
+            memo_id = shard.store.Intern(query.facts.tmpl, local_index);
+          }
+          query.template_id = memo_id;
+          shard.queries.push_back(std::move(query));
+          continue;
+        }
+        // Uncacheable entry, slot-count mismatch, non-canonical span, or
+        // an open diagnostics quota: the regular path below handles it.
+      }
+    }
+
     if (sql::ClassifyStatement(record.statement) != sql::StatementKind::kSelect) {
       ++shard.non_select_count;
       continue;
@@ -225,8 +289,6 @@ ParseShard ParseShardRange(const log::LogRecord* records, size_t begin, size_t e
   return shard;
 }
 
-constexpr uint64_t kUnmapped = ~uint64_t{0};
-
 /// Merges parse shards covering `records` (pre-clean indices offset by
 /// `index_base`) into `store`/`parsed` in order. Shards are contiguous
 /// record ranges, so walking them in shard order visits queries in
@@ -308,7 +370,8 @@ ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
       num_shards > 1 ? pool : nullptr, log.size(), num_shards,
       [&](size_t, size_t begin, size_t end) {
         return ParseShardRange(records, begin, end, max_diagnostics,
-                               cache_options, /*shared_cache=*/nullptr);
+                               cache_options, /*shared_cache=*/nullptr,
+                               /*shapes=*/nullptr, /*seed_table=*/nullptr);
       });
 
   // Reduce: merge shards in order, then build the per-user streams.
@@ -333,7 +396,30 @@ StreamingParser::StreamingParser(TemplateStore& store, size_t max_diagnostics,
   }
 }
 
-void StreamingParser::FeedBatch(const std::vector<log::LogRecord>& records) {
+void StreamingParser::SeedCache(std::vector<std::unique_ptr<ParseCacheEntry>> entries) {
+  if (!cache_options_.enabled) return;
+  seed_by_ordinal_.reserve(seed_by_ordinal_.size() + entries.size());
+  for (std::unique_ptr<ParseCacheEntry>& entry : entries) {
+    if (entry == nullptr) {
+      seed_by_ordinal_.push_back(nullptr);
+      continue;
+    }
+    // Stamp with this cache's fingerprint function (the serialized form
+    // carries none, so the collision-forcing test seam keeps working).
+    entry->fingerprint = cache_.Fingerprint(entry->key);
+    const ParseCacheEntry* existing = cache_.Find(entry->fingerprint, entry->key);
+    if (existing == nullptr) existing = cache_.Insert(std::move(entry));
+    seed_by_ordinal_.push_back(existing);
+  }
+}
+
+void StreamingParser::ReserveQueries(size_t n) { parsed_.queries.reserve(n); }
+
+void StreamingParser::FeedBatch(const std::vector<log::LogRecord>& records,
+                                const std::vector<log::RecordShape>* shapes) {
+  // Callers keep a reusable pool, so the vector may run longer than the
+  // batch; only the first records.size() shapes are consulted.
+  assert(shapes == nullptr || shapes->size() >= records.size());
   if (records.empty()) return;
   const size_t index_base = records_fed_;
   const log::LogRecord* data = records.data();
@@ -343,11 +429,20 @@ void StreamingParser::FeedBatch(const std::vector<log::LogRecord>& records) {
   // flight; templates discovered this batch land in the shard-local
   // caches and are promoted below, after the shards join.
   const ParseCache* shared_cache = cache_options_.enabled ? &cache_ : nullptr;
+  // Shapes ride only with an enabled cache and a seeded dictionary (the
+  // ordinal table is frozen alongside the cache while shards run).
+  const log::RecordShape* shape_data =
+      shared_cache != nullptr && shapes != nullptr && !seed_by_ordinal_.empty()
+          ? shapes->data()
+          : nullptr;
+  const std::vector<const ParseCacheEntry*>* seed_table =
+      shape_data != nullptr ? &seed_by_ordinal_ : nullptr;
   std::vector<ParseShard> shards = util::MapShards<ParseShard>(
       num_shards > 1 ? pool_ : nullptr, records.size(), num_shards,
       [&](size_t, size_t begin, size_t end) {
         ParseShard shard = ParseShardRange(data, begin, end, max_diagnostics_,
-                                           cache_options_, shared_cache);
+                                           cache_options_, shared_cache,
+                                           shape_data, seed_table);
         // Shard-local record indices → global pre-clean positions.
         for (ParsedQuery& query : shard.queries) query.record_index += index_base;
         for (ParseDiagnostic& diagnostic : shard.diagnostics) {

@@ -147,9 +147,40 @@ class StreamingParser {
                   util::ThreadPool* pool = nullptr,
                   const ParseCacheOptions& cache_options = {});
 
+  /// Seeds the persistent cache with pre-built entries (deserialized
+  /// from a `.sqb` dictionary) before the first batch. Entries whose key
+  /// is already cached are dropped; each kept entry is stamped with this
+  /// cache's fingerprint function. No-op when the cache is disabled.
+  /// Records whose templates are all seeded then parse with zero full
+  /// parses — hits and failure short-circuits only.
+  ///
+  /// The list's order is remembered as the dictionary-ordinal table for
+  /// the zero-lex fast path: position i (null entries included) answers
+  /// for RecordShape::template_ordinal == i in shaped FeedBatch calls.
+  void SeedCache(std::vector<std::unique_ptr<ParseCacheEntry>> entries);
+
   /// Parses one batch of records appended at the current pre-clean
   /// position (records_fed() before the call).
-  void FeedBatch(const std::vector<log::LogRecord>& records);
+  ///
+  /// `shapes` (optional) holds one log::RecordShape per record (a longer
+  /// pooled vector is fine; the tail is ignored), as produced by
+  /// BinLogReader::last_shape(). A record whose shape names
+  /// a seeded, cacheable dictionary ordinal skips lexing and
+  /// fingerprinting entirely — its facts render straight from the
+  /// constant spans (DeriveSlotTexts), and a seeded parse *failure*
+  /// short-circuits to a syntax-error count once the diagnostics quota
+  /// is exhausted. Everything else (verbatim records, unseeded or
+  /// uncacheable templates, open diagnostics quota) falls through to the
+  /// regular cached path, so results are byte-identical with or without
+  /// shapes at any thread count.
+  void FeedBatch(const std::vector<log::LogRecord>& records,
+                 const std::vector<log::RecordShape>* shapes = nullptr);
+
+  /// Capacity hint: reserve for `n` total queries up front. Readers that
+  /// know the record count (`.sqb` carries it in the footer) use this to
+  /// spare the accumulated-query vector its geometric realloc moves —
+  /// ParsedQuery is a fat object, so those moves are measurable.
+  void ReserveQueries(size_t n);
 
   /// Builds the per-user streams and returns the accumulated log. The
   /// parser must not be fed afterwards.
@@ -166,6 +197,9 @@ class StreamingParser {
   /// Persistent across batches: frozen (const reads only) while shards
   /// are in flight, mutated between batches on the feeding thread.
   ParseCache cache_ SQLOG_SHARD_LOCAL;
+  /// Dictionary ordinal → seeded cache entry (null: parse that one).
+  /// Built by SeedCache, read concurrently by shards like cache_.
+  std::vector<const ParseCacheEntry*> seed_by_ordinal_ SQLOG_SHARD_LOCAL;
   ParsedLog parsed_ SQLOG_SHARD_LOCAL;
   size_t records_fed_ SQLOG_SHARD_LOCAL = 0;
 };

@@ -36,6 +36,44 @@ Result<LogRecord> RecordFromCsvFields(std::vector<std::string>&& fields,
 /// Byte-identical to the rows LogIo::ToCsv emits.
 void AppendCsvRow(const LogRecord& record, uint64_t seq, std::string& out);
 
+/// Format-agnostic record-stream seams. The CSV LogReader/LogWriter and
+/// the binary BinLogReader/BinLogWriter (log/binlog.h) both implement
+/// them, so the streaming pipeline and the CLI can ingest or emit either
+/// format through one code path (LogIo picks the implementation by
+/// magic-byte detection).
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+
+  /// Opens `path` for reading; IoError when it cannot be opened (a
+  /// structurally invalid file may also fail here with a ParseError).
+  virtual Status Open(const std::string& path) = 0;
+
+  /// Reads the next record into `*record`. Sets `*eof` (and leaves
+  /// `*record` untouched) when the input is exhausted.
+  virtual Status ReadRecord(LogRecord* record, bool* eof) = 0;
+
+  /// Records decoded so far.
+  virtual uint64_t records_read() const = 0;
+};
+
+class RecordWriter {
+ public:
+  virtual ~RecordWriter() = default;
+
+  /// Opens `path` for writing (truncates); IoError on failure.
+  virtual Status Open(const std::string& path) = 0;
+
+  /// Appends one record.
+  virtual Status Append(const LogRecord& record) = 0;
+
+  /// Finalizes and closes the output. Append afterwards is an error;
+  /// Open may be called again.
+  virtual Status Close() = 0;
+
+  virtual uint64_t records_written() const = 0;
+};
+
 /// Options for LogReader.
 struct LogReaderOptions {
   /// Records per ReadBatch call.
@@ -52,7 +90,7 @@ struct LogReaderOptions {
 /// recognized only on the first logical line; a stray header mid-file is
 /// a ParseError, as is any malformed numeric field or a final record
 /// truncated inside a quoted field.
-class LogReader {
+class LogReader : public RecordReader {
  public:
   explicit LogReader(LogReaderOptions options = {});
 
@@ -60,11 +98,11 @@ class LogReader {
   LogReader& operator=(LogReader&&) = default;
 
   /// Opens `path` for reading; IoError when it cannot be opened.
-  Status Open(const std::string& path);
+  Status Open(const std::string& path) override;
 
   /// Reads the next record into `*record`. Sets `*eof` (and leaves
   /// `*record` untouched) when the input is exhausted.
-  Status ReadRecord(LogRecord* record, bool* eof);
+  Status ReadRecord(LogRecord* record, bool* eof) override;
 
   /// Clears `*batch` and fills it with up to options.batch_size records.
   /// An empty batch after an OK return means end of input.
@@ -74,7 +112,7 @@ class LogReader {
   bool exhausted() const { return exhausted_; }
 
   /// Records decoded so far (excluding the header and blank lines).
-  uint64_t records_read() const { return records_read_; }
+  uint64_t records_read() const override { return records_read_; }
 
  private:
   /// Pulls the next logical line; false at end of input.
@@ -105,28 +143,28 @@ struct LogWriterOptions {
 /// bounded buffer, so a log of any size can be written with O(buffer)
 /// memory. The byte stream is identical to LogIo::WriteFile of the same
 /// record sequence (after Renumber() when options.renumber is set).
-class LogWriter {
+class LogWriter : public RecordWriter {
  public:
   explicit LogWriter(LogWriterOptions options = {});
-  ~LogWriter();
+  ~LogWriter() override;
 
   LogWriter(LogWriter&&) = default;
   LogWriter& operator=(LogWriter&&) = default;
 
   /// Opens `path` for writing (truncates); IoError on failure.
-  Status Open(const std::string& path);
+  Status Open(const std::string& path) override;
 
   /// Appends one record.
-  Status Append(const LogRecord& record);
+  Status Append(const LogRecord& record) override;
 
   /// Writes buffered bytes through to the file.
   Status Flush();
 
   /// Flushes and closes; Append afterwards is an error. Open may be
   /// called again. Destruction without Close() flushes best-effort.
-  Status Close();
+  Status Close() override;
 
-  uint64_t records_written() const { return records_written_; }
+  uint64_t records_written() const override { return records_written_; }
 
  private:
   LogWriterOptions options_ SQLOG_CONST_AFTER_INIT;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sqlog::log {
@@ -34,6 +35,34 @@ const char* TruthLabelName(TruthLabel label);
 
 /// Parses a truth-label name; unknown names map to kUnlabeled.
 TruthLabel ParseTruthLabel(const std::string& name);
+
+/// How a `.sqb` record was encoded on disk: the dictionary ordinal of
+/// its template plus the byte range of each constant inside the decoded
+/// statement text, in dictionary-span order. Verbatim records (and every
+/// record of a non-`.sqb` source) carry `kVerbatim` and no spans.
+/// BinLogReader surfaces one shape per record so ingestion can derive
+/// literal slot texts straight from the spans and skip lexing entirely
+/// (core::StreamingParser's seeded fast path). Declared here rather than
+/// in binlog.h so core can name the type without pulling in the format.
+struct RecordShape {
+  static constexpr uint32_t kVerbatim = ~uint32_t{0};
+  uint32_t template_ordinal = kVerbatim;
+  std::vector<std::pair<uint32_t, uint32_t>> constants;  // (offset, size)
+
+  /// Overwrites this shape with `other` (verbatim when null), reusing the
+  /// span vector's capacity. Batch loops that collect one shape per record
+  /// use this against a pooled element instead of copy-constructing, so
+  /// steady state costs no allocation per record.
+  void CopyFrom(const RecordShape* other) {
+    if (other == nullptr) {
+      template_ordinal = kVerbatim;
+      constants.clear();
+    } else {
+      template_ordinal = other->template_ordinal;
+      constants.assign(other->constants.begin(), other->constants.end());
+    }
+  }
+};
 
 /// One raw query-log row. Mirrors the SkyServer SQL-log columns the
 /// paper relies on: statement text, timestamp, requesting IP ("user"),

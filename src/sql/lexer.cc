@@ -53,8 +53,8 @@ Result<TokenStream> Lex(std::string_view s) {
   size_t i = 0;
   const size_t n = s.size();
 
-  auto push = [&](TokenType type, std::string_view text, size_t offset) {
-    tokens.push_back(Token{type, text, offset});
+  auto push = [&](TokenType type, std::string_view text, size_t offset, size_t end) {
+    tokens.push_back(Token{type, text, offset, end});
   };
 
   // Scans a quoted region starting after the opening quote. `close` is
@@ -86,7 +86,7 @@ Result<TokenStream> Lex(std::string_view s) {
     std::string_view raw = s.substr(body, i - body);
     ++i;  // closing quote
     if (!escaped) {
-      push(type, raw, start);
+      push(type, raw, start, i);
       return Status::OK();
     }
     std::string text;
@@ -95,7 +95,7 @@ Result<TokenStream> Lex(std::string_view s) {
       text.push_back(raw[k]);
       if (raw[k] == close) ++k;  // skip the doubled escape character
     }
-    push(type, stream.Materialize(std::move(text)), start);
+    push(type, stream.Materialize(std::move(text)), start, i);
     return Status::OK();
   };
 
@@ -159,7 +159,7 @@ Result<TokenStream> Lex(std::string_view s) {
       if (i == body) {
         return Status::ParseError(StrFormat("bare '@' at offset %zu", start));
       }
-      push(TokenType::kVariable, s.substr(body, i - body), start);
+      push(TokenType::kVariable, s.substr(body, i - body), start, i);
       continue;
     }
     // Number. A leading digit, or a '.' followed by a digit.
@@ -177,9 +177,9 @@ Result<TokenStream> Lex(std::string_view s) {
           // Token text is normalized to a lowercase "0x" prefix.
           push(TokenType::kNumber,
                stream.Materialize("0x" + std::string(s.substr(digits, i - digits))),
-               start);
+               start, i);
         } else {
-          push(TokenType::kNumber, s.substr(start, i - start), start);
+          push(TokenType::kNumber, s.substr(start, i - start), start, i);
         }
       } else {
         bool seen_dot = false;
@@ -199,7 +199,7 @@ Result<TokenStream> Lex(std::string_view s) {
             i = mark;  // 'e' starts an identifier, not an exponent
           }
         }
-        push(TokenType::kNumber, s.substr(start, i - start), start);
+        push(TokenType::kNumber, s.substr(start, i - start), start, i);
       }
       continue;
     }
@@ -207,26 +207,26 @@ Result<TokenStream> Lex(std::string_view s) {
     if (IsIdentStart(c)) {
       size_t start = i;
       while (i < n && IsIdentChar(s[i])) ++i;
-      push(TokenType::kIdentifier, s.substr(start, i - start), start);
+      push(TokenType::kIdentifier, s.substr(start, i - start), start, i);
       continue;
     }
     // Operators and punctuation. Texts are static strings.
     size_t start = i;
     switch (c) {
-      case ',': push(TokenType::kComma, ",", start); ++i; break;
-      case '(': push(TokenType::kLParen, "(", start); ++i; break;
-      case ')': push(TokenType::kRParen, ")", start); ++i; break;
-      case '.': push(TokenType::kDot, ".", start); ++i; break;
-      case ';': push(TokenType::kSemicolon, ";", start); ++i; break;
-      case '*': push(TokenType::kStar, "*", start); ++i; break;
-      case '+': push(TokenType::kPlus, "+", start); ++i; break;
-      case '-': push(TokenType::kMinus, "-", start); ++i; break;
-      case '/': push(TokenType::kSlash, "/", start); ++i; break;
-      case '%': push(TokenType::kPercent, "%", start); ++i; break;
-      case '=': push(TokenType::kEq, "=", start); ++i; break;
+      case ',': push(TokenType::kComma, ",", start, start + 1); ++i; break;
+      case '(': push(TokenType::kLParen, "(", start, start + 1); ++i; break;
+      case ')': push(TokenType::kRParen, ")", start, start + 1); ++i; break;
+      case '.': push(TokenType::kDot, ".", start, start + 1); ++i; break;
+      case ';': push(TokenType::kSemicolon, ";", start, start + 1); ++i; break;
+      case '*': push(TokenType::kStar, "*", start, start + 1); ++i; break;
+      case '+': push(TokenType::kPlus, "+", start, start + 1); ++i; break;
+      case '-': push(TokenType::kMinus, "-", start, start + 1); ++i; break;
+      case '/': push(TokenType::kSlash, "/", start, start + 1); ++i; break;
+      case '%': push(TokenType::kPercent, "%", start, start + 1); ++i; break;
+      case '=': push(TokenType::kEq, "=", start, start + 1); ++i; break;
       case '!':
         if (i + 1 < n && s[i + 1] == '=') {
-          push(TokenType::kNotEq, "!=", start);
+          push(TokenType::kNotEq, "!=", start, start + 2);
           i += 2;
         } else {
           return Status::ParseError(StrFormat("unexpected '!' at offset %zu", start));
@@ -234,22 +234,22 @@ Result<TokenStream> Lex(std::string_view s) {
         break;
       case '<':
         if (i + 1 < n && s[i + 1] == '>') {
-          push(TokenType::kNotEq, "<>", start);
+          push(TokenType::kNotEq, "<>", start, start + 2);
           i += 2;
         } else if (i + 1 < n && s[i + 1] == '=') {
-          push(TokenType::kLessEq, "<=", start);
+          push(TokenType::kLessEq, "<=", start, start + 2);
           i += 2;
         } else {
-          push(TokenType::kLess, "<", start);
+          push(TokenType::kLess, "<", start, start + 1);
           ++i;
         }
         break;
       case '>':
         if (i + 1 < n && s[i + 1] == '=') {
-          push(TokenType::kGreaterEq, ">=", start);
+          push(TokenType::kGreaterEq, ">=", start, start + 2);
           i += 2;
         } else {
-          push(TokenType::kGreater, ">", start);
+          push(TokenType::kGreater, ">", start, start + 1);
           ++i;
         }
         break;
@@ -259,7 +259,7 @@ Result<TokenStream> Lex(std::string_view s) {
                       static_cast<unsigned char>(c), start));
     }
   }
-  tokens.push_back(Token{TokenType::kEnd, {}, n});
+  tokens.push_back(Token{TokenType::kEnd, {}, n, n});
   return stream;
 }
 

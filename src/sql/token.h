@@ -48,8 +48,13 @@ struct Token {
   TokenType type = TokenType::kEnd;
   std::string_view text;
   size_t offset = 0;  // byte offset in the original statement
+  size_t end = 0;     // one past the token's last raw byte in the statement
 
   bool Is(TokenType t) const { return type == t; }
+
+  /// The token's raw byte extent in the original statement. For quoted
+  /// tokens this spans the quotes, so it can differ from text.size().
+  size_t raw_size() const { return end - offset; }
 };
 
 /// A lexed statement: the token vector plus owned storage for the few

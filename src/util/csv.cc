@@ -118,11 +118,13 @@ bool Csv::LineSplitter::Next(std::string* line) {
 void Csv::LineSplitter::Finish() {
   if (finished_) return;
   finished_ = true;
-  if (pending_cr_) {
+  // One unified flush: a deferred CR counts as a terminator for the line
+  // accumulated so far (even an empty one), and any other pending bytes
+  // form a final unterminated line. This holds regardless of where the
+  // caller's chunk boundaries fell — a final record ending exactly at a
+  // chunk boundary without a trailing newline is still emitted.
+  if (pending_cr_ || !current_.empty()) {
     pending_cr_ = false;
-    ready_.push_back(std::move(current_));
-    current_.clear();
-  } else if (!current_.empty()) {
     ready_.push_back(std::move(current_));
     current_.clear();
   }

@@ -3,7 +3,8 @@
 // Each file under fuzz/corpus/<harness>/ is one input: regression
 // entries are named regression-*; the rest are seeds. Entries under
 // solver/ hold a text seed for the solver-vs-engine equivalence oracle
-// instead of raw SQL.
+// instead of raw SQL; entries under binlog/ hold `.sqb` container bytes
+// (valid and deliberately corrupted) for the binlog robustness oracle.
 //
 // Run just this suite with:  ctest -L check-fuzz-corpus
 
@@ -52,7 +53,7 @@ TEST(FuzzCorpusReplayTest, CorpusCoversEveryHarness) {
   std::map<std::string, size_t> per_harness;
   for (const auto& entry : LoadCorpus()) per_harness[entry.harness]++;
   for (const char* harness :
-       {"lexer", "parser", "printer", "skeleton", "dedup", "solver"}) {
+       {"lexer", "parser", "printer", "skeleton", "dedup", "solver", "binlog"}) {
     EXPECT_GT(per_harness[harness], 0u) << "no corpus entries for " << harness;
   }
 }
@@ -67,6 +68,10 @@ TEST(FuzzCorpusReplayTest, EveryEntryPassesItsOracles) {
     oracle::OracleResult result;
     if (entry.harness == "solver") {
       result = oracle::CheckSolverEngineEquivalence(seed);
+    } else if (entry.harness == "binlog") {
+      // Binary `.sqb` container bytes, not SQL text: the robustness
+      // oracle (structured rejection + deterministic decode) applies.
+      result = oracle::CheckBinLogRobustness(entry.bytes);
     } else {
       result = oracle::RunFrontEndOracles(entry.bytes, seed);
     }

@@ -264,6 +264,82 @@ TEST(LineSplitterTest, FlagsUnterminatedQuote) {
   EXPECT_TRUE(splitter.truncated_in_quotes());
 }
 
+// Regression: a final unterminated record whose last byte lands exactly
+// on a Feed() chunk boundary used to be dropped — Finish() only flushed
+// bytes it considered "pending", and the chunk-edge state confused that
+// test. The unified Finish() emits it regardless of where chunks fell.
+TEST(LineSplitterTest, FinalLineAtExactChunkBoundaryIsEmitted) {
+  const std::string text = "first\nfinal";  // no trailing newline
+  for (size_t chunk : {size_t{1}, size_t{5}, size_t{6}, text.size()}) {
+    Csv::LineSplitter splitter;
+    std::vector<std::string> got;
+    std::string line;
+    for (size_t pos = 0; pos < text.size(); pos += chunk) {
+      splitter.Feed(std::string_view(text).substr(pos, chunk));
+      while (splitter.Next(&line)) got.push_back(line);
+    }
+    splitter.Finish();
+    while (splitter.Next(&line)) got.push_back(line);
+    ASSERT_EQ(got.size(), 2u) << "chunk size " << chunk;
+    EXPECT_EQ(got[0], "first");
+    EXPECT_EQ(got[1], "final");
+  }
+}
+
+// Regression companion: an input ending in a bare CR defers the line
+// break (an LF might follow in the next chunk) — at Finish() that CR is
+// a real terminator, even for an empty final line.
+TEST(LineSplitterTest, TrailingCrTerminatesTheFinalLine) {
+  {
+    Csv::LineSplitter splitter;
+    splitter.Feed("abc\r");
+    splitter.Finish();
+    std::string line;
+    ASSERT_TRUE(splitter.Next(&line));
+    EXPECT_EQ(line, "abc");
+    EXPECT_FALSE(splitter.Next(&line));
+  }
+  {
+    Csv::LineSplitter splitter;
+    splitter.Feed("x\n\r");  // "x", then an empty CR-terminated line
+    splitter.Finish();
+    std::vector<std::string> got;
+    std::string line;
+    while (splitter.Next(&line)) got.push_back(line);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], "x");
+    EXPECT_EQ(got[1], "");
+  }
+}
+
+// Reader-level regression: a file whose final record has no trailing
+// newline must parse at every chunk size — including the chunk sizes
+// that put the record's last byte exactly at a read boundary.
+TEST(LogStreamTest, FinalRecordWithoutTrailingNewlineAtEveryChunkSize) {
+  QueryLog original;
+  original.Append(Make(0, 1000, "alice", "SELECT a FROM t"));
+  original.Append(Make(1, 2000, "bob", "SELECT b,\n\"c\" FROM u"));
+  std::string csv = LogIo::ToCsv(original);
+  while (!csv.empty() && csv.back() == '\n') csv.pop_back();
+  const std::string path = TempPath("log_stream_no_final_newline.csv");
+  WriteText(path, csv);
+  for (size_t chunk = 1; chunk <= csv.size(); ++chunk) {
+    LogReaderOptions options;
+    options.chunk_bytes = chunk;
+    LogReader reader(options);
+    ASSERT_TRUE(reader.Open(path).ok()) << "chunk " << chunk;
+    std::vector<LogRecord> all;
+    std::vector<LogRecord> batch;
+    while (true) {
+      ASSERT_TRUE(reader.ReadBatch(&batch).ok()) << "chunk " << chunk;
+      if (batch.empty()) break;
+      for (auto& record : batch) all.push_back(std::move(record));
+    }
+    ExpectSameRecords(original, all);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(StringArenaTest, InternReturnsStableDeduplicatedViews) {
   StringArena arena;
   std::string a = "hello";

@@ -12,6 +12,7 @@
 #include "engine/database.h"
 #include "engine/executor.h"
 #include "fuzz/sql_mutator.h"
+#include "log/binlog.h"
 #include "log/record.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
@@ -484,6 +485,68 @@ OracleResult CheckSolverEngineEquivalence(uint64_t seed) {
     return Fail(StrFormat("DW rewrite returns different rows (%zu vs %zu) for [%s]",
                           actual.size(), expected.size(),
                           Preview(rewritten.value()).c_str()));
+  }
+  return Ok();
+}
+
+namespace {
+
+bool SameRecord(const log::LogRecord& a, const log::LogRecord& b) {
+  return a.seq == b.seq && a.timestamp_ms == b.timestamp_ms && a.user == b.user &&
+         a.session == b.session && a.statement == b.statement &&
+         a.row_count == b.row_count && a.truth == b.truth;
+}
+
+/// Opens `input` as a `.sqb` buffer and drains it. Returns the final
+/// status (OK or the first structural error); decoded records land in
+/// `*records`.
+Status DrainBinLog(std::string_view input, std::vector<log::LogRecord>* records) {
+  log::BinLogReader reader;
+  SQLOG_RETURN_IF_ERROR(reader.OpenFromBuffer(input));
+  log::LogRecord record;
+  bool eof = false;
+  while (true) {
+    SQLOG_RETURN_IF_ERROR(reader.ReadRecord(&record, &eof));
+    if (eof) return Status::OK();
+    if (records->size() >= reader.record_count()) {
+      return Status::Internal("reader produced more records than the footer declares");
+    }
+    records->push_back(record);
+  }
+}
+
+}  // namespace
+
+OracleResult CheckBinLogRobustness(std::string_view input) {
+  std::vector<log::LogRecord> first_records;
+  Status first = DrainBinLog(input, &first_records);
+  if (!first.ok()) {
+    if (first.code() != StatusCode::kParseError) {
+      return Fail(StrFormat("binlog rejection is %s, not ParseError: %s",
+                            StatusCodeName(first.code()), first.message().c_str()));
+    }
+    if (first.message().find("at offset") == std::string::npos ||
+        first.message().find("section") == std::string::npos) {
+      return Fail("binlog ParseError does not name an offset and section: " +
+                  first.message());
+    }
+  }
+  // Determinism: a second, independent reader must agree exactly —
+  // same status text and, on acceptance, the same record stream.
+  std::vector<log::LogRecord> second_records;
+  Status second = DrainBinLog(input, &second_records);
+  if (first.code() != second.code() || first.message() != second.message()) {
+    return Fail(StrFormat("binlog decode is nondeterministic: '%s' vs '%s'",
+                          first.ToString().c_str(), second.ToString().c_str()));
+  }
+  if (first_records.size() != second_records.size()) {
+    return Fail(StrFormat("binlog decode is nondeterministic: %zu vs %zu records",
+                          first_records.size(), second_records.size()));
+  }
+  for (size_t i = 0; i < first_records.size(); ++i) {
+    if (!SameRecord(first_records[i], second_records[i])) {
+      return Fail(StrFormat("binlog decode is nondeterministic at record %zu", i));
+    }
   }
   return Ok();
 }

@@ -60,6 +60,14 @@ OracleResult CheckParseCacheEquivalence(std::string_view input, uint64_t seed);
 /// exactly the union of the original per-query results.
 OracleResult CheckSolverEngineEquivalence(uint64_t seed);
 
+/// Binary-log robustness: the bytes are opened as a `.sqb` container.
+/// Rejection must be a structured ParseError naming an offset and
+/// section; acceptance must decode within the footer's record count.
+/// Either way the outcome must be deterministic (two independent
+/// readers agree byte-for-byte) — and never a crash, hang, or silent
+/// short read.
+OracleResult CheckBinLogRobustness(std::string_view input);
+
 /// Every front-end oracle in sequence; stops at the first failure.
 OracleResult RunFrontEndOracles(std::string_view input, uint64_t seed);
 

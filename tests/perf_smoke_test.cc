@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
 #include "catalog/schema.h"
+#include "core/parse_cache.h"
 #include "core/pipeline.h"
 #include "log/generator.h"
+#include "log/log_io.h"
 
 namespace sqlog {
 namespace {
@@ -71,6 +74,41 @@ TEST(PerfSmokeTest, CachedPipelineMatchesUncachedWithStrictlyFewerFullParses) {
   // Template-heavy workload: most statements must ride the cache.
   EXPECT_GT(with.parses_avoided(), cached.parsed.queries.size() / 2);
   EXPECT_GT(with.templates_cached, 0u);
+}
+
+TEST(PerfSmokeTest, SqbIngestDoesZeroFullParses) {
+  // The binary format's whole point: the template dictionary ships
+  // validated parse recipes, so re-ingesting a `.sqb` file seeds the
+  // cache up front and never runs the parser — full_parses stays at
+  // exactly zero. Diagnostics are capped at 0 so the handful of
+  // syntax-error statements short-circuit on their (failed) recipes too.
+  const log::QueryLog raw = FixedLog();
+  const catalog::Schema schema = catalog::MakeSkyServerSchema();
+  const std::string sqb_path = ::testing::TempDir() + "/perf_smoke.sqb";
+  ASSERT_TRUE(log::LogIo::WriteFile(raw, sqb_path, log::LogFormat::kSqb,
+                                    core::BuildStatementRecipe)
+                  .ok());
+
+  auto pipeline = core::PipelineBuilder()
+                      .WithSchema(&schema)
+                      .Streaming(true)
+                      .MaxParseDiagnostics(0)
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  const std::string clean_path = ::testing::TempDir() + "/perf_smoke_clean.csv";
+  const std::string removal_path = ::testing::TempDir() + "/perf_smoke_removal.csv";
+  auto run = pipeline->RunStreaming(sqb_path, clean_path, removal_path);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  const core::ParseStats& stats = run->parsed.parse_stats;
+  EXPECT_EQ(stats.full_parses, 0u);
+  EXPECT_GT(stats.parses_avoided(), 0u);
+  // And the run actually processed the workload, not a degenerate log.
+  EXPECT_GT(run->parsed.queries.size(), 10000u);
+
+  std::remove(sqb_path.c_str());
+  std::remove(clean_path.c_str());
+  std::remove(removal_path.c_str());
 }
 
 }  // namespace

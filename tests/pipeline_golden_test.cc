@@ -15,6 +15,7 @@
 #include <string>
 
 #include "catalog/schema.h"
+#include "core/parse_cache.h"
 #include "core/pipeline.h"
 #include "log/generator.h"
 #include "log/log_io.h"
@@ -172,6 +173,67 @@ TEST(PipelineGoldenTest, StreamingIsByteIdenticalAtAnyBatchSizeAndThreadCount) {
     }
   }
   std::remove(input_path.c_str());
+}
+
+TEST(PipelineGoldenTest, StreamingSqbFormatsAreByteIdenticalToTheCsvReference) {
+  // Format must be output-invisible exactly like thread count: a `.sqb`
+  // input (ingested via dictionary recipes, zero full parses) and `.sqb`
+  // outputs (decoded back to CSV) reproduce the CSV reference byte for
+  // byte at 1 and 8 threads.
+  const log::QueryLog raw = FixedLog();
+  const catalog::Schema schema = catalog::MakeSkyServerSchema();
+
+  core::PipelineResult reference = RunAt(1, raw, schema);
+  const std::string want_table = reference.stats.ToTable();
+  const std::string want_clean = log::LogIo::ToCsv(reference.clean_log);
+  const std::string want_removal = log::LogIo::ToCsv(reference.removal_log);
+
+  const std::string csv_input = ::testing::TempDir() + "/golden_fmt_input.csv";
+  const std::string sqb_input = ::testing::TempDir() + "/golden_fmt_input.sqb";
+  ASSERT_TRUE(log::LogIo::WriteFile(raw, csv_input).ok());
+  ASSERT_TRUE(log::LogIo::WriteFile(raw, sqb_input, log::LogFormat::kSqb,
+                                    core::BuildStatementRecipe)
+                  .ok());
+
+  for (const std::string& input : {csv_input, sqb_input}) {
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      for (bool sqb_output : {false, true}) {
+        SCOPED_TRACE("input=" + input + " threads=" + std::to_string(threads) +
+                     " sqb_output=" + (sqb_output ? "yes" : "no"));
+        const char* ext = sqb_output ? ".sqb" : ".csv";
+        const std::string clean_path =
+            ::testing::TempDir() + "/golden_fmt_clean" + ext;
+        const std::string removal_path =
+            ::testing::TempDir() + "/golden_fmt_removal" + ext;
+        auto pipeline = core::PipelineBuilder()
+                            .WithSchema(&schema)
+                            .NumThreads(threads)
+                            .Streaming(true)
+                            .Build();
+        ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+        // Input/output formats resolve from the extensions (kAuto).
+        auto run = pipeline->RunStreaming(input, clean_path, removal_path);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        EXPECT_EQ(run->stats.ToTable(), want_table);
+
+        if (sqb_output) {
+          auto clean = log::LogIo::ReadFile(clean_path);
+          auto removal = log::LogIo::ReadFile(removal_path);
+          ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+          ASSERT_TRUE(removal.ok()) << removal.status().ToString();
+          EXPECT_EQ(log::LogIo::ToCsv(*clean), want_clean);
+          EXPECT_EQ(log::LogIo::ToCsv(*removal), want_removal);
+        } else {
+          EXPECT_EQ(ReadAll(clean_path), want_clean);
+          EXPECT_EQ(ReadAll(removal_path), want_removal);
+        }
+        std::remove(clean_path.c_str());
+        std::remove(removal_path.c_str());
+      }
+    }
+  }
+  std::remove(csv_input.c_str());
+  std::remove(sqb_input.c_str());
 }
 
 }  // namespace

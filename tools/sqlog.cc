@@ -1,9 +1,10 @@
 // sqlog — the operator command-line tool. Wraps the library end to end:
 //
 //   sqlog generate <n> <out.csv>            synthesize a SkyServer-style log
-//   sqlog clean <in.csv> <out-prefix>       run the full pipeline, write
+//   sqlog convert <in> <out>                convert between CSV and binary .sqb
+//   sqlog clean <in> <out-prefix>           run the full pipeline, write
 //                                           <prefix>.clean.csv/.removal.csv
-//   sqlog stats <in.csv>                    Table 5-style overview
+//   sqlog stats <in>                        Table 5-style overview
 //   sqlog patterns <in.csv> [k]             top-k patterns with descriptions
 //   sqlog antipatterns <in.csv> [k]         top-k distinct antipatterns
 //   sqlog report <in.csv>                   per-detector hits, template-clustered
@@ -24,6 +25,7 @@
 #include "analysis/clustering.h"
 #include "analysis/describe.h"
 #include "analysis/recommender.h"
+#include "log/binlog.h"
 
 namespace {
 
@@ -33,13 +35,16 @@ using namespace sqlog;
 // command handlers only need the forward declaration.
 int Usage();
 
-/// --streaming / --batch-size=<n> / --no-parse-cache, stripped from the
-/// argument list by ParseStreamFlags (remaining positional args shift
-/// down).
+/// --streaming / --batch-size=<n> / --no-parse-cache / --format=<f>,
+/// stripped from the argument list by ParseStreamFlags (remaining
+/// positional args shift down). Returns the new argc, or -1 after
+/// printing an error for a malformed flag value.
 struct StreamFlags {
   bool streaming = false;
   size_t batch_size = 4096;
   bool parse_cache = true;
+  /// Input format; auto probes for the `.sqb` magic.
+  log::LogFormat format = log::LogFormat::kAuto;
 };
 
 int ParseStreamFlags(int argc, char** argv, StreamFlags* flags) {
@@ -56,6 +61,15 @@ int ParseStreamFlags(int argc, char** argv, StreamFlags* flags) {
     }
     if (std::strcmp(argv[i], "--no-parse-cache") == 0) {
       flags->parse_cache = false;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--format=", 9) == 0) {
+      auto format = log::ParseLogFormatName(argv[i] + 9);
+      if (!format.ok()) {
+        std::fprintf(stderr, "error: %s\n", format.status().ToString().c_str());
+        return -1;
+      }
+      flags->format = *format;
       continue;
     }
     argv[kept++] = argv[i];
@@ -81,7 +95,10 @@ void PrintParseCacheReport(const core::ParseStats& ps) {
       hit_rate);
 }
 
-Result<log::QueryLog> Load(const char* path) { return log::LogIo::ReadFile(path); }
+Result<log::QueryLog> Load(const char* path,
+                           log::LogFormat format = log::LogFormat::kAuto) {
+  return log::LogIo::ReadFile(path, format);
+}
 
 Result<core::PipelineResult> RunPipeline(const log::QueryLog& raw,
                                          const StreamFlags& flags = {}) {
@@ -106,6 +123,7 @@ Result<core::StreamingRunResult> RunStreamingPipeline(const StreamFlags& flags,
                       .Streaming(true)
                       .BatchSize(flags.batch_size)
                       .ParseCache(flags.parse_cache)
+                      .InputFormat(flags.format)
                       .Build();
   SQLOG_RETURN_IF_ERROR_R(pipeline.status());
   return pipeline->RunStreaming(input, clean_path, removal_path);
@@ -126,9 +144,79 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
+/// `sqlog convert`: re-encodes a log between CSV and the binary `.sqb`
+/// container. The direction comes from --to-csv/--to-sqb or, absent
+/// both, the output extension; the input format is probed. A CSV →
+/// `.sqb` → CSV round trip is byte-identical.
+int CmdConvert(int argc, char** argv) {
+  log::LogFormat target = log::LogFormat::kAuto;
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--to-csv") == 0) {
+      target = log::LogFormat::kCsv;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--to-sqb") == 0) {
+      target = log::LogFormat::kSqb;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  if (argc < 2) return Usage();
+  const std::string in_path = argv[0];
+  const std::string out_path = argv[1];
+  target = log::ResolveWriteFormat(target, out_path);
+
+  auto reader = log::LogIo::OpenLogReader(in_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  auto copy_all = [&](log::RecordWriter& writer) -> Status {
+    SQLOG_RETURN_IF_ERROR(writer.Open(out_path));
+    log::LogRecord record;
+    bool eof = false;
+    while (true) {
+      SQLOG_RETURN_IF_ERROR((*reader)->ReadRecord(&record, &eof));
+      if (eof) break;
+      SQLOG_RETURN_IF_ERROR(writer.Append(record));
+    }
+    return writer.Close();
+  };
+
+  if (target == log::LogFormat::kSqb) {
+    log::BinLogWriterOptions options;
+    // Recipes make the file self-describing: re-ingestion seeds the
+    // parse cache from the dictionary and runs with zero full parses.
+    options.recipe_builder = core::BuildStatementRecipe;
+    log::BinLogWriter writer(options);
+    Status s = copy_all(writer);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%llu records, %llu templates, %llu stored verbatim)\n",
+                out_path.c_str(), (unsigned long long)writer.records_written(),
+                (unsigned long long)writer.dictionary_size(),
+                (unsigned long long)writer.verbatim_records());
+  } else {
+    log::LogWriter writer;
+    Status s = copy_all(writer);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%llu records)\n", out_path.c_str(),
+                (unsigned long long)writer.records_written());
+  }
+  return 0;
+}
+
 int CmdClean(int argc, char** argv) {
   StreamFlags flags;
   argc = ParseStreamFlags(argc, argv, &flags);
+  if (argc < 0) return 2;
   if (argc < 2) return Usage();
   if (flags.streaming) {
     std::string prefix = argv[1];
@@ -147,7 +235,7 @@ int CmdClean(int argc, char** argv) {
                 (unsigned long long)run->stats.removal_size);
     return 0;
   }
-  auto raw = Load(argv[0]);
+  auto raw = Load(argv[0], flags.format);
   if (!raw.ok()) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
     return 1;
@@ -178,6 +266,7 @@ int CmdClean(int argc, char** argv) {
 int CmdStats(int argc, char** argv) {
   StreamFlags flags;
   argc = ParseStreamFlags(argc, argv, &flags);
+  if (argc < 0) return 2;
   if (argc < 1) return Usage();
   if (flags.streaming) {
     // stats has no output files of its own; the streaming pass still
@@ -196,7 +285,7 @@ int CmdStats(int argc, char** argv) {
     PrintParseCacheReport(run->parsed.parse_stats);
     return 0;
   }
-  auto raw = Load(argv[0]);
+  auto raw = Load(argv[0], flags.format);
   if (!raw.ok()) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
     return 1;
@@ -276,6 +365,9 @@ int CmdAntipatterns(int argc, char** argv) {
 /// clustering applied to detector output, so one robot that tripped a
 /// detector under many templates reads as one cluster.
 int CmdReport(int argc, char** argv) {
+  StreamFlags flags;
+  argc = ParseStreamFlags(argc, argv, &flags);
+  if (argc < 0) return 2;
   std::vector<std::string> ids = core::DetectorRegistry::Global().Ids();
   int kept = 0;
   for (int i = 0; i < argc; ++i) {
@@ -296,7 +388,7 @@ int CmdReport(int argc, char** argv) {
   argc = kept;
   if (argc < 1) return Usage();
 
-  auto raw = Load(argv[0]);
+  auto raw = Load(argv[0], flags.format);
   if (!raw.ok()) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
     return 1;
@@ -448,12 +540,14 @@ struct Command {
 
 constexpr Command kCommands[] = {
     {"generate", "<n> <out.csv>", "synthesize a SkyServer-style log", CmdGenerate},
-    {"clean", "<in.csv> <out-prefix>",
+    {"convert", "<in> <out> [--to-csv|--to-sqb]",
+     "convert between CSV and the binary .sqb format", CmdConvert},
+    {"clean", "<in> <out-prefix>",
      "clean a log; writes <prefix>.clean.csv and <prefix>.removal.csv", CmdClean},
-    {"stats", "<in.csv>", "results overview (paper Table 5)", CmdStats},
+    {"stats", "<in>", "results overview (paper Table 5)", CmdStats},
     {"patterns", "<in.csv> [k]", "top-k patterns with descriptions", CmdPatterns},
     {"antipatterns", "<in.csv> [k]", "top-k distinct antipatterns", CmdAntipatterns},
-    {"report", "<in.csv> [--detectors=a,b]",
+    {"report", "<in> [--detectors=a,b]",
      "per-detector hits grouped by template cluster", CmdReport},
     {"cluster", "<in.csv> [threshold]", "data-space clustering summary", CmdCluster},
     {"recommend", "<in.csv> <sql>", "suggest likely next queries", CmdRecommend},
@@ -474,7 +568,9 @@ int Usage() {
       "                               implies --streaming)\n"
       "  --no-parse-cache             disable the template fingerprint cache and\n"
       "                               fully parse every statement (escape hatch;\n"
-      "                               output is identical either way)\n");
+      "                               output is identical either way)\n"
+      "  --format=auto|csv|sqb        input format (default auto: the binary\n"
+      "                               .sqb magic is probed, anything else is CSV)\n");
   return 2;
 }
 
