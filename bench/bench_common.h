@@ -3,6 +3,7 @@
 
 #include <sys/resource.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +37,24 @@ inline size_t SelfPeakRssBytes() {
   std::fclose(status);
   return kb * 1024;
 #endif
+}
+
+/// `numerator / denominator` with the failure modes a timing loop can
+/// hit folded to 0: a 0-record or 0-duration run would otherwise emit
+/// `inf`/`nan`, which fprintf renders as bare `inf`/`nan` tokens —
+/// invalid JSON that breaks every downstream consumer. All emitted
+/// rates and ratios must pass through here (scripts/check_bench_json.py
+/// rejects non-finite values in checked-in BENCH_*.json).
+inline double SafeDiv(double numerator, double denominator) {
+  if (!(denominator != 0.0)) return 0.0;
+  double v = numerator / denominator;
+  return std::isfinite(v) ? v : 0.0;
+}
+
+/// Records-per-second guarded against empty or instantaneous runs.
+inline double SafeRate(double count, double seconds) {
+  if (!(seconds > 0.0) || count <= 0.0) return 0.0;
+  return SafeDiv(count, seconds);
 }
 
 /// Strips a `--json=<path>` flag from argv (compacting the remaining

@@ -30,7 +30,9 @@ struct IngestResult {
   double seconds = 0;
   uint64_t records = 0;
   core::ParseStats parse_stats;
-  double records_per_sec() const { return records / seconds; }
+  double records_per_sec() const {
+    return bench::SafeRate(static_cast<double>(records), seconds);
+  }
 };
 
 /// Reads `path` and parses every record with the fingerprint cache on —
@@ -144,8 +146,9 @@ int main(int argc, char** argv) {
   IngestResult csv = Ingest(csv_path, /*is_sqb=*/false);
   IngestResult sqb = Ingest(sqb_path, /*is_sqb=*/true);
 
-  const double size_ratio = static_cast<double>(csv_bytes) / sqb_bytes;
-  const double speedup = sqb.records_per_sec() / csv.records_per_sec();
+  const double size_ratio = bench::SafeDiv(static_cast<double>(csv_bytes),
+                                           static_cast<double>(sqb_bytes));
+  const double speedup = bench::SafeDiv(sqb.records_per_sec(), csv.records_per_sec());
 
   std::printf("records               %s\n", bench::Thousands(csv.records).c_str());
   std::printf("csv bytes             %s\n", bench::Thousands(csv_bytes).c_str());

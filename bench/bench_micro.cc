@@ -18,10 +18,13 @@
 #include "core/pipeline.h"
 #include "core/template_store.h"
 #include "log/generator.h"
+#include "sql/fingerprint.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "sql/skeleton.h"
+#include "util/csv.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -117,6 +120,86 @@ void BM_TemplateGroupingStringKey(benchmark::State& state) {
 }
 BENCHMARK(BM_TemplateGroupingStringKey);
 
+/// A slice of the study log shared by the kernel benchmarks below: big
+/// enough to wash out dispatch overhead, small enough per iteration.
+const log::QueryLog& KernelBenchLog() {
+  static log::QueryLog log = [] {
+    log::GeneratorConfig config;
+    config.target_statements = 20000;
+    return log::GenerateLog(config);
+  }();
+  return log;
+}
+
+/// Pins the kernel table for one benchmark run: Arg(0) forces the
+/// scalar twins, Arg(1) leaves runtime dispatch in charge — comparing
+/// the two rows is the measured SIMD speedup on the study workload.
+class KernelModeGuard {
+ public:
+  explicit KernelModeGuard(int64_t arg) {
+    if (arg == 0) simd::ForceLevelForTest(simd::Level::kScalar);
+  }
+  ~KernelModeGuard() { simd::ResetLevelForTest(); }
+};
+
+const char* KernelModeLabel(int64_t arg) { return arg == 0 ? "scalar" : "dispatched"; }
+
+/// Lex + normalized-key fingerprint over the study slice — the hot loop
+/// of the parse cache (skip-space/skip-identifier kernels plus the
+/// block-wise 128-bit hash).
+void BM_LexFingerprintKernels(benchmark::State& state) {
+  const log::QueryLog& log = KernelBenchLog();
+  KernelModeGuard guard(state.range(0));
+  std::string key;
+  for (auto _ : state) {
+    for (const auto& record : log.records()) {
+      auto tokens = sql::Lex(record.statement);
+      if (!tokens.ok()) continue;
+      key.clear();
+      sql::AppendNormalizedKey(tokens.value(), &key);
+      sql::TokenFingerprint fp = sql::FingerprintKey(key);
+      benchmark::DoNotOptimize(fp);
+    }
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(log.size()));
+  }
+  state.SetLabel(KernelModeLabel(state.range(0)));
+}
+BENCHMARK(BM_LexFingerprintKernels)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// CSV logical-line splitting over the serialized study slice, fed in
+/// 64 KiB chunks like the streaming reader (quote/CR/LF scan kernel).
+void BM_CsvSplitKernels(benchmark::State& state) {
+  static std::string content = [] {
+    std::string text;
+    for (const auto& record : KernelBenchLog().records()) {
+      text += Csv::JoinLine({std::to_string(record.seq),
+                             std::to_string(record.timestamp_ms), record.user,
+                             record.statement});
+      text += '\n';
+    }
+    return text;
+  }();
+  KernelModeGuard guard(state.range(0));
+  constexpr size_t kChunk = 64 * 1024;
+  std::string line;
+  for (auto _ : state) {
+    Csv::LineSplitter splitter;
+    size_t lines = 0;
+    for (size_t i = 0; i < content.size(); i += kChunk) {
+      splitter.Feed(std::string_view(content).substr(i, kChunk));
+      while (splitter.Next(&line)) ++lines;
+    }
+    splitter.Finish();
+    while (splitter.Next(&line)) ++lines;
+    benchmark::DoNotOptimize(lines);
+    state.SetBytesProcessed(state.bytes_processed() +
+                            static_cast<int64_t>(content.size()));
+  }
+  state.SetLabel(KernelModeLabel(state.range(0)));
+}
+BENCHMARK(BM_CsvSplitKernels)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_GenerateLog(benchmark::State& state) {
   for (auto _ : state) {
     log::GeneratorConfig config;
@@ -199,8 +282,8 @@ ParseMeasurement MeasureParse(const log::QueryLog& raw, bool cache_enabled) {
   core::ParsedLog parsed = core::ParseLog(raw, store, nullptr, 0, options);
   m.seconds = timer.ElapsedSeconds();
   m.stats = parsed.parse_stats;
-  m.records_per_sec = static_cast<double>(raw.size()) / m.seconds;
-  m.ns_per_record = m.seconds * 1e9 / static_cast<double>(raw.size());
+  m.records_per_sec = bench::SafeRate(static_cast<double>(raw.size()), m.seconds);
+  m.ns_per_record = bench::SafeDiv(m.seconds * 1e9, static_cast<double>(raw.size()));
   return m;
 }
 
@@ -237,11 +320,12 @@ int WriteParseJson(const std::string& path) {
                static_cast<unsigned long long>(cached.stats.parses_avoided()),
                static_cast<unsigned long long>(cached.stats.templates_cached),
                static_cast<unsigned long long>(cached.stats.cache_bytes));
-  std::fprintf(out, "  \"speedup\": %.3f,\n", uncached.seconds / cached.seconds);
+  const double speedup = bench::SafeDiv(uncached.seconds, cached.seconds);
+  std::fprintf(out, "  \"speedup\": %.3f,\n", speedup);
   std::fprintf(out, "  \"peak_rss_bytes\": %zu\n}\n", bench::SelfPeakRssBytes());
   std::fclose(out);
-  std::printf("wrote %s (parse speedup %.2fx, hit rate %.1f%%)\n", path.c_str(),
-              uncached.seconds / cached.seconds, hit_rate * 100.0);
+  std::printf("wrote %s (parse speedup %.2fx, hit rate %.1f%%)\n", path.c_str(), speedup,
+              hit_rate * 100.0);
   return 0;
 }
 

@@ -240,7 +240,7 @@ int main(int argc, char** argv) {
     if (threads == 1) serial_seconds = seconds;
     thread_sweep.emplace_back(threads, seconds);
     std::printf("  num_threads=%zu  %8.2fs  speedup %.2fx  (clean log %s)\n", threads,
-                seconds, serial_seconds / seconds,
+                seconds, bench::SafeDiv(serial_seconds, seconds),
                 bench::Thousands(result.stats.final_size).c_str());
   }
 
@@ -316,13 +316,13 @@ int main(int argc, char** argv) {
     std::fprintf(out, "    \"original_seconds\": %.6f,\n", original_seconds);
     std::fprintf(out, "    \"rewritten_seconds\": %.6f,\n", rewritten_seconds);
     std::fprintf(out, "    \"speedup\": %.3f\n  },\n",
-                 original_seconds / rewritten_seconds);
+                 bench::SafeDiv(original_seconds, rewritten_seconds));
     std::fprintf(out, "  \"pipeline_thread_sweep\": [\n");
     for (size_t i = 0; i < thread_sweep.size(); ++i) {
       std::fprintf(out,
                    "    {\"threads\": %zu, \"seconds\": %.6f, \"speedup\": %.3f}%s\n",
                    thread_sweep[i].first, thread_sweep[i].second,
-                   serial_seconds / thread_sweep[i].second,
+                   bench::SafeDiv(serial_seconds, thread_sweep[i].second),
                    i + 1 < thread_sweep.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n  \"ingestion_sweep\": [\n");

@@ -18,7 +18,7 @@ int main() {
   std::printf("%s\n", result.stats.ToTable().c_str());
   std::printf("pipeline wall time: %.2fs over %s statements (%.0f stmts/s)\n\n", seconds,
               bench::Thousands(raw.size()).c_str(),
-              static_cast<double>(raw.size()) / seconds);
+              bench::SafeRate(static_cast<double>(raw.size()), seconds));
 
   double final_share = 100.0 * static_cast<double>(result.stats.final_size) /
                        static_cast<double>(result.stats.original_size);

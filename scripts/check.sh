@@ -30,9 +30,14 @@ cmake --preset default \
   -DSQLOG_THREAD_SAFETY=${thread_safety}
 cmake --build --preset default -j "$jobs"
 
-# 2. Repo lint (rules R1-R6, see DESIGN.md).
+# 2. Repo lint (rules R1-R7, see DESIGN.md).
 step "sqlog-lint"
 ./build/tools/sqlog-lint --config=tools/lint/lint_config.txt src tools bench fuzz
+
+# 2b. Checked-in bench artifacts must be strict JSON with finite numbers
+#     (a 0-duration run would otherwise leak bare inf/nan tokens).
+step "bench JSON schema check"
+python3 scripts/check_bench_json.py BENCH_*.json
 
 # 3. CLI smoke: the report subcommand must run the full detector catalog
 #    over a generated log without errors (the per-detector P/R tests live
@@ -61,6 +66,12 @@ cmp /tmp/sqlog_smoke_clean.a.removal.csv /tmp/sqlog_smoke_clean.b.removal.csv
 #    and the memory-budget test).
 step "ctest (default preset)"
 ctest --preset default -j "$jobs"
+
+# 4b. The same sweep with the dispatched kernels forced to their scalar
+#     twins: every test (golden matrix included) must be byte-identical
+#     in both dispatch modes.
+step "ctest (default preset, SQLOG_FORCE_SCALAR=1)"
+SQLOG_FORCE_SCALAR=1 ctest --preset default -j "$jobs"
 
 if [[ $fast -eq 1 ]]; then
   step "done (--fast: sanitizer presets skipped)"

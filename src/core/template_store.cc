@@ -51,11 +51,20 @@ uint32_t TemplateStore::InternUser(const std::string& user) {
   return id;
 }
 
+void TemplateStore::MergeUses(uint64_t id, uint64_t frequency,
+                              const std::unordered_set<uint32_t>& local_users,
+                              const std::vector<uint32_t>& user_map) {
+  TemplateInfo& info = templates_[id];
+  info.frequency += frequency;
+  // sqlog-lint: deterministic-merge(set-into-set union; the result is the same for any visit order)
+  for (uint32_t local : local_users) info.users.insert(user_map[local]);
+}
+
 namespace {
 
-/// Parse output of one contiguous record shard, with template ids local
-/// to the shard's store. `queries[i].user_id` is left 0 — users are
-/// interned during the serial merge so ids match the serial path.
+/// Parse output of one contiguous record shard, with template ids and
+/// user ids local to the shard's store; MergeShards translates both to
+/// global ids in shard order, which reproduces the serial assignment.
 struct ParseShard {
   TemplateStore store;
   std::vector<ParsedQuery> queries;
@@ -128,6 +137,8 @@ ParseShard ParseShardRange(const log::LogRecord* records, size_t begin, size_t e
     query.facts = std::move(facts);
     size_t local_index = shard.queries.size();
     query.template_id = shard.store.Intern(query.facts.tmpl, local_index);
+    query.user_id = shard.store.InternUser(record.user);
+    shard.store.RecordUse(query.template_id, query.user_id);
     shard.queries.push_back(std::move(query));
   };
 
@@ -169,6 +180,8 @@ ParseShard ParseShardRange(const log::LogRecord* records, size_t begin, size_t e
             memo_id = shard.store.Intern(query.facts.tmpl, local_index);
           }
           query.template_id = memo_id;
+          query.user_id = shard.store.InternUser(record.user);
+          shard.store.RecordUse(query.template_id, query.user_id);
           shard.queries.push_back(std::move(query));
           continue;
         }
@@ -284,21 +297,48 @@ ParseShard ParseShardRange(const log::LogRecord* records, size_t begin, size_t e
                  .first;
     }
     query.template_id = memo->second;
+    query.user_id = shard.store.InternUser(record.user);
+    shard.store.RecordUse(query.template_id, query.user_id);
     shard.queries.push_back(std::move(query));
   }
   return shard;
 }
 
-/// Merges parse shards covering `records` (pre-clean indices offset by
-/// `index_base`) into `store`/`parsed` in order. Shards are contiguous
-/// record ranges, so walking them in shard order visits queries in
-/// exactly the serial order — global template ids, user ids, first_query
+/// Merges parse shards into `store`/`parsed` in shard order. Shards are
+/// contiguous record ranges, so shard order visits queries in exactly
+/// the serial order — global template ids, user ids, first_query
 /// indices, and per-template statistics come out byte-identical to the
 /// serial path.
-void MergeShards(std::vector<ParseShard>& shards, const log::LogRecord* records,
-                 size_t index_base, TemplateStore& store, size_t max_diagnostics,
-                 ParsedLog& parsed) {
-  for (ParseShard& shard : shards) {
+///
+/// The join runs in two phases so the per-query work scales with the
+/// pool (the serial merge was the sublinear stage BENCH_scaling.json
+/// exposed):
+///  1. Serial id assignment over each shard's *distinct* templates and
+///     users only. Within a shard, local ids are dense in first-use
+///     order, so walking local ids ascending inside an in-order shard
+///     walk replays the exact serial intern sequence — template ids,
+///     user ids, and first_query indices match the serial path. The
+///     per-template frequency/user aggregates fold in here too
+///     (order-independent).
+///  2. Parallel remap + placement: every query's template_id/user_id is
+///     translated through its shard's id maps and the query is moved
+///     into its precomputed slot in `parsed.queries`. Shards own
+///     disjoint slot ranges, so the phase is data-race-free.
+void MergeShards(std::vector<ParseShard>& shards, TemplateStore& store,
+                 size_t max_diagnostics, ParsedLog& parsed,
+                 util::ThreadPool* pool) {
+  const size_t base = parsed.queries.size();
+  std::vector<size_t> offsets(shards.size(), 0);
+  std::vector<std::vector<uint64_t>> template_maps(shards.size());
+  std::vector<std::vector<uint32_t>> user_maps(shards.size());
+
+  // Phase 1: counters, diagnostics, and id assignment (serial; touches
+  // only distinct templates/users, not every query).
+  size_t total = 0;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    ParseShard& shard = shards[s];
+    offsets[s] = base + total;
+    total += shard.queries.size();
     parsed.non_select_count += shard.non_select_count;
     parsed.syntax_error_count += shard.syntax_error_count;
     parsed.parse_stats.Merge(shard.stats);
@@ -307,38 +347,80 @@ void MergeShards(std::vector<ParseShard>& shards, const log::LogRecord* records,
         parsed.diagnostics.push_back(std::move(diagnostic));
       }
     }
-    std::vector<uint64_t> local_to_global(shard.store.size(), kUnmapped);
-    for (ParsedQuery& query : shard.queries) {
-      size_t query_index = parsed.queries.size();
-      uint64_t local_id = query.template_id;
-      if (local_to_global[local_id] == kUnmapped) {
-        // First use in this shard: intern the canonical skeleton into
-        // the global store (a no-op id lookup when an earlier shard
-        // already interned an equal template).
-        local_to_global[local_id] = store.Intern(query.facts.tmpl, query_index);
-      }
-      query.template_id = local_to_global[local_id];
-      query.user_id = store.InternUser(records[query.record_index - index_base].user);
-      store.RecordUse(query.template_id, query.user_id);
-      parsed.queries.push_back(std::move(query));
+
+    // Users: local ids are dense in first-appearance order (id 0 is the
+    // anonymous user, pre-interned in both stores).
+    std::vector<uint32_t>& user_map = user_maps[s];
+    const std::vector<std::string>& local_users = shard.store.user_names();
+    user_map.resize(local_users.size());
+    for (size_t u = 0; u < local_users.size(); ++u) {
+      user_map[u] = store.InternUser(local_users[u]);
     }
+
+    // Templates: local ids are dense in first-use order; a local
+    // first_query is shard-relative, so rebasing by the shard's slot
+    // offset yields the global index of the template's first use.
+    std::vector<uint64_t>& template_map = template_maps[s];
+    const std::vector<TemplateInfo>& locals = shard.store.templates();
+    template_map.resize(locals.size());
+    for (uint64_t local_id = 0; local_id < locals.size(); ++local_id) {
+      const TemplateInfo& local = locals[local_id];
+      uint64_t global_id = store.Intern(local.tmpl, offsets[s] + local.first_query);
+      template_map[local_id] = global_id;
+      store.MergeUses(global_id, local.frequency, local.users, user_map);
+    }
+  }
+
+  // Phase 2: remap + place every query (parallel; shards write disjoint
+  // slot ranges of the preallocated tail).
+  parsed.queries.resize(base + total);
+  auto place_shard = [&](size_t s) {
+    ParseShard& shard = shards[s];
+    const std::vector<uint64_t>& template_map = template_maps[s];
+    const std::vector<uint32_t>& user_map = user_maps[s];
+    for (size_t k = 0; k < shard.queries.size(); ++k) {
+      ParsedQuery& query = shard.queries[k];
+      query.template_id = template_map[query.template_id];
+      query.user_id = user_map[query.user_id];
+      parsed.queries[offsets[s] + k] = std::move(query);
+    }
+  };
+  if (pool != nullptr && shards.size() > 1) {
+    pool->ParallelFor(0, shards.size(), 1, [&](size_t first, size_t last) {
+      for (size_t s = first; s < last; ++s) place_shard(s);
+    });
+  } else {
+    for (size_t s = 0; s < shards.size(); ++s) place_shard(s);
   }
 }
 
 /// Builds the per-user time-ordered streams from the merged queries.
-void BuildUserStreams(const TemplateStore& store, ParsedLog& parsed) {
+/// The bucketing pass is serial (stream membership follows query order);
+/// the per-stream sorts are independent and run on the pool. The
+/// comparator is a strict total order (record_index is unique), so the
+/// sorted streams are identical regardless of scheduling.
+void BuildUserStreams(const TemplateStore& store, ParsedLog& parsed,
+                      util::ThreadPool* pool) {
   parsed.user_names = store.user_names();
   parsed.user_streams.assign(store.user_names().size(), {});
   for (size_t i = 0; i < parsed.queries.size(); ++i) {
     parsed.user_streams[parsed.queries[i].user_id].push_back(i);
   }
-  for (auto& stream : parsed.user_streams) {
-    std::stable_sort(stream.begin(), stream.end(), [&](size_t a, size_t b) {
-      const ParsedQuery& qa = parsed.queries[a];
-      const ParsedQuery& qb = parsed.queries[b];
-      if (qa.timestamp_ms != qb.timestamp_ms) return qa.timestamp_ms < qb.timestamp_ms;
-      return qa.record_index < qb.record_index;
-    });
+  auto sort_streams = [&](size_t first, size_t last) {
+    for (size_t s = first; s < last; ++s) {
+      std::vector<size_t>& stream = parsed.user_streams[s];
+      std::stable_sort(stream.begin(), stream.end(), [&](size_t a, size_t b) {
+        const ParsedQuery& qa = parsed.queries[a];
+        const ParsedQuery& qb = parsed.queries[b];
+        if (qa.timestamp_ms != qb.timestamp_ms) return qa.timestamp_ms < qb.timestamp_ms;
+        return qa.record_index < qb.record_index;
+      });
+    }
+  };
+  if (pool != nullptr && parsed.user_streams.size() > 1) {
+    pool->ParallelFor(0, parsed.user_streams.size(), 1, sort_streams);
+  } else {
+    sort_streams(0, parsed.user_streams.size());
   }
 }
 
@@ -375,12 +457,12 @@ ParsedLog ParseLog(const log::QueryLog& log, TemplateStore& store,
       });
 
   // Reduce: merge shards in order, then build the per-user streams.
-  MergeShards(shards, records, /*index_base=*/0, store, max_diagnostics, parsed);
+  MergeShards(shards, store, max_diagnostics, parsed, pool);
   for (const ParseShard& shard : shards) {
     parsed.parse_stats.templates_cached += shard.cache.size();
     parsed.parse_stats.cache_bytes += shard.cache.bytes();
   }
-  BuildUserStreams(store, parsed);
+  BuildUserStreams(store, parsed, pool);
   return parsed;
 }
 
@@ -452,7 +534,7 @@ void StreamingParser::FeedBatch(const std::vector<log::LogRecord>& records,
       });
 
   size_t first_new = parsed_.queries.size();
-  MergeShards(shards, data, index_base, store_, max_diagnostics_, parsed_);
+  MergeShards(shards, store_, max_diagnostics_, parsed_, pool_);
 
   // Promote shard-discovered templates into the persistent cache in
   // shard order (insertion order within a shard), skipping keys an
@@ -480,7 +562,7 @@ void StreamingParser::FeedBatch(const std::vector<log::LogRecord>& records,
 ParsedLog StreamingParser::Finish() {
   parsed_.parse_stats.templates_cached = cache_.size();
   parsed_.parse_stats.cache_bytes = cache_.bytes();
-  BuildUserStreams(store_, parsed_);
+  BuildUserStreams(store_, parsed_, pool_);
   return std::move(parsed_);
 }
 

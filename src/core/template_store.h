@@ -89,6 +89,14 @@ class TemplateStore {
   /// Records one occurrence by `user_id` for template `id`.
   void RecordUse(uint64_t id, uint32_t user_id);
 
+  /// Merge hook for the sharded parse: folds `frequency` occurrences and
+  /// a shard's local user-id set (translated through `user_map`) into
+  /// template `id` — the same aggregate per-query RecordUse calls would
+  /// have built serially.
+  void MergeUses(uint64_t id, uint64_t frequency,
+                 const std::unordered_set<uint32_t>& local_users,
+                 const std::vector<uint32_t>& user_map);
+
   const TemplateInfo& Get(uint64_t id) const { return templates_[id]; }
   size_t size() const { return templates_.size(); }
   const std::vector<TemplateInfo>& templates() const { return templates_; }

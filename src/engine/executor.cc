@@ -7,6 +7,7 @@
 
 #include "sql/parser.h"
 #include "sql/printer.h"
+#include "util/byte_class.h"
 #include "util/string_util.h"
 
 namespace sqlog::engine {
@@ -80,7 +81,7 @@ bool LikeMatch(const std::string& text, const std::string& pattern) {
   size_t p = 0;
   size_t star_p = std::string::npos;
   size_t star_t = 0;
-  auto lower = [](char c) { return std::tolower(static_cast<unsigned char>(c)); };
+  auto lower = [](char c) { return ToLowerByte(c); };
   while (t < text.size()) {
     if (p < pattern.size() &&
         (pattern[p] == '_' || lower(pattern[p]) == lower(text[t]))) {

@@ -1,6 +1,6 @@
 #include "engine/value.h"
 
-#include <cctype>
+#include "util/byte_class.h"
 #include <cstdlib>
 
 #include "util/string_util.h"
@@ -40,8 +40,8 @@ int Value::Compare(const Value& other) const {
     const std::string& b = other.string_;
     size_t n = a.size() < b.size() ? a.size() : b.size();
     for (size_t i = 0; i < n; ++i) {
-      int ca = std::tolower(static_cast<unsigned char>(a[i]));
-      int cb = std::tolower(static_cast<unsigned char>(b[i]));
+      int ca = static_cast<unsigned char>(ToLowerByte(a[i]));
+      int cb = static_cast<unsigned char>(ToLowerByte(b[i]));
       if (ca != cb) return ca < cb ? -1 : 1;
     }
     if (a.size() == b.size()) return 0;

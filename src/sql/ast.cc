@@ -1,6 +1,6 @@
 #include "sql/ast.h"
 
-#include <cctype>
+#include "util/byte_class.h"
 
 #include "util/string_util.h"
 
@@ -70,7 +70,7 @@ StatementKind ClassifyStatement(const std::string& statement_text) {
   while (!trimmed.empty() && trimmed.front() == '(') trimmed = Trim(trimmed.substr(1));
   size_t end = 0;
   while (end < trimmed.size() &&
-         (std::isalpha(static_cast<unsigned char>(trimmed[end])) != 0)) {
+         IsAlphaByte(trimmed[end])) {
     ++end;
   }
   std::string_view word = trimmed.substr(0, end);

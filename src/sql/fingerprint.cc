@@ -1,8 +1,6 @@
 #include "sql/fingerprint.h"
 
-#include <cctype>
-
-#include "util/hash.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace sqlog::sql {
@@ -39,9 +37,9 @@ void AppendFolded(std::string_view text, std::string* key) {
   key->push_back(static_cast<char>((n >> 8) & 0xff));
   key->push_back(static_cast<char>((n >> 16) & 0xff));
   key->push_back(static_cast<char>((n >> 24) & 0xff));
-  for (char c : text) {
-    key->push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-  }
+  // ASCII-only fold via the dispatched kernel; previously std::tolower,
+  // whose result depends on the global locale for bytes >= 0x80.
+  simd::AppendLowered(text, key);
 }
 
 }  // namespace
@@ -66,9 +64,14 @@ void AppendNormalizedKey(const TokenStream& tokens, std::string* key) {
 }
 
 TokenFingerprint FingerprintKey(std::string_view key) {
+  // Block-wise 128-bit hash (16 bytes/round) instead of the former pair
+  // of byte-at-a-time FNV-1a passes. The fingerprint is an in-memory
+  // parse-cache key, never serialized — unlike QueryTemplate::fingerprint
+  // and the binlog checksums, which stay on Fnv1a64 (wire format).
+  simd::Hash128 h = simd::HashKey128(key);
   TokenFingerprint fp;
-  fp.lo = Fnv1a64(key);
-  fp.hi = Fnv1a64(key, 0x9ae16a3b2f90404fULL);
+  fp.lo = h.lo;
+  fp.hi = h.hi;
   return fp;
 }
 

@@ -42,8 +42,9 @@ struct TokenFingerprint {
 /// hex case). The cache only needs the first implication.
 void AppendNormalizedKey(const TokenStream& tokens, std::string* key);
 
-/// Hashes a normalized key into a 128-bit fingerprint (two independently
-/// seeded FNV-1a passes).
+/// Hashes a normalized key into a 128-bit fingerprint (block-wise
+/// 16-bytes-per-round hash, see simd::HashKey128). In-memory only: the
+/// value is never serialized and may change between builds.
 TokenFingerprint FingerprintKey(std::string_view key);
 
 /// Indices of the tokens the normalized key placeholders (strings and

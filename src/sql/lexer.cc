@@ -1,24 +1,15 @@
 #include "sql/lexer.h"
 
-#include <cctype>
-
+#include "util/byte_class.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace sqlog::sql {
 
-namespace {
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '#';
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$' || c == '#';
-}
-
-bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
-
-}  // namespace
+// Classification rides the locale-independent table in util/byte_class.h.
+// The previous std::isalpha/isalnum/isdigit calls were a correctness bug:
+// under a non-"C" global locale, bytes >= 0x80 classify as alphabetic and
+// silently change tokenization (see lexer_test locale regression).
 
 const char* TokenTypeName(TokenType type) {
   switch (type) {
@@ -53,6 +44,12 @@ Result<TokenStream> Lex(std::string_view s) {
   size_t i = 0;
   const size_t n = s.size();
 
+  // One dispatched classification pass over the whole statement; the
+  // skip loops below consume the bitmaps with inline bit scans instead
+  // of one kernel dispatch per whitespace/identifier run.
+  simd::ClassIndex classes;
+  classes.Build(s);
+
   auto push = [&](TokenType type, std::string_view text, size_t offset, size_t end) {
     tokens.push_back(Token{type, text, offset, end});
   };
@@ -70,15 +67,14 @@ Result<TokenStream> Lex(std::string_view s) {
     size_t body = i;
     bool escaped = false;
     while (i < n) {
-      if (s[i] == close) {
-        if (doubling && i + 1 < n && s[i + 1] == close) {
-          escaped = true;
-          i += 2;
-          continue;
-        }
-        break;
+      i = simd::FindByte(s, i, close);
+      if (i >= n) break;
+      if (doubling && i + 1 < n && s[i + 1] == close) {
+        escaped = true;
+        i += 2;
+        continue;
       }
-      ++i;
+      break;
     }
     if (i >= n) {
       return Status::ParseError(StrFormat("unterminated %s at offset %zu", what, start));
@@ -101,14 +97,14 @@ Result<TokenStream> Lex(std::string_view s) {
 
   while (i < n) {
     char c = s[i];
-    // Whitespace.
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v') {
-      ++i;
+    // Whitespace: skip the whole run via the class bitmap.
+    if (IsSpaceByte(c)) {
+      i = classes.SkipSpace(i + 1);
       continue;
     }
     // Line comment.
     if (c == '-' && i + 1 < n && s[i + 1] == '-') {
-      while (i < n && s[i] != '\n') ++i;
+      i = simd::FindByte(s, i + 2, '\n');
       continue;
     }
     // Block comment.
@@ -155,7 +151,7 @@ Result<TokenStream> Lex(std::string_view s) {
       size_t start = i;
       ++i;
       size_t body = i;
-      while (i < n && IsIdentChar(s[i])) ++i;
+      i = classes.SkipIdentRun(i);
       if (i == body) {
         return Status::ParseError(StrFormat("bare '@' at offset %zu", start));
       }
@@ -163,13 +159,13 @@ Result<TokenStream> Lex(std::string_view s) {
       continue;
     }
     // Number. A leading digit, or a '.' followed by a digit.
-    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(s[i + 1]))) {
+    if (IsDigitByte(c) || (c == '.' && i + 1 < n && IsDigitByte(s[i + 1]))) {
       size_t start = i;
       if (c == '0' && i + 1 < n && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
         bool upper = s[i + 1] == 'X';
         i += 2;
         size_t digits = i;
-        while (i < n && std::isxdigit(static_cast<unsigned char>(s[i]))) ++i;
+        while (i < n && IsHexDigitByte(s[i])) ++i;
         if (i == digits) {
           return Status::ParseError(StrFormat("malformed hex literal at offset %zu", start));
         }
@@ -183,7 +179,7 @@ Result<TokenStream> Lex(std::string_view s) {
         }
       } else {
         bool seen_dot = false;
-        while (i < n && (IsDigit(s[i]) || (s[i] == '.' && !seen_dot))) {
+        while (i < n && (IsDigitByte(s[i]) || (s[i] == '.' && !seen_dot))) {
           if (s[i] == '.') seen_dot = true;
           ++i;
         }
@@ -193,8 +189,8 @@ Result<TokenStream> Lex(std::string_view s) {
           size_t mark = i;
           ++i;
           if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
-          if (i < n && IsDigit(s[i])) {
-            while (i < n && IsDigit(s[i])) ++i;
+          if (i < n && IsDigitByte(s[i])) {
+            while (i < n && IsDigitByte(s[i])) ++i;
           } else {
             i = mark;  // 'e' starts an identifier, not an exponent
           }
@@ -203,10 +199,10 @@ Result<TokenStream> Lex(std::string_view s) {
       }
       continue;
     }
-    // Identifier.
-    if (IsIdentStart(c)) {
+    // Identifier: skip the whole run via the class bitmap.
+    if (IsIdentStartByte(c)) {
       size_t start = i;
-      while (i < n && IsIdentChar(s[i])) ++i;
+      i = classes.SkipIdentRun(i + 1);
       push(TokenType::kIdentifier, s.substr(start, i - start), start, i);
       continue;
     }

@@ -1,6 +1,6 @@
 #include "sql/printer.h"
 
-#include <cctype>
+#include "util/byte_class.h"
 
 #include "util/string_util.h"
 
@@ -20,13 +20,11 @@ class Printer {
   static bool LexesBare(const std::string& name) {
     if (name.empty()) return false;
     char first = name[0];
-    if (!(std::isalpha(static_cast<unsigned char>(first)) || first == '_' ||
-          first == '#')) {
+    if (!IsIdentStartByte(first)) {
       return false;
     }
     for (char c : name) {
-      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$' ||
-            c == '#')) {
+      if (!IsIdentCharByte(c)) {
         return false;
       }
     }

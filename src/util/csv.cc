@@ -1,5 +1,7 @@
 #include "util/csv.h"
 
+#include "util/simd.h"
+
 namespace sqlog {
 
 std::string Csv::EscapeField(std::string_view field, char sep) {
@@ -75,30 +77,59 @@ Result<std::vector<std::string>> Csv::ParseLine(std::string_view line, char sep)
 }
 
 void Csv::LineSplitter::Feed(std::string_view chunk) {
-  for (char c : chunk) {
+  // Scans with the dispatched kernels instead of byte-at-a-time: out of
+  // quotes, everything up to the next '"' / '\r' / '\n' is an inert span
+  // appended wholesale; inside quotes, everything up to the next '"'.
+  // Escaped quote pairs ("") need no special state — each quote toggles
+  // in_quotes_ and is appended, so a chunk boundary between the two
+  // quotes lands in a well-defined state (see the csv_test boundary
+  // sweep). A lone '\r' at the end of a chunk stays deferred in
+  // pending_cr_ exactly as before: the CR/CRLF decision needs the next
+  // byte, which may be in the next chunk.
+  size_t i = 0;
+  const size_t n = chunk.size();
+  while (i < n) {
     if (pending_cr_) {
       // The CR ended a line; a following LF belongs to the same break.
       pending_cr_ = false;
       ready_.push_back(std::move(current_));
       current_.clear();
-      if (c == '\n') continue;
+      if (chunk[i] == '\n') ++i;
+      continue;
     }
+    if (in_quotes_) {
+      size_t q = simd::FindByte(chunk, i, '"');
+      current_.append(chunk.substr(i, q - i));
+      if (q == n) return;
+      current_.push_back('"');
+      in_quotes_ = false;
+      i = q + 1;
+      continue;
+    }
+    size_t j = simd::FindLineSpecial(chunk, i);
+    current_.append(chunk.substr(i, j - i));
+    if (j == n) return;
+    char c = chunk[j];
+    i = j + 1;
     if (c == '"') {
-      in_quotes_ = !in_quotes_;
-      current_.push_back(c);
+      in_quotes_ = true;
+      current_.push_back('"');
       continue;
     }
-    if (!in_quotes_ && c == '\r') {
-      // Hold the decision: an LF may follow in the next chunk.
-      pending_cr_ = true;
-      continue;
-    }
-    if (!in_quotes_ && c == '\n') {
+    if (c == '\r') {
+      if (i == n) {
+        // Hold the decision: an LF may follow in the next chunk.
+        pending_cr_ = true;
+        return;
+      }
       ready_.push_back(std::move(current_));
       current_.clear();
+      if (chunk[i] == '\n') ++i;
       continue;
     }
-    current_.push_back(c);
+    // '\n'
+    ready_.push_back(std::move(current_));
+    current_.clear();
   }
 }
 

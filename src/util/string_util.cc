@@ -1,22 +1,23 @@
 #include "util/string_util.h"
 
-#include <cctype>
 #include <cstdarg>
 #include <cstdio>
+
+#include "util/byte_class.h"
 
 namespace sqlog {
 
 std::string ToLower(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (char c : s) out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  for (char c : s) out.push_back(ToLowerByte(c));
   return out;
 }
 
 std::string ToUpper(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (char c : s) out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  for (char c : s) out.push_back(ToUpperByte(c));
   return out;
 }
 
@@ -66,8 +67,7 @@ bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix) {
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i]))) {
+    if (ToLowerByte(a[i]) != ToLowerByte(b[i])) {
       return false;
     }
   }

@@ -86,5 +86,123 @@ TEST(CsvTest, SplitLogicalLinesWithoutTrailingNewline) {
   EXPECT_EQ(lines[0], "a,b");
 }
 
+// Feeds `content` to a LineSplitter split at `cut`, draining after each
+// Feed like a streaming reader would, then Finish() for the tail.
+std::vector<std::string> SplitAtBoundary(std::string_view content, size_t cut) {
+  Csv::LineSplitter splitter;
+  std::vector<std::string> lines;
+  std::string line;
+  splitter.Feed(content.substr(0, cut));
+  while (splitter.Next(&line)) lines.push_back(line);
+  splitter.Feed(content.substr(cut));
+  while (splitter.Next(&line)) lines.push_back(line);
+  splitter.Finish();
+  while (splitter.Next(&line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> SplitByteByByte(std::string_view content) {
+  Csv::LineSplitter splitter;
+  std::vector<std::string> lines;
+  std::string line;
+  for (size_t i = 0; i < content.size(); ++i) {
+    splitter.Feed(content.substr(i, 1));
+    while (splitter.Next(&line)) lines.push_back(line);
+  }
+  splitter.Finish();
+  while (splitter.Next(&line)) lines.push_back(line);
+  return lines;
+}
+
+// A file exercising every stateful construct the splitter tracks:
+// doubled quotes inside quoted fields, quoted separators and newlines,
+// CRLF and lone-CR terminators, and an unterminated final line. Every
+// split point must yield exactly the SplitLogicalLines result — the
+// chunk boundary can land inside a `""` pair or between a CR and its
+// LF, where a naive splitter would mis-toggle quote state or emit a
+// phantom empty line.
+constexpr std::string_view kBoundaryFile =
+    "a,\"x\"\"y\",b\n"
+    "\"line\nbreak\",2\r\n"
+    "\"\"\"lead\",3\r"
+    "plain,4\r\n"
+    "\"trail\"\"\",5\n"
+    "last,6";
+
+TEST(CsvTest, LineSplitterMatchesSplitLogicalLinesAtEverySplitPoint) {
+  const auto expected = Csv::SplitLogicalLines(kBoundaryFile);
+  ASSERT_EQ(expected.size(), 6u);
+  for (size_t cut = 0; cut <= kBoundaryFile.size(); ++cut) {
+    EXPECT_EQ(expected, SplitAtBoundary(kBoundaryFile, cut)) << "split at " << cut;
+  }
+}
+
+TEST(CsvTest, LineSplitterHandlesOneByteChunks) {
+  EXPECT_EQ(Csv::SplitLogicalLines(kBoundaryFile), SplitByteByByte(kBoundaryFile));
+}
+
+TEST(CsvTest, LineSplitterDefersLoneCrAtChunkEnd) {
+  // A chunk ending in an unquoted CR must not emit until the next chunk
+  // reveals whether an LF follows (CRLF is one terminator, not two).
+  Csv::LineSplitter splitter;
+  std::string line;
+  splitter.Feed("a\r");
+  EXPECT_FALSE(splitter.Next(&line));
+  splitter.Feed("\nb\n");
+  ASSERT_TRUE(splitter.Next(&line));
+  EXPECT_EQ(line, "a");
+  ASSERT_TRUE(splitter.Next(&line));
+  EXPECT_EQ(line, "b");
+  EXPECT_FALSE(splitter.Next(&line));
+}
+
+TEST(CsvTest, LineSplitterLoneCrBeforeNonLfTerminatesLine) {
+  Csv::LineSplitter splitter;
+  std::string line;
+  splitter.Feed("a\r");
+  splitter.Feed("b\n");
+  ASSERT_TRUE(splitter.Next(&line));
+  EXPECT_EQ(line, "a");
+  ASSERT_TRUE(splitter.Next(&line));
+  EXPECT_EQ(line, "b");
+}
+
+TEST(CsvTest, LineSplitterTrailingCrAtFinishEmitsLine) {
+  Csv::LineSplitter splitter;
+  std::string line;
+  splitter.Feed("a\r");
+  splitter.Finish();
+  ASSERT_TRUE(splitter.Next(&line));
+  EXPECT_EQ(line, "a");
+  EXPECT_FALSE(splitter.Next(&line));
+  EXPECT_FALSE(splitter.truncated_in_quotes());
+}
+
+TEST(CsvTest, LineSplitterQuoteStateSurvivesSplitInsideDoubledQuotes) {
+  // Boundary exactly between the two quotes of a `""` escape: the field
+  // stays open, the line must not end at the quoted newline.
+  Csv::LineSplitter splitter;
+  std::string line;
+  splitter.Feed("\"ab\"");
+  EXPECT_FALSE(splitter.Next(&line));
+  splitter.Feed("\"cd\nef\",x\n");
+  ASSERT_TRUE(splitter.Next(&line));
+  EXPECT_EQ(line, "\"ab\"\"cd\nef\",x");
+  EXPECT_FALSE(splitter.Next(&line));
+}
+
+TEST(CsvTest, LineSplitterReportsTruncationInsideQuotes) {
+  Csv::LineSplitter splitter;
+  std::string line;
+  splitter.Feed("\"open,field\n");
+  EXPECT_FALSE(splitter.Next(&line));
+  splitter.Finish();
+  EXPECT_TRUE(splitter.truncated_in_quotes());
+  ASSERT_TRUE(splitter.Next(&line));
+  // The newline is quoted-field content, not a terminator, so the
+  // truncated tail keeps it — same as SplitLogicalLines.
+  EXPECT_EQ(line, "\"open,field\n");
+}
+
 }  // namespace
 }  // namespace sqlog

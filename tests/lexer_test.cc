@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
+#include "util/byte_class.h"
+
 namespace sqlog::sql {
 namespace {
 
@@ -152,6 +157,72 @@ TEST(LexerTest, FullStatement) {
     if (token.type == TokenType::kNumber) ++numbers;
   }
   EXPECT_EQ(numbers, 6);
+}
+
+/// Lexes `input` under the named locale, restoring the previous locale
+/// afterwards, and reports whether lexing succeeded.
+bool LexOkUnderLocale(const char* locale_name, std::string_view input) {
+  std::string saved = std::setlocale(LC_ALL, nullptr);
+  std::setlocale(LC_ALL, locale_name);
+  bool ok = Lex(input).ok();
+  std::setlocale(LC_ALL, saved.c_str());
+  return ok;
+}
+
+// Regression for the locale-dependent classification bug: the lexer
+// used std::isalpha/isalnum, whose verdict on bytes >= 0x80 depends on
+// the global locale — under an 8-bit or UTF-8 locale a high byte could
+// start an "identifier" that the C locale rejects, so the same log
+// parsed differently depending on the host environment. Classification
+// now goes through the locale-independent byte class table; high-byte
+// input must lex identically (here: to a parse error, since no token
+// starts with 0xE9) whatever the environment locale is.
+TEST(LexerTest, HighByteClassificationIgnoresLocale) {
+  const std::string input = "caf\xE9 = 1";
+  const bool c_locale_verdict = LexOkUnderLocale("C", input);
+  EXPECT_FALSE(c_locale_verdict);
+  // "" = the environment's locale; also pin the UTF-8 locale explicitly
+  // (the container ships C.utf8 — setlocale leaves the locale unchanged
+  // if it is unavailable, which still exercises the "" path).
+  EXPECT_EQ(c_locale_verdict, LexOkUnderLocale("", input));
+  EXPECT_EQ(c_locale_verdict, LexOkUnderLocale("C.utf8", input));
+}
+
+TEST(LexerTest, HighBytesInsideStringsLexUnderAnyLocale) {
+  const std::string input = "SELECT '\xC3\xA9\x80\xFF' FROM t";
+  std::string saved = std::setlocale(LC_ALL, nullptr);
+  std::setlocale(LC_ALL, "");
+  auto tokens = MustLex(input);
+  std::setlocale(LC_ALL, saved.c_str());
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].type, TokenType::kString);
+  EXPECT_EQ(tokens[1].text, "\xC3\xA9\x80\xFF");
+}
+
+// The class table itself, checked against the explicit C-locale truth
+// for all 256 byte values — this is the contract every kernel and the
+// lexer build on, independent of <cctype> and the global locale.
+TEST(LexerTest, ByteClassTableMatchesCLocaleForAllBytes) {
+  for (int b = 0; b < 256; ++b) {
+    const char c = static_cast<char>(b);
+    const bool space = b == ' ' || b == '\t' || b == '\n' || b == '\v' || b == '\f' ||
+                       b == '\r';
+    const bool digit = b >= '0' && b <= '9';
+    const bool alpha = (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z');
+    const bool hex = digit || (b >= 'a' && b <= 'f') || (b >= 'A' && b <= 'F');
+    EXPECT_EQ(IsSpaceByte(c), space) << "byte " << b;
+    EXPECT_EQ(IsDigitByte(c), digit) << "byte " << b;
+    EXPECT_EQ(IsAlphaByte(c), alpha) << "byte " << b;
+    EXPECT_EQ(IsHexDigitByte(c), hex) << "byte " << b;
+    EXPECT_EQ(IsAlnumByte(c), alpha || digit) << "byte " << b;
+    EXPECT_EQ(IsIdentStartByte(c), alpha || b == '_' || b == '#') << "byte " << b;
+    EXPECT_EQ(IsIdentCharByte(c), alpha || digit || b == '_' || b == '$' || b == '#')
+        << "byte " << b;
+    const char lower = (b >= 'A' && b <= 'Z') ? static_cast<char>(b + 32) : c;
+    const char upper = (b >= 'a' && b <= 'z') ? static_cast<char>(b - 32) : c;
+    EXPECT_EQ(ToLowerByte(c), lower) << "byte " << b;
+    EXPECT_EQ(ToUpperByte(c), upper) << "byte " << b;
+  }
 }
 
 }  // namespace

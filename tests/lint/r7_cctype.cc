@@ -1,0 +1,24 @@
+// Negative fixture for rule R7: locale-dependent <cctype>
+// classification in src/. Linted with --assume-path=src/sql/scan.cc;
+// never compiled. Each marked line must produce one R7 finding.
+#include <cctype>
+
+namespace sqlog::sql {
+
+bool StartsIdentifier(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0;  // R7: isalpha
+}
+
+bool ContinuesIdentifier(char c) {
+  return isalnum(static_cast<unsigned char>(c)) != 0;  // R7: isalnum
+}
+
+bool IsHexByte(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c)) != 0;  // R7: isxdigit
+}
+
+char FoldCase(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));  // R7: tolower
+}
+
+}  // namespace sqlog::sql

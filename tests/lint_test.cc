@@ -30,6 +30,7 @@ LintConfig TestConfig() {
   config.r1_allow = {"src/sql/", "tests/oracles/"};
   config.manifest.push_back({"src/util/thread_pool.h", "ThreadPool"});
   config.r6_allow = {"src/core/detectors.cc"};
+  config.r7_allow = {"src/util/byte_class.h"};
   return config;
 }
 
@@ -174,6 +175,52 @@ TEST(LintRuleTest, R6IsSuppressible) {
   EXPECT_TRUE(LintSource(TestConfig(), "src/analysis/probe.cc", content).empty());
 }
 
+TEST(LintRuleTest, R7FiresOnEveryCtypeClassifier) {
+  auto findings = LintSource(TestConfig(), "src/sql/scan.cc",
+                             ReadFixture("r7_cctype.cc"));
+  // isalpha, isalnum, isxdigit, tolower.
+  EXPECT_EQ(CountRule(findings, "R7"), 4u)
+      << ::testing::PrintToString(Rules(findings));
+}
+
+TEST(LintRuleTest, R7CatchesQualifiedAndBareCalls) {
+  auto findings = LintSource(
+      TestConfig(), "src/util/x.cc",
+      "bool A(char c) { return std::isdigit((unsigned char)c); }\n"
+      "bool B(char c) { return isspace((unsigned char)c) != 0; }\n");
+  EXPECT_EQ(CountRule(findings, "R7"), 2u);
+}
+
+TEST(LintRuleTest, R7SilentOnTheByteClassHeader) {
+  auto findings = LintSource(TestConfig(), "src/util/byte_class.h",
+                             "bool Legacy(char c) { return isupper(c); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRuleTest, R7ScopedToSrc) {
+  // Tests, tools, and benches may compare against <cctype> freely (the
+  // lexer locale-regression test does exactly that).
+  auto findings = LintSource(TestConfig(), "tests/lexer_test.cc",
+                             ReadFixture("r7_cctype.cc"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRuleTest, R7IgnoresByteClassHelperNames) {
+  auto findings = LintSource(
+      TestConfig(), "src/sql/lexer.cc",
+      "bool A(char c) { return IsDigitByte(c) || IsAlphaByte(c); }\n"
+      "char B(char c) { return ToLowerByte(c); }\n");
+  EXPECT_EQ(CountRule(findings, "R7"), 0u)
+      << ::testing::PrintToString(Rules(findings));
+}
+
+TEST(LintRuleTest, R7IsSuppressible) {
+  const char* content =
+      "// sqlog-lint: allow(R7 ASCII-only input proven by the caller)\n"
+      "bool Head(char c) { return isalpha((unsigned char)c); }\n";
+  EXPECT_TRUE(LintSource(TestConfig(), "src/sql/head.cc", content).empty());
+}
+
 // --- Suppression semantics --------------------------------------------
 
 TEST(LintSuppressionTest, WellFormedAllowsSilenceEverything) {
@@ -234,7 +281,8 @@ TEST(LintConfigTest, ParsesDirectivesAndComments) {
       "r1-allow src/sql/\n"
       "\n"
       "manifest src/util/thread_pool.h ThreadPool\n"
-      "r6-allow src/core/detectors.cc\n",
+      "r6-allow src/core/detectors.cc\n"
+      "r7-allow src/util/byte_class.h\n",
       "test");
   ASSERT_TRUE(config.ok());
   ASSERT_EQ(config->r1_allow.size(), 1u);
@@ -243,6 +291,8 @@ TEST(LintConfigTest, ParsesDirectivesAndComments) {
   EXPECT_EQ(config->manifest[0].type_name, "ThreadPool");
   ASSERT_EQ(config->r6_allow.size(), 1u);
   EXPECT_EQ(config->r6_allow[0], "src/core/detectors.cc");
+  ASSERT_EQ(config->r7_allow.size(), 1u);
+  EXPECT_EQ(config->r7_allow[0], "src/util/byte_class.h");
 }
 
 TEST(LintConfigTest, RejectsUnknownDirective) {

@@ -147,8 +147,8 @@ size_t LineOf(const std::vector<size_t>& starts, size_t offset) {
   return static_cast<size_t>(it - starts.begin());  // 1-based
 }
 
-const std::set<std::string, std::less<>> kRuleIds = {"R1", "R2", "R3",
-                                                     "R4", "R5", "R6"};
+const std::set<std::string, std::less<>> kRuleIds = {"R1", "R2", "R3", "R4",
+                                                     "R5", "R6", "R7"};
 
 /// Inline suppressions: rule → lines it is allowed on.
 struct Suppressions {
@@ -192,7 +192,7 @@ Suppressions CollectSuppressions(const std::string& rel_path, std::string_view c
       if (kRuleIds.count(rule) == 0) {
         out.errors.push_back(
             {rel_path, line, "config",
-             StrFormat("unknown rule id '%.*s' in sqlog-lint suppression (expected R1..R6)",
+             StrFormat("unknown rule id '%.*s' in sqlog-lint suppression (expected R1..R7)",
                        (int)rule.size(), rule.data())});
         continue;
       }
@@ -612,6 +612,39 @@ void CheckR6(const LintConfig& config, const std::string& rel_path,
   }
 }
 
+// --- R7: locale-dependent <cctype> classification in src/ ---------------
+
+/// The <cctype> classifiers and case mappers read the global locale, so
+/// their verdict on bytes >= 0x80 depends on the host environment —
+/// tokenization, fingerprint keys, and case folds would differ between
+/// machines running the same binary on the same log. util/byte_class.h
+/// is the locale-independent replacement (and the only allowed home for
+/// these calls, via r7-allow).
+constexpr std::string_view kCtypeClassifiers[] = {
+    "isalpha", "isalnum", "isdigit", "isxdigit", "isspace", "isupper",
+    "islower", "ispunct", "isprint", "isgraph",  "iscntrl", "isblank",
+    "tolower", "toupper",
+};
+
+void CheckR7(const LintConfig& config, const std::string& rel_path,
+             std::string_view code, const std::vector<size_t>& line_starts,
+             const Suppressions& supp, std::vector<Finding>& findings) {
+  if (!StartsWith(rel_path, "src/")) return;
+  for (const auto& prefix : config.r7_allow) {
+    if (StartsWith(rel_path, prefix)) return;
+  }
+  for (std::string_view fn : kCtypeClassifiers) {
+    for (size_t pos : FindWordAll(code, fn)) {
+      Report(findings, supp, rel_path, LineOf(line_starts, pos), "R7",
+             StrFormat("locale-dependent <cctype> call '%.*s'; use the "
+                       "byte-class helpers from util/byte_class.h (IsAlphaByte, "
+                       "ToLowerByte, ...) so classification cannot vary with the "
+                       "host locale, or extend r7-allow in the lint config",
+                       (int)fn.size(), fn.data()));
+    }
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -647,6 +680,16 @@ Result<LintConfig> ParseConfig(std::string_view text, const std::string& origin)
                       line_number));
       }
       config.r6_allow.push_back(std::move(prefix));
+      continue;
+    }
+    if (directive == "r7-allow") {
+      std::string prefix;
+      if (!(fields >> prefix)) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: r7-allow needs a path prefix", origin.c_str(),
+                      line_number));
+      }
+      config.r7_allow.push_back(std::move(prefix));
       continue;
     }
     if (directive == "manifest") {
@@ -689,6 +732,7 @@ std::vector<Finding> LintSource(const LintConfig& config, const std::string& rel
   CheckR4(rel_path, split.code, line_starts, supp, findings);
   CheckR5(config, rel_path, split.code, line_starts, supp, findings);
   CheckR6(config, rel_path, split.code, line_starts, supp, findings);
+  CheckR7(config, rel_path, split.code, line_starts, supp, findings);
 
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;

@@ -47,6 +47,7 @@ struct LintConfig {
   std::vector<std::string> r1_allow;
   std::vector<ManifestEntry> manifest;
   std::vector<std::string> r6_allow;
+  std::vector<std::string> r7_allow;
 };
 
 /// Parses a config ("origin" names it in error messages).
