@@ -62,6 +62,32 @@ cmp "$smoke_log" "$smoke_back"
 cmp /tmp/sqlog_smoke_clean.a.clean.csv /tmp/sqlog_smoke_clean.b.clean.csv
 cmp /tmp/sqlog_smoke_clean.a.removal.csv /tmp/sqlog_smoke_clean.b.removal.csv
 
+# 3c. Binary clean *output*: `clean --out-format=sqb` must produce `.sqb`
+#     logs that convert back byte-identical to the CSV clean outputs, in
+#     both the in-memory and streaming pipelines.
+step "sqb clean-output smoke"
+./build/tools/sqlog clean --out-format=sqb "$smoke_log" /tmp/sqlog_smoke_clean.c >/dev/null
+./build/tools/sqlog convert --to-csv /tmp/sqlog_smoke_clean.c.clean.sqb \
+  /tmp/sqlog_smoke_clean.c.clean.back.csv >/dev/null
+./build/tools/sqlog convert --to-csv /tmp/sqlog_smoke_clean.c.removal.sqb \
+  /tmp/sqlog_smoke_clean.c.removal.back.csv >/dev/null
+cmp /tmp/sqlog_smoke_clean.a.clean.csv /tmp/sqlog_smoke_clean.c.clean.back.csv
+cmp /tmp/sqlog_smoke_clean.a.removal.csv /tmp/sqlog_smoke_clean.c.removal.back.csv
+./build/tools/sqlog clean --streaming --out-format=sqb "$smoke_log" \
+  /tmp/sqlog_smoke_clean.d >/dev/null
+./build/tools/sqlog convert --to-csv /tmp/sqlog_smoke_clean.d.clean.sqb \
+  /tmp/sqlog_smoke_clean.d.clean.back.csv >/dev/null
+cmp /tmp/sqlog_smoke_clean.a.clean.csv /tmp/sqlog_smoke_clean.d.clean.back.csv
+
+# 3d. Storage-engine smoke: the Sec 6.3 out-of-core sweep at a tiny row
+#     count runs all four {memory,paged} x {scan,index} cells (each cell
+#     verifies every point probe hits) and its JSON must pass the bench
+#     schema gate, including the sec63-specific out_of_core checks.
+step "out-of-core sweep smoke (both storage modes)"
+./build/bench/bench_sec63_runtime --ooc-only --rows=2000 --buffer-pages=16 \
+  --json=/tmp/sqlog_smoke_clean.sec63.json >/dev/null
+python3 scripts/check_bench_json.py /tmp/sqlog_smoke_clean.sec63.json
+
 # 4. Default test sweep (includes check-lint, the golden pipeline test,
 #    and the memory-budget test).
 step "ctest (default preset)"

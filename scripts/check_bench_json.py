@@ -9,7 +9,9 @@ This gate rejects:
   * files that are not valid strict JSON (bare inf/nan included),
   * any non-finite number anywhere in the document,
   * files missing the common envelope: a top-level object with a
-    "benchmark" string and a numeric "peak_rss_bytes".
+    "benchmark" string and a numeric "peak_rss_bytes",
+  * sec63_runtime artifacts without a populated "out_of_core" section
+    (the storage-engine sweep must be part of the checked-in run).
 
 Usage: check_bench_json.py FILE [FILE...]
 """
@@ -54,8 +56,34 @@ def check_file(path):
     rss = doc.get("peak_rss_bytes")
     if isinstance(rss, bool) or not isinstance(rss, (int, float)):
         errors.append(f"{path}: missing numeric \"peak_rss_bytes\"")
+    if doc.get("benchmark") == "sec63_runtime":
+        errors.extend(f"{path}: {e}" for e in check_sec63(doc))
     errors.extend(f"{path}: {e}" for e in check_numbers(doc, "$"))
     return errors
+
+
+def check_sec63(doc):
+    """Yields errors for the sec63_runtime-specific out-of-core section."""
+    ooc = doc.get("out_of_core")
+    if not isinstance(ooc, dict):
+        yield 'missing "out_of_core" object'
+        return
+    configs = ooc.get("configs")
+    if not isinstance(configs, list) or not configs:
+        yield '"out_of_core.configs" must be a non-empty array'
+        return
+    speedup = ooc.get("index_over_scan_speedup")
+    if isinstance(speedup, bool) or not isinstance(speedup, (int, float)):
+        yield 'missing numeric "out_of_core.index_over_scan_speedup"'
+    ran = [c for c in configs if isinstance(c, dict) and not c.get("skipped")]
+    if not ran:
+        yield 'every "out_of_core" config was skipped'
+    for cell in ran:
+        label = f"{cell.get('storage')}/{cell.get('access')}"
+        for key in ("queries", "query_seconds", "peak_rss_bytes"):
+            value = cell.get(key)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                yield f'out_of_core config {label}: missing numeric "{key}"'
 
 
 def main(argv):

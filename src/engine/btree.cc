@@ -1,0 +1,397 @@
+#include "engine/btree.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace sqlog::engine {
+
+namespace {
+
+constexpr uint8_t kLeafKind = 1;
+constexpr uint8_t kInternalKind = 2;
+
+constexpr size_t kNodeHdr = 8;  // kind, pad, count, next/child0
+constexpr size_t kLeafEntry = 16;
+constexpr size_t kLeafCap = (kPageSize - kNodeHdr) / kLeafEntry;  // 511
+constexpr size_t kInternalEntry = 12;
+constexpr size_t kInternalCap = (kPageSize - kNodeHdr) / kInternalEntry;  // 682
+
+uint8_t NodeKind(const char* p) { return static_cast<uint8_t>(p[0]); }
+uint16_t NodeCount(const char* p) { return LoadU16(p + 2); }
+void SetNodeCount(char* p, uint16_t n) { StoreU16(p + 2, n); }
+
+void InitNode(char* p, uint8_t kind, PageId link) {
+  std::memset(p, 0, kNodeHdr);
+  p[0] = static_cast<char>(kind);
+  StoreU32(p + 4, link);  // leaf: next; internal: child0
+}
+
+// Leaf accessors.
+PageId LeafNext(const char* p) { return LoadU32(p + 4); }
+void SetLeafNext(char* p, PageId next) { StoreU32(p + 4, next); }
+int64_t LeafKey(const char* p, size_t i) { return LoadI64(p + kNodeHdr + i * kLeafEntry); }
+uint64_t LeafRow(const char* p, size_t i) {
+  return LoadU64(p + kNodeHdr + i * kLeafEntry + 8);
+}
+void SetLeafEntry(char* p, size_t i, int64_t key, uint64_t row) {
+  StoreI64(p + kNodeHdr + i * kLeafEntry, key);
+  StoreU64(p + kNodeHdr + i * kLeafEntry + 8, row);
+}
+
+// Internal accessors.
+PageId Child0(const char* p) { return LoadU32(p + 4); }
+int64_t IKey(const char* p, size_t i) { return LoadI64(p + kNodeHdr + i * kInternalEntry); }
+PageId IChild(const char* p, size_t i) {
+  return LoadU32(p + kNodeHdr + i * kInternalEntry + 8);
+}
+void SetIEntry(char* p, size_t i, int64_t key, PageId child) {
+  StoreI64(p + kNodeHdr + i * kInternalEntry, key);
+  StoreU32(p + kNodeHdr + i * kInternalEntry + 8, child);
+}
+
+/// First index i in [0, n) with key[i] > target (insert descent).
+size_t UpperBoundLeaf(const char* p, size_t n, int64_t target) {
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (LeafKey(p, mid) <= target) lo = mid + 1; else hi = mid;
+  }
+  return lo;
+}
+
+/// First index i in [0, n) with key[i] >= target (lookup in a leaf).
+size_t LowerBoundLeaf(const char* p, size_t n, int64_t target) {
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (LeafKey(p, mid) < target) lo = mid + 1; else hi = mid;
+  }
+  return lo;
+}
+
+size_t UpperBoundInternal(const char* p, size_t n, int64_t target) {
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (IKey(p, mid) <= target) lo = mid + 1; else hi = mid;
+  }
+  return lo;
+}
+
+size_t LowerBoundInternal(const char* p, size_t n, int64_t target) {
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (IKey(p, mid) < target) lo = mid + 1; else hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<PageId> BTreeIndex::DescendToLeaf(int64_t key) const {
+  PageId cur = root_;
+  for (uint32_t level = height_; level > 1; --level) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    const char* p = ref.value().data();
+    if (NodeKind(p) != kInternalKind) {
+      return Status::Internal("B+-tree: expected internal node");
+    }
+    // Leftmost descent: keys equal to a separator may extend into the
+    // subtree left of it, and the leaf chain carries lookups right.
+    size_t pos = LowerBoundInternal(p, NodeCount(p), key);
+    cur = pos == 0 ? Child0(p) : IChild(p, pos - 1);
+  }
+  return cur;
+}
+
+Status BTreeIndex::Lookup(int64_t key, std::vector<uint64_t>* rows) const {
+  if (root_ == kInvalidPageId) return Status::OK();
+  auto leaf = DescendToLeaf(key);
+  if (!leaf.ok()) return leaf.status();
+  PageId cur = leaf.value();
+  while (cur != kInvalidPageId) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    const char* p = ref.value().data();
+    const size_t n = NodeCount(p);
+    size_t i = LowerBoundLeaf(p, n, key);
+    for (; i < n && LeafKey(p, i) == key; ++i) rows->push_back(LeafRow(p, i));
+    if (i < n) break;  // reached a larger key: the run is over
+    cur = LeafNext(p);  // duplicates may continue in the next leaf
+  }
+  return Status::OK();
+}
+
+Status BTreeIndex::LookupMany(const std::vector<int64_t>& keys,
+                              std::vector<uint64_t>* rows) const {
+  for (int64_t key : keys) SQLOG_RETURN_IF_ERROR(Lookup(key, rows));
+  return Status::OK();
+}
+
+Status BTreeIndex::ForEach(
+    const std::function<void(int64_t key, uint64_t row)>& fn) const {
+  if (root_ == kInvalidPageId) return Status::OK();
+  // Descend the leftmost spine to the first leaf.
+  PageId cur = root_;
+  for (uint32_t level = height_; level > 1; --level) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    cur = Child0(ref.value().data());
+  }
+  while (cur != kInvalidPageId) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    const char* p = ref.value().data();
+    const size_t n = NodeCount(p);
+    for (size_t i = 0; i < n; ++i) fn(LeafKey(p, i), LeafRow(p, i));
+    cur = LeafNext(p);
+  }
+  return Status::OK();
+}
+
+Status BTreeIndex::InsertIntoLeaf(BufferPool::PageRef leaf, int64_t key,
+                                  uint64_t row, bool* split, Split* promoted) {
+  char* p = leaf.data();
+  size_t n = NodeCount(p);
+  if (n < kLeafCap) {
+    size_t pos = UpperBoundLeaf(p, n, key);
+    std::memmove(p + kNodeHdr + (pos + 1) * kLeafEntry, p + kNodeHdr + pos * kLeafEntry,
+                 (n - pos) * kLeafEntry);
+    SetLeafEntry(p, pos, key, row);
+    SetNodeCount(p, static_cast<uint16_t>(n + 1));
+    leaf.MarkDirty();
+    *split = false;
+    return Status::OK();
+  }
+
+  // Split: upper half moves to a new right sibling in the leaf chain.
+  PageId right_id = kInvalidPageId;
+  auto right_or = pool_->New(&right_id);
+  if (!right_or.ok()) return right_or.status();
+  BufferPool::PageRef right = std::move(right_or.value());
+  char* rp = right.data();
+  InitNode(rp, kLeafKind, LeafNext(p));
+  const size_t half = n / 2;
+  std::memcpy(rp + kNodeHdr, p + kNodeHdr + half * kLeafEntry, (n - half) * kLeafEntry);
+  SetNodeCount(rp, static_cast<uint16_t>(n - half));
+  SetNodeCount(p, static_cast<uint16_t>(half));
+  SetLeafNext(p, right_id);
+  right.MarkDirty();
+  leaf.MarkDirty();
+
+  const int64_t sep = LeafKey(rp, 0);
+  bool ignored = false;
+  Split unused;
+  // Both halves have room now; recurse once into the right side.
+  SQLOG_RETURN_IF_ERROR(key >= sep
+                            ? InsertIntoLeaf(std::move(right), key, row, &ignored, &unused)
+                            : InsertIntoLeaf(std::move(leaf), key, row, &ignored, &unused));
+  *split = true;
+  promoted->key = sep;
+  promoted->page = right_id;
+  return Status::OK();
+}
+
+Status BTreeIndex::InsertIntoInternal(BufferPool::PageRef node, Split entry,
+                                      bool* split, Split* promoted) {
+  char* p = node.data();
+  size_t n = NodeCount(p);
+  if (n < kInternalCap) {
+    size_t pos = UpperBoundInternal(p, n, entry.key);
+    std::memmove(p + kNodeHdr + (pos + 1) * kInternalEntry,
+                 p + kNodeHdr + pos * kInternalEntry, (n - pos) * kInternalEntry);
+    SetIEntry(p, pos, entry.key, entry.page);
+    SetNodeCount(p, static_cast<uint16_t>(n + 1));
+    node.MarkDirty();
+    *split = false;
+    return Status::OK();
+  }
+
+  // Split around the middle separator, which is promoted (moved up, not
+  // copied): left keeps entries [0, mid), the right sibling's child0 is
+  // the promoted entry's child, and right gets entries (mid, n).
+  const size_t mid = n / 2;
+  const int64_t up_key = IKey(p, mid);
+  PageId right_id = kInvalidPageId;
+  auto right_or = pool_->New(&right_id);
+  if (!right_or.ok()) return right_or.status();
+  BufferPool::PageRef right = std::move(right_or.value());
+  char* rp = right.data();
+  InitNode(rp, kInternalKind, IChild(p, mid));
+  std::memcpy(rp + kNodeHdr, p + kNodeHdr + (mid + 1) * kInternalEntry,
+              (n - mid - 1) * kInternalEntry);
+  SetNodeCount(rp, static_cast<uint16_t>(n - mid - 1));
+  SetNodeCount(p, static_cast<uint16_t>(mid));
+  right.MarkDirty();
+  node.MarkDirty();
+
+  bool ignored = false;
+  Split unused;
+  SQLOG_RETURN_IF_ERROR(
+      entry.key >= up_key
+          ? InsertIntoInternal(std::move(right), entry, &ignored, &unused)
+          : InsertIntoInternal(std::move(node), entry, &ignored, &unused));
+  *split = true;
+  promoted->key = up_key;
+  promoted->page = right_id;
+  return Status::OK();
+}
+
+Status BTreeIndex::MakeRootOverSplit(PageId left, Split right) {
+  PageId root_id = kInvalidPageId;
+  auto root_or = pool_->New(&root_id);
+  if (!root_or.ok()) return root_or.status();
+  char* p = root_or.value().data();
+  InitNode(p, kInternalKind, left);
+  SetIEntry(p, 0, right.key, right.page);
+  SetNodeCount(p, 1);
+  root_or.value().MarkDirty();
+  root_ = root_id;
+  ++height_;
+  return Status::OK();
+}
+
+Status BTreeIndex::Insert(int64_t key, uint64_t row) {
+  if (bulk_active_) {
+    return Status::Internal("B+-tree: Insert during an active bulk load");
+  }
+  if (root_ == kInvalidPageId) {
+    PageId id = kInvalidPageId;
+    auto ref = pool_->New(&id);
+    if (!ref.ok()) return ref.status();
+    InitNode(ref.value().data(), kLeafKind, kInvalidPageId);
+    ref.value().MarkDirty();
+    root_ = id;
+    height_ = 1;
+  }
+
+  // Record the internal spine so splits can propagate upward; only one
+  // node (plus a fresh sibling) is pinned at any moment.
+  std::vector<PageId> path;
+  PageId cur = root_;
+  for (uint32_t level = height_; level > 1; --level) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    const char* p = ref.value().data();
+    path.push_back(cur);
+    size_t pos = UpperBoundInternal(p, NodeCount(p), key);
+    cur = pos == 0 ? Child0(p) : IChild(p, pos - 1);
+  }
+
+  auto leaf = pool_->Fetch(cur);
+  if (!leaf.ok()) return leaf.status();
+  bool split = false;
+  Split pending;
+  SQLOG_RETURN_IF_ERROR(
+      InsertIntoLeaf(std::move(leaf.value()), key, row, &split, &pending));
+  while (split && !path.empty()) {
+    PageId parent = path.back();
+    path.pop_back();
+    auto node = pool_->Fetch(parent);
+    if (!node.ok()) return node.status();
+    SQLOG_RETURN_IF_ERROR(
+        InsertIntoInternal(std::move(node.value()), pending, &split, &pending));
+  }
+  if (split) SQLOG_RETURN_IF_ERROR(MakeRootOverSplit(root_, pending));
+  ++entry_count_;
+  return Status::OK();
+}
+
+Status BTreeIndex::StartBulk() {
+  if (root_ != kInvalidPageId || bulk_active_) {
+    return Status::Internal("B+-tree: bulk load requires an empty index");
+  }
+  bulk_active_ = true;
+  bulk_any_ = false;
+  bulk_leaf_ = kInvalidPageId;
+  bulk_leaves_.clear();
+  return Status::OK();
+}
+
+Status BTreeIndex::BulkAdd(int64_t key, uint64_t row) {
+  if (!bulk_active_) return Status::Internal("B+-tree: BulkAdd without StartBulk");
+  if (bulk_any_ && key < bulk_last_key_) {
+    return Status::InvalidArgument(
+        StrFormat("bulk load out of order: %lld after %lld", (long long)key,
+                  (long long)bulk_last_key_));
+  }
+  bulk_last_key_ = key;
+  bulk_any_ = true;
+
+  if (bulk_leaf_ != kInvalidPageId) {
+    auto ref = pool_->Fetch(bulk_leaf_);
+    if (!ref.ok()) return ref.status();
+    char* p = ref.value().data();
+    size_t n = NodeCount(p);
+    if (n < kLeafCap) {
+      SetLeafEntry(p, n, key, row);
+      SetNodeCount(p, static_cast<uint16_t>(n + 1));
+      ref.value().MarkDirty();
+      ++entry_count_;
+      return Status::OK();
+    }
+  }
+
+  // Start a new (packed-full predecessor) leaf and chain it.
+  PageId id = kInvalidPageId;
+  auto fresh = pool_->New(&id);
+  if (!fresh.ok()) return fresh.status();
+  InitNode(fresh.value().data(), kLeafKind, kInvalidPageId);
+  SetLeafEntry(fresh.value().data(), 0, key, row);
+  SetNodeCount(fresh.value().data(), 1);
+  fresh.value().MarkDirty();
+  if (bulk_leaf_ != kInvalidPageId) {
+    auto prev = pool_->Fetch(bulk_leaf_);
+    if (!prev.ok()) return prev.status();
+    SetLeafNext(prev.value().data(), id);
+    prev.value().MarkDirty();
+  }
+  bulk_leaf_ = id;
+  bulk_leaves_.push_back(Split{key, id});
+  ++entry_count_;
+  return Status::OK();
+}
+
+Status BTreeIndex::FinishBulk() {
+  if (!bulk_active_) return Status::Internal("B+-tree: FinishBulk without StartBulk");
+  bulk_active_ = false;
+  if (bulk_leaves_.empty()) return Status::OK();  // empty index
+
+  // Build internal levels bottom-up from the (first key, page) lists.
+  std::vector<Split> level = std::move(bulk_leaves_);
+  bulk_leaves_.clear();
+  height_ = 1;
+  while (level.size() > 1) {
+    std::vector<Split> parents;
+    parents.reserve(level.size() / kInternalCap + 1);
+    size_t i = 0;
+    while (i < level.size()) {
+      // A node takes child0 plus up to kInternalCap keyed children; if
+      // that would strand a single child in the final node, leave one
+      // more for it (every internal node must route >= 2 children).
+      size_t take = std::min(kInternalCap + 1, level.size() - i);
+      if (level.size() - i - take == 1) --take;
+      PageId id = kInvalidPageId;
+      auto ref = pool_->New(&id);
+      if (!ref.ok()) return ref.status();
+      char* p = ref.value().data();
+      InitNode(p, kInternalKind, level[i].page);
+      for (size_t j = 1; j < take; ++j) {
+        SetIEntry(p, j - 1, level[i + j].key, level[i + j].page);
+      }
+      SetNodeCount(p, static_cast<uint16_t>(take - 1));
+      ref.value().MarkDirty();
+      parents.push_back(Split{level[i].key, id});
+      i += take;
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = level[0].page;
+  return Status::OK();
+}
+
+}  // namespace sqlog::engine

@@ -1,0 +1,97 @@
+#ifndef SQLOG_ENGINE_BTREE_H_
+#define SQLOG_ENGINE_BTREE_H_
+
+#include <functional>
+#include <vector>
+
+#include "engine/buffer_pool.h"
+
+namespace sqlog::engine {
+
+/// Paged B+-tree index mapping int64 keys to row numbers. Nodes are
+/// buffer-pool pages, so an index over a table much larger than RAM
+/// costs O(pool) memory like everything else in the engine. Duplicate
+/// keys are allowed (Lookup returns every match in insertion order).
+///
+/// Node layout (little-endian; see page.h for the helpers):
+///   common   [0] uint8 kind (1=leaf, 2=internal), [1] pad, [2..4) uint16 count
+///   leaf     [4..8) uint32 next-leaf page (kInvalidPageId at the end),
+///            then `count` entries of (int64 key, uint64 row) — 511/page
+///   internal [4..8) uint32 child0, then `count` entries of
+///            (int64 key, uint32 child) — 682/page. child0 routes keys
+///            below key[0]; child[i] routes key[i] <= k < key[i+1].
+///
+/// Two build paths: StartBulk/BulkAdd/FinishBulk packs fully-loaded
+/// leaves from key-sorted input (what index creation over the synthetic
+/// SkyServer tables uses — objids are generated ascending), and
+/// Insert() does a standard top-down descent with bottom-up splits for
+/// unsorted input. Both produce identical iteration order (pinned by
+/// btree_test).
+class BTreeIndex {
+ public:
+  /// The index does not own `pool`; the owning Database keeps it alive.
+  explicit BTreeIndex(BufferPool* pool) : pool_(pool) {}
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  /// Inserts one (key, row) pair, splitting nodes as needed.
+  Status Insert(int64_t key, uint64_t row);
+
+  /// Bulk-load protocol: StartBulk on an empty index, BulkAdd in
+  /// nondecreasing key order (rejected otherwise), FinishBulk to build
+  /// the internal levels. Leaves are packed full.
+  Status StartBulk();
+  Status BulkAdd(int64_t key, uint64_t row);
+  Status FinishBulk();
+
+  /// Appends every row whose key equals `key`, in insertion order.
+  Status Lookup(int64_t key, std::vector<uint64_t>* rows) const;
+
+  /// Point-probes each key of a sorted unique list (the executor's
+  /// IN-list path) and appends all matching rows.
+  Status LookupMany(const std::vector<int64_t>& keys,
+                    std::vector<uint64_t>* rows) const;
+
+  /// Walks every entry in key order (leaf chain, left to right).
+  Status ForEach(const std::function<void(int64_t key, uint64_t row)>& fn) const;
+
+  uint64_t size() const { return entry_count_; }
+  uint32_t height() const { return height_; }
+
+ private:
+  struct Split {
+    int64_t key = 0;  // separator: first key reachable via `page`
+    PageId page = kInvalidPageId;
+  };
+
+  /// Descends to the leaf that may hold the leftmost occurrence of
+  /// `key`.
+  Result<PageId> DescendToLeaf(int64_t key) const;
+
+  Status InsertIntoLeaf(BufferPool::PageRef leaf, int64_t key, uint64_t row,
+                        bool* split, Split* promoted);
+  Status InsertIntoInternal(BufferPool::PageRef node, Split entry, bool* split,
+                            Split* promoted);
+  Status MakeRootOverSplit(PageId left, Split right);
+
+  // Built by one thread, then shared read-only with queries; node bytes
+  // are synchronized by the buffer pool.
+  BufferPool* const pool_ SQLOG_CONST_AFTER_INIT;
+  PageId root_ SQLOG_SHARD_LOCAL = kInvalidPageId;
+  uint32_t height_ SQLOG_SHARD_LOCAL = 0;  // 0 = empty, 1 = root is a leaf
+  uint64_t entry_count_ SQLOG_SHARD_LOCAL = 0;
+
+  // Bulk-load state: the leaf under construction plus (first key, page)
+  // of every finished leaf — 12 bytes per 511 rows, so the builder
+  // itself stays tiny even at tens of millions of entries.
+  bool bulk_active_ SQLOG_SHARD_LOCAL = false;
+  bool bulk_any_ SQLOG_SHARD_LOCAL = false;
+  int64_t bulk_last_key_ SQLOG_SHARD_LOCAL = 0;
+  PageId bulk_leaf_ SQLOG_SHARD_LOCAL = kInvalidPageId;
+  std::vector<Split> bulk_leaves_ SQLOG_SHARD_LOCAL;
+};
+
+}  // namespace sqlog::engine
+
+#endif  // SQLOG_ENGINE_BTREE_H_

@@ -1,0 +1,212 @@
+#include "engine/buffer_pool.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace sqlog::engine {
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PageFile::Open(const std::string& path) {
+  if (fd_ >= 0) return Status::Internal("PageFile already open");
+  if (path.empty()) {
+    const char* tmpdir = ::getenv("TMPDIR");
+    std::string templ =
+        std::string(tmpdir != nullptr && tmpdir[0] != '\0' ? tmpdir : "/tmp") +
+        "/sqlog_pages.XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    int fd = ::mkstemp(buf.data());
+    if (fd < 0) {
+      return Status::IoError(StrFormat("mkstemp(%s): %s", buf.data(), strerror(errno)));
+    }
+    // Unlink immediately: the pages live only as long as this process.
+    ::unlink(buf.data());
+    fd_ = fd;
+    return Status::OK();
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("open(%s): %s", path.c_str(), strerror(errno)));
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status PageFile::Read(PageId id, char* buf) {
+  if (fd_ < 0) return Status::Internal("PageFile not open");
+  if (id >= next_page_) {
+    return Status::OutOfRange(StrFormat("page %u past allocated tail %u", id, next_page_));
+  }
+  size_t done = 0;
+  const off_t base = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  while (done < kPageSize) {
+    ssize_t n = ::pread(fd_, buf + done, kPageSize - done, base + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("pread(page %u): %s", id, strerror(errno)));
+    }
+    if (n == 0) {
+      // Allocated but never written: the logical content is zeros.
+      ::memset(buf + done, 0, kPageSize - done);
+      return Status::OK();
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PageFile::Write(PageId id, const char* buf) {
+  if (fd_ < 0) return Status::Internal("PageFile not open");
+  size_t done = 0;
+  const off_t base = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  while (done < kPageSize) {
+    ssize_t n = ::pwrite(fd_, buf + done, kPageSize - done, base + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("pwrite(page %u): %s", id, strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void BufferPool::PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, dirty_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    id_ = kInvalidPageId;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, size_t pool_pages)
+    : pool_pages_(pool_pages == 0 ? 1 : pool_pages),
+      file_(file),
+      memory_(new char[pool_pages_ * kPageSize]) {
+  frames_.resize(pool_pages_);
+  free_frames_.reserve(pool_pages_);
+  // Hand out low frame numbers first; purely cosmetic but deterministic.
+  for (size_t i = pool_pages_; i-- > 0;) free_frames_.push_back(i);
+  stats_.pool_pages = pool_pages_;
+}
+
+BufferPool::~BufferPool() {
+  // Best effort: a page file that cannot be written here was already
+  // unusable for reads, and destructors cannot report.
+  Status flushed = FlushAll();
+  (void)flushed;
+}
+
+Result<size_t> BufferPool::AcquireFrameLocked() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::IoError(
+        StrFormat("buffer pool exhausted: all %zu pages pinned (leaked PageRef?)",
+                  pool_pages_));
+  }
+  size_t frame = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[frame];
+  f.in_lru = false;
+  if (f.dirty) {
+    SQLOG_RETURN_IF_ERROR_R(file_->Write(f.page, FrameData(frame)));
+    f.dirty = false;
+    ++stats_.writebacks;
+  }
+  page_table_.erase(f.page);
+  f.page = kInvalidPageId;
+  ++stats_.evictions;
+  return frame;
+}
+
+Result<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
+  util::MutexLock lock(mu_);
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    size_t frame = it->second;
+    Frame& f = frames_[frame];
+    if (f.in_lru) {
+      lru_.erase(f.lru_it);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    ++stats_.hits;
+    return PageRef(this, FrameData(frame), id, frame);
+  }
+  ++stats_.misses;
+  auto frame_or = AcquireFrameLocked();
+  if (!frame_or.ok()) return frame_or.status();
+  size_t frame = frame_or.value();
+  Status read = file_->Read(id, FrameData(frame));
+  if (!read.ok()) {
+    free_frames_.push_back(frame);
+    return read;
+  }
+  Frame& f = frames_[frame];
+  f.page = id;
+  f.pins = 1;
+  f.dirty = false;
+  page_table_[id] = frame;
+  return PageRef(this, FrameData(frame), id, frame);
+}
+
+Result<BufferPool::PageRef> BufferPool::New(PageId* id) {
+  util::MutexLock lock(mu_);
+  auto frame_or = AcquireFrameLocked();
+  if (!frame_or.ok()) return frame_or.status();
+  size_t frame = frame_or.value();
+  PageId page = file_->Allocate();
+  ::memset(FrameData(frame), 0, kPageSize);
+  Frame& f = frames_[frame];
+  f.page = page;
+  f.pins = 1;
+  f.dirty = true;  // reaches the file even if the caller never writes
+  page_table_[page] = frame;
+  if (id != nullptr) *id = page;
+  return PageRef(this, FrameData(frame), page, frame);
+}
+
+Status BufferPool::FlushAll() {
+  util::MutexLock lock(mu_);
+  for (size_t frame = 0; frame < frames_.size(); ++frame) {
+    Frame& f = frames_[frame];
+    if (f.page == kInvalidPageId || !f.dirty) continue;
+    SQLOG_RETURN_IF_ERROR(file_->Write(f.page, FrameData(frame)));
+    f.dirty = false;
+    ++stats_.writebacks;
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(size_t frame, bool dirty) {
+  util::MutexLock lock(mu_);
+  Frame& f = frames_[frame];
+  f.dirty = f.dirty || dirty;
+  if (f.pins > 0 && --f.pins == 0) {
+    lru_.push_back(frame);
+    f.lru_it = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  util::MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace sqlog::engine

@@ -1,0 +1,189 @@
+#ifndef SQLOG_ENGINE_BUFFER_POOL_H_
+#define SQLOG_ENGINE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/page.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace sqlog::engine {
+
+/// Append-only page file: the disk half of the out-of-core engine.
+/// Pages are allocated by bumping a counter and addressed at
+/// `id * kPageSize`; reads past the synced tail return zero bytes
+/// (an allocated-but-never-flushed page reads back as all zeros).
+///
+/// Open("") creates an anonymous temp file (created under $TMPDIR and
+/// unlinked immediately), which is what every in-process database uses:
+/// the file disappears with the process, so crashed benchmarks never
+/// leave multi-GiB page files behind.
+class PageFile {
+ public:
+  PageFile() = default;
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Opens (creating + truncating) the backing file. Empty path means
+  /// an unlinked temp file.
+  Status Open(const std::string& path);
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Allocates the next page id. The page has no on-disk bytes until
+  /// the buffer pool first writes it back.
+  PageId Allocate() { return next_page_++; }
+
+  /// Reads page `id` into `buf` (kPageSize bytes). Short reads past the
+  /// written tail zero-fill, so freshly allocated pages read as zeros.
+  Status Read(PageId id, char* buf);
+
+  /// Writes page `id` from `buf` (kPageSize bytes).
+  Status Write(PageId id, const char* buf);
+
+  size_t page_count() const { return next_page_; }
+
+ private:
+  // PageFile is owned by a BufferPool and only touched with the pool's
+  // mutex held; it has no locking of its own.
+  int fd_ SQLOG_SHARD_LOCAL = -1;
+  PageId next_page_ SQLOG_SHARD_LOCAL = 0;
+};
+
+/// Fixed-size page cache with LRU replacement, pin/unpin accounting and
+/// dirty-page write-back — the only component that touches the PageFile
+/// after setup. Table heaps and B+-trees never hold raw pages; they hold
+/// PageRefs, whose lifetime is the pin.
+///
+/// Replacement policy: strict LRU over unpinned frames. A frame becomes
+/// evictable when its pin count drops to zero and is reused in
+/// least-recently-unpinned order. Fetching an already-resident page
+/// removes it from the LRU list (it is pinned again). When every frame
+/// is pinned, Fetch/New fail with kIoError rather than blocking — the
+/// engine's access paths pin at most a handful of pages at a time, so
+/// starvation indicates a leaked PageRef.
+class BufferPool {
+ public:
+  /// Counters for tests and bench reporting. Snapshot via stats().
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+    size_t pool_pages = 0;
+  };
+
+  /// RAII pin on one page frame. Holding a PageRef guarantees the frame
+  /// is not evicted and `data()` stays valid. Call MarkDirty() after
+  /// mutating the bytes; the dirty bit is applied to the frame when the
+  /// ref unpins (destruction or Release()).
+  class PageRef {
+   public:
+    PageRef() = default;
+    ~PageRef() { Release(); }
+
+    PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+    PageRef& operator=(PageRef&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        data_ = other.data_;
+        id_ = other.id_;
+        frame_ = other.frame_;
+        dirty_ = other.dirty_;
+        other.pool_ = nullptr;
+        other.data_ = nullptr;
+        other.id_ = kInvalidPageId;
+        other.dirty_ = false;
+      }
+      return *this;
+    }
+
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+
+    bool valid() const { return pool_ != nullptr; }
+    PageId id() const { return id_; }
+    char* data() const { return data_; }
+
+    /// Records that the page bytes were modified; the buffer pool will
+    /// write the page back before reusing its frame.
+    void MarkDirty() { dirty_ = true; }
+
+    /// Unpins early (idempotent). data() is invalid afterwards.
+    void Release();
+
+   private:
+    friend class BufferPool;
+    PageRef(BufferPool* pool, char* data, PageId id, size_t frame)
+        : pool_(pool), data_(data), id_(id), frame_(frame) {}
+
+    BufferPool* pool_ = nullptr;
+    char* data_ = nullptr;
+    PageId id_ = kInvalidPageId;
+    size_t frame_ = 0;
+    bool dirty_ = false;
+  };
+
+  /// The pool does not own `file`; it must outlive the pool.
+  BufferPool(PageFile* file, size_t pool_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from the file on a miss.
+  Result<PageRef> Fetch(PageId id);
+
+  /// Allocates a fresh zeroed page and pins it. The new page is born
+  /// dirty so it reaches the file even if the caller never writes.
+  Result<PageRef> New(PageId* id);
+
+  /// Writes every dirty resident page back to the file.
+  Status FlushAll();
+
+  size_t pool_pages() const { return pool_pages_; }
+  size_t pool_bytes() const { return pool_pages_ * kPageSize; }
+
+  Stats stats() const;
+
+ private:
+  struct Frame {
+    PageId page = kInvalidPageId;
+    uint32_t pins = 0;
+    bool dirty = false;
+    bool in_lru = false;
+    std::list<size_t>::iterator lru_it{};
+  };
+
+  /// Finds a frame for a new resident page: a never-used frame first,
+  /// else the LRU unpinned frame (writing it back when dirty).
+  Result<size_t> AcquireFrameLocked() SQLOG_REQUIRES(mu_);
+
+  void Unpin(size_t frame, bool dirty);
+
+  char* FrameData(size_t frame) { return memory_.get() + frame * kPageSize; }
+
+  const size_t pool_pages_;
+  // The pointer is const; the PageFile behind it is only touched with
+  // mu_ held (see the PageFile comment).
+  PageFile* const file_ SQLOG_CONST_AFTER_INIT;
+  std::unique_ptr<char[]> memory_ SQLOG_CONST_AFTER_INIT;  // pool_pages_ * kPageSize
+
+  mutable util::Mutex mu_ SQLOG_SELF_SYNCHRONIZED;
+  std::vector<Frame> frames_ SQLOG_GUARDED_BY(mu_);
+  std::vector<size_t> free_frames_ SQLOG_GUARDED_BY(mu_);
+  std::list<size_t> lru_ SQLOG_GUARDED_BY(mu_);  // front = evict next
+  std::unordered_map<PageId, size_t> page_table_ SQLOG_GUARDED_BY(mu_);
+  Stats stats_ SQLOG_GUARDED_BY(mu_);
+};
+
+}  // namespace sqlog::engine
+
+#endif  // SQLOG_ENGINE_BUFFER_POOL_H_

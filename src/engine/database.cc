@@ -1,16 +1,38 @@
 #include "engine/database.h"
 
+#include "engine/table_heap.h"
 #include "util/string_util.h"
 
 namespace sqlog::engine {
 
+Status Database::EnsurePool() {
+  if (pool_ != nullptr) return Status::OK();
+  auto file = std::make_unique<PageFile>();
+  SQLOG_RETURN_IF_ERROR(file->Open(options_.page_file_path));
+  page_file_ = std::move(file);
+  pool_ = std::make_unique<BufferPool>(page_file_.get(), options_.buffer_pool_pages);
+  return Status::OK();
+}
+
 Result<Table*> Database::CreateTable(const std::string& name,
                                      const std::vector<Table::Column>& columns) {
+  return CreateTable(name, columns, options_.storage);
+}
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     const std::vector<Table::Column>& columns,
+                                     StorageMode mode) {
   std::string key = ToLower(name);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table exists: " + key);
   }
-  auto table = std::make_unique<Table>(key);
+  std::unique_ptr<Table> table;
+  if (mode == StorageMode::kPaged) {
+    SQLOG_RETURN_IF_ERROR_R(EnsurePool());
+    table = std::make_unique<PagedTable>(key, pool_.get());
+  } else {
+    table = std::make_unique<MemoryTable>(key);
+  }
   for (const auto& col : columns) {
     SQLOG_RETURN_IF_ERROR_R(table->AddColumn(col.name, col.kind));
   }
@@ -28,20 +50,77 @@ Result<Table*> Database::CreateTableFromCatalog(const catalog::TableDef& def) {
   return CreateTable(def.name(), columns);
 }
 
-const Table* Database::FindTable(const std::string& name) const {
-  auto it = tables_.find(ToLower(name));
+const Table* Database::FindTable(std::string_view name) const {
+  auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
-Table* Database::FindTable(const std::string& name) {
-  auto it = tables_.find(ToLower(name));
+Table* Database::FindTable(std::string_view name) {
+  auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Database::CreateIndex(const std::string& table_name, const std::string& column) {
+  const Table* table = FindTable(table_name);
+  if (table == nullptr) return Status::NotFound("no such table: " + table_name);
+  int col = table->ColumnIndex(column);
+  if (col < 0) return Status::NotFound("no such column: " + column);
+  if (table->columns()[static_cast<size_t>(col)].kind != Value::Kind::kInt64) {
+    return Status::InvalidArgument("indexes require an int64 column: " + column);
+  }
+  std::string key = ToLower(table_name) + '\x1f' + ToLower(column);
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index exists: " + key);
+  }
+  SQLOG_RETURN_IF_ERROR(EnsurePool());
+
+  // First pass: detect key-sortedness so creation over the (generated,
+  // ascending) synthetic tables takes the packed bulk-load path.
+  const size_t c = static_cast<size_t>(col);
+  bool sorted = true;
+  bool any = false;
+  int64_t prev = 0;
+  for (size_t row = 0; row < table->row_count() && sorted; ++row) {
+    Value v = table->CellAt(row, c);
+    if (v.is_null()) continue;
+    int64_t k = v.AsInt();
+    if (any && k < prev) sorted = false;
+    prev = k;
+    any = true;
+  }
+
+  auto index = std::make_unique<BTreeIndex>(pool_.get());
+  if (sorted) {
+    SQLOG_RETURN_IF_ERROR(index->StartBulk());
+    for (size_t row = 0; row < table->row_count(); ++row) {
+      Value v = table->CellAt(row, c);
+      if (v.is_null()) continue;
+      SQLOG_RETURN_IF_ERROR(index->BulkAdd(v.AsInt(), row));
+    }
+    SQLOG_RETURN_IF_ERROR(index->FinishBulk());
+  } else {
+    for (size_t row = 0; row < table->row_count(); ++row) {
+      Value v = table->CellAt(row, c);
+      if (v.is_null()) continue;
+      SQLOG_RETURN_IF_ERROR(index->Insert(v.AsInt(), row));
+    }
+  }
+  indexes_[key] = std::move(index);
+  return Status::OK();
+}
+
+const BTreeIndex* Database::FindIndex(std::string_view table_name,
+                                      std::string_view column) const {
+  std::string key = ToLower(table_name) + '\x1f' + ToLower(column);
+  auto it = indexes_.find(key);
+  return it == indexes_.end() ? nullptr : it->second.get();
 }
 
 namespace {
 
-Status FillPhotoTable(Table* table, const std::vector<int64_t>& objids, Rng& rng) {
-  for (int64_t objid : objids) {
+Status FillPhotoTable(Table* table, size_t rows, Rng& rng) {
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t objid = SyntheticObjId(i);
     double ra = rng.NextDouble() * 360.0;
     double dec = rng.NextDouble() * 180.0 - 90.0;
     std::vector<Value> row;
@@ -74,20 +153,14 @@ Status PopulateSkyServerSample(Database& db, size_t rows, uint64_t seed) {
   Rng rng(seed);
   catalog::Schema schema = catalog::MakeSkyServerSchema();
 
-  // Shared objid population so photoprimary/photoobjall point lookups hit.
-  std::vector<int64_t> objids;
-  objids.reserve(rows);
-  int64_t base = 587722981740000000LL;
-  for (size_t i = 0; i < rows; ++i) {
-    objids.push_back(base + static_cast<int64_t>(i) * 131LL);
-  }
-
+  // Shared objid population so photoprimary/photoobjall point lookups
+  // hit: both tables row i carries SyntheticObjId(i).
   for (const char* name : {"photoprimary", "photoobjall"}) {
     const catalog::TableDef* def = schema.FindTable(name);
     if (def == nullptr) return Status::Internal("missing catalog table");
     auto table = db.CreateTableFromCatalog(*def);
     if (!table.ok()) return table.status();
-    SQLOG_RETURN_IF_ERROR(FillPhotoTable(table.value(), objids, rng));
+    SQLOG_RETURN_IF_ERROR(FillPhotoTable(table.value(), rows, rng));
   }
 
   // Spectroscopic subset: every 4th photo object has a spectrum.
@@ -97,13 +170,13 @@ Status PopulateSkyServerSample(Database& db, size_t rows, uint64_t seed) {
     auto table = db.CreateTableFromCatalog(*def);
     if (!table.ok()) return table.status();
     int64_t spec_base = 75094090000000000LL;
-    for (size_t i = 0; i < objids.size(); i += 4) {
+    for (size_t i = 0; i < rows; i += 4) {
       std::vector<Value> row;
       for (const auto& col : table.value()->columns()) {
         if (col.name == "specobjid") {
           row.push_back(Value::Int(spec_base + static_cast<int64_t>(i) * 257LL));
         } else if (col.name == "bestobjid") {
-          row.push_back(Value::Int(objids[i]));
+          row.push_back(Value::Int(SyntheticObjId(i)));
         } else if (col.kind == Value::Kind::kInt64) {
           row.push_back(Value::Int(static_cast<int64_t>(rng.Uniform(100000))));
         } else if (col.kind == Value::Kind::kDouble) {
@@ -187,6 +260,16 @@ Status PopulateSkyServerSample(Database& db, size_t rows, uint64_t seed) {
   return Status::OK();
 }
 
+Status PopulatePhotoPrimary(Database& db, size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  catalog::Schema schema = catalog::MakeSkyServerSchema();
+  const catalog::TableDef* def = schema.FindTable("photoprimary");
+  if (def == nullptr) return Status::Internal("missing catalog table");
+  auto table = db.CreateTableFromCatalog(*def);
+  if (!table.ok()) return table.status();
+  return FillPhotoTable(table.value(), rows, rng);
+}
+
 std::vector<int64_t> PhotoObjIds(const Database& db) {
   std::vector<int64_t> out;
   const Table* table = db.FindTable("photoprimary");
@@ -195,7 +278,7 @@ std::vector<int64_t> PhotoObjIds(const Database& db) {
   if (col < 0) return out;
   out.reserve(table->row_count());
   for (size_t row = 0; row < table->row_count(); ++row) {
-    out.push_back(table->At(row, static_cast<size_t>(col)).AsInt());
+    out.push_back(table->CellAt(row, static_cast<size_t>(col)).AsInt());
   }
   return out;
 }

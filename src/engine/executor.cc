@@ -47,8 +47,23 @@ class Rel {
   size_t NumCols() const { return cols_.size(); }
   const std::vector<Col>& cols() const { return cols_; }
 
+  /// The base table when this relation is a zero-copy view of one
+  /// (candidate for an index scan); nullptr for materialized rows.
+  const Table* base() const { return base_; }
+
   const Value& Cell(size_t row, size_t col) const {
-    return base_ != nullptr ? base_->At(row, col) : rows_[row][col];
+    if (base_ == nullptr) return rows_[row][col];
+    // In-memory backends hand out stable pointers (zero-copy scan).
+    if (const Value* cell = base_->CellPtr(row, col)) return *cell;
+    // Paged backends decode a row at a time; the executor walks rows
+    // outer, columns inner, so one decode serves all of a row's cells.
+    if (cache_row_ != static_cast<int64_t>(row)) {
+      if (!base_->GetRow(row, &cache_).ok()) {
+        cache_.assign(cols_.size(), Value::Null());
+      }
+      cache_row_ = static_cast<int64_t>(row);
+    }
+    return cache_[col];
   }
 
   /// Copies one full row (used when materializing joins).
@@ -72,6 +87,9 @@ class Rel {
   const Table* base_ = nullptr;
   std::vector<Col> cols_;
   std::vector<std::vector<Value>> rows_;
+  // Single-row decode cache for paged base tables (see Cell).
+  mutable int64_t cache_row_ = -1;
+  mutable std::vector<Value> cache_;
 };
 
 /// SQL LIKE with % and _, case-insensitive.
@@ -167,7 +185,8 @@ struct RowCtx {
 /// Executes statements; one instance per Execute call (cheap).
 class Exec {
  public:
-  explicit Exec(const Database* db) : db_(db) {}
+  Exec(const Database* db, const ExecutorOptions& options, ExecutorStats* stats)
+      : db_(db), options_(options), stats_(stats) {}
 
   Result<ResultSet> Run(const sql::SelectStatement& stmt);
 
@@ -192,7 +211,18 @@ class Exec {
   Result<Value> EvalAgg(const sql::Expr& expr, const Rel& rel,
                         const std::vector<size_t>& rows);
 
+  /// Index-scan planning: when WHERE has a top-level `col = int` or
+  /// `col IN (ints...)` conjunct over an indexed column of the base
+  /// table, probes the B+-tree and fills `candidates` with the matching
+  /// row numbers in ascending (table) order. Returns whether an index
+  /// was used; the caller still evaluates the full WHERE on candidates,
+  /// so the result is identical to a full scan.
+  Result<bool> IndexCandidates(const Rel& rel, const sql::Expr* where,
+                               std::vector<size_t>* candidates);
+
   const Database* db_;
+  const ExecutorOptions& options_;
+  ExecutorStats* const stats_;
 
   /// Per-statement cache of constant IN-list membership sets, keyed by
   /// the expression node. This is where the rewritten Stifle queries get
@@ -230,6 +260,36 @@ bool AsColumnEquality(const sql::Expr& expr, const sql::ColumnRefExpr** a,
   return true;
 }
 
+/// Reads an integral literal (optionally signed) as int64. Mirrors
+/// Eval's literal rule — a number without '.'/'e'/'E' stays integral —
+/// so index probes agree byte-for-byte with scan-side comparisons.
+bool ExtractIntLiteral(const sql::Expr& expr, int64_t* out) {
+  if (expr.kind() == sql::ExprKind::kUnary) {
+    const auto& unary = static_cast<const sql::UnaryExpr&>(expr);
+    int64_t inner = 0;
+    if (!ExtractIntLiteral(*unary.operand, &inner)) return false;
+    if (unary.op == sql::UnaryOp::kMinus) {
+      *out = -inner;
+      return true;
+    }
+    if (unary.op == sql::UnaryOp::kPlus) {
+      *out = inner;
+      return true;
+    }
+    return false;
+  }
+  if (expr.kind() != sql::ExprKind::kLiteral) return false;
+  const auto& lit = static_cast<const sql::LiteralExpr&>(expr);
+  if (lit.literal_kind != sql::LiteralKind::kNumber) return false;
+  if (lit.text.find('.') != std::string::npos ||
+      lit.text.find('e') != std::string::npos ||
+      lit.text.find('E') != std::string::npos) {
+    return false;
+  }
+  *out = std::strtoll(lit.text.c_str(), nullptr, 0);
+  return true;
+}
+
 Result<Rel> Exec::ResolveTableFunction(const sql::TableFunctionRef& fn) {
   std::string name = ToLower(fn.name);
   std::string qualifier = fn.alias.empty() ? name : ToLower(fn.alias);
@@ -261,16 +321,16 @@ Result<Rel> Exec::ResolveTableFunction(const sql::TableFunctionRef& fn) {
     double best = 1e300;
     std::vector<Value> best_row;
     for (size_t r = 0; r < photo->row_count(); ++r) {
-      double dra = photo->At(r, static_cast<size_t>(ra_col)).AsDouble() - ra0;
-      double ddec = photo->At(r, static_cast<size_t>(dec_col)).AsDouble() - dec0;
+      double dra = photo->CellAt(r, static_cast<size_t>(ra_col)).AsDouble() - ra0;
+      double ddec = photo->CellAt(r, static_cast<size_t>(dec_col)).AsDouble() - dec0;
       double dist = std::sqrt(dra * dra + ddec * ddec);
       if (name == "fgetnearestobjeq") {
         if (dist < best) {
           best = dist;
-          best_row = {photo->At(r, static_cast<size_t>(objid_col)), Value::Real(dist)};
+          best_row = {photo->CellAt(r, static_cast<size_t>(objid_col)), Value::Real(dist)};
         }
       } else if (dist <= radius_deg) {
-        rows.push_back({photo->At(r, static_cast<size_t>(objid_col)), Value::Real(dist)});
+        rows.push_back({photo->CellAt(r, static_cast<size_t>(objid_col)), Value::Real(dist)});
       }
     }
     if (name == "fgetnearestobjeq" && !best_row.empty()) rows.push_back(std::move(best_row));
@@ -287,10 +347,10 @@ Result<Rel> Exec::ResolveTableFunction(const sql::TableFunctionRef& fn) {
     std::vector<Rel::Col> cols = {{qualifier, "objid"}, {qualifier, "ra"}, {qualifier, "dec"}};
     std::vector<std::vector<Value>> rows;
     for (size_t r = 0; r < photo->row_count(); ++r) {
-      double ra = photo->At(r, static_cast<size_t>(ra_col)).AsDouble();
-      double dec = photo->At(r, static_cast<size_t>(dec_col)).AsDouble();
+      double ra = photo->CellAt(r, static_cast<size_t>(ra_col)).AsDouble();
+      double dec = photo->CellAt(r, static_cast<size_t>(dec_col)).AsDouble();
       if (ra >= ra1 && ra <= ra2 && dec >= dec1 && dec <= dec2) {
-        rows.push_back({photo->At(r, static_cast<size_t>(objid_col)), Value::Real(ra),
+        rows.push_back({photo->CellAt(r, static_cast<size_t>(objid_col)), Value::Real(ra),
                         Value::Real(dec)});
       }
     }
@@ -313,7 +373,7 @@ Result<Rel> Exec::ResolveFromItem(const sql::FromItem& item) {
       return ResolveTableFunction(static_cast<const sql::TableFunctionRef&>(item));
     case sql::FromKind::kSubquery: {
       const auto& sub = static_cast<const sql::SubqueryRef&>(item);
-      Exec inner(db_);
+      Exec inner(db_, options_, stats_);
       auto result = inner.Run(*sub.subquery);
       if (!result.ok()) return result.status();
       std::string qualifier = ToLower(sub.alias);
@@ -570,7 +630,7 @@ Result<Value> Exec::Eval(const sql::Expr& expr, const RowCtx& ctx) {
     }
     case sql::ExprKind::kSubquery: {
       const auto& sub = static_cast<const sql::SubqueryExpr&>(expr);
-      Exec inner(db_);
+      Exec inner(db_, options_, stats_);
       auto result = inner.Run(*sub.subquery);
       if (!result.ok()) return result.status();
       if (result->rows.empty() || result->rows[0].empty()) return Value::Null();
@@ -737,7 +797,7 @@ Result<bool> Exec::EvalBool(const sql::Expr& expr, const RowCtx& ctx) {
       auto v = Eval(*in.operand, ctx);
       if (!v.ok()) return v.status();
       if (v->is_null()) return false;
-      Exec inner(db_);
+      Exec inner(db_, options_, stats_);
       auto result = inner.Run(*in.subquery);
       if (!result.ok()) return result.status();
       for (const auto& row : result->rows) {
@@ -749,7 +809,7 @@ Result<bool> Exec::EvalBool(const sql::Expr& expr, const RowCtx& ctx) {
     }
     case sql::ExprKind::kExists: {
       const auto& exists = static_cast<const sql::ExistsExpr&>(expr);
-      Exec inner(db_);
+      Exec inner(db_, options_, stats_);
       auto result = inner.Run(*exists.subquery);
       if (!result.ok()) return result.status();
       bool nonempty = !result->rows.empty();
@@ -792,6 +852,72 @@ std::string ItemLabel(const sql::SelectItem& item) {
   return Print(*item.expr, opts);
 }
 
+Result<bool> Exec::IndexCandidates(const Rel& rel, const sql::Expr* where,
+                                   std::vector<size_t>* candidates) {
+  std::vector<const sql::Expr*> conjuncts;
+  CollectConjuncts(where, conjuncts);
+  for (const sql::Expr* conjunct : conjuncts) {
+    const sql::ColumnRefExpr* colref = nullptr;
+    std::vector<int64_t> keys;
+    if (conjunct->kind() == sql::ExprKind::kBinary) {
+      const auto& bin = static_cast<const sql::BinaryExpr&>(*conjunct);
+      if (bin.op != sql::BinaryOp::kEq) continue;
+      int64_t key = 0;
+      if (bin.lhs->kind() == sql::ExprKind::kColumnRef &&
+          ExtractIntLiteral(*bin.rhs, &key)) {
+        colref = static_cast<const sql::ColumnRefExpr*>(bin.lhs.get());
+      } else if (bin.rhs->kind() == sql::ExprKind::kColumnRef &&
+                 ExtractIntLiteral(*bin.lhs, &key)) {
+        colref = static_cast<const sql::ColumnRefExpr*>(bin.rhs.get());
+      } else {
+        continue;
+      }
+      keys.push_back(key);
+    } else if (conjunct->kind() == sql::ExprKind::kInList) {
+      const auto& in = static_cast<const sql::InListExpr&>(*conjunct);
+      if (in.negated || in.items.empty() ||
+          in.operand->kind() != sql::ExprKind::kColumnRef) {
+        continue;
+      }
+      bool all_ints = true;
+      keys.reserve(in.items.size());
+      for (const auto& item : in.items) {
+        int64_t key = 0;
+        if (!ExtractIntLiteral(*item, &key)) {
+          all_ints = false;
+          break;
+        }
+        keys.push_back(key);
+      }
+      if (!all_ints) continue;
+      colref = static_cast<const sql::ColumnRefExpr*>(in.operand.get());
+    } else {
+      continue;
+    }
+
+    int idx = rel.Find(ToLower(colref->qualifier), ToLower(colref->name));
+    if (idx < 0) continue;
+    // A base-table view maps relation columns 1:1 onto table columns.
+    const BTreeIndex* index =
+        db_->FindIndex(rel.base()->name(), rel.cols()[static_cast<size_t>(idx)].name);
+    if (index == nullptr) continue;
+
+    // Duplicate keys in an IN list must not duplicate rows: probe each
+    // distinct key once. Distinct keys yield disjoint row sets, so the
+    // final sort restores table order without a dedupe pass.
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    std::vector<uint64_t> rows;
+    SQLOG_RETURN_IF_ERROR_R(index->LookupMany(keys, &rows));
+    std::sort(rows.begin(), rows.end());
+    candidates->clear();
+    candidates->reserve(rows.size());
+    for (uint64_t row : rows) candidates->push_back(static_cast<size_t>(row));
+    return true;
+  }
+  return false;
+}
+
 Result<ResultSet> Exec::Run(const sql::SelectStatement& stmt) {
   auto folded = FoldFrom(stmt);
   if (!folded.ok()) return folded.status();
@@ -802,9 +928,28 @@ Result<ResultSet> Exec::Run(const sql::SelectStatement& stmt) {
     if (ExprContainsAggregate(*item.expr)) aggregated = true;
   }
 
-  // Collect the indices of rows surviving WHERE.
+  // Collect the indices of rows surviving WHERE. An indexed equality or
+  // IN-list conjunct narrows the walk to the B+-tree's candidates; the
+  // full WHERE still runs on each candidate and candidates come back in
+  // table order, so both paths produce identical results.
+  std::vector<size_t> candidates;
+  bool index_scan = false;
+  if (options_.use_indexes && rel.base() != nullptr && stmt.where != nullptr) {
+    auto used = IndexCandidates(rel, stmt.where.get(), &candidates);
+    if (!used.ok()) return used.status();
+    index_scan = *used;
+  }
+  if (rel.base() != nullptr) {
+    if (index_scan) {
+      ++stats_->index_scans;
+    } else {
+      ++stats_->full_scans;
+    }
+  }
   std::vector<size_t> surviving;
-  for (size_t r = 0; r < rel.NumRows(); ++r) {
+  const size_t walk_count = index_scan ? candidates.size() : rel.NumRows();
+  for (size_t w = 0; w < walk_count; ++w) {
+    const size_t r = index_scan ? candidates[w] : w;
     RowCtx ctx{&rel, r};
     if (stmt.where) {
       auto keep = EvalBool(*stmt.where, ctx);
@@ -1063,7 +1208,7 @@ Result<Value> Exec::EvalAgg(const sql::Expr& expr, const Rel& rel,
 }  // namespace
 
 Result<ResultSet> Executor::Execute(const sql::SelectStatement& stmt) const {
-  Exec exec(db_);
+  Exec exec(db_, options_, &stats_);
   return exec.Run(stmt);
 }
 

@@ -1,6 +1,7 @@
 #ifndef SQLOG_ENGINE_EXECUTOR_H_
 #define SQLOG_ENGINE_EXECUTOR_H_
 
+#include <cstdint>
 #include <string>
 
 #include "engine/database.h"
@@ -10,11 +11,29 @@
 
 namespace sqlog::engine {
 
-/// Executes parsed SELECT statements of the dialect against an
-/// in-memory Database. Supports:
+/// Execution knobs. `use_indexes` exists so the Sec 6.3 bench can run
+/// the same query stream with and without index scans; production
+/// callers keep the default.
+struct ExecutorOptions {
+  bool use_indexes = true;
+};
+
+/// Per-executor counters of which access path base-table scans took.
+struct ExecutorStats {
+  uint64_t index_scans = 0;  // base-table reads served via a B+-tree probe
+  uint64_t full_scans = 0;   // base-table reads that walked every row
+};
+
+/// Executes parsed SELECT statements of the dialect against a Database
+/// (in-memory or paged tables transparently). Supports:
 ///   - single-table scans with full WHERE evaluation (comparisons,
 ///     AND/OR/NOT, IN lists & subqueries, BETWEEN, LIKE, IS NULL,
 ///     arithmetic),
+///   - index scans: an equality or IN-list conjunct on an indexed int64
+///     column (e.g. photoprimary.objid) prefilters the scan through the
+///     B+-tree; the full WHERE is still re-evaluated on candidates and
+///     rows come back in table order, so results are byte-identical to
+///     the full scan,
 ///   - INNER/LEFT OUTER joins (hash join on a single equi-condition,
 ///     nested-loop fallback) and comma-joins with equi-conditions pulled
 ///     from WHERE,
@@ -29,6 +48,7 @@ namespace sqlog::engine {
 class Executor {
  public:
   explicit Executor(const Database* db) : db_(db) {}
+  Executor(const Database* db, ExecutorOptions options) : db_(db), options_(options) {}
 
   /// Executes a parsed statement.
   Result<ResultSet> Execute(const sql::SelectStatement& stmt) const;
@@ -36,8 +56,14 @@ class Executor {
   /// Parses and executes SQL text.
   Result<ResultSet> ExecuteSql(const std::string& statement_text) const;
 
+  /// Access-path counters accumulated across Execute calls.
+  const ExecutorStats& stats() const { return stats_; }
+  void ResetStats() const { stats_ = ExecutorStats{}; }
+
  private:
   const Database* db_;
+  ExecutorOptions options_;
+  mutable ExecutorStats stats_;
 };
 
 }  // namespace sqlog::engine

@@ -1,0 +1,57 @@
+#ifndef SQLOG_ENGINE_PAGE_H_
+#define SQLOG_ENGINE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace sqlog::engine {
+
+/// Fixed page size of the out-of-core storage layer. Every on-disk
+/// structure (table-heap pages, B+-tree nodes) is laid out inside one
+/// such page; the buffer pool caches whole pages.
+inline constexpr size_t kPageSize = 8192;
+
+/// Pages are addressed by a dense 32-bit id: page N lives at byte
+/// offset N * kPageSize of the page file. 32 bits x 8 KiB = 32 TiB,
+/// far beyond anything this engine sweeps.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Little-endian load/store helpers for in-page fields. memcpy-based so
+/// they are alignment-safe and compile to single moves on x86/ARM.
+inline void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreU64(char* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreI64(char* p, int64_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreF64(char* p, double v) { std::memcpy(p, &v, sizeof(v)); }
+
+inline uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline int64_t LoadI64(const char* p) {
+  int64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline double LoadF64(const char* p) {
+  double v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace sqlog::engine
+
+#endif  // SQLOG_ENGINE_PAGE_H_

@@ -5,7 +5,7 @@
 namespace sqlog::engine {
 
 Status Table::AddColumn(const std::string& name, Value::Kind kind) {
-  if (row_count_ > 0) {
+  if (row_count() > 0) {
     return Status::InvalidArgument("cannot add a column to a non-empty table");
   }
   std::string lower = ToLower(name);
@@ -13,27 +13,42 @@ Status Table::AddColumn(const std::string& name, Value::Kind kind) {
     return Status::AlreadyExists("duplicate column: " + lower);
   }
   index_[lower] = columns_.size();
-  columns_.push_back(Column{lower, kind});
-  data_.emplace_back();
+  columns_.push_back(Column{std::move(lower), kind});
   return Status::OK();
 }
 
-int Table::ColumnIndex(const std::string& name) const {
-  auto it = index_.find(ToLower(name));
+int Table::ColumnIndex(std::string_view name) const {
+  auto it = index_.find(name);
   if (it == index_.end()) return -1;
   return static_cast<int>(it->second);
 }
 
-Status Table::AppendRow(std::vector<Value> values) {
+Status Table::ValidateRow(const std::vector<Value>& values) const {
   if (values.size() != columns_.size()) {
     return Status::InvalidArgument(
         StrFormat("row has %zu values, table has %zu columns", values.size(),
                   columns_.size()));
   }
+  return Status::OK();
+}
+
+Status MemoryTable::AppendRow(std::vector<Value> values) {
+  SQLOG_RETURN_IF_ERROR(ValidateRow(values));
+  if (data_.size() < columns().size()) data_.resize(columns().size());
   for (size_t i = 0; i < values.size(); ++i) {
     data_[i].push_back(std::move(values[i]));
   }
   ++row_count_;
+  return Status::OK();
+}
+
+Status MemoryTable::GetRow(size_t row, std::vector<Value>* out) const {
+  if (row >= row_count_) {
+    return Status::OutOfRange(StrFormat("row %zu of %zu", row, row_count_));
+  }
+  out->clear();
+  out->reserve(data_.size());
+  for (const auto& column : data_) out->push_back(column[row]);
   return Status::OK();
 }
 

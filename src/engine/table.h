@@ -7,12 +7,22 @@
 
 #include "engine/value.h"
 #include "util/status.h"
+#include "util/string_util.h"
 
 namespace sqlog::engine {
 
-/// In-memory columnar table. Values are stored per column; rows are
-/// addressed by index. Schema is a flat (name, kind) list with
-/// case-insensitive lookup.
+/// Which backend a table's rows live in.
+enum class StorageMode {
+  kMemory,  // columnar std::vector<Value> per column (the default)
+  kPaged,   // slotted pages behind the buffer pool (out-of-core)
+};
+
+/// Row-access interface shared by the in-memory columnar backend
+/// (MemoryTable) and the out-of-core paged heap (PagedTable, see
+/// table_heap.h). Schema handling — a flat (name, kind) list with
+/// case-insensitive lookup — is common and lives here; row storage is
+/// virtual. The executor goes through CellAt/GetRow/CellPtr only, so
+/// query results are identical across backends.
 class Table {
  public:
   struct Column {
@@ -22,30 +32,76 @@ class Table {
 
   Table() = default;
   explicit Table(std::string name) : name_(std::move(name)) {}
+  virtual ~Table() = default;
 
   const std::string& name() const { return name_; }
   const std::vector<Column>& columns() const { return columns_; }
-  size_t row_count() const { return row_count_; }
 
   /// Appends a column definition. Must be called before any rows exist.
   Status AddColumn(const std::string& name, Value::Kind kind);
 
-  /// Case-insensitive; returns -1 when absent.
-  int ColumnIndex(const std::string& name) const;
+  /// Case-insensitive; returns -1 when absent. Heterogeneous fold
+  /// lookup: no per-call lower-case allocation.
+  int ColumnIndex(std::string_view name) const;
+
+  virtual StorageMode storage_mode() const = 0;
+  virtual size_t row_count() const = 0;
 
   /// Appends one row; the value count must match the column count.
-  Status AppendRow(std::vector<Value> values);
+  virtual Status AppendRow(std::vector<Value> values) = 0;
 
-  /// Cell access; indices must be in range.
+  /// Cell access by value; indices must be in range. The paged backend
+  /// decodes the cell from its page, so this returns by value.
+  virtual Value CellAt(size_t row, size_t col) const = 0;
+
+  /// Reads one full row into `out` (cleared first).
+  virtual Status GetRow(size_t row, std::vector<Value>* out) const = 0;
+
+  /// Stable pointer to a cell when the backend materializes Values in
+  /// memory; nullptr when cells must be decoded (paged backend). The
+  /// executor uses this to keep the in-memory scan path zero-copy.
+  virtual const Value* CellPtr(size_t row, size_t col) const {
+    (void)row;
+    (void)col;
+    return nullptr;
+  }
+
+ protected:
+  /// Arity check shared by AppendRow implementations.
+  Status ValidateRow(const std::vector<Value>& values) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t, AsciiFoldHash, AsciiFoldEq> index_;
+};
+
+/// In-memory columnar table. Values are stored per column; rows are
+/// addressed by index. This is the default backend and the substrate of
+/// every golden test.
+class MemoryTable final : public Table {
+ public:
+  MemoryTable() = default;
+  explicit MemoryTable(std::string name) : Table(std::move(name)) {}
+
+  StorageMode storage_mode() const override { return StorageMode::kMemory; }
+  size_t row_count() const override { return row_count_; }
+
+  Status AppendRow(std::vector<Value> values) override;
+
+  Value CellAt(size_t row, size_t col) const override { return data_[col][row]; }
+  Status GetRow(size_t row, std::vector<Value>* out) const override;
+  const Value* CellPtr(size_t row, size_t col) const override {
+    return &data_[col][row];
+  }
+
+  /// Reference cell access; indices must be in range.
   const Value& At(size_t row, size_t col) const { return data_[col][row]; }
 
   /// Full column access (for scans).
   const std::vector<Value>& ColumnData(size_t col) const { return data_[col]; }
 
  private:
-  std::string name_;
-  std::vector<Column> columns_;
-  std::unordered_map<std::string, size_t> index_;
   std::vector<std::vector<Value>> data_;  // data_[col][row]
   size_t row_count_ = 0;
 };

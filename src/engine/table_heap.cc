@@ -1,0 +1,167 @@
+#include "engine/table_heap.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace sqlog::engine {
+
+namespace {
+
+// Row payload tags; see the layout comment in table_heap.h.
+constexpr char kTagNull = 0;
+constexpr char kTagInt = 1;
+constexpr char kTagDouble = 2;
+constexpr char kTagString = 3;
+
+constexpr size_t kHeaderBytes = 4;  // uint16 slot_count + uint16 data_start
+
+void SerializeRow(const std::vector<Value>& values, std::string* out) {
+  out->clear();
+  char buf[8];
+  for (const Value& v : values) {
+    switch (v.kind()) {
+      case Value::Kind::kNull:
+        out->push_back(kTagNull);
+        break;
+      case Value::Kind::kInt64:
+        out->push_back(kTagInt);
+        StoreI64(buf, v.AsInt());
+        out->append(buf, 8);
+        break;
+      case Value::Kind::kDouble:
+        out->push_back(kTagDouble);
+        StoreF64(buf, v.AsDouble());
+        out->append(buf, 8);
+        break;
+      case Value::Kind::kString: {
+        out->push_back(kTagString);
+        const std::string& s = v.AsString();
+        StoreU32(buf, static_cast<uint32_t>(s.size()));
+        out->append(buf, 4);
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+/// Decodes one cell at `p`, advancing past it. Returns the decoded
+/// value via `out` when non-null (skip mode passes nullptr).
+const char* DecodeCell(const char* p, Value* out) {
+  switch (*p++) {
+    case kTagNull:
+      if (out != nullptr) *out = Value::Null();
+      return p;
+    case kTagInt:
+      if (out != nullptr) *out = Value::Int(LoadI64(p));
+      return p + 8;
+    case kTagDouble:
+      if (out != nullptr) *out = Value::Real(LoadF64(p));
+      return p + 8;
+    case kTagString: {
+      uint32_t len = LoadU32(p);
+      p += 4;
+      if (out != nullptr) *out = Value::Str(std::string(p, len));
+      return p + len;
+    }
+    default:
+      // Unreachable for pages this table wrote; treat as NULL so a
+      // corrupted tag cannot walk out of the page.
+      if (out != nullptr) *out = Value::Null();
+      return p;
+  }
+}
+
+}  // namespace
+
+Status PagedTable::AppendRow(std::vector<Value> values) {
+  SQLOG_RETURN_IF_ERROR(ValidateRow(values));
+  SerializeRow(values, &scratch_);
+  const size_t need = scratch_.size() + 2;  // payload + its slot entry
+  if (need > kPageSize - kHeaderBytes) {
+    return Status::InvalidArgument(
+        StrFormat("row of %zu serialized bytes exceeds the page capacity of %zu",
+                  scratch_.size(), kPageSize - kHeaderBytes - 2));
+  }
+
+  BufferPool::PageRef ref;
+  if (!dir_.empty()) {
+    auto fill = pool_->Fetch(dir_.back().page);
+    if (!fill.ok()) return fill.status();
+    const char* p = fill.value().data();
+    const uint16_t slots = LoadU16(p);
+    const uint16_t data_start = LoadU16(p + 2);
+    const size_t free_bytes = data_start - (kHeaderBytes + 2 * size_t{slots});
+    if (need <= free_bytes) ref = std::move(fill.value());
+  }
+  if (!ref.valid()) {
+    PageId id = kInvalidPageId;
+    auto fresh = pool_->New(&id);
+    if (!fresh.ok()) return fresh.status();
+    ref = std::move(fresh.value());
+    StoreU16(ref.data(), 0);
+    StoreU16(ref.data() + 2, static_cast<uint16_t>(kPageSize));
+    dir_.push_back(DirEntry{id, row_count_});
+  }
+
+  char* p = ref.data();
+  const uint16_t slots = LoadU16(p);
+  const uint16_t data_start = LoadU16(p + 2);
+  const uint16_t new_start = static_cast<uint16_t>(data_start - scratch_.size());
+  std::memcpy(p + new_start, scratch_.data(), scratch_.size());
+  StoreU16(p + kHeaderBytes + 2 * size_t{slots}, new_start);
+  StoreU16(p, static_cast<uint16_t>(slots + 1));
+  StoreU16(p + 2, new_start);
+  ref.MarkDirty();
+
+  ++row_count_;
+  data_bytes_ += scratch_.size();
+  return Status::OK();
+}
+
+Result<BufferPool::PageRef> PagedTable::FetchRowPage(size_t row, size_t* slot) const {
+  if (row >= row_count_) {
+    return Status::OutOfRange(
+        StrFormat("row %zu of %llu", row, (unsigned long long)row_count_));
+  }
+  auto it = std::upper_bound(
+      dir_.begin(), dir_.end(), static_cast<uint64_t>(row),
+      [](uint64_t r, const DirEntry& e) { return r < e.first_row; });
+  --it;
+  *slot = row - static_cast<size_t>(it->first_row);
+  return pool_->Fetch(it->page);
+}
+
+Value PagedTable::CellAt(size_t row, size_t col) const {
+  size_t slot = 0;
+  auto ref = FetchRowPage(row, &slot);
+  // Out-of-range rows are a caller bug (same contract as the in-memory
+  // backend); pool-level I/O failure surfaces as NULL here and as a
+  // Status from GetRow, which the executor's row path uses.
+  if (!ref.ok()) return Value::Null();
+  const char* page = ref.value().data();
+  const char* p = page + LoadU16(page + kHeaderBytes + 2 * slot);
+  Value out;
+  for (size_t c = 0; c <= col; ++c) {
+    p = DecodeCell(p, c == col ? &out : nullptr);
+  }
+  return out;
+}
+
+Status PagedTable::GetRow(size_t row, std::vector<Value>* out) const {
+  size_t slot = 0;
+  auto ref = FetchRowPage(row, &slot);
+  if (!ref.ok()) return ref.status();
+  const char* page = ref.value().data();
+  const char* p = page + LoadU16(page + kHeaderBytes + 2 * slot);
+  out->clear();
+  out->resize(columns().size());
+  for (size_t c = 0; c < out->size(); ++c) {
+    p = DecodeCell(p, &(*out)[c]);
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlog::engine

@@ -1,0 +1,74 @@
+#ifndef SQLOG_ENGINE_TABLE_HEAP_H_
+#define SQLOG_ENGINE_TABLE_HEAP_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/buffer_pool.h"
+#include "engine/table.h"
+
+namespace sqlog::engine {
+
+/// Out-of-core table backend: rows serialized into slotted pages behind
+/// the buffer pool. Append-only (the engine's workloads never update in
+/// place), addressed by dense row number.
+///
+/// Page layout (all little-endian):
+///   [0..2)  uint16 slot_count
+///   [2..4)  uint16 data_start — lowest byte offset of row data
+///   [4..)   uint16 slot[i] — byte offset of row i's data in this page
+///   ...free space...
+///   [data_start..kPageSize)  row payloads, appended high-to-low
+///
+/// Row payload: per column, 1 tag byte (0=NULL, 1=int64, 2=double,
+/// 3=string) followed by the fixed 8-byte value or uint32 length +
+/// bytes. A row must fit in one page (kPageSize - 6 payload bytes);
+/// the log-cleaning schemas are far below that.
+///
+/// A small in-memory directory maps row number -> page (8 bytes per
+/// ~30-80 rows), so random access is a binary search + one pool fetch.
+class PagedTable final : public Table {
+ public:
+  /// The table does not own `pool`; the Database that created both
+  /// keeps the pool alive for the table's lifetime.
+  PagedTable(std::string name, BufferPool* pool)
+      : Table(std::move(name)), pool_(pool) {}
+
+  StorageMode storage_mode() const override { return StorageMode::kPaged; }
+  size_t row_count() const override { return row_count_; }
+
+  Status AppendRow(std::vector<Value> values) override;
+
+  Value CellAt(size_t row, size_t col) const override;
+  Status GetRow(size_t row, std::vector<Value>* out) const override;
+
+  /// Total serialized row bytes — the on-disk footprint the pool pages
+  /// over. Tests compare this against pool_bytes() to prove a table is
+  /// much larger than its cache.
+  uint64_t data_bytes() const { return data_bytes_; }
+  size_t page_count() const { return dir_.size(); }
+
+ private:
+  struct DirEntry {
+    PageId page = kInvalidPageId;
+    uint64_t first_row = 0;  // row number of the page's slot 0
+  };
+
+  /// Locates the page holding `row` and returns a pinned ref plus the
+  /// slot index within the page.
+  Result<BufferPool::PageRef> FetchRowPage(size_t row, size_t* slot) const;
+
+  // Single-writer, shared-reader: appends happen during population
+  // before queries run; the mutable state below is never written
+  // concurrently with reads. Page bytes themselves are synchronized by
+  // the buffer pool.
+  BufferPool* const pool_ SQLOG_CONST_AFTER_INIT;
+  std::vector<DirEntry> dir_ SQLOG_SHARD_LOCAL;
+  uint64_t row_count_ SQLOG_SHARD_LOCAL = 0;
+  uint64_t data_bytes_ SQLOG_SHARD_LOCAL = 0;
+  std::string scratch_ SQLOG_SHARD_LOCAL;  // AppendRow serialization buffer
+};
+
+}  // namespace sqlog::engine
+
+#endif  // SQLOG_ENGINE_TABLE_HEAP_H_

@@ -1,9 +1,12 @@
 #ifndef SQLOG_UTIL_STRING_UTIL_H_
 #define SQLOG_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/byte_class.h"
 
 namespace sqlog {
 
@@ -38,6 +41,32 @@ std::string WithThousands(long long value);
 
 /// printf-style formatting into std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Transparent hash/equality over ASCII-case-folded strings, built on
+/// the byte-class case table (util/byte_class.h). Using these as the
+/// hasher/key-equal of an unordered_map keyed by std::string enables
+/// heterogeneous lookup: `map.find(string_view)` folds case during
+/// probing, so case-insensitive name lookups (tables, columns) allocate
+/// nothing. Keys may be stored in any case.
+struct AsciiFoldHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    // FNV-1a over lower-cased bytes.
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : s) {
+      h ^= static_cast<uint8_t>(ToLowerByte(c));
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct AsciiFoldEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return EqualsIgnoreCase(a, b);
+  }
+};
 
 }  // namespace sqlog
 

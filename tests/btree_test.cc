@@ -1,0 +1,159 @@
+#include "engine/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sqlog::engine {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(file_.Open("").ok());
+    pool_ = std::make_unique<BufferPool>(&file_, 512);
+  }
+
+  std::vector<std::pair<int64_t, uint64_t>> Entries(const BTreeIndex& index) {
+    std::vector<std::pair<int64_t, uint64_t>> out;
+    EXPECT_TRUE(index.ForEach([&](int64_t key, uint64_t row) {
+      out.emplace_back(key, row);
+    }).ok());
+    return out;
+  }
+
+  PageFile file_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(BTreeTest, EmptyIndexLookupsFindNothing) {
+  BTreeIndex index(pool_.get());
+  std::vector<uint64_t> rows;
+  ASSERT_TRUE(index.Lookup(42, &rows).ok());
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.height(), 0u);
+  EXPECT_TRUE(Entries(index).empty());
+}
+
+TEST_F(BTreeTest, RandomInsertMatchesBulkLoadIteration) {
+  // The property the docs promise: both build paths produce the same
+  // key-ordered iteration, at a scale that forces leaf and internal
+  // splits (511 entries/leaf, 682 children/internal node).
+  constexpr size_t kKeys = 300000;
+  std::vector<std::pair<int64_t, uint64_t>> pairs;
+  pairs.reserve(kKeys);
+  Rng rng(7);
+  for (size_t i = 0; i < kKeys; ++i) {
+    pairs.emplace_back(static_cast<int64_t>(rng.Uniform(1u << 30)),
+                       static_cast<uint64_t>(i));
+  }
+
+  BTreeIndex inserted(pool_.get());
+  for (const auto& [key, row] : pairs) {
+    ASSERT_TRUE(inserted.Insert(key, row).ok());
+  }
+
+  // Bulk load wants sorted input; stable sort preserves insertion order
+  // among duplicate keys, which is also the order Insert() produces.
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  BTreeIndex bulk(pool_.get());
+  ASSERT_TRUE(bulk.StartBulk().ok());
+  for (const auto& [key, row] : pairs) {
+    ASSERT_TRUE(bulk.BulkAdd(key, row).ok());
+  }
+  ASSERT_TRUE(bulk.FinishBulk().ok());
+
+  EXPECT_EQ(inserted.size(), kKeys);
+  EXPECT_EQ(bulk.size(), kKeys);
+  EXPECT_GE(inserted.height(), 3u) << "scale too small to split internal nodes";
+  EXPECT_EQ(Entries(inserted), Entries(bulk));
+}
+
+TEST_F(BTreeTest, DuplicateKeysComeBackInInsertionOrder) {
+  BTreeIndex index(pool_.get());
+  // Enough duplicates of one key to span several leaves, interleaved
+  // with neighbours so the duplicate run crosses node boundaries.
+  constexpr int64_t kDup = 5000;
+  constexpr uint64_t kCopies = 2000;
+  for (uint64_t i = 0; i < kCopies; ++i) {
+    ASSERT_TRUE(index.Insert(kDup, i).ok());
+    ASSERT_TRUE(index.Insert(kDup - 1 - static_cast<int64_t>(i), 100000 + i).ok());
+    ASSERT_TRUE(index.Insert(kDup + 1 + static_cast<int64_t>(i), 200000 + i).ok());
+  }
+  std::vector<uint64_t> rows;
+  ASSERT_TRUE(index.Lookup(kDup, &rows).ok());
+  ASSERT_EQ(rows.size(), kCopies);
+  for (uint64_t i = 0; i < kCopies; ++i) {
+    ASSERT_EQ(rows[i], i) << "insertion order lost at duplicate " << i;
+  }
+  // Neighbours are untouched.
+  rows.clear();
+  ASSERT_TRUE(index.Lookup(kDup - 1, &rows).ok());
+  EXPECT_EQ(rows, std::vector<uint64_t>{100000});
+}
+
+TEST_F(BTreeTest, BulkLoadRejectsUnsortedAndNonEmpty) {
+  BTreeIndex index(pool_.get());
+  ASSERT_TRUE(index.StartBulk().ok());
+  ASSERT_TRUE(index.BulkAdd(10, 0).ok());
+  EXPECT_FALSE(index.BulkAdd(9, 1).ok());
+  ASSERT_TRUE(index.BulkAdd(10, 2).ok());  // equal keys are fine
+  ASSERT_TRUE(index.FinishBulk().ok());
+  EXPECT_FALSE(index.StartBulk().ok()) << "bulk load into a non-empty index";
+}
+
+TEST_F(BTreeTest, LookupManyMatchesIndividualLookups) {
+  BTreeIndex index(pool_.get());
+  ASSERT_TRUE(index.StartBulk().ok());
+  for (int64_t k = 0; k < 50000; k += 3) {
+    ASSERT_TRUE(index.BulkAdd(k, static_cast<uint64_t>(k) * 7).ok());
+  }
+  ASSERT_TRUE(index.FinishBulk().ok());
+
+  std::vector<int64_t> probes = {0, 3, 4, 2999, 3000, 49998, 49999, 123456};
+  std::sort(probes.begin(), probes.end());
+  std::vector<uint64_t> batched;
+  ASSERT_TRUE(index.LookupMany(probes, &batched).ok());
+
+  std::vector<uint64_t> individual;
+  for (int64_t k : probes) {
+    ASSERT_TRUE(index.Lookup(k, &individual).ok());
+  }
+  std::sort(batched.begin(), batched.end());
+  std::sort(individual.begin(), individual.end());
+  EXPECT_EQ(batched, individual);
+  EXPECT_EQ(batched.size(), 4u);  // hits: 0, 3, 3000, 49998
+}
+
+TEST_F(BTreeTest, SurvivesPoolSmallerThanTree) {
+  // A 16-page pool (128 KiB) holding an index of 200k entries (~400
+  // leaves): every descent faults pages in and out through eviction.
+  PageFile file;
+  ASSERT_TRUE(file.Open("").ok());
+  BufferPool tiny(&file, 16);
+  BTreeIndex index(&tiny);
+  constexpr int64_t kKeys = 200000;
+  ASSERT_TRUE(index.StartBulk().ok());
+  for (int64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(index.BulkAdd(k, static_cast<uint64_t>(k)).ok());
+  }
+  ASSERT_TRUE(index.FinishBulk().ok());
+  std::vector<uint64_t> rows;
+  for (int64_t k : {int64_t{0}, kKeys / 2, kKeys - 1}) {
+    rows.clear();
+    ASSERT_TRUE(index.Lookup(k, &rows).ok());
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], static_cast<uint64_t>(k));
+  }
+  EXPECT_GT(tiny.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace sqlog::engine

@@ -64,10 +64,10 @@ TEST(DatabaseTest, PhotoPrimaryAndPhotoObjAllShareObjIds) {
   int col_b = all->ColumnIndex("objid");
   std::unordered_set<int64_t> a_ids;
   for (size_t r = 0; r < photo->row_count(); ++r) {
-    a_ids.insert(photo->At(r, static_cast<size_t>(col_a)).AsInt());
+    a_ids.insert(photo->CellAt(r, static_cast<size_t>(col_a)).AsInt());
   }
   for (size_t r = 0; r < all->row_count(); ++r) {
-    EXPECT_EQ(a_ids.count(all->At(r, static_cast<size_t>(col_b)).AsInt()), 1u);
+    EXPECT_EQ(a_ids.count(all->CellAt(r, static_cast<size_t>(col_b)).AsInt()), 1u);
   }
 }
 
@@ -88,7 +88,7 @@ TEST(DatabaseTest, BugsTableHasNullAssignees) {
   int col = bugs->ColumnIndex("assigned_to");
   size_t nulls = 0;
   for (size_t r = 0; r < bugs->row_count(); ++r) {
-    if (bugs->At(r, static_cast<size_t>(col)).is_null()) ++nulls;
+    if (bugs->CellAt(r, static_cast<size_t>(col)).is_null()) ++nulls;
   }
   EXPECT_GT(nulls, 0u);
   EXPECT_LT(nulls, bugs->row_count());
@@ -103,7 +103,7 @@ TEST(DatabaseTest, PopulateIsDeterministic) {
   const Table* tb = b.FindTable("photoprimary");
   for (size_t r = 0; r < ta->row_count(); ++r) {
     for (size_t c = 0; c < ta->columns().size(); ++c) {
-      EXPECT_EQ(ta->At(r, c).ToString(), tb->At(r, c).ToString());
+      EXPECT_EQ(ta->CellAt(r, c).ToString(), tb->CellAt(r, c).ToString());
     }
   }
 }

@@ -6,7 +6,7 @@ namespace sqlog::engine {
 namespace {
 
 TEST(TableTest, AddColumnsAndRows) {
-  Table table("t");
+  MemoryTable table("t");
   ASSERT_TRUE(table.AddColumn("ID", Value::Kind::kInt64).ok());
   ASSERT_TRUE(table.AddColumn("name", Value::Kind::kString).ok());
   ASSERT_TRUE(table.AppendRow({Value::Int(1), Value::Str("x")}).ok());
@@ -18,7 +18,7 @@ TEST(TableTest, AddColumnsAndRows) {
 }
 
 TEST(TableTest, ColumnIndexCaseInsensitive) {
-  Table table("t");
+  MemoryTable table("t");
   ASSERT_TRUE(table.AddColumn("ObjID", Value::Kind::kInt64).ok());
   EXPECT_EQ(table.ColumnIndex("objid"), 0);
   EXPECT_EQ(table.ColumnIndex("OBJID"), 0);
@@ -26,14 +26,14 @@ TEST(TableTest, ColumnIndexCaseInsensitive) {
 }
 
 TEST(TableTest, DuplicateColumnRejected) {
-  Table table("t");
+  MemoryTable table("t");
   ASSERT_TRUE(table.AddColumn("a", Value::Kind::kInt64).ok());
   Status s = table.AddColumn("A", Value::Kind::kInt64);
   EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
 }
 
 TEST(TableTest, AddColumnAfterRowsRejected) {
-  Table table("t");
+  MemoryTable table("t");
   ASSERT_TRUE(table.AddColumn("a", Value::Kind::kInt64).ok());
   ASSERT_TRUE(table.AppendRow({Value::Int(1)}).ok());
   EXPECT_EQ(table.AddColumn("b", Value::Kind::kInt64).code(),
@@ -41,7 +41,7 @@ TEST(TableTest, AddColumnAfterRowsRejected) {
 }
 
 TEST(TableTest, WrongArityRowRejected) {
-  Table table("t");
+  MemoryTable table("t");
   ASSERT_TRUE(table.AddColumn("a", Value::Kind::kInt64).ok());
   EXPECT_EQ(table.AppendRow({Value::Int(1), Value::Int(2)}).code(),
             StatusCode::kInvalidArgument);
@@ -49,7 +49,7 @@ TEST(TableTest, WrongArityRowRejected) {
 }
 
 TEST(TableTest, ColumnDataIsColumnar) {
-  Table table("t");
+  MemoryTable table("t");
   ASSERT_TRUE(table.AddColumn("a", Value::Kind::kInt64).ok());
   ASSERT_TRUE(table.AddColumn("b", Value::Kind::kInt64).ok());
   ASSERT_TRUE(table.AppendRow({Value::Int(1), Value::Int(10)}).ok());

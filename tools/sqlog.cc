@@ -3,7 +3,8 @@
 //   sqlog generate <n> <out.csv>            synthesize a SkyServer-style log
 //   sqlog convert <in> <out>                convert between CSV and binary .sqb
 //   sqlog clean <in> <out-prefix>           run the full pipeline, write
-//                                           <prefix>.clean.csv/.removal.csv
+//                                           <prefix>.clean/.removal in csv or
+//                                           sqb (--out-format)
 //   sqlog stats <in>                        Table 5-style overview
 //   sqlog patterns <in.csv> [k]             top-k patterns with descriptions
 //   sqlog antipatterns <in.csv> [k]         top-k distinct antipatterns
@@ -45,6 +46,8 @@ struct StreamFlags {
   bool parse_cache = true;
   /// Input format; auto probes for the `.sqb` magic.
   log::LogFormat format = log::LogFormat::kAuto;
+  /// Output format for `clean` (csv or sqb); picks the file extensions.
+  log::LogFormat out_format = log::LogFormat::kCsv;
 };
 
 int ParseStreamFlags(int argc, char** argv, StreamFlags* flags) {
@@ -70,6 +73,15 @@ int ParseStreamFlags(int argc, char** argv, StreamFlags* flags) {
         return -1;
       }
       flags->format = *format;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--out-format=", 13) == 0) {
+      auto format = log::ParseLogFormatName(argv[i] + 13);
+      if (!format.ok() || *format == log::LogFormat::kAuto) {
+        std::fprintf(stderr, "error: --out-format must be csv or sqb\n");
+        return -1;
+      }
+      flags->out_format = *format;
       continue;
     }
     argv[kept++] = argv[i];
@@ -124,6 +136,7 @@ Result<core::StreamingRunResult> RunStreamingPipeline(const StreamFlags& flags,
                       .BatchSize(flags.batch_size)
                       .ParseCache(flags.parse_cache)
                       .InputFormat(flags.format)
+                      .OutputFormat(flags.out_format)
                       .Build();
   SQLOG_RETURN_IF_ERROR_R(pipeline.status());
   return pipeline->RunStreaming(input, clean_path, removal_path);
@@ -218,10 +231,13 @@ int CmdClean(int argc, char** argv) {
   argc = ParseStreamFlags(argc, argv, &flags);
   if (argc < 0) return 2;
   if (argc < 2) return Usage();
+  const bool sqb_out = flags.out_format == log::LogFormat::kSqb;
+  const char* clean_suffix = sqb_out ? ".clean.sqb" : ".clean.csv";
+  const char* removal_suffix = sqb_out ? ".removal.sqb" : ".removal.csv";
   if (flags.streaming) {
     std::string prefix = argv[1];
-    std::string clean_path = prefix + ".clean.csv";
-    std::string removal_path = prefix + ".removal.csv";
+    std::string clean_path = prefix + clean_suffix;
+    std::string removal_path = prefix + removal_suffix;
     auto run = RunStreamingPipeline(flags, argv[0], clean_path, removal_path);
     if (!run.ok()) {
       std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
@@ -250,10 +266,11 @@ int CmdClean(int argc, char** argv) {
   PrintParseCacheReport(result.parsed.parse_stats);
   std::string prefix = argv[1];
   for (const auto& [suffix, log] :
-       {std::pair<const char*, const log::QueryLog*>{".clean.csv", &result.clean_log},
-        std::pair<const char*, const log::QueryLog*>{".removal.csv",
+       {std::pair<const char*, const log::QueryLog*>{clean_suffix, &result.clean_log},
+        std::pair<const char*, const log::QueryLog*>{removal_suffix,
                                                      &result.removal_log}}) {
-    Status s = log::LogIo::WriteFile(*log, prefix + suffix);
+    Status s = log::LogIo::WriteFile(*log, prefix + suffix, flags.out_format,
+                                     sqb_out ? core::BuildStatementRecipe : nullptr);
     if (!s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
@@ -543,7 +560,8 @@ constexpr Command kCommands[] = {
     {"convert", "<in> <out> [--to-csv|--to-sqb]",
      "convert between CSV and the binary .sqb format", CmdConvert},
     {"clean", "<in> <out-prefix>",
-     "clean a log; writes <prefix>.clean.csv and <prefix>.removal.csv", CmdClean},
+     "clean a log; writes <prefix>.clean.{csv,sqb} and <prefix>.removal.{csv,sqb}",
+     CmdClean},
     {"stats", "<in>", "results overview (paper Table 5)", CmdStats},
     {"patterns", "<in.csv> [k]", "top-k patterns with descriptions", CmdPatterns},
     {"antipatterns", "<in.csv> [k]", "top-k distinct antipatterns", CmdAntipatterns},
@@ -570,7 +588,9 @@ int Usage() {
       "                               fully parse every statement (escape hatch;\n"
       "                               output is identical either way)\n"
       "  --format=auto|csv|sqb        input format (default auto: the binary\n"
-      "                               .sqb magic is probed, anything else is CSV)\n");
+      "                               .sqb magic is probed, anything else is CSV)\n"
+      "  --out-format=csv|sqb         clean/removal output format (default csv;\n"
+      "                               sqb embeds parse-cache recipes)\n");
   return 2;
 }
 
