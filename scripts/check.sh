@@ -3,15 +3,24 @@
 # sweep, then the sanitizer presets. Run from anywhere inside the repo;
 # everything a PR must pass runs here. ~5-10 minutes on 8 cores.
 #
-# Usage: scripts/check.sh [--fast]
+# Usage: scripts/check.sh [--fast] [--tidy]
 #   --fast   skip the asan-ubsan and tsan preset builds
+#   --tidy   also run clang-tidy over src/ (no-op when clang-tidy is
+#            not on PATH)
 
 set -euo pipefail
 
 cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
 jobs=$(nproc 2>/dev/null || echo 4)
 fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+tidy=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    --tidy) tidy=1 ;;
+    *) echo "usage: scripts/check.sh [--fast] [--tidy]" >&2; exit 2 ;;
+  esac
+done
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
@@ -30,14 +39,46 @@ cmake --preset default \
   -DSQLOG_THREAD_SAFETY=${thread_safety}
 cmake --build --preset default -j "$jobs"
 
-# 2. Repo lint (rules R1-R7, see DESIGN.md).
-step "sqlog-lint"
-./build/tools/sqlog-lint --config=tools/lint/lint_config.txt src tools bench fuzz
+# 2. Repo lint (rules R1-R10, see DESIGN.md). Runs twice against a fresh
+#    fact cache: the cold run extracts facts for every file, the warm run
+#    must reuse them all — both the timing line and the JSON report (via
+#    the schema gate below) prove the incremental cache works.
+step "sqlog-lint (cold vs warm fact cache)"
+lint_cache=/tmp/sqlog_check_lint.cache
+lint_json=/tmp/sqlog_check_lint.json
+rm -f "$lint_cache"
+t0=$(date +%s%N)
+./build/tools/sqlog-lint --config=tools/lint/lint_config.txt \
+  --cache="$lint_cache" src tools bench fuzz tests
+t1=$(date +%s%N)
+./build/tools/sqlog-lint --config=tools/lint/lint_config.txt \
+  --cache="$lint_cache" --json="$lint_json" src tools bench fuzz tests
+t2=$(date +%s%N)
+rm -f "$lint_cache"
+printf 'lint cache: cold %d ms, warm %d ms\n' \
+  $(( (t1 - t0) / 1000000 )) $(( (t2 - t1) / 1000000 ))
 
-# 2b. Checked-in bench artifacts must be strict JSON with finite numbers
-#     (a 0-duration run would otherwise leak bare inf/nan tokens).
-step "bench JSON schema check"
+# 2b. The lint JSON report must satisfy its schema, and checked-in bench
+#     artifacts must be strict JSON with finite numbers (a 0-duration
+#     run would otherwise leak bare inf/nan tokens).
+step "lint + bench JSON schema checks"
+python3 scripts/check_lint_json.py "$lint_json"
+rm -f "$lint_json"
 python3 scripts/check_bench_json.py BENCH_*.json
+
+# 2c. Optional clang-tidy pass: a second, independent static analyzer
+#     over the library sources. Skipped silently when clang-tidy is not
+#     installed so the gate stays runnable everywhere.
+if [[ $tidy -eq 1 ]]; then
+  step "clang-tidy"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    find src -name '*.cc' -print0 |
+      xargs -0 -P "$jobs" -n 8 clang-tidy -p build --quiet
+  else
+    echo "clang-tidy not on PATH; skipping"
+  fi
+fi
 
 # 3. CLI smoke: the report subcommand must run the full detector catalog
 #    over a generated log without errors (the per-detector P/R tests live

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Schema check for sqlog-lint --json output.
+
+check.sh pipes the lint run through this gate so the machine-readable
+report stays consumable by strict JSON tooling. Rejects:
+
+  * files that are not valid strict JSON (bare inf/nan included),
+  * any non-finite number anywhere in the document,
+  * a missing or wrong envelope: tool must be "sqlog-lint",
+    schema_version must be 1, files_scanned / finding_count must be
+    non-negative integers, elapsed_seconds a non-negative number, and
+    cache an object with boolean "enabled" and integer hits/misses,
+  * findings that are not objects with string "file"/"rule"/"message"
+    and a positive integer "line",
+  * a finding_count that disagrees with len(findings).
+
+Usage: check_lint_json.py FILE [FILE...]
+"""
+
+import json
+import math
+import sys
+
+
+def _reject_constant(token):
+    raise ValueError(f"non-finite JSON token {token!r}")
+
+
+def check_numbers(node, path):
+    """Yields error strings for every non-finite number under `node`."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        if not math.isfinite(node):
+            yield f"{path}: non-finite value {node!r}"
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            yield from check_numbers(value, f"{path}.{key}")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from check_numbers(value, f"{path}[{i}]")
+
+
+def _is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_file(path):
+    """Returns a list of error strings for one lint JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh, parse_constant=_reject_constant)
+    except (OSError, ValueError) as err:
+        return [f"{path}: {err}"]
+
+    errors = [f"{path}{e}" for e in check_numbers(doc, "")]
+    if not isinstance(doc, dict):
+        return errors + [f"{path}: top level is not an object"]
+
+    if doc.get("tool") != "sqlog-lint":
+        errors.append(f"{path}: .tool is not \"sqlog-lint\"")
+    if doc.get("schema_version") != 1:
+        errors.append(f"{path}: .schema_version is not 1")
+    for key in ("files_scanned", "finding_count"):
+        if not _is_count(doc.get(key)):
+            errors.append(f"{path}: .{key} is not a non-negative integer")
+    elapsed = doc.get("elapsed_seconds")
+    if not isinstance(elapsed, (int, float)) or isinstance(elapsed, bool) or elapsed < 0:
+        errors.append(f"{path}: .elapsed_seconds is not a non-negative number")
+
+    cache = doc.get("cache")
+    if not isinstance(cache, dict) or not isinstance(cache.get("enabled"), bool) \
+            or not _is_count(cache.get("hits")) or not _is_count(cache.get("misses")):
+        errors.append(f"{path}: .cache is not {{enabled: bool, hits: int, misses: int}}")
+
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        errors.append(f"{path}: .findings is not a list")
+        return errors
+    for i, finding in enumerate(findings):
+        where = f"{path}: .findings[{i}]"
+        if not isinstance(finding, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for key in ("file", "rule", "message"):
+            if not isinstance(finding.get(key), str) or not finding[key]:
+                errors.append(f"{where}.{key} is not a non-empty string")
+        line = finding.get("line")
+        if not _is_count(line) or line == 0:
+            errors.append(f"{where}.line is not a positive integer")
+    if _is_count(doc.get("finding_count")) and doc["finding_count"] != len(findings):
+        errors.append(
+            f"{path}: .finding_count={doc['finding_count']} but "
+            f"len(.findings)={len(findings)}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        return 1
+    print(f"check_lint_json: {len(argv) - 1} file(s) ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

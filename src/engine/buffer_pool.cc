@@ -108,21 +108,51 @@ BufferPool::~BufferPool() {
   (void)flushed;
 }
 
+void BufferPool::LruPushBack(size_t frame) {
+  Frame& f = frames_[frame];
+  f.lru_prev = lru_tail_;
+  f.lru_next = kNoFrame;
+  if (lru_tail_ != kNoFrame) {
+    frames_[lru_tail_].lru_next = frame;
+  } else {
+    lru_head_ = frame;
+  }
+  lru_tail_ = frame;
+  f.in_lru = true;
+}
+
+void BufferPool::LruRemove(size_t frame) {
+  Frame& f = frames_[frame];
+  if (f.lru_prev != kNoFrame) {
+    frames_[f.lru_prev].lru_next = f.lru_next;
+  } else {
+    lru_head_ = f.lru_next;
+  }
+  if (f.lru_next != kNoFrame) {
+    frames_[f.lru_next].lru_prev = f.lru_prev;
+  } else {
+    lru_tail_ = f.lru_prev;
+  }
+  f.lru_prev = kNoFrame;
+  f.lru_next = kNoFrame;
+  f.in_lru = false;
+}
+
+// sqlog-hot
 Result<size_t> BufferPool::AcquireFrameLocked() {
   if (!free_frames_.empty()) {
     size_t frame = free_frames_.back();
     free_frames_.pop_back();
     return frame;
   }
-  if (lru_.empty()) {
+  if (lru_head_ == kNoFrame) {
     return Status::IoError(
         StrFormat("buffer pool exhausted: all %zu pages pinned (leaked PageRef?)",
                   pool_pages_));
   }
-  size_t frame = lru_.front();
-  lru_.pop_front();
+  size_t frame = lru_head_;
+  LruRemove(frame);
   Frame& f = frames_[frame];
-  f.in_lru = false;
   if (f.dirty) {
     SQLOG_RETURN_IF_ERROR_R(file_->Write(f.page, FrameData(frame)));
     f.dirty = false;
@@ -134,16 +164,14 @@ Result<size_t> BufferPool::AcquireFrameLocked() {
   return frame;
 }
 
+// sqlog-hot
 Result<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
   util::MutexLock lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     size_t frame = it->second;
     Frame& f = frames_[frame];
-    if (f.in_lru) {
-      lru_.erase(f.lru_it);
-      f.in_lru = false;
-    }
+    if (f.in_lru) LruRemove(frame);
     ++f.pins;
     ++stats_.hits;
     return PageRef(this, FrameData(frame), id, frame);
@@ -154,6 +182,7 @@ Result<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
   size_t frame = frame_or.value();
   Status read = file_->Read(id, FrameData(frame));
   if (!read.ok()) {
+    // sqlog-lint: allow(R10 error path; free_frames_ was reserved to pool size, the push reuses that capacity)
     free_frames_.push_back(frame);
     return read;
   }
@@ -165,6 +194,7 @@ Result<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
   return PageRef(this, FrameData(frame), id, frame);
 }
 
+// sqlog-hot
 Result<BufferPool::PageRef> BufferPool::New(PageId* id) {
   util::MutexLock lock(mu_);
   auto frame_or = AcquireFrameLocked();
@@ -193,15 +223,12 @@ Status BufferPool::FlushAll() {
   return Status::OK();
 }
 
+// sqlog-hot
 void BufferPool::Unpin(size_t frame, bool dirty) {
   util::MutexLock lock(mu_);
   Frame& f = frames_[frame];
   f.dirty = f.dirty || dirty;
-  if (f.pins > 0 && --f.pins == 0) {
-    lru_.push_back(frame);
-    f.lru_it = std::prev(lru_.end());
-    f.in_lru = true;
-  }
+  if (f.pins > 0 && --f.pins == 0) LruPushBack(frame);
 }
 
 BufferPool::Stats BufferPool::stats() const {

@@ -1,7 +1,6 @@
 #ifndef SQLOG_ENGINE_BUFFER_POOL_H_
 #define SQLOG_ENGINE_BUFFER_POOL_H_
 
-#include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -154,17 +153,31 @@ class BufferPool {
   Stats stats() const;
 
  private:
+  /// Null link in the intrusive LRU list.
+  static constexpr size_t kNoFrame = static_cast<size_t>(-1);
+
   struct Frame {
     PageId page = kInvalidPageId;
     uint32_t pins = 0;
     bool dirty = false;
     bool in_lru = false;
-    std::list<size_t>::iterator lru_it{};
+    // Intrusive doubly-linked LRU list threaded through the frame table
+    // by index: no per-node allocation on the pin/unpin path, and links
+    // live in the Frame they describe (one cache line with the pin
+    // count). kNoFrame terminates both directions.
+    size_t lru_prev = kNoFrame;
+    size_t lru_next = kNoFrame;
   };
 
   /// Finds a frame for a new resident page: a never-used frame first,
   /// else the LRU unpinned frame (writing it back when dirty).
   Result<size_t> AcquireFrameLocked() SQLOG_REQUIRES(mu_);
+
+  /// Appends `frame` at the recently-used tail. O(1), no allocation.
+  void LruPushBack(size_t frame) SQLOG_REQUIRES(mu_);
+
+  /// Unlinks `frame` from wherever it sits in the list. O(1).
+  void LruRemove(size_t frame) SQLOG_REQUIRES(mu_);
 
   void Unpin(size_t frame, bool dirty);
 
@@ -179,7 +192,8 @@ class BufferPool {
   mutable util::Mutex mu_ SQLOG_SELF_SYNCHRONIZED;
   std::vector<Frame> frames_ SQLOG_GUARDED_BY(mu_);
   std::vector<size_t> free_frames_ SQLOG_GUARDED_BY(mu_);
-  std::list<size_t> lru_ SQLOG_GUARDED_BY(mu_);  // front = evict next
+  size_t lru_head_ SQLOG_GUARDED_BY(mu_) = kNoFrame;  // evict next
+  size_t lru_tail_ SQLOG_GUARDED_BY(mu_) = kNoFrame;  // most recently unpinned
   std::unordered_map<PageId, size_t> page_table_ SQLOG_GUARDED_BY(mu_);
   Stats stats_ SQLOG_GUARDED_BY(mu_);
 };

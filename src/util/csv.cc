@@ -76,6 +76,7 @@ Result<std::vector<std::string>> Csv::ParseLine(std::string_view line, char sep)
   return fields;
 }
 
+// sqlog-hot — sqlog-lint: allow(R10 appends into splitter-owned buffers whose capacity amortizes across the stream; finished lines are moved out, not copied)
 void Csv::LineSplitter::Feed(std::string_view chunk) {
   // Scans with the dispatched kernels instead of byte-at-a-time: out of
   // quotes, everything up to the next '"' / '\r' / '\n' is an inert span
@@ -133,6 +134,7 @@ void Csv::LineSplitter::Feed(std::string_view chunk) {
   }
 }
 
+// sqlog-hot
 bool Csv::LineSplitter::Next(std::string* line) {
   if (next_ready_ == ready_.size()) {
     if (next_ready_ != 0) {

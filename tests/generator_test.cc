@@ -154,6 +154,7 @@ TEST(GeneratorTest, SwsFamiliesAreSingleUser) {
   // Small logs only exercise a few SWS robots; the invariant is that
   // each robot template maps to exactly one user.
   EXPECT_GE(users_by_template.size(), 2u);
+  // sqlog-lint: deterministic-merge(order only feeds independent per-key assertions, never output or hashed state)
   for (const auto& [tmpl, users] : users_by_template) {
     EXPECT_EQ(users.size(), 1u) << tmpl;
   }

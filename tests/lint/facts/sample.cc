@@ -1,0 +1,37 @@
+// Golden fixture for the phase-1 fact extractor: one of everything the
+// fact table records. The expected dump lives next to it in
+// sample.facts.golden; lint_facts_test pins DumpFacts output against it
+// and round-trips the facts through the on-disk cache format. Never
+// compiled.
+#include <vector>
+
+#include "util/hash.h"
+#include "util/thread_annotations.h"
+
+namespace sqlog::demo {
+
+class Counter {
+ public:
+  void Add(int delta) {
+    MutexLock lock(mu_);
+    total_ += delta;
+    Log(delta);
+  }
+
+ private:
+  void Log(int delta);
+
+  Mutex mu_;
+  long total_ SQLOG_GUARDED_BY(mu_) = 0;
+  std::vector<int> history_;
+};
+
+// sqlog-hot
+void Drain(std::vector<int>* out) {
+  // sqlog-lint: allow(R10 drains into the caller's reused buffer)
+  out->push_back(1);
+  int x = rand();
+  (void)x;
+}
+
+}  // namespace sqlog::demo

@@ -1,0 +1,18 @@
+// Negative fixture for rule R10: a function marked // sqlog-hot may not
+// allocate without a written justification. Linted with
+// --assume-path=src/util/hot_alloc.cc (not a configured hot file — the
+// marker alone makes the function hot); never compiled.
+#include <string>
+#include <vector>
+
+namespace sqlog::util {
+
+// sqlog-hot
+inline void AccumulateLengths(const std::vector<std::string>& names,
+                              std::vector<size_t>* out) {
+  for (const auto& name : names) {
+    out->push_back(name.size());  // R10: unjustified allocation on a hot path
+  }
+}
+
+}  // namespace sqlog::util

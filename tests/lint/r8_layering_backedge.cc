@@ -1,0 +1,10 @@
+// Negative fixture for rule R8: a file in the util layer (the bottom of
+// the DAG) including a core-layer header is a layering back-edge.
+// Linted with --assume-path=src/util/backedge.cc; never compiled.
+#include "core/template_store.h"  // R8: util may not depend on core
+
+namespace sqlog::util {
+
+inline int UseUpperLayer() { return 0; }
+
+}  // namespace sqlog::util

@@ -1,0 +1,26 @@
+// Negative fixture for rule R9: two functions acquire the same pair of
+// locks in opposite orders, so the static lock graph has an a_ <-> b_
+// cycle — a potential deadlock. Linted with
+// --assume-path=src/util/lock_cycle.cc; never compiled.
+#include "util/thread_annotations.h"
+
+namespace sqlog::util {
+
+class Pair {
+ public:
+  void First() {
+    MutexLock a(a_);
+    MutexLock b(b_);  // R9: acquires b_ while a_ is held
+  }
+
+  void Second() {
+    MutexLock b(b_);
+    MutexLock a(a_);  // R9: acquires a_ while b_ is held — opposite order
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+}  // namespace sqlog::util

@@ -4,7 +4,7 @@
 
 namespace sqlog::util {
 
-// sqlog-lint: allow(R9 there is no rule nine)
+// sqlog-lint: allow(R42 there is no rule forty-two)
 inline int Nothing() { return 0; }
 
 }  // namespace sqlog::util

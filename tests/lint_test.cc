@@ -4,6 +4,7 @@
 // tests/lint/ double as the inputs for the WILL_FAIL ctest entries that
 // exercise the CLI end to end.
 
+#include "lint/facts.h"
 #include "lint/linter.h"
 
 #include <gtest/gtest.h>
@@ -31,6 +32,19 @@ LintConfig TestConfig() {
   config.manifest.push_back({"src/util/thread_pool.h", "ThreadPool"});
   config.r6_allow = {"src/core/detectors.cc"};
   config.r7_allow = {"src/util/byte_class.h"};
+  return config;
+}
+
+/// TestConfig plus a three-layer DAG (tools → core → sql → util) and one
+/// hot file, for the cross-TU rules.
+LintConfig LayeredConfig() {
+  LintConfig config = TestConfig();
+  config.layers = {{"util", "src/util/"},
+                   {"sql", "src/sql/"},
+                   {"core", "src/core/"},
+                   {"tools", "tools/"}};
+  config.layer_edges = {{"sql", "util"}, {"core", "sql"}, {"tools", "core"}};
+  config.hot = {"src/sql/lexer.cc"};
   return config;
 }
 
@@ -241,7 +255,8 @@ TEST(LintSuppressionTest, UnknownRuleIdIsItselfAFinding) {
                              ReadFixture("suppression_unknown_rule.cc"));
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "config");
-  EXPECT_NE(findings[0].message.find("R9"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("R42"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("expected R1..R10"), std::string::npos);
 }
 
 TEST(LintSuppressionTest, MissingReasonIsAFinding) {
@@ -273,6 +288,253 @@ TEST(LintSuppressionTest, ViolationsInsideCommentsOrStringsAreIgnored) {
   EXPECT_TRUE(LintSource(TestConfig(), "src/core/x.cc", content).empty());
 }
 
+// --- R8: layering DAG ---------------------------------------------------
+
+TEST(LintLayeringTest, R8FiresOnBackEdgeInclude) {
+  auto findings = LintSource(LayeredConfig(), "src/util/backedge.cc",
+                             ReadFixture("r8_layering_backedge.cc"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R8");
+  EXPECT_NE(findings[0].message.find("'util'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'core'"), std::string::npos);
+}
+
+TEST(LintLayeringTest, R8AllowsDeclaredAndTransitiveEdges) {
+  // tools → core is declared, tools → util follows transitively through
+  // core → sql → util; same-layer includes are always fine.
+  const char* content =
+      "#include \"core/template_store.h\"\n"
+      "#include \"util/hash.h\"\n"
+      "#include \"lint/facts.h\"\n";
+  EXPECT_TRUE(LintSource(LayeredConfig(), "tools/sqlog_lint.cc", content).empty());
+}
+
+TEST(LintLayeringTest, R8IgnoresAngledIncludesAndUnlayeredFiles) {
+  // <vector> is a system header; bench/ sits outside every layer prefix.
+  auto layered = LintSource(LayeredConfig(), "src/util/x.cc",
+                            "#include <core/template_store.h>\n");
+  EXPECT_TRUE(layered.empty());
+  auto unlayered = LintSource(LayeredConfig(), "bench/parse_bench.cc",
+                              "#include \"core/template_store.h\"\n");
+  EXPECT_TRUE(unlayered.empty());
+}
+
+TEST(LintLayeringTest, R8IsSuppressible) {
+  const char* content =
+      "// sqlog-lint: allow(R8 transitional include, tracked in the roadmap)\n"
+      "#include \"core/template_store.h\"\n";
+  EXPECT_TRUE(LintSource(LayeredConfig(), "src/util/backedge.cc", content).empty());
+}
+
+TEST(LintLayeringTest, R8ReportsIncludeCyclesAcrossFiles) {
+  // Same-layer includes pass the edge check, but a mutual include is
+  // still a cycle in the cross-file graph.
+  FactDb db;
+  db["src/core/a.h"] = ExtractFacts("#include \"core/b.h\"\n");
+  db["src/core/b.h"] = ExtractFacts("#include \"core/a.h\"\n");
+  auto findings = LintDb(LayeredConfig(), db);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R8");
+  EXPECT_NE(findings[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/core/a.h"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/core/b.h"), std::string::npos);
+}
+
+// --- R9: lock-order deadlocks -------------------------------------------
+
+TEST(LintLockOrderTest, R9FiresOnOppositeOrderAcquisitions) {
+  auto findings = LintSource(LayeredConfig(), "src/util/lock_cycle.cc",
+                             ReadFixture("r9_lock_cycle.cc"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R9");
+  EXPECT_NE(findings[0].message.find("lock-order cycle"), std::string::npos);
+  // Both witness paths are listed with their enclosing functions.
+  EXPECT_NE(findings[0].message.find("Pair::First"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Pair::Second"), std::string::npos);
+}
+
+TEST(LintLockOrderTest, R9ConsistentOrderIsSilent) {
+  const char* content =
+      "class T {\n"
+      " public:\n"
+      "  void A() { MutexLock l(a_); MutexLock m(b_); }\n"
+      "  void B() { MutexLock l(a_); MutexLock m(b_); }\n"
+      " private:\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "};\n";
+  EXPECT_TRUE(LintSource(LayeredConfig(), "src/util/ordered.cc", content).empty());
+}
+
+TEST(LintLockOrderTest, R9FlagsReacquisitionOfAHeldLock) {
+  const char* content =
+      "class T {\n"
+      " public:\n"
+      "  void Twice() { MutexLock l(mu_); MutexLock m(mu_); }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "};\n";
+  auto findings = LintSource(LayeredConfig(), "src/util/twice.cc", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R9");
+  EXPECT_NE(findings[0].message.find("already held"), std::string::npos);
+}
+
+TEST(LintLockOrderTest, R9ResolvesOneLevelOfCalls) {
+  // Outer takes a_ then calls Helper (which takes b_); Opposite takes
+  // them directly in the reverse order — a cycle only visible through
+  // call resolution.
+  const char* content =
+      "class T {\n"
+      " public:\n"
+      "  void Outer() {\n"
+      "    MutexLock l(a_);\n"
+      "    Helper();\n"
+      "  }\n"
+      "  void Helper() { MutexLock l(b_); }\n"
+      "  void Opposite() {\n"
+      "    MutexLock l(b_);\n"
+      "    MutexLock m(a_);\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "};\n";
+  auto findings = LintSource(LayeredConfig(), "src/util/nested.cc", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R9");
+  EXPECT_NE(findings[0].message.find("call to T::Helper"), std::string::npos);
+}
+
+TEST(LintLockOrderTest, R9IsSuppressibleAtTheAcquisitionSite) {
+  const char* content =
+      "class T {\n"
+      " public:\n"
+      "  void First() { MutexLock l(a_); MutexLock m(b_); }\n"
+      "  void Second() {\n"
+      "    MutexLock l(b_);\n"
+      "    // sqlog-lint: allow(R9 b_ holders never run concurrently with First)\n"
+      "    MutexLock m(a_);\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "};\n";
+  EXPECT_TRUE(LintSource(LayeredConfig(), "src/util/waived.cc", content).empty());
+}
+
+// --- R10: hot-path allocations ------------------------------------------
+
+TEST(LintHotPathTest, R10FiresInConfiguredHotFile) {
+  const char* content =
+      "void Push(std::vector<int>* out) { out->push_back(1); }\n";
+  auto findings = LintSource(LayeredConfig(), "src/sql/lexer.cc", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R10");
+  EXPECT_NE(findings[0].message.find("hot file"), std::string::npos);
+}
+
+TEST(LintHotPathTest, R10FiresOnMarkedFunctionOutsideHotFiles) {
+  auto findings = LintSource(LayeredConfig(), "src/util/hot_alloc.cc",
+                             ReadFixture("r10_hot_alloc.cc"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R10");
+  EXPECT_NE(findings[0].message.find("marked sqlog-hot"), std::string::npos);
+}
+
+TEST(LintHotPathTest, R10SilentInColdFunctions) {
+  const char* content =
+      "void Push(std::vector<int>* out) {\n"
+      "  out->push_back(1);\n"
+      "  std::string s = \"cold\";\n"
+      "  auto p = std::make_unique<int>(2);\n"
+      "}\n";
+  EXPECT_TRUE(LintSource(LayeredConfig(), "src/util/cold.cc", content).empty());
+}
+
+TEST(LintHotPathTest, R10CatchesEveryAllocationKind) {
+  const char* content =
+      "// sqlog-hot\n"
+      "void Hot(std::vector<int>* out) {\n"
+      "  out->push_back(1);\n"
+      "  std::string s;\n"
+      "  auto p = std::make_unique<int>(2);\n"
+      "  int* q = new int(3);\n"
+      "}\n";
+  auto findings = LintSource(LayeredConfig(), "src/util/kinds.cc", content);
+  EXPECT_EQ(CountRule(findings, "R10"), 4u)
+      << ::testing::PrintToString(Rules(findings));
+}
+
+TEST(LintHotPathTest, R10SignatureSuppressionCoversTheWholeFunction) {
+  const char* content =
+      "// sqlog-hot — sqlog-lint: allow(R10 appends into the caller's reused buffer)\n"
+      "void Hot(std::vector<int>* out) {\n"
+      "  out->push_back(1);\n"
+      "  out->push_back(2);\n"
+      "  out->push_back(3);\n"
+      "}\n";
+  EXPECT_TRUE(LintSource(LayeredConfig(), "src/util/waived.cc", content).empty());
+}
+
+TEST(LintHotPathTest, R10LineSuppressionHasOwnPlusNextLineReach) {
+  // The allow on line 3 reaches line 4 (documented own+next coverage)
+  // but not line 5, which must still fire.
+  const char* content =
+      "// sqlog-hot\n"
+      "void Hot(std::vector<int>* out) {\n"
+      "  out->push_back(1);  // sqlog-lint: allow(R10 one justified push)\n"
+      "  out->push_back(2);\n"
+      "  out->push_back(3);\n"
+      "}\n";
+  auto findings = LintSource(LayeredConfig(), "src/util/partial.cc", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5u);
+}
+
+// --- Masking-lexer regressions ------------------------------------------
+
+TEST(LintLexerTest, RawStringContentsAreMasked) {
+  // The banned identifiers live only inside raw-string payloads,
+  // including the encoding-prefixed forms and a custom delimiter.
+  const char* content =
+      "const char* a = R\"(rand() and a \" quote and std::mutex)\";\n"
+      "const char* b = u8R\"(std::time(nullptr))\";\n"
+      "const char* c = LR\"sep(random_device)sep\";\n";
+  EXPECT_TRUE(LintSource(TestConfig(), "src/core/raw.cc", content).empty());
+}
+
+TEST(LintLexerTest, RawStringPrefixRequiresWordBoundary) {
+  // `xR"(` is an identifier ending in R, not a raw-string intro: the
+  // quote opens an ordinary literal that closes at the next quote, so
+  // the rand() between the two literals is real code and must fire.
+  // (Raw-string handling would swallow everything up to the final `)"`.)
+  const char* content = "auto s = xR\"(a\" rand() \"b)\";\n";
+  auto findings = LintSource(TestConfig(), "src/core/boundary.cc", content);
+  EXPECT_EQ(CountRule(findings, "R2"), 1u)
+      << ::testing::PrintToString(Rules(findings));
+}
+
+TEST(LintLexerTest, BackslashContinuedLineCommentMasksTheNextLine) {
+  // A `//` comment ending in a backslash splices the next line into the
+  // comment ([lex.phases]p2), so the rand() below never reaches code.
+  const char* content =
+      "// the next line is still part of this comment \\\n"
+      "int x = rand();\n"
+      "int y = 0;\n";
+  EXPECT_TRUE(LintSource(TestConfig(), "src/core/spliced.cc", content).empty());
+}
+
+TEST(LintLexerTest, SuppressionInsideContinuedCommentStillParses) {
+  // The masks stay line-aligned through a spliced comment: a suppression
+  // in the continuation line applies to the line it sits on.
+  const char* content =
+      "// leading \\\n"
+      "   sqlog-lint: allow(R2 seeded from the run manifest)\n"
+      "int x = rand();\n";
+  EXPECT_TRUE(LintSource(TestConfig(), "src/core/spliced2.cc", content).empty());
+}
+
 // --- Config parsing ----------------------------------------------------
 
 TEST(LintConfigTest, ParsesDirectivesAndComments) {
@@ -293,6 +555,49 @@ TEST(LintConfigTest, ParsesDirectivesAndComments) {
   EXPECT_EQ(config->r6_allow[0], "src/core/detectors.cc");
   ASSERT_EQ(config->r7_allow.size(), 1u);
   EXPECT_EQ(config->r7_allow[0], "src/util/byte_class.h");
+}
+
+TEST(LintConfigTest, ParsesLayerHotAndExcludeDirectives) {
+  auto config = ParseConfig(
+      "layer util src/util/\n"
+      "layer core src/core/\n"
+      "layer-edge core util\n"
+      "hot src/sql/lexer.cc\n"
+      "exclude tests/lint/\n",
+      "test");
+  ASSERT_TRUE(config.ok()) << config.status().message();
+  ASSERT_EQ(config->layers.size(), 2u);
+  EXPECT_EQ(config->layers[0].name, "util");
+  EXPECT_EQ(config->layers[0].prefix, "src/util/");
+  ASSERT_EQ(config->layer_edges.size(), 1u);
+  EXPECT_EQ(config->layer_edges[0].first, "core");
+  EXPECT_EQ(config->layer_edges[0].second, "util");
+  ASSERT_EQ(config->hot.size(), 1u);
+  EXPECT_EQ(config->hot[0], "src/sql/lexer.cc");
+  ASSERT_EQ(config->exclude.size(), 1u);
+  EXPECT_EQ(config->exclude[0], "tests/lint/");
+}
+
+TEST(LintConfigTest, RejectsDuplicateLayerName) {
+  EXPECT_FALSE(
+      ParseConfig("layer util src/util/\nlayer util src/u2/\n", "test").ok());
+}
+
+TEST(LintConfigTest, RejectsEdgeNamingAnUndeclaredLayer) {
+  EXPECT_FALSE(ParseConfig("layer util src/util/\nlayer-edge util ghost\n", "test").ok());
+}
+
+TEST(LintConfigTest, RejectsCyclicLayerEdges) {
+  auto config = ParseConfig(
+      "layer a src/a/\n"
+      "layer b src/b/\n"
+      "layer c src/c/\n"
+      "layer-edge a b\n"
+      "layer-edge b c\n"
+      "layer-edge c a\n",
+      "test");
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find("cycle"), std::string::npos);
 }
 
 TEST(LintConfigTest, RejectsUnknownDirective) {

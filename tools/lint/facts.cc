@@ -1,0 +1,1397 @@
+#include "lint/facts.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace sqlog::lint {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// True when `word` occurs at `pos` in `s` with word boundaries on both
+/// sides. ':' is not a word character, so qualified names still match
+/// their last component.
+bool WordAt(std::string_view s, size_t pos, std::string_view word) {
+  if (pos + word.size() > s.size()) return false;
+  if (s.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && IsWordChar(s[pos - 1])) return false;
+  size_t end = pos + word.size();
+  if (end < s.size() && IsWordChar(s[end])) return false;
+  return true;
+}
+
+std::vector<size_t> FindWordAll(std::string_view s, std::string_view word) {
+  std::vector<size_t> hits;
+  for (size_t pos = s.find(word); pos != std::string_view::npos;
+       pos = s.find(word, pos + 1)) {
+    if (WordAt(s, pos, word)) hits.push_back(pos);
+  }
+  return hits;
+}
+
+size_t SkipSpaces(std::string_view s, size_t pos) {
+  while (pos < s.size() && IsSpace(s[pos])) ++pos;
+  return pos;
+}
+
+}  // namespace
+
+SplitSource SplitCodeAndComments(std::string_view src) {
+  SplitSource out;
+  out.code.assign(src.size(), ' ');
+  out.comments.assign(src.size(), ' ');
+  auto keep_newlines = [&](size_t from, size_t to) {
+    for (size_t k = from; k < to && k < src.size(); ++k) {
+      if (src[k] == '\n') {
+        out.code[k] = '\n';
+        out.comments[k] = '\n';
+      }
+    }
+  };
+  size_t i = 0;
+  const size_t n = src.size();
+  while (i < n) {
+    char c = src[i];
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      // A backslash immediately before the newline splices the next
+      // physical line into the comment ([lex.phases] p2 runs before
+      // comment recognition), so the comment does not end there.
+      size_t end = i;
+      while (true) {
+        size_t nl = src.find('\n', end);
+        if (nl == std::string_view::npos) {
+          end = n;
+          break;
+        }
+        size_t last = nl;
+        if (last > 0 && src[last - 1] == '\r') --last;
+        if (last > i && src[last - 1] == '\\') {
+          end = nl + 1;
+          continue;
+        }
+        end = nl;
+        break;
+      }
+      for (size_t k = i; k < end; ++k) {
+        out.comments[k] = src[k] == '\n' ? ' ' : src[k];
+      }
+      keep_newlines(i, end);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      end = end == std::string_view::npos ? n : end + 2;
+      for (size_t k = i; k < end; ++k) {
+        out.comments[k] = src[k] == '\n' ? ' ' : src[k];
+      }
+      keep_newlines(i, end);
+      i = end;
+      continue;
+    }
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      // Raw string literal: R"delim( ... )delim", possibly with an
+      // encoding prefix (u8R", uR", UR", LR").
+      size_t pre = i;
+      if (pre >= 2 && src[pre - 1] == '8' && src[pre - 2] == 'u') {
+        pre -= 2;
+      } else if (pre >= 1 &&
+                 (src[pre - 1] == 'u' || src[pre - 1] == 'U' || src[pre - 1] == 'L')) {
+        pre -= 1;
+      }
+      if (pre == 0 || !IsWordChar(src[pre - 1])) {
+        size_t open = src.find('(', i + 2);
+        if (open != std::string_view::npos) {
+          std::string closer = ")";
+          closer.append(src.substr(i + 2, open - (i + 2)));
+          closer.push_back('"');
+          size_t end = src.find(closer, open + 1);
+          end = end == std::string_view::npos ? n : end + closer.size();
+          out.code[i] = 'R';
+          out.code[i + 1] = '"';
+          out.code[end - 1] = '"';
+          keep_newlines(i, end);
+          i = end;
+          continue;
+        }
+      }
+    }
+    if (c == '"' || c == '\'') {
+      out.code[i] = c;
+      size_t k = i + 1;
+      while (k < n && src[k] != c) {
+        if (src[k] == '\\') ++k;
+        if (src[k] == '\n') out.code[k] = '\n';  // unterminated; keep lines aligned
+        ++k;
+      }
+      if (k < n) out.code[k] = c;
+      i = k + 1;
+      continue;
+    }
+    out.code[i] = c;
+    ++i;
+  }
+  return out;
+}
+
+std::vector<size_t> LineStarts(std::string_view s) {
+  std::vector<size_t> starts{0};
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+size_t LineOf(const std::vector<size_t>& starts, size_t offset) {
+  auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<size_t>(it - starts.begin());  // 1-based
+}
+
+uint64_t HashSourceContent(std::string_view content) {
+  return HashCombine(Fnv1a64(content),
+                     static_cast<uint64_t>(kFactFormatVersion));
+}
+
+namespace {
+
+const std::set<std::string, std::less<>> kRuleIds = {
+    "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"};
+
+// --- suppressions --------------------------------------------------------
+
+void ExtractSuppressions(std::string_view comments,
+                         const std::vector<size_t>& line_starts, FileFacts* facts) {
+  static constexpr std::string_view kMarker = "sqlog-lint:";
+  for (size_t pos = comments.find(kMarker); pos != std::string_view::npos;
+       pos = comments.find(kMarker, pos + kMarker.size())) {
+    size_t line = LineOf(line_starts, pos);
+    size_t p = SkipSpaces(comments, pos + kMarker.size());
+    auto add_allow = [&](std::string_view rule) {
+      // A suppression covers its own line and the next one, so it can
+      // sit at the end of the offending line or on its own line above.
+      facts->suppressions.push_back({std::string(rule), line});
+      facts->suppressions.push_back({std::string(rule), line + 1});
+    };
+    if (StartsWith(comments.substr(p), "allow(")) {
+      p += 6;
+      size_t close = comments.find(')', p);
+      if (close == std::string_view::npos) {
+        facts->config_errors.push_back(
+            {"config", line, "unterminated sqlog-lint: allow(...) suppression"});
+        continue;
+      }
+      std::string_view body = comments.substr(p, close - p);
+      size_t space = body.find_first_of(" \t");
+      std::string_view rule = body.substr(0, space);
+      std::string_view reason =
+          space == std::string_view::npos ? std::string_view{} : body.substr(space + 1);
+      while (!reason.empty() && IsSpace(reason.front())) reason.remove_prefix(1);
+      if (kRuleIds.count(rule) == 0) {
+        facts->config_errors.push_back(
+            {"config", line,
+             StrFormat("unknown rule id '%.*s' in sqlog-lint suppression (expected R1..R10)",
+                       (int)rule.size(), rule.data())});
+        continue;
+      }
+      if (reason.empty()) {
+        facts->config_errors.push_back(
+            {"config", line,
+             StrFormat("sqlog-lint suppression for %.*s is missing a reason: "
+                       "write allow(%.*s why-this-is-safe)",
+                       (int)rule.size(), rule.data(), (int)rule.size(), rule.data())});
+        continue;
+      }
+      add_allow(rule);
+      continue;
+    }
+    if (StartsWith(comments.substr(p), "deterministic-merge")) {
+      // The R3-specific tag: asserts the iteration order cannot reach
+      // output or hashed state. An optional (reason) follows.
+      add_allow("R3");
+      continue;
+    }
+    facts->config_errors.push_back(
+        {"config", line,
+         "unrecognized sqlog-lint directive (expected allow(RN reason) "
+         "or deterministic-merge(reason))"});
+  }
+}
+
+// --- includes ------------------------------------------------------------
+
+/// Includes are located in the code mask (so a commented-out #include is
+/// ignored) but the target text is read from the original source: the
+/// mask blanks string-literal contents, which is exactly the "..." path.
+void ExtractIncludes(std::string_view src, std::string_view code,
+                     const std::vector<size_t>& line_starts, FileFacts* facts) {
+  for (size_t pos = code.find('#'); pos != std::string_view::npos;
+       pos = code.find('#', pos + 1)) {
+    size_t line_start = line_starts[LineOf(line_starts, pos) - 1];
+    if (SkipSpaces(code, line_start) != pos) continue;  // not line-leading
+    size_t p = SkipSpaces(code, pos + 1);
+    if (!WordAt(code, p, "include")) continue;
+    p = SkipSpaces(code, p + 7);
+    if (p >= src.size()) continue;
+    char open = src[p];
+    char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+    if (close == '\0') continue;
+    size_t end = src.find(close, p + 1);
+    if (end == std::string_view::npos) continue;
+    facts->includes.push_back({LineOf(line_starts, pos), open == '<',
+                               std::string(src.substr(p + 1, end - p - 1))});
+  }
+}
+
+// --- R1/R2/R3/R4/R6/R7 sites --------------------------------------------
+
+constexpr std::string_view kParserEntryPoints[] = {
+    "ParseSelect", "ParseTokens", "ParseAndAnalyze", "ParseAndAnalyzeTokens"};
+
+void ExtractR1Sites(std::string_view code, const std::vector<size_t>& line_starts,
+                    FileFacts* facts) {
+  for (std::string_view fn : kParserEntryPoints) {
+    for (size_t pos : FindWordAll(code, fn)) {
+      facts->rule_sites.push_back({"R1", LineOf(line_starts, pos), std::string(fn)});
+    }
+  }
+}
+
+void ExtractR2Sites(std::string_view code, const std::vector<size_t>& line_starts,
+                    FileFacts* facts) {
+  auto site = [&](size_t pos, std::string_view what) {
+    facts->rule_sites.push_back({"R2", LineOf(line_starts, pos), std::string(what)});
+  };
+  for (std::string_view word : {"rand", "srand", "random_device"}) {
+    for (size_t pos : FindWordAll(code, word)) site(pos, word);
+  }
+  for (size_t pos = code.find("std::time"); pos != std::string_view::npos;
+       pos = code.find("std::time", pos + 1)) {
+    if (!WordAt(code, pos + 5, "time")) continue;  // e.g. std::timespec
+    site(pos, "std::time");
+  }
+  for (std::string_view engine : {"mt19937", "mt19937_64"}) {
+    for (size_t pos : FindWordAll(code, engine)) {
+      size_t p = SkipSpaces(code, pos + engine.size());
+      if (p >= code.size()) continue;
+      char c = code[p];
+      if (c == ':' || c == '&' || c == '*' || c == '>' || c == ',') {
+        continue;  // type usage (template arg, reference parameter, ...)
+      }
+      if (c == '(' || c == '{') {
+        // Temporary: seeded when the parens/braces are non-empty.
+        char close = c == '(' ? ')' : '}';
+        if (SkipSpaces(code, p + 1) < code.size() &&
+            code[SkipSpaces(code, p + 1)] != close) {
+          continue;
+        }
+        site(pos, engine);
+        continue;
+      }
+      // Declaration: skip the variable name, then look at what follows.
+      size_t q = p;
+      while (q < code.size() && IsWordChar(code[q])) ++q;
+      q = SkipSpaces(code, q);
+      if (q >= code.size() || code[q] == ';' || code[q] == ',' || code[q] == ')') {
+        site(pos, engine);  // default-constructed → seeded from a fixed constant
+        continue;
+      }
+      if (code[q] == '(' || code[q] == '{') {
+        char close = code[q] == '(' ? ')' : '}';
+        size_t arg = SkipSpaces(code, q + 1);
+        if (arg >= code.size() || code[arg] == close) site(pos, engine);
+      }
+    }
+  }
+}
+
+/// Advances past a balanced template-argument list; `pos` is at '<'.
+/// Returns the offset one past the matching '>'.
+size_t SkipTemplateArgs(std::string_view code, size_t pos) {
+  size_t angle = 0, paren = 0;
+  while (pos < code.size()) {
+    char c = code[pos];
+    if (c == '(') ++paren;
+    if (c == ')' && paren > 0) --paren;
+    if (paren == 0) {
+      if (c == '<') ++angle;
+      if (c == '>') {
+        --angle;
+        if (angle == 0) return pos + 1;
+      }
+    }
+    ++pos;
+  }
+  return pos;
+}
+
+void ExtractR3Sites(std::string_view code, const std::vector<size_t>& line_starts,
+                    FileFacts* facts) {
+  // Pass 1: names declared with an unordered container type.
+  std::set<std::string, std::less<>> unordered_names;
+  for (std::string_view container : {"unordered_map", "unordered_set",
+                                     "unordered_multimap", "unordered_multiset"}) {
+    for (size_t pos : FindWordAll(code, container)) {
+      size_t p = SkipSpaces(code, pos + container.size());
+      if (p >= code.size() || code[p] != '<') continue;
+      p = SkipSpaces(code, SkipTemplateArgs(code, p));
+      // A reference or pointer to an unordered container iterates in
+      // hash order just the same — skip the declarator decoration.
+      while (p < code.size() && (code[p] == '&' || code[p] == '*')) {
+        p = SkipSpaces(code, p + 1);
+      }
+      size_t name_begin = p;
+      while (p < code.size() && IsWordChar(code[p])) ++p;
+      if (p == name_begin) continue;  // e.g. ...>::iterator, closing a nested <>
+      if (SkipSpaces(code, p) < code.size() && code[SkipSpaces(code, p)] == '(') {
+        continue;  // function returning the container, not a variable
+      }
+      unordered_names.emplace(code.substr(name_begin, p - name_begin));
+    }
+  }
+  if (unordered_names.empty()) return;
+  // Pass 2: range-for loops whose range expression names one of them.
+  for (size_t pos : FindWordAll(code, "for")) {
+    size_t open = SkipSpaces(code, pos + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    size_t depth = 0, colon = std::string_view::npos, close = std::string_view::npos;
+    bool classic = false;
+    for (size_t p = open; p < code.size(); ++p) {
+      char c = code[p];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        if (--depth == 0) {
+          close = p;
+          break;
+        }
+      }
+      if (depth == 1 && c == ';') classic = true;
+      if (depth == 1 && c == ':' && colon == std::string_view::npos) {
+        bool qualified = (p > 0 && code[p - 1] == ':') ||
+                         (p + 1 < code.size() && code[p + 1] == ':');
+        if (!qualified) colon = p;
+      }
+    }
+    if (classic || colon == std::string_view::npos || close == std::string_view::npos) {
+      continue;
+    }
+    std::string_view range_expr = code.substr(colon + 1, close - colon - 1);
+    for (const auto& name : unordered_names) {
+      if (FindWordAll(range_expr, name).empty()) continue;
+      facts->rule_sites.push_back({"R3", LineOf(line_starts, pos), name});
+      break;
+    }
+  }
+}
+
+constexpr std::string_view kRawMutexTypes[] = {
+    "std::mutex",        "std::recursive_mutex", "std::timed_mutex",
+    "std::shared_mutex", "std::lock_guard",      "std::unique_lock",
+    "std::scoped_lock",  "std::shared_lock"};
+
+void ExtractR4Sites(std::string_view code, const std::vector<size_t>& line_starts,
+                    FileFacts* facts) {
+  for (std::string_view type : kRawMutexTypes) {
+    std::string_view name = type.substr(5);  // past "std::"
+    for (size_t pos = code.find(type); pos != std::string_view::npos;
+         pos = code.find(type, pos + 1)) {
+      if (!WordAt(code, pos + 5, name)) continue;
+      if (pos > 0 && IsWordChar(code[pos - 1])) continue;
+      facts->rule_sites.push_back({"R4", LineOf(line_starts, pos), std::string(type)});
+    }
+  }
+}
+
+/// The scan looks for a base-clause use of the word `Detector` — i.e.
+/// one preceded (past any `ns::` qualifiers) by an access specifier or a
+/// lone base-clause ':'. Type uses (`Detector&`, `std::vector<Detector*>`,
+/// `class Detector {`) never match.
+void ExtractR6Sites(std::string_view code, const std::vector<size_t>& line_starts,
+                    FileFacts* facts) {
+  for (size_t pos : FindWordAll(code, "Detector")) {
+    // Walk backward past `ns::` qualifiers (core::Detector, sqlog::core::
+    // Detector) to whatever introduces the name.
+    size_t back = pos;
+    while (back >= 2 && code[back - 1] == ':' && code[back - 2] == ':') {
+      back -= 2;
+      while (back > 0 && IsWordChar(code[back - 1])) --back;
+      while (back > 0 && IsSpace(code[back - 1])) --back;
+    }
+    while (back > 0 && IsSpace(code[back - 1])) --back;
+    if (back == 0) continue;
+    bool base_clause = false;
+    if (IsWordChar(code[back - 1])) {
+      size_t end = back;
+      while (back > 0 && IsWordChar(code[back - 1])) --back;
+      std::string_view word = code.substr(back, end - back);
+      base_clause = word == "public" || word == "protected" || word == "private";
+    } else if (code[back - 1] == ':' && (back < 2 || code[back - 2] != ':')) {
+      // A lone ':' is either a base clause (struct X : Detector — default
+      // inheritance) or an access label (public: Detector* d). The word
+      // before the colon disambiguates: labels ARE the specifier word.
+      size_t q = back - 1;
+      while (q > 0 && IsSpace(code[q - 1])) --q;
+      size_t end = q;
+      while (q > 0 && IsWordChar(code[q - 1])) --q;
+      std::string_view before = code.substr(q, end - q);
+      base_clause = end > q && before != "public" && before != "protected" &&
+                    before != "private";
+    }
+    if (!base_clause) continue;
+    facts->rule_sites.push_back({"R6", LineOf(line_starts, pos), ""});
+  }
+}
+
+constexpr std::string_view kCtypeClassifiers[] = {
+    "isalpha", "isalnum", "isdigit", "isxdigit", "isspace", "isupper",
+    "islower", "ispunct", "isprint", "isgraph",  "iscntrl", "isblank",
+    "tolower", "toupper",
+};
+
+void ExtractR7Sites(std::string_view code, const std::vector<size_t>& line_starts,
+                    FileFacts* facts) {
+  for (std::string_view fn : kCtypeClassifiers) {
+    for (size_t pos : FindWordAll(code, fn)) {
+      facts->rule_sites.push_back({"R7", LineOf(line_starts, pos), std::string(fn)});
+    }
+  }
+}
+
+// --- class members (R5 input) -------------------------------------------
+
+constexpr std::string_view kMemberMarkers[] = {
+    "SQLOG_GUARDED_BY", "SQLOG_PT_GUARDED_BY", "SQLOG_SHARD_LOCAL",
+    "SQLOG_CONST_AFTER_INIT", "SQLOG_SELF_SYNCHRONIZED"};
+
+/// One depth-1 statement of a class body.
+struct MemberStatement {
+  std::string text;
+  size_t offset = 0;  // of its first non-space character
+};
+
+/// Collects the depth-1 `;`-terminated statements of the class body that
+/// opens at `body_open` ('{'). Nested braces (inline function bodies,
+/// nested types, brace initializers) are skipped wholesale, which keeps
+/// the scan simple: R5 covers `type name_ = ...;`-style members, the
+/// repo's style for mutable state.
+std::vector<MemberStatement> ClassBodyStatements(std::string_view code,
+                                                 size_t body_open) {
+  std::vector<MemberStatement> out;
+  MemberStatement current;
+  size_t i = body_open + 1;
+  while (i < code.size()) {
+    char c = code[i];
+    if (c == '}') break;  // end of the class body
+    if (c == '{') {
+      size_t depth = 1;
+      for (++i; i < code.size() && depth > 0; ++i) {
+        if (code[i] == '{') ++depth;
+        if (code[i] == '}') --depth;
+      }
+      current = {};  // whatever preceded the brace was not a data member
+      continue;
+    }
+    if (c == ';') {
+      if (!current.text.empty()) out.push_back(std::move(current));
+      current = {};
+      ++i;
+      continue;
+    }
+    if (!IsSpace(c) && current.text.empty()) current.offset = i;
+    if (!current.text.empty() || !IsSpace(c)) current.text.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+/// Splits a statement into word tokens at angle/paren depth 0, stopping
+/// at a top-level '=' (the initializer). Returns the tokens seen.
+std::vector<std::string> TopLevelTokens(std::string_view stmt) {
+  std::vector<std::string> tokens;
+  size_t angle = 0, paren = 0;
+  std::string word;
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    char c = stmt[i];
+    if (c == '(') ++paren;
+    if (c == ')' && paren > 0) --paren;
+    if (paren == 0 && c == '<') ++angle;
+    if (paren == 0 && c == '>' && angle > 0) --angle;
+    if (angle == 0 && paren == 0 && c == '=') break;
+    if (IsWordChar(c) && angle == 0 && paren == 0) {
+      word.push_back(c);
+    } else if (!word.empty()) {
+      tokens.push_back(std::move(word));
+      word.clear();
+    }
+  }
+  if (!word.empty()) tokens.push_back(std::move(word));
+  return tokens;
+}
+
+/// Records the class's R5-relevant member rows: statements whose
+/// declarator carries the repo's trailing-underscore convention, or that
+/// already carry a thread_annotations.h marker. Everything else (method
+/// declarations, using aliases, constants) is irrelevant to R5 and kept
+/// out of the fact table.
+void ExtractMembers(std::string_view code, size_t body_open,
+                    const std::string& type_name,
+                    const std::vector<size_t>& line_starts, FileFacts* facts) {
+  for (const auto& stmt : ClassBodyStatements(code, body_open)) {
+    std::string_view text = stmt.text;
+    // Drop access-specifier labels glued to the statement front.
+    for (std::string_view label : {"public", "protected", "private"}) {
+      if (StartsWith(text, label)) {
+        size_t p = SkipSpaces(text, label.size());
+        if (p < text.size() && text[p] == ':') text.remove_prefix(p + 1);
+      }
+    }
+    bool annotated = false;
+    for (std::string_view marker : kMemberMarkers) {
+      if (!FindWordAll(text, marker).empty()) annotated = true;
+    }
+    std::vector<std::string> tokens = TopLevelTokens(text);
+    if (tokens.empty()) continue;
+    const std::string& declarator = tokens.back();
+    if (!annotated && (declarator.empty() || declarator.back() != '_')) continue;
+    MemberFact member;
+    member.line = LineOf(line_starts, stmt.offset);
+    member.type_name = type_name;
+    member.declarator = declarator;
+    member.leading = tokens.front();
+    member.annotated = annotated;
+    facts->members.push_back(std::move(member));
+  }
+}
+
+// --- the scope-tracking walker ------------------------------------------
+
+/// The walker runs on a copy of the code mask with preprocessor lines
+/// blanked, so macro bodies can't unbalance the brace tracking. Offsets
+/// still align with the original source.
+std::string BlankPreprocessorLines(std::string_view code) {
+  std::string out(code);
+  const size_t n = out.size();
+  size_t i = 0;
+  while (i < n) {
+    size_t line_end = out.find('\n', i);
+    if (line_end == std::string::npos) line_end = n;
+    size_t first = SkipSpaces(out, i);
+    if (first < line_end && out[first] == '#') {
+      // Blank this directive and any backslash-continued followers.
+      while (true) {
+        size_t last = line_end;
+        while (last > i && IsSpace(out[last - 1])) --last;
+        bool continued = last > i && out[last - 1] == '\\';
+        for (size_t k = i; k < line_end; ++k) out[k] = ' ';
+        i = line_end < n ? line_end + 1 : n;
+        if (!continued || i >= n) break;
+        line_end = out.find('\n', i);
+        if (line_end == std::string::npos) line_end = n;
+      }
+      continue;
+    }
+    i = line_end < n ? line_end + 1 : n;
+  }
+  return out;
+}
+
+enum class ScopeKind { kNamespace, kType, kFunction, kBlock };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  std::string name;                  // namespace / type name ("" otherwise)
+  size_t func = kNoFunction;         // kFunction: index into facts->functions
+  std::vector<std::string> active;   // lock identities acquired in this scope
+};
+
+const std::set<std::string, std::less<>> kControlKeywords = {
+    "if",       "for",      "while",       "switch",       "catch",
+    "return",   "sizeof",   "alignof",     "decltype",     "noexcept",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "new",      "delete",   "throw",       "else",         "do",
+    "case",     "default",  "operator",    "assert",       "co_return"};
+
+const std::set<std::string, std::less<>> kGrowthCalls = {
+    "push_back", "emplace_back", "emplace", "append", "insert", "resize",
+    "reserve"};
+
+struct Walker {
+  std::string_view walk;  // preprocessor-blanked code mask
+  const std::vector<size_t>& line_starts;
+  FileFacts* facts;
+  const std::set<size_t>& hot_lines;  // lines carrying a sqlog-hot marker
+
+  std::vector<Scope> stack;
+  size_t stmt_begin = 0;
+  size_t paren_depth = 0;
+
+  size_t CurrentFunc() const {
+    for (size_t k = stack.size(); k > 0; --k) {
+      if (stack[k - 1].kind == ScopeKind::kFunction) return stack[k - 1].func;
+    }
+    return kNoFunction;
+  }
+
+  bool InFunction() const { return CurrentFunc() != kNoFunction; }
+
+  std::vector<std::string> HeldSet() const {
+    std::vector<std::string> held;
+    for (const Scope& s : stack) {
+      held.insert(held.end(), s.active.begin(), s.active.end());
+    }
+    return held;
+  }
+
+  /// Joins the namespace/type names enclosing the current position.
+  std::string ScopePrefix() const {
+    std::string prefix;
+    for (const Scope& s : stack) {
+      if (s.kind != ScopeKind::kNamespace && s.kind != ScopeKind::kType) continue;
+      if (s.name.empty()) continue;
+      if (!prefix.empty()) prefix += "::";
+      prefix += s.name;
+    }
+    return prefix;
+  }
+
+  /// The class scope an unqualified member lock belongs to: the function's
+  /// qualified name minus its final component (so `BufferPool::Fetch`'s
+  /// `mu_` becomes `BufferPool::mu_` whether Fetch is defined inline or
+  /// out of class).
+  std::string MutexQualifier() const {
+    size_t fn = CurrentFunc();
+    if (fn == kNoFunction) return "";
+    const std::string& qual = facts->functions[fn].qual;
+    size_t sep = qual.rfind("::");
+    return sep == std::string::npos ? "" : qual.substr(0, sep);
+  }
+
+  std::string NormalizeMutex(std::string_view expr) const {
+    std::string out;
+    for (char c : expr) {
+      if (IsSpace(c) || c == ',' || c == ';') continue;
+      out.push_back(c);
+    }
+    while (!out.empty() && out.front() == '&') out.erase(out.begin());
+    if (StartsWith(out, "this->")) out.erase(0, 6);
+    bool simple = !out.empty();
+    for (char c : out) simple = simple && IsWordChar(c);
+    if (simple) {
+      std::string prefix = MutexQualifier();
+      if (!prefix.empty()) out = prefix + "::" + out;
+    }
+    return out;
+  }
+
+  void Run() {
+    const size_t n = walk.size();
+    size_t i = 0;
+    while (i < n) {
+      char c = walk[i];
+      if (c == '(') {
+        ++paren_depth;
+        ++i;
+        continue;
+      }
+      if (c == ')') {
+        if (paren_depth > 0) --paren_depth;
+        ++i;
+        continue;
+      }
+      if (c == ';' && paren_depth == 0) {
+        stmt_begin = i + 1;
+        ++i;
+        continue;
+      }
+      if (c == '{') {
+        PushScope(walk.substr(stmt_begin, i - stmt_begin), i);
+        stmt_begin = i + 1;
+        paren_depth = 0;
+        ++i;
+        continue;
+      }
+      if (c == '}') {
+        if (!stack.empty()) stack.pop_back();
+        stmt_begin = i + 1;
+        paren_depth = 0;
+        ++i;
+        continue;
+      }
+      if (IsWordChar(c) && (i == 0 || !IsWordChar(walk[i - 1]))) {
+        size_t j = i;
+        while (j < n && IsWordChar(walk[j])) ++j;
+        i = HandleWord(i, j);
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  void PushScope(std::string_view stmt, size_t brace_offset) {
+    Scope scope;
+    scope.kind = Classify(stmt, brace_offset, &scope);
+    stack.push_back(std::move(scope));
+  }
+
+  ScopeKind Classify(std::string_view stmt, size_t brace_offset, Scope* scope) {
+    // Namespace?
+    for (size_t pos : FindWordAll(stmt, "namespace")) {
+      std::string name;
+      for (size_t p = SkipSpaces(stmt, pos + 9); p < stmt.size(); ++p) {
+        char c = stmt[p];
+        if (IsWordChar(c) || c == ':') {
+          name.push_back(c);
+        } else if (!IsSpace(c)) {
+          break;
+        }
+      }
+      scope->name = name;  // anonymous namespaces keep an empty name
+      std::string qual = ScopePrefix();
+      facts->namespaces.push_back(qual.empty() ? name
+                                               : name.empty() ? qual
+                                                              : qual + "::" + name);
+      return ScopeKind::kNamespace;
+    }
+
+    // Type? Take the LAST class/struct/union keyword so `template <class
+    // T> struct Foo` classifies by Foo.
+    size_t type_kw = std::string_view::npos;
+    for (std::string_view kw : {"class", "struct", "union"}) {
+      for (size_t pos : FindWordAll(stmt, kw)) {
+        // `enum class` / `enum struct` open an enum body, not a type.
+        size_t back = pos;
+        while (back > 0 && IsSpace(stmt[back - 1])) --back;
+        size_t kw_end = back;
+        while (back > 0 && IsWordChar(stmt[back - 1])) --back;
+        if (stmt.substr(back, kw_end - back) == "enum") continue;
+        if (type_kw == std::string_view::npos || pos > type_kw) {
+          type_kw = pos + kw.size();
+        }
+      }
+    }
+    if (type_kw != std::string_view::npos) {
+      size_t p = SkipSpaces(stmt, type_kw);
+      // The type name is the LAST word before the body / base clause:
+      // earlier words are attribute macros (class SQLOG_EXPORT Foo) and
+      // parenthesized attributes (alignas(64)) are skipped wholesale.
+      std::string name;
+      while (p < stmt.size()) {
+        size_t begin = p;
+        while (p < stmt.size() && IsWordChar(stmt[p])) ++p;
+        if (p == begin) break;
+        std::string word(stmt.substr(begin, p - begin));
+        p = SkipSpaces(stmt, p);
+        if (p < stmt.size() && stmt[p] == '(') {
+          // A parenthesized attribute (alignas(64), MACRO(x)): skip it.
+          size_t depth = 0;
+          while (p < stmt.size()) {
+            if (stmt[p] == '(') ++depth;
+            if (stmt[p] == ')' && --depth == 0) {
+              ++p;
+              break;
+            }
+            ++p;
+          }
+          p = SkipSpaces(stmt, p);
+          continue;
+        }
+        if (word != "final") name = std::move(word);
+        if (p < stmt.size() && IsWordChar(stmt[p])) continue;  // attribute word
+        break;
+      }
+      bool at_body = p >= stmt.size() || stmt[p] == ':' || stmt[p] == '{';
+      if (!name.empty() && at_body) {
+        scope->name = name;
+        facts->types.push_back({LineOf(line_starts, brace_offset), name});
+        ExtractMembers(walk, brace_offset, name, line_starts, facts);
+        return ScopeKind::kType;
+      }
+      return ScopeKind::kBlock;
+    }
+
+    if (InFunction()) return ScopeKind::kBlock;
+
+    // Function? The statement must contain a top-level call-shaped `(`
+    // preceded by a non-control identifier, and no top-level `=` (which
+    // would make the brace an initializer).
+    size_t eq = std::string_view::npos;
+    size_t depth = 0;
+    size_t first_paren = std::string_view::npos;
+    for (size_t p = 0; p < stmt.size(); ++p) {
+      char c = stmt[p];
+      if (c == '(') {
+        if (depth == 0 && first_paren == std::string_view::npos) first_paren = p;
+        ++depth;
+      }
+      if (c == ')' && depth > 0) --depth;
+      if (c == '=' && depth == 0 &&
+          (p == 0 || (stmt[p - 1] != '=' && stmt[p - 1] != '!' && stmt[p - 1] != '<' &&
+                      stmt[p - 1] != '>')) &&
+          (p + 1 >= stmt.size() || stmt[p + 1] != '=')) {
+        eq = p;
+        break;
+      }
+    }
+    if (eq != std::string_view::npos || first_paren == std::string_view::npos) {
+      return ScopeKind::kBlock;
+    }
+    // The name: the `::`-qualified chain ending just before the paren.
+    size_t back = first_paren;
+    while (back > 0 && IsSpace(stmt[back - 1])) --back;
+    std::string name;
+    if (back > 0 && !IsWordChar(stmt[back - 1]) && stmt[back - 1] != '~') {
+      // Symbol before '(' — an operator overload like operator= / operator<<.
+      size_t sym_end = back;
+      while (back > 0 && !IsWordChar(stmt[back - 1]) && !IsSpace(stmt[back - 1])) {
+        --back;
+      }
+      size_t word_end = back;
+      size_t word_begin = back;
+      while (word_begin > 0 && IsWordChar(stmt[word_begin - 1])) --word_begin;
+      if (stmt.substr(word_begin, word_end - word_begin) != "operator") {
+        return ScopeKind::kBlock;
+      }
+      name = "operator";
+      name += std::string(stmt.substr(word_end, sym_end - word_end));
+      back = word_begin;
+    } else {
+      size_t end = back;
+      while (back > 0 && (IsWordChar(stmt[back - 1]) || stmt[back - 1] == '~')) --back;
+      name = std::string(stmt.substr(back, end - back));
+    }
+    if (name.empty() || kControlKeywords.count(name) > 0) return ScopeKind::kBlock;
+    // Prepend `Scope::` qualifiers written at the definition.
+    while (back >= 2 && stmt[back - 1] == ':' && stmt[back - 2] == ':') {
+      size_t end = back - 2;
+      size_t begin = end;
+      while (begin > 0 && IsWordChar(stmt[begin - 1])) --begin;
+      if (begin == end) break;
+      name = std::string(stmt.substr(begin, end - begin)) + "::" + name;
+      back = begin;
+    }
+    FunctionFact fn;
+    // stmt is a substring of walk; its first non-space character pins
+    // the signature line.
+    fn.line = LineOf(line_starts, (stmt.data() - walk.data()) + SkipSpaces(stmt, 0));
+    std::string prefix = ScopePrefix();
+    fn.name = name;
+    fn.qual = prefix.empty() ? name : prefix + "::" + name;
+    fn.hot = hot_lines.count(fn.line) > 0 || hot_lines.count(fn.line - 1) > 0;
+    scope->func = facts->functions.size();
+    facts->functions.push_back(std::move(fn));
+    return ScopeKind::kFunction;
+  }
+
+  /// Dispatches one word occurrence; returns the next scan offset.
+  size_t HandleWord(size_t begin, size_t end) {
+    std::string_view word = walk.substr(begin, end - begin);
+
+    if ((word == "MutexLock" || word == "CondVarLock") && InFunction()) {
+      size_t consumed = TryAcquisition(begin, end, word);
+      if (consumed != 0) return consumed;
+      return end;
+    }
+
+    bool after_member_access =
+        begin > 0 && (walk[begin - 1] == '.' ||
+                      (begin > 1 && walk[begin - 1] == '>' && walk[begin - 2] == '-'));
+
+    if ((word == "Lock" || word == "Unlock") && after_member_access && InFunction()) {
+      HandleManualLock(begin, end, word == "Lock");
+      return end;
+    }
+
+    if (!InFunction()) return end;
+
+    size_t next = SkipSpaces(walk, end);
+    char next_c = next < walk.size() ? walk[next] : '\0';
+
+    // Allocation expressions.
+    if (word == "new") {
+      RecordAllocation(begin, "new");
+      return end;
+    }
+    if ((word == "make_unique" || word == "make_shared") &&
+        (next_c == '<' || next_c == '(')) {
+      RecordAllocation(begin, std::string(word));
+      return end;
+    }
+    if (word == "string" && begin >= 2 && walk[begin - 1] == ':' &&
+        walk[begin - 2] == ':') {
+      // `std::string x` declarations and `std::string(...)` temporaries
+      // own heap storage; references, pointers and nested template args
+      // do not.
+      if (next_c != '\0' && (IsWordChar(next_c) || next_c == '(' || next_c == '{')) {
+        RecordAllocation(begin, "std::string");
+      }
+      return end;
+    }
+    if (kGrowthCalls.count(word) > 0 && after_member_access && next_c == '(') {
+      RecordAllocation(begin, std::string(word));
+      return end;
+    }
+
+    // Call sites while holding a lock.
+    if (next_c == '(' && kControlKeywords.count(word) == 0 && word != "string") {
+      std::vector<std::string> held = HeldSet();
+      if (!held.empty()) {
+        CallFact call;
+        call.line = LineOf(line_starts, begin);
+        call.func = CurrentFunc();
+        call.held = std::move(held);
+        if (after_member_access) {
+          call.callee = std::string(word);
+        } else {
+          std::string callee(word);
+          size_t back = begin;
+          while (back >= 2 && walk[back - 1] == ':' && walk[back - 2] == ':') {
+            size_t qend = back - 2;
+            size_t qbegin = qend;
+            while (qbegin > 0 && IsWordChar(walk[qbegin - 1])) --qbegin;
+            if (qbegin == qend) break;
+            callee = std::string(walk.substr(qbegin, qend - qbegin)) + "::" + callee;
+            back = qbegin;
+          }
+          call.callee = std::move(callee);
+        }
+        facts->locked_calls.push_back(std::move(call));
+      }
+    }
+    return end;
+  }
+
+  /// Parses `MutexLock name(expr)` / `CondVarLock name(expr)` starting at
+  /// the wrapper word; returns the offset past ')' on success, 0 if the
+  /// occurrence is not an acquisition (class definition, parameter, ...).
+  size_t TryAcquisition(size_t begin, size_t end, std::string_view wrapper) {
+    size_t p = SkipSpaces(walk, end);
+    size_t var_begin = p;
+    while (p < walk.size() && IsWordChar(walk[p])) ++p;
+    if (p == var_begin) return 0;  // no variable name → not a declaration
+    p = SkipSpaces(walk, p);
+    if (p >= walk.size() || walk[p] != '(') return 0;
+    size_t depth = 0;
+    size_t open = p;
+    while (p < walk.size()) {
+      if (walk[p] == '(') ++depth;
+      if (walk[p] == ')' && --depth == 0) break;
+      ++p;
+    }
+    if (p >= walk.size()) return 0;
+    std::string mutex = NormalizeMutex(walk.substr(open + 1, p - open - 1));
+    if (mutex.empty()) return 0;
+    AcquisitionFact acq;
+    acq.line = LineOf(line_starts, begin);
+    acq.func = CurrentFunc();
+    acq.wrapper = std::string(wrapper);
+    acq.mutex = mutex;
+    acq.held = HeldSet();
+    facts->acquisitions.push_back(std::move(acq));
+    if (!stack.empty()) stack.back().active.push_back(std::move(mutex));
+    return p + 1;
+  }
+
+  void HandleManualLock(size_t begin, size_t end, bool is_lock) {
+    size_t p = SkipSpaces(walk, end);
+    if (p >= walk.size() || walk[p] != '(') return;
+    // Recover the object expression before the `.` / `->`.
+    size_t dot = begin - 1;
+    if (walk[dot] == '>') --dot;  // `->`: dot now at '-'
+    size_t k = dot;
+    while (k > 0) {
+      char c = walk[k - 1];
+      if (IsWordChar(c) || c == '.') {
+        --k;
+      } else if (c == ':' && k > 1 && walk[k - 2] == ':') {
+        k -= 2;
+      } else if (c == '>' && k > 1 && walk[k - 2] == '-') {
+        k -= 2;
+      } else {
+        break;
+      }
+    }
+    if (k == dot) return;
+    std::string mutex = NormalizeMutex(walk.substr(k, dot - k));
+    if (mutex.empty()) return;
+    if (is_lock) {
+      AcquisitionFact acq;
+      acq.line = LineOf(line_starts, begin);
+      acq.func = CurrentFunc();
+      acq.wrapper = "Lock";
+      acq.mutex = mutex;
+      acq.held = HeldSet();
+      facts->acquisitions.push_back(std::move(acq));
+      // A manual Lock() outlives the current block: attach it to the
+      // function scope so the held-set survives until Unlock or return.
+      for (size_t s = stack.size(); s > 0; --s) {
+        if (stack[s - 1].kind == ScopeKind::kFunction) {
+          stack[s - 1].active.push_back(std::move(mutex));
+          return;
+        }
+      }
+      if (!stack.empty()) stack.back().active.push_back(std::move(mutex));
+    } else {
+      for (size_t s = stack.size(); s > 0; --s) {
+        auto& active = stack[s - 1].active;
+        auto it = std::find(active.begin(), active.end(), mutex);
+        if (it != active.end()) {
+          active.erase(it);
+          return;
+        }
+      }
+    }
+  }
+
+  void RecordAllocation(size_t offset, std::string what) {
+    AllocationFact alloc;
+    alloc.line = LineOf(line_starts, offset);
+    alloc.func = CurrentFunc();
+    alloc.what = std::move(what);
+    facts->allocations.push_back(std::move(alloc));
+  }
+};
+
+std::set<size_t> HotMarkerLines(std::string_view comments,
+                                const std::vector<size_t>& line_starts) {
+  std::set<size_t> lines;
+  static constexpr std::string_view kHot = "sqlog-hot";
+  for (size_t pos = comments.find(kHot); pos != std::string_view::npos;
+       pos = comments.find(kHot, pos + kHot.size())) {
+    lines.insert(LineOf(line_starts, pos));
+  }
+  return lines;
+}
+
+}  // namespace
+
+FileFacts ExtractFacts(std::string_view content) {
+  FileFacts facts;
+  facts.content_hash = HashSourceContent(content);
+
+  SplitSource split = SplitCodeAndComments(content);
+  std::vector<size_t> line_starts = LineStarts(split.code);
+
+  ExtractSuppressions(split.comments, line_starts, &facts);
+  ExtractIncludes(content, split.code, line_starts, &facts);
+  ExtractR1Sites(split.code, line_starts, &facts);
+  ExtractR2Sites(split.code, line_starts, &facts);
+  ExtractR3Sites(split.code, line_starts, &facts);
+  ExtractR4Sites(split.code, line_starts, &facts);
+  ExtractR6Sites(split.code, line_starts, &facts);
+  ExtractR7Sites(split.code, line_starts, &facts);
+
+  std::set<size_t> hot_lines = HotMarkerLines(split.comments, line_starts);
+  std::string walk = BlankPreprocessorLines(split.code);
+  Walker walker{walk, line_starts, &facts, hot_lines, {}, 0, 0};
+  walker.Run();
+
+  std::sort(facts.rule_sites.begin(), facts.rule_sites.end(),
+            [](const RuleSiteFact& a, const RuleSiteFact& b) {
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.detail < b.detail;
+            });
+  return facts;
+}
+
+namespace {
+
+std::string JoinHeld(const std::vector<std::string>& held) {
+  if (held.empty()) return "-";
+  std::string out;
+  for (const auto& h : held) {
+    if (!out.empty()) out += ',';
+    out += h;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitHeld(const std::string& csv) {
+  std::vector<std::string> out;
+  if (csv == "-") return out;
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    size_t comma = csv.find(',', begin);
+    if (comma == std::string::npos) {
+      out.push_back(csv.substr(begin));
+      break;
+    }
+    out.push_back(csv.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return out;
+}
+
+std::string FuncName(const FileFacts& facts, size_t func) {
+  return func == kNoFunction || func >= facts.functions.size()
+             ? "-"
+             : facts.functions[func].qual;
+}
+
+}  // namespace
+
+std::string DumpFacts(const std::string& rel_path, const FileFacts& facts) {
+  std::ostringstream out;
+  out << "file " << rel_path << "\n";
+  for (const auto& inc : facts.includes) {
+    out << "include " << inc.line << " " << (inc.angled ? "<>" : "\"\"") << " "
+        << inc.target << "\n";
+  }
+  for (const auto& ns : facts.namespaces) {
+    out << "namespace " << (ns.empty() ? "(anonymous)" : ns) << "\n";
+  }
+  for (const auto& type : facts.types) {
+    out << "type " << type.line << " " << type.name << "\n";
+  }
+  for (const auto& m : facts.members) {
+    out << "member " << m.line << " " << m.type_name << "::" << m.declarator
+        << " leading=" << m.leading << " annotated=" << (m.annotated ? 1 : 0) << "\n";
+  }
+  for (const auto& fn : facts.functions) {
+    out << "function " << fn.line << " " << fn.qual << " hot=" << (fn.hot ? 1 : 0)
+        << "\n";
+  }
+  for (const auto& acq : facts.acquisitions) {
+    out << "acquire " << acq.line << " " << acq.wrapper << " " << acq.mutex
+        << " func=" << FuncName(facts, acq.func) << " held=" << JoinHeld(acq.held)
+        << "\n";
+  }
+  for (const auto& call : facts.locked_calls) {
+    out << "call " << call.line << " " << call.callee
+        << " func=" << FuncName(facts, call.func) << " held=" << JoinHeld(call.held)
+        << "\n";
+  }
+  for (const auto& alloc : facts.allocations) {
+    out << "alloc " << alloc.line << " " << alloc.what
+        << " func=" << FuncName(facts, alloc.func) << "\n";
+  }
+  for (const auto& site : facts.rule_sites) {
+    out << "site " << site.rule << " " << site.line;
+    if (!site.detail.empty()) out << " " << site.detail;
+    out << "\n";
+  }
+  for (const auto& supp : facts.suppressions) {
+    out << "suppress " << supp.rule << " " << supp.line << "\n";
+  }
+  for (const auto& err : facts.config_errors) {
+    out << "error " << err.line << " " << err.detail << "\n";
+  }
+  return out.str();
+}
+
+// --- cache serialization -------------------------------------------------
+
+void SerializeFacts(const FileFacts& facts, std::string* out) {
+  std::ostringstream buf;
+  for (const auto& inc : facts.includes) {
+    buf << "I " << inc.line << " " << (inc.angled ? 1 : 0) << " " << inc.target << "\n";
+  }
+  for (const auto& ns : facts.namespaces) {
+    buf << "N " << ns << "\n";
+  }
+  for (const auto& type : facts.types) {
+    buf << "T " << type.line << " " << type.name << "\n";
+  }
+  for (const auto& m : facts.members) {
+    buf << "M " << m.line << " " << (m.annotated ? 1 : 0) << " " << m.type_name << " "
+        << m.leading << " " << m.declarator << "\n";
+  }
+  for (const auto& fn : facts.functions) {
+    buf << "F " << fn.line << " " << (fn.hot ? 1 : 0) << " " << fn.name << " "
+        << fn.qual << "\n";
+  }
+  for (const auto& acq : facts.acquisitions) {
+    buf << "A " << acq.line << " " << acq.func << " " << acq.wrapper << " "
+        << acq.mutex << " " << JoinHeld(acq.held) << "\n";
+  }
+  for (const auto& call : facts.locked_calls) {
+    buf << "C " << call.line << " " << call.func << " " << JoinHeld(call.held) << " "
+        << call.callee << "\n";
+  }
+  for (const auto& alloc : facts.allocations) {
+    buf << "X " << alloc.line << " " << alloc.func << " " << alloc.what << "\n";
+  }
+  for (const auto& site : facts.rule_sites) {
+    buf << "S " << site.rule << " " << site.line << " " << site.detail << "\n";
+  }
+  for (const auto& supp : facts.suppressions) {
+    buf << "P " << supp.rule << " " << supp.line << "\n";
+  }
+  for (const auto& err : facts.config_errors) {
+    buf << "E " << err.line << " " << err.detail << "\n";
+  }
+  out->append(buf.str());
+}
+
+namespace {
+
+/// Parses one cache record line into `facts`. Returns false on any
+/// malformed input (the caller then discards the whole cache).
+bool ParseRecord(const std::string& line, FileFacts* facts) {
+  if (line.size() < 2 || line[1] != ' ') return false;
+  std::istringstream in(line.substr(2));
+  auto rest_of_line = [&]() {
+    std::string rest;
+    std::getline(in >> std::ws, rest);
+    return rest;
+  };
+  switch (line[0]) {
+    case 'I': {
+      IncludeFact inc;
+      int angled = 0;
+      if (!(in >> inc.line >> angled)) return false;
+      inc.angled = angled != 0;
+      inc.target = rest_of_line();
+      if (inc.target.empty()) return false;
+      facts->includes.push_back(std::move(inc));
+      return true;
+    }
+    case 'N': {
+      facts->namespaces.push_back(line.substr(2));
+      return true;
+    }
+    case 'T': {
+      TypeFact type;
+      if (!(in >> type.line >> type.name)) return false;
+      facts->types.push_back(std::move(type));
+      return true;
+    }
+    case 'M': {
+      MemberFact m;
+      int annotated = 0;
+      if (!(in >> m.line >> annotated >> m.type_name >> m.leading >> m.declarator)) {
+        return false;
+      }
+      m.annotated = annotated != 0;
+      facts->members.push_back(std::move(m));
+      return true;
+    }
+    case 'F': {
+      FunctionFact fn;
+      int hot = 0;
+      if (!(in >> fn.line >> hot >> fn.name >> fn.qual)) return false;
+      fn.hot = hot != 0;
+      facts->functions.push_back(std::move(fn));
+      return true;
+    }
+    case 'A': {
+      AcquisitionFact acq;
+      std::string held;
+      if (!(in >> acq.line >> acq.func >> acq.wrapper >> acq.mutex >> held)) {
+        return false;
+      }
+      acq.held = SplitHeld(held);
+      facts->acquisitions.push_back(std::move(acq));
+      return true;
+    }
+    case 'C': {
+      CallFact call;
+      std::string held;
+      if (!(in >> call.line >> call.func >> held >> call.callee)) return false;
+      call.held = SplitHeld(held);
+      facts->locked_calls.push_back(std::move(call));
+      return true;
+    }
+    case 'X': {
+      AllocationFact alloc;
+      if (!(in >> alloc.line >> alloc.func >> alloc.what)) return false;
+      facts->allocations.push_back(std::move(alloc));
+      return true;
+    }
+    case 'S': {
+      RuleSiteFact site;
+      if (!(in >> site.rule >> site.line)) return false;
+      site.detail = rest_of_line();
+      facts->rule_sites.push_back(std::move(site));
+      return true;
+    }
+    case 'P': {
+      SuppressionFact supp;
+      if (!(in >> supp.rule >> supp.line)) return false;
+      facts->suppressions.push_back(std::move(supp));
+      return true;
+    }
+    case 'E': {
+      RuleSiteFact err;
+      err.rule = "config";
+      if (!(in >> err.line)) return false;
+      err.detail = rest_of_line();
+      facts->config_errors.push_back(std::move(err));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FactDb LoadFactCache(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != StrFormat("sqlog-lint-facts %d", kFactFormatVersion)) {
+    return {};
+  }
+  FactDb db;
+  FileFacts* current = nullptr;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (StartsWith(line, "file ")) {
+      std::istringstream header(line.substr(5));
+      std::string file_path;
+      std::string hash_hex;
+      if (!(header >> file_path >> hash_hex)) return {};
+      unsigned long long hash = 0;
+      if (std::sscanf(hash_hex.c_str(), "%llx", &hash) != 1) return {};
+      current = &db[file_path];
+      current->content_hash = hash;
+      continue;
+    }
+    if (current == nullptr || !ParseRecord(line, current)) return {};
+  }
+  return db;
+}
+
+Status SaveFactCache(const std::string& path, const FactDb& db) {
+  std::string out = StrFormat("sqlog-lint-facts %d\n", kFactFormatVersion);
+  for (const auto& [file, facts] : db) {
+    out += StrFormat("file %s %llx\n", file.c_str(),
+                     static_cast<unsigned long long>(facts.content_hash));
+    SerializeFacts(facts, &out);
+  }
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      return Status::IoError(StrFormat("cannot write lint fact cache %s", tmp.c_str()));
+    }
+    f << out;
+    if (!f) {
+      return Status::IoError(StrFormat("short write to lint fact cache %s", tmp.c_str()));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError(
+        StrFormat("cannot rename lint fact cache %s into place", tmp.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlog::lint

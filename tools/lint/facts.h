@@ -1,0 +1,185 @@
+#ifndef SQLOG_TOOLS_LINT_FACTS_H_
+#define SQLOG_TOOLS_LINT_FACTS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+/// Phase 1 of the two-phase linter: a single scan of each source file
+/// produces a config-independent **fact table** — includes, namespaces,
+/// type and member declarations, function extents, annotated-wrapper
+/// lock acquisitions with the lexically-held set, allocation
+/// expressions, the R1-R7 rule sites, and suppression directives. Phase
+/// 2 (linter.cc) runs every rule over the merged fact database, so the
+/// file is read and lexed exactly once no matter how many rules exist,
+/// and cross-file analyses (layering R8, lock order R9) see the whole
+/// tree. Facts are cacheable on disk keyed by content hash: extraction
+/// never looks at the lint config, so a config edit cannot stale the
+/// cache — only a content change or a kFactFormatVersion bump can.
+namespace sqlog::lint {
+
+/// Bump whenever extraction output changes shape or meaning; a cache
+/// written by a different version is discarded wholesale.
+inline constexpr int kFactFormatVersion = 1;
+
+inline constexpr size_t kNoFunction = static_cast<size_t>(-1);
+
+/// The input split into two equal-length masks: `code` keeps everything
+/// outside comments and literal contents (literal quotes stay, contents
+/// are blanked); `comments` keeps only comment text. Newlines survive in
+/// both, so offsets and line numbers agree between the masks and the
+/// original file. Handles raw strings (including the u8/u/U/L-prefixed
+/// forms) and backslash-continued `//` comments.
+struct SplitSource {
+  std::string code;
+  std::string comments;
+};
+
+SplitSource SplitCodeAndComments(std::string_view src);
+
+/// Offsets where each 1-based line starts, for offset → line mapping.
+std::vector<size_t> LineStarts(std::string_view s);
+size_t LineOf(const std::vector<size_t>& starts, size_t offset);
+
+// --- fact records --------------------------------------------------------
+
+/// One `#include` directive. `target` is the path as written; `angled`
+/// distinguishes `<...>` (system, never layered) from `"..."`.
+struct IncludeFact {
+  size_t line = 0;
+  bool angled = false;
+  std::string target;
+};
+
+/// One class/struct definition (`class X {`, with or without a base
+/// clause). Used by R5 to diagnose manifest types missing from their
+/// file, and by the facts dump.
+struct TypeFact {
+  size_t line = 0;
+  std::string name;
+};
+
+/// One depth-1 data-member statement of a class body (R5 input).
+/// `annotated` is true when the statement carries one of the
+/// thread_annotations.h markers; `leading` is the first token (used by
+/// the checker to skip using/typedef/friend/static/... statements).
+struct MemberFact {
+  size_t line = 0;
+  std::string type_name;
+  std::string declarator;
+  std::string leading;
+  bool annotated = false;
+};
+
+/// One function definition (a body was seen). `qual` prepends the
+/// enclosing namespace/class scopes to the name as written, so
+/// out-of-class definitions read e.g. `sqlog::engine::BufferPool::Fetch`.
+/// `hot` is true when a `// sqlog-hot` marker sits on the signature line
+/// or the line above (R10 opt-in for functions outside hot files).
+struct FunctionFact {
+  size_t line = 0;
+  bool hot = false;
+  std::string name;
+  std::string qual;
+};
+
+/// One lock acquisition through the annotated wrappers: a
+/// `MutexLock`/`CondVarLock` declaration, or a manual `.Lock()` call.
+/// `mutex` is the normalized lock identity (member locks are qualified
+/// with the enclosing type, e.g. `BufferPool::mu_`); `held` lists the
+/// identities lexically held at this site — the source of R9 edges.
+struct AcquisitionFact {
+  size_t line = 0;
+  size_t func = kNoFunction;
+  std::string wrapper;  // "MutexLock" | "CondVarLock" | "Lock"
+  std::string mutex;
+  std::vector<std::string> held;
+};
+
+/// One call site reached while at least one lock is held (only those are
+/// recorded — R9 resolves the callee one level into the fact DB and
+/// inherits its acquisitions as edges).
+struct CallFact {
+  size_t line = 0;
+  size_t func = kNoFunction;
+  std::string callee;  // `Name` or `Scope::Name` as written; object exprs drop to the member name
+  std::vector<std::string> held;
+};
+
+/// One allocation expression inside a function body (R10 input):
+/// `new`, `make_unique`/`make_shared`, a `std::string` construction, or
+/// a container-growth member call (push_back/append/resize/...).
+struct AllocationFact {
+  size_t line = 0;
+  size_t func = kNoFunction;
+  std::string what;
+};
+
+/// A single-file rule site for the line-local rules: the fact says
+/// "rule N's pattern occurs here", the checker decides whether path
+/// scoping, allowlists, and suppressions let it fire.
+struct RuleSiteFact {
+  std::string rule;
+  size_t line = 0;
+  std::string detail;
+};
+
+/// One line covered by an inline `allow(RN reason)` suppression comment
+/// (directives are pre-expanded to their own line and the next).
+struct SuppressionFact {
+  std::string rule;
+  size_t line = 0;
+};
+
+/// Everything extracted from one file. Config-independent by design.
+struct FileFacts {
+  uint64_t content_hash = 0;
+  std::vector<IncludeFact> includes;
+  std::vector<std::string> namespaces;
+  std::vector<TypeFact> types;
+  std::vector<MemberFact> members;
+  std::vector<FunctionFact> functions;
+  std::vector<AcquisitionFact> acquisitions;
+  std::vector<CallFact> locked_calls;
+  std::vector<AllocationFact> allocations;
+  std::vector<RuleSiteFact> rule_sites;
+  std::vector<SuppressionFact> suppressions;
+  std::vector<RuleSiteFact> config_errors;  // rule == "config", unsuppressible
+};
+
+/// The merged database phase 2 analyses run over: repo-relative path →
+/// facts. std::map so every cross-file walk is deterministic.
+using FactDb = std::map<std::string, FileFacts>;
+
+/// Content hash the fact cache is keyed by (FNV-1a folded with the
+/// format version, so a version bump invalidates every entry even if
+/// the header line is hand-edited).
+uint64_t HashSourceContent(std::string_view content);
+
+/// The single extraction pass. Sets content_hash itself.
+FileFacts ExtractFacts(std::string_view content);
+
+/// Deterministic human-readable dump, pinned by the golden fact test
+/// (tests/lint_facts_test.cc). Not the cache format.
+std::string DumpFacts(const std::string& rel_path, const FileFacts& facts);
+
+// --- on-disk fact cache --------------------------------------------------
+
+/// Serializes one file's facts as cache records (no `file` header line).
+void SerializeFacts(const FileFacts& facts, std::string* out);
+
+/// Loads a fact cache written by SaveFactCache. A missing file, a
+/// version mismatch, or any malformed record yields an empty cache (the
+/// cache is an accelerator, never a correctness input).
+FactDb LoadFactCache(const std::string& path);
+
+/// Atomically (write + rename) persists the database.
+Status SaveFactCache(const std::string& path, const FactDb& db);
+
+}  // namespace sqlog::lint
+
+#endif  // SQLOG_TOOLS_LINT_FACTS_H_

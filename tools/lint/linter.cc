@@ -1,8 +1,8 @@
 #include "lint/linter.h"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
@@ -13,12 +13,6 @@ namespace sqlog::lint {
 
 namespace {
 
-bool IsWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
-
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
 }
@@ -28,197 +22,28 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// True when `word` occurs at `pos` in `s` with word boundaries on both
-/// sides. ':' is not a word character, so qualified names still match
-/// their last component.
-bool WordAt(std::string_view s, size_t pos, std::string_view word) {
-  if (pos + word.size() > s.size()) return false;
-  if (s.compare(pos, word.size(), word) != 0) return false;
-  if (pos > 0 && IsWordChar(s[pos - 1])) return false;
-  size_t end = pos + word.size();
-  if (end < s.size() && IsWordChar(s[end])) return false;
-  return true;
-}
-
-std::vector<size_t> FindWordAll(std::string_view s, std::string_view word) {
-  std::vector<size_t> hits;
-  for (size_t pos = s.find(word); pos != std::string_view::npos;
-       pos = s.find(word, pos + 1)) {
-    if (WordAt(s, pos, word)) hits.push_back(pos);
+bool MatchesAnyPrefix(const std::vector<std::string>& prefixes, std::string_view path) {
+  for (const auto& prefix : prefixes) {
+    if (StartsWith(path, prefix)) return true;
   }
-  return hits;
+  return false;
 }
 
-size_t SkipSpaces(std::string_view s, size_t pos) {
-  while (pos < s.size() && IsSpace(s[pos])) ++pos;
-  return pos;
-}
-
-/// The input split into two equal-length masks: `code` keeps everything
-/// outside comments and literal contents (literal quotes stay, contents
-/// are blanked); `comments` keeps only comment text. Newlines survive in
-/// both, so offsets and line numbers agree between the masks and the
-/// original file.
-struct SplitSource {
-  std::string code;
-  std::string comments;
-};
-
-SplitSource SplitCodeAndComments(std::string_view src) {
-  SplitSource out;
-  out.code.assign(src.size(), ' ');
-  out.comments.assign(src.size(), ' ');
-  auto keep_newlines = [&](size_t from, size_t to) {
-    for (size_t k = from; k < to && k < src.size(); ++k) {
-      if (src[k] == '\n') {
-        out.code[k] = '\n';
-        out.comments[k] = '\n';
-      }
-    }
-  };
-  size_t i = 0;
-  const size_t n = src.size();
-  while (i < n) {
-    char c = src[i];
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      size_t end = src.find('\n', i);
-      if (end == std::string_view::npos) end = n;
-      for (size_t k = i; k < end; ++k) out.comments[k] = src[k];
-      i = end;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      size_t end = src.find("*/", i + 2);
-      end = end == std::string_view::npos ? n : end + 2;
-      for (size_t k = i; k < end; ++k) {
-        out.comments[k] = src[k] == '\n' ? ' ' : src[k];
-      }
-      keep_newlines(i, end);
-      i = end;
-      continue;
-    }
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
-        (i == 0 || !IsWordChar(src[i - 1]))) {
-      // Raw string literal: R"delim( ... )delim".
-      size_t open = src.find('(', i + 2);
-      if (open != std::string_view::npos) {
-        std::string closer = ")";
-        closer.append(src.substr(i + 2, open - (i + 2)));
-        closer.push_back('"');
-        size_t end = src.find(closer, open + 1);
-        end = end == std::string_view::npos ? n : end + closer.size();
-        out.code[i] = 'R';
-        out.code[i + 1] = '"';
-        out.code[end - 1] = '"';
-        keep_newlines(i, end);
-        i = end;
-        continue;
-      }
-    }
-    if (c == '"' || c == '\'') {
-      out.code[i] = c;
-      size_t k = i + 1;
-      while (k < n && src[k] != c) {
-        if (src[k] == '\\') ++k;
-        if (src[k] == '\n') out.code[k] = '\n';  // unterminated; keep lines aligned
-        ++k;
-      }
-      if (k < n) out.code[k] = c;
-      i = k + 1;
-      continue;
-    }
-    out.code[i] = c;
-    ++i;
-  }
-  return out;
-}
-
-/// Offsets where each 1-based line starts, for offset → line mapping.
-std::vector<size_t> LineStarts(std::string_view s) {
-  std::vector<size_t> starts{0};
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '\n') starts.push_back(i + 1);
-  }
-  return starts;
-}
-
-size_t LineOf(const std::vector<size_t>& starts, size_t offset) {
-  auto it = std::upper_bound(starts.begin(), starts.end(), offset);
-  return static_cast<size_t>(it - starts.begin());  // 1-based
-}
-
-const std::set<std::string, std::less<>> kRuleIds = {"R1", "R2", "R3", "R4",
-                                                     "R5", "R6", "R7"};
-
-/// Inline suppressions: rule → lines it is allowed on.
+/// Inline suppressions for one file, rebuilt from the fact table.
 struct Suppressions {
   std::map<size_t, std::set<std::string, std::less<>>> allowed_by_line;
-  std::vector<Finding> errors;
+
+  explicit Suppressions(const FileFacts& facts) {
+    for (const auto& supp : facts.suppressions) {
+      allowed_by_line[supp.line].emplace(supp.rule);
+    }
+  }
 
   bool Allows(std::string_view rule, size_t line) const {
     auto it = allowed_by_line.find(line);
     return it != allowed_by_line.end() && it->second.count(rule) > 0;
   }
 };
-
-Suppressions CollectSuppressions(const std::string& rel_path, std::string_view comments,
-                                 const std::vector<size_t>& line_starts) {
-  Suppressions out;
-  static constexpr std::string_view kMarker = "sqlog-lint:";
-  for (size_t pos = comments.find(kMarker); pos != std::string_view::npos;
-       pos = comments.find(kMarker, pos + kMarker.size())) {
-    size_t line = LineOf(line_starts, pos);
-    size_t p = SkipSpaces(comments, pos + kMarker.size());
-    auto add_allow = [&](std::string_view rule) {
-      // A suppression covers its own line and the next one, so it can
-      // sit at the end of the offending line or on its own line above.
-      out.allowed_by_line[line].emplace(rule);
-      out.allowed_by_line[line + 1].emplace(rule);
-    };
-    if (StartsWith(comments.substr(p), "allow(")) {
-      p += 6;
-      size_t close = comments.find(')', p);
-      if (close == std::string_view::npos) {
-        out.errors.push_back({rel_path, line, "config",
-                              "unterminated sqlog-lint: allow(...) suppression"});
-        continue;
-      }
-      std::string_view body = comments.substr(p, close - p);
-      size_t space = body.find_first_of(" \t");
-      std::string_view rule = body.substr(0, space);
-      std::string_view reason =
-          space == std::string_view::npos ? std::string_view{} : body.substr(space + 1);
-      while (!reason.empty() && IsSpace(reason.front())) reason.remove_prefix(1);
-      if (kRuleIds.count(rule) == 0) {
-        out.errors.push_back(
-            {rel_path, line, "config",
-             StrFormat("unknown rule id '%.*s' in sqlog-lint suppression (expected R1..R7)",
-                       (int)rule.size(), rule.data())});
-        continue;
-      }
-      if (reason.empty()) {
-        out.errors.push_back(
-            {rel_path, line, "config",
-             StrFormat("sqlog-lint suppression for %.*s is missing a reason: "
-                       "write allow(%.*s why-this-is-safe)",
-                       (int)rule.size(), rule.data(), (int)rule.size(), rule.data())});
-        continue;
-      }
-      add_allow(rule);
-      continue;
-    }
-    if (StartsWith(comments.substr(p), "deterministic-merge")) {
-      // The R3-specific tag: asserts the iteration order cannot reach
-      // output or hashed state. An optional (reason) follows.
-      add_allow("R3");
-      continue;
-    }
-    out.errors.push_back({rel_path, line, "config",
-                          "unrecognized sqlog-lint directive (expected allow(RN reason) "
-                          "or deterministic-merge(reason))"});
-  }
-  return out;
-}
 
 void Report(std::vector<Finding>& findings, const Suppressions& supp,
             const std::string& rel_path, size_t line, std::string_view rule,
@@ -227,421 +52,459 @@ void Report(std::vector<Finding>& findings, const Suppressions& supp,
   findings.push_back({rel_path, line, std::string(rule), std::move(message)});
 }
 
-// --- R1: direct parser calls --------------------------------------------
-
-constexpr std::string_view kParserEntryPoints[] = {
-    "ParseSelect", "ParseTokens", "ParseAndAnalyze", "ParseAndAnalyzeTokens"};
-
-void CheckR1(const LintConfig& config, const std::string& rel_path,
-             std::string_view code, const std::vector<size_t>& line_starts,
-             const Suppressions& supp, std::vector<Finding>& findings) {
-  for (const auto& prefix : config.r1_allow) {
-    if (StartsWith(rel_path, prefix)) return;
-  }
-  for (std::string_view fn : kParserEntryPoints) {
-    for (size_t pos : FindWordAll(code, fn)) {
-      Report(findings, supp, rel_path, LineOf(line_starts, pos), "R1",
-             StrFormat("direct SQL-parser call '%.*s' outside the parse-avoidance "
-                       "allowlist; route statements through core::ParseLog / the "
-                       "parse cache, or extend r1-allow in the lint config",
-                       (int)fn.size(), fn.data()));
-    }
-  }
-}
-
-// --- R2: nondeterminism sources in src/core + src/log -------------------
+// --- single-file rule-site checks (R1, R2, R3, R4, R6, R7) ---------------
 
 bool InDeterministicScope(std::string_view rel_path) {
-  return StartsWith(rel_path, "src/core/") || StartsWith(rel_path, "src/log/");
+  return StartsWith(rel_path, "src/core/") || StartsWith(rel_path, "src/log/") ||
+         StartsWith(rel_path, "tests/");
 }
 
-void CheckR2(const std::string& rel_path, std::string_view code,
-             const std::vector<size_t>& line_starts, const Suppressions& supp,
-             std::vector<Finding>& findings) {
-  if (!InDeterministicScope(rel_path)) return;
-  auto flag = [&](size_t pos, std::string_view what) {
-    Report(findings, supp, rel_path, LineOf(line_starts, pos), "R2",
-           StrFormat("nondeterminism source '%.*s' in pipeline code (src/core, "
-                     "src/log must be bit-deterministic); use sqlog::Rng with a "
-                     "fixed seed, or take timestamps from the input records",
-                     (int)what.size(), what.data()));
-  };
-  for (std::string_view word : {"rand", "srand", "random_device"}) {
-    for (size_t pos : FindWordAll(code, word)) flag(pos, word);
-  }
-  for (size_t pos = code.find("std::time"); pos != std::string_view::npos;
-       pos = code.find("std::time", pos + 1)) {
-    if (!WordAt(code, pos + 5, "time")) continue;  // e.g. std::timespec
-    flag(pos, "std::time");
-  }
-  for (std::string_view engine : {"mt19937", "mt19937_64"}) {
-    for (size_t pos : FindWordAll(code, engine)) {
-      size_t p = SkipSpaces(code, pos + engine.size());
-      if (p >= code.size()) continue;
-      char c = code[p];
-      if (c == ':' || c == '&' || c == '*' || c == '>' || c == ',') {
-        continue;  // type usage (template arg, reference parameter, ...)
-      }
-      if (c == '(' || c == '{') {
-        // Temporary: seeded when the parens/braces are non-empty.
-        char close = c == '(' ? ')' : '}';
-        if (SkipSpaces(code, p + 1) < code.size() &&
-            code[SkipSpaces(code, p + 1)] != close) {
-          continue;
-        }
-        flag(pos, engine);
-        continue;
-      }
-      // Declaration: skip the variable name, then look at what follows.
-      size_t q = p;
-      while (q < code.size() && IsWordChar(code[q])) ++q;
-      q = SkipSpaces(code, q);
-      if (q >= code.size() || code[q] == ';' || code[q] == ',' || code[q] == ')') {
-        flag(pos, engine);  // default-constructed → seeded from a fixed constant
-        continue;
-      }
-      if (code[q] == '(' || code[q] == '{') {
-        char close = code[q] == '(' ? ')' : '}';
-        size_t arg = SkipSpaces(code, q + 1);
-        if (arg >= code.size() || code[arg] == close) flag(pos, engine);
-      }
-    }
-  }
-}
+void CheckRuleSites(const LintConfig& config, const std::string& rel_path,
+                    const FileFacts& facts, const Suppressions& supp,
+                    std::vector<Finding>& findings) {
+  const bool r1_scoped = !MatchesAnyPrefix(config.r1_allow, rel_path);
+  const bool deterministic = InDeterministicScope(rel_path);
+  const bool r4_scoped = !EndsWith(rel_path, "util/thread_annotations.h");
+  const bool r6_scoped =
+      StartsWith(rel_path, "src/") && !MatchesAnyPrefix(config.r6_allow, rel_path);
+  const bool r7_scoped =
+      StartsWith(rel_path, "src/") && !MatchesAnyPrefix(config.r7_allow, rel_path);
 
-// --- R3: unordered-container iteration ----------------------------------
-
-/// Advances past a balanced template-argument list; `pos` is at '<'.
-/// Returns the offset one past the matching '>'.
-size_t SkipTemplateArgs(std::string_view code, size_t pos) {
-  size_t angle = 0, paren = 0;
-  while (pos < code.size()) {
-    char c = code[pos];
-    if (c == '(') ++paren;
-    if (c == ')' && paren > 0) --paren;
-    if (paren == 0) {
-      if (c == '<') ++angle;
-      if (c == '>') {
-        --angle;
-        if (angle == 0) return pos + 1;
-      }
-    }
-    ++pos;
-  }
-  return pos;
-}
-
-void CheckR3(const std::string& rel_path, std::string_view code,
-             const std::vector<size_t>& line_starts, const Suppressions& supp,
-             std::vector<Finding>& findings) {
-  if (!InDeterministicScope(rel_path)) return;
-  // Pass 1: names declared with an unordered container type.
-  std::set<std::string, std::less<>> unordered_names;
-  for (std::string_view container : {"unordered_map", "unordered_set",
-                                     "unordered_multimap", "unordered_multiset"}) {
-    for (size_t pos : FindWordAll(code, container)) {
-      size_t p = SkipSpaces(code, pos + container.size());
-      if (p >= code.size() || code[p] != '<') continue;
-      p = SkipSpaces(code, SkipTemplateArgs(code, p));
-      // A reference or pointer to an unordered container iterates in
-      // hash order just the same — skip the declarator decoration.
-      while (p < code.size() && (code[p] == '&' || code[p] == '*')) {
-        p = SkipSpaces(code, p + 1);
-      }
-      size_t name_begin = p;
-      while (p < code.size() && IsWordChar(code[p])) ++p;
-      if (p == name_begin) continue;  // e.g. ...>::iterator, closing a nested <>
-      if (SkipSpaces(code, p) < code.size() && code[SkipSpaces(code, p)] == '(') {
-        continue;  // function returning the container, not a variable
-      }
-      unordered_names.emplace(code.substr(name_begin, p - name_begin));
-    }
-  }
-  if (unordered_names.empty()) return;
-  // Pass 2: range-for loops whose range expression names one of them.
-  for (size_t pos : FindWordAll(code, "for")) {
-    size_t open = SkipSpaces(code, pos + 3);
-    if (open >= code.size() || code[open] != '(') continue;
-    size_t depth = 0, colon = std::string_view::npos, close = std::string_view::npos;
-    bool classic = false;
-    for (size_t p = open; p < code.size(); ++p) {
-      char c = code[p];
-      if (c == '(') ++depth;
-      if (c == ')') {
-        if (--depth == 0) {
-          close = p;
-          break;
-        }
-      }
-      if (depth == 1 && c == ';') classic = true;
-      if (depth == 1 && c == ':' && colon == std::string_view::npos) {
-        bool qualified = (p > 0 && code[p - 1] == ':') ||
-                         (p + 1 < code.size() && code[p + 1] == ':');
-        if (!qualified) colon = p;
-      }
-    }
-    if (classic || colon == std::string_view::npos || close == std::string_view::npos) {
-      continue;
-    }
-    std::string_view range_expr = code.substr(colon + 1, close - colon - 1);
-    for (const auto& name : unordered_names) {
-      if (FindWordAll(range_expr, name).empty()) continue;
-      Report(findings, supp, rel_path, LineOf(line_starts, pos), "R3",
+  for (const auto& site : facts.rule_sites) {
+    if (site.rule == "R1") {
+      if (!r1_scoped) continue;
+      Report(findings, supp, rel_path, site.line, "R1",
+             StrFormat("direct SQL-parser call '%s' outside the parse-avoidance "
+                       "allowlist; route statements through core::ParseLog / the "
+                       "parse cache, or extend r1-allow in the lint config",
+                       site.detail.c_str()));
+    } else if (site.rule == "R2") {
+      if (!deterministic) continue;
+      Report(findings, supp, rel_path, site.line, "R2",
+             StrFormat("nondeterminism source '%s' in pipeline code (src/core, "
+                       "src/log, tests must be bit-deterministic); use sqlog::Rng "
+                       "with a fixed seed, or take timestamps from the input records",
+                       site.detail.c_str()));
+    } else if (site.rule == "R3") {
+      if (!deterministic) continue;
+      Report(findings, supp, rel_path, site.line, "R3",
              StrFormat("range-for over unordered container '%s': iteration order is "
                        "not deterministic; sort a copy first, or assert the order "
                        "cannot reach output or hashed state with a "
                        "deterministic-merge(reason) tag",
-                       name.c_str()));
-      break;
-    }
-  }
-}
-
-// --- R4: raw std::mutex -------------------------------------------------
-
-constexpr std::string_view kRawMutexTypes[] = {
-    "std::mutex",        "std::recursive_mutex", "std::timed_mutex",
-    "std::shared_mutex", "std::lock_guard",      "std::unique_lock",
-    "std::scoped_lock",  "std::shared_lock"};
-
-void CheckR4(const std::string& rel_path, std::string_view code,
-             const std::vector<size_t>& line_starts, const Suppressions& supp,
-             std::vector<Finding>& findings) {
-  if (EndsWith(rel_path, "util/thread_annotations.h")) return;  // the wrapper itself
-  for (std::string_view type : kRawMutexTypes) {
-    std::string_view name = type.substr(5);  // past "std::"
-    for (size_t pos = code.find(type); pos != std::string_view::npos;
-         pos = code.find(type, pos + 1)) {
-      if (!WordAt(code, pos + 5, name)) continue;
-      if (pos > 0 && IsWordChar(code[pos - 1])) continue;
-      Report(findings, supp, rel_path, LineOf(line_starts, pos), "R4",
-             StrFormat("raw '%.*s' — use the annotated sqlog::util::Mutex / "
+                       site.detail.c_str()));
+    } else if (site.rule == "R4") {
+      if (!r4_scoped) continue;
+      Report(findings, supp, rel_path, site.line, "R4",
+             StrFormat("raw '%s' — use the annotated sqlog::util::Mutex / "
                        "MutexLock / CondVarLock wrappers (util/thread_annotations.h) "
                        "so -Wthread-safety and lint rule R5 can check the guarded "
                        "state",
-                       (int)type.size(), type.data()));
+                       site.detail.c_str()));
+    } else if (site.rule == "R6") {
+      if (!r6_scoped) continue;
+      Report(findings, supp, rel_path, site.line, "R6",
+             "class derives from core::Detector outside the registration unit; "
+             "implement detectors in src/core/detectors.cc next to "
+             "RegisterBuiltinDetectors() so the global registry stays the single "
+             "catalog, or extend r6-allow in the lint config");
+    } else if (site.rule == "R7") {
+      if (!r7_scoped) continue;
+      Report(findings, supp, rel_path, site.line, "R7",
+             StrFormat("locale-dependent <cctype> call '%s'; use the "
+                       "byte-class helpers from util/byte_class.h (IsAlphaByte, "
+                       "ToLowerByte, ...) so classification cannot vary with the "
+                       "host locale, or extend r7-allow in the lint config",
+                       site.detail.c_str()));
     }
   }
 }
 
 // --- R5: concurrency-manifest annotations -------------------------------
 
-constexpr std::string_view kMemberMarkers[] = {
-    "SQLOG_GUARDED_BY", "SQLOG_PT_GUARDED_BY", "SQLOG_SHARD_LOCAL",
-    "SQLOG_CONST_AFTER_INIT", "SQLOG_SELF_SYNCHRONIZED"};
-
-/// One depth-1 statement of a class body.
-struct MemberStatement {
-  std::string text;
-  size_t offset = 0;  // of its first non-space character
-};
-
-/// Collects the depth-1 `;`-terminated statements of the class body that
-/// opens at `body_open` ('{'). Nested braces (inline function bodies,
-/// nested types, brace initializers) are skipped wholesale, which keeps
-/// the scan simple: R5 covers `type name_ = ...;`-style members, the
-/// repo's style for mutable state.
-std::vector<MemberStatement> ClassBodyStatements(std::string_view code,
-                                                 size_t body_open) {
-  std::vector<MemberStatement> out;
-  MemberStatement current;
-  size_t i = body_open + 1;
-  while (i < code.size()) {
-    char c = code[i];
-    if (c == '}') break;  // end of the class body
-    if (c == '{') {
-      size_t depth = 1;
-      for (++i; i < code.size() && depth > 0; ++i) {
-        if (code[i] == '{') ++depth;
-        if (code[i] == '}') --depth;
-      }
-      current = {};  // whatever preceded the brace was not a data member
-      continue;
-    }
-    if (c == ';') {
-      if (!current.text.empty()) out.push_back(std::move(current));
-      current = {};
-      ++i;
-      continue;
-    }
-    if (!IsSpace(c) && current.text.empty()) current.offset = i;
-    if (!current.text.empty() || !IsSpace(c)) current.text.push_back(c);
-    ++i;
-  }
-  return out;
-}
-
-/// Splits a statement into word tokens at angle/paren depth 0, stopping
-/// at a top-level '=' (the initializer). Returns the tokens seen.
-std::vector<std::string> TopLevelTokens(std::string_view stmt) {
-  std::vector<std::string> tokens;
-  size_t angle = 0, paren = 0;
-  std::string word;
-  for (size_t i = 0; i < stmt.size(); ++i) {
-    char c = stmt[i];
-    if (c == '(') ++paren;
-    if (c == ')' && paren > 0) --paren;
-    if (paren == 0 && c == '<') ++angle;
-    if (paren == 0 && c == '>' && angle > 0) --angle;
-    if (angle == 0 && paren == 0 && c == '=') break;
-    if (IsWordChar(c) && angle == 0 && paren == 0) {
-      word.push_back(c);
-    } else if (!word.empty()) {
-      tokens.push_back(std::move(word));
-      word.clear();
-    }
-  }
-  if (!word.empty()) tokens.push_back(std::move(word));
-  return tokens;
-}
-
 void CheckR5(const LintConfig& config, const std::string& rel_path,
-             std::string_view code, const std::vector<size_t>& line_starts,
-             const Suppressions& supp, std::vector<Finding>& findings) {
+             const FileFacts& facts, const Suppressions& supp,
+             std::vector<Finding>& findings) {
+  static const std::set<std::string, std::less<>> kSkipLeading = {
+      "using", "typedef", "friend", "static", "constexpr", "const",
+      "class",  "struct", "enum",   "explicit"};
   for (const auto& entry : config.manifest) {
     if (!EndsWith(rel_path, entry.path_suffix)) continue;
-    // Locate `class Name {` / `struct Name {` (or with a base clause).
-    size_t body_open = std::string_view::npos;
-    for (size_t pos : FindWordAll(code, entry.type_name)) {
-      // The keyword must directly precede the name.
-      size_t back = pos;
-      while (back > 0 && IsSpace(code[back - 1])) --back;
-      size_t kw_end = back;
-      while (back > 0 && IsWordChar(code[back - 1])) --back;
-      std::string_view kw = code.substr(back, kw_end - back);
-      if (kw != "class" && kw != "struct") continue;
-      size_t p = pos + entry.type_name.size();
-      while (p < code.size() && code[p] != '{' && code[p] != ';') ++p;
-      if (p < code.size() && code[p] == '{') {
-        body_open = p;
-        break;
-      }
+    bool type_found = false;
+    for (const auto& type : facts.types) {
+      if (type.name == entry.type_name) type_found = true;
     }
-    if (body_open == std::string_view::npos) {
+    if (!type_found) {
       findings.push_back({rel_path, 1, "config",
                           StrFormat("concurrency-manifest type '%s' not found in this "
                                     "file; update the lint config",
                                     entry.type_name.c_str())});
       continue;
     }
-    for (const auto& stmt : ClassBodyStatements(code, body_open)) {
-      std::string_view text = stmt.text;
-      // Drop access-specifier labels glued to the statement front.
-      for (std::string_view label : {"public", "protected", "private"}) {
-        if (StartsWith(text, label)) {
-          size_t p = SkipSpaces(text, label.size());
-          if (p < text.size() && text[p] == ':') text.remove_prefix(p + 1);
-        }
-      }
-      bool has_marker = false;
-      for (std::string_view marker : kMemberMarkers) {
-        if (!FindWordAll(text, marker).empty()) has_marker = true;
-      }
-      if (has_marker) continue;
-      std::vector<std::string> tokens = TopLevelTokens(text);
-      if (tokens.empty()) continue;
-      static const std::set<std::string, std::less<>> kSkipLeading = {
-          "using", "typedef", "friend", "static", "constexpr", "const",
-          "class",  "struct", "enum",   "explicit"};
-      if (kSkipLeading.count(tokens.front()) > 0) continue;
-      if (tokens.front() == "Mutex") continue;  // the capability itself
-      const std::string& declarator = tokens.back();
-      if (declarator.empty() || declarator.back() != '_') continue;
-      Report(findings, supp, rel_path, LineOf(line_starts, stmt.offset), "R5",
+    for (const auto& member : facts.members) {
+      if (member.type_name != entry.type_name) continue;
+      if (member.annotated) continue;
+      if (kSkipLeading.count(member.leading) > 0) continue;
+      if (member.leading == "Mutex") continue;  // the capability itself
+      if (member.declarator.empty() || member.declarator.back() != '_') continue;
+      Report(findings, supp, rel_path, member.line, "R5",
              StrFormat("mutable member '%s' of concurrency-manifest type '%s' has no "
                        "annotation; add SQLOG_GUARDED_BY(mu), SQLOG_SHARD_LOCAL, "
                        "SQLOG_CONST_AFTER_INIT, or SQLOG_SELF_SYNCHRONIZED "
                        "(util/thread_annotations.h)",
-                       declarator.c_str(), entry.type_name.c_str()));
+                       member.declarator.c_str(), entry.type_name.c_str()));
     }
   }
 }
 
-// --- R6: Detector implementations outside the registration unit ---------
+// --- R8: layering DAG ----------------------------------------------------
 
-/// A class deriving from core::Detector anywhere under src/ except the
-/// allowlisted registration unit bypasses the plugin registry: its
-/// behavior would not appear in DetectorRegistry::Global().Ids(), the
-/// `sqlog report` catalog, or the statistics rows. The scan looks for a
-/// base-clause use of the word `Detector` — i.e. one preceded (past any
-/// `ns::` qualifiers) by an access specifier or a lone base-clause ':'.
-/// Type uses (`Detector&`, `std::vector<Detector*>`, `class Detector {`)
-/// never match.
-void CheckR6(const LintConfig& config, const std::string& rel_path,
-             std::string_view code, const std::vector<size_t>& line_starts,
-             const Suppressions& supp, std::vector<Finding>& findings) {
-  if (!StartsWith(rel_path, "src/")) return;
-  for (const auto& prefix : config.r6_allow) {
-    if (StartsWith(rel_path, prefix)) return;
+/// The layer a repo-relative path belongs to, or nullptr.
+const LintConfig::Layer* LayerOf(const LintConfig& config, std::string_view path) {
+  for (const auto& layer : config.layers) {
+    if (StartsWith(path, layer.prefix)) return &layer;
   }
-  for (size_t pos : FindWordAll(code, "Detector")) {
-    // Walk backward past `ns::` qualifiers (core::Detector, sqlog::core::
-    // Detector) to whatever introduces the name.
-    size_t back = pos;
-    while (back >= 2 && code[back - 1] == ':' && code[back - 2] == ':') {
-      back -= 2;
-      while (back > 0 && IsWordChar(code[back - 1])) --back;
-      while (back > 0 && IsSpace(code[back - 1])) --back;
+  return nullptr;
+}
+
+/// Resolves an include target to a repo-relative path. Quoted includes
+/// resolve against the two include roots (src/, tools/) the build uses;
+/// the raw target is tried last so fixture files can name repo paths
+/// directly.
+std::vector<std::string> IncludeCandidates(const std::string& target) {
+  return {"src/" + target, "tools/" + target, target};
+}
+
+const LintConfig::Layer* IncludeTargetLayer(const LintConfig& config,
+                                            const std::string& target) {
+  for (const auto& cand : IncludeCandidates(target)) {
+    if (const auto* layer = LayerOf(config, cand)) return layer;
+  }
+  return nullptr;
+}
+
+/// layer name → set of layer names it may (transitively) depend on.
+using LayerClosure = std::map<std::string, std::set<std::string>>;
+
+LayerClosure BuildLayerClosure(const LintConfig& config) {
+  LayerClosure allowed;
+  for (const auto& [from, to] : config.layer_edges) allowed[from].insert(to);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [from, tos] : allowed) {
+      std::set<std::string> next = tos;
+      for (const auto& to : tos) {
+        auto it = allowed.find(to);
+        if (it == allowed.end()) continue;
+        next.insert(it->second.begin(), it->second.end());
+      }
+      if (next.size() != tos.size()) {
+        tos = std::move(next);
+        changed = true;
+      }
     }
-    while (back > 0 && IsSpace(code[back - 1])) --back;
-    if (back == 0) continue;
-    bool base_clause = false;
-    if (IsWordChar(code[back - 1])) {
-      size_t end = back;
-      while (back > 0 && IsWordChar(code[back - 1])) --back;
-      std::string_view word = code.substr(back, end - back);
-      base_clause = word == "public" || word == "protected" || word == "private";
-    } else if (code[back - 1] == ':' && (back < 2 || code[back - 2] != ':')) {
-      // A lone ':' is either a base clause (struct X : Detector — default
-      // inheritance) or an access label (public: Detector* d). The word
-      // before the colon disambiguates: labels ARE the specifier word.
-      size_t q = back - 1;
-      while (q > 0 && IsSpace(code[q - 1])) --q;
-      size_t end = q;
-      while (q > 0 && IsWordChar(code[q - 1])) --q;
-      std::string_view before = code.substr(q, end - q);
-      base_clause = end > q && before != "public" && before != "protected" &&
-                    before != "private";
-    }
-    if (!base_clause) continue;
-    Report(findings, supp, rel_path, LineOf(line_starts, pos), "R6",
-           "class derives from core::Detector outside the registration unit; "
-           "implement detectors in src/core/detectors.cc next to "
-           "RegisterBuiltinDetectors() so the global registry stays the single "
-           "catalog, or extend r6-allow in the lint config");
+  }
+  return allowed;
+}
+
+void CheckR8Edges(const LintConfig& config, const LayerClosure& closure,
+                  const std::string& rel_path, const FileFacts& facts,
+                  const Suppressions& supp, std::vector<Finding>& findings) {
+  const LintConfig::Layer* from = LayerOf(config, rel_path);
+  if (from == nullptr) return;  // unlayered files are unconstrained
+  auto it = closure.find(from->name);
+  const std::set<std::string>* allowed = it == closure.end() ? nullptr : &it->second;
+  for (const auto& inc : facts.includes) {
+    if (inc.angled) continue;  // system headers are outside the DAG
+    const LintConfig::Layer* to = IncludeTargetLayer(config, inc.target);
+    if (to == nullptr || to->name == from->name) continue;
+    if (allowed != nullptr && allowed->count(to->name) > 0) continue;
+    Report(findings, supp, rel_path, inc.line, "R8",
+           StrFormat("include \"%s\" is a layering back-edge: layer '%s' may not "
+                     "depend on layer '%s' (declared DAG: util ← sql ← {log, "
+                     "catalog} ← core ← {engine, analysis} ← tools); invert the "
+                     "dependency or declare a layer-edge in the lint config",
+                     inc.target.c_str(), from->name.c_str(), to->name.c_str()));
   }
 }
 
-// --- R7: locale-dependent <cctype> classification in src/ ---------------
+/// Cross-file half of R8: cycles in the include graph restricted to
+/// files present in the database. Each cycle is reported once, anchored
+/// at its lexicographically-first member, with the full include chain.
+void CheckR8Cycles(const FactDb& db,
+                   const std::map<std::string, Suppressions>& supps,
+                   std::vector<Finding>& findings) {
+  // file → (resolved include target file, line of the #include)
+  std::map<std::string, std::vector<std::pair<std::string, size_t>>> graph;
+  for (const auto& [file, facts] : db) {
+    for (const auto& inc : facts.includes) {
+      if (inc.angled) continue;
+      for (const auto& cand : IncludeCandidates(inc.target)) {
+        auto it = db.find(cand);
+        if (it == db.end()) continue;
+        graph[file].push_back({cand, inc.line});
+        break;
+      }
+    }
+  }
 
-/// The <cctype> classifiers and case mappers read the global locale, so
-/// their verdict on bytes >= 0x80 depends on the host environment —
-/// tokenization, fingerprint keys, and case folds would differ between
-/// machines running the same binary on the same log. util/byte_class.h
-/// is the locale-independent replacement (and the only allowed home for
-/// these calls, via r7-allow).
-constexpr std::string_view kCtypeClassifiers[] = {
-    "isalpha", "isalnum", "isdigit", "isxdigit", "isspace", "isupper",
-    "islower", "ispunct", "isprint", "isgraph",  "iscntrl", "isblank",
-    "tolower", "toupper",
+  std::set<std::string> reported;  // canonical cycle keys
+  std::vector<std::pair<std::string, size_t>> stack;  // (file, include line into next)
+  std::set<std::string> on_stack;
+  std::set<std::string> done;
+
+  std::function<void(const std::string&)> visit = [&](const std::string& file) {
+    on_stack.insert(file);
+    for (const auto& [next, line] : graph[file]) {
+      if (on_stack.count(next) > 0) {
+        // Found a cycle: the stack suffix from `next` plus this edge.
+        std::vector<std::string> cycle;
+        size_t begin = 0;
+        for (size_t k = 0; k < stack.size(); ++k) {
+          if (stack[k].first == next) begin = k;
+        }
+        for (size_t k = begin; k < stack.size(); ++k) cycle.push_back(stack[k].first);
+        cycle.push_back(file);
+        // Canonicalize: rotate so the smallest file leads.
+        size_t smallest = 0;
+        for (size_t k = 1; k < cycle.size(); ++k) {
+          if (cycle[k] < cycle[smallest]) smallest = k;
+        }
+        std::rotate(cycle.begin(), cycle.begin() + smallest, cycle.end());
+        std::string key;
+        std::string chain;
+        for (const auto& f : cycle) {
+          key += f + "|";
+          chain += f + " -> ";
+        }
+        chain += cycle.front();
+        if (!reported.insert(key).second) continue;
+        auto supp_it = supps.find(file);
+        if (supp_it != supps.end() && supp_it->second.Allows("R8", line)) continue;
+        findings.push_back(
+            {file, line, "R8",
+             StrFormat("include cycle between layered translation units: %s; break "
+                       "the cycle with a forward declaration or by moving the "
+                       "shared pieces down a layer",
+                       chain.c_str())});
+        continue;
+      }
+      if (done.count(next) > 0) continue;
+      stack.push_back({file, line});
+      visit(next);
+      stack.pop_back();
+    }
+    on_stack.erase(file);
+    done.insert(file);
+  };
+  for (const auto& [file, _] : graph) {
+    if (done.count(file) == 0) visit(file);
+  }
+}
+
+// --- R9: lock-order graph ------------------------------------------------
+
+struct LockWitness {
+  std::string file;
+  size_t line = 0;
+  std::string via;  // "in <func>" or "call to <callee> from <func>"
+  bool suppressed = false;
 };
 
-void CheckR7(const LintConfig& config, const std::string& rel_path,
-             std::string_view code, const std::vector<size_t>& line_starts,
-             const Suppressions& supp, std::vector<Finding>& findings) {
-  if (!StartsWith(rel_path, "src/")) return;
-  for (const auto& prefix : config.r7_allow) {
-    if (StartsWith(rel_path, prefix)) return;
-  }
-  for (std::string_view fn : kCtypeClassifiers) {
-    for (size_t pos : FindWordAll(code, fn)) {
-      Report(findings, supp, rel_path, LineOf(line_starts, pos), "R7",
-             StrFormat("locale-dependent <cctype> call '%.*s'; use the "
-                       "byte-class helpers from util/byte_class.h (IsAlphaByte, "
-                       "ToLowerByte, ...) so classification cannot vary with the "
-                       "host locale, or extend r7-allow in the lint config",
-                       (int)fn.size(), fn.data()));
+using LockEdges = std::map<std::pair<std::string, std::string>,
+                           std::vector<LockWitness>>;
+
+/// Resolves a call-site name to a unique function in the database.
+/// Returns (file, function index) or nullopt when the name is unknown or
+/// ambiguous — one-level resolution only ever follows certain matches.
+struct ResolvedFn {
+  const std::string* file = nullptr;
+  size_t func = kNoFunction;
+};
+
+ResolvedFn ResolveCallee(const FactDb& db, const std::string& callee) {
+  ResolvedFn out;
+  size_t matches = 0;
+  for (const auto& [file, facts] : db) {
+    for (size_t k = 0; k < facts.functions.size(); ++k) {
+      const auto& fn = facts.functions[k];
+      bool match = fn.qual == callee || fn.name == callee ||
+                   EndsWith(fn.qual, "::" + callee);
+      if (!match) continue;
+      ++matches;
+      out.file = &file;
+      out.func = k;
     }
+  }
+  if (matches != 1) return {};
+  return out;
+}
+
+LockEdges BuildLockEdges(const FactDb& db,
+                         const std::map<std::string, Suppressions>& supps) {
+  LockEdges edges;
+  auto supp_allows = [&](const std::string& file, size_t line) {
+    auto it = supps.find(file);
+    return it != supps.end() && it->second.Allows("R9", line);
+  };
+  for (const auto& [file, facts] : db) {
+    for (const auto& acq : facts.acquisitions) {
+      if (acq.held.empty()) continue;
+      LockWitness witness{file, acq.line,
+                          StrFormat("in %s", acq.func == kNoFunction
+                                                 ? "<file scope>"
+                                                 : facts.functions[acq.func].qual.c_str()),
+                          supp_allows(file, acq.line)};
+      for (const auto& held : acq.held) {
+        edges[{held, acq.mutex}].push_back(witness);
+      }
+    }
+    for (const auto& call : facts.locked_calls) {
+      ResolvedFn target = ResolveCallee(db, call.callee);
+      if (target.file == nullptr) continue;
+      const FileFacts& callee_facts = db.at(*target.file);
+      for (const auto& acq : callee_facts.acquisitions) {
+        if (acq.func != target.func) continue;
+        bool suppressed = supp_allows(file, call.line) ||
+                          supp_allows(*target.file, acq.line);
+        LockWitness witness{
+            file, call.line,
+            StrFormat("call to %s from %s",
+                      callee_facts.functions[target.func].qual.c_str(),
+                      call.func == kNoFunction
+                          ? "<file scope>"
+                          : facts.functions[call.func].qual.c_str()),
+            suppressed};
+        for (const auto& held : call.held) {
+          edges[{held, acq.mutex}].push_back(witness);
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+void CheckR9(const FactDb& db, const std::map<std::string, Suppressions>& supps,
+             std::vector<Finding>& findings) {
+  LockEdges all_edges = BuildLockEdges(db, supps);
+
+  // Active edges: at least one unsuppressed witness (shown in reports).
+  std::map<std::pair<std::string, std::string>, LockWitness> edges;
+  for (const auto& [key, witnesses] : all_edges) {
+    for (const auto& w : witnesses) {
+      if (w.suppressed) continue;
+      edges.emplace(key, w);
+      break;
+    }
+  }
+  if (edges.empty()) return;
+
+  // Self-edges are re-acquisition deadlocks on their own.
+  std::set<std::string> nodes;
+  for (const auto& [key, _] : edges) {
+    nodes.insert(key.first);
+    nodes.insert(key.second);
+  }
+  for (const auto& [key, witness] : edges) {
+    if (key.first != key.second) continue;
+    findings.push_back(
+        {witness.file, witness.line, "R9",
+         StrFormat("potential deadlock: lock '%s' is acquired while already held "
+                   "(%s); the annotated wrappers do not support recursive "
+                   "acquisition",
+                   key.first.c_str(), witness.via.c_str())});
+  }
+
+  // Strongly connected components over the remaining edges; any SCC with
+  // more than one node is a lock-order cycle.
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, _] : edges) {
+    if (key.first != key.second) adj[key.first].push_back(key.second);
+  }
+  std::map<std::string, size_t> index, low;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  size_t counter = 0;
+  std::vector<std::vector<std::string>> sccs;
+  std::function<void(const std::string&)> strongconnect = [&](const std::string& v) {
+    index[v] = low[v] = counter++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    for (const auto& w : adj[v]) {
+      if (index.count(w) == 0) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack.count(w) > 0) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<std::string> scc;
+      while (true) {
+        std::string w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      if (scc.size() > 1) {
+        std::sort(scc.begin(), scc.end());
+        sccs.push_back(std::move(scc));
+      }
+    }
+  };
+  for (const auto& node : nodes) {
+    if (index.count(node) == 0) strongconnect(node);
+  }
+  std::sort(sccs.begin(), sccs.end());
+
+  for (const auto& scc : sccs) {
+    std::set<std::string> members(scc.begin(), scc.end());
+    // Every edge inside the SCC is a witness path of the cycle.
+    std::string paths;
+    const LockWitness* anchor = nullptr;
+    for (const auto& [key, witness] : edges) {
+      if (key.first == key.second) continue;
+      if (members.count(key.first) == 0 || members.count(key.second) == 0) continue;
+      if (!paths.empty()) paths += "; ";
+      paths += StrFormat("%s -> %s at %s:%zu (%s)", key.first.c_str(),
+                         key.second.c_str(), witness.file.c_str(), witness.line,
+                         witness.via.c_str());
+      if (anchor == nullptr) anchor = &witness;
+    }
+    if (anchor == nullptr) continue;
+    std::string cycle;
+    for (const auto& node : scc) {
+      if (!cycle.empty()) cycle += ", ";
+      cycle += node;
+    }
+    findings.push_back(
+        {anchor->file, anchor->line, "R9",
+         StrFormat("potential deadlock: lock-order cycle among {%s}; witness "
+                   "paths: %s — acquire these locks in one global order",
+                   cycle.c_str(), paths.c_str())});
+  }
+}
+
+// --- R10: hot-path allocations ------------------------------------------
+
+void CheckR10(const LintConfig& config, const std::string& rel_path,
+              const FileFacts& facts, const Suppressions& supp,
+              std::vector<Finding>& findings) {
+  const bool hot_file = MatchesAnyPrefix(config.hot, rel_path);
+  for (const auto& alloc : facts.allocations) {
+    if (alloc.func == kNoFunction) continue;  // static init runs once
+    const FunctionFact& fn = facts.functions[alloc.func];
+    if (!hot_file && !fn.hot) continue;
+    if (supp.Allows("R10", alloc.line)) continue;
+    if (supp.Allows("R10", fn.line)) continue;  // function-level suppression
+    Report(findings, supp, rel_path, alloc.line, "R10",
+           StrFormat("allocation '%s' in hot function '%s' (%s); reuse a caller or "
+                     "member buffer, or justify with // sqlog-lint: allow(R10 "
+                     "reason) on the line or the function signature",
+                     alloc.what.c_str(), fn.qual.c_str(),
+                     hot_file ? "hot file" : "marked sqlog-hot"));
   }
 }
 
@@ -662,34 +525,34 @@ Result<LintConfig> ParseConfig(std::string_view text, const std::string& origin)
     std::istringstream fields(line);
     std::string directive;
     if (!(fields >> directive) || directive[0] == '#') continue;
-    if (directive == "r1-allow") {
+    auto one_path = [&](std::vector<std::string>* out) -> Status {
       std::string prefix;
       if (!(fields >> prefix)) {
-        return Status::InvalidArgument(
-            StrFormat("%s:%zu: r1-allow needs a path prefix", origin.c_str(),
-                      line_number));
+        return Status::InvalidArgument(StrFormat("%s:%zu: %s needs a path prefix",
+                                                 origin.c_str(), line_number,
+                                                 directive.c_str()));
       }
-      config.r1_allow.push_back(std::move(prefix));
+      out->push_back(std::move(prefix));
+      return Status::OK();
+    };
+    if (directive == "r1-allow") {
+      SQLOG_RETURN_IF_ERROR_R(one_path(&config.r1_allow));
       continue;
     }
     if (directive == "r6-allow") {
-      std::string prefix;
-      if (!(fields >> prefix)) {
-        return Status::InvalidArgument(
-            StrFormat("%s:%zu: r6-allow needs a path prefix", origin.c_str(),
-                      line_number));
-      }
-      config.r6_allow.push_back(std::move(prefix));
+      SQLOG_RETURN_IF_ERROR_R(one_path(&config.r6_allow));
       continue;
     }
     if (directive == "r7-allow") {
-      std::string prefix;
-      if (!(fields >> prefix)) {
-        return Status::InvalidArgument(
-            StrFormat("%s:%zu: r7-allow needs a path prefix", origin.c_str(),
-                      line_number));
-      }
-      config.r7_allow.push_back(std::move(prefix));
+      SQLOG_RETURN_IF_ERROR_R(one_path(&config.r7_allow));
+      continue;
+    }
+    if (directive == "hot") {
+      SQLOG_RETURN_IF_ERROR_R(one_path(&config.hot));
+      continue;
+    }
+    if (directive == "exclude") {
+      SQLOG_RETURN_IF_ERROR_R(one_path(&config.exclude));
       continue;
     }
     if (directive == "manifest") {
@@ -702,9 +565,58 @@ Result<LintConfig> ParseConfig(std::string_view text, const std::string& origin)
       config.manifest.push_back(std::move(entry));
       continue;
     }
+    if (directive == "layer") {
+      LintConfig::Layer layer;
+      if (!(fields >> layer.name >> layer.prefix)) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: layer needs <name> <rel-path-prefix>",
+                      origin.c_str(), line_number));
+      }
+      for (const auto& existing : config.layers) {
+        if (existing.name == layer.name) {
+          return Status::InvalidArgument(StrFormat("%s:%zu: duplicate layer '%s'",
+                                                   origin.c_str(), line_number,
+                                                   layer.name.c_str()));
+        }
+      }
+      config.layers.push_back(std::move(layer));
+      continue;
+    }
+    if (directive == "layer-edge") {
+      std::string from, to;
+      if (!(fields >> from >> to)) {
+        return Status::InvalidArgument(StrFormat(
+            "%s:%zu: layer-edge needs <from> <to>", origin.c_str(), line_number));
+      }
+      for (const std::string& name : {from, to}) {
+        bool declared = false;
+        for (const auto& layer : config.layers) {
+          if (layer.name == name) declared = true;
+        }
+        if (!declared) {
+          return Status::InvalidArgument(
+              StrFormat("%s:%zu: layer-edge references undeclared layer '%s' "
+                        "(declare it with `layer %s <prefix>` first)",
+                        origin.c_str(), line_number, name.c_str(), name.c_str()));
+        }
+      }
+      config.layer_edges.emplace_back(std::move(from), std::move(to));
+      continue;
+    }
     return Status::InvalidArgument(StrFormat("%s:%zu: unknown directive '%s'",
                                              origin.c_str(), line_number,
                                              directive.c_str()));
+  }
+  // The declared layer graph must be a DAG: the transitive closure may
+  // not put any layer in its own dependency set.
+  LayerClosure closure = BuildLayerClosure(config);
+  for (const auto& [from, tos] : closure) {
+    if (tos.count(from) > 0) {
+      return Status::InvalidArgument(
+          StrFormat("%s: layer-edge declarations form a cycle through '%s'; the "
+                    "layer graph must be a DAG",
+                    origin.c_str(), from.c_str()));
+    }
   }
   return config;
 }
@@ -719,26 +631,40 @@ Result<LintConfig> LoadConfig(const std::string& path) {
   return ParseConfig(buffer.str(), path);
 }
 
-std::vector<Finding> LintSource(const LintConfig& config, const std::string& rel_path,
-                                std::string_view content) {
-  SplitSource split = SplitCodeAndComments(content);
-  std::vector<size_t> line_starts = LineStarts(split.code);
-  Suppressions supp = CollectSuppressions(rel_path, split.comments, line_starts);
+std::vector<Finding> LintDb(const LintConfig& config, const FactDb& db) {
+  std::vector<Finding> findings;
+  std::map<std::string, Suppressions> supps;
+  for (const auto& [file, facts] : db) {
+    supps.emplace(file, Suppressions(facts));
+  }
+  LayerClosure closure = BuildLayerClosure(config);
 
-  std::vector<Finding> findings = supp.errors;
-  CheckR1(config, rel_path, split.code, line_starts, supp, findings);
-  CheckR2(rel_path, split.code, line_starts, supp, findings);
-  CheckR3(rel_path, split.code, line_starts, supp, findings);
-  CheckR4(rel_path, split.code, line_starts, supp, findings);
-  CheckR5(config, rel_path, split.code, line_starts, supp, findings);
-  CheckR6(config, rel_path, split.code, line_starts, supp, findings);
-  CheckR7(config, rel_path, split.code, line_starts, supp, findings);
+  for (const auto& [file, facts] : db) {
+    const Suppressions& supp = supps.at(file);
+    for (const auto& err : facts.config_errors) {
+      findings.push_back({file, err.line, "config", err.detail});
+    }
+    CheckRuleSites(config, file, facts, supp, findings);
+    CheckR5(config, file, facts, supp, findings);
+    CheckR8Edges(config, closure, file, facts, supp, findings);
+    CheckR10(config, file, facts, supp, findings);
+  }
+  CheckR8Cycles(db, supps, findings);
+  CheckR9(db, supps, findings);
 
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;
   });
   return findings;
+}
+
+std::vector<Finding> LintSource(const LintConfig& config, const std::string& rel_path,
+                                std::string_view content) {
+  FactDb db;
+  db[rel_path] = ExtractFacts(content);
+  return LintDb(config, db);
 }
 
 Result<std::vector<Finding>> LintFile(const LintConfig& config, const std::string& root,

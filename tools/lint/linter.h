@@ -3,13 +3,15 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "lint/facts.h"
 #include "util/status.h"
 
 namespace sqlog::lint {
 
-/// One diagnostic. `rule` is "R1".."R6" for the repo rules, or "config"
+/// One diagnostic. `rule` is "R1".."R10" for the repo rules, or "config"
 /// for problems with the lint input itself (malformed suppression,
 /// unknown rule id, manifest type missing from its file). Config
 /// findings are never suppressible.
@@ -39,33 +41,74 @@ struct Finding {
 ///       from core::Detector (R6). Everything else under src/ must keep
 ///       detector implementations in the registration unit so the global
 ///       registry stays the single catalog of detection behavior.
+///   r7-allow <rel-path-prefix>
+///       Files that may call the locale-dependent <cctype> classifiers
+///       (R7) — the byte_class.h implementation itself.
+///   layer <name> <rel-path-prefix>
+///       Declares an architecture layer (R8): every file under the
+///       prefix belongs to the layer. A file matching no layer is
+///       unconstrained.
+///   layer-edge <from> <to>
+///       Declares that layer <from> may depend on (include from) layer
+///       <to>. Dependencies are transitive: core → log and log → sql
+///       together allow core → sql. Both names must be declared with
+///       `layer` first, and the declared edges must form a DAG.
+///   hot <rel-path-prefix>
+///       Marks every function in matching files as hot for R10 (the
+///       allocation lint). Individual functions elsewhere opt in with a
+///       `// sqlog-hot` marker comment on or above the signature line.
+///   exclude <rel-path-prefix>
+///       Skipped during directory expansion in the driver (lint fixture
+///       trees). Explicit file arguments are always linted.
 struct LintConfig {
   struct ManifestEntry {
     std::string path_suffix;
     std::string type_name;
   };
+  struct Layer {
+    std::string name;
+    std::string prefix;
+  };
   std::vector<std::string> r1_allow;
   std::vector<ManifestEntry> manifest;
   std::vector<std::string> r6_allow;
   std::vector<std::string> r7_allow;
+  std::vector<Layer> layers;
+  std::vector<std::pair<std::string, std::string>> layer_edges;  // from → to
+  std::vector<std::string> hot;
+  std::vector<std::string> exclude;
 };
 
-/// Parses a config ("origin" names it in error messages).
+/// Parses a config ("origin" names it in error messages). Rejects
+/// layer-edge directives naming undeclared layers and declared edge sets
+/// that contain a cycle (the layer graph must be a DAG).
 Result<LintConfig> ParseConfig(std::string_view text, const std::string& origin);
 
 /// Reads and parses a config file.
 Result<LintConfig> LoadConfig(const std::string& path);
 
-/// Lints one source file's `content`.
+/// Phase 2: runs every rule over a merged fact database (repo-relative
+/// path → facts, from ExtractFacts or the fact cache). Single-file rules
+/// (R1-R7, R10) consult only that file's facts; R8 checks every include
+/// edge against the layer DAG and reports include cycles among the
+/// database's files; R9 builds the cross-file lock-order graph and
+/// reports cycles as potential deadlocks. Findings come back sorted by
+/// (file, line, rule).
+std::vector<Finding> LintDb(const LintConfig& config, const FactDb& db);
+
+/// Lints one source file's `content` (extract + LintDb over a
+/// single-entry database).
 ///
 /// `rel_path` is the repo-relative path: it scopes the path-dependent
-/// rules (R2/R3 fire only under src/core/ and src/log/; R1 consults the
-/// allowlist; R5 consults the manifest) and is the path findings report.
+/// rules (R2/R3 fire under src/core/, src/log/, and tests/; R1 consults
+/// the allowlist; R5 consults the manifest; R8 consults the layer map;
+/// R10 consults the hot list) and is the path findings report.
 /// Suppression: a comment of the form `// sqlog-lint: allow(R2 reason)`
 /// suppresses that one rule on its own line and on the next line; a
 /// `// sqlog-lint: deterministic-merge(reason)` comment is the
 /// R3-specific tag asserting the iteration order cannot reach output or
-/// hashed state.
+/// hashed state. An `allow(R10 reason)` on or above a function's
+/// signature line suppresses the allocation rule for the whole function.
 std::vector<Finding> LintSource(const LintConfig& config, const std::string& rel_path,
                                 std::string_view content);
 

@@ -1,36 +1,51 @@
 // sqlog-lint — repo-specific static checks over the C++ tree.
 //
-//   sqlog-lint [--config=<file>] [--root=<dir>] [--assume-path=<rel>] <path>...
+//   sqlog-lint [--config=<file>] [--root=<dir>] [--assume-path=<rel>]
+//              [--cache=<file>] [--json=<file>] <path>...
 //
 // Paths are files or directories (recursive over *.h / *.cc), resolved
 // against --root (default: the working directory) and reported relative
-// to it. Rules R1-R6 are documented in DESIGN.md ("Static analysis &
-// enforced invariants"); the allowlist and concurrency manifest live in
-// tools/lint/lint_config.txt. --assume-path lints a single file as if it
-// sat at the given repo-relative path, which is how the negative
-// fixtures under tests/lint/ exercise the path-scoped rules.
+// to it. Rules R1-R10 are documented in DESIGN.md ("Static analysis &
+// enforced invariants"); the allowlists, concurrency manifest, layer DAG
+// and hot-path list live in tools/lint/lint_config.txt. --assume-path
+// lints a single file as if it sat at the given repo-relative path,
+// which is how the negative fixtures under tests/lint/ exercise the
+// path-scoped rules.
+//
+// The tool runs in two phases: every file is scanned once into a fact
+// table (includes, scopes, lock acquisitions, allocations, rule sites),
+// then all rules — including the cross-file layering (R8) and lock-order
+// (R9) analyses — run over the merged fact database. --cache=<file>
+// persists the fact tables keyed by content hash, so a warm re-lint only
+// re-extracts files that changed.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/config/IO error.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/facts.h"
 #include "lint/linter.h"
 
 namespace {
 
 namespace fs = std::filesystem;
+using sqlog::lint::FactDb;
+using sqlog::lint::FileFacts;
 using sqlog::lint::Finding;
 using sqlog::lint::LintConfig;
 
 int Usage() {
   std::fprintf(stderr,
                "usage: sqlog-lint [--config=<file>] [--root=<dir>] "
-               "[--assume-path=<rel>] <path>...\n");
+               "[--assume-path=<rel>] [--cache=<file>] [--json=<file>] <path>...\n");
   return 2;
 }
 
@@ -38,12 +53,44 @@ bool IsSourceFile(const fs::path& path) {
   return path.extension() == ".h" || path.extension() == ".cc";
 }
 
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// JSON string escaping (control characters, quotes, backslashes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto start = std::chrono::steady_clock::now();
   std::string config_path;
   std::string root = ".";
   std::string assume_path;
+  std::string cache_path;
+  std::string json_path;
+  bool dump_facts = false;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -53,6 +100,12 @@ int main(int argc, char** argv) {
       root = arg + 7;
     } else if (std::strncmp(arg, "--assume-path=", 14) == 0) {
       assume_path = arg + 14;
+    } else if (std::strncmp(arg, "--cache=", 8) == 0) {
+      cache_path = arg + 8;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strcmp(arg, "--dump-facts") == 0) {
+      dump_facts = true;
     } else if (arg[0] == '-') {
       return Usage();
     } else {
@@ -77,6 +130,9 @@ int main(int argc, char** argv) {
 
   // Expand directories into a sorted file list so output order (and the
   // exit code on ties) never depends on directory-iteration order.
+  // Config `exclude` prefixes apply only to directory expansion: an
+  // explicitly named file is always linted (how the fixture tests drive
+  // files under the excluded tests/lint/ tree).
   std::vector<std::string> rel_paths;
   std::error_code ec;
   for (const std::string& input : inputs) {
@@ -86,7 +142,12 @@ int main(int argc, char** argv) {
            it.increment(ec)) {
         if (ec) break;
         if (it->is_regular_file(ec) && IsSourceFile(it->path())) {
-          rel_paths.push_back(fs::relative(it->path(), root, ec).generic_string());
+          std::string rel = fs::relative(it->path(), root, ec).generic_string();
+          bool excluded = false;
+          for (const std::string& prefix : config.exclude) {
+            if (HasPrefix(rel, prefix)) excluded = true;
+          }
+          if (!excluded) rel_paths.push_back(std::move(rel));
         }
       }
     } else if (fs::is_regular_file(full, ec)) {
@@ -100,26 +161,102 @@ int main(int argc, char** argv) {
   std::sort(rel_paths.begin(), rel_paths.end());
   rel_paths.erase(std::unique(rel_paths.begin(), rel_paths.end()), rel_paths.end());
 
-  size_t finding_count = 0;
-  size_t file_count = 0;
+  // Phase 1: one scan per file into the fact database, reusing cached
+  // fact tables whose content hash still matches.
+  FactDb cached;
+  if (!cache_path.empty()) cached = sqlog::lint::LoadFactCache(cache_path);
+  FactDb db;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
   for (const std::string& rel : rel_paths) {
-    // With --assume-path, the file is linted as if it sat at that
-    // repo-relative path, so the path-scoped rules (R1/R2/R3/R5) apply
-    // to fixtures living elsewhere.
-    auto findings = sqlog::lint::LintFile(config, root, rel, assume_path);
-    if (!findings.ok()) {
-      std::fprintf(stderr, "sqlog-lint: %s\n", findings.status().ToString().c_str());
+    std::string full = root.empty() ? rel : root + "/" + rel;
+    std::ifstream in(full, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "sqlog-lint: cannot open %s\n", full.c_str());
       return 2;
     }
-    ++file_count;
-    for (const Finding& finding : *findings) {
-      std::printf("%s\n", finding.ToString().c_str());
-      ++finding_count;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string content = buffer.str();
+    // With --assume-path, the file is linted as if it sat at that
+    // repo-relative path, so the path-scoped rules apply to fixtures
+    // living elsewhere.
+    const std::string& key = assume_path.empty() ? rel : assume_path;
+    uint64_t hash = sqlog::lint::HashSourceContent(content);
+    auto it = cached.find(key);
+    if (it != cached.end() && it->second.content_hash == hash) {
+      db[key] = it->second;
+      ++cache_hits;
+    } else {
+      db[key] = sqlog::lint::ExtractFacts(content);
+      ++cache_misses;
     }
   }
-  if (finding_count > 0) {
-    std::fprintf(stderr, "sqlog-lint: %zu finding(s) in %zu file(s)\n", finding_count,
-                 file_count);
+  if (!cache_path.empty()) {
+    auto saved = sqlog::lint::SaveFactCache(cache_path, db);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "sqlog-lint: %s\n", saved.ToString().c_str());
+      return 2;
+    }
+  }
+
+  if (dump_facts) {
+    // Debugging / golden-test aid: print the extracted fact tables
+    // instead of running the rules.
+    for (const auto& [file, facts] : db) {
+      std::fputs(sqlog::lint::DumpFacts(file, facts).c_str(), stdout);
+    }
+    return 0;
+  }
+
+  // Phase 2: every rule over the merged database (cross-file analyses
+  // see the whole tree at once).
+  std::vector<Finding> findings = sqlog::lint::LintDb(config, db);
+  for (const Finding& finding : findings) {
+    std::printf("%s\n", finding.ToString().c_str());
+  }
+
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n";
+    json << "  \"tool\": \"sqlog-lint\",\n";
+    json << "  \"schema_version\": 1,\n";
+    json << "  \"files_scanned\": " << db.size() << ",\n";
+    json << "  \"finding_count\": " << findings.size() << ",\n";
+    json << "  \"cache\": {\"enabled\": " << (cache_path.empty() ? "false" : "true")
+         << ", \"hits\": " << cache_hits << ", \"misses\": " << cache_misses
+         << "},\n";
+    char elapsed_buf[64];
+    std::snprintf(elapsed_buf, sizeof elapsed_buf, "%.6f", elapsed);
+    json << "  \"elapsed_seconds\": " << elapsed_buf << ",\n";
+    json << "  \"findings\": [";
+    for (size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      json << (i == 0 ? "\n" : ",\n");
+      json << "    {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": " << f.line
+           << ", \"rule\": \"" << JsonEscape(f.rule) << "\", \"message\": \""
+           << JsonEscape(f.message) << "\"}";
+    }
+    json << (findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << json.str())) {
+      std::fprintf(stderr, "sqlog-lint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+  }
+
+  if (!cache_path.empty()) {
+    std::fprintf(stderr,
+                 "sqlog-lint: scanned %zu file(s), cache %zu hit(s) / %zu miss(es), "
+                 "%.0f ms\n",
+                 db.size(), cache_hits, cache_misses, elapsed * 1000.0);
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "sqlog-lint: %zu finding(s) in %zu file(s)\n",
+                 findings.size(), db.size());
     return 1;
   }
   return 0;
